@@ -1,0 +1,103 @@
+"""Data analytics (paper §IV): the full model panel on cohort data.
+
+"There are a variety of data mining algorithms to address different
+requirements such as classification, association and clustering."  This
+bench runs the panel the library ships — five classifiers (with AUC for
+the probabilistic ones), association rules, and clustering with
+silhouette-based k selection — over an OLAP-isolated slice, producing the
+comparison table a clinical scientist would start from.
+"""
+
+from repro.mining.apriori import association_rules
+from repro.mining.awsum import AWSumClassifier
+from repro.mining.decision_tree import DecisionTreeClassifier
+from repro.mining.knn import KNNClassifier
+from repro.mining.logistic import LogisticRegressionClassifier
+from repro.mining.naive_bayes import NaiveBayesClassifier
+from repro.mining.random_forest import RandomForestClassifier
+from repro.mining.roc import auc_score
+from repro.mining.silhouette import pick_k_by_silhouette
+from repro.mining.validation import cross_validate, train_test_split
+
+_FEATURES = ["fbg", "bmi", "sdnn", "reflex_knees_ankles", "exercise_frequency"]
+_TARGET = "diabetes_status"
+
+
+def test_analytics_classifier_panel(benchmark, built, emit):
+    rows = built.transformed.to_rows()
+
+    def run_panel():
+        results = {}
+        for name, factory in (
+            ("naive_bayes", NaiveBayesClassifier),
+            ("decision_tree", DecisionTreeClassifier),
+            ("knn", lambda: KNNClassifier(k=7)),
+            ("logistic", LogisticRegressionClassifier),
+            ("random_forest", lambda: RandomForestClassifier(n_trees=15)),
+        ):
+            results[name] = cross_validate(
+                factory, rows, _TARGET, _FEATURES, k=3
+            )["mean_accuracy"]
+        return results
+
+    results = benchmark.pedantic(run_panel, rounds=1, iterations=1)
+
+    # AUC for the probabilistic models on one held-out split
+    train, test = train_test_split(rows, test_fraction=0.3, seed=4)
+    aucs = {}
+    for name, factory in (
+        ("naive_bayes", NaiveBayesClassifier),
+        ("logistic", LogisticRegressionClassifier),
+        ("random_forest", lambda: RandomForestClassifier(n_trees=15)),
+    ):
+        model = factory().fit(train, _TARGET, _FEATURES)
+        scores = [model.predict_proba(row).get("yes", 0.0) for row in test]
+        aucs[name] = auc_score([row[_TARGET] for row in test], scores, "yes")
+
+    lines = [f"{'model':<16} {'3-fold acc':>10} {'AUC':>7}"]
+    for name, accuracy in sorted(results.items(), key=lambda p: -p[1]):
+        auc = f"{aucs[name]:.3f}" if name in aucs else "    —"
+        lines.append(f"{name:<16} {accuracy:>10.3f} {auc:>7}")
+    emit("analytics_classifier_panel", "\n".join(lines))
+    assert min(results.values()) >= 0.8
+    assert all(auc >= 0.9 for auc in aucs.values())
+
+
+def test_analytics_association_rules(benchmark, built, emit):
+    rows = [
+        {
+            "fbg_band": row["fbg_band"],
+            "reflex": row["reflex_knees_ankles"],
+            "bmi_band": row["bmi_band"],
+            "diabetes": row["diabetes_status"],
+        }
+        for row in built.transformed.to_rows()
+    ]
+    rules = benchmark(
+        association_rules, rows, 0.08, 0.7, None, 3
+    )
+    emit(
+        "analytics_association_rules",
+        "\n".join(rule.render() for rule in rules[:10]),
+    )
+    rendered = " ".join(rule.render() for rule in rules)
+    assert "diabetes=yes" in rendered
+
+
+def test_analytics_clustering_k_selection(benchmark, built, emit):
+    rows = [
+        {"fbg": row["fbg"], "bmi": row["bmi"], "sdnn": row["sdnn"]}
+        for row in built.transformed.to_rows()[:400]
+        if row["fbg"] is not None and row["bmi"] is not None
+        and row["sdnn"] is not None
+    ]
+    best, scores = benchmark(
+        pick_k_by_silhouette, rows, ["fbg", "bmi", "sdnn"], (2, 3, 4)
+    )
+    emit(
+        "analytics_clustering",
+        f"silhouette by k: "
+        + ", ".join(f"k={k}: {score:.3f}" for k, score in sorted(scores.items()))
+        + f"\nselected k = {best}",
+    )
+    assert best in scores

@@ -1,0 +1,53 @@
+"""Fig 4 — 'drag and drop' query construction.
+
+The paper's screenshot shows "the family history of diabetes by age group
+and by gender" assembled by dragging attributes into a query area.  This
+bench reproduces the grid twice — through the fluent QueryBuilder (the
+drag-and-drop analogue) and through MDX — and asserts the two engines
+agree cell by cell.
+"""
+
+from repro.olap.mdx.evaluator import execute_mdx
+
+_MDX = """
+SELECT [personal].[gender].MEMBERS ON COLUMNS,
+       [conditions].[age_band].MEMBERS ON ROWS
+FROM discri
+WHERE [personal].[family_history_diabetes].[yes]
+"""
+
+
+def _builder_grid(cube):
+    return (
+        cube.query()
+        .rows("age_band")
+        .columns("gender")
+        .count_records("attendances")
+        .where("personal.family_history_diabetes", "yes")
+        .execute()
+        .sorted_rows()
+    )
+
+
+def test_fig4_query_builder(benchmark, cube, emit):
+    grid = benchmark(_builder_grid, cube)
+    emit(
+        "fig4_family_history_builder",
+        "family history of diabetes = yes, by age group and gender\n"
+        + grid.to_text(with_totals=True),
+    )
+    assert grid.grand_total() > 0
+    # the bulk of a screening cohort sits in the 40-80 bands
+    totals = grid.row_totals()
+    assert totals[("60-80",)] > totals[("<40",)]
+
+
+def test_fig4_mdx_equivalent(benchmark, cube, emit):
+    mdx_grid = benchmark(execute_mdx, cube, _MDX)
+    emit("fig4_family_history_mdx", mdx_grid.sorted_rows().to_text())
+    builder_grid = _builder_grid(cube)
+    for row_key in builder_grid.row_keys:
+        for col_key in builder_grid.col_keys:
+            assert mdx_grid.value(row_key, col_key) == builder_grid.value(
+                row_key, col_key
+            ), (row_key, col_key)

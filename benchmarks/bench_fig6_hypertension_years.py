@@ -1,0 +1,76 @@
+"""Fig 6 — years since hypertension diagnosis by age group.
+
+Reproduces the OLAP outcome using the Table I DiagnosticHTYears clinical
+scheme and the age drill-down, asserting the paper's finding: "a
+significant drop in the number of 5-10 year hypertension cases in the age
+sub-groups of 70-75 and 75-80".
+"""
+
+from repro.olap.operations import drill_down
+from repro.viz.svg import crosstab_to_svg
+
+from benchmarks.conftest import OUT_DIR
+
+_CATEGORIES = ("<2", "2-5", "5-10", "10-20", ">=20")
+
+
+def _share_5_10(grid, band: str) -> float:
+    cells = [grid.value((band,), (c,)) or 0 for c in _CATEGORIES]
+    total = sum(cells)
+    return cells[2] / total if total else 0.0
+
+
+def test_fig6_coarse(benchmark, cube, emit):
+    def run():
+        return (
+            cube.query()
+            .rows("age_band10")
+            .columns("ht_years_band")
+            .count_records("cases")
+            .where("conditions.hypertension", "yes")
+            .execute()
+            .sorted_rows()
+        )
+
+    grid = benchmark(run)
+    emit(
+        "fig6_ht_years_10yr",
+        "hypertensive attendances by years-since-diagnosis and 10-year band\n"
+        + grid.to_text(with_totals=True),
+    )
+    assert grid.grand_total() > 0
+
+
+def test_fig6_drilldown_dip(benchmark, cube, emit):
+    coarse = (
+        cube.query()
+        .rows("age_band10")
+        .columns("ht_years_band")
+        .count_records("cases")
+        .where("conditions.hypertension", "yes")
+        .build()
+    )
+
+    def drill_and_execute():
+        fine = drill_down(coarse, cube, "age_band10")
+        return fine.execute(cube).sorted_rows()
+
+    grid = benchmark(drill_and_execute)
+    emit(
+        "fig6_ht_years_5yr_drilldown",
+        "drill-down to 5-year bands\n" + grid.to_text(with_totals=True)
+        + "\n\n5-10y share per band: "
+        + ", ".join(
+            f"{band}={_share_5_10(grid, band):.3f}"
+            for band in ("60-65", "65-70", "70-75", "75-80", "80-85")
+        ),
+    )
+    crosstab_to_svg(
+        grid, "Fig 6: years since HT diagnosis by age band",
+        OUT_DIR / "fig6.svg",
+    )
+
+    reference = (_share_5_10(grid, "60-65") + _share_5_10(grid, "65-70")) / 2
+    # paper: significant drop of 5-10y cases within 70-75 and 75-80
+    assert _share_5_10(grid, "70-75") < reference * 0.75
+    assert _share_5_10(grid, "75-80") < reference * 0.85

@@ -1,0 +1,102 @@
+"""P1 — architectural comparison: warehouse vs DG-SQL intermediation.
+
+The paper's core claim is that replacing DG-SQL with a data warehouse
+improves multivariate decision guidance.  This bench compares the two
+paths on the same cohort along both axes the paper argues:
+
+* **latency** of repeated multivariate aggregations (the cube's cached
+  flattened view vs fresh flat scans through the SQL engine), and
+* **expressiveness** — drill-down, distinct-patient counting via the
+  cardinality dimension, and dynamic feedback dimensions exist only on
+  the warehouse path (asserted structurally).
+"""
+
+import pytest
+
+
+def _warehouse_query(cube):
+    return (
+        cube.query()
+        .rows("age_band10")
+        .columns("gender")
+        .count_records("n")
+        .where("conditions.diabetes_status", "yes")
+        .execute()
+    )
+
+
+def _dgsql_query(classic):
+    return classic.query(
+        "SELECT gender, COUNT(*) AS n FROM attendances "
+        "WHERE diabetes_status = 'yes' GROUP BY gender"
+    )
+
+
+def test_p1_warehouse_multivariate_latency(benchmark, cube, emit):
+    grid = benchmark(_warehouse_query, cube)
+    emit("p1_warehouse_query", grid.sorted_rows().to_text(with_totals=True))
+    assert grid.grand_total() > 0
+
+
+def test_p1_dgsql_flat_latency(benchmark, classic, emit):
+    result = benchmark(_dgsql_query, classic)
+    emit("p1_dgsql_query", result.to_text())
+    assert result.num_rows == 2
+
+
+def test_p1_results_agree_where_expressible(cube, classic, benchmark, emit):
+    """Where DG-SQL *can* express the question, both answers match —
+    the comparison is architecture, not correctness."""
+
+    def both():
+        warehouse = (
+            cube.query().rows("gender")
+            .columns("conditions.diabetes_status")
+            .count_records().execute()
+        )
+        flat = classic.crosstab("gender", "diabetes_status")
+        return warehouse, flat
+
+    warehouse, flat = benchmark(both)
+    for row in flat.to_rows():
+        assert warehouse.value(
+            (row["gender"],), (row["diabetes_status"],)
+        ) == row["n"]
+    emit(
+        "p1_agreement",
+        "warehouse and DG-SQL agree on the expressible subset\n"
+        + flat.to_text(),
+    )
+
+
+def test_p1_expressiveness_gap(cube, classic, benchmark, emit):
+    """What the flat path cannot do without manual schema work."""
+
+    def warehouse_only_features():
+        # 1. drill-down: hierarchy metadata lives in the warehouse
+        from repro.olap.operations import drill_down
+
+        query = (
+            cube.query().rows("age_band10").columns("gender")
+            .count_records().build()
+        )
+        drilled = drill_down(query, cube, "age_band10")
+        # 2. distinct patients per cell via the cardinality dimension
+        patients = (
+            cube.query().rows("age_band5").columns("gender")
+            .count_distinct("cardinality.patient_id").execute()
+        )
+        return drilled.rows, patients.grand_total()
+
+    drilled_rows, patient_total = benchmark(warehouse_only_features)
+    assert drilled_rows == ("conditions.age_band5",)
+    assert patient_total > 0
+    # the flat baseline has no hierarchy metadata at all
+    assert not hasattr(classic, "drill_down")
+    emit(
+        "p1_expressiveness",
+        "warehouse-only capabilities exercised: drill-down via hierarchy, "
+        f"distinct-patient grand total = {patient_total:g}.\n"
+        "DG-SQL baseline requires hand-written queries per granularity and "
+        "has no dimension metadata.",
+    )

@@ -1,0 +1,136 @@
+"""P3 — substrate scalability: load and query cost vs cohort size.
+
+Not a paper figure (the paper reports no performance numbers); this bench
+characterises our substitute substrate so EXPERIMENTS.md can state the
+scale at which the reproduction runs, and ablates eager flattened-view
+reuse vs rebuilding it per query (DESIGN.md §5).
+"""
+
+import pytest
+
+from repro.discri.generator import DiScRiGenerator
+from repro.discri.warehouse import build_discri_warehouse
+from repro.olap.cube import Cube
+
+
+@pytest.mark.parametrize("patients", [100, 300, 900])
+def test_p3_generate_and_load(benchmark, patients, emit):
+    def build():
+        cohort = DiScRiGenerator(n_patients=patients, seed=3).generate()
+        return build_discri_warehouse(cohort)
+
+    built = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit(
+        f"p3_load_{patients}",
+        f"{patients} patients -> {built.warehouse.schema.fact.num_rows} facts",
+    )
+    assert built.warehouse.schema.fact.num_rows >= patients
+
+
+def test_p3_query_latency_cached_view(benchmark, cube, emit):
+    """Steady-state query: the flattened view is already materialised."""
+    def query():
+        return (
+            cube.query().rows("age_band5").columns("gender")
+            .count_distinct("cardinality.patient_id").execute()
+        )
+
+    grid = benchmark(query)
+    emit("p3_query_cached", f"cells: {len(grid.cells)}")
+    assert grid.grand_total() > 0
+
+
+def test_p3_query_latency_cold_view(benchmark, built, emit):
+    """Ablation: rebuild the flattened view before every query."""
+    def query():
+        cold = Cube(built.warehouse)
+        cold.refresh()
+        return (
+            cold.query().rows("age_band5").columns("gender")
+            .count_distinct("cardinality.patient_id").execute()
+        )
+
+    grid = benchmark(query)
+    emit("p3_query_cold", f"cells: {len(grid.cells)}")
+    assert grid.grand_total() > 0
+
+
+def test_p3_mdx_latency(benchmark, cube, emit):
+    from repro.olap.mdx.evaluator import execute_mdx
+
+    mdx = (
+        "SELECT {[Measures].[records], [Measures].[fbg]} ON COLUMNS, "
+        "CROSSJOIN([conditions].[age_band10].MEMBERS, "
+        "[personal].[gender].MEMBERS) ON ROWS FROM discri"
+    )
+    grid = benchmark(execute_mdx, cube, mdx)
+    emit("p3_mdx", f"rows: {len(grid.row_keys)}, cols: {len(grid.col_keys)}")
+    assert len(grid.row_keys) > 4
+
+
+def test_p3_oltp_point_lookup(benchmark, system, emit):
+    lookup = benchmark(system.oltp_lookup, 100)
+    emit("p3_oltp_lookup", f"visit 100 found: {lookup is not None}")
+    assert lookup is not None
+
+
+def test_p3_ingest_batch(benchmark, emit):
+    """Accumulation throughput: ingest a yearly intake into a live system."""
+    from repro.dgms.system import DDDGMS
+    from repro.discri.generator import offset_identifiers
+
+    base = DiScRiGenerator(n_patients=300, seed=61).generate()
+    batch = DiScRiGenerator(n_patients=60, seed=62).generate()
+
+    def ingest_once():
+        system = DDDGMS(base)
+        shifted = offset_identifiers(
+            batch,
+            max(system.source.column("patient_id").to_list()),
+            max(system.source.column("visit_id").to_list()),
+        )
+        system.ingest_visits(shifted)
+        return system
+
+    system = benchmark.pedantic(ingest_once, rounds=1, iterations=1)
+    patients = system.cube.grand_total(
+        {"patients": ("cardinality.patient_id", "nunique")}
+    )["patients"]
+    emit(
+        "p3_ingest",
+        f"360 patients after intake; cube sees {patients} distinct patients "
+        f"across {system.cube.flat.num_rows} attendances "
+        f"(data version {system.data_version})",
+    )
+    assert patients == 360
+
+
+def test_p3_materialized_lattice(benchmark, cube, emit):
+    """Ablation: answer the Fig 5 roll-up from a precomputed lattice node."""
+    from repro.olap.materialized import MaterializedCube
+
+    lattice = MaterializedCube(cube).materialize(
+        [["conditions.age_band10", "personal.gender", "conditions.diabetes_status"]]
+    )
+
+    def query():
+        return lattice.aggregate(
+            ["conditions.age_band10", "personal.gender"],
+            {"n": ("records", "size"), "mean_fbg": ("fbg", "mean")},
+        )
+
+    result = benchmark(query)
+    base = cube.aggregate(
+        ["conditions.age_band10", "personal.gender"],
+        {"n": ("records", "size"), "mean_fbg": ("fbg", "mean")},
+    )
+    got = {tuple(r[k] for k in ("conditions.age_band10", "personal.gender")): r["n"]
+           for r in result.to_rows()}
+    expected = {tuple(r[k] for k in ("conditions.age_band10", "personal.gender")): r["n"]
+                for r in base.to_rows()}
+    assert got == expected
+    emit(
+        "p3_materialized",
+        f"lattice: {lattice.storage_cells()} precomputed cells; "
+        f"stats: {lattice.stats.summary()}",
+    )

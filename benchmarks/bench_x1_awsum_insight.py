@@ -1,0 +1,96 @@
+"""X1 — the reflex + mid-range-glucose insight (paper §II narrative).
+
+"That approach [AWSum] identified the absence of reflex in the knees and
+ankles together with a mid-range glucose reading was unexpectedly highly
+predictive of diabetes."  This bench fits AWSum on pre-diagnosis visits
+and asserts the interaction ranks among the most surprising value pairs,
+printing the influence table a clinician would read.
+"""
+
+from repro.mining.awsum import AWSumClassifier
+
+_FEATURES = ["fbg_band", "reflex_knees_ankles", "exercise_frequency", "bmi_band"]
+
+
+def _pre_diagnosis_rows(built):
+    return [
+        row
+        for row in built.transformed.to_rows()
+        if row["diabetes_status"] == "no"
+    ]
+
+
+def test_x1_awsum_influences(benchmark, built, emit):
+    rows = _pre_diagnosis_rows(built)
+
+    def fit():
+        return AWSumClassifier(min_support=15).fit(
+            rows, "develops_diabetes", _FEATURES
+        )
+
+    model = benchmark(fit)
+    lines = ["AWSum value influences toward developing diabetes"]
+    lines.extend("  " + inf.render() for inf in model.value_influences()[:10])
+    lines.append("")
+    lines.append("most surprising interactions (joint vs parts)")
+    interactions = model.interaction_influences(top=8)
+    lines.extend("  " + inter.render() for inter in interactions)
+    emit("x1_awsum_insight", "\n".join(lines))
+
+    top_pairs = [
+        {
+            (inter.first.attribute, str(inter.first.value)),
+            (inter.second.attribute, str(inter.second.value)),
+        }
+        for inter in interactions[:4]
+    ]
+    assert any(
+        ("reflex_knees_ankles", "absent") in pair
+        and any(a == "fbg_band" and v in ("high", "preDiabetic") for a, v in pair)
+        for pair in top_pairs
+    ), "reflex+mid-glucose interaction did not surface"
+
+
+def test_x1_joint_rate_exceeds_parts(benchmark, built, emit):
+    rows = _pre_diagnosis_rows(built)
+
+    def rates():
+        def develop_rate(predicate) -> tuple[float, int]:
+            matching = [r for r in rows if predicate(r)]
+            if not matching:
+                return 0.0, 0
+            positive = sum(
+                1 for r in matching if r["develops_diabetes"] == "yes"
+            )
+            return positive / len(matching), len(matching)
+
+        return {
+            "reflexes absent + mid glucose": develop_rate(
+                lambda r: r["reflex_knees_ankles"] == "absent"
+                and r["fbg_band"] in ("high", "preDiabetic")
+            ),
+            "mid glucose only": develop_rate(
+                lambda r: r["fbg_band"] in ("high", "preDiabetic")
+                and r["reflex_knees_ankles"] == "present"
+            ),
+            "reflexes absent only": develop_rate(
+                lambda r: r["reflex_knees_ankles"] == "absent"
+                and r["fbg_band"] == "very good"
+            ),
+            "baseline": develop_rate(lambda r: True),
+        }
+
+    rates = benchmark(rates)
+    emit(
+        "x1_develop_rates",
+        "rate of later diabetes among pre-diagnosis visits\n"
+        + "\n".join(
+            f"  {label:<32} {rate:.3f} (n={n})"
+            for label, (rate, n) in rates.items()
+        ),
+    )
+    joint, __ = rates["reflexes absent + mid glucose"]
+    glucose_only, __ = rates["mid glucose only"]
+    baseline, __ = rates["baseline"]
+    assert joint > glucose_only + 0.2
+    assert joint > baseline * 2

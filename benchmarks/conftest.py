@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures: the paper-scale cohort, built once.
+
+Every bench runs on the same 900-patient / ~2500-attendance cohort
+(seed 42) so numbers are comparable across benches and across runs.
+Reproduced tables/series are printed *and* written to ``benchmarks/out/``
+so the artefacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.dgms.baseline import ClassicDGMS
+from repro.dgms.system import DDDGMS
+from repro.discri.generator import DiScRiGenerator
+from repro.discri.warehouse import DiscriWarehouse, build_discri_warehouse
+from repro.olap.cube import Cube
+
+SEED = 42
+PATIENTS = 900
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def cohort():
+    """The raw paper-scale cohort table."""
+    return DiScRiGenerator(n_patients=PATIENTS, seed=SEED).generate()
+
+
+@pytest.fixture(scope="session")
+def built(cohort) -> DiscriWarehouse:
+    """ETL + warehouse build over the cohort."""
+    return build_discri_warehouse(cohort)
+
+
+@pytest.fixture(scope="session")
+def cube(built) -> Cube:
+    """Cube over the session warehouse."""
+    c = Cube(built.warehouse)
+    c.flat  # materialise once so benches time queries, not the first build
+    return c
+
+
+@pytest.fixture(scope="session")
+def system(cohort) -> DDDGMS:
+    """A full DD-DGMS over the cohort (operational store included)."""
+    return DDDGMS(cohort)
+
+
+@pytest.fixture(scope="session")
+def classic(cohort) -> ClassicDGMS:
+    """The DG-SQL baseline over the same cohort."""
+    return ClassicDGMS(cohort)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a reproduced artefact and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        banner = f"\n===== {name} (cohort: {PATIENTS} patients, seed {SEED}) ====="
+        print(banner)
+        print(text)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit

@@ -1,0 +1,71 @@
+"""Prediction *and simulation* (DGMS phase 2), plus the trial report.
+
+Projects the screening cohort's glycaemic case mix several visit-cycles
+ahead — deterministically and by Monte-Carlo — shows a bedside patient
+timeline, and finishes by writing the full markdown trial report.
+
+Run: ``python examples/cohort_projection.py``
+"""
+
+from pathlib import Path
+
+from repro.dgms import DDDGMS, OperationalSession, StrategicSession
+from repro.dgms.report import generate_trial_report
+from repro.discri import DiScRiGenerator
+from repro.prediction import CohortSimulator
+from repro.viz import line_chart
+
+OUT = Path(__file__).parent / "out"
+
+
+def main() -> None:
+    print("Building the DD-DGMS (400 patients)...")
+    system = DDDGMS(DiScRiGenerator(n_patients=400, seed=23).generate())
+    OUT.mkdir(exist_ok=True)
+
+    # ---- a bedside timeline (operational user) ----
+    operational = OperationalSession(system, "dr_a")
+    print("\n" + operational.patient_timeline(7))
+
+    # ---- deterministic projection (strategic user) ----
+    strategic = StrategicSession(system, "planner")
+    projection = strategic.project_case_mix(periods=6)
+    print("\nExpected glycaemic case mix, 6 visit-cycles ahead:")
+    print(projection.to_text())
+
+    stages = sorted(projection.steps[0].counts)
+    print()
+    print(line_chart(
+        {stage: projection.series(stage) for stage in stages},
+        labels=[str(step.period) for step in projection.steps],
+        title="projected stage counts per period",
+    ))
+
+    # ---- Monte-Carlo bands around the projection ----
+    predictor = system.trajectory_predictor()
+    simulator = CohortSimulator(predictor.model)
+    initial = projection.steps[0].counts
+    __, bands = simulator.project_monte_carlo(
+        initial, periods=6, runs=100, seed=1
+    )
+    print("\nMonte-Carlo 10th-90th percentile bands at period 6:")
+    for stage in stages:
+        low, high = bands[stage]
+        expected = projection.final().counts[stage]
+        print(f"  {stage:<12} expected {expected:7.1f}   band [{low:.0f}, {high:.0f}]")
+
+    diabetic_growth = (
+        projection.final().counts.get("Diabetic", 0.0)
+        / max(projection.steps[0].counts.get("Diabetic", 1.0), 1.0)
+    )
+    print(f"\nDiabetic case load multiplier over the horizon: "
+          f"{diabetic_growth:.2f}x — the number a budget planner needs.")
+
+    # ---- the trial report ----
+    report_path = OUT / "trial_report.md"
+    generate_trial_report(system, path=report_path)
+    print(f"\nFull trial report written to {report_path}")
+
+
+if __name__ == "__main__":
+    main()

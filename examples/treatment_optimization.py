@@ -1,0 +1,88 @@
+"""The strategic user: treatment-regimen and screening optimisation.
+
+Paper §IV: strategic users "seek information relevant for optimising
+treatment regimen that have the best individual outcomes by reducing
+disease progression ... within the economic constraints of the current
+health care system."  Everything the optimiser consumes — group sizes,
+detection rates — comes from the warehouse, which is the architecture's
+point.
+
+Run: ``python examples/treatment_optimization.py``
+"""
+
+from repro.dgms import DDDGMS, StrategicSession
+from repro.discri import DiScRiGenerator
+from repro.optimize import RegimenProblem, TreatmentOutcome
+
+
+def main() -> None:
+    print("Building the DD-DGMS (500 patients)...")
+    system = DDDGMS(DiScRiGenerator(n_patients=500, seed=11).generate())
+    session = StrategicSession(system, "clinical_administrator")
+
+    # ---- case mix straight from the warehouse ----
+    print("\nCase mix (distinct patients):")
+    print(session.case_mix().sorted_rows().to_text(with_totals=True))
+
+    # ---- regimen optimisation under a budget ----
+    counts = (
+        system.olap().rows("bloods.fbg_band")
+        .count_distinct("cardinality.patient_id", name="patients")
+        .execute()
+    )
+    group_sizes = {
+        str(key[0]): float(counts.value(key, ("patients",)) or 0)
+        for key in counts.row_keys
+        if str(key[0]) in ("preDiabetic", "Diabetic")
+    }
+    print(f"\nIntervention groups from the warehouse: {group_sizes}")
+
+    problem = RegimenProblem(
+        group_sizes=group_sizes,
+        outcomes=[
+            TreatmentOutcome("preDiabetic", "lifestyle_program", 0.35, 110),
+            TreatmentOutcome("preDiabetic", "metformin", 0.45, 320),
+            TreatmentOutcome("Diabetic", "metformin", 0.75, 320),
+            TreatmentOutcome("Diabetic", "intensive_management", 1.05, 950),
+        ],
+        budget=60_000,
+    )
+    plan = session.plan_regimen(problem)
+    print("\nOptimal regimen:")
+    print(plan.summary())
+    print("Coverage:", {
+        group: f"{fraction:.0%}"
+        for group, fraction in plan.coverage(group_sizes).items()
+    })
+
+    # budget sensitivity: where does the next dollar go?
+    print("\nBudget sweep (optimal benefit):")
+    for budget in (20_000, 40_000, 60_000, 90_000, 130_000):
+        sweep = RegimenProblem(group_sizes, problem.outcomes, budget=budget)
+        swept = session.plan_regimen(sweep)
+        print(f"  budget {budget:>7,} -> benefit {swept.total_benefit:7.1f} "
+              f"(cost {swept.total_cost:9,.0f})")
+
+    # ---- screening allocation from warehouse detection rates ----
+    rates = session.detection_rates_from_warehouse("conditions.age_band")
+    populations = {group: total for group, (total, __) in rates.items()}
+    detection = {group: rate for group, (__, rate) in rates.items()}
+    print("\nWarehouse-derived detection rates:")
+    for group in sorted(detection):
+        print(f"  {group}: population {populations[group]:.0f}, "
+              f"diabetes rate {detection[group]:.2f}")
+
+    allocation = session.plan_screening(
+        populations, detection, capacity=sum(populations.values()) * 0.4,
+        min_slots={group: populations[group] * 0.05 for group in populations},
+    )
+    print("\nScreening allocation (40% capacity, 5% equity floors):")
+    print(allocation.summary())
+
+    print("\nSession journal:")
+    for line in session.journal:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — reproduction of *Multivariate Data-Driven Decision Guidance for
+Clinical Scientists* (Burstein, De Silva, Jelinek, Stranieri; ICDEW 2013).
+
+The library implements the full DD-DGMS stack described in the paper:
+
+* :mod:`repro.tabular` — columnar table engine (substrate, no pandas)
+* :mod:`repro.storage` — embedded OLTP storage engine with WAL + indexes
+* :mod:`repro.etl` — cleaning, discretisation, temporal abstraction,
+  cardinality
+* :mod:`repro.warehouse` — dynamic dimensional model (star/snowflake)
+* :mod:`repro.olap` — cubes, slice/dice/drill/roll-up, MDX-subset language
+* :mod:`repro.dgsql` — the classic-DGMS DG-SQL baseline
+* :mod:`repro.mining` — classifiers, clustering, association rules, AWSum
+* :mod:`repro.prediction` — similar-patient retrieval and disease-stage
+  Markov trajectories
+* :mod:`repro.optimize` — aggregate-consistency checks and treatment
+  regimen optimisation
+* :mod:`repro.knowledge` — findings, evidence accumulation, ontology and
+  guideline generation
+* :mod:`repro.viz` — terminal/SVG renderings of OLAP outcomes
+* :mod:`repro.discri` — synthetic DiScRi diabetes-screening cohort
+* :mod:`repro.dgms` — the DD-DGMS platform facade and its closed loop
+
+Start with :class:`repro.dgms.DDDGMS` or see ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

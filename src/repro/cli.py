@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — simulate a DiScRi cohort and write it as CSV;
+* ``report``   — build the DD-DGMS and write the markdown trial report;
+* ``mdx``      — run an MDX query against the cohort's cube;
+* ``figures``  — print the paper's Fig 4/5/6 reproductions.
+
+A cohort can come from ``--cohort file.csv`` (as written by ``generate``)
+or be simulated on the fly with ``--patients/--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.dgms.report import generate_trial_report
+from repro.dgms.system import DDDGMS
+from repro.discri.generator import DiScRiGenerator
+from repro.olap.operations import drill_down
+from repro.tabular.csvio import read_csv, write_csv
+from repro.tabular.table import Table
+
+
+def _add_cohort_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cohort", type=Path, default=None,
+        help="cohort CSV (as written by 'generate'); omit to simulate",
+    )
+    parser.add_argument("--patients", type=int, default=300,
+                        help="patients to simulate when no --cohort is given")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="simulation seed")
+
+
+def _load_cohort(args: argparse.Namespace) -> Table:
+    if args.cohort is not None:
+        return read_csv(args.cohort)
+    return DiScRiGenerator(n_patients=args.patients, seed=args.seed).generate()
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    cohort = DiScRiGenerator(n_patients=args.patients, seed=args.seed).generate()
+    write_csv(cohort, args.out)
+    print(
+        f"wrote {cohort.num_rows} attendances of "
+        f"{cohort.column('patient_id').n_unique()} patients "
+        f"({len(cohort.column_names)} columns) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    system = DDDGMS(_load_cohort(args))
+    generate_trial_report(system, path=args.out)
+    print(f"trial report written to {args.out}")
+    return 0
+
+
+def _cmd_mdx(args: argparse.Namespace) -> int:
+    system = DDDGMS(_load_cohort(args))
+    grid = system.mdx(args.query)
+    print(grid.to_text(with_totals=args.totals))
+    return 0
+
+
+def _cmd_dictionary(args: argparse.Namespace) -> int:
+    from repro.discri.dictionary import generate_data_dictionary
+
+    cohort = _load_cohort(args) if args.with_stats else None
+    generate_data_dictionary(cohort, path=args.out)
+    print(f"data dictionary written to {args.out}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    system = DDDGMS(_load_cohort(args))
+
+    print("Fig 4 — family history of diabetes by age group and gender")
+    fig4 = (
+        system.olap().rows("age_band").columns("gender")
+        .count_records("attendances")
+        .where("personal.family_history_diabetes", "yes")
+        .execute().sorted_rows()
+    )
+    print(fig4.to_text(with_totals=True))
+
+    print("\nFig 5 — diabetics by age band and gender (drilled to 5-year bands)")
+    coarse = (
+        system.olap().rows("age_band10").columns("gender")
+        .count_distinct("cardinality.patient_id", name="patients")
+        .where("conditions.diabetes_status", "yes").build()
+    )
+    fig5 = drill_down(coarse, system.cube, "age_band10").execute(
+        system.cube
+    ).sorted_rows()
+    print(fig5.to_text(with_totals=True))
+
+    print("\nFig 6 — years since HT diagnosis by age band (drilled)")
+    ht = (
+        system.olap().rows("age_band10").columns("ht_years_band")
+        .count_records("cases")
+        .where("conditions.hypertension", "yes").build()
+    )
+    fig6 = drill_down(ht, system.cube, "age_band10").execute(
+        system.cube
+    ).sorted_rows()
+    print(fig6.to_text(with_totals=True))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DD-DGMS: data-driven decision guidance for clinical "
+                    "scientists (ICDEW 2013 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="simulate a DiScRi cohort and write CSV"
+    )
+    generate.add_argument("--patients", type=int, default=300)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--out", type=Path, required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    report = commands.add_parser(
+        "report", help="write the markdown trial report"
+    )
+    _add_cohort_arguments(report)
+    report.add_argument("--out", type=Path, required=True)
+    report.set_defaults(func=_cmd_report)
+
+    mdx = commands.add_parser("mdx", help="run an MDX query")
+    _add_cohort_arguments(mdx)
+    mdx.add_argument("query", help="the MDX text")
+    mdx.add_argument("--totals", action="store_true",
+                     help="append row/column totals")
+    mdx.set_defaults(func=_cmd_mdx)
+
+    figures = commands.add_parser(
+        "figures", help="print the Fig 4/5/6 reproductions"
+    )
+    _add_cohort_arguments(figures)
+    figures.set_defaults(func=_cmd_figures)
+
+    dictionary = commands.add_parser(
+        "dictionary", help="write the 273-attribute data dictionary"
+    )
+    _add_cohort_arguments(dictionary)
+    dictionary.add_argument("--out", type=Path, required=True)
+    dictionary.add_argument(
+        "--with-stats", action="store_true",
+        help="include observed null rates / distinct counts from the cohort",
+    )
+    dictionary.set_defaults(func=_cmd_dictionary)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""The DD-DGMS platform (paper Fig. 2 and §IV).
+
+:class:`DDDGMS` wires every component — operational store, clinical ETL,
+dynamic warehouse, OLAP/MDX reporting, prediction, visualisation, decision
+optimisation, data analytics and the knowledge base — into the single
+closed-loop platform the paper proposes.  :mod:`repro.dgms.users` exposes
+the two user groups (operational and strategic) with their respective
+feature sets, :mod:`repro.dgms.phases` runs the four DGMS phases as an
+auditable cycle, and :mod:`repro.dgms.baseline` provides the classic
+DG-SQL-intermediated DGMS for architectural comparison.
+"""
+
+from repro.dgms.system import DDDGMS
+from repro.dgms.phases import ClosedLoop, PhaseOutcome
+from repro.dgms.users import OperationalSession, StrategicSession
+from repro.dgms.baseline import ClassicDGMS
+from repro.dgms.report import generate_trial_report
+
+__all__ = [
+    "DDDGMS",
+    "ClosedLoop",
+    "PhaseOutcome",
+    "OperationalSession",
+    "StrategicSession",
+    "ClassicDGMS",
+    "generate_trial_report",
+]

@@ -1,0 +1,170 @@
+"""The four DGMS phases as an auditable closed loop.
+
+Paper §IV: "The DGMS architecture was designed to be used in iterative
+loop-back phases.  The first phase uses the database and domain knowledge
+to define a data space from which knowledge is derived (learned).  In the
+second phase learning and domain knowledge are used for prediction and
+simulation.  Prediction and simulation outcomes are used for decision
+optimization in the third phase, while in the final phase data acquisition
+queries are used as feedback to reduce ambiguity of decisions."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.dgms.system import DDDGMS
+from repro.knowledge.findings import FindingKind
+from repro.mining.metrics import ConfusionMatrix
+from repro.mining.validation import stratified_k_fold
+from repro.optimize.regimen import RegimenProblem, TreatmentOutcome, optimize_regimen
+from repro.warehouse.feedback import FeedbackDimensionBuilder, FeedbackEntry
+
+
+@dataclass
+class PhaseOutcome:
+    """Journal entry for one phase of one cycle."""
+
+    phase: str
+    summary: str
+    details: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"{self.phase}: {self.summary}"
+
+
+class ClosedLoop:
+    """One concrete instantiation of the learn→predict→optimise→acquire loop
+    on the DiScRi warehouse: learn a diabetes model, predict next phases,
+    optimise an intervention regimen from the predicted case mix, and fold
+    the resulting risk stratification back in as a feedback dimension.
+    """
+
+    def __init__(self, system: DDDGMS, features: Sequence[str] | None = None):
+        self.system = system
+        self.features = list(
+            features
+            or ["fbg_band", "bmi_band", "reflex_knees_ankles", "age_band"]
+        )
+        self.journal: list[PhaseOutcome] = []
+
+    # ------------------------------------------------------------------
+
+    def phase_learn(self) -> PhaseOutcome:
+        """Phase 1: derive knowledge from the defined data space."""
+        rows = self.system.transformed.to_rows()
+        folds = stratified_k_fold(rows, "diabetes_status", k=3, seed=7)
+        accuracies = []
+        for train, test in folds:
+            model = self.system.classifier("diabetes_status", self.features, rows=train)
+            matrix = ConfusionMatrix(
+                [r["diabetes_status"] for r in test], model.predict_many(test)
+            )
+            accuracies.append(matrix.accuracy())
+        self.model = self.system.classifier("diabetes_status", self.features, rows=rows)
+        mean_accuracy = sum(accuracies) / len(accuracies)
+        outcome = PhaseOutcome(
+            "learn",
+            f"diabetes model on {len(self.features)} features, "
+            f"3-fold accuracy {mean_accuracy:.3f}",
+            {"accuracy": mean_accuracy, "features": list(self.features)},
+        )
+        self.journal.append(outcome)
+        return outcome
+
+    def phase_predict(self) -> PhaseOutcome:
+        """Phase 2: prediction/simulation of next glycaemic phases."""
+        predictor = self.system.trajectory_predictor()
+        distribution = predictor.model.stationary_hint()
+        progressing = {
+            stage: round(predictor.model.transition_probability(stage, "Diabetic"), 3)
+            for stage in predictor.model.states
+            if stage != "Diabetic"
+        }
+        self.predicted_mix = distribution
+        outcome = PhaseOutcome(
+            "predict",
+            "stage transitions modelled; equilibrium mix "
+            + ", ".join(f"{k}={v:.2f}" for k, v in sorted(distribution.items())),
+            {"stationary": distribution, "p_to_diabetic": progressing},
+        )
+        self.journal.append(outcome)
+        return outcome
+
+    def phase_optimize(self, budget: float = 50_000.0) -> PhaseOutcome:
+        """Phase 3: decision optimisation from the predicted case mix."""
+        counts = self.system.olap().rows("bloods.fbg_band").count_distinct(
+            "cardinality.patient_id", name="patients"
+        ).execute()
+        group_sizes = {}
+        for key in counts.row_keys:
+            label = str(key[0])
+            if label in ("preDiabetic", "Diabetic"):
+                value = counts.value(key, ("patients",))
+                group_sizes[label] = float(value or 0)
+        problem = RegimenProblem(
+            group_sizes=group_sizes,
+            outcomes=[
+                TreatmentOutcome("preDiabetic", "lifestyle_program", 0.35, 110),
+                TreatmentOutcome("preDiabetic", "metformin", 0.45, 320),
+                TreatmentOutcome("Diabetic", "metformin", 0.75, 320),
+                TreatmentOutcome("Diabetic", "intensive_management", 1.05, 950),
+            ],
+            budget=budget,
+        )
+        self.plan = optimize_regimen(problem)
+        outcome = PhaseOutcome(
+            "optimize",
+            f"regimen benefit {self.plan.total_benefit:.1f} at cost "
+            f"{self.plan.total_cost:.0f} / {budget:.0f}",
+            {"plan": self.plan.assignments},
+        )
+        self.journal.append(outcome)
+        return outcome
+
+    def phase_acquire(self) -> PhaseOutcome:
+        """Phase 4: fold the risk stratification back as feedback."""
+        model = self.model
+        builder = FeedbackDimensionBuilder("risk_stratum")
+
+        def high(row: dict) -> bool:
+            probe = {k.split(".", 1)[-1]: v for k, v in row.items()}
+            return model.predict_proba(probe).get("yes", 0.0) >= 0.7
+
+        def moderate(row: dict) -> bool:
+            probe = {k.split(".", 1)[-1]: v for k, v in row.items()}
+            return model.predict_proba(probe).get("yes", 0.0) >= 0.3
+
+        builder.add(FeedbackEntry("high", high, rationale="model P(diabetes) >= 0.7"))
+        builder.add(FeedbackEntry("moderate", moderate, rationale=">= 0.3"))
+        builder.add(FeedbackEntry("low", lambda row: True, rationale="remainder"))
+        dimension = self.system.fold_feedback(builder)
+        self.system.record_finding(
+            "loop.risk_stratum",
+            FindingKind.FEEDBACK,
+            "model-derived risk stratification folded into the warehouse",
+            source="closed_loop",
+            description=f"dimension {dimension.name!r} with {dimension.size} members",
+            weight=1.0,
+            tags=["closed-loop"],
+        )
+        outcome = PhaseOutcome(
+            "acquire",
+            f"feedback dimension {dimension.name!r} attached "
+            f"(warehouse v{self.system.warehouse.version})",
+            {"dimension": dimension.name},
+        )
+        self.journal.append(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def run_cycle(self, budget: float = 50_000.0) -> list[PhaseOutcome]:
+        """Run all four phases in order; returns the journal entries."""
+        return [
+            self.phase_learn(),
+            self.phase_predict(),
+            self.phase_optimize(budget),
+            self.phase_acquire(),
+        ]

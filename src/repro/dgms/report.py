@@ -1,0 +1,139 @@
+"""Trial report generation: one markdown artefact from a DD-DGMS instance.
+
+The end product a clinical scientist hands to a review board: cohort
+profile, the headline OLAP outcomes, temporal episode summary, mining
+highlights and the knowledge-base state — every Fig 2 feature contributes
+a section, with the warehouse version stamped for provenance.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.dgms.system import DDDGMS
+from repro.viz.heatmap import heatmap
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n{body}\n"
+
+
+def _code(text: str) -> str:
+    return f"```\n{text}\n```"
+
+
+def generate_trial_report(
+    system: DDDGMS,
+    title: str = "DiScRi trial report",
+    path: str | Path | None = None,
+) -> str:
+    """Build the report; optionally write it to ``path``.
+
+    Deterministic given the system state, so reports can be diffed across
+    warehouse versions.
+    """
+    cohort = system.source
+    patients = cohort.column("patient_id").n_unique()
+    sections: list[str] = [f"# {title}\n"]
+
+    # --- cohort profile -------------------------------------------------
+    sections.append(
+        _section(
+            "Cohort",
+            f"- attendances: **{cohort.num_rows}**\n"
+            f"- patients: **{patients}** "
+            f"({cohort.num_rows / patients:.2f} attendances/patient)\n"
+            f"- attributes: **{len(cohort.column_names) - 4}**\n"
+            f"- warehouse model version: **v{system.warehouse.version}** "
+            f"(dimensions: {', '.join(system.warehouse.dimension_names)})",
+        )
+    )
+
+    # --- ETL provenance -------------------------------------------------
+    sections.append(
+        _section(
+            "Transformation audit",
+            _code("\n".join(str(entry) for entry in system.etl_audit)),
+        )
+    )
+
+    # --- headline OLAP outcomes -----------------------------------------
+    fig5 = (
+        system.olap()
+        .rows("age_band10")
+        .columns("gender")
+        .count_distinct("cardinality.patient_id", name="patients")
+        .where("conditions.diabetes_status", "yes")
+        .execute()
+        .sorted_rows()
+    )
+    sections.append(
+        _section(
+            "Diabetic patients by age band and gender",
+            _code(fig5.to_text(with_totals=True)) + "\n\n"
+            + _code(heatmap(fig5)),
+        )
+    )
+    fig6 = (
+        system.olap()
+        .rows("age_band10")
+        .columns("ht_years_band")
+        .count_records("cases")
+        .where("conditions.hypertension", "yes")
+        .execute()
+        .sorted_rows()
+    )
+    sections.append(
+        _section(
+            "Hypertension duration by age band",
+            _code(fig6.to_text(with_totals=True)),
+        )
+    )
+
+    # --- temporal episodes ----------------------------------------------
+    episodes = system.episodes("fbg", min_support=1)
+    if episodes.num_rows:
+        by_state = episodes.groupby("state").agg(
+            episodes=("state", "size"),
+            mean_days=("duration_days", "mean"),
+        ).sort_by("state")
+        sections.append(
+            _section(
+                "Glycaemic episodes (temporal abstraction of FBG)",
+                _code(by_state.to_text()),
+            )
+        )
+
+    # --- prediction -----------------------------------------------------
+    predictor = system.trajectory_predictor()
+    transition_lines = []
+    for current in predictor.model.states:
+        distribution = predictor.model.distribution_after(current)
+        top = max(sorted(distribution), key=lambda s: distribution[s])
+        transition_lines.append(
+            f"{current:<12} -> {top:<12} (p={distribution[top]:.2f})"
+        )
+    if "Diabetic" in predictor.model.states:
+        steps = predictor.model.expected_steps_to("Diabetic")
+        transition_lines.append("")
+        transition_lines.append("expected visit-cycles until Diabetic:")
+        for state in predictor.model.states:
+            value = steps[state]
+            rendered = f"{value:.1f}" if value < 1e6 else "∞"
+            transition_lines.append(f"  from {state:<12} {rendered}")
+    sections.append(
+        _section(
+            "Most likely next glycaemic phase (per current phase)",
+            _code("\n".join(transition_lines)),
+        )
+    )
+
+    # --- knowledge base ---------------------------------------------------
+    sections.append(
+        _section("Knowledge base", _code(system.knowledge_base.describe()))
+    )
+
+    report = "\n".join(sections)
+    if path is not None:
+        Path(path).write_text(report, encoding="utf-8")
+    return report

@@ -1,0 +1,264 @@
+"""The DD-DGMS facade: every Fig 2 component behind one object."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.discri.warehouse import DiscriWarehouse, build_discri_warehouse
+from repro.knowledge.kb import KnowledgeBase
+from repro.knowledge.findings import Evidence, FindingKind
+from repro.mining.awsum import AWSumClassifier
+from repro.mining.naive_bayes import NaiveBayesClassifier
+from repro.olap.crosstab import Crosstab
+from repro.olap.cube import Cube
+from repro.olap.mdx.evaluator import execute_mdx
+from repro.olap.query import QueryBuilder
+from repro.optimize.consistency import ConsistencyReport, check_dimension_consistency
+from repro.prediction.trajectory import TrajectoryPredictor
+from repro.storage.engine import StorageEngine
+from repro.tabular.expressions import col
+from repro.tabular.table import Table
+from repro.viz.svg import crosstab_to_svg
+from repro.warehouse.feedback import FeedbackDimensionBuilder
+
+
+class DDDGMS:
+    """Data-Driven Decision Guidance Management System.
+
+    Construct from a raw visit-level source table (e.g. the output of
+    :class:`repro.discri.DiScRiGenerator`); the constructor runs the
+    clinical ETL and loads the Fig 3 warehouse.  Every paper feature is a
+    method:
+
+    ==========================  =====================================
+    paper Fig 2 component        API
+    ==========================  =====================================
+    DB / OLTP                    :attr:`operational_store`, :meth:`oltp_lookup`
+    Data warehouse               :attr:`warehouse`
+    Reporting (OLAP)             :meth:`olap`, :meth:`mdx`
+    Prediction                   :meth:`trajectory_predictor`
+    Visualisation                :meth:`visualize`
+    Decision optimisation        :meth:`check_optimum_consistency`
+    Data analytics               :meth:`isolate_cube_slice`, :meth:`awsum`
+    Knowledge base               :attr:`knowledge_base`, :meth:`record_finding`
+    Feedback loop                :meth:`fold_feedback`
+    ==========================  =====================================
+    """
+
+    def __init__(self, source: Table, promotion_threshold: float = 3.0):
+        self.source = source
+        self.operational_store = self._load_operational(source)
+        self._built: DiscriWarehouse = build_discri_warehouse(source)
+        self.warehouse = self._built.warehouse
+        self.etl_audit = self._built.etl_result.audit
+        self.cube = Cube(self.warehouse)
+        self.knowledge_base = KnowledgeBase(promotion_threshold)
+        #: feedback builders folded so far, replayed after every re-ingest
+        self._feedback_builders: list[FeedbackDimensionBuilder] = []
+        #: bumped on every ingest batch
+        self.data_version = 1
+
+    @staticmethod
+    def _load_operational(source: Table) -> StorageEngine:
+        """Mirror the raw source into the OLTP engine (the "DB" of Fig 2)."""
+        engine = StorageEngine()
+        engine.create_table(
+            "attendances", dict(source.schema), primary_key="visit_id"
+        )
+        with engine.transaction():
+            for row in source.iter_rows():
+                engine.insert("attendances", row)
+        engine.create_index("attendances", "patient_id")
+        return engine
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def oltp_lookup(self, visit_id: int) -> dict[str, object] | None:
+        """Point query on the operational store (OLTP reporting)."""
+        return self.operational_store.get_by_pk("attendances", visit_id)
+
+    def patient_history(self, patient_id: int) -> list[dict[str, object]]:
+        """All attendances of one patient, oldest first."""
+        rows = self.operational_store.find("attendances", "patient_id", patient_id)
+        rows.sort(key=lambda r: r["visit_date"])
+        return rows
+
+    def olap(self) -> QueryBuilder:
+        """Start a drag-and-drop-style OLAP query on the cube."""
+        return self.cube.query()
+
+    def mdx(self, query: str) -> Crosstab:
+        """Execute an MDX query against the cube."""
+        return execute_mdx(self.cube, query)
+
+    # ------------------------------------------------------------------
+    # Prediction / visualisation
+    # ------------------------------------------------------------------
+
+    def episodes(self, value_column: str = "fbg", min_support: int = 1) -> Table:
+        """Per-patient temporal-abstraction episodes of one measure.
+
+        Uses the clinical scheme for the measure when one exists (FBG by
+        default), giving the qualitative "patient was Diabetic from X to
+        Y" view of paper §IV's temporal abstraction.
+        """
+        from repro.discri.schemes import clinical_schemes
+        from repro.etl.temporal import episodes_table
+
+        schemes = clinical_schemes()
+        if value_column not in schemes:
+            raise ReproError(
+                f"no clinical scheme for {value_column!r} "
+                f"(have: {', '.join(sorted(schemes))})"
+            )
+        return episodes_table(
+            self.source, "patient_id", "visit_date", value_column,
+            schemes[value_column], min_support=min_support,
+        )
+
+    def trajectory_predictor(
+        self, similarity_attributes: Sequence[str] | None = None
+    ) -> TrajectoryPredictor:
+        """Time-course predictor over the transformed visit data."""
+        rows = self._built.transformed.to_rows()
+        return TrajectoryPredictor(
+            rows,
+            patient_key="patient_id",
+            order_key="visit_number",
+            stage_key="fbg_band",
+            similarity_attributes=similarity_attributes,
+        )
+
+    def visualize(self, crosstab: Crosstab, title: str, path=None) -> str:
+        """Render an OLAP outcome as SVG (paper Figs 5/6 style)."""
+        return crosstab_to_svg(crosstab, title, path)
+
+    # ------------------------------------------------------------------
+    # Decision optimisation / analytics
+    # ------------------------------------------------------------------
+
+    def check_optimum_consistency(
+        self,
+        levels: Sequence[str],
+        target: str,
+        aggregation: str = "mean",
+        direction: str = "max",
+        min_records: int = 10,
+        removable: Sequence[str] | None = None,
+    ) -> ConsistencyReport:
+        """Validate an optimal aggregate against dimension changes."""
+        return check_dimension_consistency(
+            self.warehouse,
+            levels,
+            target,
+            aggregation=aggregation,
+            direction=direction,
+            min_records=min_records,
+            removable=removable,
+        )
+
+    def isolate_cube_slice(self, **level_values: object) -> list[dict]:
+        """Dice the flattened cube and return rows for mining.
+
+        Keyword names are levels (bare attribute names are resolved);
+        values are the member to fix.  This is the paper's "cubes of data
+        ... can be isolated using OLAP and further analysed using data
+        mining algorithms".
+        """
+        flat = self.cube.flat
+        predicate = None
+        for level, value in level_values.items():
+            qualified = self.cube.check_level(level)
+            clause = col(qualified).eq(value)
+            predicate = clause if predicate is None else (predicate & clause)
+        rows = (flat.filter(predicate) if predicate is not None else flat).to_rows()
+        # strip the dimension prefixes for model-friendly keys
+        return [
+            {key.split(".", 1)[-1]: value for key, value in row.items()}
+            for row in rows
+        ]
+
+    def awsum(
+        self, target: str, features: Sequence[str], min_support: int = 10,
+        rows: list[dict] | None = None,
+    ) -> AWSumClassifier:
+        """Fit AWSum on the transformed visit data (or a supplied slice)."""
+        data = rows if rows is not None else self._built.transformed.to_rows()
+        return AWSumClassifier(min_support=min_support).fit(
+            data, target, list(features)
+        )
+
+    def classifier(
+        self, target: str, features: Sequence[str],
+        rows: list[dict] | None = None,
+    ) -> NaiveBayesClassifier:
+        """Fit the default probabilistic classifier on visit data."""
+        data = rows if rows is not None else self._built.transformed.to_rows()
+        return NaiveBayesClassifier().fit(data, target, list(features))
+
+    # ------------------------------------------------------------------
+    # Knowledge / feedback loop
+    # ------------------------------------------------------------------
+
+    def record_finding(
+        self,
+        key: str,
+        kind: FindingKind,
+        statement: str,
+        source: str,
+        description: str,
+        weight: float = 1.0,
+        tags: Sequence[str] = (),
+    ):
+        """Record an outcome as a knowledge-base finding."""
+        return self.knowledge_base.record(
+            key, kind, statement,
+            Evidence(source=source, description=description, weight=weight),
+            tags=tags,
+        )
+
+    def fold_feedback(self, builder: FeedbackDimensionBuilder):
+        """Fold clinician feedback into the warehouse as a new dimension.
+
+        The builder is remembered so its predicates replay automatically
+        after the next :meth:`ingest_visits` rebuild.
+        """
+        dimension = self.warehouse.fold_feedback(builder)
+        self._feedback_builders.append(builder)
+        self.cube.refresh()
+        return dimension
+
+    def ingest_visits(self, new_visits: Table) -> int:
+        """Accumulate a new batch of attendances (the screening clinic's
+        yearly intake) and refresh every layer.
+
+        The batch must carry the source schema with fresh ``visit_id``
+        values.  The operational store takes the rows transactionally; the
+        warehouse is rebuilt over the combined history (so cardinality
+        ordinals of returning patients stay correct) and previously folded
+        feedback dimensions are re-derived over the grown fact set.
+        Returns the number of ingested rows.
+        """
+        if new_visits.num_rows == 0:
+            return 0
+        with self.operational_store.transaction():
+            for row in new_visits.iter_rows():
+                self.operational_store.insert("attendances", row)
+        self.source = self.source.append(new_visits.select(self.source.column_names))
+        self._built = build_discri_warehouse(self.source)
+        self.warehouse = self._built.warehouse
+        self.etl_audit = self._built.etl_result.audit
+        self.cube = Cube(self.warehouse)
+        for builder in self._feedback_builders:
+            self.warehouse.fold_feedback(builder)
+        self.cube.refresh()
+        self.data_version += 1
+        return new_visits.num_rows
+
+    @property
+    def transformed(self) -> Table:
+        """The post-ETL visit table."""
+        return self._built.transformed

@@ -1,0 +1,244 @@
+"""The two user groups of paper §IV.
+
+"The first group comprises of users (operational level) interested in
+short term outcomes such as doctors investigating medication usage,
+clinical scientists seeking better means to reach diagnoses ...  The
+second group of users (strategic level) such as clinical administrators
+and policy makers seek information relevant for optimising treatment
+regimen ... within the economic constraints of the current health care
+system."
+
+Sessions expose the features each group leans on; nothing is hard-locked
+("the use of each feature is not strictly limited to a single group"),
+but the session objects make the intended workflows explicit and keep an
+activity journal for the knowledge-management cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.dgms.system import DDDGMS
+from repro.olap.crosstab import Crosstab
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.prediction.simulation import CohortProjection
+from repro.optimize.regimen import RegimenProblem, TreatmentPlan, optimize_regimen
+from repro.optimize.screening import ScreeningAllocation, allocate_screening
+
+
+class _Session:
+    """Shared journal behaviour."""
+
+    def __init__(self, system: DDDGMS, user: str):
+        self.system = system
+        self.user = user
+        self.journal: list[str] = []
+
+    def _log(self, entry: str) -> None:
+        self.journal.append(f"[{self.user}] {entry}")
+
+
+class OperationalSession(_Session):
+    """Short-term-outcome workflows: diagnosis support, medication usage."""
+
+    def medication_usage(self, medication_level: str = "pressure.bp_medication") -> Crosstab:
+        """Medication usage broken down by diabetes status."""
+        self._log(f"medication usage by {medication_level}")
+        return (
+            self.system.olap()
+            .rows(medication_level)
+            .columns("conditions.diabetes_status")
+            .count_records()
+            .execute()
+        )
+
+    def medication_panel(self) -> "Table":
+        """Usage rate of every recorded medication, split by diabetes.
+
+        The "doctors investigating medication usage" workflow across the
+        full 25-drug panel of the source data (not just the warehouse
+        dimensions): one row per medication with usage rates and the
+        diabetic/non-diabetic ratio, sorted by that ratio.
+        """
+        from repro.tabular.table import Table
+
+        source = self.system.source
+        med_columns = [
+            name for name in source.column_names
+            if name.startswith("med_")
+            and source.schema[name].value == "str"
+        ]
+        status = source.column("diabetes_status").to_list()
+        diabetic_total = sum(1 for s in status if s == "yes")
+        other_total = len(status) - diabetic_total
+        rows = []
+        for name in med_columns:
+            values = source.column(name).to_list()
+            diabetic_yes = sum(
+                1 for v, s in zip(values, status) if v == "yes" and s == "yes"
+            )
+            other_yes = sum(
+                1 for v, s in zip(values, status) if v == "yes" and s == "no"
+            )
+            diabetic_rate = diabetic_yes / max(diabetic_total, 1)
+            other_rate = other_yes / max(other_total, 1)
+            rows.append(
+                {
+                    "medication": name,
+                    "diabetic_rate": round(diabetic_rate, 4),
+                    "other_rate": round(other_rate, 4),
+                    "ratio": round(diabetic_rate / max(other_rate, 1e-9), 2),
+                }
+            )
+        self._log(f"medication panel over {len(med_columns)} drugs")
+        table = Table.from_rows(
+            rows,
+            schema={"medication": "str", "diabetic_rate": "float",
+                    "other_rate": "float", "ratio": "float"},
+        )
+        return table.sort_by("ratio", descending=True)
+
+    def diagnosis_support(self, patient_row: dict) -> tuple[str, dict[str, float]]:
+        """Predict the next glycaemic phase for a patient in front of you."""
+        predictor = self.system.trajectory_predictor()
+        outcome = predictor.predict_next_stage(patient_row)
+        self._log(
+            f"next-phase prediction for patient "
+            f"{patient_row.get('patient_id')}: {outcome[0]}"
+        )
+        return outcome
+
+    def patient_timeline(self, patient_id: int) -> str:
+        """Bedside time-course view: FBG over visits with stage labels.
+
+        The operational face of temporal abstraction — what the clinician
+        glances at before the consultation.
+        """
+        from repro.discri.schemes import FBG_SCHEME
+        from repro.viz.lines import sparkline
+
+        history = self.system.patient_history(patient_id)
+        if not history:
+            return f"patient {patient_id}: no recorded attendances"
+        dates = [row["visit_date"] for row in history]
+        fbg = [row["fbg"] for row in history]
+        stages = [
+            FBG_SCHEME.assign(value) if value is not None else "?"
+            for value in fbg
+        ]
+        lines = [
+            f"patient {patient_id}: {len(history)} attendances "
+            f"({dates[0]} … {dates[-1]})",
+            f"  FBG   {sparkline(fbg)}  "
+            + " ".join(f"{v:.1f}" if v is not None else "·" for v in fbg),
+            f"  stage {' -> '.join(stages)}",
+        ]
+        self._log(f"timeline reviewed for patient {patient_id}")
+        return "\n".join(lines)
+
+    def risk_profile(self, crosstab_levels: tuple[str, str]) -> Crosstab:
+        """Two-way distribution of diabetics for bedside discussion."""
+        rows_level, cols_level = crosstab_levels
+        self._log(f"risk profile {rows_level} × {cols_level}")
+        return (
+            self.system.olap()
+            .rows(rows_level)
+            .columns(cols_level)
+            .count_distinct("cardinality.patient_id", name="patients")
+            .where("conditions.diabetes_status", "yes")
+            .execute()
+        )
+
+
+class StrategicSession(_Session):
+    """Long-term-planning workflows: regimen and screening optimisation."""
+
+    def case_mix(self) -> Crosstab:
+        """Patient counts by condition and age band for planning."""
+        self._log("case mix by diabetes status × age band")
+        return (
+            self.system.olap()
+            .rows("conditions.age_band")
+            .columns("conditions.diabetes_status")
+            .count_distinct("cardinality.patient_id", name="patients")
+            .execute()
+        )
+
+    def plan_regimen(self, problem: RegimenProblem) -> TreatmentPlan:
+        """Solve a treatment-regimen allocation under the budget."""
+        plan = optimize_regimen(problem)
+        self._log(
+            f"regimen optimised: benefit {plan.total_benefit:.1f} within "
+            f"budget {plan.budget:g}"
+        )
+        return plan
+
+    def plan_screening(
+        self,
+        populations: Mapping[str, float],
+        detection_rates: Mapping[str, float],
+        capacity: float,
+        min_slots: Mapping[str, float] | None = None,
+    ) -> ScreeningAllocation:
+        """Allocate screening capacity across groups."""
+        allocation = allocate_screening(
+            populations, detection_rates, capacity, min_slots
+        )
+        self._log(
+            f"screening allocated: {allocation.expected_detections:.1f} "
+            f"expected detections"
+        )
+        return allocation
+
+    def project_case_mix(self, periods: int = 4) -> "CohortProjection":
+        """Simulate the cohort's glycaemic mix ``periods`` visits ahead.
+
+        The DGMS phase-2 "simulation": the current per-stage patient counts
+        (from the warehouse) are pushed through the fitted transition model
+        so capacity planning sees tomorrow's case mix, not today's.
+        """
+        from repro.prediction.simulation import CohortSimulator
+
+        predictor = self.system.trajectory_predictor()
+        counts = (
+            self.system.olap()
+            .rows("bloods.fbg_band")
+            .count_distinct("cardinality.patient_id", name="patients")
+            .execute()
+        )
+        initial = {
+            str(key[0]): float(counts.value(key, ("patients",)) or 0)
+            for key in counts.row_keys
+            if str(key[0]) in predictor.model.states
+        }
+        projection = CohortSimulator(predictor.model).project_expected(
+            initial, periods
+        )
+        self._log(f"case mix projected {periods} periods ahead")
+        return projection
+
+    def detection_rates_from_warehouse(
+        self, group_level: str = "conditions.age_band"
+    ) -> dict[str, tuple[float, float]]:
+        """Per-group (patients, diabetes rate) straight from the cube.
+
+        The warehouse feeding the optimiser is the architecture's point:
+        strategy runs on accumulated evidence, not guesses.
+        """
+        grid = (
+            self.system.olap()
+            .rows(group_level)
+            .columns("conditions.diabetes_status")
+            .count_distinct("cardinality.patient_id", name="patients")
+            .execute()
+        )
+        out: dict[str, tuple[float, float]] = {}
+        for key in grid.row_keys:
+            positive = grid.value(key, ("yes",)) or 0
+            negative = grid.value(key, ("no",)) or 0
+            total = float(positive) + float(negative)
+            if total > 0:
+                out[str(key[0])] = (total, float(positive) / total)
+        self._log(f"detection rates derived for {len(out)} groups")
+        return out

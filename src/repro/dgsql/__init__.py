@@ -1,0 +1,27 @@
+"""Mini DG-SQL — the classic-DGMS baseline the paper extends.
+
+Brodsky & Wang's DGMS (the paper's reference [4]) intermediates between
+data and decision features with DG-SQL, "an extension of SQL ... to
+support and enable the phases of operation in DGMS".  The DD-DGMS paper
+*replaces* that intermediation with a data warehouse; to compare the two
+architectures (bench P1) this package implements the baseline: a SQL
+subset over flat operational tables plus the DG extensions ``LEARN`` and
+``PREDICT`` that close the loop on the flat-store side.
+
+Supported statements::
+
+    SELECT gender, COUNT(*) AS n, AVG(fbg) AS mean_fbg
+    FROM visits WHERE age >= 40 AND diabetes = 'yes'
+    GROUP BY gender ORDER BY n DESC LIMIT 10
+
+    LEARN diabetes_model PREDICTING diabetes FROM visits
+        USING fbg, bmi, reflex_knee
+
+    PREDICT diabetes_model GIVEN fbg = 7.2, bmi = 31.0
+"""
+
+from repro.dgsql.executor import DGSQLExecutor
+from repro.dgsql.parser import parse_dgsql
+from repro.dgsql.lexer import tokenize_sql
+
+__all__ = ["DGSQLExecutor", "parse_dgsql", "tokenize_sql"]

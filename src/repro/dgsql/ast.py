@@ -1,0 +1,98 @@
+"""AST nodes for the DG-SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ColumnItem:
+    """A plain column in the select list."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """``AGG(col)``, ``COUNT(*)`` or ``COUNT(DISTINCT col)``."""
+
+    function: str                 # COUNT | SUM | AVG | MIN | MAX
+    column: str | None            # None for COUNT(*)
+    distinct: bool = False
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        target = self.column or "*"
+        prefix = "distinct_" if self.distinct else ""
+        return f"{self.function.lower()}_{prefix}{target}".replace("*", "all")
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A leaf predicate.
+
+    ``operator`` ∈ {=, <>, <, <=, >, >=, is_null, is_not_null, in,
+    between}; ``value`` holds the literal, the tuple of IN values, or the
+    (low, high) pair for BETWEEN.
+    """
+
+    column: str
+    operator: str
+    value: object = None
+
+
+@dataclass(frozen=True)
+class BoolExpr:
+    """AND/OR over conditions and nested boolean expressions."""
+
+    operator: str                 # "and" | "or"
+    operands: tuple               # Condition | BoolExpr
+
+
+WhereExpr = Condition | BoolExpr
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT."""
+
+    items: tuple
+    table: str
+    where: WhereExpr | None = None
+    group_by: tuple[str, ...] = ()
+    having: WhereExpr | None = None
+    order_by: str | None = None
+    order_desc: bool = False
+    limit: int | None = None
+    select_star: bool = False
+
+
+@dataclass(frozen=True)
+class LearnStatement:
+    """``LEARN model PREDICTING target FROM table USING features
+    [WHERE ...]`` — the optional WHERE scopes training to a subset."""
+
+    model: str
+    target: str
+    table: str
+    features: tuple[str, ...]
+    where: "WhereExpr | None" = None
+
+
+@dataclass(frozen=True)
+class PredictStatement:
+    """``PREDICT model GIVEN col = value, ...``."""
+
+    model: str
+    givens: dict[str, object] = field(default_factory=dict)
+
+
+Statement = SelectStatement | LearnStatement | PredictStatement

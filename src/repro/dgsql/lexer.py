@@ -1,0 +1,111 @@
+"""Tokenizer for the DG-SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import LexError
+
+
+class SqlTokenType(Enum):
+    """Kinds of DG-SQL tokens."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"    # = <> != < <= > >=
+    STAR = "star"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    EOF = "eof"
+
+
+SQL_KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT",
+        "AND", "OR", "IN", "BETWEEN", "HAVING",
+        "AS", "ASC", "DESC", "DISTINCT", "NULL", "TRUE", "FALSE",
+        "COUNT", "SUM", "AVG", "MIN", "MAX", "IS", "NOT",
+        "LEARN", "PREDICTING", "USING", "PREDICT", "GIVEN",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class SqlToken:
+    """One token with its source offset."""
+
+    type: SqlTokenType
+    text: str
+    position: int
+
+
+def tokenize_sql(source: str) -> list[SqlToken]:
+    """Tokenize DG-SQL text; raises :class:`LexError` on bad input."""
+    tokens: list[SqlToken] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(SqlToken(SqlTokenType.STAR, "*", i))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(SqlToken(SqlTokenType.COMMA, ",", i))
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(SqlToken(SqlTokenType.LPAREN, "(", i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(SqlToken(SqlTokenType.RPAREN, ")", i))
+            i += 1
+            continue
+        matched_op = next(
+            (op for op in _OPERATORS if source.startswith(op, i)), None
+        )
+        if matched_op:
+            tokens.append(SqlToken(SqlTokenType.OPERATOR, matched_op, i))
+            i += len(matched_op)
+            continue
+        if ch == "'":
+            end = source.find("'", i + 1)
+            if end < 0:
+                raise LexError("unterminated string literal", i)
+            tokens.append(SqlToken(SqlTokenType.STRING, source[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and source[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(SqlToken(SqlTokenType.NUMBER, source[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_."):
+                j += 1
+            word = source[i:j]
+            if word.upper() in SQL_KEYWORDS:
+                tokens.append(SqlToken(SqlTokenType.KEYWORD, word.upper(), i))
+            else:
+                tokens.append(SqlToken(SqlTokenType.IDENT, word, i))
+            i = j
+            continue
+        raise LexError(f"unexpected character {ch!r}", i)
+    tokens.append(SqlToken(SqlTokenType.EOF, "", n))
+    return tokens

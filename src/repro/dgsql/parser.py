@@ -1,0 +1,284 @@
+"""Recursive-descent parser for the DG-SQL subset."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.dgsql.ast import (
+    AggregateItem,
+    BoolExpr,
+    ColumnItem,
+    Condition,
+    LearnStatement,
+    PredictStatement,
+    SelectStatement,
+    Statement,
+    WhereExpr,
+)
+from repro.dgsql.lexer import SqlToken, SqlTokenType, tokenize_sql
+
+_AGG_KEYWORDS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+class _Parser:
+    def __init__(self, tokens: list[SqlToken]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> SqlToken:
+        return self.tokens[self.pos]
+
+    def advance(self) -> SqlToken:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, type_: SqlTokenType, text: str | None = None) -> SqlToken:
+        token = self.peek()
+        if token.type is not type_ or (text is not None and token.text != text):
+            wanted = text or type_.value
+            raise ParseError(
+                f"expected {wanted} but found {token.text or 'end of input'!r} "
+                f"at offset {token.position}"
+            )
+        return self.advance()
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.type is SqlTokenType.KEYWORD and token.text in words
+
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self.at_keyword("SELECT"):
+            statement = self.parse_select()
+        elif self.at_keyword("LEARN"):
+            statement = self.parse_learn()
+        elif self.at_keyword("PREDICT"):
+            statement = self.parse_predict()
+        else:
+            token = self.peek()
+            raise ParseError(
+                f"expected SELECT, LEARN or PREDICT, found {token.text!r}"
+            )
+        self.expect(SqlTokenType.EOF)
+        return statement
+
+    # ------------------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self.expect(SqlTokenType.KEYWORD, "SELECT")
+        select_star = False
+        items: list = []
+        if self.peek().type is SqlTokenType.STAR:
+            self.advance()
+            select_star = True
+        else:
+            items.append(self.parse_item())
+            while self.peek().type is SqlTokenType.COMMA:
+                self.advance()
+                items.append(self.parse_item())
+        self.expect(SqlTokenType.KEYWORD, "FROM")
+        table = self.expect(SqlTokenType.IDENT).text
+
+        where: WhereExpr | None = None
+        if self.at_keyword("WHERE"):
+            self.advance()
+            where = self.parse_bool_expr()
+
+        group_by: list[str] = []
+        if self.at_keyword("GROUP"):
+            self.advance()
+            self.expect(SqlTokenType.KEYWORD, "BY")
+            group_by.append(self.expect(SqlTokenType.IDENT).text)
+            while self.peek().type is SqlTokenType.COMMA:
+                self.advance()
+                group_by.append(self.expect(SqlTokenType.IDENT).text)
+
+        having: WhereExpr | None = None
+        if self.at_keyword("HAVING"):
+            if not group_by:
+                raise ParseError("HAVING requires GROUP BY")
+            self.advance()
+            having = self.parse_bool_expr()
+
+        order_by: str | None = None
+        order_desc = False
+        if self.at_keyword("ORDER"):
+            self.advance()
+            self.expect(SqlTokenType.KEYWORD, "BY")
+            order_by = self.expect(SqlTokenType.IDENT).text
+            if self.at_keyword("ASC", "DESC"):
+                order_desc = self.advance().text == "DESC"
+
+        limit: int | None = None
+        if self.at_keyword("LIMIT"):
+            self.advance()
+            limit_token = self.expect(SqlTokenType.NUMBER)
+            limit = int(limit_token.text)
+            if limit < 0:
+                raise ParseError("LIMIT must be non-negative")
+
+        return SelectStatement(
+            items=tuple(items),
+            table=table,
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=order_by,
+            order_desc=order_desc,
+            limit=limit,
+            select_star=select_star,
+        )
+
+    # boolean expression grammar: OR binds loosest, then AND, then atoms
+    def parse_bool_expr(self) -> WhereExpr:
+        operands = [self.parse_and_expr()]
+        while self.at_keyword("OR"):
+            self.advance()
+            operands.append(self.parse_and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolExpr("or", tuple(operands))
+
+    def parse_and_expr(self) -> WhereExpr:
+        operands = [self.parse_atom()]
+        while self.at_keyword("AND"):
+            self.advance()
+            operands.append(self.parse_atom())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolExpr("and", tuple(operands))
+
+    def parse_atom(self) -> WhereExpr:
+        if self.peek().type is SqlTokenType.LPAREN:
+            self.advance()
+            inner = self.parse_bool_expr()
+            self.expect(SqlTokenType.RPAREN)
+            return inner
+        return self.parse_condition()
+
+    def parse_item(self):
+        token = self.peek()
+        if token.type is SqlTokenType.KEYWORD and token.text in _AGG_KEYWORDS:
+            function = self.advance().text
+            self.expect(SqlTokenType.LPAREN)
+            distinct = False
+            column: str | None = None
+            if self.peek().type is SqlTokenType.STAR:
+                self.advance()
+                if function != "COUNT":
+                    raise ParseError(f"{function}(*) is not valid")
+            else:
+                if self.at_keyword("DISTINCT"):
+                    self.advance()
+                    distinct = True
+                column = self.expect(SqlTokenType.IDENT).text
+            self.expect(SqlTokenType.RPAREN)
+            alias = self.parse_alias()
+            return AggregateItem(function, column, distinct, alias)
+        name = self.expect(SqlTokenType.IDENT).text
+        return ColumnItem(name, self.parse_alias())
+
+    def parse_alias(self) -> str | None:
+        if self.at_keyword("AS"):
+            self.advance()
+            return self.expect(SqlTokenType.IDENT).text
+        return None
+
+    def parse_condition(self) -> Condition:
+        column = self.expect(SqlTokenType.IDENT).text
+        if self.at_keyword("IS"):
+            self.advance()
+            if self.at_keyword("NOT"):
+                self.advance()
+                self.expect(SqlTokenType.KEYWORD, "NULL")
+                return Condition(column, "is_not_null")
+            self.expect(SqlTokenType.KEYWORD, "NULL")
+            return Condition(column, "is_null")
+        if self.at_keyword("IN"):
+            self.advance()
+            self.expect(SqlTokenType.LPAREN)
+            values = [self.parse_literal()]
+            while self.peek().type is SqlTokenType.COMMA:
+                self.advance()
+                values.append(self.parse_literal())
+            self.expect(SqlTokenType.RPAREN)
+            if any(v is None for v in values):
+                raise ParseError("NULL inside an IN list never matches; drop it")
+            return Condition(column, "in", tuple(values))
+        if self.at_keyword("BETWEEN"):
+            self.advance()
+            low = self.parse_literal()
+            self.expect(SqlTokenType.KEYWORD, "AND")
+            high = self.parse_literal()
+            if low is None or high is None:
+                raise ParseError("BETWEEN bounds must not be NULL")
+            return Condition(column, "between", (low, high))
+        operator = self.expect(SqlTokenType.OPERATOR).text
+        if operator == "!=":
+            operator = "<>"
+        value = self.parse_literal()
+        return Condition(column, operator, value)
+
+    def parse_literal(self) -> object:
+        token = self.peek()
+        if token.type is SqlTokenType.NUMBER:
+            self.advance()
+            text = token.text
+            return float(text) if "." in text else int(text)
+        if token.type is SqlTokenType.STRING:
+            self.advance()
+            return token.text
+        if self.at_keyword("TRUE"):
+            self.advance()
+            return True
+        if self.at_keyword("FALSE"):
+            self.advance()
+            return False
+        if self.at_keyword("NULL"):
+            self.advance()
+            return None
+        raise ParseError(
+            f"expected a literal, found {token.text or 'end of input'!r} "
+            f"at offset {token.position}"
+        )
+
+    # ------------------------------------------------------------------
+
+    def parse_learn(self) -> LearnStatement:
+        self.expect(SqlTokenType.KEYWORD, "LEARN")
+        model = self.expect(SqlTokenType.IDENT).text
+        self.expect(SqlTokenType.KEYWORD, "PREDICTING")
+        target = self.expect(SqlTokenType.IDENT).text
+        self.expect(SqlTokenType.KEYWORD, "FROM")
+        table = self.expect(SqlTokenType.IDENT).text
+        self.expect(SqlTokenType.KEYWORD, "USING")
+        features = [self.expect(SqlTokenType.IDENT).text]
+        while self.peek().type is SqlTokenType.COMMA:
+            self.advance()
+            features.append(self.expect(SqlTokenType.IDENT).text)
+        where: WhereExpr | None = None
+        if self.at_keyword("WHERE"):
+            self.advance()
+            where = self.parse_bool_expr()
+        return LearnStatement(model, target, table, tuple(features), where)
+
+    def parse_predict(self) -> PredictStatement:
+        self.expect(SqlTokenType.KEYWORD, "PREDICT")
+        model = self.expect(SqlTokenType.IDENT).text
+        self.expect(SqlTokenType.KEYWORD, "GIVEN")
+        givens: dict[str, object] = {}
+        while True:
+            column = self.expect(SqlTokenType.IDENT).text
+            self.expect(SqlTokenType.OPERATOR, "=")
+            givens[column] = self.parse_literal()
+            if self.peek().type is SqlTokenType.COMMA:
+                self.advance()
+                continue
+            break
+        return PredictStatement(model, givens)
+
+
+def parse_dgsql(source: str) -> Statement:
+    """Parse one DG-SQL statement."""
+    return _Parser(tokenize_sql(source)).parse_statement()

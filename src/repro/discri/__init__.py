@@ -1,0 +1,52 @@
+"""Synthetic DiScRi cohort (paper §V dataset, substituted).
+
+The real Diabetes Screening Complications Research Initiative dataset
+(Jelinek, Wilding & Tinley 2006 — the paper's reference [19]) is private:
+"data on 273 attributes from over 2500 attendances of nearly 900 patients".
+This package generates a synthetic cohort of the same shape with the
+paper's observed phenomena planted, so every figure regenerates and the
+discovery workflow can be exercised end-to-end:
+
+* gender×age structure of diabetes (Fig 5) including the 70–75 male /
+  75–80 female split and the falling female share past 78;
+* the 5–10-year hypertension-duration dip inside the 70–80 bands (Fig 6);
+* the reflex+mid-range-glucose pre-diabetes interaction (§II narrative);
+* the Ewing battery with age-dependent hand-grip missingness (§V.C).
+
+See :mod:`repro.discri.phenomena` for the planted-effect parameters and
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.discri.attributes import ATTRIBUTE_GROUPS, AttributeSpec, catalog
+from repro.discri.phenomena import PhenomenaConfig
+from repro.discri.generator import DiScRiGenerator
+from repro.discri.schemes import (
+    AGE_SCHEME,
+    AGE_BAND_10_SCHEME,
+    AGE_BAND_5_SCHEME,
+    FBG_SCHEME,
+    HT_YEARS_SCHEME,
+    LYING_DBP_SCHEME,
+    TABLE1_SCHEMES,
+    clinical_schemes,
+)
+from repro.discri.warehouse import build_discri_warehouse
+from repro.discri.dictionary import generate_data_dictionary
+
+__all__ = [
+    "AttributeSpec",
+    "ATTRIBUTE_GROUPS",
+    "catalog",
+    "PhenomenaConfig",
+    "DiScRiGenerator",
+    "AGE_SCHEME",
+    "AGE_BAND_10_SCHEME",
+    "AGE_BAND_5_SCHEME",
+    "FBG_SCHEME",
+    "HT_YEARS_SCHEME",
+    "LYING_DBP_SCHEME",
+    "TABLE1_SCHEMES",
+    "clinical_schemes",
+    "build_discri_warehouse",
+    "generate_data_dictionary",
+]

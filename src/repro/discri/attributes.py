@@ -1,0 +1,487 @@
+"""The 273-attribute DiScRi catalogue.
+
+The paper: "includes over one hundred features including demographics,
+socio-economic variables, education background, clinical variables such as
+blood pressure, body-mass-index (BMI), kidney function, sensori-motor
+function as well as blood glucose levels, cholesterol profile,
+pro-inflammatory markers, oxidative stress markers and use of medication.
+Data on 273 attributes ...".
+
+Each :class:`AttributeSpec` declares its dimension group, dtype and a
+*sampler* hint the generator uses:
+
+* ``("special",)`` — computed by the generator's clinical core logic
+  (these carry the planted phenomena);
+* ``("normal", mean, sd, diabetic_shift)`` — Gaussian, shifted for
+  diabetic patients;
+* ``("choice", values, weights, diabetic_weights)`` — categorical draw,
+  optionally re-weighted for diabetics (``None`` = same weights);
+* ``("flag", base_rate, diabetic_rate)`` — yes/no indicator.
+
+The catalogue is data, not behaviour: tests assert it holds exactly 273
+attributes, matching the paper's reported width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.tabular.dtypes import DType
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One catalogued clinical attribute."""
+
+    name: str
+    group: str
+    dtype: DType
+    sampler: tuple
+
+    def is_special(self) -> bool:
+        """Whether the generator core computes this attribute."""
+        return self.sampler[0] == "special"
+
+
+def _special(name: str, group: str, dtype: str) -> AttributeSpec:
+    return AttributeSpec(name, group, DType.coerce(dtype), ("special",))
+
+
+def _normal(
+    name: str, group: str, mean: float, sd: float, shift: float = 0.0
+) -> AttributeSpec:
+    return AttributeSpec(name, group, DType.FLOAT, ("normal", mean, sd, shift))
+
+
+def _choice(
+    name: str,
+    group: str,
+    values: Sequence[str],
+    weights: Sequence[float],
+    diabetic_weights: Sequence[float] | None = None,
+) -> AttributeSpec:
+    return AttributeSpec(
+        name, group, DType.STR,
+        ("choice", tuple(values), tuple(weights),
+         tuple(diabetic_weights) if diabetic_weights else None),
+    )
+
+
+def _flag(
+    name: str, group: str, base_rate: float, diabetic_rate: float | None = None
+) -> AttributeSpec:
+    rate = diabetic_rate if diabetic_rate is not None else base_rate
+    return AttributeSpec(name, group, DType.STR, ("flag", base_rate, rate))
+
+
+_YN = ("no", "yes")
+
+
+def _personal() -> list[AttributeSpec]:
+    g = "personal"
+    return [
+        _special("gender", g, "str"),
+        _choice("education_level", g,
+                ["primary", "secondary", "trade", "tertiary"],
+                [0.15, 0.45, 0.2, 0.2]),
+        _choice("occupation_type", g,
+                ["farming", "trades", "professional", "service", "retired"],
+                [0.15, 0.15, 0.15, 0.15, 0.4]),
+        _choice("marital_status", g,
+                ["married", "widowed", "divorced", "single"],
+                [0.55, 0.2, 0.15, 0.1]),
+        _choice("smoking_status", g, ["never", "former", "current"],
+                [0.5, 0.35, 0.15], [0.4, 0.42, 0.18]),
+        _choice("alcohol_use", g, ["none", "moderate", "heavy"],
+                [0.3, 0.58, 0.12]),
+        _special("family_history_diabetes", g, "str"),
+        _flag("family_history_cvd", g, 0.3, 0.38),
+        _flag("family_history_ht", g, 0.35, 0.42),
+        _flag("indigenous_status", g, 0.04, 0.07),
+        _choice("postcode_region", g,
+                ["town", "rural", "remote"], [0.55, 0.35, 0.1]),
+        _flag("lives_alone", g, 0.25),
+        _flag("private_insurance", g, 0.45, 0.4),
+        _flag("pension_status", g, 0.5, 0.55),
+        _flag("driving_status", g, 0.85, 0.8),
+        _flag("carer_required", g, 0.08, 0.13),
+        _choice("language_at_home", g,
+                ["english", "italian", "german", "other"],
+                [0.88, 0.05, 0.03, 0.04]),
+        _normal("years_in_region", g, 25, 15),
+    ]
+
+
+def _medical_condition() -> list[AttributeSpec]:
+    g = "medical_condition"
+    return [
+        _special("age", g, "int"),
+        _special("diabetes_status", g, "str"),
+        _special("diabetes_type", g, "str"),
+        _special("years_since_diabetes", g, "float"),
+        _special("hypertension", g, "str"),
+        _special("diagnostic_ht_years", g, "float"),
+        _special("can_status", g, "str"),
+        _flag("retinopathy", g, 0.03, 0.18),
+        _flag("nephropathy", g, 0.02, 0.14),
+        _flag("neuropathy_peripheral", g, 0.05, 0.25),
+        _flag("dyslipidemia", g, 0.3, 0.55),
+        _choice("obesity_class", g, ["none", "class1", "class2", "class3"],
+                [0.6, 0.25, 0.1, 0.05], [0.35, 0.35, 0.2, 0.1]),
+        _flag("cvd_history", g, 0.12, 0.25),
+        _flag("stroke_history", g, 0.04, 0.08),
+        _flag("depression", g, 0.15, 0.22),
+        _special("arthritis", g, "str"),
+        _flag("asthma", g, 0.1),
+        _flag("copd", g, 0.07, 0.09),
+        _flag("thyroid_disorder", g, 0.08),
+        _flag("kidney_disease", g, 0.05, 0.15),
+        _flag("liver_disease", g, 0.03, 0.07),
+        _flag("cancer_history", g, 0.08),
+        _flag("foot_ulcer_history", g, 0.01, 0.08),
+        _flag("amputation_history", g, 0.002, 0.015),
+        _flag("hospitalised_last_year", g, 0.1, 0.18),
+        _normal("gp_visits_per_year", g, 5, 3, 3),
+        _special("medication_count", g, "int"),
+        _normal("falls_last_year", g, 0.3, 0.7, 0.3),
+        _flag("hearing_impairment", g, 0.18, 0.22),
+        _flag("vision_impairment", g, 0.12, 0.2),
+    ]
+
+
+def _fasting_bloods() -> list[AttributeSpec]:
+    g = "fasting_bloods"
+    return [
+        _special("fbg", g, "float"),
+        _special("hba1c", g, "float"),
+        _normal("chol_total", g, 5.2, 0.9, 0.4),
+        _normal("hdl", g, 1.4, 0.35, -0.15),
+        _normal("ldl", g, 3.0, 0.8, 0.3),
+        _normal("trig", g, 1.4, 0.6, 0.5),
+        _normal("creatinine", g, 80, 18, 8),
+        _normal("egfr", g, 80, 15, -7),
+        _normal("urea", g, 6.0, 1.6, 0.7),
+        _normal("uric_acid", g, 0.33, 0.07, 0.03),
+        _normal("albumin", g, 42, 3.5, -1),
+        _normal("total_protein", g, 72, 5, 0),
+        _normal("bilirubin", g, 10, 4, 0),
+        _normal("alt", g, 26, 10, 6),
+        _normal("ast", g, 24, 8, 4),
+        _normal("ggt", g, 30, 18, 10),
+        _normal("alp", g, 75, 20, 5),
+        _normal("sodium", g, 140, 2.2, 0),
+        _normal("potassium", g, 4.2, 0.35, 0.1),
+        _normal("chloride", g, 103, 2.5, 0),
+        _normal("bicarbonate", g, 26, 2.2, 0),
+        _normal("calcium", g, 2.35, 0.09, 0),
+        _normal("phosphate", g, 1.1, 0.15, 0),
+        _normal("magnesium", g, 0.85, 0.07, -0.03),
+        _normal("iron", g, 17, 5, -1),
+        _normal("ferritin", g, 120, 70, 25),
+        _normal("transferrin", g, 2.6, 0.4, 0),
+        _normal("b12", g, 350, 120, -20),
+        _normal("folate", g, 20, 7, -1),
+        _normal("vitamin_d", g, 65, 20, -6),
+        _normal("tsh", g, 2.0, 0.9, 0.1),
+        _normal("ft4", g, 15, 2.2, 0),
+        _normal("insulin_level", g, 9, 4, 6),
+        _normal("c_peptide", g, 0.8, 0.3, 0.3),
+        _special("homa_ir", g, "float"),
+        _normal("wbc", g, 6.5, 1.5, 0.6),
+        _normal("rbc", g, 4.7, 0.4, 0),
+        _normal("haemoglobin", g, 142, 12, -3),
+        _normal("haematocrit", g, 0.42, 0.035, 0),
+        _normal("platelets", g, 260, 55, 10),
+        _normal("esr", g, 12, 8, 4),
+        _normal("glucose_random", g, 6.2, 1.4, 2.2),
+    ]
+
+
+def _limb_health() -> list[AttributeSpec]:
+    g = "limb_health"
+    return [
+        _special("reflex_knee_left", g, "str"),
+        _special("reflex_knee_right", g, "str"),
+        _special("reflex_ankle_left", g, "str"),
+        _special("reflex_ankle_right", g, "str"),
+        _flag("monofilament_left", g, 0.06, 0.22),
+        _flag("monofilament_right", g, 0.06, 0.22),
+        _normal("vibration_left", g, 7.0, 1.2, -1.5),
+        _normal("vibration_right", g, 7.0, 1.2, -1.5),
+        _choice("pedal_pulse_left", g, ["present", "weak", "absent"],
+                [0.85, 0.12, 0.03], [0.7, 0.22, 0.08]),
+        _choice("pedal_pulse_right", g, ["present", "weak", "absent"],
+                [0.85, 0.12, 0.03], [0.7, 0.22, 0.08]),
+        _normal("foot_temperature_left", g, 30.5, 1.4, 0.4),
+        _normal("foot_temperature_right", g, 30.5, 1.4, 0.4),
+        _normal("toe_pressure_left", g, 105, 22, -14),
+        _normal("toe_pressure_right", g, 105, 22, -14),
+        _normal("abi_left", g, 1.08, 0.12, -0.08),
+        _normal("abi_right", g, 1.08, 0.12, -0.08),
+        _flag("foot_deformity", g, 0.1, 0.2),
+        _choice("skin_condition", g, ["normal", "dry", "broken"],
+                [0.7, 0.25, 0.05], [0.5, 0.38, 0.12]),
+        _choice("nail_condition", g, ["normal", "thickened", "ingrown"],
+                [0.7, 0.22, 0.08], [0.55, 0.33, 0.12]),
+        _flag("callus_present", g, 0.25, 0.35),
+        _normal("sensation_score", g, 9.0, 1.0, -1.8),
+        _normal("gait_score", g, 8.5, 1.2, -1.0),
+        _normal("balance_score", g, 8.0, 1.5, -1.2),
+        _special("grip_strength_left", g, "float"),
+        _special("grip_strength_right", g, "float"),
+        _flag("tremor_present", g, 0.06, 0.09),
+    ]
+
+
+def _exercise() -> list[AttributeSpec]:
+    g = "exercise"
+    return [
+        _choice("exercise_frequency", g,
+                ["none", "1-2/week", "3-4/week", "daily"],
+                [0.25, 0.3, 0.25, 0.2], [0.38, 0.32, 0.18, 0.12]),
+        _normal("exercise_minutes_week", g, 150, 90, -50),
+        _choice("exercise_intensity", g, ["light", "moderate", "vigorous"],
+                [0.45, 0.45, 0.1], [0.6, 0.35, 0.05]),
+        _normal("walking_minutes_day", g, 30, 18, -8),
+        _normal("sitting_hours_day", g, 6.5, 2.0, 1.0),
+        _flag("sport_participation", g, 0.2, 0.1),
+        _flag("gym_member", g, 0.15, 0.1),
+        _flag("physical_job", g, 0.2, 0.15),
+        _flag("mobility_aid", g, 0.08, 0.15),
+        _choice("exercise_tolerance", g, ["good", "fair", "poor"],
+                [0.6, 0.3, 0.1], [0.4, 0.4, 0.2]),
+        _normal("flights_stairs_daily", g, 3, 2, -1),
+        _normal("falls_risk_score", g, 2.0, 1.2, 0.8),
+    ]
+
+
+def _blood_pressure() -> list[AttributeSpec]:
+    g = "blood_pressure"
+    return [
+        _special("lying_sbp_avg", g, "float"),
+        _special("lying_dbp_avg", g, "float"),
+        _special("standing_sbp_1min", g, "float"),
+        _special("standing_dbp_1min", g, "float"),
+        _normal("standing_sbp_3min", g, 128, 14, 6),
+        _normal("standing_dbp_3min", g, 78, 9, 3),
+        _special("postural_drop_sbp", g, "float"),
+        _normal("postural_drop_dbp", g, 3, 3, 2),
+        _normal("sitting_sbp", g, 130, 15, 7),
+        _normal("sitting_dbp", g, 80, 9, 3),
+        _special("pulse_pressure", g, "float"),
+        _special("map_lying", g, "float"),
+        _special("heart_rate_lying", g, "float"),
+        _special("heart_rate_standing", g, "float"),
+        _special("bp_medication", g, "str"),
+        _normal("ambulatory_sbp_day", g, 132, 13, 6),
+        _normal("ambulatory_dbp_day", g, 81, 8, 3),
+        _normal("ambulatory_sbp_night", g, 118, 13, 7),
+        _normal("ambulatory_dbp_night", g, 70, 8, 3),
+        _flag("white_coat_effect", g, 0.15),
+    ]
+
+
+def _ecg() -> list[AttributeSpec]:
+    g = "ecg"
+    return [
+        _normal("heart_rate_ecg", g, 70, 10, 5),
+        _normal("pr_interval", g, 160, 20, 4),
+        _normal("qrs_duration", g, 92, 10, 2),
+        _normal("qt_interval", g, 390, 25, 6),
+        _normal("qtc", g, 415, 22, 9),
+        _normal("p_wave_duration", g, 105, 12, 2),
+        _special("rr_mean", g, "float"),
+        _special("sdnn", g, "float"),
+        _special("rmssd", g, "float"),
+        _normal("pnn50", g, 12, 8, -5),
+        _normal("lf_power", g, 550, 250, -170),
+        _normal("hf_power", g, 350, 180, -130),
+        _normal("lf_hf_ratio", g, 1.7, 0.7, 0.4),
+        _normal("total_power", g, 1800, 700, -450),
+        _normal("vlf_power", g, 800, 320, -150),
+        _normal("sd1", g, 22, 9, -7),
+        _normal("sd2", g, 55, 18, -12),
+        _normal("sample_entropy", g, 1.6, 0.4, -0.25),
+        _normal("approx_entropy", g, 1.1, 0.25, -0.15),
+        _normal("dfa_alpha1", g, 1.05, 0.2, -0.1),
+        _normal("dfa_alpha2", g, 0.95, 0.15, -0.03),
+        _special("ewing_hr_deep_breathing", g, "float"),
+        _special("ewing_valsalva_ratio", g, "float"),
+        _special("ewing_30_15_ratio", g, "float"),
+        _special("ewing_handgrip_dbp_rise", g, "float"),
+        _special("ewing_postural_sbp_drop", g, "float"),
+        _special("ewing_score", g, "float"),
+        _flag("st_depression", g, 0.06, 0.12),
+        _flag("t_wave_abnormal", g, 0.08, 0.15),
+        _normal("qrs_axis", g, 30, 25, 0),
+        _flag("af_present", g, 0.04, 0.07),
+        _normal("ectopic_beats", g, 3, 4, 2),
+        _flag("bundle_branch_block", g, 0.04, 0.06),
+        _flag("lvh_voltage", g, 0.07, 0.12),
+        _flag("ecg_abnormal", g, 0.15, 0.28),
+    ]
+
+
+def _medications() -> list[AttributeSpec]:
+    g = "medications"
+    return [
+        _special("med_metformin", g, "str"),
+        _special("med_insulin", g, "str"),
+        _flag("med_sulfonylurea", g, 0.01, 0.2),
+        _flag("med_dpp4", g, 0.005, 0.12),
+        _flag("med_statin", g, 0.25, 0.55),
+        _flag("med_ace_inhibitor", g, 0.2, 0.4),
+        _flag("med_arb", g, 0.12, 0.2),
+        _flag("med_beta_blocker", g, 0.12, 0.18),
+        _flag("med_ccb", g, 0.12, 0.2),
+        _flag("med_diuretic", g, 0.12, 0.18),
+        _flag("med_aspirin", g, 0.2, 0.35),
+        _flag("med_anticoagulant", g, 0.06, 0.1),
+        _flag("med_antidepressant", g, 0.12, 0.18),
+        _flag("med_nsaid", g, 0.15, 0.15),
+        _flag("med_opioid", g, 0.05, 0.07),
+        _flag("med_ppi", g, 0.2, 0.25),
+        _flag("med_thyroxine", g, 0.07, 0.08),
+        _flag("med_bronchodilator", g, 0.08, 0.09),
+        _flag("med_vitamin_supp", g, 0.3, 0.35),
+        _flag("med_fish_oil", g, 0.2, 0.22),
+        _flag("med_allopurinol", g, 0.04, 0.08),
+        _special("med_insulin_units", g, "float"),
+        _normal("med_adherence_score", g, 8.0, 1.5, -0.5),
+        _normal("med_changes_last_year", g, 0.8, 1.0, 0.6),
+        _normal("otc_medication_count", g, 1.5, 1.2, 0.3),
+    ]
+
+
+def _inflammatory() -> list[AttributeSpec]:
+    g = "inflammatory_markers"
+    return [
+        _normal("crp", g, 3.0, 2.2, 1.8),
+        _normal("hs_crp", g, 2.0, 1.5, 1.3),
+        _normal("il6", g, 2.5, 1.4, 1.2),
+        _normal("il1b", g, 0.8, 0.4, 0.25),
+        _normal("il10", g, 4.0, 1.8, -0.8),
+        _normal("tnf_alpha", g, 7.0, 3.0, 2.5),
+        _normal("fibrinogen", g, 3.2, 0.7, 0.4),
+        _normal("d_dimer", g, 0.35, 0.2, 0.1),
+        _normal("homocysteine", g, 11, 3.5, 1.5),
+        _normal("adiponectin", g, 9, 3.5, -2.5),
+        _normal("leptin", g, 12, 7, 6),
+        _normal("resistin", g, 10, 3.5, 2),
+        _normal("icam1", g, 230, 60, 45),
+        _normal("vcam1", g, 520, 130, 90),
+        _normal("e_selectin", g, 42, 15, 12),
+        _normal("p_selectin", g, 120, 35, 20),
+        _normal("mpo", g, 320, 110, 60),
+        _normal("nt_probnp", g, 110, 80, 45),
+        _normal("troponin", g, 6, 4, 2),
+        _normal("serum_amyloid_a", g, 4.5, 2.5, 1.8),
+    ]
+
+
+def _oxidative() -> list[AttributeSpec]:
+    g = "oxidative_markers"
+    return [
+        _normal("mda", g, 1.5, 0.5, 0.5),
+        _normal("ohdg_8", g, 4.2, 1.5, 1.2),
+        _normal("protein_carbonyls", g, 0.8, 0.3, 0.25),
+        _normal("gsh", g, 900, 180, -140),
+        _normal("gssg", g, 45, 14, 9),
+        _normal("gsh_gssg_ratio", g, 20, 6, -5),
+        _normal("sod_activity", g, 165, 35, -22),
+        _normal("catalase_activity", g, 95, 22, -12),
+        _normal("gpx_activity", g, 48, 11, -7),
+        _normal("total_antioxidant_capacity", g, 1.35, 0.25, -0.15),
+        _normal("f2_isoprostanes", g, 250, 80, 60),
+        _normal("nitrotyrosine", g, 25, 9, 6),
+        _normal("oxldl", g, 55, 16, 12),
+        _normal("paraoxonase", g, 120, 40, -22),
+        _normal("thiol_groups", g, 420, 80, -50),
+        _normal("ceruloplasmin", g, 300, 60, 25),
+        _normal("uric_acid_ratio", g, 1.0, 0.25, 0.1),
+        _normal("vitamin_e_level", g, 28, 7, -3),
+        _normal("vitamin_c_level", g, 55, 17, -8),
+        _normal("coq10_level", g, 0.9, 0.3, -0.12),
+    ]
+
+
+def _anthropometry() -> list[AttributeSpec]:
+    g = "anthropometry"
+    return [
+        _special("height", g, "float"),
+        _special("weight", g, "float"),
+        _special("bmi", g, "float"),
+        _special("waist_circumference", g, "float"),
+        _normal("hip_circumference", g, 103, 9, 5),
+        _special("waist_hip_ratio", g, "float"),
+        _normal("body_fat_percent", g, 30, 7, 5),
+        _normal("lean_mass", g, 50, 9, -1),
+        _normal("neck_circumference", g, 37, 3.5, 1.5),
+        _normal("mid_arm_circumference", g, 30, 3.5, 1.5),
+        _normal("calf_circumference", g, 36, 3.2, 0.5),
+        _normal("skinfold_triceps", g, 18, 6, 3),
+        _normal("skinfold_subscapular", g, 17, 6, 4),
+        _normal("bioimpedance", g, 520, 70, -20),
+        _normal("weight_change_year", g, 0.0, 2.5, 0.8),
+    ]
+
+
+def _lifestyle_diet() -> list[AttributeSpec]:
+    g = "lifestyle_diet"
+    return [
+        _normal("diet_quality_score", g, 7.0, 1.6, -1.0),
+        _normal("fruit_serves_day", g, 1.8, 0.9, -0.3),
+        _normal("vegetable_serves_day", g, 3.2, 1.3, -0.4),
+        _normal("takeaway_meals_week", g, 1.2, 1.1, 0.6),
+        _normal("sugary_drinks_week", g, 2.0, 2.2, 1.4),
+        _flag("salt_added", g, 0.35, 0.4),
+        _normal("coffee_cups_day", g, 2.0, 1.3, 0),
+        _normal("sleep_hours", g, 7.0, 1.1, -0.4),
+        _normal("sleep_quality_score", g, 7.0, 1.6, -0.8),
+        _normal("stress_score", g, 4.0, 2.0, 1.0),
+    ]
+
+
+#: Dimension-group order used by the Fig 3 star schema.
+ATTRIBUTE_GROUPS = (
+    "personal",
+    "medical_condition",
+    "fasting_bloods",
+    "limb_health",
+    "exercise",
+    "blood_pressure",
+    "ecg",
+    "medications",
+    "inflammatory_markers",
+    "oxidative_markers",
+    "anthropometry",
+    "lifestyle_diet",
+)
+
+
+def catalog() -> list[AttributeSpec]:
+    """The full 273-attribute catalogue, grouped in schema order."""
+    specs = (
+        _personal()
+        + _medical_condition()
+        + _fasting_bloods()
+        + _limb_health()
+        + _exercise()
+        + _blood_pressure()
+        + _ecg()
+        + _medications()
+        + _inflammatory()
+        + _oxidative()
+        + _anthropometry()
+        + _lifestyle_diet()
+    )
+    return specs
+
+
+def specs_by_group() -> dict[str, list[AttributeSpec]]:
+    """Catalogue split by dimension group, in group order."""
+    grouped: dict[str, list[AttributeSpec]] = {g: [] for g in ATTRIBUTE_GROUPS}
+    for spec in catalog():
+        grouped[spec.group].append(spec)
+    return grouped

@@ -1,0 +1,450 @@
+"""The DiScRi cohort simulator.
+
+Generates a wide visit-level table — one row per attendance, 273 clinical
+attributes plus the keys (``patient_id``, ``visit_id``, ``visit_date``) —
+matching the paper's reported scale ("2500 attendances of nearly 900
+patients") and planting the phenomena of :mod:`repro.discri.phenomena`.
+
+Everything is driven by one seeded :class:`random.Random`, so a given
+(seed, size) pair always yields the identical cohort.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass
+
+from repro.discri.attributes import AttributeSpec, catalog
+from repro.discri.phenomena import PhenomenaConfig
+from repro.discri.schemes import AGE_BAND_5_SCHEME
+from repro.tabular.dtypes import DType
+from repro.tabular.table import Table
+
+_STAGES = ("normal", "preDiabetic", "Diabetic")
+
+#: sampling bounds for years-since-diagnosis within each Fig 6 category
+_HT_CATEGORY_RANGES = {
+    "<2": (0.1, 2.0),
+    "2-5": (2.0, 5.0),
+    "5-10": (5.0, 10.0),
+    "10-20": (10.0, 20.0),
+    ">=20": (20.0, 32.0),
+}
+
+#: number-of-visits distribution; mean ≈ 2.8 so 900 patients ≈ 2500 visits
+_VISIT_COUNT_WEIGHTS = ((1, 0.24), (2, 0.25), (3, 0.20), (4, 0.15),
+                        (5, 0.10), (6, 0.06))
+
+
+@dataclass
+class _PatientState:
+    patient_id: int
+    gender: str
+    age_first_visit: float
+    family_history: bool
+    develops_diabetes: bool
+    stage: str
+    years_since_diabetes: float
+    hypertensive: bool
+    ht_years_at_first: float
+    arthritis: bool
+    height: float
+    bmi_base: float
+
+
+class DiScRiGenerator:
+    """Seeded simulator for the DiScRi screening cohort."""
+
+    def __init__(
+        self,
+        n_patients: int = 900,
+        seed: int = 42,
+        config: PhenomenaConfig | None = None,
+        missing_rate: float = 0.02,
+        erroneous_rate: float = 0.002,
+    ):
+        if n_patients < 1:
+            raise ValueError("n_patients must be >= 1")
+        self.n_patients = n_patients
+        self.seed = seed
+        self.config = config or PhenomenaConfig()
+        self.config.validate()
+        self.missing_rate = missing_rate
+        self.erroneous_rate = erroneous_rate
+        self.specs: list[AttributeSpec] = catalog()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def generate(self) -> Table:
+        """Simulate the cohort; returns the wide visit-level table."""
+        rng = random.Random(self.seed)
+        rows: list[dict[str, object]] = []
+        visit_id = 0
+        for patient_id in range(1, self.n_patients + 1):
+            state = self._new_patient(rng, patient_id)
+            n_visits = self._draw_visit_count(rng)
+            visit_date = _dt.date(2002, 1, 1) + _dt.timedelta(
+                days=rng.randint(0, 8 * 365)
+            )
+            years_elapsed = 0.0
+            for __ in range(n_visits):
+                visit_id += 1
+                row = self._visit_row(rng, state, visit_id, visit_date,
+                                      years_elapsed)
+                rows.append(row)
+                gap_days = rng.randint(270, 540)
+                visit_date = visit_date + _dt.timedelta(days=gap_days)
+                years_elapsed += gap_days / 365.25
+                self._progress(rng, state, gap_days / 365.25)
+        schema: dict[str, DType | str] = {
+            "patient_id": DType.INT,
+            "visit_id": DType.INT,
+            "visit_date": DType.DATE,
+        }
+        for spec in self.specs:
+            schema[spec.name] = spec.dtype
+        schema["develops_diabetes"] = DType.STR
+        return Table.from_rows(rows, schema=schema)
+
+    # ------------------------------------------------------------------
+    # Patient-level simulation
+    # ------------------------------------------------------------------
+
+    def _new_patient(self, rng: random.Random, patient_id: int) -> _PatientState:
+        gender = "F" if rng.random() < 0.55 else "M"
+        age = min(max(rng.gauss(62, 13), 22), 94)
+        # Key prevalence at the expected mid-follow-up age so the planted
+        # band pattern survives patients ageing across band edges between
+        # attendances.
+        band = AGE_BAND_5_SCHEME.assign(age + 2)
+        family_history = rng.random() < self.config.family_history_rate
+        prevalence = self.config.diabetes_prevalence[(band, gender)]
+        if family_history:
+            odds = prevalence / (1 - prevalence)
+            odds *= self.config.family_history_odds_multiplier
+            prevalence = odds / (1 + odds)
+        develops = rng.random() < prevalence
+        if develops:
+            stage = "Diabetic" if rng.random() < 0.75 else "preDiabetic"
+        else:
+            stage = "preDiabetic" if rng.random() < 0.18 else "normal"
+        years_since_diabetes = (
+            rng.uniform(0.5, 12.0) if stage == "Diabetic" else 0.0
+        )
+        ht_probability = min(
+            self.config.ht_base_rate
+            + self.config.ht_age_slope * max(age - 40, 0),
+            0.85,
+        )
+        hypertensive = rng.random() < ht_probability
+        ht_years = self._draw_ht_years(rng, band) if hypertensive else 0.0
+        arthritis_probability = min(0.12 + 0.009 * max(age - 50, 0), 0.6)
+        arthritis = rng.random() < arthritis_probability
+        height = rng.gauss(163 if gender == "F" else 176, 6.5)
+        bmi_base = max(rng.gauss(27.5, 4.2) + (2.5 if develops else 0.0), 16.5)
+        return _PatientState(
+            patient_id=patient_id,
+            gender=gender,
+            age_first_visit=age,
+            family_history=family_history,
+            develops_diabetes=develops,
+            stage=stage,
+            years_since_diabetes=years_since_diabetes,
+            hypertensive=hypertensive,
+            ht_years_at_first=ht_years,
+            arthritis=arthritis,
+            height=height,
+            bmi_base=bmi_base,
+        )
+
+    def _draw_ht_years(self, rng: random.Random, band: str) -> float:
+        """Draw years-since-HT-diagnosis so the *recorded* values land in the
+        intended Fig 6 category.
+
+        Recorded values grow by the time elapsed since the first visit
+        (~1.5 years at mid-follow-up), so the draw is shifted back by that
+        expectation; in bands where the 5–10 share is planted low the
+        neighbouring categories sample away from the 5/10 borders, otherwise
+        drift would leak 2–5 and 10–20 draws into the dip.
+        """
+        mix = self.config.ht_years_mix[band]
+        categories = list(mix)
+        weights = [mix[c] for c in categories]
+        category = rng.choices(categories, weights=weights, k=1)[0]
+        ranges = dict(_HT_CATEGORY_RANGES)
+        if mix["5-10"] <= 0.15:
+            ranges["2-5"] = (2.0, 4.0)
+            ranges["5-10"] = (5.8, 9.2)
+            ranges["10-20"] = (11.5, 20.0)
+        low, high = ranges[category]
+        return max(rng.uniform(low, high) - 1.5, 0.05)
+
+    @staticmethod
+    def _draw_visit_count(rng: random.Random) -> int:
+        counts = [c for c, __ in _VISIT_COUNT_WEIGHTS]
+        weights = [w for __, w in _VISIT_COUNT_WEIGHTS]
+        return rng.choices(counts, weights=weights, k=1)[0]
+
+    def _progress(self, rng: random.Random, state: _PatientState,
+                  years: float) -> None:
+        if state.stage == "Diabetic":
+            state.years_since_diabetes += years
+            return
+        if state.stage == "preDiabetic" and state.develops_diabetes:
+            if rng.random() < min(
+                self.config.progression_pre_to_diabetic * years, 0.9
+            ):
+                state.stage = "Diabetic"
+                state.years_since_diabetes = years / 2
+            return
+        if state.stage == "normal" and state.develops_diabetes:
+            if rng.random() < min(
+                self.config.progression_normal_to_pre * years * 3, 0.9
+            ):
+                state.stage = "preDiabetic"
+
+    # ------------------------------------------------------------------
+    # Visit-level simulation
+    # ------------------------------------------------------------------
+
+    def _visit_row(
+        self,
+        rng: random.Random,
+        state: _PatientState,
+        visit_id: int,
+        visit_date: _dt.date,
+        years_elapsed: float,
+    ) -> dict[str, object]:
+        age = state.age_first_visit + years_elapsed
+        diabetic_now = state.stage == "Diabetic"
+        row: dict[str, object] = {
+            "patient_id": state.patient_id,
+            "visit_id": visit_id,
+            "visit_date": visit_date,
+            "develops_diabetes": "yes" if state.develops_diabetes else "no",
+        }
+        special = self._special_values(rng, state, age)
+        for spec in self.specs:
+            if spec.is_special():
+                row[spec.name] = special[spec.name]
+            else:
+                row[spec.name] = self._generic_value(rng, spec, diabetic_now)
+        return row
+
+    def _generic_value(
+        self, rng: random.Random, spec: AttributeSpec, diabetic: bool
+    ) -> object:
+        if rng.random() < self.missing_rate:
+            return None
+        kind = spec.sampler[0]
+        if kind == "normal":
+            __, mean, sd, shift = spec.sampler
+            value = rng.gauss(mean + (shift if diabetic else 0.0), sd)
+            if rng.random() < self.erroneous_rate:
+                value *= rng.choice((8.0, -1.0))  # plant an implausible value
+            return round(value, 3)
+        if kind == "choice":
+            __, values, weights, diabetic_weights = spec.sampler
+            use = diabetic_weights if (diabetic and diabetic_weights) else weights
+            return rng.choices(values, weights=use, k=1)[0]
+        if kind == "flag":
+            __, base, diabetic_rate = spec.sampler
+            rate = diabetic_rate if diabetic else base
+            return "yes" if rng.random() < rate else "no"
+        raise ValueError(f"unknown sampler {kind!r} for {spec.name!r}")
+
+    def _special_values(
+        self, rng: random.Random, state: _PatientState, age: float
+    ) -> dict[str, object]:
+        config = self.config
+        stage = state.stage
+        diabetic = stage == "Diabetic"
+
+        # glycaemia
+        if stage == "normal":
+            fbg = max(rng.gauss(5.0, 0.40), 3.6)
+        elif stage == "preDiabetic":
+            fbg = rng.gauss(6.25, 0.45)
+        else:
+            fbg = max(rng.gauss(8.2, 1.2), 6.6)
+        hba1c = max(4.5 + 0.52 * fbg + rng.gauss(0, 0.35), 4.3)
+        insulin = max(rng.gauss(9 + (6 if diabetic else 0), 4), 2.0)
+        homa_ir = fbg * insulin / 22.5
+
+        # reflexes: the X1 interaction
+        if stage == "preDiabetic":
+            key = (
+                "preDiabetic_developer"
+                if state.develops_diabetes
+                else "preDiabetic_stable"
+            )
+        else:
+            key = stage
+        absent_rate = config.reflex_absent_rate[key]
+
+        def reflex() -> str:
+            if rng.random() < absent_rate:
+                return "absent"
+            return "reduced" if rng.random() < 0.15 else "present"
+
+        # CAN + Ewing battery
+        can = rng.random() < config.can_rate[
+            "Diabetic" if diabetic else ("preDiabetic" if stage == "preDiabetic" else "normal")
+        ]
+        age_decline = max(age - 40, 0) * 0.12
+        if can:
+            ewing_db = max(rng.gauss(6, 3), 0.5)
+            ewing_valsalva = max(rng.gauss(1.12, 0.10), 1.0)
+            ewing_3015 = max(rng.gauss(1.01, 0.05), 0.9)
+            ewing_handgrip = max(rng.gauss(8, 4), 0.0)
+            ewing_postural = max(rng.gauss(24, 8), 0.0)
+        else:
+            ewing_db = max(rng.gauss(19 - age_decline * 0.6, 5), 1.0)
+            ewing_valsalva = max(rng.gauss(1.65, 0.22), 1.0)
+            ewing_3015 = max(rng.gauss(1.22, 0.12), 0.9)
+            ewing_handgrip = max(rng.gauss(17, 5), 0.0)
+            ewing_postural = max(rng.gauss(6, 5), 0.0)
+        abnormal = sum(
+            (
+                ewing_db < 10,
+                ewing_valsalva < 1.2,
+                ewing_3015 < 1.04,
+                ewing_handgrip < 10,
+                ewing_postural > 20,
+            )
+        )
+        # hand-grip missingness (X2): arthritis and old age preclude the test
+        handgrip_missing_probability = config.handgrip_missing_base
+        if state.arthritis:
+            handgrip_missing_probability = config.handgrip_missing_arthritis
+        elif age >= 75:
+            handgrip_missing_probability = config.handgrip_missing_over75
+        handgrip_value: float | None = round(ewing_handgrip, 2)
+        if rng.random() < handgrip_missing_probability:
+            handgrip_value = None
+
+        # blood pressure
+        sbp = rng.gauss(124, 11) + (16 if state.hypertensive else 0)
+        dbp = rng.gauss(76, 8) + (9 if state.hypertensive else 0)
+        bp_treated = state.hypertensive and rng.random() < 0.7
+        if bp_treated:
+            sbp -= 8
+            dbp -= 4
+        standing_sbp = sbp - ewing_postural + rng.gauss(0, 3)
+        standing_dbp = dbp - rng.gauss(2, 3)
+        hr_lying = rng.gauss(68 + (5 if diabetic else 0), 9)
+        hr_standing = hr_lying + rng.gauss(8, 4)
+
+        # HRV
+        sdnn = max(rng.gauss(22 if can else 45, 8 if can else 12), 4.0)
+        rmssd = max(rng.gauss(14 if can else 32, 6 if can else 11), 3.0)
+        rr_mean = 60000.0 / max(hr_lying, 35)
+
+        # anthropometry
+        bmi = max(state.bmi_base + rng.gauss(0, 0.7) + 0.05 * years_gain(age, state), 16.0)
+        weight = bmi * (state.height / 100) ** 2
+        waist = (
+            88 if state.gender == "F" else 96
+        ) + (bmi - 27) * 2.2 + rng.gauss(0, 4)
+        hip = 103 + (bmi - 27) * 1.8 + rng.gauss(0, 4)
+        whr = waist / max(hip, 1)
+
+        # grip strength (kg): gender/age; arthritis penalty
+        grip_base = (24 if state.gender == "F" else 40) - max(age - 50, 0) * 0.25
+        if state.arthritis:
+            grip_base -= 6
+        grip_left = max(rng.gauss(grip_base, 5), 2.0)
+        grip_right = max(grip_left + rng.gauss(1.5, 2.0), 2.0)
+
+        # medications
+        med_insulin = diabetic and (
+            state.years_since_diabetes > 6 and rng.random() < 0.45
+        )
+        med_metformin = diabetic and rng.random() < (0.5 if med_insulin else 0.75)
+        medication_count = max(
+            int(rng.gauss(3 + (2.5 if diabetic else 0) + (1 if state.hypertensive else 0), 1.5)),
+            0,
+        )
+
+        return {
+            "gender": state.gender,
+            "family_history_diabetes": "yes" if state.family_history else "no",
+            "age": int(age),
+            "diabetes_status": "yes" if diabetic else "no",
+            "diabetes_type": ("type2" if rng.random() < 0.92 else "type1") if diabetic else "none",
+            "years_since_diabetes": round(state.years_since_diabetes, 2) if diabetic else 0.0,
+            "hypertension": "yes" if state.hypertensive else "no",
+            "diagnostic_ht_years": (
+                round(state.ht_years_at_first + years_gain(age, state), 2)
+                if state.hypertensive
+                else None
+            ),
+            "can_status": "yes" if can else "no",
+            "arthritis": "yes" if state.arthritis else "no",
+            "medication_count": medication_count,
+            "fbg": round(fbg, 2),
+            "hba1c": round(hba1c, 2),
+            "homa_ir": round(homa_ir, 2),
+            "reflex_knee_left": reflex(),
+            "reflex_knee_right": reflex(),
+            "reflex_ankle_left": reflex(),
+            "reflex_ankle_right": reflex(),
+            "grip_strength_left": round(grip_left, 1),
+            "grip_strength_right": round(grip_right, 1),
+            "lying_sbp_avg": round(sbp, 1),
+            "lying_dbp_avg": round(dbp, 1),
+            "standing_sbp_1min": round(standing_sbp, 1),
+            "standing_dbp_1min": round(standing_dbp, 1),
+            "postural_drop_sbp": round(sbp - standing_sbp, 1),
+            "pulse_pressure": round(sbp - dbp, 1),
+            "map_lying": round(dbp + (sbp - dbp) / 3, 1),
+            "heart_rate_lying": round(hr_lying, 1),
+            "heart_rate_standing": round(hr_standing, 1),
+            "bp_medication": "yes" if bp_treated else "no",
+            "rr_mean": round(rr_mean, 1),
+            "sdnn": round(sdnn, 1),
+            "rmssd": round(rmssd, 1),
+            "ewing_hr_deep_breathing": round(ewing_db, 2),
+            "ewing_valsalva_ratio": round(ewing_valsalva, 3),
+            "ewing_30_15_ratio": round(ewing_3015, 3),
+            "ewing_handgrip_dbp_rise": handgrip_value,
+            "ewing_postural_sbp_drop": round(ewing_postural, 2),
+            "ewing_score": round(abnormal / 5.0, 2),
+            "med_metformin": "yes" if med_metformin else "no",
+            "med_insulin": "yes" if med_insulin else "no",
+            "med_insulin_units": round(rng.gauss(38, 12), 1) if med_insulin else 0.0,
+            "height": round(state.height, 1),
+            "weight": round(weight, 1),
+            "bmi": round(bmi, 1),
+            "waist_circumference": round(waist, 1),
+            "waist_hip_ratio": round(whr, 3),
+        }
+
+
+def years_gain(age: float, state: _PatientState) -> float:
+    """Years elapsed since the patient's first visit."""
+    return max(age - state.age_first_visit, 0.0)
+
+
+def offset_identifiers(
+    table: Table, patient_offset: int, visit_offset: int
+) -> Table:
+    """Shift patient and visit ids by fixed offsets.
+
+    Lets a second simulated cohort be ingested into an existing system as
+    a fresh intake batch without id collisions (see
+    :meth:`repro.dgms.system.DDDGMS.ingest_visits`).
+    """
+    shifted = table.with_column(
+        "patient_id",
+        [pid + patient_offset for pid in table.column("patient_id").to_list()],
+        dtype="int",
+    )
+    return shifted.with_column(
+        "visit_id",
+        [vid + visit_offset for vid in table.column("visit_id").to_list()],
+        dtype="int",
+    )

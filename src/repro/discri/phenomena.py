@@ -1,0 +1,138 @@
+"""Planted-effect parameters for the synthetic DiScRi cohort.
+
+Every figure of the paper's trial is a distribution shape over the cohort;
+this module centralises the knobs that plant those shapes so benches and
+tests can reference (and ablate) them explicitly.
+
+Shapes planted:
+
+* **Fig 5** — diabetes prevalence by (5-year age band, gender):
+  prevalence rises into the 70s; males dominate 70–75 while females are
+  the majority in 75–80; the female rate then falls sharply past ~78
+  (encoded in the 80+ bands) while the male rate stays roughly level.
+* **Fig 6** — years-since-hypertension-diagnosis mix per age band, with a
+  depressed 5–10-year share inside 70–75 and 75–80.
+* **§II narrative** — absent knee/ankle reflexes combined with a
+  *mid-range* FBG (the 5.5–7 bands) is strongly predictive of diabetes on
+  the next assessment: reflexes are generated to degrade at a pre-diabetic
+  stage already.
+* **§V.C narrative** — Ewing hand-grip is frequently missing for elderly
+  patients (arthritis), and the remaining Ewing measures correlate with
+  CAN status so substitutes exist to be found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _default_diabetes_prevalence() -> dict[tuple[str, str], float]:
+    # (age_band5, gender) -> probability of (eventual) diabetes.
+    # Bands follow repro.discri.schemes.AGE_BAND_5_SCHEME labels.
+    return {
+        ("<40", "F"): 0.06, ("<40", "M"): 0.06,
+        ("40-45", "F"): 0.08, ("40-45", "M"): 0.09,
+        ("45-50", "F"): 0.10, ("45-50", "M"): 0.12,
+        ("50-55", "F"): 0.14, ("50-55", "M"): 0.16,
+        ("55-60", "F"): 0.18, ("55-60", "M"): 0.21,
+        ("60-65", "F"): 0.24, ("60-65", "M"): 0.27,
+        ("65-70", "F"): 0.28, ("65-70", "M"): 0.32,
+        # Fig 5: males dominate 70-75 ...
+        ("70-75", "F"): 0.16, ("70-75", "M"): 0.52,
+        # ... females the majority in 75-80 ...
+        ("75-80", "F"): 0.48, ("75-80", "M"): 0.20,
+        # ... and the female share collapses past ~78/80.
+        ("80-85", "F"): 0.09, ("80-85", "M"): 0.32,
+        ("85-90", "F"): 0.06, ("85-90", "M"): 0.30,
+        (">=90", "F"): 0.05, (">=90", "M"): 0.28,
+    }
+
+
+def _default_ht_years_mix() -> dict[str, dict[str, float]]:
+    # age_band5 -> probability mass over HT_YEARS_SCHEME labels.
+    base = {"<2": 0.18, "2-5": 0.27, "5-10": 0.27, "10-20": 0.20, ">=20": 0.08}
+    older = {"<2": 0.12, "2-5": 0.22, "5-10": 0.26, "10-20": 0.27, ">=20": 0.13}
+    dipped = {"<2": 0.22, "2-5": 0.30, "5-10": 0.08, "10-20": 0.27, ">=20": 0.13}
+    return {
+        "<40": base, "40-45": base, "45-50": base, "50-55": base,
+        "55-60": base, "60-65": older, "65-70": older,
+        # Fig 6: the 5-10y category drops sharply inside 70-75 and 75-80
+        "70-75": dipped, "75-80": dipped,
+        "80-85": older, "85-90": older, ">=90": older,
+    }
+
+
+@dataclass
+class PhenomenaConfig:
+    """All planted-effect knobs with the paper-faithful defaults."""
+
+    #: (age_band5, gender) -> diabetes probability (Fig 5 shape)
+    diabetes_prevalence: dict[tuple[str, str], float] = field(
+        default_factory=_default_diabetes_prevalence
+    )
+    #: age_band5 -> HT-duration category mix (Fig 6 shape)
+    ht_years_mix: dict[str, dict[str, float]] = field(
+        default_factory=_default_ht_years_mix
+    )
+    #: hypertension prevalence grows with age: base + slope*(age-40), clipped
+    ht_base_rate: float = 0.15
+    ht_age_slope: float = 0.011
+
+    #: probability an ankle/knee reflex is absent, keyed by glycaemic stage
+    #: with pre-diabetics split by whether they go on to develop diabetes —
+    #: reflexes degrading already at the pre-diabetic stage *of developers*
+    #: is what makes reflex+mid-range-glucose unexpectedly predictive of
+    #: diabetes (§II narrative)
+    reflex_absent_rate: dict[str, float] = field(
+        default_factory=lambda: {
+            "normal": 0.05,
+            "preDiabetic_developer": 0.50,
+            "preDiabetic_stable": 0.12,
+            "Diabetic": 0.55,
+        }
+    )
+
+    #: CAN (cardiac autonomic neuropathy) probability by stage
+    can_rate: dict[str, float] = field(
+        default_factory=lambda: {
+            "normal": 0.04, "preDiabetic": 0.12, "Diabetic": 0.33,
+        }
+    )
+    #: hand-grip (Ewing) missingness: base, plus arthritis/elderly penalty
+    handgrip_missing_base: float = 0.05
+    handgrip_missing_arthritis: float = 0.85
+    handgrip_missing_over75: float = 0.45
+
+    #: family history of diabetes raises diabetes odds by this factor
+    family_history_rate: float = 0.28
+    family_history_odds_multiplier: float = 1.9
+
+    #: annual probability a pre-diabetic progresses to diabetic, and a
+    #: normoglycaemic to pre-diabetic, between attendances
+    progression_pre_to_diabetic: float = 0.16
+    progression_normal_to_pre: float = 0.08
+
+    def validate(self) -> None:
+        """Check all probabilities are in range."""
+        def check(name: str, p: float) -> None:
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} = {p} is not a probability")
+
+        for key, p in self.diabetes_prevalence.items():
+            check(f"diabetes_prevalence[{key}]", p)
+        for band, mix in self.ht_years_mix.items():
+            total = sum(mix.values())
+            if abs(total - 1.0) > 1e-6:
+                raise ValueError(
+                    f"ht_years_mix[{band!r}] sums to {total}, expected 1"
+                )
+        for stage, p in self.reflex_absent_rate.items():
+            check(f"reflex_absent_rate[{stage}]", p)
+        for stage, p in self.can_rate.items():
+            check(f"can_rate[{stage}]", p)
+        check("handgrip_missing_base", self.handgrip_missing_base)
+        check("handgrip_missing_arthritis", self.handgrip_missing_arthritis)
+        check("handgrip_missing_over75", self.handgrip_missing_over75)
+        check("family_history_rate", self.family_history_rate)
+        check("progression_pre_to_diabetic", self.progression_pre_to_diabetic)
+        check("progression_normal_to_pre", self.progression_normal_to_pre)

@@ -1,0 +1,71 @@
+"""Clinical discretisation schemes — paper Table I plus the drill bands.
+
+The four schemes of Table I are transcribed verbatim; the 10-year and
+5-year age bands drive the Fig 5/6 drill-down hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.etl.discretization import DiscretizationScheme
+
+#: Table I row 1 — "Participant's age on test date": <40, 40-60, 60-80, >80
+AGE_SCHEME = DiscretizationScheme.from_cut_points("Age", [40, 60, 80])
+
+#: Table I row 2 — years since hypertension diagnosis:
+#: <2, 2-5, 5-10, 10-20, >20
+HT_YEARS_SCHEME = DiscretizationScheme.from_cut_points(
+    "DiagnosticHTYears", [2, 5, 10, 20]
+)
+
+#: Table I row 3 — fasting blood glucose:
+#: <5.5 very good, 5.5-6.1 high, 6.1-7 preDiabetic, >=7 Diabetic
+FBG_SCHEME = DiscretizationScheme.from_cut_points(
+    "FBG", [5.5, 6.1, 7.0],
+    labels=["very good", "high", "preDiabetic", "Diabetic"],
+)
+
+#: Table I row 4 — lying diastolic blood pressure:
+#: <60 low, 60-80 normal, 80-90 high normal, >90 hypertension
+LYING_DBP_SCHEME = DiscretizationScheme.from_cut_points(
+    "LyingDBPAverage", [60, 80, 90],
+    labels=["low", "normal", "high normal", "hypertension"],
+)
+
+#: The paper's Table I, keyed by the attribute it discretises.
+TABLE1_SCHEMES = {
+    "age": AGE_SCHEME,
+    "diagnostic_ht_years": HT_YEARS_SCHEME,
+    "fbg": FBG_SCHEME,
+    "lying_dbp_avg": LYING_DBP_SCHEME,
+}
+
+#: 10-year age bands — the coarse level of the Fig 5/6 drill hierarchy.
+AGE_BAND_10_SCHEME = DiscretizationScheme.from_cut_points(
+    "AgeBand10", [40, 50, 60, 70, 80, 90]
+)
+
+#: 5-year age bands — the fine level exposed by drill-down.
+AGE_BAND_5_SCHEME = DiscretizationScheme.from_cut_points(
+    "AgeBand5", [40, 45, 50, 55, 60, 65, 70, 75, 80, 85, 90]
+)
+
+#: BMI per WHO bands — used by the trial beyond Table I.
+BMI_SCHEME = DiscretizationScheme.from_cut_points(
+    "BMI", [18.5, 25, 30],
+    labels=["underweight", "normal", "overweight", "obese"],
+)
+
+#: Total cholesterol (mmol/L).
+CHOLESTEROL_SCHEME = DiscretizationScheme.from_cut_points(
+    "TotalCholesterol", [5.5, 6.5],
+    labels=["desirable", "borderline", "high"],
+)
+
+
+def clinical_schemes() -> dict[str, DiscretizationScheme]:
+    """All clinician-supplied schemes keyed by source attribute."""
+    return {
+        **TABLE1_SCHEMES,
+        "bmi": BMI_SCHEME,
+        "chol_total": CHOLESTEROL_SCHEME,
+    }

@@ -1,0 +1,200 @@
+"""Exception hierarchy for the DD-DGMS library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subsystems raise the
+most specific subclass available; error messages name the offending object
+(column, dimension, token, ...) so failures are actionable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+# --------------------------------------------------------------------------
+# Tabular substrate
+# --------------------------------------------------------------------------
+
+class TabularError(ReproError):
+    """Base class for errors from the columnar table engine."""
+
+
+class ColumnNotFoundError(TabularError, KeyError):
+    """A referenced column does not exist in the table."""
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        self.name = name
+        self.available = list(available) if available is not None else None
+        message = f"column {name!r} not found"
+        if self.available is not None:
+            message += f" (available: {', '.join(self.available)})"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0]
+
+
+class DTypeError(TabularError, TypeError):
+    """A value or operation is incompatible with a column's dtype."""
+
+
+class SchemaMismatchError(TabularError):
+    """Two tables (or a table and incoming rows) have incompatible schemas."""
+
+
+class LengthMismatchError(TabularError, ValueError):
+    """Columns of differing lengths were combined into one table."""
+
+
+# --------------------------------------------------------------------------
+# Storage engine
+# --------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for embedded storage-engine errors."""
+
+
+class TableExistsError(StorageError):
+    """Attempt to create a table that already exists."""
+
+
+class TableNotFoundError(StorageError, KeyError):
+    """A referenced stored table does not exist."""
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class TransactionError(StorageError):
+    """Invalid transaction state (e.g. commit without begin)."""
+
+
+class IntegrityError(StorageError):
+    """A constraint (primary key, foreign key, not-null) was violated."""
+
+
+# --------------------------------------------------------------------------
+# ETL / transformation
+# --------------------------------------------------------------------------
+
+class ETLError(ReproError):
+    """Base class for data-transformation errors."""
+
+
+class CleaningError(ETLError):
+    """A cleaning policy could not be applied."""
+
+
+class DiscretizationError(ETLError):
+    """A discretisation scheme is malformed or cannot bin the data."""
+
+
+class TemporalAbstractionError(ETLError):
+    """Temporal abstraction failed (bad intervals, conflicting states)."""
+
+
+class AbstractionConflictError(TemporalAbstractionError):
+    """Two temporal abstractions assign contradictory states to one span."""
+
+
+# --------------------------------------------------------------------------
+# Warehouse
+# --------------------------------------------------------------------------
+
+class WarehouseError(ReproError):
+    """Base class for dimensional-model errors."""
+
+
+class DimensionError(WarehouseError):
+    """A dimension is malformed or a member lookup failed."""
+
+
+class UnknownMemberError(DimensionError, KeyError):
+    """A natural key has no member row in the dimension."""
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class GrainViolationError(WarehouseError):
+    """A fact row does not match the declared grain of the fact table."""
+
+
+class HierarchyError(WarehouseError):
+    """A hierarchy level is unknown or levels are ill-ordered."""
+
+
+# --------------------------------------------------------------------------
+# OLAP / query languages
+# --------------------------------------------------------------------------
+
+class OLAPError(ReproError):
+    """Base class for cube/query errors."""
+
+
+class UnknownLevelError(OLAPError, KeyError):
+    """A referenced dimension attribute/level is not in the cube."""
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class UnknownMeasureError(OLAPError, KeyError):
+    """A referenced measure is not in the cube."""
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class QueryLanguageError(ReproError):
+    """Base class for MDX / DG-SQL language errors."""
+
+
+class LexError(QueryLanguageError):
+    """Tokenisation failed; message carries position and offending text."""
+
+    def __init__(self, message: str, position: int):
+        self.position = position
+        super().__init__(f"{message} (at offset {position})")
+
+
+class ParseError(QueryLanguageError):
+    """Parsing failed; message carries the unexpected token."""
+
+
+class EvaluationError(QueryLanguageError):
+    """A syntactically valid query referenced unknown objects or misused them."""
+
+
+# --------------------------------------------------------------------------
+# Mining / prediction / optimisation
+# --------------------------------------------------------------------------
+
+class MiningError(ReproError):
+    """Base class for data-analytics errors."""
+
+
+class NotFittedError(MiningError, RuntimeError):
+    """A model was used before ``fit`` was called."""
+
+
+class PredictionError(ReproError):
+    """Base class for trajectory/time-course prediction errors."""
+
+
+class OptimizationError(ReproError):
+    """Decision-optimisation problem is infeasible or malformed."""
+
+
+# --------------------------------------------------------------------------
+# Knowledge base
+# --------------------------------------------------------------------------
+
+class KnowledgeBaseError(ReproError):
+    """Base class for knowledge-base errors."""
+
+
+class PromotionError(KnowledgeBaseError):
+    """A finding does not meet the evidence threshold for promotion."""

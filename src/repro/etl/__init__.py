@@ -1,0 +1,72 @@
+"""Data transformation (paper §IV, "Data Transformation").
+
+The paper singles out three clinical-specific ETL concerns beyond generic
+integration, all implemented here:
+
+* **Discretisation** (:mod:`repro.etl.discretization`) — clinical schemes
+  supplied by domain experts (paper Table I) plus algorithmic fallbacks:
+  equal-width / equal-frequency (unsupervised), MDLP (top-down entropy) and
+  ChiMerge (bottom-up chi-square), per the paper's reference [17].
+* **Temporal abstraction** (:mod:`repro.etl.temporal`) — qualitative
+  state/trend descriptions derived from time-stamped measures, with
+  conflict detection between abstractions.
+* **Cardinality** (:mod:`repro.etl.cardinality`) — visit-level abstraction
+  that distinguishes repeat attendances of the same patient.
+
+:mod:`repro.etl.cleaning` handles missing/erroneous values, and
+:mod:`repro.etl.pipeline` composes steps with an audit trail.
+"""
+
+from repro.etl.cleaning import (
+    CleaningReport,
+    MissingValuePolicy,
+    RangeRule,
+    clean_table,
+)
+from repro.etl.discretization import (
+    Bin,
+    ChiMergeDiscretizer,
+    DiscretizationScheme,
+    EqualFrequencyDiscretizer,
+    EqualWidthDiscretizer,
+    MDLPDiscretizer,
+    discretize_column,
+)
+from repro.etl.temporal import (
+    Interval,
+    StateAbstraction,
+    TrendAbstraction,
+    abstract_states,
+    abstract_trends,
+    cross_measure_conflicts,
+    episodes_table,
+    find_conflicts,
+)
+from repro.etl.cardinality import assign_cardinality, visit_counts
+from repro.etl.pipeline import Pipeline, TransformStep
+
+__all__ = [
+    "CleaningReport",
+    "MissingValuePolicy",
+    "RangeRule",
+    "clean_table",
+    "Bin",
+    "DiscretizationScheme",
+    "EqualWidthDiscretizer",
+    "EqualFrequencyDiscretizer",
+    "MDLPDiscretizer",
+    "ChiMergeDiscretizer",
+    "discretize_column",
+    "Interval",
+    "StateAbstraction",
+    "TrendAbstraction",
+    "abstract_states",
+    "abstract_trends",
+    "cross_measure_conflicts",
+    "episodes_table",
+    "find_conflicts",
+    "assign_cardinality",
+    "visit_counts",
+    "Pipeline",
+    "TransformStep",
+]

@@ -1,0 +1,71 @@
+"""Cardinality: visit-level abstraction over repeat attendances.
+
+The paper (§IV.3): "Cardinality is temporal abstraction applied to a group
+of variables that have a contextual association ... the actual measurements
+are candidates for temporal abstraction while cardinality is used to
+identify each individual test."  In the DiScRi warehouse this becomes a
+dedicated dimension: every visit carries its ordinal position in that
+patient's attendance history, letting queries distinguish *records* from
+*patients* (paper §V.B).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ETLError
+from repro.tabular.table import Table
+
+
+def assign_cardinality(
+    table: Table,
+    patient_key: str,
+    date_column: str,
+    output: str = "visit_number",
+) -> Table:
+    """Add a 1-based visit ordinal per patient, ordered by visit date.
+
+    Ties on the same date are broken by original row order (stable), so
+    re-running on the same table is deterministic.  Null dates raise —
+    a visit without a date cannot be sequenced and should have been
+    repaired or dropped by cleaning first.
+    """
+    if table.num_rows == 0:
+        return table.with_column(output, [], dtype="int")
+    patients = table.column(patient_key).to_list()
+    dates = table.column(date_column).to_list()
+    if any(d is None for d in dates):
+        raise ETLError(
+            f"cannot assign cardinality: null values in {date_column!r}; "
+            "clean the data first"
+        )
+    if any(p is None for p in patients):
+        raise ETLError(
+            f"cannot assign cardinality: null values in {patient_key!r}"
+        )
+    order: dict[object, list[tuple[object, int]]] = {}
+    for i, (p, d) in enumerate(zip(patients, dates)):
+        order.setdefault(p, []).append((d, i))
+    ordinal = [0] * table.num_rows
+    for visits in order.values():
+        visits.sort(key=lambda pair: (pair[0], pair[1]))
+        for n, (_, i) in enumerate(visits, start=1):
+            ordinal[i] = n
+    return table.with_column(output, ordinal, dtype="int")
+
+
+def visit_counts(table: Table, patient_key: str) -> dict[object, int]:
+    """Number of recorded visits per patient."""
+    return table.column(patient_key).value_counts()
+
+
+def first_visit_only(table: Table, patient_key: str, date_column: str) -> Table:
+    """Restrict to each patient's earliest attendance.
+
+    Useful for patient-level (rather than record-level) analyses; the
+    complement of what the cardinality dimension enables inside the cube.
+    """
+    with_ordinal = assign_cardinality(
+        table, patient_key, date_column, output="__visit_ordinal"
+    )
+    from repro.tabular.expressions import col
+
+    return with_ordinal.filter(col("__visit_ordinal").eq(1)).drop("__visit_ordinal")

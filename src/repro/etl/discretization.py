@@ -1,0 +1,429 @@
+"""Discretisation of continuous clinical measures.
+
+Two routes, exactly as the paper prescribes (§IV.1): a *clinical scheme*
+provided by a domain expert ("in most circumstances the discretisation
+criteria is determined by clinicians"), or an *algorithmic* discretiser
+when expertise is unavailable.  The algorithmic ones follow Kotsiantis &
+Kanellopoulos (the paper's reference [17]): the generic four-step loop of
+sort → evaluate cut point → split/merge → terminate, instantiated as
+
+* :class:`EqualWidthDiscretizer` / :class:`EqualFrequencyDiscretizer`
+  (unsupervised),
+* :class:`MDLPDiscretizer` — Fayyad–Irani top-down entropy splitting with
+  the MDL stopping criterion (supervised),
+* :class:`ChiMergeDiscretizer` — Kerber bottom-up interval merging by
+  chi-square independence (supervised).
+
+All of them produce a :class:`DiscretizationScheme`, the same object a
+clinician-supplied scheme uses, so downstream code never cares which route
+produced the bins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DiscretizationError
+
+
+@dataclass(frozen=True)
+class Bin:
+    """One interval of a scheme: [low, high) with a human-readable label.
+
+    ``low=None`` means open on the left (``< high``); ``high=None`` open on
+    the right (``>= low``).  Bounds are inclusive-low / exclusive-high so
+    adjacent bins tile the line without overlap.
+    """
+
+    label: str
+    low: float | None
+    high: float | None
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` falls in this bin."""
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value >= self.high:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """Render as the paper writes them, e.g. ``40-60``, ``<40``, ``>=7``."""
+        if self.low is None and self.high is None:
+            return "any"
+        if self.low is None:
+            return f"<{_fmt(self.high)}"
+        if self.high is None:
+            return f">={_fmt(self.low)}"
+        return f"{_fmt(self.low)}-{_fmt(self.high)}"
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "?"
+    return str(int(value)) if float(value).is_integer() else f"{value:g}"
+
+
+class DiscretizationScheme:
+    """An ordered, non-overlapping set of bins covering the real line.
+
+    Construct directly from bins, or use :meth:`from_cut_points` which is
+    how the paper's Table I schemes are expressed (a list of thresholds plus
+    optional labels).
+    """
+
+    def __init__(self, name: str, bins: Sequence[Bin]):
+        if not bins:
+            raise DiscretizationError(f"scheme {name!r} has no bins")
+        self.name = name
+        self.bins = list(bins)
+        self._validate()
+
+    @classmethod
+    def from_cut_points(
+        cls,
+        name: str,
+        cut_points: Sequence[float],
+        labels: Sequence[str] | None = None,
+    ) -> "DiscretizationScheme":
+        """Build ``len(cut_points)+1`` bins from ascending thresholds.
+
+        With ``cut_points=[40, 60, 80]`` the bins are ``<40``, ``40-60``,
+        ``60-80`` and ``>=80``.  ``labels`` (when given) must have exactly
+        one entry per bin; otherwise the interval renderings are used.
+        """
+        points = list(cut_points)
+        if points != sorted(points) or len(set(points)) != len(points):
+            raise DiscretizationError(
+                f"cut points for {name!r} must be strictly ascending, "
+                f"got {points}"
+            )
+        if not points:
+            raise DiscretizationError(f"scheme {name!r} needs at least one cut point")
+        edges: list[tuple[float | None, float | None]] = []
+        edges.append((None, points[0]))
+        for low, high in zip(points, points[1:]):
+            edges.append((low, high))
+        edges.append((points[-1], None))
+        if labels is not None and len(labels) != len(edges):
+            raise DiscretizationError(
+                f"scheme {name!r} has {len(edges)} bins but {len(labels)} labels"
+            )
+        bins = []
+        for i, (low, high) in enumerate(edges):
+            placeholder = Bin("", low, high)
+            label = labels[i] if labels is not None else placeholder.describe()
+            bins.append(Bin(label, low, high))
+        return cls(name, bins)
+
+    def _validate(self) -> None:
+        for first, second in zip(self.bins, self.bins[1:]):
+            if first.high is None or second.low is None or first.high != second.low:
+                raise DiscretizationError(
+                    f"scheme {self.name!r}: bins {first.label!r} and "
+                    f"{second.label!r} do not tile contiguously"
+                )
+        labels = [b.label for b in self.bins]
+        if len(set(labels)) != len(labels):
+            raise DiscretizationError(
+                f"scheme {self.name!r} has duplicate bin labels"
+            )
+
+    @property
+    def labels(self) -> list[str]:
+        """Bin labels in interval order."""
+        return [b.label for b in self.bins]
+
+    @property
+    def cut_points(self) -> list[float]:
+        """The interior thresholds."""
+        return [b.high for b in self.bins if b.high is not None]
+
+    def assign(self, value: float | None) -> str | None:
+        """Label for one value (``None`` stays ``None``)."""
+        if value is None:
+            return None
+        if isinstance(value, float) and math.isnan(value):
+            return None
+        for bin_ in self.bins:
+            if bin_.contains(float(value)):
+                return bin_.label
+        raise DiscretizationError(
+            f"scheme {self.name!r} does not cover value {value!r}"
+        )
+
+    def assign_many(self, values: Sequence[float | None]) -> list[str | None]:
+        """Vector form of :meth:`assign`."""
+        return [self.assign(v) for v in values]
+
+    def occupancy(self, values: Sequence[float | None]) -> dict[str, int]:
+        """How many of ``values`` land in each bin (label → count)."""
+        counts = {label: 0 for label in self.labels}
+        for v in values:
+            label = self.assign(v)
+            if label is not None:
+                counts[label] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{b.label}={b.describe()}" for b in self.bins)
+        return f"DiscretizationScheme({self.name!r}: {parts})"
+
+
+def discretize_column(
+    values: Sequence[float | None], scheme: DiscretizationScheme
+) -> list[str | None]:
+    """Convenience wrapper used by the ETL pipeline."""
+    return scheme.assign_many(values)
+
+
+# ---------------------------------------------------------------------------
+# Algorithmic discretisers
+# ---------------------------------------------------------------------------
+
+def _present(values: Sequence[float | None]) -> np.ndarray:
+    data = np.array(
+        [v for v in values if v is not None and not (isinstance(v, float) and math.isnan(v))],
+        dtype=np.float64,
+    )
+    if len(data) == 0:
+        raise DiscretizationError("cannot fit a discretiser on all-null data")
+    return data
+
+
+class EqualWidthDiscretizer:
+    """Unsupervised: ``n_bins`` intervals of equal width over the range."""
+
+    def __init__(self, n_bins: int = 4):
+        if n_bins < 2:
+            raise DiscretizationError("need at least 2 bins")
+        self.n_bins = n_bins
+
+    def fit(self, values: Sequence[float | None], name: str = "equal_width") -> DiscretizationScheme:
+        """Compute cut points and return the resulting scheme."""
+        data = _present(values)
+        low, high = float(data.min()), float(data.max())
+        if low == high:
+            raise DiscretizationError(
+                f"all values equal ({low}); nothing to discretise"
+            )
+        width = (high - low) / self.n_bins
+        cuts: list[float] = []
+        for i in range(1, self.n_bins):
+            cut = low + width * i
+            # Guard against float underflow on pathologically narrow ranges,
+            # which would otherwise produce duplicate (non-ascending) cuts.
+            if (not cuts or cut > cuts[-1]) and low < cut < high:
+                cuts.append(cut)
+        if not cuts:
+            raise DiscretizationError(
+                f"value range [{low}, {high}] too narrow to split into "
+                f"{self.n_bins} bins"
+            )
+        return DiscretizationScheme.from_cut_points(name, cuts)
+
+
+class EqualFrequencyDiscretizer:
+    """Unsupervised: cut points at quantiles so bins hold equal counts."""
+
+    def __init__(self, n_bins: int = 4):
+        if n_bins < 2:
+            raise DiscretizationError("need at least 2 bins")
+        self.n_bins = n_bins
+
+    def fit(self, values: Sequence[float | None], name: str = "equal_frequency") -> DiscretizationScheme:
+        """Compute quantile cut points and return the resulting scheme."""
+        data = np.sort(_present(values))
+        quantiles = [i / self.n_bins for i in range(1, self.n_bins)]
+        cuts: list[float] = []
+        for q in quantiles:
+            cut = float(np.quantile(data, q))
+            if not cuts or cut > cuts[-1]:
+                cuts.append(cut)
+        if not cuts:
+            raise DiscretizationError(
+                "data too concentrated for equal-frequency binning"
+            )
+        return DiscretizationScheme.from_cut_points(name, cuts)
+
+
+def _entropy(labels: np.ndarray) -> float:
+    if len(labels) == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log2(p)).sum())
+
+
+class MDLPDiscretizer:
+    """Supervised top-down splitting (Fayyad & Irani 1993).
+
+    Recursively picks the boundary minimising class-entropy and accepts it
+    only when information gain beats the minimum-description-length cost —
+    the classic stopping rule, so bin count adapts to the data.
+    """
+
+    def __init__(self, max_depth: int = 8):
+        self.max_depth = max_depth
+
+    def fit(
+        self,
+        values: Sequence[float | None],
+        classes: Sequence[object],
+        name: str = "mdlp",
+    ) -> DiscretizationScheme:
+        """Fit on (value, class) pairs; nulls in values are skipped."""
+        pairs = [
+            (float(v), c)
+            for v, c in zip(values, classes)
+            if v is not None and not (isinstance(v, float) and math.isnan(v))
+        ]
+        if not pairs:
+            raise DiscretizationError("cannot fit MDLP on all-null data")
+        pairs.sort(key=lambda p: p[0])
+        xs = np.array([p[0] for p in pairs])
+        ys = np.array([str(p[1]) for p in pairs], dtype=object)
+        cuts: list[float] = []
+        self._split(xs, ys, cuts, depth=0)
+        if not cuts:
+            # No split passed MDL: fall back to the single best boundary so a
+            # scheme is always produced (callers can inspect bin count).
+            cut = self._best_cut(xs, ys)
+            if cut is None:
+                raise DiscretizationError(
+                    "MDLP found no admissible cut (single class or constant values)"
+                )
+            cuts = [cut]
+        return DiscretizationScheme.from_cut_points(name, sorted(set(cuts)))
+
+    def _best_cut(self, xs: np.ndarray, ys: np.ndarray) -> float | None:
+        best_cut, best_entropy = None, float("inf")
+        boundaries = self._candidate_boundaries(xs, ys)
+        n = len(xs)
+        for cut in boundaries:
+            left = ys[xs < cut]
+            right = ys[xs >= cut]
+            weighted = (len(left) * _entropy(left) + len(right) * _entropy(right)) / n
+            if weighted < best_entropy:
+                best_entropy = weighted
+                best_cut = cut
+        return best_cut
+
+    @staticmethod
+    def _candidate_boundaries(xs: np.ndarray, ys: np.ndarray) -> list[float]:
+        # Boundary points: midpoints between adjacent values whose class
+        # changes (Fayyad's result: optimal cuts lie there).
+        cuts = []
+        for i in range(1, len(xs)):
+            if xs[i] != xs[i - 1] and ys[i] != ys[i - 1]:
+                cuts.append((float(xs[i]) + float(xs[i - 1])) / 2.0)
+        return sorted(set(cuts))
+
+    def _split(self, xs: np.ndarray, ys: np.ndarray, cuts: list[float], depth: int) -> None:
+        if depth >= self.max_depth or len(xs) < 4:
+            return
+        cut = self._best_cut(xs, ys)
+        if cut is None:
+            return
+        left_mask = xs < cut
+        left_y, right_y = ys[left_mask], ys[~left_mask]
+        n = len(ys)
+        gain = _entropy(ys) - (
+            len(left_y) * _entropy(left_y) + len(right_y) * _entropy(right_y)
+        ) / n
+        k = len(np.unique(ys))
+        k1 = len(np.unique(left_y))
+        k2 = len(np.unique(right_y))
+        delta = math.log2(3**k - 2) - (
+            k * _entropy(ys) - k1 * _entropy(left_y) - k2 * _entropy(right_y)
+        )
+        threshold = (math.log2(n - 1) + delta) / n
+        if gain <= threshold:
+            return
+        cuts.append(cut)
+        self._split(xs[left_mask], left_y, cuts, depth + 1)
+        self._split(xs[~left_mask], right_y, cuts, depth + 1)
+
+
+class ChiMergeDiscretizer:
+    """Supervised bottom-up merging (Kerber 1992).
+
+    Starts from one interval per distinct value and repeatedly merges the
+    adjacent pair with the lowest chi-square statistic until it exceeds the
+    significance threshold or ``max_bins`` is reached.
+    """
+
+    def __init__(self, max_bins: int = 6, chi_threshold: float | None = None):
+        if max_bins < 2:
+            raise DiscretizationError("need at least 2 bins")
+        self.max_bins = max_bins
+        self.chi_threshold = chi_threshold
+
+    def fit(
+        self,
+        values: Sequence[float | None],
+        classes: Sequence[object],
+        name: str = "chimerge",
+    ) -> DiscretizationScheme:
+        """Fit on (value, class) pairs; nulls in values are skipped."""
+        pairs = [
+            (float(v), str(c))
+            for v, c in zip(values, classes)
+            if v is not None and not (isinstance(v, float) and math.isnan(v))
+        ]
+        if not pairs:
+            raise DiscretizationError("cannot fit ChiMerge on all-null data")
+        class_labels = sorted({c for _, c in pairs})
+        # intervals: list of (low_value, {class: count})
+        by_value: dict[float, dict[str, int]] = {}
+        for v, c in pairs:
+            by_value.setdefault(v, {k: 0 for k in class_labels})
+            by_value[v][c] += 1
+        intervals = sorted(by_value.items())
+        if len(intervals) < 2:
+            raise DiscretizationError("constant values; nothing to discretise")
+
+        while len(intervals) > self.max_bins or (
+            self.chi_threshold is not None and len(intervals) > 2
+        ):
+            chis = [
+                self._chi2(intervals[i][1], intervals[i + 1][1], class_labels)
+                for i in range(len(intervals) - 1)
+            ]
+            min_chi = min(chis)
+            if (
+                len(intervals) <= self.max_bins
+                and self.chi_threshold is not None
+                and min_chi > self.chi_threshold
+            ):
+                break
+            i = chis.index(min_chi)
+            low, counts = intervals[i]
+            _, next_counts = intervals[i + 1]
+            merged = {k: counts[k] + next_counts[k] for k in class_labels}
+            intervals[i : i + 2] = [(low, merged)]
+            if len(intervals) <= 2:
+                break
+
+        cuts = [low for low, _ in intervals[1:]]
+        return DiscretizationScheme.from_cut_points(name, cuts)
+
+    @staticmethod
+    def _chi2(a: dict[str, int], b: dict[str, int], labels: list[str]) -> float:
+        total_a = sum(a.values())
+        total_b = sum(b.values())
+        total = total_a + total_b
+        chi = 0.0
+        for label in labels:
+            col_total = a[label] + b[label]
+            if col_total == 0:
+                continue
+            for counts, row_total in ((a, total_a), (b, total_b)):
+                expected = row_total * col_total / total
+                if expected > 0:
+                    chi += (counts[label] - expected) ** 2 / expected
+        return chi

@@ -1,0 +1,323 @@
+"""Temporal abstraction: qualitative descriptions of time-stamped measures.
+
+Following Stacey & McGregor (the paper's reference [18]), two abstraction
+families are provided:
+
+* **State abstraction** — map each measurement to a qualitative state via a
+  discretisation scheme, then merge consecutive equal states into
+  intervals ("FBG was *Diabetic* from 2009-03 to 2011-07").
+* **Trend abstraction** — classify the slope between consecutive
+  measurements as increasing / steady / decreasing, merged the same way.
+
+The paper stresses that "it is important to ensure temporal abstractions do
+not conflict with each other"; :func:`find_conflicts` detects overlapping
+intervals that assign different states for the same (patient, variable)
+pair from two abstraction runs.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import TemporalAbstractionError
+from repro.etl.discretization import DiscretizationScheme
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One abstracted span: a state held from ``start`` to ``end`` inclusive."""
+
+    variable: str
+    state: str
+    start: _dt.date
+    end: _dt.date
+    #: number of raw measurements supporting the interval
+    support: int = 1
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise TemporalAbstractionError(
+                f"interval for {self.variable!r} ends ({self.end}) before it "
+                f"starts ({self.start})"
+            )
+
+    @property
+    def duration_days(self) -> int:
+        """Length of the interval in days."""
+        return (self.end - self.start).days
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two spans share at least one day."""
+        return self.start <= other.end and other.start <= self.end
+
+
+def _check_series(
+    timestamps: Sequence[_dt.date], values: Sequence[object]
+) -> list[tuple[_dt.date, object]]:
+    if len(timestamps) != len(values):
+        raise TemporalAbstractionError(
+            f"{len(timestamps)} timestamps but {len(values)} values"
+        )
+    points = [
+        (t, v) for t, v in zip(timestamps, values) if t is not None and v is not None
+    ]
+    points.sort(key=lambda p: p[0])
+    return points
+
+
+class StateAbstraction:
+    """State abstraction driven by a discretisation scheme."""
+
+    def __init__(self, variable: str, scheme: DiscretizationScheme,
+                 min_support: int = 1):
+        self.variable = variable
+        self.scheme = scheme
+        self.min_support = min_support
+
+    def abstract(
+        self, timestamps: Sequence[_dt.date], values: Sequence[float | None]
+    ) -> list[Interval]:
+        """Merge consecutive equal qualitative states into intervals.
+
+        Intervals supported by fewer than ``min_support`` raw measurements
+        are dropped (persistence filtering): a single spurious reading
+        should not create a clinical "episode".
+        """
+        points = _check_series(timestamps, values)
+        if not points:
+            return []
+        intervals: list[Interval] = []
+        current_state: str | None = None
+        start = end = points[0][0]
+        support = 0
+        for when, value in points:
+            state = self.scheme.assign(float(value))  # type: ignore[arg-type]
+            if state == current_state:
+                end = when
+                support += 1
+            else:
+                if current_state is not None:
+                    intervals.append(
+                        Interval(self.variable, current_state, start, end, support)
+                    )
+                current_state = state
+                start = end = when
+                support = 1
+        if current_state is not None:
+            intervals.append(
+                Interval(self.variable, current_state, start, end, support)
+            )
+        return [iv for iv in intervals if iv.support >= self.min_support]
+
+
+class TrendAbstraction:
+    """Trend abstraction: increasing / steady / decreasing per-unit-time.
+
+    ``tolerance`` is the absolute slope (value units per day) below which a
+    segment is *steady*.
+    """
+
+    INCREASING = "increasing"
+    STEADY = "steady"
+    DECREASING = "decreasing"
+
+    def __init__(self, variable: str, tolerance: float = 0.0):
+        if tolerance < 0:
+            raise TemporalAbstractionError("tolerance must be non-negative")
+        self.variable = variable
+        self.tolerance = tolerance
+
+    def abstract(
+        self, timestamps: Sequence[_dt.date], values: Sequence[float | None]
+    ) -> list[Interval]:
+        """Classify consecutive-pair slopes and merge equal trends."""
+        points = _check_series(timestamps, values)
+        if len(points) < 2:
+            return []
+        segments: list[tuple[str, _dt.date, _dt.date]] = []
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            days = max((t1 - t0).days, 1)
+            slope = (float(v1) - float(v0)) / days  # type: ignore[arg-type]
+            if slope > self.tolerance:
+                trend = self.INCREASING
+            elif slope < -self.tolerance:
+                trend = self.DECREASING
+            else:
+                trend = self.STEADY
+            segments.append((trend, t0, t1))
+        intervals: list[Interval] = []
+        state, start, end = segments[0]
+        support = 2
+        for trend, t0, t1 in segments[1:]:
+            if trend == state:
+                end = t1
+                support += 1
+            else:
+                intervals.append(Interval(self.variable, state, start, end, support))
+                state, start, end = trend, t0, t1
+                support = 2
+        intervals.append(Interval(self.variable, state, start, end, support))
+        return intervals
+
+
+def abstract_states(
+    variable: str,
+    scheme: DiscretizationScheme,
+    timestamps: Sequence[_dt.date],
+    values: Sequence[float | None],
+    min_support: int = 1,
+) -> list[Interval]:
+    """Functional shorthand for :class:`StateAbstraction`."""
+    return StateAbstraction(variable, scheme, min_support).abstract(timestamps, values)
+
+
+def abstract_trends(
+    variable: str,
+    timestamps: Sequence[_dt.date],
+    values: Sequence[float | None],
+    tolerance: float = 0.0,
+) -> list[Interval]:
+    """Functional shorthand for :class:`TrendAbstraction`."""
+    return TrendAbstraction(variable, tolerance).abstract(timestamps, values)
+
+
+def episodes_table(
+    table,
+    patient_key: str,
+    date_column: str,
+    value_column: str,
+    scheme: DiscretizationScheme,
+    min_support: int = 1,
+):
+    """Per-patient state episodes of one measure, as a table.
+
+    Applies :class:`StateAbstraction` to every patient's (date, value)
+    series and stacks the resulting intervals into one table — the
+    queryable form of temporal abstraction the warehouse consumes
+    (columns: patient, variable, state, start, end, support,
+    duration_days).
+    """
+    from repro.tabular.table import Table
+
+    by_patient: dict[object, list[tuple[_dt.date, float]]] = {}
+    for row in table.select([patient_key, date_column, value_column]).iter_rows():
+        patient = row[patient_key]
+        when = row[date_column]
+        value = row[value_column]
+        if patient is None or when is None or value is None:
+            continue
+        by_patient.setdefault(patient, []).append((when, value))
+
+    abstraction = StateAbstraction(value_column, scheme, min_support)
+    rows = []
+    for patient in sorted(by_patient, key=str):
+        series = by_patient[patient]
+        stamps = [when for when, __ in series]
+        values = [value for __, value in series]
+        for interval in abstraction.abstract(stamps, values):
+            rows.append(
+                {
+                    "patient": patient,
+                    "variable": interval.variable,
+                    "state": interval.state,
+                    "start": interval.start,
+                    "end": interval.end,
+                    "support": interval.support,
+                    "duration_days": interval.duration_days,
+                }
+            )
+    if not rows:
+        return Table.empty(
+            {
+                "patient": "int", "variable": "str", "state": "str",
+                "start": "date", "end": "date", "support": "int",
+                "duration_days": "int",
+            }
+        )
+    return Table.from_rows(rows)  # patient key dtype inferred from the data
+
+
+def cross_measure_conflicts(
+    table,
+    patient_key: str,
+    date_column: str,
+    measures: dict[str, tuple[str, DiscretizationScheme, dict[str, str]]],
+    min_support: int = 1,
+) -> list[tuple[object, Interval, Interval]]:
+    """Conflicts between abstractions of *different* measures that map into
+    one shared state vocabulary.
+
+    The paper: "Given the multivariate nature of clinical data spaces, it
+    is important to ensure temporal abstractions do not conflict with each
+    other."  Two measures of the same underlying condition (e.g. FBG and
+    HbA1c both staging glycaemia) should tell the same story; where their
+    abstracted intervals overlap with different shared states, the span is
+    a data-quality or clinical finding.
+
+    ``measures`` maps a variable name → (source column, scheme,
+    state_map), where ``state_map`` translates that scheme's bin labels
+    into the shared vocabulary.  Returns (patient, interval_a, interval_b)
+    triples, where the intervals carry the shared states.
+    """
+    if len(measures) < 2:
+        raise TemporalAbstractionError(
+            "cross-measure conflict checking needs at least two measures"
+        )
+    per_patient: dict[object, dict[str, list[Interval]]] = {}
+    for variable, (column, scheme, state_map) in measures.items():
+        missing = set(scheme.labels) - set(state_map)
+        if missing:
+            raise TemporalAbstractionError(
+                f"state_map for {variable!r} misses scheme labels "
+                f"{sorted(missing)}"
+            )
+        by_patient: dict[object, list[tuple[_dt.date, float]]] = {}
+        for row in table.select([patient_key, date_column, column]).iter_rows():
+            patient = row[patient_key]
+            when = row[date_column]
+            value = row[column]
+            if patient is None or when is None or value is None:
+                continue
+            by_patient.setdefault(patient, []).append((when, value))
+        abstraction = StateAbstraction(variable, scheme, min_support)
+        for patient, series in by_patient.items():
+            stamps = [when for when, __ in series]
+            values = [value for __, value in series]
+            shared = [
+                Interval(
+                    "shared", state_map[interval.state],
+                    interval.start, interval.end, interval.support,
+                )
+                for interval in abstraction.abstract(stamps, values)
+            ]
+            per_patient.setdefault(patient, {})[variable] = shared
+
+    conflicts: list[tuple[object, Interval, Interval]] = []
+    variables = list(measures)
+    for patient, streams in sorted(per_patient.items(), key=lambda p: str(p[0])):
+        for i in range(len(variables)):
+            for j in range(i + 1, len(variables)):
+                first = streams.get(variables[i], [])
+                second = streams.get(variables[j], [])
+                for a, b in find_conflicts(first, second):
+                    conflicts.append((patient, a, b))
+    return conflicts
+
+
+def find_conflicts(
+    first: Sequence[Interval], second: Sequence[Interval]
+) -> list[tuple[Interval, Interval]]:
+    """Pairs of overlapping same-variable intervals with different states.
+
+    Only intervals describing the same variable can conflict; trend and
+    state abstractions of the same measure use distinct variable names
+    (e.g. ``"fbg"`` vs ``"fbg_trend"``) precisely so they do not.
+    """
+    conflicts = []
+    for a in first:
+        for b in second:
+            if a.variable == b.variable and a.state != b.state and a.overlaps(b):
+                conflicts.append((a, b))
+    return conflicts

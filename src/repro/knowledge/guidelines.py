@@ -1,0 +1,66 @@
+"""Guideline drafting from promoted findings.
+
+The end of the paper's knowledge-management cycle: promoted,
+evidence-backed findings become draft clinical guidelines a scientist can
+review — each guideline lists its supporting findings and total evidence
+weight, keeping the provenance chain intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KnowledgeBaseError
+from repro.knowledge.findings import Finding
+from repro.knowledge.kb import KnowledgeBase
+
+
+@dataclass
+class Guideline:
+    """A draft recommendation assembled from promoted findings."""
+
+    title: str
+    recommendation: str
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def evidence_weight(self) -> float:
+        """Total weight across supporting findings."""
+        return sum(f.total_weight() for f in self.findings)
+
+    def to_text(self) -> str:
+        """Render with provenance."""
+        lines = [
+            f"GUIDELINE: {self.title}",
+            f"  Recommendation: {self.recommendation}",
+            f"  Evidence weight: {self.evidence_weight:g} "
+            f"({len(self.findings)} findings)",
+        ]
+        for finding in self.findings:
+            lines.append(f"    - {finding.statement} [{finding.key}]")
+        return "\n".join(lines)
+
+
+def draft_guidelines(
+    kb: KnowledgeBase,
+    groupings: dict[str, tuple[str, str]],
+) -> list[Guideline]:
+    """Build one guideline per entry of ``groupings``.
+
+    ``groupings`` maps guideline title → (tag, recommendation text); every
+    *promoted* finding carrying the tag supports that guideline.  Entries
+    with no promoted support are skipped — a guideline cannot rest on
+    candidates.
+    """
+    if not groupings:
+        raise KnowledgeBaseError("no guideline groupings supplied")
+    guidelines = []
+    for title, (tag, recommendation) in groupings.items():
+        supporting = [f for f in kb.by_tag(tag) if f.status == "promoted"]
+        if not supporting:
+            continue
+        guidelines.append(
+            Guideline(title=title, recommendation=recommendation, findings=supporting)
+        )
+    guidelines.sort(key=lambda g: -g.evidence_weight)
+    return guidelines

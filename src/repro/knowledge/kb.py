@@ -1,0 +1,156 @@
+"""The knowledge base: accumulation, promotion, querying."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import KnowledgeBaseError, PromotionError
+from repro.knowledge.findings import Evidence, Finding, FindingKind
+
+
+class KnowledgeBase:
+    """Findings keyed by stable identifiers, with a promotion threshold.
+
+    A finding stays a *candidate* (warehouse-resident, in the paper's
+    terms) until its accumulated evidence weight reaches
+    ``promotion_threshold``; ``promote_ready()`` then moves it into the
+    knowledge base proper.  Promotion is explicit rather than automatic so
+    a curator (the clinical scientist) stays in the loop.
+    """
+
+    def __init__(self, promotion_threshold: float = 3.0):
+        if promotion_threshold <= 0:
+            raise KnowledgeBaseError("promotion threshold must be positive")
+        self.promotion_threshold = promotion_threshold
+        self._findings: dict[str, Finding] = {}
+
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        key: str,
+        kind: FindingKind,
+        statement: str,
+        evidence: Evidence,
+        tags: Iterable[str] = (),
+    ) -> Finding:
+        """Record (or reinforce) a finding.
+
+        A new key creates a candidate finding; an existing key accumulates
+        the evidence.  Re-recording with a different statement raises —
+        the same key must mean the same claim.
+        """
+        existing = self._findings.get(key)
+        if existing is not None:
+            if existing.statement != statement:
+                raise KnowledgeBaseError(
+                    f"finding {key!r} already exists with a different "
+                    f"statement: {existing.statement!r}"
+                )
+            existing.add_evidence(evidence)
+            return existing
+        finding = Finding(
+            key=key,
+            kind=kind,
+            statement=statement,
+            evidence=[evidence],
+            tags=frozenset(tags),
+        )
+        self._findings[key] = finding
+        return finding
+
+    def get(self, key: str) -> Finding:
+        """Fetch one finding."""
+        try:
+            return self._findings[key]
+        except KeyError:
+            raise KnowledgeBaseError(f"no finding with key {key!r}") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._findings
+
+    def __len__(self) -> int:
+        return len(self._findings)
+
+    # ------------------------------------------------------------------
+
+    def ready_for_promotion(self) -> list[Finding]:
+        """Candidates whose evidence weight reached the threshold."""
+        return [
+            f
+            for f in self._findings.values()
+            if f.status == "candidate"
+            and f.total_weight() >= self.promotion_threshold
+        ]
+
+    def promote(self, key: str) -> Finding:
+        """Promote one finding; raises when evidence is insufficient."""
+        finding = self.get(key)
+        if finding.status == "promoted":
+            return finding
+        if finding.total_weight() < self.promotion_threshold:
+            raise PromotionError(
+                f"finding {key!r} has weight {finding.total_weight():g} "
+                f"< threshold {self.promotion_threshold:g}"
+            )
+        finding.status = "promoted"
+        return finding
+
+    def promote_ready(self) -> list[Finding]:
+        """Promote everything that qualifies; returns what was promoted."""
+        promoted = []
+        for finding in self.ready_for_promotion():
+            promoted.append(self.promote(finding.key))
+        return promoted
+
+    def retire(self, key: str, reason: str) -> Finding:
+        """Retire a finding (superseded or contradicted)."""
+        finding = self.get(key)
+        finding.add_evidence(
+            Evidence(source="curator", description=f"retired: {reason}", weight=1e-9)
+        )
+        finding.status = "retired"
+        return finding
+
+    # ------------------------------------------------------------------
+
+    def candidates(self) -> list[Finding]:
+        """All candidate findings, heaviest evidence first."""
+        return self._by_status("candidate")
+
+    def promoted(self) -> list[Finding]:
+        """All promoted findings, heaviest evidence first."""
+        return self._by_status("promoted")
+
+    def by_tag(self, tag: str) -> list[Finding]:
+        """Findings carrying a tag (any status)."""
+        return sorted(
+            (f for f in self._findings.values() if tag in f.tags),
+            key=lambda f: -f.total_weight(),
+        )
+
+    def by_kind(self, kind: FindingKind) -> list[Finding]:
+        """Findings of one kind (any status)."""
+        return sorted(
+            (f for f in self._findings.values() if f.kind is kind),
+            key=lambda f: -f.total_weight(),
+        )
+
+    def _by_status(self, status: str) -> list[Finding]:
+        return sorted(
+            (f for f in self._findings.values() if f.status == status),
+            key=lambda f: -f.total_weight(),
+        )
+
+    def describe(self) -> str:
+        """Terminal dump of the whole base."""
+        lines = [
+            f"KnowledgeBase: {len(self)} findings "
+            f"({len(self.promoted())} promoted, threshold "
+            f"{self.promotion_threshold:g})"
+        ]
+        for finding in sorted(
+            self._findings.values(), key=lambda f: (f.status, -f.total_weight())
+        ):
+            lines.append("  " + finding.describe())
+        return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Ontology generation from the dimensional model.
+
+A mature knowledge base "can be useful to address knowledge management
+concerns such as ontology generation" (paper §IV).  The warehouse already
+encodes most of a domain ontology: dimensions are top concepts, their
+attributes sub-concepts, hierarchy levels *is-refined-by* chains, and
+discretisation schemes enumerate qualitative value concepts.  This module
+extracts that structure into an explicit concept graph (networkx).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import KnowledgeBaseError
+from repro.etl.discretization import DiscretizationScheme
+from repro.warehouse.star import StarSchema
+
+
+@dataclass(frozen=True)
+class Concept:
+    """One node of the ontology."""
+
+    name: str
+    kind: str  # "dimension" | "attribute" | "value" | "root"
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.kind})"
+
+
+@dataclass
+class Ontology:
+    """A directed concept graph with typed edges.
+
+    Edge relations: ``has_attribute`` (dimension → attribute),
+    ``refined_by`` (coarse level → finer level), ``has_value``
+    (attribute → qualitative value).
+    """
+
+    name: str
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    def add_concept(self, concept: Concept) -> None:
+        """Insert a node (idempotent)."""
+        self.graph.add_node(concept.name, kind=concept.kind)
+
+    def relate(self, parent: str, child: str, relation: str) -> None:
+        """Insert a typed edge; both concepts must exist."""
+        for node in (parent, child):
+            if node not in self.graph:
+                raise KnowledgeBaseError(f"unknown concept {node!r}")
+        self.graph.add_edge(parent, child, relation=relation)
+
+    def children(self, concept: str, relation: str | None = None) -> list[str]:
+        """Direct children, optionally filtered by relation."""
+        out = []
+        for __, child, data in self.graph.out_edges(concept, data=True):
+            if relation is None or data.get("relation") == relation:
+                out.append(child)
+        return sorted(out)
+
+    def concepts_of_kind(self, kind: str) -> list[str]:
+        """All concept names of one kind."""
+        return sorted(
+            n for n, data in self.graph.nodes(data=True) if data.get("kind") == kind
+        )
+
+    def is_consistent(self) -> bool:
+        """No cycles — an ontology's refinement graph must be a DAG."""
+        return nx.is_directed_acyclic_graph(self.graph)
+
+    def to_text(self) -> str:
+        """Indented tree rendering from the root."""
+        lines: list[str] = []
+
+        def render(node: str, depth: int) -> None:
+            kind = self.graph.nodes[node].get("kind", "?")
+            lines.append("  " * depth + f"{node} [{kind}]")
+            for child in self.children(node):
+                render(child, depth + 1)
+
+        roots = [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+        for root in sorted(roots):
+            render(root, 0)
+        return "\n".join(lines)
+
+
+def ontology_from_schema(
+    schema: StarSchema,
+    schemes: dict[str, DiscretizationScheme] | None = None,
+) -> Ontology:
+    """Generate the concept graph from a star schema.
+
+    ``schemes`` maps attribute names to their discretisation schemes so
+    their bin labels become value concepts.
+    """
+    ontology = Ontology(schema.name)
+    root = Concept(schema.name, "root")
+    ontology.add_concept(root)
+    schemes = schemes or {}
+    for dim_name, dimension in schema.dimensions.items():
+        dim_concept = Concept(dim_name, "dimension")
+        ontology.add_concept(dim_concept)
+        ontology.relate(schema.name, dim_name, "has_dimension")
+        for attr in dimension.attributes:
+            attr_name = f"{dim_name}.{attr}"
+            ontology.add_concept(Concept(attr_name, "attribute"))
+            ontology.relate(dim_name, attr_name, "has_attribute")
+            scheme = schemes.get(attr)
+            if scheme is not None:
+                for label in scheme.labels:
+                    value_name = f"{attr_name}={label}"
+                    ontology.add_concept(Concept(value_name, "value"))
+                    ontology.relate(attr_name, value_name, "has_value")
+        for hierarchy in dimension.hierarchies.values():
+            for coarse, fine in zip(hierarchy.levels, hierarchy.levels[1:]):
+                ontology.relate(
+                    f"{dim_name}.{coarse}", f"{dim_name}.{fine}", "refined_by"
+                )
+    return ontology

@@ -1,0 +1,81 @@
+"""Data analytics (paper §IV, "Data Analytics").
+
+"Cubes of data that are of interest to the clinical scientist can be
+isolated using OLAP and further analysed using data mining algorithms.
+There are a variety of data mining algorithms to address different
+requirements such as classification, association and clustering."
+
+All models share one convention: rows are plain dicts (exactly what
+``Table.to_rows()`` and cube slices produce), ``target`` names the class
+attribute and ``features`` lists the attributes to learn from.  Mixed
+categorical/numeric features are supported where the algorithm allows.
+
+:mod:`repro.mining.awsum` implements AWSum (the paper's reference [9]) —
+the transparent evidence-weight classifier behind the reflex+glucose
+pre-diabetes insight quoted in §II.
+"""
+
+from repro.mining.metrics import (
+    ConfusionMatrix,
+    accuracy,
+    entropy,
+    f1_score,
+    gini,
+    precision,
+    recall,
+)
+from repro.mining.validation import cross_validate, stratified_k_fold, train_test_split
+from repro.mining.decision_tree import DecisionTreeClassifier
+from repro.mining.naive_bayes import NaiveBayesClassifier
+from repro.mining.knn import KNNClassifier
+from repro.mining.logistic import LogisticRegressionClassifier
+from repro.mining.kmeans import KMeans
+from repro.mining.hierarchical import AgglomerativeClustering
+from repro.mining.apriori import AssociationRule, apriori, association_rules
+from repro.mining.awsum import AWSumClassifier
+from repro.mining.feature_selection import (
+    chi2_scores,
+    information_gain_scores,
+    wrapper_filter_select,
+)
+from repro.mining.random_forest import RandomForestClassifier
+from repro.mining.roc import RocCurve, RocPoint, auc_score, roc_curve
+from repro.mining.silhouette import (
+    pick_k_by_silhouette,
+    silhouette_samples,
+    silhouette_score,
+)
+
+__all__ = [
+    "ConfusionMatrix",
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "entropy",
+    "gini",
+    "train_test_split",
+    "stratified_k_fold",
+    "cross_validate",
+    "DecisionTreeClassifier",
+    "NaiveBayesClassifier",
+    "KNNClassifier",
+    "LogisticRegressionClassifier",
+    "KMeans",
+    "AgglomerativeClustering",
+    "apriori",
+    "association_rules",
+    "AssociationRule",
+    "AWSumClassifier",
+    "chi2_scores",
+    "information_gain_scores",
+    "wrapper_filter_select",
+    "RandomForestClassifier",
+    "RocCurve",
+    "RocPoint",
+    "roc_curve",
+    "auc_score",
+    "silhouette_samples",
+    "silhouette_score",
+    "pick_k_by_silhouette",
+]

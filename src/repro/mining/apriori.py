@@ -1,0 +1,153 @@
+"""Apriori frequent itemsets and association rules.
+
+Rows are dicts of categorical attributes; each (attribute, value) pair is
+an item, so a rule reads naturally as e.g.
+``{reflex_knee=absent, fbg_band=high} => {diabetes=yes}`` — the shape of
+"unexpected interaction" finding the paper's motivation section describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.errors import MiningError
+
+Item = tuple[str, object]
+
+
+def _transactions(
+    rows: Sequence[dict], attributes: Sequence[str] | None
+) -> list[frozenset[Item]]:
+    out = []
+    for row in rows:
+        keys = attributes if attributes is not None else list(row)
+        items = frozenset(
+            (attr, row[attr]) for attr in keys if row.get(attr) is not None
+        )
+        out.append(items)
+    return out
+
+
+def apriori(
+    rows: Sequence[dict],
+    min_support: float = 0.1,
+    attributes: Sequence[str] | None = None,
+    max_length: int = 4,
+) -> dict[frozenset[Item], float]:
+    """Frequent itemsets with support >= ``min_support``.
+
+    Returns itemset → support (fraction of rows containing it).  The
+    classic level-wise candidate generation with subset pruning.
+    """
+    if not rows:
+        raise MiningError("cannot mine an empty dataset")
+    if not 0.0 < min_support <= 1.0:
+        raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+    transactions = _transactions(rows, attributes)
+    n = len(transactions)
+
+    # L1
+    counts: dict[frozenset[Item], int] = {}
+    for transaction in transactions:
+        for item in transaction:
+            key = frozenset([item])
+            counts[key] = counts.get(key, 0) + 1
+    frequent: dict[frozenset[Item], float] = {
+        itemset: count / n
+        for itemset, count in counts.items()
+        if count / n >= min_support
+    }
+    current = list(frequent)
+
+    length = 2
+    while current and length <= max_length:
+        # candidate generation: join itemsets sharing length-2 prefix items
+        candidates: set[frozenset[Item]] = set()
+        for i in range(len(current)):
+            for j in range(i + 1, len(current)):
+                union = current[i] | current[j]
+                if len(union) == length:
+                    # prune: every (length-1)-subset must be frequent
+                    if all(
+                        frozenset(sub) in frequent
+                        for sub in combinations(union, length - 1)
+                    ):
+                        candidates.add(union)
+        if not candidates:
+            break
+        counts = {c: 0 for c in candidates}
+        for transaction in transactions:
+            for candidate in candidates:
+                if candidate <= transaction:
+                    counts[candidate] += 1
+        new = {
+            itemset: count / n
+            for itemset, count in counts.items()
+            if count / n >= min_support
+        }
+        frequent.update(new)
+        current = list(new)
+        length += 1
+    return frequent
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """antecedent => consequent with its quality statistics."""
+
+    antecedent: frozenset[Item]
+    consequent: frozenset[Item]
+    support: float
+    confidence: float
+    lift: float
+
+    def render(self) -> str:
+        """Human-readable rule text."""
+        def items_text(items: frozenset[Item]) -> str:
+            return "{" + ", ".join(
+                f"{attr}={value}" for attr, value in sorted(items, key=str)
+            ) + "}"
+
+        return (
+            f"{items_text(self.antecedent)} => {items_text(self.consequent)} "
+            f"(supp={self.support:.3f}, conf={self.confidence:.3f}, "
+            f"lift={self.lift:.2f})"
+        )
+
+
+def association_rules(
+    rows: Sequence[dict],
+    min_support: float = 0.1,
+    min_confidence: float = 0.6,
+    attributes: Sequence[str] | None = None,
+    max_length: int = 4,
+) -> list[AssociationRule]:
+    """Mine rules from frequent itemsets, sorted by lift descending."""
+    if not 0.0 < min_confidence <= 1.0:
+        raise MiningError(
+            f"min_confidence must be in (0, 1], got {min_confidence}"
+        )
+    frequent = apriori(rows, min_support, attributes, max_length)
+    rules: list[AssociationRule] = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        for size in range(1, len(itemset)):
+            for antecedent_items in combinations(sorted(itemset, key=str), size):
+                antecedent = frozenset(antecedent_items)
+                consequent = itemset - antecedent
+                ant_support = frequent.get(antecedent)
+                con_support = frequent.get(consequent)
+                if ant_support is None or con_support is None:
+                    continue
+                confidence = support / ant_support
+                if confidence < min_confidence:
+                    continue
+                lift = confidence / con_support
+                rules.append(
+                    AssociationRule(antecedent, consequent, support, confidence, lift)
+                )
+    rules.sort(key=lambda rule: (-rule.lift, -rule.confidence, str(rule.antecedent)))
+    return rules

@@ -1,0 +1,103 @@
+"""Agglomerative (bottom-up) hierarchical clustering.
+
+Average-linkage by default; complete and single linkage also available.
+O(n³) in the naive form used here, fine for the cohort-subset sizes the
+paper's workflow isolates via OLAP before mining.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MiningError, NotFittedError
+
+_LINKAGES = ("average", "complete", "single")
+
+
+class AgglomerativeClustering:
+    """Merge clusters until ``n_clusters`` remain."""
+
+    def __init__(self, n_clusters: int = 2, linkage: str = "average"):
+        if n_clusters < 1:
+            raise MiningError("n_clusters must be >= 1")
+        if linkage not in _LINKAGES:
+            raise MiningError(
+                f"unknown linkage {linkage!r} (valid: {', '.join(_LINKAGES)})"
+            )
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+        self._fitted = False
+
+    def fit(self, rows: Sequence[dict], features: Sequence[str]) -> "AgglomerativeClustering":
+        """Cluster rows on standardised numeric features."""
+        if len(rows) < self.n_clusters:
+            raise MiningError(
+                f"cannot make {self.n_clusters} clusters from {len(rows)} rows"
+            )
+        if not features:
+            raise MiningError("no features supplied")
+        self.features = list(features)
+        X = np.zeros((len(rows), len(features)))
+        for i, row in enumerate(rows):
+            for j, feature in enumerate(features):
+                value = row.get(feature)
+                if value is None:
+                    raise MiningError(
+                        f"row {i} has null {feature!r}; impute before clustering"
+                    )
+                X[i, j] = float(value)
+        means = X.mean(axis=0)
+        stds = X.std(axis=0)
+        stds = np.where(stds < 1e-12, 1.0, stds)
+        Z = (X - means) / stds
+
+        # pairwise distances
+        diff = Z[:, None, :] - Z[None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=2))
+
+        clusters: dict[int, list[int]] = {i: [i] for i in range(len(rows))}
+        #: merge journal: (cluster_a, cluster_b, distance)
+        self.merges: list[tuple[int, int, float]] = []
+        next_id = len(rows)
+        while len(clusters) > self.n_clusters:
+            best_pair, best_d = None, float("inf")
+            ids = sorted(clusters)
+            for ai in range(len(ids)):
+                for bi in range(ai + 1, len(ids)):
+                    a, b = ids[ai], ids[bi]
+                    d = self._cluster_distance(dist, clusters[a], clusters[b])
+                    if d < best_d:
+                        best_d = d
+                        best_pair = (a, b)
+            a, b = best_pair  # type: ignore[misc]
+            clusters[next_id] = clusters.pop(a) + clusters.pop(b)
+            self.merges.append((a, b, best_d))
+            next_id += 1
+
+        self.labels = [0] * len(rows)
+        for label, members in enumerate(sorted(clusters.values(), key=min)):
+            for i in members:
+                self.labels[i] = label
+        self._fitted = True
+        return self
+
+    def _cluster_distance(
+        self, dist: np.ndarray, a: list[int], b: list[int]
+    ) -> float:
+        block = dist[np.ix_(a, b)]
+        if self.linkage == "average":
+            return float(block.mean())
+        if self.linkage == "complete":
+            return float(block.max())
+        return float(block.min())
+
+    def cluster_sizes(self) -> dict[int, int]:
+        """Cluster label → member count."""
+        if not self._fitted:
+            raise NotFittedError("AgglomerativeClustering used before fit()")
+        sizes: dict[int, int] = {}
+        for label in self.labels:
+            sizes[label] = sizes.get(label, 0) + 1
+        return sizes

@@ -1,0 +1,116 @@
+"""k-means clustering with k-means++ seeding (numpy, numeric features)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MiningError, NotFittedError
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation.
+
+    Rows are dicts; ``features`` must be numeric and non-null (impute or
+    drop first — clustering on silently-imputed values hides structure,
+    so this class refuses nulls instead).
+    """
+
+    def __init__(self, k: int, max_iterations: int = 100, seed: int = 0,
+                 tolerance: float = 1e-6):
+        if k < 1:
+            raise MiningError("k must be >= 1")
+        self.k = k
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.tolerance = tolerance
+        self._fitted = False
+
+    def _matrix(self, rows: Sequence[dict], features: Sequence[str]) -> np.ndarray:
+        matrix = np.zeros((len(rows), len(features)))
+        for i, row in enumerate(rows):
+            for j, feature in enumerate(features):
+                value = row.get(feature)
+                if value is None:
+                    raise MiningError(
+                        f"row {i} has null {feature!r}; impute before clustering"
+                    )
+                matrix[i, j] = float(value)
+        return matrix
+
+    def fit(self, rows: Sequence[dict], features: Sequence[str]) -> "KMeans":
+        """Cluster rows; centroids are in standardised feature space."""
+        if len(rows) < self.k:
+            raise MiningError(f"cannot make {self.k} clusters from {len(rows)} rows")
+        if not features:
+            raise MiningError("no features supplied")
+        self.features = list(features)
+        X = self._matrix(rows, self.features)
+        self._means = X.mean(axis=0)
+        stds = X.std(axis=0)
+        self._stds = np.where(stds < 1e-12, 1.0, stds)
+        Z = (X - self._means) / self._stds
+
+        rng = np.random.default_rng(self.seed)
+        centroids = self._kmeanspp(Z, rng)
+        for __ in range(self.max_iterations):
+            distances = ((Z[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            labels = distances.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for c in range(self.k):
+                members = Z[labels == c]
+                if len(members):
+                    new_centroids[c] = members.mean(axis=0)
+            shift = float(np.abs(new_centroids - centroids).max())
+            centroids = new_centroids
+            if shift < self.tolerance:
+                break
+        self.centroids = centroids
+        self.labels = labels.tolist()
+        self.inertia = float(
+            ((Z - centroids[labels]) ** 2).sum()
+        )
+        self._fitted = True
+        return self
+
+    def _kmeanspp(self, Z: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = len(Z)
+        centroids = [Z[rng.integers(n)]]
+        for __ in range(1, self.k):
+            d2 = np.min(
+                ((Z[:, None, :] - np.array(centroids)[None, :, :]) ** 2).sum(axis=2),
+                axis=1,
+            )
+            total = d2.sum()
+            if total <= 0:
+                centroids.append(Z[rng.integers(n)])
+                continue
+            probs = d2 / total
+            centroids.append(Z[rng.choice(n, p=probs)])
+        return np.array(centroids)
+
+    def predict(self, row: dict) -> int:
+        """Cluster index of one row."""
+        if not self._fitted:
+            raise NotFittedError("KMeans used before fit()")
+        x = self._matrix([row], self.features)[0]
+        z = (x - self._means) / self._stds
+        distances = ((self.centroids - z) ** 2).sum(axis=1)
+        return int(distances.argmin())
+
+    def cluster_sizes(self) -> dict[int, int]:
+        """Cluster index → member count from the fit."""
+        if not self._fitted:
+            raise NotFittedError("KMeans used before fit()")
+        sizes: dict[int, int] = {}
+        for label in self.labels:
+            sizes[label] = sizes.get(label, 0) + 1
+        return sizes
+
+    def centroid_profiles(self) -> list[dict[str, float]]:
+        """Centroids mapped back to original feature units."""
+        if not self._fitted:
+            raise NotFittedError("KMeans used before fit()")
+        raw = self.centroids * self._stds + self._means
+        return [dict(zip(self.features, centroid.tolist())) for centroid in raw]

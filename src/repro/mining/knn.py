@@ -1,0 +1,89 @@
+"""k-nearest-neighbour classification with a mixed-type distance.
+
+Distance per feature: numeric features use range-normalised absolute
+difference; categorical features a 0/1 overlap.  Missing values contribute
+the maximum distance (1.0) — a conservative choice for screening data,
+where an unrecorded test should not make two patients look similar.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.errors import MiningError, NotFittedError
+
+
+class KNNClassifier:
+    """Heterogeneous-distance kNN (a HEOM-style metric)."""
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise MiningError("k must be >= 1")
+        self.k = k
+        self._fitted = False
+
+    def fit(
+        self, rows: Sequence[dict], target: str, features: Sequence[str]
+    ) -> "KNNClassifier":
+        """Memorise the training rows and feature ranges."""
+        if not rows:
+            raise MiningError("cannot fit on an empty dataset")
+        if not features:
+            raise MiningError("no features supplied")
+        self.target = target
+        self.features = list(features)
+        self._rows = [row for row in rows if row.get(target) is not None]
+        if not self._rows:
+            raise MiningError(f"no rows carry a {target!r} label")
+        self._numeric: dict[str, tuple[float, float]] = {}
+        for feature in self.features:
+            present = [
+                row[feature]
+                for row in self._rows
+                if row.get(feature) is not None
+            ]
+            if present and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in present
+            ):
+                low, high = float(min(present)), float(max(present))
+                self._numeric[feature] = (low, max(high - low, 1e-12))
+        self._fitted = True
+        return self
+
+    def distance(self, a: dict, b: dict) -> float:
+        """Mean per-feature distance in [0, 1]."""
+        if not self._fitted:
+            raise NotFittedError("KNNClassifier used before fit()")
+        total = 0.0
+        for feature in self.features:
+            va, vb = a.get(feature), b.get(feature)
+            if va is None or vb is None:
+                total += 1.0
+            elif feature in self._numeric:
+                low, span = self._numeric[feature]
+                __ = low
+                total += min(abs(float(va) - float(vb)) / span, 1.0)
+            else:
+                total += 0.0 if str(va) == str(vb) else 1.0
+        return total / len(self.features)
+
+    def neighbours(self, row: dict, k: int | None = None) -> list[tuple[float, dict]]:
+        """The k nearest training rows as (distance, row), ascending."""
+        k = k or self.k
+        scored = [(self.distance(row, train), train) for train in self._rows]
+        scored.sort(key=lambda pair: pair[0])
+        return scored[:k]
+
+    def predict(self, row: dict) -> str:
+        """Majority vote of the k nearest neighbours."""
+        votes = Counter(
+            str(train[self.target]) for __, train in self.neighbours(row)
+        )
+        peak = max(votes.values())
+        return min(label for label, n in votes.items() if n == peak)
+
+    def predict_many(self, rows: Sequence[dict]) -> list[str]:
+        """Vector form of :meth:`predict`."""
+        return [self.predict(row) for row in rows]

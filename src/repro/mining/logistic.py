@@ -1,0 +1,149 @@
+"""Binary logistic regression by gradient descent (numpy).
+
+The "risk assessment based on multivariate regression modelling" that
+paper §II describes as the status quo — implemented so the DD-DGMS
+exploratory workflow can be compared against it on equal footing.
+Categorical features are one-hot encoded automatically; numeric features
+are standardised.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MiningError, NotFittedError
+
+
+class LogisticRegressionClassifier:
+    """L2-regularised binary logistic regression."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        iterations: int = 500,
+        l2: float = 1e-3,
+    ):
+        if iterations < 1:
+            raise MiningError("iterations must be >= 1")
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.l2 = l2
+        self._fitted = False
+
+    def _expanded_columns(self) -> list[tuple[str, object | None]]:
+        """Design-matrix columns: (feature, None) numeric or (feature, value)."""
+        columns: list[tuple[str, object | None]] = []
+        for feature in self.features:
+            if feature in self._numeric:
+                columns.append((feature, None))
+            else:
+                for value in self._vocab[feature]:
+                    columns.append((feature, value))
+        return columns
+
+    def _raw_design(self, rows: Sequence[dict]) -> tuple[np.ndarray, np.ndarray]:
+        columns = self._expanded_columns()
+        raw = np.zeros((len(rows), len(columns)))
+        mask = np.zeros_like(raw, dtype=bool)
+        for i, row in enumerate(rows):
+            for j, (feature, category) in enumerate(columns):
+                value = row.get(feature)
+                if value is None:
+                    mask[i, j] = True
+                elif category is None:
+                    raw[i, j] = float(value)  # type: ignore[arg-type]
+                else:
+                    raw[i, j] = 1.0 if str(value) == category else 0.0
+        return raw, mask
+
+    def _design(self, rows: Sequence[dict]) -> np.ndarray:
+        raw, mask = self._raw_design(rows)
+        raw = np.where(mask, self._means, raw)  # mean imputation
+        return (raw - self._means) / self._stds
+
+    def fit(
+        self, rows: Sequence[dict], target: str, features: Sequence[str]
+    ) -> "LogisticRegressionClassifier":
+        """Fit weights; the two observed class labels map to 0/1."""
+        if not rows:
+            raise MiningError("cannot fit on an empty dataset")
+        if not features:
+            raise MiningError("no features supplied")
+        labelled = [row for row in rows if row.get(target) is not None]
+        classes = sorted({str(row[target]) for row in labelled})
+        if len(classes) != 2:
+            raise MiningError(
+                f"logistic regression is binary; got classes {classes}"
+            )
+        self.target = target
+        self.features = list(features)
+        self.classes = classes
+
+        self._numeric: set[str] = set()
+        self._vocab: dict[str, list[str]] = {}
+        for feature in features:
+            present = [
+                row[feature] for row in labelled if row.get(feature) is not None
+            ]
+            if present and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in present
+            ):
+                self._numeric.add(feature)
+            else:
+                self._vocab[feature] = sorted({str(v) for v in present})
+                if not self._vocab[feature]:
+                    raise MiningError(f"feature {feature!r} is entirely null")
+
+        raw, mask = self._raw_design(labelled)
+        with np.errstate(invalid="ignore"):
+            masked = np.where(mask, np.nan, raw)
+            self._means = np.nanmean(masked, axis=0)
+            self._means = np.where(np.isnan(self._means), 0.0, self._means)
+            stds = np.nanstd(masked, axis=0)
+        self._stds = np.where((np.isnan(stds)) | (stds < 1e-12), 1.0, stds)
+
+        X = self._design(labelled)
+        y = np.array([1.0 if str(r[target]) == classes[1] else 0.0 for r in labelled])
+        n, d = X.shape
+        self.weights = np.zeros(d)
+        self.bias = 0.0
+        for __ in range(self.iterations):
+            z = X @ self.weights + self.bias
+            p = 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+            grad_w = X.T @ (p - y) / n + self.l2 * self.weights
+            grad_b = float((p - y).mean())
+            self.weights -= self.learning_rate * grad_w
+            self.bias -= self.learning_rate * grad_b
+        self._fitted = True
+        return self
+
+    def predict_proba(self, row: dict) -> dict[str, float]:
+        """P(class) for both classes."""
+        if not self._fitted:
+            raise NotFittedError("LogisticRegressionClassifier used before fit()")
+        x = self._design([row])[0]
+        z = float(x @ self.weights + self.bias)
+        p1 = 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+        return {self.classes[0]: 1.0 - p1, self.classes[1]: p1}
+
+    def predict(self, row: dict) -> str:
+        """The more probable class."""
+        probs = self.predict_proba(row)
+        return max(sorted(probs), key=lambda c: probs[c])
+
+    def predict_many(self, rows: Sequence[dict]) -> list[str]:
+        """Vector form of :meth:`predict`."""
+        return [self.predict(row) for row in rows]
+
+    def coefficients(self) -> dict[str, float]:
+        """Column → standardised weight (one-hot columns are ``feat=value``)."""
+        if not self._fitted:
+            raise NotFittedError("LogisticRegressionClassifier used before fit()")
+        names = [
+            feature if category is None else f"{feature}={category}"
+            for feature, category in self._expanded_columns()
+        ]
+        return dict(zip(names, self.weights.tolist()))

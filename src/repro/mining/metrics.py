@@ -1,0 +1,115 @@
+"""Classification metrics and impurity measures."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+from repro.errors import MiningError
+
+
+def entropy(labels: Sequence[object]) -> float:
+    """Shannon entropy (bits) of a label sequence."""
+    n = len(labels)
+    if n == 0:
+        return 0.0
+    counts = Counter(labels)
+    return -sum((c / n) * math.log2(c / n) for c in counts.values())
+
+
+def gini(labels: Sequence[object]) -> float:
+    """Gini impurity of a label sequence."""
+    n = len(labels)
+    if n == 0:
+        return 0.0
+    counts = Counter(labels)
+    return 1.0 - sum((c / n) ** 2 for c in counts.values())
+
+
+class ConfusionMatrix:
+    """Actual × predicted counts with per-class derived metrics."""
+
+    def __init__(self, actual: Sequence[object], predicted: Sequence[object]):
+        if len(actual) != len(predicted):
+            raise MiningError(
+                f"{len(actual)} actual labels vs {len(predicted)} predictions"
+            )
+        if not actual:
+            raise MiningError("cannot build a confusion matrix from no labels")
+        self.classes = sorted({str(a) for a in actual} | {str(p) for p in predicted})
+        self._counts: dict[tuple[str, str], int] = {}
+        for a, p in zip(actual, predicted):
+            key = (str(a), str(p))
+            self._counts[key] = self._counts.get(key, 0) + 1
+        self.total = len(actual)
+
+    def count(self, actual: object, predicted: object) -> int:
+        """Cell count for (actual, predicted)."""
+        return self._counts.get((str(actual), str(predicted)), 0)
+
+    def accuracy(self) -> float:
+        """Fraction predicted correctly."""
+        correct = sum(self.count(c, c) for c in self.classes)
+        return correct / self.total
+
+    def precision(self, cls: object) -> float:
+        """TP / (TP + FP) for one class (0 when never predicted)."""
+        cls = str(cls)
+        predicted_cls = sum(self.count(a, cls) for a in self.classes)
+        if predicted_cls == 0:
+            return 0.0
+        return self.count(cls, cls) / predicted_cls
+
+    def recall(self, cls: object) -> float:
+        """TP / (TP + FN) for one class (0 when class absent)."""
+        cls = str(cls)
+        actual_cls = sum(self.count(cls, p) for p in self.classes)
+        if actual_cls == 0:
+            return 0.0
+        return self.count(cls, cls) / actual_cls
+
+    def f1(self, cls: object) -> float:
+        """Harmonic mean of precision and recall for one class."""
+        p = self.precision(cls)
+        r = self.recall(cls)
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def macro_f1(self) -> float:
+        """Unweighted mean F1 across classes."""
+        return sum(self.f1(c) for c in self.classes) / len(self.classes)
+
+    def to_text(self) -> str:
+        """Render the matrix (rows = actual, columns = predicted)."""
+        width = max(len(c) for c in self.classes)
+        width = max(width, 6)
+        header = "actual\\pred".ljust(width + 2) + " ".join(
+            c.rjust(width) for c in self.classes
+        )
+        lines = [header]
+        for a in self.classes:
+            cells = " ".join(str(self.count(a, p)).rjust(width) for p in self.classes)
+            lines.append(a.ljust(width + 2) + cells)
+        return "\n".join(lines)
+
+
+def accuracy(actual: Sequence[object], predicted: Sequence[object]) -> float:
+    """Convenience wrapper over :class:`ConfusionMatrix`."""
+    return ConfusionMatrix(actual, predicted).accuracy()
+
+
+def precision(actual: Sequence[object], predicted: Sequence[object], cls: object) -> float:
+    """Precision of one class."""
+    return ConfusionMatrix(actual, predicted).precision(cls)
+
+
+def recall(actual: Sequence[object], predicted: Sequence[object], cls: object) -> float:
+    """Recall of one class."""
+    return ConfusionMatrix(actual, predicted).recall(cls)
+
+
+def f1_score(actual: Sequence[object], predicted: Sequence[object], cls: object) -> float:
+    """F1 of one class."""
+    return ConfusionMatrix(actual, predicted).f1(cls)

@@ -1,0 +1,122 @@
+"""Naive Bayes over mixed categorical/numeric clinical features.
+
+Categorical features use Laplace-smoothed frequency estimates; numeric
+features a Gaussian likelihood.  Nulls contribute nothing to the
+log-posterior (treated as missing-at-random), which suits screening data
+where different visits record different test panels.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+from repro.errors import MiningError, NotFittedError
+
+
+class NaiveBayesClassifier:
+    """Hybrid categorical/Gaussian naive Bayes."""
+
+    def __init__(self, smoothing: float = 1.0):
+        if smoothing <= 0:
+            raise MiningError("smoothing must be positive")
+        self.smoothing = smoothing
+        self._fitted = False
+
+    def fit(
+        self, rows: Sequence[dict], target: str, features: Sequence[str]
+    ) -> "NaiveBayesClassifier":
+        """Estimate priors and per-class likelihood parameters."""
+        if not rows:
+            raise MiningError("cannot fit on an empty dataset")
+        if not features:
+            raise MiningError("no features supplied")
+        self.target = target
+        self.features = list(features)
+        labelled = [row for row in rows if row.get(target) is not None]
+        if not labelled:
+            raise MiningError(f"no rows carry a {target!r} label")
+        self.classes = sorted({str(row[target]) for row in labelled})
+
+        self._numeric: set[str] = set()
+        for feature in self.features:
+            values = [row.get(feature) for row in labelled]
+            present = [v for v in values if v is not None]
+            if present and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in present
+            ):
+                self._numeric.add(feature)
+
+        self._priors: dict[str, float] = {}
+        self._cat_likelihood: dict[tuple[str, str], Counter] = {}
+        self._cat_totals: dict[tuple[str, str], int] = {}
+        self._cat_vocab: dict[str, set] = {f: set() for f in self.features}
+        self._gauss: dict[tuple[str, str], tuple[float, float]] = {}
+
+        n = len(labelled)
+        by_class: dict[str, list[dict]] = {c: [] for c in self.classes}
+        for row in labelled:
+            by_class[str(row[target])].append(row)
+        for cls, members in by_class.items():
+            self._priors[cls] = len(members) / n
+            for feature in self.features:
+                values = [m.get(feature) for m in members]
+                present = [v for v in values if v is not None]
+                if feature in self._numeric:
+                    if present:
+                        mean = sum(present) / len(present)
+                        var = sum((v - mean) ** 2 for v in present) / max(
+                            len(present) - 1, 1
+                        )
+                    else:
+                        mean, var = 0.0, 1.0
+                    self._gauss[(cls, feature)] = (mean, max(var, 1e-9))
+                else:
+                    counter = Counter(str(v) for v in present)
+                    self._cat_likelihood[(cls, feature)] = counter
+                    self._cat_totals[(cls, feature)] = len(present)
+                    self._cat_vocab[feature].update(counter)
+        self._fitted = True
+        return self
+
+    def _log_likelihood(self, cls: str, feature: str, value: object) -> float:
+        if feature in self._numeric:
+            mean, var = self._gauss[(cls, feature)]
+            v = float(value)  # type: ignore[arg-type]
+            return -0.5 * (math.log(2 * math.pi * var) + (v - mean) ** 2 / var)
+        counter = self._cat_likelihood[(cls, feature)]
+        total = self._cat_totals[(cls, feature)]
+        vocab_size = max(len(self._cat_vocab[feature]), 1)
+        count = counter.get(str(value), 0)
+        return math.log(
+            (count + self.smoothing) / (total + self.smoothing * vocab_size)
+        )
+
+    def predict_proba(self, row: dict) -> dict[str, float]:
+        """Posterior probability per class for one row."""
+        if not self._fitted:
+            raise NotFittedError("NaiveBayesClassifier used before fit()")
+        log_posts = {}
+        for cls in self.classes:
+            score = math.log(self._priors[cls])
+            for feature in self.features:
+                value = row.get(feature)
+                if value is None:
+                    continue
+                score += self._log_likelihood(cls, feature, value)
+            log_posts[cls] = score
+        peak = max(log_posts.values())
+        expd = {c: math.exp(s - peak) for c, s in log_posts.items()}
+        total = sum(expd.values())
+        return {c: v / total for c, v in expd.items()}
+
+    def predict(self, row: dict) -> str:
+        """Most probable class for one row."""
+        probs = self.predict_proba(row)
+        return max(sorted(probs), key=lambda c: probs[c])
+
+    def predict_many(self, rows: Sequence[dict]) -> list[str]:
+        """Vector form of :meth:`predict`."""
+        return [self.predict(row) for row in rows]

@@ -1,0 +1,126 @@
+"""Random forest: bagged decision trees with feature subsampling.
+
+An ensemble extension over :class:`~repro.mining.decision_tree
+.DecisionTreeClassifier` — each tree trains on a bootstrap sample and a
+random feature subset; prediction is the majority vote, and
+``predict_proba`` the vote share.  Out-of-bag accuracy comes free from
+the bootstrap and is reported by :meth:`oob_accuracy`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from typing import Sequence
+
+from repro.errors import MiningError, NotFittedError
+from repro.mining.decision_tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated decision trees."""
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        max_depth: int = 8,
+        min_samples_split: int = 4,
+        feature_fraction: float | None = None,
+        seed: int = 0,
+    ):
+        if n_trees < 1:
+            raise MiningError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        #: None = sqrt(d) features per tree (the usual default)
+        self.feature_fraction = feature_fraction
+        self.seed = seed
+        self._fitted = False
+
+    def fit(
+        self, rows: Sequence[dict], target: str, features: Sequence[str]
+    ) -> "RandomForestClassifier":
+        """Train the ensemble; records out-of-bag votes along the way."""
+        if not rows:
+            raise MiningError("cannot fit on an empty dataset")
+        if not features:
+            raise MiningError("no features supplied")
+        labelled = [row for row in rows if row.get(target) is not None]
+        if not labelled:
+            raise MiningError(f"no rows carry a {target!r} label")
+        self.target = target
+        self.features = list(features)
+        self.classes = sorted({str(row[target]) for row in labelled})
+
+        rng = random.Random(self.seed)
+        n = len(labelled)
+        if self.feature_fraction is None:
+            per_tree = max(1, round(math.sqrt(len(self.features))))
+        else:
+            if not 0 < self.feature_fraction <= 1:
+                raise MiningError("feature_fraction must be in (0, 1]")
+            per_tree = max(1, round(self.feature_fraction * len(self.features)))
+
+        self._trees: list[tuple[DecisionTreeClassifier, list[str]]] = []
+        oob_votes: dict[int, Counter] = {}
+        for __ in range(self.n_trees):
+            sample_indices = [rng.randrange(n) for __ in range(n)]
+            in_bag = set(sample_indices)
+            sample = [labelled[i] for i in sample_indices]
+            tree_features = rng.sample(self.features, per_tree)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+            ).fit(sample, target, tree_features)
+            self._trees.append((tree, tree_features))
+            for i in range(n):
+                if i not in in_bag:
+                    label = tree.predict(labelled[i])
+                    oob_votes.setdefault(i, Counter())[label] += 1
+
+        correct = total = 0
+        for i, votes in oob_votes.items():
+            peak = max(votes.values())
+            winner = min(label for label, count in votes.items() if count == peak)
+            total += 1
+            if winner == str(labelled[i][target]):
+                correct += 1
+        self._oob_accuracy = correct / total if total else None
+        self._fitted = True
+        return self
+
+    def predict_proba(self, row: dict) -> dict[str, float]:
+        """Vote share per class."""
+        if not self._fitted:
+            raise NotFittedError("RandomForestClassifier used before fit()")
+        votes = Counter(tree.predict(row) for tree, __ in self._trees)
+        return {
+            cls: votes.get(cls, 0) / self.n_trees for cls in self.classes
+        }
+
+    def predict(self, row: dict) -> str:
+        """Majority vote (ties break alphabetically)."""
+        probabilities = self.predict_proba(row)
+        peak = max(probabilities.values())
+        return min(c for c, p in probabilities.items() if p == peak)
+
+    def predict_many(self, rows: Sequence[dict]) -> list[str]:
+        """Vector form of :meth:`predict`."""
+        return [self.predict(row) for row in rows]
+
+    def oob_accuracy(self) -> float | None:
+        """Out-of-bag accuracy estimate (None when every row was in-bag)."""
+        if not self._fitted:
+            raise NotFittedError("RandomForestClassifier used before fit()")
+        return self._oob_accuracy
+
+    def feature_usage(self) -> dict[str, int]:
+        """How many trees used each feature (a crude importance signal)."""
+        if not self._fitted:
+            raise NotFittedError("RandomForestClassifier used before fit()")
+        usage = Counter()
+        for __, tree_features in self._trees:
+            usage.update(tree_features)
+        return {feature: usage.get(feature, 0) for feature in self.features}

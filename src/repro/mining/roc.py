@@ -1,0 +1,102 @@
+"""ROC analysis for probabilistic binary classifiers.
+
+Risk assessment (the paper's motivating use of "multivariate regression
+modelling") is threshold-based: a clinician needs the full
+sensitivity/specificity trade-off, not one accuracy number.  This module
+computes the ROC curve and AUC from scores, plus the Youden-optimal
+threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import MiningError
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One operating point of the curve."""
+
+    threshold: float
+    true_positive_rate: float
+    false_positive_rate: float
+
+    @property
+    def youden_j(self) -> float:
+        """Youden's J = TPR - FPR (higher = better operating point)."""
+        return self.true_positive_rate - self.false_positive_rate
+
+
+@dataclass
+class RocCurve:
+    """The full curve with its summary statistics."""
+
+    points: list[RocPoint]
+    auc: float
+
+    def best_threshold(self) -> float:
+        """Threshold maximising Youden's J."""
+        return max(self.points, key=lambda p: p.youden_j).threshold
+
+
+def roc_curve(
+    labels: Sequence[object],
+    scores: Sequence[float],
+    positive_label: object,
+) -> RocCurve:
+    """Build the ROC curve from (label, score) pairs.
+
+    ``scores`` are "higher means more positive".  AUC is computed by the
+    trapezoidal rule over the curve; ties in score share an operating
+    point (the standard treatment).
+    """
+    if len(labels) != len(scores):
+        raise MiningError(
+            f"{len(labels)} labels vs {len(scores)} scores"
+        )
+    positives = sum(1 for label in labels if label == positive_label)
+    negatives = len(labels) - positives
+    if positives == 0 or negatives == 0:
+        raise MiningError(
+            "ROC needs at least one positive and one negative example"
+        )
+    paired = sorted(zip(scores, labels), key=lambda pair: -pair[0])
+
+    points: list[RocPoint] = [RocPoint(float("inf"), 0.0, 0.0)]
+    true_positives = false_positives = 0
+    index = 0
+    while index < len(paired):
+        threshold = paired[index][0]
+        # consume the whole tie group at this score
+        while index < len(paired) and paired[index][0] == threshold:
+            if paired[index][1] == positive_label:
+                true_positives += 1
+            else:
+                false_positives += 1
+            index += 1
+        points.append(
+            RocPoint(
+                threshold,
+                true_positives / positives,
+                false_positives / negatives,
+            )
+        )
+
+    auc = 0.0
+    for previous, current in zip(points, points[1:]):
+        width = current.false_positive_rate - previous.false_positive_rate
+        auc += width * (
+            current.true_positive_rate + previous.true_positive_rate
+        ) / 2
+    return RocCurve(points, auc)
+
+
+def auc_score(
+    labels: Sequence[object],
+    scores: Sequence[float],
+    positive_label: object,
+) -> float:
+    """Area under the ROC curve."""
+    return roc_curve(labels, scores, positive_label).auc

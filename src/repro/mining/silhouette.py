@@ -1,0 +1,90 @@
+"""Silhouette analysis for clustering quality.
+
+Gives the "how many patient subgroups are really here" answer a clinical
+scientist needs before trusting a clustering — used with
+:class:`~repro.mining.kmeans.KMeans` to pick k.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MiningError
+
+
+def _standardised_matrix(rows: Sequence[dict], features: Sequence[str]) -> np.ndarray:
+    matrix = np.zeros((len(rows), len(features)))
+    for i, row in enumerate(rows):
+        for j, feature in enumerate(features):
+            value = row.get(feature)
+            if value is None:
+                raise MiningError(
+                    f"row {i} has null {feature!r}; impute before scoring"
+                )
+            matrix[i, j] = float(value)
+    means = matrix.mean(axis=0)
+    stds = matrix.std(axis=0)
+    stds = np.where(stds < 1e-12, 1.0, stds)
+    return (matrix - means) / stds
+
+
+def silhouette_samples(
+    rows: Sequence[dict], features: Sequence[str], labels: Sequence[int]
+) -> list[float]:
+    """Per-row silhouette coefficients in [-1, 1]."""
+    if len(rows) != len(labels):
+        raise MiningError(f"{len(rows)} rows vs {len(labels)} labels")
+    if len(set(labels)) < 2:
+        raise MiningError("silhouette needs at least two clusters")
+    Z = _standardised_matrix(rows, features)
+    diff = Z[:, None, :] - Z[None, :, :]
+    distances = np.sqrt((diff**2).sum(axis=2))
+    labels_array = np.asarray(labels)
+
+    out: list[float] = []
+    for i in range(len(rows)):
+        own = labels_array[i]
+        same = (labels_array == own)
+        same[i] = False
+        if not same.any():
+            out.append(0.0)  # singleton cluster: defined as 0
+            continue
+        a = float(distances[i, same].mean())
+        b = min(
+            float(distances[i, labels_array == other].mean())
+            for other in set(labels)
+            if other != own
+        )
+        out.append((b - a) / max(a, b) if max(a, b) > 0 else 0.0)
+    return out
+
+
+def silhouette_score(
+    rows: Sequence[dict], features: Sequence[str], labels: Sequence[int]
+) -> float:
+    """Mean silhouette coefficient across rows."""
+    samples = silhouette_samples(rows, features, labels)
+    return sum(samples) / len(samples)
+
+
+def pick_k_by_silhouette(
+    rows: Sequence[dict],
+    features: Sequence[str],
+    k_range: Sequence[int] = (2, 3, 4, 5),
+    seed: int = 0,
+) -> tuple[int, dict[int, float]]:
+    """Fit k-means per candidate k; return (best k, score per k)."""
+    from repro.mining.kmeans import KMeans
+
+    scores: dict[int, float] = {}
+    for k in k_range:
+        if k < 2 or k > len(rows):
+            continue
+        model = KMeans(k, seed=seed).fit(rows, features)
+        scores[k] = silhouette_score(rows, features, model.labels)
+    if not scores:
+        raise MiningError("no feasible k in the requested range")
+    best = max(sorted(scores), key=lambda k: scores[k])
+    return best, scores

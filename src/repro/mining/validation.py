@@ -1,0 +1,90 @@
+"""Train/test splitting and cross-validation."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.errors import MiningError
+from repro.mining.metrics import ConfusionMatrix
+
+
+def train_test_split(
+    rows: Sequence[dict],
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple[list[dict], list[dict]]:
+    """Shuffle (seeded) and split rows into (train, test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise MiningError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if len(rows) < 2:
+        raise MiningError("need at least two rows to split")
+    shuffled = list(rows)
+    random.Random(seed).shuffle(shuffled)
+    cut = max(1, int(round(len(shuffled) * test_fraction)))
+    cut = min(cut, len(shuffled) - 1)
+    return shuffled[cut:], shuffled[:cut]
+
+
+def stratified_k_fold(
+    rows: Sequence[dict], target: str, k: int = 5, seed: int = 0
+) -> list[tuple[list[dict], list[dict]]]:
+    """K folds preserving class proportions; returns [(train, test), ...].
+
+    Every row lands in exactly one test fold.  Classes with fewer members
+    than ``k`` still distribute round-robin, so no fold is ever empty for
+    ``k <= len(rows)``.
+    """
+    if k < 2:
+        raise MiningError(f"k must be >= 2, got {k}")
+    if len(rows) < k:
+        raise MiningError(f"cannot make {k} folds from {len(rows)} rows")
+    rng = random.Random(seed)
+    by_class: dict[object, list[dict]] = {}
+    for row in rows:
+        by_class.setdefault(row.get(target), []).append(row)
+    folds: list[list[dict]] = [[] for __ in range(k)]
+    offset = 0
+    for cls in sorted(by_class, key=str):
+        members = by_class[cls]
+        rng.shuffle(members)
+        for i, row in enumerate(members):
+            folds[(i + offset) % k].append(row)
+        offset += len(members)
+    out = []
+    for i in range(k):
+        test = folds[i]
+        train = [row for j in range(k) if j != i for row in folds[j]]
+        out.append((train, test))
+    return out
+
+
+def cross_validate(
+    model_factory: Callable[[], object],
+    rows: Sequence[dict],
+    target: str,
+    features: Sequence[str],
+    k: int = 5,
+    seed: int = 0,
+) -> dict[str, float]:
+    """K-fold CV of any classifier with the fit/predict_many convention.
+
+    Returns mean/min/max accuracy and mean macro-F1 across folds.
+    """
+    accuracies: list[float] = []
+    macro_f1s: list[float] = []
+    for train, test in stratified_k_fold(rows, target, k=k, seed=seed):
+        model = model_factory()
+        model.fit(train, target, list(features))  # type: ignore[attr-defined]
+        predicted = model.predict_many(test)  # type: ignore[attr-defined]
+        actual = [row.get(target) for row in test]
+        matrix = ConfusionMatrix(actual, predicted)
+        accuracies.append(matrix.accuracy())
+        macro_f1s.append(matrix.macro_f1())
+    return {
+        "mean_accuracy": sum(accuracies) / len(accuracies),
+        "min_accuracy": min(accuracies),
+        "max_accuracy": max(accuracies),
+        "mean_macro_f1": sum(macro_f1s) / len(macro_f1s),
+        "folds": float(k),
+    }

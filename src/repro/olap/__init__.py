@@ -1,0 +1,42 @@
+"""OLAP reporting over the warehouse (paper §IV, "Reporting - OLTP and OLAP").
+
+The cube (:mod:`repro.olap.cube`) is built from a star schema and answers
+multidimensional aggregation queries; :mod:`repro.olap.operations` provides
+the classic verbs — slice, dice, drill-down, roll-up, pivot; results render
+as :class:`~repro.olap.crosstab.Crosstab` grids (the "query area" of paper
+Fig. 4).  Queries can be built programmatically with
+:class:`~repro.olap.query.QueryBuilder` (the drag-and-drop analogue) or
+written in the MDX subset (:mod:`repro.olap.mdx`).
+"""
+
+from repro.olap.cube import Cube
+from repro.olap.materialized import LatticeStats, MaterializedCube
+from repro.olap.aggregates import AGGREGATION_NAMES, validate_aggregation
+from repro.olap.crosstab import Crosstab
+from repro.olap.query import CubeQuery, QueryBuilder
+from repro.olap.operations import (
+    dice,
+    drill_down,
+    pivot,
+    roll_up,
+    slice_cube,
+)
+from repro.olap.mdx import execute_mdx, parse_mdx
+
+__all__ = [
+    "Cube",
+    "MaterializedCube",
+    "LatticeStats",
+    "AGGREGATION_NAMES",
+    "validate_aggregation",
+    "Crosstab",
+    "CubeQuery",
+    "QueryBuilder",
+    "slice_cube",
+    "dice",
+    "drill_down",
+    "roll_up",
+    "pivot",
+    "parse_mdx",
+    "execute_mdx",
+]

@@ -1,0 +1,34 @@
+"""Aggregation functions available to cube queries, with additivity rules."""
+
+from __future__ import annotations
+
+from repro.errors import OLAPError
+from repro.warehouse.fact import Measure
+
+#: Names accepted in cube queries, mapped onto the tabular group-by kernels.
+AGGREGATION_NAMES = frozenset(
+    {"sum", "mean", "min", "max", "std", "count", "size", "nunique"}
+)
+
+#: Aggregations that are safe on any measure, additive or not.
+_NON_ADDITIVE_SAFE = frozenset({"mean", "min", "max", "std", "count", "size", "nunique"})
+
+
+def validate_aggregation(measure: Measure, aggregation: str, force: bool = False) -> None:
+    """Refuse meaningless aggregations.
+
+    Summing a non-additive measure (a blood-glucose *level*, a blood
+    pressure) across patients produces a clinically meaningless number; the
+    cube refuses unless ``force=True``.  This guard is the warehouse-side
+    counterpart of the paper's emphasis on clinically sensible aggregates.
+    """
+    if aggregation not in AGGREGATION_NAMES:
+        raise OLAPError(
+            f"unknown aggregation {aggregation!r} "
+            f"(valid: {', '.join(sorted(AGGREGATION_NAMES))})"
+        )
+    if aggregation == "sum" and not measure.additive and not force:
+        raise OLAPError(
+            f"measure {measure.name!r} is non-additive; refusing sum() "
+            "(pass force=True if you really mean it)"
+        )

@@ -1,0 +1,181 @@
+"""Crosstab: the two-axis grid OLAP results are read in.
+
+Paper Fig. 4 shows attributes dragged onto a query area producing an
+aggregated grid (family history of diabetes by age group and gender).  A
+:class:`Crosstab` is that grid: row keys × column keys → cell value, with
+helpers to render text, compute margins and extract series for charts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import OLAPError
+from repro.tabular.table import Table
+
+
+def _fmt_cell(value: object) -> str:
+    if value is None:
+        return "·"
+    if isinstance(value, float):
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+class Crosstab:
+    """An immutable two-axis aggregation grid.
+
+    ``row_keys`` / ``col_keys`` are tuples (multi-level axes come from
+    crossjoins); ``cells`` maps (row_key, col_key) → value.  Missing cells
+    are empty (no facts), distinct from a present zero.
+    """
+
+    def __init__(
+        self,
+        row_levels: Sequence[str],
+        col_levels: Sequence[str],
+        row_keys: Sequence[tuple],
+        col_keys: Sequence[tuple],
+        cells: dict[tuple[tuple, tuple], object],
+        value_name: str = "records",
+    ):
+        self.row_levels = list(row_levels)
+        self.col_levels = list(col_levels)
+        self.row_keys = list(row_keys)
+        self.col_keys = list(col_keys)
+        self.cells = dict(cells)
+        self.value_name = value_name
+
+    @classmethod
+    def from_aggregate(
+        cls,
+        table: Table,
+        row_levels: Sequence[str],
+        col_levels: Sequence[str],
+        value_column: str,
+    ) -> "Crosstab":
+        """Pivot a long-form aggregate table into a grid."""
+        for level in list(row_levels) + list(col_levels) + [value_column]:
+            table.column(level)
+        row_keys: list[tuple] = []
+        col_keys: list[tuple] = []
+        seen_rows: set[tuple] = set()
+        seen_cols: set[tuple] = set()
+        cells: dict[tuple[tuple, tuple], object] = {}
+        for row in table.iter_rows():
+            r = tuple(row[level] for level in row_levels)
+            c = tuple(row[level] for level in col_levels)
+            if r not in seen_rows:
+                seen_rows.add(r)
+                row_keys.append(r)
+            if c not in seen_cols:
+                seen_cols.add(c)
+                col_keys.append(c)
+            cells[(r, c)] = row[value_column]
+        return cls(row_levels, col_levels, row_keys, col_keys, cells, value_column)
+
+    # ------------------------------------------------------------------
+
+    def value(self, row_key: tuple | object, col_key: tuple | object) -> object:
+        """Cell value (``None`` for an empty cell).  Bare keys are wrapped."""
+        r = row_key if isinstance(row_key, tuple) else (row_key,)
+        c = col_key if isinstance(col_key, tuple) else (col_key,)
+        return self.cells.get((r, c))
+
+    def row_totals(self) -> dict[tuple, float]:
+        """Sum across columns per row (numeric cells only)."""
+        return {
+            r: sum(
+                float(self.cells[(r, c)])
+                for c in self.col_keys
+                if isinstance(self.cells.get((r, c)), (int, float))
+            )
+            for r in self.row_keys
+        }
+
+    def col_totals(self) -> dict[tuple, float]:
+        """Sum across rows per column (numeric cells only)."""
+        return {
+            c: sum(
+                float(self.cells[(r, c)])
+                for r in self.row_keys
+                if isinstance(self.cells.get((r, c)), (int, float))
+            )
+            for c in self.col_keys
+        }
+
+    def grand_total(self) -> float:
+        """Sum of all numeric cells."""
+        return sum(self.row_totals().values())
+
+    def series(self, col_key: tuple | object) -> list[tuple[tuple, object]]:
+        """One column as [(row_key, value), ...] — chart-ready."""
+        c = col_key if isinstance(col_key, tuple) else (col_key,)
+        if c not in self.col_keys:
+            raise OLAPError(
+                f"no column {c!r} in crosstab (have: {self.col_keys})"
+            )
+        return [(r, self.cells.get((r, c))) for r in self.row_keys]
+
+    def sorted_rows(self) -> "Crosstab":
+        """A copy with row keys sorted lexicographically (None last)."""
+        def sort_key(key: tuple):
+            return tuple((v is None, str(v)) for v in key)
+
+        return Crosstab(
+            self.row_levels, self.col_levels,
+            sorted(self.row_keys, key=sort_key), self.col_keys,
+            self.cells, self.value_name,
+        )
+
+    def to_table(self) -> Table:
+        """Back to long form: one row per populated cell."""
+        rows = []
+        for (r, c), value in self.cells.items():
+            row: dict[str, object] = dict(zip(self.row_levels, r))
+            row.update(dict(zip(self.col_levels, c)))
+            row[self.value_name] = value
+            rows.append(row)
+        return Table.from_rows(rows)
+
+    def to_text(self, with_totals: bool = False) -> str:
+        """Render the grid for a terminal."""
+        def key_text(key: tuple) -> str:
+            return " / ".join("∅" if v is None else str(v) for v in key)
+
+        header_left = " / ".join(self.row_levels) or self.value_name
+        col_labels = [key_text(c) for c in self.col_keys]
+        if with_totals:
+            col_labels.append("TOTAL")
+        rows_out: list[list[str]] = []
+        row_totals = self.row_totals() if with_totals else {}
+        for r in self.row_keys:
+            line = [key_text(r)]
+            line.extend(_fmt_cell(self.cells.get((r, c))) for c in self.col_keys)
+            if with_totals:
+                line.append(_fmt_cell(row_totals[r]))
+            rows_out.append(line)
+        if with_totals:
+            totals = self.col_totals()
+            footer = ["TOTAL"]
+            footer.extend(_fmt_cell(totals[c]) for c in self.col_keys)
+            footer.append(_fmt_cell(self.grand_total()))
+            rows_out.append(footer)
+        headers = [header_left] + col_labels
+        widths = [
+            max(len(headers[j]), *(len(row[j]) for row in rows_out)) if rows_out else len(headers[j])
+            for j in range(len(headers))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in rows_out:
+            lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Crosstab({len(self.row_keys)}×{len(self.col_keys)} "
+            f"[{self.value_name}], rows={self.row_levels}, cols={self.col_levels})"
+        )

@@ -1,0 +1,183 @@
+"""The OLAP cube: multidimensional aggregation over a star schema."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import OLAPError, UnknownLevelError
+from repro.olap.aggregates import validate_aggregation
+from repro.tabular.expressions import Expression, col
+from repro.tabular.table import Table
+from repro.warehouse.attribute import Hierarchy
+from repro.warehouse.dynamic import DynamicWarehouse
+from repro.warehouse.star import StarSchema
+
+
+class Cube:
+    """A queryable cube built over a star schema's flattened view.
+
+    *Levels* are qualified dimension attributes (``"personal.age_band"``);
+    *measures* are the fact measures plus the implicit ``"records"`` count.
+    The flattened view is computed once and cached; ``refresh()`` rebuilds
+    it after the underlying (dynamic) schema changes.
+
+    Aggregation requests are ``output_name=(target, aggregation)`` where
+    ``target`` is a measure or any level (levels support ``count`` /
+    ``nunique`` — that is how "number of patients" is asked for, via
+    ``nunique`` over the patient identifier attribute).
+    """
+
+    #: implicit measure: number of fact rows in the cell
+    RECORDS = "records"
+
+    def __init__(self, schema: StarSchema | DynamicWarehouse, name: str | None = None):
+        self._dynamic = schema if isinstance(schema, DynamicWarehouse) else None
+        self.schema = schema.schema if isinstance(schema, DynamicWarehouse) else schema
+        self.name = name or self.schema.name
+        self._flat: Table | None = None
+        self._schema_version = self._current_version()
+
+    def _current_version(self) -> int:
+        return self._dynamic.version if self._dynamic is not None else 1
+
+    @property
+    def flat(self) -> Table:
+        """The denormalised fact+dimension view (auto-refreshed on change)."""
+        if self._flat is None or self._schema_version != self._current_version():
+            self._flat = self.schema.flatten()
+            self._schema_version = self._current_version()
+        return self._flat
+
+    def refresh(self) -> None:
+        """Force a rebuild of the flattened view."""
+        self._flat = None
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def levels(self) -> list[str]:
+        """All qualified levels (``dim.attr``)."""
+        return list(self.schema.qualified_attributes())
+
+    @property
+    def measure_names(self) -> list[str]:
+        """Fact measures plus the implicit record count."""
+        return list(self.schema.fact.measures) + [self.RECORDS]
+
+    def check_level(self, level: str) -> str:
+        """Validate a level name, returning it; raises with suggestions."""
+        if level in self.schema.qualified_attributes():
+            return level
+        # allow bare attribute names when unambiguous
+        matches = [
+            q for q, (_, attr) in self.schema.qualified_attributes().items()
+            if attr == level
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise UnknownLevelError(
+                f"level {level!r} is ambiguous: {', '.join(matches)}"
+            )
+        raise UnknownLevelError(
+            f"unknown level {level!r} (known: {', '.join(self.levels)})"
+        )
+
+    def hierarchy_for(self, level: str) -> tuple[str, Hierarchy] | None:
+        """(dimension, hierarchy) containing the given level, if any."""
+        qualified = self.check_level(level)
+        dim_name, attr = self.schema.qualified_attributes()[qualified]
+        hierarchy = self.schema.dimension(dim_name).hierarchy_for_level(attr)
+        if hierarchy is None:
+            return None
+        return dim_name, hierarchy
+
+    def level_members(self, level: str) -> list[object]:
+        """Distinct values of a level, in value order."""
+        qualified = self.check_level(level)
+        return self.flat.column(qualified).unique()
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def aggregate(
+        self,
+        levels: Sequence[str],
+        aggregations: Mapping[str, tuple[str, str]] | None = None,
+        filters: Expression | None = None,
+        force: bool = False,
+    ) -> Table:
+        """Group facts by ``levels`` and aggregate.
+
+        ``aggregations`` maps output column → (target, function); when
+        omitted the record count is returned.  ``filters`` restricts the
+        fact rows before grouping (a dice).  Returns a table with one row
+        per populated cell, sorted by the level columns.
+        """
+        qualified = [self.check_level(level) for level in levels]
+        aggregations = dict(aggregations or {self.RECORDS: (self.RECORDS, "size")})
+        table = self.flat if filters is None else self.flat.filter(filters)
+
+        specs: dict[str, tuple[str, str]] = {}
+        for out_name, (target, func) in aggregations.items():
+            if target == self.RECORDS:
+                if func not in ("size", "count"):
+                    raise OLAPError(
+                        f"the implicit {self.RECORDS!r} measure only supports "
+                        f"size/count, not {func!r}"
+                    )
+                anchor = qualified[0] if qualified else table.column_names[0]
+                specs[out_name] = (anchor, "size")
+            elif target in self.schema.fact.measures:
+                validate_aggregation(self.schema.fact.measures[target], func, force)
+                specs[out_name] = (target, func)
+            else:
+                level = self.check_level(target)
+                if func not in ("count", "nunique", "size", "min", "max"):
+                    raise OLAPError(
+                        f"level {target!r} only supports count/nunique/size/"
+                        f"min/max, not {func!r}"
+                    )
+                specs[out_name] = (level, func)
+
+        if not qualified:
+            # Grand total: aggregate the whole table as one group.
+            row: dict[str, object] = {}
+            for out_name, (target, func) in specs.items():
+                column = table.column(target)
+                from repro.tabular.groupby import AGGREGATORS
+                import numpy as np
+
+                row[out_name] = AGGREGATORS[func](column, np.arange(len(table)))
+            return Table.from_rows([row])
+
+        result = table.groupby(*qualified).agg(**specs)
+        return result.sort_by(*qualified)
+
+    def grand_total(
+        self,
+        aggregations: Mapping[str, tuple[str, str]] | None = None,
+        filters: Expression | None = None,
+    ) -> dict[str, object]:
+        """Single-row aggregate over the whole (possibly filtered) cube."""
+        table = self.aggregate([], aggregations, filters)
+        return table.row(0)
+
+    def slice_values(self, level: str, value: object) -> Expression:
+        """Predicate fixing one level to one member (a slice)."""
+        return col(self.check_level(level)).eq(value)
+
+    def query(self) -> "QueryBuilder":
+        """Start a fluent query against this cube (drag-and-drop analogue)."""
+        from repro.olap.query import QueryBuilder
+
+        return QueryBuilder(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cube({self.name!r}, {self.flat.num_rows} facts, "
+            f"{len(self.levels)} levels, measures=[{', '.join(self.measure_names)}])"
+        )

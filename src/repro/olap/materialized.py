@@ -1,0 +1,239 @@
+"""Materialised aggregate lattice over a cube.
+
+OLAP engines trade storage for latency by precomputing aggregates at
+chosen lattice nodes (level combinations) and answering coarser queries by
+rolling the precomputed cells up instead of re-scanning facts.  This
+module implements that classic design over :class:`~repro.olap.cube.Cube`:
+
+* :meth:`MaterializedCube.materialize` precomputes, per node, the cell
+  table with SUM/COUNT/MIN/MAX per measure plus the record count;
+* :meth:`MaterializedCube.aggregate` answers a query from the smallest
+  materialised superset node — means are recomposed as Σsum/Σcount, so
+  non-additive measures still roll up correctly — and falls back to the
+  base cube when no node covers the request (or for ``nunique``, which is
+  not decomposable);
+* :attr:`MaterializedCube.stats` records hits/fallbacks so benches can
+  show the trade-off.
+
+This is the "cube materialisation vs lazy aggregation" ablation of
+DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import OLAPError
+from repro.olap.aggregates import validate_aggregation
+from repro.olap.cube import Cube
+from repro.tabular.table import Table
+
+
+@dataclass
+class LatticeStats:
+    """Hit accounting for one materialised cube."""
+
+    exact_hits: int = 0
+    rollup_hits: int = 0
+    fallbacks: int = 0
+
+    @property
+    def total(self) -> int:
+        """All queries answered."""
+        return self.exact_hits + self.rollup_hits + self.fallbacks
+
+    def summary(self) -> str:
+        """One line: hits vs fallbacks."""
+        return (
+            f"{self.exact_hits} exact, {self.rollup_hits} rolled up, "
+            f"{self.fallbacks} fell back to base ({self.total} total)"
+        )
+
+
+@dataclass
+class _Node:
+    levels: tuple[str, ...]
+    table: Table
+    #: columns: per measure m -> (m__sum, m__count, m__min, m__max)
+    measures: tuple[str, ...]
+
+
+class MaterializedCube:
+    """A cube wrapper answering aggregations from precomputed nodes."""
+
+    RECORDS = Cube.RECORDS
+
+    def __init__(self, cube: Cube):
+        self.cube = cube
+        self._nodes: list[_Node] = []
+        self.stats = LatticeStats()
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+
+    def materialize(
+        self,
+        level_groups: Sequence[Sequence[str]],
+        measures: Sequence[str] | None = None,
+    ) -> "MaterializedCube":
+        """Precompute the given lattice nodes.
+
+        ``measures`` defaults to every fact measure.  Each node stores,
+        per cell, the record count and per-measure sum/count/min/max —
+        the decomposable statistics any supported aggregation recomposes
+        from.
+        """
+        measure_names = list(measures or self.cube.schema.fact.measures)
+        for name in measure_names:
+            self.cube.schema.fact.measure(name)  # validate
+        for group in level_groups:
+            qualified = tuple(self.cube.check_level(level) for level in group)
+            if not qualified:
+                raise OLAPError("cannot materialise an empty level group")
+            aggregations: dict[str, tuple[str, str]] = {
+                "__records": (self.RECORDS, "size")
+            }
+            for name in measure_names:
+                aggregations[f"{name}__sum"] = (name, "sum")
+                aggregations[f"{name}__count"] = (name, "count")
+                aggregations[f"{name}__min"] = (name, "min")
+                aggregations[f"{name}__max"] = (name, "max")
+            table = self.cube.aggregate(
+                list(qualified), aggregations, force=True
+            )
+            self._nodes.append(_Node(qualified, table, tuple(measure_names)))
+        # smaller nodes first so lookups prefer the cheapest superset
+        self._nodes.sort(key=lambda node: node.table.num_rows)
+        return self
+
+    @property
+    def nodes(self) -> list[tuple[tuple[str, ...], int]]:
+        """(levels, cell count) per materialised node."""
+        return [(node.levels, node.table.num_rows) for node in self._nodes]
+
+    def storage_cells(self) -> int:
+        """Total precomputed cells (the storage cost of the lattice)."""
+        return sum(node.table.num_rows for node in self._nodes)
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+
+    def aggregate(
+        self,
+        levels: Sequence[str],
+        aggregations: Mapping[str, tuple[str, str]] | None = None,
+        force: bool = False,
+    ) -> Table:
+        """Answer like :meth:`Cube.aggregate`, preferring the lattice.
+
+        Filters are not supported on the materialised path (a filtered
+        query needs fact rows); use the base cube for dices.
+        """
+        qualified = [self.cube.check_level(level) for level in levels]
+        aggregations = dict(
+            aggregations or {self.RECORDS: (self.RECORDS, "size")}
+        )
+
+        node = self._covering_node(qualified, aggregations)
+        if node is None:
+            self.stats.fallbacks += 1
+            return self.cube.aggregate(qualified, aggregations, force=force)
+        if set(node.levels) == set(qualified):
+            self.stats.exact_hits += 1
+        else:
+            self.stats.rollup_hits += 1
+        return self._answer_from_node(node, qualified, aggregations, force)
+
+    def _covering_node(
+        self,
+        levels: Sequence[str],
+        aggregations: Mapping[str, tuple[str, str]],
+    ) -> _Node | None:
+        wanted = set(levels)
+        needed_measures = set()
+        for target, func in aggregations.values():
+            if func == "nunique":
+                return None  # distinct counts do not roll up
+            if target != self.RECORDS:
+                if target not in self.cube.schema.fact.measures:
+                    return None  # level-valued aggregation: use the base cube
+                needed_measures.add(target)
+        for node in self._nodes:
+            if wanted <= set(node.levels) and needed_measures <= set(node.measures):
+                return node
+        return None
+
+    def _answer_from_node(
+        self,
+        node: _Node,
+        levels: list[str],
+        aggregations: Mapping[str, tuple[str, str]],
+        force: bool,
+    ) -> Table:
+        plans: dict[str, tuple[str, str]] = {}
+        for out_name, (target, func) in aggregations.items():
+            if target == self.RECORDS:
+                plans[out_name] = ("__records", "sum")
+                continue
+            measure = self.cube.schema.fact.measure(target)
+            validate_aggregation(measure, func, force)
+            if func == "sum":
+                plans[out_name] = (f"{target}__sum", "sum")
+            elif func in ("count", "size"):
+                plans[out_name] = (f"{target}__count", "sum")
+            elif func == "min":
+                plans[out_name] = (f"{target}__min", "min")
+            elif func == "max":
+                plans[out_name] = (f"{target}__max", "max")
+            elif func == "mean":
+                plans[out_name] = ("__mean__", target)  # recomposed below
+            else:
+                raise OLAPError(
+                    f"aggregation {func!r} cannot be answered from the lattice"
+                )
+
+        direct = {
+            out: spec for out, spec in plans.items() if spec[0] != "__mean__"
+        }
+        means = {
+            out: spec[1] for out, spec in plans.items() if spec[0] == "__mean__"
+        }
+        request: dict[str, tuple[str, str]] = dict(direct)
+        for out, target in means.items():
+            request[f"__{out}__sum"] = (f"{target}__sum", "sum")
+            request[f"__{out}__count"] = (f"{target}__count", "sum")
+
+        if not levels:
+            rows = [self._grand_total_row(node, request)]
+            result = Table.from_rows(rows)
+        else:
+            result = node.table.groupby(*levels).agg(**request)
+
+        if means:
+            for out in means:
+                sums = result.column(f"__{out}__sum").to_list()
+                counts = result.column(f"__{out}__count").to_list()
+                values = [
+                    (s / c if (s is not None and c) else None)
+                    for s, c in zip(sums, counts)
+                ]
+                result = result.with_column(out, values, dtype="float")
+                result = result.drop(f"__{out}__sum", f"__{out}__count")
+        ordered = levels + [out for out in aggregations]
+        result = result.select([c for c in ordered if c in result.column_names])
+        return result.sort_by(*levels) if levels else result
+
+    @staticmethod
+    def _grand_total_row(node: _Node, request: dict[str, tuple[str, str]]) -> dict:
+        import numpy as np
+
+        from repro.tabular.groupby import AGGREGATORS
+
+        indices = np.arange(node.table.num_rows)
+        return {
+            out: AGGREGATORS[func](node.table.column(source), indices)
+            for out, (source, func) in request.items()
+        }

@@ -1,0 +1,32 @@
+"""MDX subset — "Multidimensional expressions (MDX), the query language for
+OLAP can also be used for reporting" (paper §IV).
+
+Supported grammar (case-insensitive keywords)::
+
+    SELECT <set> ON COLUMNS [, <set> ON ROWS]
+    FROM <cube>
+    [WHERE <tuple>]
+
+    <set>    := { <tuple> , ... }
+              | <level>.MEMBERS
+              | CROSSJOIN(<set>, <set>)
+    <tuple>  := <ref> | ( <ref> , ... )
+    <ref>    := [Dim].[Attr].[Value]          -- a member
+              | [Measures].[name]             -- a measure
+              | DISTINCTCOUNT([Dim].[Attr])   -- a computed measure
+    <level>  := [Dim].[Attr]
+
+Example (paper Fig. 4 — family history of diabetes by age group and
+gender)::
+
+    SELECT [personal].[gender].MEMBERS ON COLUMNS,
+           [personal].[age_band].MEMBERS ON ROWS
+    FROM discri
+    WHERE [conditions].[family_history_diabetes].[yes]
+"""
+
+from repro.olap.mdx.lexer import tokenize
+from repro.olap.mdx.parser import parse_mdx
+from repro.olap.mdx.evaluator import execute_mdx
+
+__all__ = ["tokenize", "parse_mdx", "execute_mdx"]

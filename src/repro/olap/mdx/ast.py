@@ -1,0 +1,194 @@
+"""AST nodes for the MDX subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MemberRef:
+    """``[dim].[attr].[value]`` — one member of one level."""
+
+    dimension: str
+    attribute: str
+    value: str
+
+    @property
+    def level(self) -> str:
+        """Qualified level name used by the cube."""
+        return f"{self.dimension}.{self.attribute}"
+
+    def render(self) -> str:
+        """Back to MDX text."""
+        return f"[{self.dimension}].[{self.attribute}].[{self.value}]"
+
+
+@dataclass(frozen=True)
+class MeasureRef:
+    """``[Measures].[name]`` — a cube measure."""
+
+    name: str
+
+    def render(self) -> str:
+        """Back to MDX text."""
+        return f"[Measures].[{self.name}]"
+
+
+@dataclass(frozen=True)
+class DistinctCountRef:
+    """``DISTINCTCOUNT([dim].[attr])`` — a computed distinct-count measure."""
+
+    dimension: str
+    attribute: str
+
+    @property
+    def level(self) -> str:
+        """Qualified level name the count runs over."""
+        return f"{self.dimension}.{self.attribute}"
+
+    def render(self) -> str:
+        """Back to MDX text."""
+        return f"DISTINCTCOUNT([{self.dimension}].[{self.attribute}])"
+
+
+@dataclass(frozen=True)
+class LevelMembers:
+    """``[dim].[attr].MEMBERS`` — expands to every member of the level."""
+
+    dimension: str
+    attribute: str
+
+    @property
+    def level(self) -> str:
+        """Qualified level name."""
+        return f"{self.dimension}.{self.attribute}"
+
+    def render(self) -> str:
+        """Back to MDX text."""
+        return f"[{self.dimension}].[{self.attribute}].MEMBERS"
+
+
+@dataclass(frozen=True)
+class ExplicitSet:
+    """``{ tuple, tuple, ... }`` — an enumerated set of axis tuples."""
+
+    tuples: tuple[tuple, ...]  # each inner tuple holds MemberRef/MeasureRef/DistinctCountRef
+
+    def render(self) -> str:
+        """Back to MDX text."""
+        parts = []
+        for tup in self.tuples:
+            if len(tup) == 1:
+                parts.append(tup[0].render())
+            else:
+                parts.append("(" + ", ".join(ref.render() for ref in tup) + ")")
+        return "{" + ", ".join(parts) + "}"
+
+
+@dataclass(frozen=True)
+class CrossJoin:
+    """``CROSSJOIN(set, set)`` — cartesian product of two sets."""
+
+    left: "SetExpr"
+    right: "SetExpr"
+
+    def render(self) -> str:
+        """Back to MDX text."""
+        return f"CROSSJOIN({self.left.render()}, {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class MemberChildren:
+    """``[dim].[attr].[value].CHILDREN`` — the finer-level members under a
+    coarse member, resolved through the dimension's drill hierarchy."""
+
+    dimension: str
+    attribute: str
+    value: str
+
+    @property
+    def level(self) -> str:
+        """Qualified coarse level."""
+        return f"{self.dimension}.{self.attribute}"
+
+    def render(self) -> str:
+        """Back to MDX text."""
+        return f"[{self.dimension}].[{self.attribute}].[{self.value}].CHILDREN"
+
+
+@dataclass(frozen=True)
+class TopCount:
+    """``TOPCOUNT(set, n [, measure])`` — best n tuples by a measure."""
+
+    inner: "SetExpr"
+    count: int
+    measure: "MeasureRef | DistinctCountRef | None" = None
+
+    def render(self) -> str:
+        """Back to MDX text."""
+        suffix = f", {self.measure.render()}" if self.measure is not None else ""
+        return f"TOPCOUNT({self.inner.render()}, {self.count}{suffix})"
+
+
+@dataclass(frozen=True)
+class FilterSet:
+    """``FILTER(set, measure op number)`` — tuples whose aggregate passes."""
+
+    inner: "SetExpr"
+    measure: "MeasureRef | DistinctCountRef"
+    comparator: str
+    threshold: float
+
+    def render(self) -> str:
+        """Back to MDX text."""
+        return (
+            f"FILTER({self.inner.render()}, {self.measure.render()} "
+            f"{self.comparator} {self.threshold:g})"
+        )
+
+
+@dataclass(frozen=True)
+class OrderSet:
+    """``ORDER(set, measure [, ASC|DESC])`` — tuples sorted by a measure."""
+
+    inner: "SetExpr"
+    measure: "MeasureRef | DistinctCountRef"
+    descending: bool = False
+
+    def render(self) -> str:
+        """Back to MDX text."""
+        direction = "DESC" if self.descending else "ASC"
+        return f"ORDER({self.inner.render()}, {self.measure.render()}, {direction})"
+
+
+SetExpr = (
+    ExplicitSet | LevelMembers | CrossJoin | MemberChildren
+    | TopCount | FilterSet | OrderSet
+)
+
+
+@dataclass(frozen=True)
+class MdxQuery:
+    """A full parsed query."""
+
+    columns: SetExpr
+    rows: SetExpr | None
+    cube: str
+    slicer: tuple = field(default_factory=tuple)  # MemberRef/MeasureRef refs
+    non_empty_columns: bool = False
+    non_empty_rows: bool = False
+
+    def render(self) -> str:
+        """Back to MDX text (normalised whitespace)."""
+        col_prefix = "NON EMPTY " if self.non_empty_columns else ""
+        text = f"SELECT {col_prefix}{self.columns.render()} ON COLUMNS"
+        if self.rows is not None:
+            row_prefix = "NON EMPTY " if self.non_empty_rows else ""
+            text += f", {row_prefix}{self.rows.render()} ON ROWS"
+        text += f" FROM {self.cube}"
+        if self.slicer:
+            if len(self.slicer) == 1:
+                text += f" WHERE {self.slicer[0].render()}"
+            else:
+                text += " WHERE (" + ", ".join(r.render() for r in self.slicer) + ")"
+        return text

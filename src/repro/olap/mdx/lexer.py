@@ -1,0 +1,120 @@
+"""Tokenizer for the MDX subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import LexError
+
+
+class TokenType(Enum):
+    """Kinds of MDX tokens."""
+
+    KEYWORD = "keyword"          # SELECT, ON, COLUMNS, ROWS, FROM, WHERE, ...
+    BRACKETED = "bracketed"      # [anything]
+    IDENT = "ident"              # bare cube names
+    NUMBER = "number"            # TOPCOUNT counts, FILTER thresholds
+    COMPARATOR = "comparator"    # > >= < <= = <>
+    LBRACE = "lbrace"
+    RBRACE = "rbrace"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    COMMA = "comma"
+    DOT = "dot"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "ON", "COLUMNS", "ROWS", "FROM", "WHERE",
+        "MEMBERS", "CROSSJOIN", "DISTINCTCOUNT",
+        "NON", "EMPTY", "TOPCOUNT", "FILTER", "ORDER",
+        "CHILDREN", "ASC", "DESC",
+    }
+)
+
+_PUNCT = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+}
+
+_COMPARATORS = ("<=", ">=", "<>", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    type: TokenType
+    text: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.text!r}@{self.position})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split MDX source into tokens; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # '.' may start a number like .5 — punctuation check must not eat it
+        if ch in _PUNCT and not (
+            ch == "." and i + 1 < n and source[i + 1].isdigit()
+        ):
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        matched = next(
+            (op for op in _COMPARATORS if source.startswith(op, i)), None
+        )
+        if matched:
+            tokens.append(Token(TokenType.COMPARATOR, matched, i))
+            i += len(matched)
+            continue
+        if ch.isdigit() or ch == "." or (
+            ch == "-" and i + 1 < n and (source[i + 1].isdigit() or source[i + 1] == ".")
+        ):
+            j = i + 1
+            seen_dot = ch == "."
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, source[i:j], i))
+            i = j
+            continue
+        if ch == "[":
+            end = source.find("]", i + 1)
+            if end < 0:
+                raise LexError("unterminated '[' delimiter", i)
+            inner = source[i + 1 : end]
+            if not inner:
+                raise LexError("empty bracketed name", i)
+            tokens.append(Token(TokenType.BRACKETED, inner, i))
+            i = end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        raise LexError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,294 @@
+"""Recursive-descent parser for the MDX subset."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.olap.mdx.ast import (
+    CrossJoin,
+    DistinctCountRef,
+    ExplicitSet,
+    FilterSet,
+    LevelMembers,
+    MdxQuery,
+    MeasureRef,
+    MemberChildren,
+    MemberRef,
+    OrderSet,
+    SetExpr,
+    TopCount,
+)
+from repro.olap.mdx.lexer import Token, TokenType, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, type_: TokenType, text: str | None = None) -> Token:
+        token = self.peek()
+        if token.type is not type_ or (text is not None and token.text != text):
+            wanted = text or type_.value
+            raise ParseError(
+                f"expected {wanted} but found {token.text or 'end of query'!r} "
+                f"at offset {token.position}"
+            )
+        return self.advance()
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.type is TokenType.KEYWORD and token.text == word
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_non_empty(self) -> bool:
+        if self.at_keyword("NON"):
+            self.advance()
+            self.expect(TokenType.KEYWORD, "EMPTY")
+            return True
+        return False
+
+    def parse_query(self) -> MdxQuery:
+        self.expect(TokenType.KEYWORD, "SELECT")
+        first_non_empty = self.parse_non_empty()
+        first_set = self.parse_set()
+        self.expect(TokenType.KEYWORD, "ON")
+        first_axis = self.expect(TokenType.KEYWORD).text
+        if first_axis not in ("COLUMNS", "ROWS"):
+            raise ParseError(f"axis must be COLUMNS or ROWS, got {first_axis}")
+        second_set: SetExpr | None = None
+        second_axis: str | None = None
+        second_non_empty = False
+        if self.peek().type is TokenType.COMMA:
+            self.advance()
+            second_non_empty = self.parse_non_empty()
+            second_set = self.parse_set()
+            self.expect(TokenType.KEYWORD, "ON")
+            second_axis = self.expect(TokenType.KEYWORD).text
+            if second_axis not in ("COLUMNS", "ROWS"):
+                raise ParseError(f"axis must be COLUMNS or ROWS, got {second_axis}")
+            if second_axis == first_axis:
+                raise ParseError(f"axis {first_axis} specified twice")
+        self.expect(TokenType.KEYWORD, "FROM")
+        cube_token = self.peek()
+        if cube_token.type in (TokenType.IDENT, TokenType.BRACKETED):
+            cube = self.advance().text
+        else:
+            raise ParseError(
+                f"expected a cube name after FROM, found {cube_token.text!r}"
+            )
+        slicer: tuple = ()
+        if self.at_keyword("WHERE"):
+            self.advance()
+            slicer = self.parse_slicer()
+        self.expect(TokenType.EOF)
+
+        axes = {first_axis: (first_set, first_non_empty)}
+        if second_axis is not None:
+            axes[second_axis] = (second_set, second_non_empty)
+        if "COLUMNS" not in axes:
+            raise ParseError("a query must place a set ON COLUMNS")
+        rows_entry = axes.get("ROWS")
+        return MdxQuery(
+            columns=axes["COLUMNS"][0],
+            rows=rows_entry[0] if rows_entry else None,
+            cube=cube,
+            slicer=slicer,
+            non_empty_columns=axes["COLUMNS"][1],
+            non_empty_rows=rows_entry[1] if rows_entry else False,
+        )
+
+    def parse_set(self) -> SetExpr:
+        token = self.peek()
+        if token.type is TokenType.LBRACE:
+            return self.parse_explicit_set()
+        if self.at_keyword("CROSSJOIN"):
+            self.advance()
+            self.expect(TokenType.LPAREN)
+            left = self.parse_set()
+            self.expect(TokenType.COMMA)
+            right = self.parse_set()
+            self.expect(TokenType.RPAREN)
+            return CrossJoin(left, right)
+        if self.at_keyword("TOPCOUNT"):
+            return self.parse_topcount()
+        if self.at_keyword("FILTER"):
+            return self.parse_filter()
+        if self.at_keyword("ORDER"):
+            return self.parse_order()
+        if self.at_keyword("DISTINCTCOUNT"):
+            return ExplicitSet(((self.parse_distinct_count(),),))
+        if token.type is TokenType.BRACKETED:
+            return self.parse_bracket_chain_as_set()
+        raise ParseError(
+            f"expected a set expression, found {token.text or 'end of query'!r} "
+            f"at offset {token.position}"
+        )
+
+    def parse_measure_ref(self):
+        """A measure argument: [Measures].[name] or DISTINCTCOUNT(...)."""
+        if self.at_keyword("DISTINCTCOUNT"):
+            return self.parse_distinct_count()
+        parts = self.parse_bracket_parts()
+        ref = self.refs_from_parts(parts)
+        if not isinstance(ref, (MeasureRef, DistinctCountRef)):
+            raise ParseError(
+                "expected a measure ([Measures].[name] or DISTINCTCOUNT), got "
+                + ref.render()
+            )
+        return ref
+
+    def parse_number(self) -> float:
+        token = self.expect(TokenType.NUMBER)
+        return float(token.text)
+
+    def parse_topcount(self) -> TopCount:
+        self.expect(TokenType.KEYWORD, "TOPCOUNT")
+        self.expect(TokenType.LPAREN)
+        inner = self.parse_set()
+        self.expect(TokenType.COMMA)
+        count = self.parse_number()
+        if count != int(count) or count < 1:
+            raise ParseError(f"TOPCOUNT needs a positive integer, got {count}")
+        measure = None
+        if self.peek().type is TokenType.COMMA:
+            self.advance()
+            measure = self.parse_measure_ref()
+        self.expect(TokenType.RPAREN)
+        return TopCount(inner, int(count), measure)
+
+    def parse_filter(self) -> FilterSet:
+        self.expect(TokenType.KEYWORD, "FILTER")
+        self.expect(TokenType.LPAREN)
+        inner = self.parse_set()
+        self.expect(TokenType.COMMA)
+        measure = self.parse_measure_ref()
+        comparator = self.expect(TokenType.COMPARATOR).text
+        threshold = self.parse_number()
+        self.expect(TokenType.RPAREN)
+        return FilterSet(inner, measure, comparator, threshold)
+
+    def parse_order(self) -> OrderSet:
+        self.expect(TokenType.KEYWORD, "ORDER")
+        self.expect(TokenType.LPAREN)
+        inner = self.parse_set()
+        self.expect(TokenType.COMMA)
+        measure = self.parse_measure_ref()
+        descending = False
+        if self.peek().type is TokenType.COMMA:
+            self.advance()
+            direction = self.expect(TokenType.KEYWORD).text
+            if direction not in ("ASC", "DESC"):
+                raise ParseError(f"ORDER direction must be ASC or DESC, got {direction}")
+            descending = direction == "DESC"
+        self.expect(TokenType.RPAREN)
+        return OrderSet(inner, measure, descending)
+
+    def parse_explicit_set(self) -> ExplicitSet:
+        self.expect(TokenType.LBRACE)
+        tuples: list[tuple] = []
+        while True:
+            tuples.append(self.parse_tuple())
+            if self.peek().type is TokenType.COMMA:
+                self.advance()
+                continue
+            break
+        self.expect(TokenType.RBRACE)
+        return ExplicitSet(tuple(tuples))
+
+    def parse_tuple(self) -> tuple:
+        if self.peek().type is TokenType.LPAREN:
+            self.advance()
+            refs = [self.parse_ref()]
+            while self.peek().type is TokenType.COMMA:
+                self.advance()
+                refs.append(self.parse_ref())
+            self.expect(TokenType.RPAREN)
+            return tuple(refs)
+        return (self.parse_ref(),)
+
+    def parse_ref(self):
+        if self.at_keyword("DISTINCTCOUNT"):
+            return self.parse_distinct_count()
+        parts = self.parse_bracket_parts()
+        return self.refs_from_parts(parts)
+
+    def parse_distinct_count(self) -> DistinctCountRef:
+        self.expect(TokenType.KEYWORD, "DISTINCTCOUNT")
+        self.expect(TokenType.LPAREN)
+        parts = self.parse_bracket_parts()
+        self.expect(TokenType.RPAREN)
+        if len(parts) != 2:
+            raise ParseError(
+                "DISTINCTCOUNT expects [dimension].[attribute], got "
+                f"{len(parts)} parts"
+            )
+        return DistinctCountRef(parts[0], parts[1])
+
+    def parse_bracket_parts(self) -> list[str]:
+        parts = [self.expect(TokenType.BRACKETED).text]
+        while self.peek().type is TokenType.DOT:
+            # stop before .MEMBERS / .CHILDREN — the caller handles them
+            next_token = self.tokens[self.pos + 1]
+            if next_token.type is TokenType.KEYWORD and next_token.text in (
+                "MEMBERS", "CHILDREN"
+            ):
+                break
+            self.advance()
+            parts.append(self.expect(TokenType.BRACKETED).text)
+        return parts
+
+    def refs_from_parts(self, parts: list[str]):
+        if parts[0].lower() == "measures":
+            if len(parts) != 2:
+                raise ParseError(
+                    f"[Measures] takes exactly one name, got {parts[1:]!r}"
+                )
+            return MeasureRef(parts[1])
+        if len(parts) == 3:
+            return MemberRef(parts[0], parts[1], parts[2])
+        raise ParseError(
+            "expected [dim].[attr].[value] or [Measures].[name], got "
+            + ".".join(f"[{p}]" for p in parts)
+        )
+
+    def parse_bracket_chain_as_set(self) -> SetExpr:
+        parts = self.parse_bracket_parts()
+        if self.peek().type is TokenType.DOT:
+            # must be .MEMBERS or .CHILDREN
+            self.advance()
+            word = self.expect(TokenType.KEYWORD).text
+            if word == "MEMBERS":
+                if len(parts) != 2:
+                    raise ParseError(
+                        ".MEMBERS applies to a level [dim].[attr], got "
+                        + ".".join(f"[{p}]" for p in parts)
+                    )
+                return LevelMembers(parts[0], parts[1])
+            if word == "CHILDREN":
+                if len(parts) != 3:
+                    raise ParseError(
+                        ".CHILDREN applies to a member [dim].[attr].[value], "
+                        "got " + ".".join(f"[{p}]" for p in parts)
+                    )
+                return MemberChildren(parts[0], parts[1], parts[2])
+            raise ParseError(f"expected MEMBERS or CHILDREN, got {word}")
+        return ExplicitSet(((self.refs_from_parts(parts),),))
+
+    def parse_slicer(self) -> tuple:
+        return self.parse_tuple()
+
+
+def parse_mdx(source: str) -> MdxQuery:
+    """Parse MDX text into an :class:`~repro.olap.mdx.ast.MdxQuery`."""
+    return _Parser(tokenize(source)).parse_query()

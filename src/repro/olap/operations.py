@@ -1,0 +1,98 @@
+"""The OLAP verbs: slice, dice, drill-down, roll-up, pivot.
+
+Each verb maps a :class:`~repro.olap.query.CubeQuery` to a new query —
+"slicing and dicing operations can be performed on a cube to
+increase/decrease granularity of a multivariate query" (paper §IV).
+Drill-down and roll-up use the dimension hierarchies, reproducing the
+interaction behind paper Figs. 5 and 6 (10-year age bands opened into
+5-year sub-bands).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping, Sequence
+
+from repro.errors import HierarchyError, OLAPError
+from repro.olap.cube import Cube
+from repro.olap.query import CubeQuery
+
+
+def slice_cube(query: CubeQuery, level: str, value: object) -> CubeQuery:
+    """Fix one level to a single member and remove it from the axes.
+
+    The classic slice: the cube loses one dimension of variation.
+    """
+    sliced = query.with_filter(level, (value,))
+    return replace(
+        sliced,
+        rows=tuple(l for l in sliced.rows if l != level),
+        columns=tuple(l for l in sliced.columns if l != level),
+    )
+
+
+def dice(query: CubeQuery, restrictions: Mapping[str, Sequence[object]]) -> CubeQuery:
+    """Restrict several levels to member subsets, keeping the axes.
+
+    The classic dice: a sub-cube over the selected members.
+    """
+    result = query
+    for level, values in restrictions.items():
+        if not values:
+            raise OLAPError(f"dice on {level!r} with an empty member list")
+        result = result.with_filter(level, tuple(values))
+    return result
+
+
+def _swap_level(levels: tuple[str, ...], old: str, new: str) -> tuple[str, ...]:
+    return tuple(new if level == old else level for level in levels)
+
+
+def drill_down(query: CubeQuery, cube: Cube, level: str) -> CubeQuery:
+    """Replace ``level`` with the next finer level of its hierarchy.
+
+    This is the "drill-down feature" used twice in the paper's trial: age
+    distribution at two levels of granularity (Fig. 5) and hypertension
+    years by age sub-groups (Fig. 6).
+    """
+    qualified = cube.check_level(level)
+    found = cube.hierarchy_for(qualified)
+    if found is None:
+        raise HierarchyError(
+            f"level {qualified!r} belongs to no hierarchy; cannot drill down"
+        )
+    dim_name, hierarchy = found
+    attr = qualified.split(".", 1)[1]
+    finer = f"{dim_name}.{hierarchy.drill_down(attr)}"
+    if qualified not in query.rows and qualified not in query.columns:
+        raise OLAPError(f"level {qualified!r} is not on a query axis")
+    return replace(
+        query,
+        rows=_swap_level(query.rows, qualified, finer),
+        columns=_swap_level(query.columns, qualified, finer),
+    )
+
+
+def roll_up(query: CubeQuery, cube: Cube, level: str) -> CubeQuery:
+    """Replace ``level`` with the next coarser level of its hierarchy."""
+    qualified = cube.check_level(level)
+    found = cube.hierarchy_for(qualified)
+    if found is None:
+        raise HierarchyError(
+            f"level {qualified!r} belongs to no hierarchy; cannot roll up"
+        )
+    dim_name, hierarchy = found
+    attr = qualified.split(".", 1)[1]
+    coarser = f"{dim_name}.{hierarchy.roll_up(attr)}"
+    if qualified not in query.rows and qualified not in query.columns:
+        raise OLAPError(f"level {qualified!r} is not on a query axis")
+    return replace(
+        query,
+        rows=_swap_level(query.rows, qualified, coarser),
+        columns=_swap_level(query.columns, qualified, coarser),
+    )
+
+
+def pivot(query: CubeQuery) -> CubeQuery:
+    """Swap the row and column axes."""
+    return replace(query, rows=query.columns, columns=query.rows)

@@ -1,0 +1,173 @@
+"""Programmatic cube queries — the "drag and drop" analogue.
+
+Paper Fig. 4 shows measures and attributes dragged into a query area to
+"dynamically generate queries and view the aggregated results".  The
+:class:`QueryBuilder` is that interaction as an API: each call corresponds
+to one drag, and :meth:`QueryBuilder.execute` renders the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import OLAPError
+from repro.olap.crosstab import Crosstab
+from repro.olap.cube import Cube
+from repro.tabular.expressions import Expression, col
+
+
+@dataclass(frozen=True)
+class CubeQuery:
+    """A declarative cube query: axes, one aggregation, filters.
+
+    Immutable — the OLAP verbs in :mod:`repro.olap.operations` return new
+    queries, so an exploration session is an inspectable chain of states.
+    """
+
+    rows: tuple[str, ...] = ()
+    columns: tuple[str, ...] = ()
+    #: (target, aggregation); target "records" counts fact rows
+    value: tuple[str, str] = (Cube.RECORDS, "size")
+    value_name: str = "records"
+    #: level → allowed members (a dice); empty means unrestricted
+    member_filters: dict[str, tuple[object, ...]] = field(default_factory=dict)
+
+    def axis_levels(self) -> list[str]:
+        """All levels used on either axis."""
+        return list(self.rows) + list(self.columns)
+
+    def with_filter(self, level: str, values: tuple[object, ...]) -> "CubeQuery":
+        """A copy with an added/merged member restriction on ``level``."""
+        filters = dict(self.member_filters)
+        if level in filters:
+            merged = tuple(v for v in filters[level] if v in set(values))
+            filters[level] = merged
+        else:
+            filters[level] = tuple(values)
+        return replace(self, member_filters=filters)
+
+    def predicate(self) -> Expression | None:
+        """The combined filter expression (``None`` when unrestricted)."""
+        expr: Expression | None = None
+        for level, values in self.member_filters.items():
+            clause = col(level).isin(list(values))
+            expr = clause if expr is None else (expr & clause)
+        return expr
+
+    def execute(self, cube: Cube) -> Crosstab:
+        """Run against a cube and pivot into a crosstab.
+
+        A query with no column levels gets a single synthetic column named
+        after the value, so results are always a grid.
+        """
+        rows = tuple(cube.check_level(level) for level in self.rows)
+        columns = tuple(cube.check_level(level) for level in self.columns)
+        if not rows and not columns:
+            raise OLAPError("query has no levels on either axis")
+        filters = {
+            cube.check_level(level): values
+            for level, values in self.member_filters.items()
+        }
+        normalised = replace(
+            self, rows=rows, columns=columns, member_filters=filters
+        )
+        aggregate = cube.aggregate(
+            normalised.axis_levels(),
+            {self.value_name: self.value},
+            filters=normalised.predicate(),
+        )
+        if not columns:
+            aggregate = aggregate.with_column(
+                "__all__", [self.value_name] * aggregate.num_rows, dtype="str"
+            )
+            return Crosstab.from_aggregate(
+                aggregate, list(rows), ["__all__"], self.value_name
+            )
+        if not rows:
+            aggregate = aggregate.with_column(
+                "__all__", [self.value_name] * aggregate.num_rows, dtype="str"
+            )
+            return Crosstab.from_aggregate(
+                aggregate, ["__all__"], list(columns), self.value_name
+            )
+        return Crosstab.from_aggregate(
+            aggregate, list(rows), list(columns), self.value_name
+        )
+
+
+class QueryBuilder:
+    """Fluent construction of :class:`CubeQuery` objects.
+
+    ::
+
+        grid = (cube.query()
+                    .rows("personal.age_band")
+                    .columns("personal.gender")
+                    .count_distinct("personal.patient_id", name="patients")
+                    .where("conditions.diabetes_status", "Diabetic")
+                    .execute())
+    """
+
+    def __init__(self, cube: Cube):
+        self._cube = cube
+        self._query = CubeQuery()
+
+    def rows(self, *levels: str) -> "QueryBuilder":
+        """Put levels on the row axis (replaces previous rows)."""
+        qualified = tuple(self._cube.check_level(level) for level in levels)
+        self._query = replace(self._query, rows=qualified)
+        return self
+
+    def columns(self, *levels: str) -> "QueryBuilder":
+        """Put levels on the column axis (replaces previous columns)."""
+        qualified = tuple(self._cube.check_level(level) for level in levels)
+        self._query = replace(self._query, columns=qualified)
+        return self
+
+    def measure(self, target: str, aggregation: str, name: str | None = None) -> "QueryBuilder":
+        """Set the cell value to ``aggregation`` of ``target``.
+
+        ``target`` is a fact measure, the implicit ``records``, or a level
+        (which is qualified against the cube).
+        """
+        if target != Cube.RECORDS and target not in self._cube.schema.fact.measures:
+            target = self._cube.check_level(target)
+        self._query = replace(
+            self._query,
+            value=(target, aggregation),
+            value_name=name or f"{aggregation}_{target.split('.')[-1]}",
+        )
+        return self
+
+    def count_records(self, name: str = "records") -> "QueryBuilder":
+        """Cell value = number of fact rows (the default)."""
+        self._query = replace(
+            self._query, value=(Cube.RECORDS, "size"), value_name=name
+        )
+        return self
+
+    def count_distinct(self, level: str, name: str | None = None) -> "QueryBuilder":
+        """Cell value = distinct count of a level (e.g. patients)."""
+        qualified = self._cube.check_level(level)
+        self._query = replace(
+            self._query,
+            value=(qualified, "nunique"),
+            value_name=name or f"distinct_{qualified.split('.')[-1]}",
+        )
+        return self
+
+    def where(self, level: str, *values: object) -> "QueryBuilder":
+        """Restrict a level to the given members (slice/dice)."""
+        if not values:
+            raise OLAPError(f"where({level!r}) requires at least one value")
+        qualified = self._cube.check_level(level)
+        self._query = self._query.with_filter(qualified, tuple(values))
+        return self
+
+    def build(self) -> CubeQuery:
+        """The accumulated immutable query."""
+        return self._query
+
+    def execute(self) -> Crosstab:
+        """Build and run against the owning cube."""
+        return self._query.execute(self._cube)

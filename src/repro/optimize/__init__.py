@@ -1,0 +1,42 @@
+"""Decision optimisation (paper §IV, "Decision Optimisation").
+
+Two halves, matching the paper's two claims:
+
+* **Validation** — "outcomes can be reviewed by removing existing or adding
+  further dimensions.  Optimal aggregates would be consistent regardless of
+  the changes to dimensions."  :mod:`repro.optimize.consistency` makes that
+  claim checkable.
+* **Strategic optimisation** — clinical administrators "seek information
+  relevant for optimising treatment regimen that have the best individual
+  outcomes ... within the economic constraints of the current health care
+  system."  :mod:`repro.optimize.regimen` and
+  :mod:`repro.optimize.screening` formulate those as linear programs fed by
+  warehouse aggregates.
+"""
+
+from repro.optimize.consistency import (
+    ConsistencyReport,
+    OptimalAggregate,
+    check_dimension_consistency,
+    find_optimal_aggregate,
+)
+from repro.optimize.regimen import (
+    RegimenProblem,
+    TreatmentOutcome,
+    TreatmentPlan,
+    optimize_regimen,
+)
+from repro.optimize.screening import ScreeningAllocation, allocate_screening
+
+__all__ = [
+    "OptimalAggregate",
+    "ConsistencyReport",
+    "find_optimal_aggregate",
+    "check_dimension_consistency",
+    "TreatmentOutcome",
+    "RegimenProblem",
+    "TreatmentPlan",
+    "optimize_regimen",
+    "ScreeningAllocation",
+    "allocate_screening",
+]

@@ -1,0 +1,191 @@
+"""Treatment-regimen optimisation under economic constraints (LP).
+
+The strategic-user problem of paper §IV: assign treatments to patient
+groups to maximise expected outcome improvement while total cost stays
+within the health-care budget.  Formulated as a linear program and solved
+with ``scipy.optimize.linprog``; inputs (group sizes, per-group expected
+benefits) come straight from warehouse aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import OptimizationError
+
+
+@dataclass(frozen=True)
+class TreatmentOutcome:
+    """Expected effect of one treatment on one patient group.
+
+    ``benefit`` is the expected outcome improvement per patient (any
+    consistent clinical unit — e.g. expected HbA1c reduction, or QALY
+    proxy); ``cost`` the per-patient cost of the treatment for that group.
+    """
+
+    group: str
+    treatment: str
+    benefit: float
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise OptimizationError(
+                f"negative cost for {self.treatment!r} on {self.group!r}"
+            )
+
+
+@dataclass
+class RegimenProblem:
+    """Groups with sizes, candidate treatments, and a total budget."""
+
+    group_sizes: Mapping[str, float]
+    outcomes: Sequence[TreatmentOutcome]
+    budget: float
+    #: require every patient to be assigned some treatment when True;
+    #: otherwise patients may be left on "no treatment" at zero cost/benefit
+    full_coverage: bool = False
+    #: optional cap on patients per (group, treatment), e.g. capacity limits
+    capacity: Mapping[tuple[str, str], float] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Structural checks before solving."""
+        if self.budget < 0:
+            raise OptimizationError("budget must be non-negative")
+        if not self.group_sizes:
+            raise OptimizationError("no patient groups supplied")
+        if not self.outcomes:
+            raise OptimizationError("no treatment outcomes supplied")
+        groups = set(self.group_sizes)
+        for outcome in self.outcomes:
+            if outcome.group not in groups:
+                raise OptimizationError(
+                    f"outcome references unknown group {outcome.group!r}"
+                )
+        for (group, treatment) in self.capacity:
+            if not any(
+                o.group == group and o.treatment == treatment for o in self.outcomes
+            ):
+                raise OptimizationError(
+                    f"capacity set for absent pair ({group!r}, {treatment!r})"
+                )
+
+
+@dataclass
+class TreatmentPlan:
+    """Solved regimen: patients assigned per (group, treatment)."""
+
+    assignments: dict[tuple[str, str], float]
+    total_benefit: float
+    total_cost: float
+    budget: float
+    status: str
+    #: marginal benefit of one extra budget unit (LP dual of the budget
+    #: row); 0 when the budget is slack, None if the solver omits duals
+    budget_shadow_price: float | None = None
+
+    def coverage(self, group_sizes: Mapping[str, float]) -> dict[str, float]:
+        """Fraction of each group assigned any treatment."""
+        treated: dict[str, float] = {}
+        for (group, __), count in self.assignments.items():
+            treated[group] = treated.get(group, 0.0) + count
+        return {
+            group: (treated.get(group, 0.0) / size if size > 0 else 0.0)
+            for group, size in group_sizes.items()
+        }
+
+    def summary(self) -> str:
+        """Readable plan."""
+        lines = [
+            f"total benefit {self.total_benefit:.2f}, "
+            f"cost {self.total_cost:.2f} / budget {self.budget:.2f} "
+            f"({self.status})"
+        ]
+        if self.budget_shadow_price is not None:
+            lines.append(
+                f"  marginal benefit of +1 budget: "
+                f"{self.budget_shadow_price:.5f}"
+            )
+        for (group, treatment), count in sorted(self.assignments.items()):
+            if count > 1e-9:
+                lines.append(f"  {group}: {count:.1f} patients -> {treatment}")
+        return "\n".join(lines)
+
+
+def optimize_regimen(problem: RegimenProblem) -> TreatmentPlan:
+    """Solve the regimen LP; raises on infeasibility.
+
+    Decision variables: x[(group, treatment)] = patients of ``group`` given
+    ``treatment``.  Maximise Σ benefit·x subject to Σ cost·x ≤ budget,
+    per-group assignment ≤ (or =, with full coverage) group size, optional
+    capacity caps, x ≥ 0.
+    """
+    problem.validate()
+    pairs = [(o.group, o.treatment) for o in problem.outcomes]
+    index = {pair: i for i, pair in enumerate(pairs)}
+    n = len(pairs)
+
+    c = np.zeros(n)
+    costs = np.zeros(n)
+    for outcome in problem.outcomes:
+        i = index[(outcome.group, outcome.treatment)]
+        c[i] = -outcome.benefit  # linprog minimises
+        costs[i] = outcome.cost
+
+    a_ub = [costs]
+    b_ub = [problem.budget]
+    a_eq: list[np.ndarray] = []
+    b_eq: list[float] = []
+    for group, size in problem.group_sizes.items():
+        row = np.zeros(n)
+        for (g, t), i in index.items():
+            if g == group:
+                row[i] = 1.0
+        if not row.any():
+            continue
+        if problem.full_coverage:
+            a_eq.append(row)
+            b_eq.append(float(size))
+        else:
+            a_ub.append(row)
+            b_ub.append(float(size))
+
+    bounds = []
+    for pair in pairs:
+        cap = problem.capacity.get(pair)
+        bounds.append((0.0, float(cap) if cap is not None else None))
+
+    result = linprog(
+        c,
+        A_ub=np.array(a_ub),
+        b_ub=np.array(b_ub),
+        A_eq=np.array(a_eq) if a_eq else None,
+        b_eq=np.array(b_eq) if b_eq else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise OptimizationError(
+            f"regimen optimisation infeasible: {result.message}"
+        )
+    x = result.x
+    assignments = {
+        pair: float(x[i]) for pair, i in index.items() if x[i] > 1e-9
+    }
+    # the budget row is the first inequality; HiGHS exposes its dual value
+    shadow = None
+    marginals = getattr(getattr(result, "ineqlin", None), "marginals", None)
+    if marginals is not None and len(marginals) > 0:
+        shadow = float(-marginals[0])  # benefit per extra budget dollar
+    return TreatmentPlan(
+        assignments=assignments,
+        total_benefit=float(-result.fun),
+        total_cost=float(costs @ x),
+        budget=problem.budget,
+        status="optimal",
+        budget_shadow_price=shadow,
+    )

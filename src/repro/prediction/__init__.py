@@ -1,0 +1,38 @@
+"""Prediction (paper §IV, "Prediction").
+
+"The availability of time-course analysis capabilities allows a clinician
+to use the warehouse to predict the subsequent phase of a patient affected
+by a medical condition based on past records of other patients in similar
+circumstances."
+
+* :mod:`repro.prediction.similarity` — retrieve those "other patients in
+  similar circumstances" from the warehouse's dimensional attributes.
+* :mod:`repro.prediction.markov` — a disease-stage Markov chain estimated
+  from observed visit-to-visit transitions.
+* :mod:`repro.prediction.trajectory` — combine both: predict a patient's
+  next stage and validate well-known disease trajectories.
+"""
+
+from repro.prediction.similarity import SimilarPatientIndex
+from repro.prediction.markov import StageTransitionModel
+from repro.prediction.simulation import (
+    CohortProjection,
+    CohortSimulator,
+    ProjectionStep,
+)
+from repro.prediction.trajectory import (
+    TrajectoryPredictor,
+    TrajectoryValidation,
+    extract_stage_sequences,
+)
+
+__all__ = [
+    "SimilarPatientIndex",
+    "StageTransitionModel",
+    "CohortSimulator",
+    "CohortProjection",
+    "ProjectionStep",
+    "TrajectoryPredictor",
+    "TrajectoryValidation",
+    "extract_stage_sequences",
+]

@@ -1,0 +1,149 @@
+"""Disease-stage Markov chain estimated from visit-to-visit transitions."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PredictionError
+
+
+class StageTransitionModel:
+    """First-order Markov model over qualitative disease stages.
+
+    Fit on per-patient stage sequences (the output of temporal abstraction
+    + cardinality ordering).  Laplace smoothing keeps unseen transitions
+    possible but unlikely.
+    """
+
+    def __init__(self, smoothing: float = 0.5):
+        if smoothing < 0:
+            raise PredictionError("smoothing must be non-negative")
+        self.smoothing = smoothing
+        self._fitted = False
+
+    def fit(self, sequences: Sequence[Sequence[str]]) -> "StageTransitionModel":
+        """Count transitions across all sequences."""
+        transitions: dict[str, dict[str, int]] = {}
+        states: set[str] = set()
+        total_transitions = 0
+        for sequence in sequences:
+            for current, following in zip(sequence, sequence[1:]):
+                states.add(current)
+                states.add(following)
+                transitions.setdefault(current, {})
+                transitions[current][following] = (
+                    transitions[current].get(following, 0) + 1
+                )
+                total_transitions += 1
+            for state in sequence:
+                states.add(state)
+        if total_transitions == 0:
+            raise PredictionError(
+                "no transitions observed (sequences of length < 2?)"
+            )
+        self.states = sorted(states)
+        self._counts = transitions
+        self._fitted = True
+        return self
+
+    def transition_probability(self, current: str, following: str) -> float:
+        """P(next = following | current), Laplace-smoothed."""
+        if not self._fitted:
+            raise PredictionError("StageTransitionModel used before fit()")
+        if current not in self.states or following not in self.states:
+            raise PredictionError(
+                f"unknown stage in transition {current!r} -> {following!r} "
+                f"(known: {', '.join(self.states)})"
+            )
+        row = self._counts.get(current, {})
+        total = sum(row.values())
+        k = len(self.states)
+        return (row.get(following, 0) + self.smoothing) / (
+            total + self.smoothing * k
+        )
+
+    def distribution_after(self, current: str) -> dict[str, float]:
+        """Full next-stage distribution from ``current``."""
+        return {
+            state: self.transition_probability(current, state)
+            for state in self.states
+        }
+
+    def predict_next(self, current: str) -> str:
+        """Most probable next stage."""
+        dist = self.distribution_after(current)
+        return max(sorted(dist), key=lambda s: dist[s])
+
+    def predict_path(self, current: str, steps: int) -> list[str]:
+        """Greedy most-probable path of ``steps`` stages ahead."""
+        if steps < 1:
+            raise PredictionError("steps must be >= 1")
+        path = []
+        state = current
+        for __ in range(steps):
+            state = self.predict_next(state)
+            path.append(state)
+        return path
+
+    def stationary_hint(self, iterations: int = 200) -> dict[str, float]:
+        """Approximate long-run stage distribution by power iteration.
+
+        Useful to a strategic user: the equilibrium case-mix the current
+        transition behaviour implies.
+        """
+        if not self._fitted:
+            raise PredictionError("StageTransitionModel used before fit()")
+        dist = {state: 1.0 / len(self.states) for state in self.states}
+        for __ in range(iterations):
+            new = {state: 0.0 for state in self.states}
+            for current, mass in dist.items():
+                for following in self.states:
+                    new[following] += mass * self.transition_probability(
+                        current, following
+                    )
+            dist = new
+        return dist
+
+    def expected_steps_to(self, target: str) -> dict[str, float]:
+        """Expected number of transitions until first reaching ``target``.
+
+        Classic absorption analysis: make ``target`` absorbing, solve
+        ``(I - Q) t = 1`` over the transient states.  For the DiScRi
+        model this answers "how many visit-cycles until a pre-diabetic
+        patient is expected to present as diabetic?".  States that cannot
+        reach the target get ``inf``.
+        """
+        import numpy as np
+
+        if not self._fitted:
+            raise PredictionError("StageTransitionModel used before fit()")
+        if target not in self.states:
+            raise PredictionError(
+                f"unknown target stage {target!r} "
+                f"(known: {', '.join(self.states)})"
+            )
+        transient = [state for state in self.states if state != target]
+        if not transient:
+            return {target: 0.0}
+        n = len(transient)
+        Q = np.zeros((n, n))
+        for i, current in enumerate(transient):
+            for j, following in enumerate(transient):
+                Q[i, j] = self.transition_probability(current, following)
+        try:
+            times = np.linalg.solve(np.eye(n) - Q, np.ones(n))
+        except np.linalg.LinAlgError:
+            times = np.full(n, float("inf"))
+        out = {target: 0.0}
+        for state, value in zip(transient, times):
+            out[state] = float(value) if value > 0 else float("inf")
+        return out
+
+    def sequence_likelihood(self, sequence: Sequence[str]) -> float:
+        """Product of transition probabilities along a sequence."""
+        if len(sequence) < 2:
+            raise PredictionError("need at least two stages for a likelihood")
+        likelihood = 1.0
+        for current, following in zip(sequence, sequence[1:]):
+            likelihood *= self.transition_probability(current, following)
+        return likelihood

@@ -1,0 +1,95 @@
+"""Similar-patient retrieval over warehouse attributes."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PredictionError
+
+
+class SimilarPatientIndex:
+    """Find patients whose dimensional profile resembles a probe patient.
+
+    Built from flattened warehouse rows (one per patient or visit).
+    Similarity is the mean per-attribute match: exact match for
+    categorical attributes, range-normalised closeness for numeric ones;
+    attributes missing on either side score zero (unknown ≠ similar).
+    """
+
+    def __init__(
+        self,
+        rows: Sequence[dict],
+        attributes: Sequence[str],
+        patient_key: str,
+    ):
+        if not rows:
+            raise PredictionError("no rows to index")
+        if not attributes:
+            raise PredictionError("no attributes to compare on")
+        self.attributes = list(attributes)
+        self.patient_key = patient_key
+        self._rows = list(rows)
+        self._ranges: dict[str, tuple[float, float]] = {}
+        for attribute in self.attributes:
+            present = [
+                row[attribute]
+                for row in self._rows
+                if row.get(attribute) is not None
+            ]
+            if present and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in present
+            ):
+                low, high = float(min(present)), float(max(present))
+                self._ranges[attribute] = (low, max(high - low, 1e-12))
+
+    def similarity(self, a: dict, b: dict) -> float:
+        """Mean per-attribute similarity in [0, 1]."""
+        total = 0.0
+        for attribute in self.attributes:
+            va, vb = a.get(attribute), b.get(attribute)
+            if va is None or vb is None:
+                continue
+            if attribute in self._ranges:
+                __, span = self._ranges[attribute]
+                total += max(0.0, 1.0 - abs(float(va) - float(vb)) / span)
+            else:
+                total += 1.0 if str(va) == str(vb) else 0.0
+        return total / len(self.attributes)
+
+    def most_similar(
+        self,
+        probe: dict,
+        top: int = 10,
+        exclude_same_patient: bool = True,
+    ) -> list[tuple[float, dict]]:
+        """The ``top`` most similar rows as (similarity, row), descending.
+
+        ``exclude_same_patient`` drops rows sharing the probe's patient key
+        — when predicting a patient's next phase, their own history must
+        not leak in as "similar circumstances".
+        """
+        probe_patient = probe.get(self.patient_key)
+        scored = []
+        for row in self._rows:
+            if (
+                exclude_same_patient
+                and probe_patient is not None
+                and row.get(self.patient_key) == probe_patient
+            ):
+                continue
+            scored.append((self.similarity(probe, row), row))
+        scored.sort(key=lambda pair: -pair[0])
+        return scored[:top]
+
+    def cohort_for(
+        self, probe: dict, min_similarity: float = 0.7
+    ) -> list[dict]:
+        """All rows at or above a similarity floor (a reference cohort)."""
+        return [
+            row
+            for score, row in self.most_similar(
+                probe, top=len(self._rows), exclude_same_patient=True
+            )
+            if score >= min_similarity
+        ]

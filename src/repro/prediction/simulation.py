@@ -1,0 +1,164 @@
+"""Cohort progression simulation (the "simulation" of DGMS phase 2).
+
+Projects the screening cohort's stage mix forward in time using the
+fitted :class:`~repro.prediction.markov.StageTransitionModel` — either
+deterministically (expected counts via the transition matrix) or as a
+seeded Monte-Carlo over individual patients.  Strategic users feed the
+projections into capacity and budget planning.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import PredictionError
+from repro.prediction.markov import StageTransitionModel
+
+
+@dataclass
+class ProjectionStep:
+    """Stage mix after one simulated period."""
+
+    period: int
+    counts: dict[str, float]
+
+    def total(self) -> float:
+        """Cohort size at this step (conserved by the simulation)."""
+        return sum(self.counts.values())
+
+
+@dataclass
+class CohortProjection:
+    """A full projection: one step per simulated period."""
+
+    steps: list[ProjectionStep]
+
+    def final(self) -> ProjectionStep:
+        """The last step."""
+        return self.steps[-1]
+
+    def series(self, stage: str) -> list[float]:
+        """One stage's count over time (chart-ready)."""
+        return [step.counts.get(stage, 0.0) for step in self.steps]
+
+    def to_text(self) -> str:
+        """A small table: periods × stages."""
+        stages = sorted(self.steps[0].counts)
+        header = "period | " + " | ".join(f"{s:>12}" for s in stages)
+        lines = [header, "-" * len(header)]
+        for step in self.steps:
+            cells = " | ".join(f"{step.counts.get(s, 0.0):12.1f}" for s in stages)
+            lines.append(f"{step.period:>6} | {cells}")
+        return "\n".join(lines)
+
+
+class CohortSimulator:
+    """Forward simulation of a cohort through the stage-transition model."""
+
+    def __init__(self, model: StageTransitionModel):
+        self.model = model
+
+    def _check_counts(self, initial: Mapping[str, float]) -> dict[str, float]:
+        if not initial:
+            raise PredictionError("no initial stage counts supplied")
+        unknown = set(initial) - set(self.model.states)
+        if unknown:
+            raise PredictionError(
+                f"unknown stages in initial counts: {sorted(unknown)} "
+                f"(model knows: {', '.join(self.model.states)})"
+            )
+        counts = {state: 0.0 for state in self.model.states}
+        for state, count in initial.items():
+            if count < 0:
+                raise PredictionError(f"negative count for stage {state!r}")
+            counts[state] = float(count)
+        if sum(counts.values()) <= 0:
+            raise PredictionError("initial cohort is empty")
+        return counts
+
+    def project_expected(
+        self, initial: Mapping[str, float], periods: int
+    ) -> CohortProjection:
+        """Deterministic projection: expected counts per period.
+
+        One period = one visit-to-visit transition of the fitted model.
+        Cohort size is conserved (the model has no entry/exit states).
+        """
+        if periods < 1:
+            raise PredictionError("periods must be >= 1")
+        counts = self._check_counts(initial)
+        steps = [ProjectionStep(0, dict(counts))]
+        for period in range(1, periods + 1):
+            nxt = {state: 0.0 for state in self.model.states}
+            for current, mass in counts.items():
+                if mass == 0:
+                    continue
+                for following in self.model.states:
+                    nxt[following] += mass * self.model.transition_probability(
+                        current, following
+                    )
+            counts = nxt
+            steps.append(ProjectionStep(period, dict(counts)))
+        return CohortProjection(steps)
+
+    def project_monte_carlo(
+        self,
+        initial: Mapping[str, float],
+        periods: int,
+        runs: int = 50,
+        seed: int = 0,
+    ) -> tuple[CohortProjection, dict[str, tuple[float, float]]]:
+        """Stochastic projection: per-patient sampling, averaged over runs.
+
+        Returns (mean projection, final-period (low, high) band per stage
+        from the 10th/90th percentile across runs).
+        """
+        if runs < 1:
+            raise PredictionError("runs must be >= 1")
+        counts = self._check_counts(initial)
+        patients = [
+            state for state, n in counts.items() for __ in range(int(round(n)))
+        ]
+        if not patients:
+            raise PredictionError("initial cohort rounds to zero patients")
+        rng = random.Random(seed)
+        states = self.model.states
+        per_run_finals: list[dict[str, int]] = []
+        sums = [
+            {state: 0.0 for state in states} for __ in range(periods + 1)
+        ]
+        for __ in range(runs):
+            current = list(patients)
+            for state in current:
+                sums[0][state] += 1
+            for period in range(1, periods + 1):
+                nxt = []
+                for state in current:
+                    weights = [
+                        self.model.transition_probability(state, following)
+                        for following in states
+                    ]
+                    nxt.append(rng.choices(states, weights=weights, k=1)[0])
+                current = nxt
+                for state in current:
+                    sums[period][state] += 1
+            finals: dict[str, int] = {state: 0 for state in states}
+            for state in current:
+                finals[state] += 1
+            per_run_finals.append(finals)
+
+        steps = [
+            ProjectionStep(
+                period, {state: total / runs for state, total in sums[period].items()}
+            )
+            for period in range(periods + 1)
+        ]
+        bands: dict[str, tuple[float, float]] = {}
+        for state in states:
+            values = sorted(run[state] for run in per_run_finals)
+            low = values[int(0.1 * (len(values) - 1))]
+            high = values[int(0.9 * (len(values) - 1))]
+            bands[state] = (float(low), float(high))
+        return CohortProjection(steps), bands

@@ -1,0 +1,146 @@
+"""Trajectory prediction and validation of known disease courses.
+
+Ties together the warehouse's cardinality ordering, similar-patient
+retrieval and the stage-transition model: "even well known disease
+trajectories can be validated with the DD-DGMS approach" (paper §IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PredictionError
+from repro.prediction.markov import StageTransitionModel
+from repro.prediction.similarity import SimilarPatientIndex
+
+
+def extract_stage_sequences(
+    rows: Sequence[dict],
+    patient_key: str,
+    order_key: str,
+    stage_key: str,
+) -> dict[object, list[str]]:
+    """Per-patient ordered stage sequences from visit-level rows.
+
+    ``order_key`` is typically the cardinality visit number; rows with a
+    null stage are skipped (an unstaged visit breaks no sequence).
+    """
+    by_patient: dict[object, list[tuple[object, str]]] = {}
+    for row in rows:
+        patient = row.get(patient_key)
+        order = row.get(order_key)
+        stage = row.get(stage_key)
+        if patient is None or order is None or stage is None:
+            continue
+        by_patient.setdefault(patient, []).append((order, str(stage)))
+    sequences: dict[object, list[str]] = {}
+    for patient, visits in by_patient.items():
+        visits.sort(key=lambda pair: pair[0])
+        sequences[patient] = [stage for __, stage in visits]
+    return sequences
+
+
+@dataclass(frozen=True)
+class TrajectoryValidation:
+    """Result of validating a hypothesised disease course."""
+
+    trajectory: tuple[str, ...]
+    likelihood: float
+    #: likelihood of the same-length most-probable path from the same start
+    best_path_likelihood: float
+    #: ratio of the two (1.0 == the hypothesised course IS the modal course)
+    relative_plausibility: float
+    supported: bool
+
+
+class TrajectoryPredictor:
+    """Cohort-conditioned next-stage prediction."""
+
+    def __init__(
+        self,
+        rows: Sequence[dict],
+        patient_key: str,
+        order_key: str,
+        stage_key: str,
+        similarity_attributes: Sequence[str] | None = None,
+        smoothing: float = 0.5,
+    ):
+        self.rows = list(rows)
+        self.patient_key = patient_key
+        self.order_key = order_key
+        self.stage_key = stage_key
+        self.sequences = extract_stage_sequences(
+            rows, patient_key, order_key, stage_key
+        )
+        usable = [s for s in self.sequences.values() if len(s) >= 2]
+        if not usable:
+            raise PredictionError(
+                "no patient has two or more staged visits; cannot model "
+                "transitions"
+            )
+        self.model = StageTransitionModel(smoothing).fit(usable)
+        self._index = (
+            SimilarPatientIndex(self.rows, similarity_attributes, patient_key)
+            if similarity_attributes
+            else None
+        )
+
+    def predict_next_stage(self, patient_row: dict) -> tuple[str, dict[str, float]]:
+        """(most probable next stage, full distribution) for one patient.
+
+        When a similarity index is configured, the transition model is
+        re-fit on the similar cohort's sequences — "past records of other
+        patients in similar circumstances" — falling back to the global
+        model when the cohort is too thin.
+        """
+        current = patient_row.get(self.stage_key)
+        if current is None:
+            raise PredictionError("patient row has no current stage")
+        current = str(current)
+        model = self.model
+        if self._index is not None:
+            cohort = self._index.cohort_for(patient_row, min_similarity=0.6)
+            cohort_patients = {row.get(self.patient_key) for row in cohort}
+            cohort_sequences = [
+                sequence
+                for patient, sequence in self.sequences.items()
+                if patient in cohort_patients and len(sequence) >= 2
+            ]
+            if sum(len(s) - 1 for s in cohort_sequences) >= 10:
+                model = StageTransitionModel(self.model.smoothing).fit(
+                    cohort_sequences
+                )
+        if current not in model.states:
+            model = self.model
+        if current not in model.states:
+            raise PredictionError(
+                f"stage {current!r} never observed "
+                f"(known: {', '.join(self.model.states)})"
+            )
+        return model.predict_next(current), model.distribution_after(current)
+
+    def validate_trajectory(
+        self, trajectory: Sequence[str], plausibility_floor: float = 0.5
+    ) -> TrajectoryValidation:
+        """Check a hypothesised course against observed transitions.
+
+        The hypothesised trajectory is *supported* when its likelihood is
+        at least ``plausibility_floor`` times that of the most probable
+        path of the same length from the same starting stage.
+        """
+        if len(trajectory) < 2:
+            raise PredictionError("a trajectory needs at least two stages")
+        likelihood = self.model.sequence_likelihood(list(trajectory))
+        best_path = [trajectory[0]] + self.model.predict_path(
+            trajectory[0], len(trajectory) - 1
+        )
+        best_likelihood = self.model.sequence_likelihood(best_path)
+        ratio = likelihood / best_likelihood if best_likelihood > 0 else 0.0
+        return TrajectoryValidation(
+            trajectory=tuple(trajectory),
+            likelihood=likelihood,
+            best_path_likelihood=best_likelihood,
+            relative_plausibility=ratio,
+            supported=ratio >= plausibility_floor,
+        )

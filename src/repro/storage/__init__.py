@@ -1,0 +1,36 @@
+"""Embedded storage engine — the operational (OLTP) substrate.
+
+The paper's clinical environment has "flat file storage, multiple database
+vendors and different data models"; this package plays the role of those
+operational stores.  It provides named tables with declared schemas,
+row-level CRUD inside transactions, hash and sorted indexes, a write-ahead
+log for durability, and whole-database snapshots.
+
+::
+
+    from repro.storage import StorageEngine
+
+    db = StorageEngine()
+    db.create_table("visits", {"visit_id": "int", "patient_id": "int",
+                               "fbg": "float"}, primary_key="visit_id")
+    with db.transaction():
+        db.insert("visits", {"visit_id": 1, "patient_id": 7, "fbg": 5.4})
+    table = db.scan("visits")          # -> repro.tabular.Table
+"""
+
+from repro.storage.engine import StorageEngine
+from repro.storage.catalog import Catalog, TableMeta
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.wal import WriteAheadLog
+from repro.storage.persistence import save_snapshot, load_snapshot
+
+__all__ = [
+    "StorageEngine",
+    "Catalog",
+    "TableMeta",
+    "HashIndex",
+    "SortedIndex",
+    "WriteAheadLog",
+    "save_snapshot",
+    "load_snapshot",
+]

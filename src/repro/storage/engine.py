@@ -1,0 +1,365 @@
+"""The embedded storage engine: tables, CRUD, transactions, indexes."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Mapping
+
+from repro.errors import (
+    IntegrityError,
+    StorageError,
+    TransactionError,
+)
+from repro.storage.catalog import Catalog, TableMeta
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.wal import OP_DELETE, OP_INSERT, OP_UPDATE, WriteAheadLog
+from repro.tabular.dtypes import DType, coerce_value, ordinal_to_date
+from repro.tabular.table import Table
+
+
+class _StoredTable:
+    """Row store for one table: live rows keyed by internal row id."""
+
+    def __init__(self, meta: TableMeta):
+        self.meta = meta
+        self.rows: dict[int, dict[str, object]] = {}
+        self.next_row_id = 0
+        self.pk_index: HashIndex | None = (
+            HashIndex(meta.primary_key) if meta.primary_key else None
+        )
+        self.secondary: dict[str, HashIndex | SortedIndex] = {}
+
+
+class StorageEngine:
+    """A small single-process database with transactional row storage.
+
+    Mutations must run inside :meth:`transaction`; reads may run any time.
+    Rollback undoes every mutation of the failed transaction, and the WAL
+    records committed mutations for :func:`replay_into` recovery.
+    """
+
+    def __init__(self, wal: WriteAheadLog | None = None):
+        self.catalog = Catalog()
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self._tables: dict[str, _StoredTable] = {}
+        self._txn_id: int | None = None
+        self._undo: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: Mapping[str, DType | str],
+        primary_key: str | None = None,
+        not_null: set[str] | frozenset[str] = frozenset(),
+        foreign_keys: Mapping[str, tuple[str, str]] | None = None,
+    ) -> TableMeta:
+        """Declare a new table."""
+        meta = self.catalog.create(
+            name, schema, primary_key=primary_key, not_null=not_null,
+            foreign_keys=foreign_keys,
+        )
+        self._tables[name] = _StoredTable(meta)
+        return meta
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and its rows."""
+        self.catalog.drop(name)
+        del self._tables[name]
+
+    def add_column(self, name: str, column: str, dtype: DType | str) -> None:
+        """Add a nullable column; existing rows read back as null."""
+        self.catalog.add_column(name, column, dtype)
+
+    def create_index(self, table: str, column: str, kind: str = "hash") -> None:
+        """Build a secondary index over existing and future rows."""
+        stored = self._stored(table)
+        if column not in stored.meta.schema:
+            raise StorageError(f"cannot index unknown column {table}.{column}")
+        if column in stored.secondary:
+            raise StorageError(f"index on {table}.{column} already exists")
+        if kind == "hash":
+            index: HashIndex | SortedIndex = HashIndex(column)
+        elif kind == "sorted":
+            index = SortedIndex(column)
+        else:
+            raise StorageError(f"unknown index kind {kind!r} (hash|sorted)")
+        for row_id, row in stored.rows.items():
+            index.add(row.get(column), row_id)
+        stored.secondary[column] = index
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[int]:
+        """Open a transaction; commits on clean exit, rolls back on error."""
+        if self._txn_id is not None:
+            raise TransactionError("nested transactions are not supported")
+        self._txn_id = self.wal.begin()
+        self._undo = []
+        try:
+            yield self._txn_id
+        except BaseException:
+            for undo in reversed(self._undo):
+                undo()
+            self.wal.rollback(self._txn_id)
+            raise
+        else:
+            self.wal.commit(self._txn_id)
+        finally:
+            self._txn_id = None
+            self._undo = []
+
+    def _require_txn(self) -> int:
+        if self._txn_id is None:
+            raise TransactionError("mutation outside a transaction")
+        return self._txn_id
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def insert(self, table: str, row: Mapping[str, object]) -> int:
+        """Insert one row; returns its internal row id."""
+        txn = self._require_txn()
+        stored = self._stored(table)
+        clean = self._validate_row(stored.meta, row)
+        self._check_pk_unique(stored, clean)
+        self._check_foreign_keys(stored.meta, clean)
+        row_id = stored.next_row_id
+        stored.next_row_id += 1
+        stored.rows[row_id] = clean
+        self._index_add(stored, row_id, clean)
+        self.wal.append(txn, OP_INSERT, table, dict(clean))
+        self._undo.append(lambda: self._undo_insert(stored, row_id))
+        return row_id
+
+    def insert_many(self, table: str, rows: list[Mapping[str, object]]) -> list[int]:
+        """Insert a batch of rows (single validation loop, one undo each)."""
+        return [self.insert(table, row) for row in rows]
+
+    def update(
+        self, table: str, row_id: int, changes: Mapping[str, object]
+    ) -> None:
+        """Apply a partial update to one row."""
+        txn = self._require_txn()
+        stored = self._stored(table)
+        if row_id not in stored.rows:
+            raise StorageError(f"row {row_id} not found in table {table!r}")
+        old = dict(stored.rows[row_id])
+        merged = dict(old)
+        merged.update(changes)
+        clean = self._validate_row(stored.meta, merged)
+        pk = stored.meta.primary_key
+        if pk and clean.get(pk) != old.get(pk):
+            self._check_pk_unique(stored, clean)
+        self._check_foreign_keys(stored.meta, clean)
+        self._index_remove(stored, row_id, old)
+        stored.rows[row_id] = clean
+        self._index_add(stored, row_id, clean)
+        self.wal.append(txn, OP_UPDATE, table, {"row_id": row_id, **clean})
+        self._undo.append(lambda: self._undo_update(stored, row_id, old))
+
+    def delete(self, table: str, row_id: int) -> None:
+        """Delete one row by id."""
+        txn = self._require_txn()
+        stored = self._stored(table)
+        if row_id not in stored.rows:
+            raise StorageError(f"row {row_id} not found in table {table!r}")
+        old = stored.rows.pop(row_id)
+        self._index_remove(stored, row_id, old)
+        self.wal.append(txn, OP_DELETE, table, {"row_id": row_id})
+        self._undo.append(lambda: self._undo_delete(stored, row_id, old))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def scan(self, table: str) -> Table:
+        """All live rows as a :class:`Table` (column order = schema order)."""
+        stored = self._stored(table)
+        schema = stored.meta.schema
+        rows = [stored.rows[rid] for rid in sorted(stored.rows)]
+        return Table.from_rows(rows, schema=schema)
+
+    def get_by_pk(self, table: str, key: object) -> dict[str, object] | None:
+        """Point lookup through the primary-key index."""
+        stored = self._stored(table)
+        if stored.pk_index is None:
+            raise StorageError(f"table {table!r} has no primary key")
+        key = coerce_value(key, stored.meta.schema[stored.meta.primary_key])
+        ids = stored.pk_index.lookup(key)
+        if not ids:
+            return None
+        return self._decode_row(stored.meta, stored.rows[next(iter(ids))])
+
+    def find(self, table: str, column: str, value: object) -> list[dict[str, object]]:
+        """Equality lookup, via a secondary index when one exists."""
+        stored = self._stored(table)
+        if column not in stored.meta.schema:
+            raise StorageError(f"unknown column {table}.{column}")
+        value = coerce_value(value, stored.meta.schema[column])
+        index = stored.secondary.get(column)
+        if index is not None:
+            ids = sorted(index.lookup(value))
+            return [self._decode_row(stored.meta, stored.rows[rid]) for rid in ids]
+        return [
+            self._decode_row(stored.meta, row)
+            for _, row in sorted(stored.rows.items())
+            if row.get(column) == value
+        ]
+
+    def find_range(
+        self, table: str, column: str, low: object = None, high: object = None
+    ) -> list[dict[str, object]]:
+        """Range lookup; requires (or falls back without) a sorted index."""
+        stored = self._stored(table)
+        if column not in stored.meta.schema:
+            raise StorageError(f"unknown column {table}.{column}")
+        dtype = stored.meta.schema[column]
+        low = coerce_value(low, dtype) if low is not None else None
+        high = coerce_value(high, dtype) if high is not None else None
+        index = stored.secondary.get(column)
+        if isinstance(index, SortedIndex):
+            ids = sorted(index.range(low=low, high=high))
+            return [self._decode_row(stored.meta, stored.rows[rid]) for rid in ids]
+        out = []
+        for _, row in sorted(stored.rows.items()):
+            value = row.get(column)
+            if value is None:
+                continue
+            if low is not None and value < low:  # type: ignore[operator]
+                continue
+            if high is not None and value > high:  # type: ignore[operator]
+                continue
+            out.append(self._decode_row(stored.meta, row))
+        return out
+
+    def row_count(self, table: str) -> int:
+        """Number of live rows."""
+        return len(self._stored(table).rows)
+
+    def table_names(self) -> list[str]:
+        """All table names, sorted."""
+        return self.catalog.names()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _stored(self, table: str) -> _StoredTable:
+        self.catalog.get(table)  # raises TableNotFoundError with known names
+        return self._tables[table]
+
+    @staticmethod
+    def _decode_row(meta: TableMeta, row: dict[str, object]) -> dict[str, object]:
+        """Storage representation → Python values (dates back to dates).
+
+        Keeps point lookups consistent with ``scan()``, which decodes
+        through the Table layer.
+        """
+        out = dict(row)
+        for name, dtype in meta.schema.items():
+            value = out.get(name)
+            if value is not None and dtype is DType.DATE:
+                out[name] = ordinal_to_date(int(value))  # type: ignore[arg-type]
+        return out
+
+    def _validate_row(
+        self, meta: TableMeta, row: Mapping[str, object]
+    ) -> dict[str, object]:
+        unknown = set(row) - set(meta.schema) - {"row_id"}
+        if unknown:
+            raise StorageError(
+                f"unknown columns {sorted(unknown)} for table {meta.name!r}"
+            )
+        clean: dict[str, object] = {}
+        for name, dtype in meta.schema.items():
+            value = row.get(name)
+            if value is None:
+                if name in meta.not_null or name == meta.primary_key:
+                    raise IntegrityError(
+                        f"column {meta.name}.{name} may not be null"
+                    )
+                clean[name] = None
+            else:
+                clean[name] = coerce_value(value, dtype)
+        return clean
+
+    def _check_pk_unique(self, stored: _StoredTable, row: dict[str, object]) -> None:
+        if stored.pk_index is None:
+            return
+        key = row[stored.meta.primary_key]  # type: ignore[index]
+        if stored.pk_index.lookup(key):
+            raise IntegrityError(
+                f"duplicate primary key {key!r} in table {stored.meta.name!r}"
+            )
+
+    def _check_foreign_keys(self, meta: TableMeta, row: dict[str, object]) -> None:
+        for local, (ref_table, ref_col) in meta.foreign_keys.items():
+            value = row.get(local)
+            if value is None:
+                continue
+            referenced = self._stored(ref_table)
+            if referenced.meta.primary_key == ref_col and referenced.pk_index:
+                found = bool(referenced.pk_index.lookup(value))
+            else:
+                found = any(
+                    r.get(ref_col) == value for r in referenced.rows.values()
+                )
+            if not found:
+                raise IntegrityError(
+                    f"{meta.name}.{local}={value!r} has no match in "
+                    f"{ref_table}.{ref_col}"
+                )
+
+    def _index_add(self, stored: _StoredTable, row_id: int, row: dict) -> None:
+        if stored.pk_index is not None:
+            stored.pk_index.add(row[stored.meta.primary_key], row_id)
+        for column, index in stored.secondary.items():
+            index.add(row.get(column), row_id)
+
+    def _index_remove(self, stored: _StoredTable, row_id: int, row: dict) -> None:
+        if stored.pk_index is not None:
+            stored.pk_index.remove(row[stored.meta.primary_key], row_id)
+        for column, index in stored.secondary.items():
+            index.remove(row.get(column), row_id)
+
+    def _undo_insert(self, stored: _StoredTable, row_id: int) -> None:
+        row = stored.rows.pop(row_id, None)
+        if row is not None:
+            self._index_remove(stored, row_id, row)
+
+    def _undo_update(self, stored: _StoredTable, row_id: int, old: dict) -> None:
+        current = stored.rows.get(row_id)
+        if current is not None:
+            self._index_remove(stored, row_id, current)
+        stored.rows[row_id] = old
+        self._index_add(stored, row_id, old)
+
+    def _undo_delete(self, stored: _StoredTable, row_id: int, old: dict) -> None:
+        stored.rows[row_id] = old
+        self._index_add(stored, row_id, old)
+
+
+def replay_into(engine: StorageEngine, wal: WriteAheadLog) -> None:
+    """Re-apply every committed WAL mutation to ``engine``.
+
+    The engine must already have the schema (tables created); row ids are
+    reassigned, so replay is only valid onto empty tables.
+    """
+    for entry in wal.committed_entries():
+        with engine.transaction():
+            if entry.op == OP_INSERT:
+                engine.insert(entry.table, entry.payload)
+            elif entry.op == OP_UPDATE:
+                payload = dict(entry.payload)
+                row_id = payload.pop("row_id")
+                engine.update(entry.table, row_id, payload)
+            elif entry.op == OP_DELETE:
+                engine.delete(entry.table, entry.payload["row_id"])

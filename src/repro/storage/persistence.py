@@ -1,0 +1,106 @@
+"""Whole-database snapshots: save/load an engine to a directory.
+
+Layout::
+
+    <dir>/catalog.json        table metadata (schema, keys, versions)
+    <dir>/<table>.json        rows of each table (row_id -> values)
+
+JSON is chosen over a binary format because snapshot sizes here are small
+(operational clinical stores, not the warehouse) and inspectability during
+a trial matters more than density.  Dates are stored as ISO strings.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.storage.engine import StorageEngine
+from repro.tabular.dtypes import DType
+
+
+def _encode_value(value: object) -> object:
+    if isinstance(value, _dt.date):
+        return {"__date__": value.isoformat()}
+    return value
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, dict) and "__date__" in value:
+        return _dt.date.fromisoformat(value["__date__"])
+    return value
+
+
+def save_snapshot(engine: StorageEngine, directory: str | Path) -> None:
+    """Write the engine's catalog and all rows under ``directory``."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    catalog = {}
+    for name in engine.table_names():
+        meta = engine.catalog.get(name)
+        catalog[name] = {
+            "schema": {k: v.value for k, v in meta.schema.items()},
+            "primary_key": meta.primary_key,
+            "not_null": sorted(meta.not_null),
+            "version": meta.version,
+            "foreign_keys": {
+                k: list(v) for k, v in meta.foreign_keys.items()
+            },
+            "indexes": sorted(engine._tables[name].secondary),
+        }
+    with open(path / "catalog.json", "w", encoding="utf-8") as handle:
+        json.dump(catalog, handle, indent=2)
+    for name in engine.table_names():
+        stored = engine._tables[name]
+        rows = {
+            str(row_id): {k: _encode_value(v) for k, v in row.items()}
+            for row_id, row in sorted(stored.rows.items())
+        }
+        with open(path / f"{name}.json", "w", encoding="utf-8") as handle:
+            json.dump(rows, handle)
+
+
+def load_snapshot(directory: str | Path) -> StorageEngine:
+    """Reconstruct an engine (schema, rows, indexes) from a snapshot."""
+    path = Path(directory)
+    catalog_file = path / "catalog.json"
+    if not catalog_file.exists():
+        raise StorageError(f"no snapshot found at {path}")
+    with open(catalog_file, encoding="utf-8") as handle:
+        catalog = json.load(handle)
+
+    engine = StorageEngine()
+    # Create tables without FKs first, then attach FK metadata, so load
+    # order between referencing/referenced tables does not matter.
+    for name, meta in catalog.items():
+        engine.create_table(
+            name,
+            {k: DType.coerce(v) for k, v in meta["schema"].items()},
+            primary_key=meta["primary_key"],
+            not_null=set(meta["not_null"]),
+        )
+    for name, meta in catalog.items():
+        engine.catalog.get(name).foreign_keys = {
+            k: tuple(v) for k, v in meta["foreign_keys"].items()
+        }
+        engine.catalog.get(name).version = meta["version"]
+
+    for name in catalog:
+        table_file = path / f"{name}.json"
+        if not table_file.exists():
+            continue
+        with open(table_file, encoding="utf-8") as handle:
+            rows = json.load(handle)
+        stored = engine._tables[name]
+        with engine.transaction():
+            for row_id_text, row in sorted(rows.items(), key=lambda p: int(p[0])):
+                decoded = {k: _decode_value(v) for k, v in row.items()}
+                engine.insert(name, decoded)
+        __ = stored  # rows inserted through the normal path keep indexes fresh
+
+    for name, meta in catalog.items():
+        for column in meta.get("indexes", []):
+            engine.create_index(name, column)
+    return engine

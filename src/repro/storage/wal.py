@@ -1,0 +1,125 @@
+"""Write-ahead log: ordered record of committed mutations.
+
+The engine appends one entry per mutation inside a transaction and marks
+the batch committed atomically.  ``replay`` reapplies committed entries to
+an empty engine — used by snapshot-plus-log recovery and exercised by the
+failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import StorageError
+
+#: Mutation kinds recorded in the log.
+OP_INSERT = "insert"
+OP_UPDATE = "update"
+OP_DELETE = "delete"
+_VALID_OPS = frozenset({OP_INSERT, OP_UPDATE, OP_DELETE})
+
+
+@dataclass
+class LogEntry:
+    """One mutation: operation, table, payload, owning transaction."""
+
+    txn_id: int
+    op: str
+    table: str
+    payload: dict
+    committed: bool = False
+
+    def to_json(self) -> str:
+        """Serialise for the on-disk log (dates must already be primitive)."""
+        return json.dumps(
+            {
+                "txn": self.txn_id,
+                "op": self.op,
+                "table": self.table,
+                "payload": self.payload,
+                "committed": self.committed,
+            },
+            default=str,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "LogEntry":
+        raw = json.loads(line)
+        return cls(
+            txn_id=raw["txn"],
+            op=raw["op"],
+            table=raw["table"],
+            payload=raw["payload"],
+            committed=raw["committed"],
+        )
+
+
+class WriteAheadLog:
+    """In-memory WAL with optional file persistence."""
+
+    def __init__(self, path: str | Path | None = None):
+        self._entries: list[LogEntry] = []
+        self._path = Path(path) if path is not None else None
+        self._next_txn = 1
+
+    def begin(self) -> int:
+        """Allocate a transaction id."""
+        txn_id = self._next_txn
+        self._next_txn += 1
+        return txn_id
+
+    def append(self, txn_id: int, op: str, table: str, payload: dict) -> None:
+        """Record one mutation belonging to an open transaction."""
+        if op not in _VALID_OPS:
+            raise StorageError(f"unknown WAL operation {op!r}")
+        self._entries.append(LogEntry(txn_id, op, table, dict(payload)))
+
+    def commit(self, txn_id: int) -> None:
+        """Mark all entries of ``txn_id`` committed and flush if file-backed."""
+        for entry in self._entries:
+            if entry.txn_id == txn_id:
+                entry.committed = True
+        self._flush()
+
+    def rollback(self, txn_id: int) -> None:
+        """Discard uncommitted entries of ``txn_id``."""
+        self._entries = [
+            e for e in self._entries if e.txn_id != txn_id or e.committed
+        ]
+
+    def committed_entries(self) -> Iterator[LogEntry]:
+        """Committed mutations in append order."""
+        return (e for e in self._entries if e.committed)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def truncate(self) -> None:
+        """Clear the log (after a snapshot has captured its effects)."""
+        self._entries = []
+        self._flush()
+
+    def _flush(self) -> None:
+        if self._path is None:
+            return
+        with open(self._path, "w", encoding="utf-8") as handle:
+            for entry in self._entries:
+                handle.write(entry.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WriteAheadLog":
+        """Read a persisted log back from disk."""
+        wal = cls(path)
+        file_path = Path(path)
+        if file_path.exists():
+            with open(file_path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        wal._entries.append(LogEntry.from_json(line))
+            if wal._entries:
+                wal._next_txn = max(e.txn_id for e in wal._entries) + 1
+        return wal

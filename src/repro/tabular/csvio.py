@@ -1,0 +1,86 @@
+"""CSV import/export for tables.
+
+Import infers dtypes unless an explicit schema is given; empty fields and a
+configurable set of missing-value markers become nulls.  Export writes
+RFC-4180 CSV with ISO dates and empty fields for nulls.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+from pathlib import Path
+from typing import Mapping
+
+from repro.tabular.dtypes import DType
+from repro.tabular.table import Table
+
+#: Field contents treated as null on import (case-insensitive).
+DEFAULT_MISSING_MARKERS = frozenset({"", "na", "n/a", "null", "none", "?", "-"})
+
+
+def _parse_field(text: str) -> object:
+    """Best-effort typed parse of one CSV field (already known non-null)."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return _dt.date.fromisoformat(text)
+    except ValueError:
+        pass
+    return text
+
+
+def read_csv(
+    path: str | Path,
+    schema: Mapping[str, DType | str] | None = None,
+    missing_markers: frozenset[str] = DEFAULT_MISSING_MARKERS,
+) -> Table:
+    """Read a CSV file into a :class:`Table`.
+
+    With a ``schema``, fields are coerced to the declared types and only the
+    scheduled columns are read.  Without one, each column's type is inferred
+    from its parsed values.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        rows: list[dict[str, object]] = []
+        for raw in reader:
+            row: dict[str, object] = {}
+            for name, text in raw.items():
+                if name is None:
+                    continue
+                if schema is not None and name not in schema:
+                    continue
+                if text is None or text.strip().lower() in missing_markers:
+                    row[name] = None
+                else:
+                    row[name] = _parse_field(text.strip())
+            rows.append(row)
+    return Table.from_rows(rows, schema=schema)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to CSV; nulls become empty fields, dates ISO-format."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.iter_rows():
+            out = []
+            for name in table.column_names:
+                value = row[name]
+                if value is None:
+                    out.append("")
+                elif isinstance(value, _dt.date):
+                    out.append(value.isoformat())
+                else:
+                    out.append(str(value))
+            writer.writerow(out)

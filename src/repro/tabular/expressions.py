@@ -1,0 +1,222 @@
+"""Composable row-filter and value expressions.
+
+Expressions are built from :func:`col` and :func:`lit` with ordinary Python
+operators and evaluated against a :class:`~repro.tabular.table.Table`::
+
+    mask = ((col("age") > 40) & col("sex").eq("F")).evaluate(table)
+
+Comparison against a null is never True (SQL-style three-valued logic
+collapsed to False), so filters silently drop rows with nulls in the
+compared column — matching warehouse semantics where unknown members are
+excluded from aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+from repro.errors import DTypeError
+from repro.tabular.column import Column
+from repro.tabular.dtypes import DType, coerce_value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tabular.table import Table
+
+
+class Expression:
+    """Base class: anything evaluable to a boolean mask or value column."""
+
+    # -- boolean combinators ------------------------------------------------
+
+    def __and__(self, other: "Expression") -> "Expression":
+        return _BoolOp(self, other, np.logical_and, "AND")
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return _BoolOp(self, other, np.logical_or, "OR")
+
+    def __invert__(self) -> "Expression":
+        return _NotOp(self)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, table: "Table") -> np.ndarray:
+        """Evaluate to a boolean mask of the table's length."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+    def describe(self) -> str:
+        """Human-readable rendering used in error messages and audit trails."""
+        raise NotImplementedError
+
+
+class ColumnRef(Expression):
+    """Reference to a named column; comparison operators build predicates."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    # comparisons -------------------------------------------------------
+
+    def __eq__(self, other: object) -> "Expression":  # type: ignore[override]
+        return self.eq(other)
+
+    def __ne__(self, other: object) -> "Expression":  # type: ignore[override]
+        return ~self.eq(other)
+
+    def __lt__(self, other: object) -> "Expression":
+        return _Compare(self.name, other, np.less, "<")
+
+    def __le__(self, other: object) -> "Expression":
+        return _Compare(self.name, other, np.less_equal, "<=")
+
+    def __gt__(self, other: object) -> "Expression":
+        return _Compare(self.name, other, np.greater, ">")
+
+    def __ge__(self, other: object) -> "Expression":
+        return _Compare(self.name, other, np.greater_equal, ">=")
+
+    def __hash__(self) -> int:
+        return hash(("ColumnRef", self.name))
+
+    def eq(self, other: object) -> "Expression":
+        """Equality predicate (named form, since ``==`` builds expressions)."""
+        return _Compare(self.name, other, np.equal, "==")
+
+    def isin(self, values: Iterable[object]) -> "Expression":
+        """True where the column value is one of ``values``."""
+        return _IsIn(self.name, list(values))
+
+    def is_null(self) -> "Expression":
+        """True where the column is null."""
+        return _IsNull(self.name, want_null=True)
+
+    def is_not_null(self) -> "Expression":
+        """True where the column is present."""
+        return _IsNull(self.name, want_null=False)
+
+    def between(self, low: object, high: object, inclusive: bool = True) -> "Expression":
+        """Range predicate ``low <= col <= high`` (or strict upper bound)."""
+        upper = self.__le__(high) if inclusive else self.__lt__(high)
+        return (self.__ge__(low)) & upper
+
+    def evaluate(self, table: "Table") -> np.ndarray:
+        column = table.column(self.name)
+        if column.dtype is not DType.BOOL:
+            raise DTypeError(
+                f"column {self.name!r} used as a filter must be bool, "
+                f"got {column.dtype.value}"
+            )
+        return column.data & column.valid
+
+    def describe(self) -> str:
+        return self.name
+
+
+class Literal(Expression):
+    """A constant; only useful as a comparison operand."""
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def evaluate(self, table: "Table") -> np.ndarray:
+        raise DTypeError("a bare literal is not a filter predicate")
+
+    def describe(self) -> str:
+        return repr(self.value)
+
+
+class _Compare(Expression):
+    def __init__(self, name: str, operand: object, ufunc: Callable, symbol: str):
+        self.name = name
+        self.operand = operand.value if isinstance(operand, Literal) else operand
+        self.ufunc = ufunc
+        self.symbol = symbol
+
+    def evaluate(self, table: "Table") -> np.ndarray:
+        column = table.column(self.name)
+        operand = coerce_value(self.operand, column.dtype)
+        if operand is None:
+            # NULL comparisons are never true; use is_null() to test nulls.
+            return np.zeros(len(column), dtype=bool)
+        if column.dtype is DType.STR:
+            values = column.data
+            # object-array comparisons against str work element-wise via ufunc
+            with np.errstate(all="ignore"):
+                raw = self.ufunc(values, operand)
+            raw = np.asarray(raw, dtype=bool)
+        else:
+            raw = self.ufunc(column.data, operand)
+        return raw & column.valid
+
+    def describe(self) -> str:
+        return f"({self.name} {self.symbol} {self.operand!r})"
+
+
+class _IsIn(Expression):
+    def __init__(self, name: str, values: list[object]):
+        self.name = name
+        self.values = values
+
+    def evaluate(self, table: "Table") -> np.ndarray:
+        column = table.column(self.name)
+        coerced = {
+            coerce_value(v, column.dtype) for v in self.values if v is not None
+        }
+        raw = np.array([v in coerced for v in column.data.tolist()], dtype=bool)
+        return raw & column.valid
+
+    def describe(self) -> str:
+        return f"({self.name} IN {self.values!r})"
+
+
+class _IsNull(Expression):
+    def __init__(self, name: str, want_null: bool):
+        self.name = name
+        self.want_null = want_null
+
+    def evaluate(self, table: "Table") -> np.ndarray:
+        column = table.column(self.name)
+        return ~column.valid if self.want_null else column.valid.copy()
+
+    def describe(self) -> str:
+        suffix = "IS NULL" if self.want_null else "IS NOT NULL"
+        return f"({self.name} {suffix})"
+
+
+class _BoolOp(Expression):
+    def __init__(self, left: Expression, right: Expression, ufunc: Callable, symbol: str):
+        self.left = left
+        self.right = right
+        self.ufunc = ufunc
+        self.symbol = symbol
+
+    def evaluate(self, table: "Table") -> np.ndarray:
+        return self.ufunc(self.left.evaluate(table), self.right.evaluate(table))
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} {self.symbol} {self.right.describe()})"
+
+
+class _NotOp(Expression):
+    def __init__(self, inner: Expression):
+        self.inner = inner
+
+    def evaluate(self, table: "Table") -> np.ndarray:
+        return ~self.inner.evaluate(table)
+
+    def describe(self) -> str:
+        return f"(NOT {self.inner.describe()})"
+
+
+def col(name: str) -> ColumnRef:
+    """Reference a column by name for use in an expression."""
+    return ColumnRef(name)
+
+
+def lit(value: object) -> Literal:
+    """Wrap a constant (rarely needed; plain Python values also work)."""
+    return Literal(value)

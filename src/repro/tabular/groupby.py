@@ -1,0 +1,160 @@
+"""Group-by aggregation over tables.
+
+Aggregations are requested as ``output_name=(input_column, function)``
+pairs, mirroring the named-aggregation style analysts already know::
+
+    summary = table.groupby("age_group", "gender").agg(
+        patients=("patient_id", "nunique"),
+        mean_fbg=("fbg", "mean"),
+    )
+
+Supported functions: ``count`` (non-null), ``size`` (rows), ``sum``,
+``mean``, ``min``, ``max``, ``std``, ``nunique``, ``first``, ``last``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.errors import ColumnNotFoundError, TabularError
+from repro.tabular.column import Column
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tabular.table import Table
+
+
+def _agg_count(col: Column, idx: np.ndarray) -> object:
+    return int(col.valid[idx].sum())
+
+
+def _agg_size(col: Column, idx: np.ndarray) -> object:
+    return int(len(idx))
+
+
+def _agg_sum(col: Column, idx: np.ndarray) -> object:
+    return col.take(idx).sum()
+
+
+def _agg_mean(col: Column, idx: np.ndarray) -> object:
+    return col.take(idx).mean()
+
+
+def _agg_min(col: Column, idx: np.ndarray) -> object:
+    return col.take(idx).min()
+
+
+def _agg_max(col: Column, idx: np.ndarray) -> object:
+    return col.take(idx).max()
+
+
+def _agg_std(col: Column, idx: np.ndarray) -> object:
+    return col.take(idx).std()
+
+
+def _agg_nunique(col: Column, idx: np.ndarray) -> object:
+    return col.take(idx).n_unique()
+
+
+def _agg_first(col: Column, idx: np.ndarray) -> object:
+    return col.value(int(idx[0])) if len(idx) else None
+
+
+def _agg_last(col: Column, idx: np.ndarray) -> object:
+    return col.value(int(idx[-1])) if len(idx) else None
+
+
+AGGREGATORS: dict[str, Callable[[Column, np.ndarray], object]] = {
+    "count": _agg_count,
+    "size": _agg_size,
+    "sum": _agg_sum,
+    "mean": _agg_mean,
+    "min": _agg_min,
+    "max": _agg_max,
+    "std": _agg_std,
+    "nunique": _agg_nunique,
+    "first": _agg_first,
+    "last": _agg_last,
+}
+
+
+class GroupBy:
+    """Lazy grouping over key columns; ``agg`` materialises the result.
+
+    Groups appear in order of first occurrence, keeping results stable and
+    deterministic.  Rows whose key tuple contains a null still form a group
+    keyed by ``None`` — clinical data is full of partially-known records and
+    silently dropping them would bias counts.
+    """
+
+    def __init__(self, table: "Table", keys: list[str]):
+        if not keys:
+            raise TabularError("groupby requires at least one key column")
+        for key in keys:
+            if key not in table:
+                raise ColumnNotFoundError(key, table.column_names)
+        self.table = table
+        self.keys = keys
+
+    def groups(self) -> dict[tuple, np.ndarray]:
+        """Key tuple → row-index array, in first-occurrence order."""
+        key_lists = [self.table.column(k).to_list() for k in self.keys]
+        buckets: dict[tuple, list[int]] = {}
+        for i in range(len(self.table)):
+            key = tuple(values[i] for values in key_lists)
+            buckets.setdefault(key, []).append(i)
+        return {k: np.array(v, dtype=np.int64) for k, v in buckets.items()}
+
+    def agg(self, **named: tuple[str, str]) -> "Table":
+        """Aggregate each group; returns key columns plus one per request."""
+        from repro.tabular.table import Table
+
+        if not named:
+            raise TabularError("agg() requires at least one aggregation")
+        plans = []
+        for out_name, spec in named.items():
+            if not (isinstance(spec, tuple) and len(spec) == 2):
+                raise TabularError(
+                    f"aggregation {out_name!r} must be (column, function), "
+                    f"got {spec!r}"
+                )
+            in_name, func_name = spec
+            if func_name not in AGGREGATORS:
+                raise TabularError(
+                    f"unknown aggregation {func_name!r} "
+                    f"(valid: {', '.join(sorted(AGGREGATORS))})"
+                )
+            plans.append((out_name, self.table.column(in_name), AGGREGATORS[func_name]))
+
+        grouped = self.groups()
+        rows: list[dict[str, object]] = []
+        for key, idx in grouped.items():
+            row: dict[str, object] = dict(zip(self.keys, key))
+            for out_name, column, func in plans:
+                row[out_name] = func(column, idx)
+            rows.append(row)
+
+        if rows:
+            return Table.from_rows(rows)
+        # Empty input: preserve the schema so downstream sorts/selects work.
+        schema = {key: self.table.schema[key] for key in self.keys}
+        for out_name, spec in named.items():
+            in_name, func_name = spec
+            if func_name in ("count", "size", "nunique"):
+                schema[out_name] = "int"  # type: ignore[assignment]
+            elif func_name in ("mean", "std"):
+                schema[out_name] = "float"  # type: ignore[assignment]
+            else:
+                schema[out_name] = self.table.schema[in_name]
+        return Table.empty(schema)
+
+    def size(self) -> "Table":
+        """Shorthand for a single row-count aggregation named ``size``."""
+        return self.agg(size=(self.keys[0], "size"))
+
+    def apply(self, func) -> dict[tuple, object]:
+        """Run ``func(sub_table)`` per group; returns key → result."""
+        return {
+            key: func(self.table.take(idx)) for key, idx in self.groups().items()
+        }

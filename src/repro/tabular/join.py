@@ -1,0 +1,80 @@
+"""Hash joins between tables."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import TabularError
+from repro.tabular.column import Column
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tabular.table import Table
+
+
+def hash_join(
+    left: "Table",
+    right: "Table",
+    on: Sequence[str] | str,
+    how: str = "inner",
+    suffix: str = "_right",
+) -> "Table":
+    """Join two tables on equal key columns.
+
+    ``how`` is ``"inner"`` or ``"left"``.  Null keys never match (SQL
+    semantics).  Non-key columns of ``right`` that collide with ``left``
+    names get ``suffix`` appended.  For a left join, unmatched right-side
+    columns are null.
+    """
+    from repro.tabular.table import Table
+
+    if how not in ("inner", "left"):
+        raise TabularError(f"unsupported join type {how!r} (use 'inner' or 'left')")
+    keys = [on] if isinstance(on, str) else list(on)
+    if not keys:
+        raise TabularError("join requires at least one key column")
+    for k in keys:
+        left.column(k)
+        right.column(k)
+
+    right_key_lists = [right.column(k).to_list() for k in keys]
+    index: dict[tuple, list[int]] = {}
+    for j in range(len(right)):
+        key = tuple(values[j] for values in right_key_lists)
+        if any(v is None for v in key):
+            continue
+        index.setdefault(key, []).append(j)
+
+    left_key_lists = [left.column(k).to_list() for k in keys]
+    left_idx: list[int] = []
+    right_idx: list[int] = []  # -1 marks "no match" for left joins
+    for i in range(len(left)):
+        key = tuple(values[i] for values in left_key_lists)
+        matches = index.get(key) if not any(v is None for v in key) else None
+        if matches:
+            for j in matches:
+                left_idx.append(i)
+                right_idx.append(j)
+        elif how == "left":
+            left_idx.append(i)
+            right_idx.append(-1)
+
+    left_take = np.array(left_idx, dtype=np.int64)
+    right_take = np.array(right_idx, dtype=np.int64)
+
+    columns: dict[str, Column] = {
+        name: left.column(name).take(left_take) for name in left.column_names
+    }
+    matched = right_take >= 0
+    safe_take = np.where(matched, right_take, 0)
+    for name in right.column_names:
+        if name in keys:
+            continue
+        out_name = name if name not in columns else f"{name}{suffix}"
+        gathered = right.column(name).take(safe_take)
+        if how == "left" and not matched.all():
+            valid = gathered.valid & matched
+            gathered = Column(gathered.dtype, gathered.data, valid)
+        columns[out_name] = gathered
+    return Table(columns)

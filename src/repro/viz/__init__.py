@@ -1,0 +1,29 @@
+"""Visualisation (paper §IV, "Visualisation").
+
+"The large number of dimensions in clinical settings can require
+visualisation features for improved understanding."  Dependency-free
+renderers: Unicode bar charts for the terminal (:mod:`repro.viz.bars`,
+:mod:`repro.viz.histogram`), an SVG writer for files (:mod:`repro.viz.svg`)
+— Figs 5 and 6 regenerate through these — and detection of patient groups
+"at the edges of overlapping dimensions" (:mod:`repro.viz.overlap`).
+"""
+
+from repro.viz.bars import bar_chart, grouped_bar_chart
+from repro.viz.heatmap import heatmap
+from repro.viz.histogram import histogram
+from repro.viz.lines import line_chart, sparkline
+from repro.viz.svg import SVGChart, crosstab_to_svg
+from repro.viz.overlap import OverlapGroup, edge_groups
+
+__all__ = [
+    "bar_chart",
+    "grouped_bar_chart",
+    "heatmap",
+    "histogram",
+    "line_chart",
+    "sparkline",
+    "SVGChart",
+    "crosstab_to_svg",
+    "OverlapGroup",
+    "edge_groups",
+]

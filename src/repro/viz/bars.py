@@ -1,0 +1,80 @@
+"""Unicode bar charts for terminals."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, peak: float, width: int) -> str:
+    if peak <= 0:
+        return ""
+    cells = value / peak * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[int(remainder * 8)] if full < width else ""
+    return "█" * full + partial
+
+
+def bar_chart(
+    values: Mapping[object, float],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Horizontal bar chart of label → value (insertion order kept)."""
+    if not values:
+        raise ReproError("nothing to chart")
+    numeric = {k: float(v) for k, v in values.items() if v is not None}
+    if not numeric:
+        raise ReproError("all values are null")
+    peak = max(numeric.values())
+    label_width = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        if value is None:
+            lines.append(f"{str(label).ljust(label_width)} │ (no data)")
+            continue
+        bar = _bar(float(value), peak, width)
+        lines.append(f"{str(label).ljust(label_width)} │{bar} {value:g}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: Sequence[object],
+    series: Mapping[object, Mapping[object, float | None]],
+    title: str = "",
+    width: int = 30,
+) -> str:
+    """Grouped bars: one block per row label, one bar per series.
+
+    ``series`` maps series name → {row label → value}.  This is the shape
+    of paper Fig. 5 (age bands on rows, one bar per gender).
+    """
+    if not rows or not series:
+        raise ReproError("nothing to chart")
+    all_values = [
+        float(v)
+        for per_row in series.values()
+        for v in per_row.values()
+        if v is not None
+    ]
+    if not all_values:
+        raise ReproError("all values are null")
+    peak = max(all_values)
+    series_width = max(len(str(s)) for s in series)
+    lines = [title] if title else []
+    for row in rows:
+        lines.append(str(row))
+        for name, per_row in series.items():
+            value = per_row.get(row)
+            if value is None:
+                lines.append(f"  {str(name).ljust(series_width)} │ ·")
+            else:
+                bar = _bar(float(value), peak, width)
+                lines.append(
+                    f"  {str(name).ljust(series_width)} │{bar} {value:g}"
+                )
+    return "\n".join(lines)

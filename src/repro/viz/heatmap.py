@@ -1,0 +1,58 @@
+"""Terminal heatmaps of crosstabs.
+
+Density shading makes multi-band grids (e.g. the full Fig 6 matrix)
+scannable at a glance — the visualisation component's answer to "the
+large number of dimensions in clinical settings".
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.olap.crosstab import Crosstab
+
+_SHADES = " ░▒▓█"
+
+
+def heatmap(crosstab: Crosstab, title: str = "") -> str:
+    """Render a crosstab as a shaded grid with a legend.
+
+    Cell shade is value / max over the grid; empty cells show ``·``.
+    """
+    values = [
+        float(v) for v in crosstab.cells.values()
+        if isinstance(v, (int, float))
+    ]
+    if not values:
+        raise ReproError("crosstab has no numeric cells to shade")
+    peak = max(values)
+    if peak <= 0:
+        raise ReproError("all cells are <= 0; nothing to shade")
+
+    def shade(value: object) -> str:
+        if not isinstance(value, (int, float)):
+            return " · "
+        index = min(int(float(value) / peak * (len(_SHADES) - 1) + 0.5),
+                    len(_SHADES) - 1)
+        return _SHADES[index] * 3
+
+    def key_text(key: tuple) -> str:
+        return " / ".join("∅" if v is None else str(v) for v in key)
+
+    row_width = max((len(key_text(r)) for r in crosstab.row_keys), default=4)
+    col_labels = [key_text(c) for c in crosstab.col_keys]
+    lines = [title] if title else []
+    header = " " * (row_width + 1) + " ".join(
+        label[:3].center(3) for label in col_labels
+    )
+    lines.append(header)
+    for row_key in crosstab.row_keys:
+        cells = " ".join(
+            shade(crosstab.cells.get((row_key, col_key)))
+            for col_key in crosstab.col_keys
+        )
+        lines.append(f"{key_text(row_key).ljust(row_width)} {cells}")
+    lines.append(
+        f"legend: ' '=0 … '█'={peak:g}; columns: "
+        + ", ".join(f"{label[:3]}={label}" for label in col_labels)
+    )
+    return "\n".join(lines)

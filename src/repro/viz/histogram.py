@@ -1,0 +1,38 @@
+"""Terminal histograms of numeric columns."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.viz.bars import bar_chart
+
+
+def histogram(
+    values: Sequence[float | None],
+    bins: int = 10,
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Equal-width histogram rendered as a bar chart.
+
+    Nulls are dropped; the bin labels show the interval bounds.
+    """
+    present = [float(v) for v in values if v is not None]
+    if not present:
+        raise ReproError("no non-null values to bin")
+    if bins < 1:
+        raise ReproError("bins must be >= 1")
+    low, high = min(present), max(present)
+    if low == high:
+        return bar_chart({f"{low:g}": len(present)}, title=title, width=width)
+    step = (high - low) / bins
+    counts = [0] * bins
+    for v in present:
+        index = min(int((v - low) / step), bins - 1)
+        counts[index] += 1
+    labels = {
+        f"[{low + i * step:.3g}, {low + (i + 1) * step:.3g})": counts[i]
+        for i in range(bins)
+    }
+    return bar_chart(labels, title=title, width=width)

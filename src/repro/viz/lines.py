@@ -1,0 +1,93 @@
+"""Terminal line/sparkline charts for trajectories and trends.
+
+The prediction component's natural display: a patient's measure over
+visits, or a cohort trend over calendar years.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float | None]) -> str:
+    """One-line mini chart; nulls render as spaces."""
+    present = [float(v) for v in values if v is not None]
+    if not present:
+        raise ReproError("no values to chart")
+    low, high = min(present), max(present)
+    span = high - low
+    out = []
+    for value in values:
+        if value is None:
+            out.append(" ")
+        elif span == 0:
+            out.append(_SPARKS[3])
+        else:
+            index = int((float(value) - low) / span * (len(_SPARKS) - 1))
+            out.append(_SPARKS[index])
+    return "".join(out)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float | None]],
+    labels: Sequence[object] | None = None,
+    title: str = "",
+    height: int = 8,
+    width_per_point: int = 3,
+) -> str:
+    """Multi-series character plot (one glyph letter per series).
+
+    All series must share a length; ``labels`` annotate the x axis.
+    """
+    if not series:
+        raise ReproError("no series to chart")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ReproError(f"series lengths differ: {sorted(lengths)}")
+    n = lengths.pop()
+    if n == 0:
+        raise ReproError("series are empty")
+    if labels is not None and len(labels) != n:
+        raise ReproError(f"{len(labels)} labels for {n} points")
+
+    present = [
+        float(v) for values in series.values() for v in values if v is not None
+    ]
+    if not present:
+        raise ReproError("all values are null")
+    low, high = min(present), max(present)
+    span = high - low if high > low else 1.0
+
+    glyphs = {}
+    for index, name in enumerate(series):
+        glyphs[name] = chr(ord("A") + index) if len(series) > 1 else "●"
+
+    grid = [[" "] * (n * width_per_point) for __ in range(height)]
+    for name, values in series.items():
+        glyph = glyphs[name]
+        for i, value in enumerate(values):
+            if value is None:
+                continue
+            level = int((float(value) - low) / span * (height - 1) + 0.5)
+            row = height - 1 - level
+            grid[row][i * width_per_point] = glyph
+
+    lines = [title] if title else []
+    lines.append(f"{high:g}".rjust(8))
+    for row in grid:
+        lines.append("        |" + "".join(row))
+    lines.append(f"{low:g}".rjust(8) + " +" + "-" * (n * width_per_point))
+    if labels is not None:
+        axis = "         "
+        for label in labels:
+            axis += str(label)[: width_per_point - 1].ljust(width_per_point)
+        lines.append(axis)
+    if len(series) > 1:
+        lines.append(
+            "legend: " + ", ".join(f"{glyph}={name}" for name, glyph in glyphs.items())
+        )
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Dependency-free SVG chart writer.
+
+Paper Figs. 5 and 6 are grouped bar charts from the BI front end; this
+module regenerates them as standalone SVG files without matplotlib.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.olap.crosstab import Crosstab
+
+_PALETTE = [
+    "#4E79A7", "#F28E2B", "#59A14F", "#E15759",
+    "#76B7B2", "#EDC948", "#B07AA1", "#9C755F",
+]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+class SVGChart:
+    """A grouped vertical bar chart written as SVG markup."""
+
+    def __init__(
+        self,
+        title: str,
+        groups: Sequence[str],
+        series: Mapping[str, Sequence[float | None]],
+        width: int = 720,
+        height: int = 400,
+    ):
+        if not groups or not series:
+            raise ReproError("nothing to chart")
+        for name, values in series.items():
+            if len(values) != len(groups):
+                raise ReproError(
+                    f"series {name!r} has {len(values)} values for "
+                    f"{len(groups)} groups"
+                )
+        self.title = title
+        self.groups = list(groups)
+        self.series = {k: list(v) for k, v in series.items()}
+        self.width = width
+        self.height = height
+
+    def render(self) -> str:
+        """The SVG document as a string."""
+        margin = {"top": 48, "right": 24, "bottom": 64, "left": 56}
+        plot_w = self.width - margin["left"] - margin["right"]
+        plot_h = self.height - margin["top"] - margin["bottom"]
+        values = [
+            v for series in self.series.values() for v in series if v is not None
+        ]
+        peak = max(values) if values else 1.0
+        peak = peak if peak > 0 else 1.0
+
+        n_groups = len(self.groups)
+        n_series = len(self.series)
+        group_w = plot_w / n_groups
+        bar_w = group_w * 0.8 / n_series
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif">',
+            f'<text x="{self.width / 2}" y="24" text-anchor="middle" '
+            f'font-size="16">{_escape(self.title)}</text>',
+        ]
+        # y axis with 4 gridlines
+        for i in range(5):
+            level = peak * i / 4
+            y = margin["top"] + plot_h * (1 - i / 4)
+            parts.append(
+                f'<line x1="{margin["left"]}" y1="{y:.1f}" '
+                f'x2="{self.width - margin["right"]}" y2="{y:.1f}" '
+                f'stroke="#ddd"/>'
+            )
+            parts.append(
+                f'<text x="{margin["left"] - 6}" y="{y + 4:.1f}" '
+                f'text-anchor="end" font-size="10">{level:g}</text>'
+            )
+        # bars
+        for s_index, (name, series) in enumerate(self.series.items()):
+            colour = _PALETTE[s_index % len(_PALETTE)]
+            for g_index, value in enumerate(series):
+                if value is None:
+                    continue
+                bar_h = plot_h * float(value) / peak
+                x = (
+                    margin["left"]
+                    + g_index * group_w
+                    + group_w * 0.1
+                    + s_index * bar_w
+                )
+                y = margin["top"] + plot_h - bar_h
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                    f'height="{bar_h:.1f}" fill="{colour}">'
+                    f"<title>{_escape(name)} / "
+                    f"{_escape(str(self.groups[g_index]))}: {value:g}</title>"
+                    f"</rect>"
+                )
+        # x labels
+        for g_index, group in enumerate(self.groups):
+            x = margin["left"] + g_index * group_w + group_w / 2
+            y = margin["top"] + plot_h + 16
+            parts.append(
+                f'<text x="{x:.1f}" y="{y}" text-anchor="middle" '
+                f'font-size="10">{_escape(str(group))}</text>'
+            )
+        # legend
+        legend_x = margin["left"]
+        legend_y = self.height - 18
+        for s_index, name in enumerate(self.series):
+            colour = _PALETTE[s_index % len(_PALETTE)]
+            parts.append(
+                f'<rect x="{legend_x}" y="{legend_y - 10}" width="10" '
+                f'height="10" fill="{colour}"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 14}" y="{legend_y}" font-size="11">'
+                f"{_escape(str(name))}</text>"
+            )
+            legend_x += 14 + 7 * len(str(name)) + 18
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the SVG file and return its path."""
+        path = Path(path)
+        path.write_text(self.render(), encoding="utf-8")
+        return path
+
+
+def crosstab_to_svg(
+    crosstab: Crosstab, title: str, path: str | Path | None = None
+) -> str:
+    """Render a crosstab (rows = x groups, columns = series) as SVG."""
+    groups = [" / ".join(str(v) for v in key) for key in crosstab.row_keys]
+    series = {}
+    for col_key in crosstab.col_keys:
+        name = " / ".join(str(v) for v in col_key)
+        series[name] = [
+            crosstab.cells.get((row_key, col_key)) for row_key in crosstab.row_keys
+        ]
+    chart = SVGChart(title, groups, series)
+    markup = chart.render()
+    if path is not None:
+        Path(path).write_text(markup, encoding="utf-8")
+    return markup

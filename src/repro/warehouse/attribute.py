@@ -1,0 +1,82 @@
+"""Dimension attributes and drill-down hierarchies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HierarchyError
+from repro.tabular.dtypes import DType
+
+
+@dataclass(frozen=True)
+class AttributeDef:
+    """One descriptive attribute of a dimension."""
+
+    name: str
+    dtype: DType
+
+    @classmethod
+    def of(cls, name: str, dtype: DType | str) -> "AttributeDef":
+        """Build with dtype coercion from string names."""
+        return cls(name, DType.coerce(dtype))
+
+
+class Hierarchy:
+    """An ordered drill path from the coarsest level to the finest.
+
+    ``levels[0]`` is the most aggregated attribute ("age band, 10 years"),
+    the last entry the finest ("age band, 5 years").  Drill-down moves one
+    position toward the end; roll-up one position toward the start — the
+    operations behind paper Figs. 5 and 6.
+    """
+
+    def __init__(self, name: str, levels: list[str]):
+        if len(levels) < 2:
+            raise HierarchyError(
+                f"hierarchy {name!r} needs at least two levels, got {levels}"
+            )
+        if len(set(levels)) != len(levels):
+            raise HierarchyError(f"hierarchy {name!r} repeats a level")
+        self.name = name
+        self.levels = list(levels)
+
+    def __repr__(self) -> str:
+        return f"Hierarchy({self.name!r}: {' > '.join(self.levels)})"
+
+    def position(self, level: str) -> int:
+        """Index of ``level`` in the drill path."""
+        try:
+            return self.levels.index(level)
+        except ValueError:
+            raise HierarchyError(
+                f"level {level!r} is not in hierarchy {self.name!r} "
+                f"({' > '.join(self.levels)})"
+            ) from None
+
+    def drill_down(self, level: str) -> str:
+        """The next finer level below ``level``."""
+        pos = self.position(level)
+        if pos == len(self.levels) - 1:
+            raise HierarchyError(
+                f"{level!r} is the finest level of hierarchy {self.name!r}"
+            )
+        return self.levels[pos + 1]
+
+    def roll_up(self, level: str) -> str:
+        """The next coarser level above ``level``."""
+        pos = self.position(level)
+        if pos == 0:
+            raise HierarchyError(
+                f"{level!r} is the coarsest level of hierarchy {self.name!r}"
+            )
+        return self.levels[pos - 1]
+
+    @property
+    def coarsest(self) -> str:
+        """The top of the drill path."""
+        return self.levels[0]
+
+    @property
+    def finest(self) -> str:
+        """The bottom of the drill path."""
+        return self.levels[-1]

@@ -1,0 +1,191 @@
+"""Dimension tables with surrogate keys and member management."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import DimensionError, UnknownMemberError
+from repro.tabular.dtypes import DType
+from repro.tabular.table import Table
+from repro.warehouse.attribute import AttributeDef, Hierarchy
+
+#: Surrogate key of the reserved "Unknown" member present in every
+#: dimension.  Facts whose source row lacks the natural key land here
+#: instead of being dropped — partially-known clinical records must still
+#: count in totals.
+UNKNOWN_KEY = 0
+
+#: Attribute value carried by the Unknown member.
+UNKNOWN_LABEL = "Unknown"
+
+
+class Dimension:
+    """One dimension: members keyed by a natural key, rows by surrogate key.
+
+    ``natural_key`` identifies a member in source data (e.g. the tuple of
+    attribute values, or a patient id for the Personal Information
+    dimension).  Surrogate keys are dense ints assigned at insert, with
+    :data:`UNKNOWN_KEY` reserved.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Mapping[str, DType | str],
+        natural_key: list[str] | None = None,
+        hierarchies: Iterable[Hierarchy] = (),
+    ):
+        if not attributes:
+            raise DimensionError(f"dimension {name!r} declared without attributes")
+        self.name = name
+        self.attributes: dict[str, AttributeDef] = {
+            attr: AttributeDef.of(attr, dtype) for attr, dtype in attributes.items()
+        }
+        # Natural key defaults to the full attribute tuple: two members are
+        # the same member iff every descriptive attribute matches.
+        self.natural_key = list(natural_key) if natural_key else list(self.attributes)
+        unknown_attrs = set(self.natural_key) - set(self.attributes)
+        if unknown_attrs:
+            raise DimensionError(
+                f"natural key of {name!r} uses unknown attributes "
+                f"{sorted(unknown_attrs)}"
+            )
+        self.hierarchies: dict[str, Hierarchy] = {}
+        for hierarchy in hierarchies:
+            self.add_hierarchy(hierarchy)
+        self._members: dict[int, dict[str, object]] = {
+            UNKNOWN_KEY: {attr: None for attr in self.attributes}
+        }
+        self._by_natural: dict[tuple, int] = {}
+        self._next_key = 1
+
+    # ------------------------------------------------------------------
+
+    def add_hierarchy(self, hierarchy: Hierarchy) -> None:
+        """Register a drill hierarchy; its levels must be attributes."""
+        missing = set(hierarchy.levels) - set(self.attributes)
+        if missing:
+            raise DimensionError(
+                f"hierarchy {hierarchy.name!r} on dimension {self.name!r} "
+                f"references unknown attributes {sorted(missing)}"
+            )
+        self.hierarchies[hierarchy.name] = hierarchy
+
+    def hierarchy_for_level(self, level: str) -> Hierarchy | None:
+        """The hierarchy containing ``level``, if any."""
+        for hierarchy in self.hierarchies.values():
+            if level in hierarchy.levels:
+                return hierarchy
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _natural_tuple(self, row: Mapping[str, object]) -> tuple:
+        return tuple(row.get(attr) for attr in self.natural_key)
+
+    def add_member(self, row: Mapping[str, object]) -> int:
+        """Insert (or find) a member; returns its surrogate key.
+
+        Re-adding a member with the same natural key returns the existing
+        surrogate key; attribute values outside the natural key are updated
+        in place (type-1 slowly-changing dimension semantics).
+        """
+        unknown = set(row) - set(self.attributes)
+        if unknown:
+            raise DimensionError(
+                f"member for {self.name!r} has unknown attributes "
+                f"{sorted(unknown)}"
+            )
+        natural = self._natural_tuple(row)
+        if all(v is None for v in natural):
+            return UNKNOWN_KEY
+        existing = self._by_natural.get(natural)
+        values = {attr: row.get(attr) for attr in self.attributes}
+        if existing is not None:
+            self._members[existing].update(
+                {k: v for k, v in values.items() if k not in self.natural_key}
+            )
+            return existing
+        key = self._next_key
+        self._next_key += 1
+        self._members[key] = values
+        self._by_natural[natural] = key
+        return key
+
+    def lookup(self, row: Mapping[str, object]) -> int:
+        """Surrogate key for a natural key; raises when absent."""
+        natural = self._natural_tuple(row)
+        if all(v is None for v in natural):
+            return UNKNOWN_KEY
+        try:
+            return self._by_natural[natural]
+        except KeyError:
+            raise UnknownMemberError(
+                f"dimension {self.name!r} has no member with "
+                f"{dict(zip(self.natural_key, natural))!r}"
+            ) from None
+
+    def member(self, key: int) -> dict[str, object]:
+        """Attribute values of one member (copy)."""
+        try:
+            return dict(self._members[key])
+        except KeyError:
+            raise UnknownMemberError(
+                f"dimension {self.name!r} has no member with surrogate key {key}"
+            ) from None
+
+    def attribute_of(self, key: int, attribute: str) -> object:
+        """One attribute value of one member."""
+        if attribute not in self.attributes:
+            raise DimensionError(
+                f"dimension {self.name!r} has no attribute {attribute!r} "
+                f"(has: {', '.join(self.attributes)})"
+            )
+        return self.member(key)[attribute]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of members, excluding the reserved Unknown member."""
+        return len(self._members) - 1
+
+    @property
+    def key_column(self) -> str:
+        """Name of this dimension's surrogate-key column in fact tables."""
+        return f"{self.name}_key"
+
+    def member_keys(self) -> list[int]:
+        """All surrogate keys except Unknown, ascending."""
+        return [k for k in sorted(self._members) if k != UNKNOWN_KEY]
+
+    def distinct_values(self, attribute: str) -> list[object]:
+        """Distinct non-null values of one attribute across members."""
+        if attribute not in self.attributes:
+            raise DimensionError(
+                f"dimension {self.name!r} has no attribute {attribute!r}"
+            )
+        seen = []
+        seen_set = set()
+        for key in self.member_keys():
+            value = self._members[key][attribute]
+            if value is not None and value not in seen_set:
+                seen_set.add(value)
+                seen.append(value)
+        return seen
+
+    def to_table(self, include_unknown: bool = False) -> Table:
+        """Materialise the dimension as a table (key + attributes)."""
+        keys = sorted(self._members) if include_unknown else self.member_keys()
+        rows = [
+            {self.key_column: key, **self._members[key]} for key in keys
+        ]
+        schema: dict[str, DType | str] = {self.key_column: DType.INT}
+        schema.update({a.name: a.dtype for a in self.attributes.values()})
+        return Table.from_rows(rows, schema=schema)
+
+    def __repr__(self) -> str:
+        return (
+            f"Dimension({self.name!r}, {self.size} members, "
+            f"attrs=[{', '.join(self.attributes)}])"
+        )

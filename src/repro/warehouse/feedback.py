@@ -1,0 +1,103 @@
+"""Folding user feedback back into the warehouse as dimensions.
+
+Paper §IV: "Further dimensions are introduced to capture user feedback.
+Information on aggregates and trends derived by clinicians as well as
+clinical outcomes can be translated back to the warehouse as dimensions to
+be used in future analysis."  This module turns a batch of
+:class:`FeedbackEntry` records — each tagging a set of fact rows with a
+clinician-assigned label — into a dimension plus per-fact keys, ready for
+:meth:`repro.warehouse.dynamic.DynamicWarehouse.add_dimension`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import WarehouseError
+from repro.tabular.table import Table
+from repro.warehouse.dimension import UNKNOWN_KEY, Dimension
+
+
+@dataclass(frozen=True)
+class FeedbackEntry:
+    """One clinician judgement: a label applied to matching fact rows.
+
+    ``predicate`` receives a flattened fact row (``dim.attr`` keys plus
+    measures) and decides membership.  ``author`` and ``rationale`` keep
+    provenance — who said it and why — which the knowledge base later needs
+    for evidence tracking.
+    """
+
+    label: str
+    predicate: Callable[[dict], bool]
+    author: str = "clinician"
+    rationale: str = ""
+
+
+class FeedbackDimensionBuilder:
+    """Accumulates entries and emits (dimension, per-fact keys)."""
+
+    def __init__(self, name: str, attribute: str = "assessment"):
+        self.name = name
+        self.attribute = attribute
+        self.entries: list[FeedbackEntry] = []
+
+    def add(self, entry: FeedbackEntry) -> "FeedbackDimensionBuilder":
+        """Register one feedback entry; returns self for chaining."""
+        duplicate = any(e.label == entry.label for e in self.entries)
+        if duplicate:
+            raise WarehouseError(
+                f"feedback dimension {self.name!r} already has a label "
+                f"{entry.label!r}"
+            )
+        self.entries.append(entry)
+        return self
+
+    def build(self, flat: Table) -> tuple[Dimension, list[int]]:
+        """Evaluate all predicates over the flattened schema.
+
+        Returns the new dimension (one member per label, plus provenance
+        attributes) and the per-fact surrogate keys.  Rows matched by
+        multiple entries take the *first* matching label — entries are an
+        ordered rule list, mirroring how clinicians express triage rules.
+        Unmatched rows map to the Unknown member.
+        """
+        if not self.entries:
+            raise WarehouseError(
+                f"feedback dimension {self.name!r} has no entries to build from"
+            )
+        dimension = Dimension(
+            self.name,
+            {self.attribute: "str", "author": "str", "rationale": "str"},
+            natural_key=[self.attribute],
+        )
+        label_keys = {
+            entry.label: dimension.add_member(
+                {
+                    self.attribute: entry.label,
+                    "author": entry.author,
+                    "rationale": entry.rationale,
+                }
+            )
+            for entry in self.entries
+        }
+        keys: list[int] = []
+        for row in flat.iter_rows():
+            key = UNKNOWN_KEY
+            for entry in self.entries:
+                if entry.predicate(row):
+                    key = label_keys[entry.label]
+                    break
+            keys.append(key)
+        return dimension, keys
+
+
+def outcome_dimension(
+    name: str, labels: Iterable[str], attribute: str = "outcome"
+) -> Dimension:
+    """A simple enumerated outcome dimension (e.g. improved/stable/worse)."""
+    dimension = Dimension(name, {attribute: "str"}, natural_key=[attribute])
+    for label in labels:
+        dimension.add_member({attribute: label})
+    return dimension

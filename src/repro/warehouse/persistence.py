@@ -1,0 +1,171 @@
+"""Warehouse persistence: save/load a star schema (or dynamic warehouse).
+
+The warehouse accumulates years of screening data; rebuilding it from raw
+sources on every start defeats the point.  Layout::
+
+    <dir>/schema.json            schema name, grain, measures, hierarchies
+    <dir>/dim_<name>.json        members of each dimension (by surrogate key)
+    <dir>/facts.json             fact rows (keys + measures)
+    <dir>/history.json           (dynamic only) the model-change journal
+
+Feedback dimensions persist like any other — their predicates are gone
+(they were only needed at fold time); the materialised keys are the data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import WarehouseError
+from repro.tabular.dtypes import DType
+from repro.warehouse.attribute import Hierarchy
+from repro.warehouse.dimension import Dimension
+from repro.warehouse.dynamic import DynamicWarehouse, ModelChange
+from repro.warehouse.fact import FactTable, Measure
+from repro.warehouse.star import StarSchema
+
+_FORMAT_VERSION = 1
+
+
+def save_warehouse(
+    warehouse: DynamicWarehouse | StarSchema, directory: str | Path
+) -> None:
+    """Write the full dimensional model and facts under ``directory``."""
+    dynamic = warehouse if isinstance(warehouse, DynamicWarehouse) else None
+    schema = warehouse.schema if dynamic is not None else warehouse
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "name": schema.name,
+        "fact": {
+            "name": schema.fact.name,
+            "grain": schema.fact.dimension_names,
+            "measures": [
+                {
+                    "name": m.name,
+                    "dtype": m.dtype.value,
+                    "default_aggregation": m.default_aggregation,
+                    "additive": m.additive,
+                }
+                for m in schema.fact.measures.values()
+            ],
+        },
+        "dimensions": {},
+    }
+    for name, dimension in schema.dimensions.items():
+        manifest["dimensions"][name] = {
+            "attributes": {
+                a.name: a.dtype.value for a in dimension.attributes.values()
+            },
+            "natural_key": dimension.natural_key,
+            "hierarchies": {
+                h.name: h.levels for h in dimension.hierarchies.values()
+            },
+        }
+        members = {
+            str(key): dimension.member(key) for key in dimension.member_keys()
+        }
+        (path / f"dim_{name}.json").write_text(
+            json.dumps(members, default=str), encoding="utf-8"
+        )
+    (path / "schema.json").write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    (path / "facts.json").write_text(
+        json.dumps(schema.fact._rows, default=str), encoding="utf-8"
+    )
+    if dynamic is not None:
+        history = [
+            {
+                "version": change.version,
+                "action": change.action,
+                "dimension": change.dimension,
+                "detail": change.detail,
+            }
+            for change in dynamic.history
+        ]
+        (path / "history.json").write_text(
+            json.dumps({"version": dynamic.version, "history": history}, indent=2),
+            encoding="utf-8",
+        )
+
+
+def load_warehouse(directory: str | Path) -> DynamicWarehouse:
+    """Reconstruct a :class:`DynamicWarehouse` from :func:`save_warehouse`."""
+    path = Path(directory)
+    manifest_file = path / "schema.json"
+    if not manifest_file.exists():
+        raise WarehouseError(f"no warehouse snapshot at {path}")
+    manifest = json.loads(manifest_file.read_text(encoding="utf-8"))
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise WarehouseError(
+            f"unsupported warehouse format {version!r} (expected {_FORMAT_VERSION})"
+        )
+
+    dimensions: list[Dimension] = []
+    for name, spec in manifest["dimensions"].items():
+        dimension = Dimension(
+            name,
+            {attr: DType.coerce(dt) for attr, dt in spec["attributes"].items()},
+            natural_key=spec["natural_key"],
+            hierarchies=[
+                Hierarchy(h_name, levels)
+                for h_name, levels in spec["hierarchies"].items()
+            ],
+        )
+        members = json.loads(
+            (path / f"dim_{name}.json").read_text(encoding="utf-8")
+        )
+        for key_text in sorted(members, key=int):
+            key = dimension.add_member(members[key_text])
+            if key != int(key_text):
+                raise WarehouseError(
+                    f"dimension {name!r}: surrogate key mismatch on reload "
+                    f"({key} != {key_text}); members file corrupted?"
+                )
+        dimensions.append(dimension)
+
+    fact_spec = manifest["fact"]
+    fact = FactTable(
+        fact_spec["name"],
+        list(fact_spec["grain"]),
+        [
+            Measure.of(
+                m["name"], m["dtype"], m["default_aggregation"], m["additive"]
+            )
+            for m in fact_spec["measures"]
+        ],
+    )
+    rows = json.loads((path / "facts.json").read_text(encoding="utf-8"))
+    for row in rows:
+        keys = {
+            dim_name: int(row[f"{dim_name}_key"])
+            for dim_name in fact.dimension_names
+        }
+        values = {m: row.get(m) for m in fact.measures}
+        fact.insert(keys, values)
+
+    schema = StarSchema(manifest["name"], fact, dimensions)
+    problems = schema.check_integrity()
+    if problems:
+        raise WarehouseError(
+            f"reloaded warehouse fails integrity: {problems[:3]}"
+        )
+    warehouse = DynamicWarehouse(schema)
+
+    history_file = path / "history.json"
+    if history_file.exists():
+        payload = json.loads(history_file.read_text(encoding="utf-8"))
+        warehouse.version = payload["version"]
+        warehouse.history = [
+            ModelChange(
+                entry["version"], entry["action"],
+                entry["dimension"], entry["detail"],
+            )
+            for entry in payload["history"]
+        ]
+    return warehouse

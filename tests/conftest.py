@@ -1,0 +1,56 @@
+"""Shared fixtures: one small deterministic cohort per test session.
+
+The cohort, warehouse and cube are expensive to build, so they are
+session-scoped; tests must treat them as read-only (tests that mutate the
+warehouse build their own via the factory fixtures).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discri.generator import DiScRiGenerator
+from repro.discri.warehouse import DiscriWarehouse, build_discri_warehouse
+from repro.olap.cube import Cube
+from repro.tabular.table import Table
+
+COHORT_SEED = 1234
+COHORT_PATIENTS = 250
+
+
+@pytest.fixture(scope="session")
+def cohort() -> Table:
+    """A small deterministic DiScRi cohort (read-only)."""
+    return DiScRiGenerator(n_patients=COHORT_PATIENTS, seed=COHORT_SEED).generate()
+
+
+@pytest.fixture(scope="session")
+def built(cohort) -> DiscriWarehouse:
+    """The cohort's warehouse build (read-only)."""
+    return build_discri_warehouse(cohort)
+
+
+@pytest.fixture(scope="session")
+def cube(built) -> Cube:
+    """A cube over the session warehouse (read-only)."""
+    return Cube(built.warehouse)
+
+
+@pytest.fixture()
+def fresh_built() -> DiscriWarehouse:
+    """A private warehouse build for tests that mutate dimensions."""
+    table = DiScRiGenerator(n_patients=80, seed=99).generate()
+    return build_discri_warehouse(table)
+
+
+@pytest.fixture()
+def tiny_table() -> Table:
+    """A tiny mixed-type table reused across tabular tests."""
+    return Table.from_rows(
+        [
+            {"pid": 1, "sex": "F", "age": 61, "fbg": 7.2},
+            {"pid": 2, "sex": "M", "age": 45, "fbg": 5.1},
+            {"pid": 3, "sex": "F", "age": 72, "fbg": None},
+            {"pid": 4, "sex": None, "age": 58, "fbg": 6.3},
+        ]
+    )

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.tabular.csvio import read_csv
+
+
+@pytest.fixture()
+def cohort_csv(tmp_path):
+    path = tmp_path / "cohort.csv"
+    exit_code = main(
+        ["generate", "--patients", "40", "--seed", "9", "--out", str(path)]
+    )
+    assert exit_code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_csv(self, cohort_csv, capsys):
+        assert cohort_csv.exists()
+        table = read_csv(cohort_csv)
+        assert table.column("patient_id").n_unique() == 40
+        assert "fbg" in table.column_names
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        main(["generate", "--patients", "20", "--seed", "4", "--out", str(a)])
+        main(["generate", "--patients", "20", "--seed", "4", "--out", str(b)])
+        assert a.read_text(encoding="utf-8") == b.read_text(encoding="utf-8")
+
+
+class TestReport:
+    def test_from_csv(self, cohort_csv, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--cohort", str(cohort_csv),
+                     "--out", str(out)]) == 0
+        text = out.read_text(encoding="utf-8")
+        assert "# DiScRi trial report" in text
+        assert "attendances" in text
+
+    def test_simulated_inline(self, tmp_path):
+        out = tmp_path / "report.md"
+        assert main(["report", "--patients", "30", "--seed", "2",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+
+
+class TestMdx:
+    def test_query_prints_grid(self, cohort_csv, capsys):
+        assert main([
+            "mdx", "--cohort", str(cohort_csv),
+            "SELECT [personal].[gender].MEMBERS ON COLUMNS, "
+            "[conditions].[age_band].MEMBERS ON ROWS FROM discri",
+            "--totals",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "TOTAL" in output
+        assert "conditions.age_band" in output
+
+
+class TestFigures:
+    def test_prints_all_three(self, cohort_csv, capsys):
+        assert main(["figures", "--cohort", str(cohort_csv)]) == 0
+        output = capsys.readouterr().out
+        assert "Fig 4" in output and "Fig 5" in output and "Fig 6" in output
+
+
+class TestDictionary:
+    def test_plain(self, tmp_path):
+        out = tmp_path / "dict.md"
+        assert main(["dictionary", "--out", str(out)]) == 0
+        assert "# DiScRi data dictionary" in out.read_text(encoding="utf-8")
+
+    def test_with_stats(self, cohort_csv, tmp_path):
+        out = tmp_path / "dict.md"
+        assert main(["dictionary", "--cohort", str(cohort_csv),
+                     "--with-stats", "--out", str(out)]) == 0
+        assert "| nulls | distinct |" in out.read_text(encoding="utf-8")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["generate"])

@@ -1,0 +1,97 @@
+"""Tests for data accumulation: ingest_visits and feedback replay."""
+
+import pytest
+
+from repro.dgms.system import DDDGMS
+from repro.tabular.expressions import col
+from repro.discri.generator import DiScRiGenerator, offset_identifiers
+from repro.warehouse.feedback import FeedbackDimensionBuilder, FeedbackEntry
+
+
+@pytest.fixture()
+def system():
+    return DDDGMS(DiScRiGenerator(n_patients=50, seed=41).generate())
+
+
+@pytest.fixture()
+def new_batch(system):
+    batch = DiScRiGenerator(n_patients=20, seed=77).generate()
+    max_pid = max(system.source.column("patient_id").to_list())
+    max_vid = max(system.source.column("visit_id").to_list())
+    return offset_identifiers(batch, max_pid, max_vid)
+
+
+class TestIngest:
+    def test_counts_grow_everywhere(self, system, new_batch):
+        before_rows = system.source.num_rows
+        before_version = system.data_version
+        ingested = system.ingest_visits(new_batch)
+        assert ingested == new_batch.num_rows
+        assert system.source.num_rows == before_rows + ingested
+        assert system.operational_store.row_count("attendances") == (
+            before_rows + ingested
+        )
+        assert system.cube.flat.num_rows == before_rows + ingested
+        assert system.data_version == before_version + 1
+
+    def test_new_patients_queryable(self, system, new_batch):
+        system.ingest_visits(new_batch)
+        total = system.cube.grand_total(
+            {"patients": ("cardinality.patient_id", "nunique")}
+        )["patients"]
+        assert total == 70
+
+    def test_oltp_point_lookup_sees_new_rows(self, system, new_batch):
+        new_visit_id = new_batch.column("visit_id").to_list()[0]
+        assert system.oltp_lookup(new_visit_id) is None
+        system.ingest_visits(new_batch)
+        assert system.oltp_lookup(new_visit_id) is not None
+
+    def test_cardinality_ordinals_stay_correct(self, system, new_batch):
+        system.ingest_visits(new_batch)
+        rows = system.transformed.select(
+            ["patient_id", "visit_date", "visit_number"]
+        ).to_rows()
+        rows.sort(key=lambda r: (r["patient_id"], r["visit_date"]))
+        previous: dict = {}
+        for row in rows:
+            pid = row["patient_id"]
+            assert row["visit_number"] == previous.get(pid, 0) + 1
+            previous[pid] = row["visit_number"]
+
+    def test_empty_batch_is_noop(self, system):
+        empty = system.source.head(0)
+        before = system.data_version
+        assert system.ingest_visits(empty) == 0
+        assert system.data_version == before
+
+    def test_duplicate_visit_ids_rejected_and_rolled_back(self, system):
+        duplicate = system.source.head(3)
+        before = system.operational_store.row_count("attendances")
+        with pytest.raises(Exception):
+            system.ingest_visits(duplicate)
+        assert system.operational_store.row_count("attendances") == before
+
+
+class TestFeedbackReplay:
+    def test_folded_dimensions_survive_ingest(self, system, new_batch):
+        builder = FeedbackDimensionBuilder("risk_note").add(
+            FeedbackEntry(
+                "elevated",
+                lambda row: row.get("bloods.fbg_band") in ("preDiabetic", "Diabetic"),
+            )
+        ).add(FeedbackEntry("ok", lambda row: True))
+        system.fold_feedback(builder)
+        assert "risk_note" in system.warehouse.dimension_names
+
+        system.ingest_visits(new_batch)
+        # the dimension is re-derived over the grown fact set
+        assert "risk_note" in system.warehouse.dimension_names
+        flat = system.cube.flat
+        assert flat.num_rows == system.source.num_rows
+        labels = set(flat.column("risk_note.assessment").to_list())
+        assert labels <= {"elevated", "ok"}
+        # and the predicate was re-evaluated, not copied
+        elevated = flat.filter(col("risk_note.assessment").eq("elevated"))
+        bands = set(elevated.column("bloods.fbg_band").to_list())
+        assert bands <= {"preDiabetic", "Diabetic"}

@@ -1,0 +1,61 @@
+"""Tests for the trial-report generator and system episodes."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.dgms.report import generate_trial_report
+from repro.dgms.system import DDDGMS
+from repro.discri.generator import DiScRiGenerator
+from repro.knowledge.findings import FindingKind
+
+
+@pytest.fixture(scope="module")
+def system():
+    return DDDGMS(DiScRiGenerator(n_patients=100, seed=29).generate())
+
+
+class TestReport:
+    def test_contains_every_section(self, system):
+        report = generate_trial_report(system)
+        for heading in (
+            "## Cohort",
+            "## Transformation audit",
+            "## Diabetic patients by age band and gender",
+            "## Hypertension duration by age band",
+            "## Glycaemic episodes",
+            "## Most likely next glycaemic phase",
+            "## Knowledge base",
+        ):
+            assert heading in report, heading
+
+    def test_cohort_numbers_correct(self, system):
+        report = generate_trial_report(system)
+        assert f"patients: **{system.source.column('patient_id').n_unique()}**" in report
+        assert f"attendances: **{system.source.num_rows}**" in report
+
+    def test_written_to_disk(self, system, tmp_path):
+        path = tmp_path / "report.md"
+        text = generate_trial_report(system, path=path)
+        assert path.read_text(encoding="utf-8") == text
+
+    def test_deterministic(self, system):
+        assert generate_trial_report(system) == generate_trial_report(system)
+
+    def test_reflects_knowledge_base(self, system):
+        system.record_finding(
+            "report.test", FindingKind.AGGREGATE, "a very specific statement",
+            source="test", description="d",
+        )
+        assert "a very specific statement" in generate_trial_report(system)
+
+
+class TestSystemEpisodes:
+    def test_fbg_episodes(self, system):
+        episodes = system.episodes("fbg")
+        assert episodes.num_rows > 0
+        states = set(episodes.column("state").to_list())
+        assert states <= {"very good", "high", "preDiabetic", "Diabetic"}
+
+    def test_unknown_measure_rejected(self, system):
+        with pytest.raises(ReproError, match="no clinical scheme"):
+            system.episodes("sdnn")

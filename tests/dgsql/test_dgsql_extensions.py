@@ -1,0 +1,142 @@
+"""Tests for the DG-SQL extensions: OR/parentheses, IN, BETWEEN, HAVING."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.dgsql.ast import BoolExpr, Condition
+from repro.dgsql.executor import DGSQLExecutor
+from repro.dgsql.parser import parse_dgsql
+from repro.storage.engine import StorageEngine
+
+
+@pytest.fixture()
+def executor():
+    db = StorageEngine()
+    db.create_table(
+        "visits",
+        {"vid": "int", "sex": "str", "age": "int", "fbg": "float",
+         "band": "str"},
+        primary_key="vid",
+    )
+    rows = [
+        (1, "F", 62, 7.4, "60-80"),
+        (2, "F", 45, 5.1, "40-60"),
+        (3, "M", 71, 6.0, "60-80"),
+        (4, "M", 38, 5.4, "<40"),
+        (5, "F", 83, 8.2, ">=80"),
+        (6, "M", 55, None, "40-60"),
+    ]
+    with db.transaction():
+        for vid, sex, age, fbg, band in rows:
+            db.insert("visits", {"vid": vid, "sex": sex, "age": age,
+                                 "fbg": fbg, "band": band})
+    return DGSQLExecutor(db)
+
+
+class TestParsing:
+    def test_or_precedence(self):
+        statement = parse_dgsql(
+            "SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3"
+        )
+        # (a AND b) OR c
+        assert statement.where.operator == "or"
+        assert statement.where.operands[0] == BoolExpr(
+            "and", (Condition("a", "=", 1), Condition("b", "=", 2))
+        )
+
+    def test_parentheses_override(self):
+        statement = parse_dgsql(
+            "SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)"
+        )
+        assert statement.where.operator == "and"
+        assert statement.where.operands[1].operator == "or"
+
+    def test_in_list(self):
+        statement = parse_dgsql("SELECT * FROM t WHERE band IN ('a', 'b')")
+        assert statement.where == Condition("band", "in", ("a", "b"))
+
+    def test_in_with_null_rejected(self):
+        with pytest.raises(ParseError, match="NULL inside"):
+            parse_dgsql("SELECT * FROM t WHERE band IN ('a', NULL)")
+
+    def test_between(self):
+        statement = parse_dgsql("SELECT * FROM t WHERE age BETWEEN 40 AND 60")
+        assert statement.where == Condition("age", "between", (40, 60))
+
+    def test_between_null_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dgsql("SELECT * FROM t WHERE age BETWEEN NULL AND 60")
+
+    def test_having_requires_group_by(self):
+        with pytest.raises(ParseError, match="GROUP BY"):
+            parse_dgsql("SELECT COUNT(*) FROM t HAVING n > 1")
+
+    def test_having_parsed(self):
+        statement = parse_dgsql(
+            "SELECT sex, COUNT(*) AS n FROM t GROUP BY sex HAVING n >= 2"
+        )
+        assert statement.having == Condition("n", ">=", 2)
+
+
+class TestExecution:
+    def test_or(self, executor):
+        result = executor.execute(
+            "SELECT vid FROM visits WHERE age < 40 OR age > 80"
+        )
+        assert result.column("vid").to_list() == [4, 5]
+
+    def test_nested_parentheses(self, executor):
+        result = executor.execute(
+            "SELECT vid FROM visits WHERE sex = 'F' AND (age < 50 OR age > 80)"
+        )
+        assert result.column("vid").to_list() == [2, 5]
+
+    def test_in(self, executor):
+        result = executor.execute(
+            "SELECT vid FROM visits WHERE band IN ('<40', '>=80')"
+        )
+        assert result.column("vid").to_list() == [4, 5]
+
+    def test_between_inclusive(self, executor):
+        result = executor.execute(
+            "SELECT vid FROM visits WHERE age BETWEEN 45 AND 62"
+        )
+        assert result.column("vid").to_list() == [1, 2, 6]
+
+    def test_between_skips_nulls(self, executor):
+        result = executor.execute(
+            "SELECT vid FROM visits WHERE fbg BETWEEN 0 AND 100"
+        )
+        assert 6 not in result.column("vid").to_list()
+
+    def test_having_filters_groups(self, executor):
+        result = executor.execute(
+            "SELECT band, COUNT(*) AS n FROM visits GROUP BY band "
+            "HAVING n >= 2 ORDER BY band"
+        )
+        assert result.column("band").to_list() == ["40-60", "60-80"]
+
+    def test_having_with_aggregate_alias(self, executor):
+        result = executor.execute(
+            "SELECT sex, AVG(fbg) AS mean_fbg FROM visits GROUP BY sex "
+            "HAVING mean_fbg > 6.5"
+        )
+        assert result.column("sex").to_list() == ["F"]
+
+    def test_learn_with_where_scopes_training(self, executor):
+        # train only on the younger half; classes come from that subset
+        summary = executor.execute(
+            "LEARN young PREDICTING sex FROM visits USING age, fbg "
+            "WHERE age < 60"
+        )
+        assert summary.row(0)["rows"] == 3
+
+    def test_combined_everything(self, executor):
+        result = executor.execute(
+            "SELECT band, COUNT(*) AS n FROM visits "
+            "WHERE sex IN ('F', 'M') AND (age BETWEEN 40 AND 90 OR age < 39) "
+            "GROUP BY band HAVING n >= 1 ORDER BY n DESC LIMIT 2"
+        )
+        assert result.num_rows == 2
+        counts = result.column("n").to_list()
+        assert counts == sorted(counts, reverse=True)

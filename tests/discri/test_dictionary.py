@@ -1,0 +1,40 @@
+"""Tests for the data-dictionary generator."""
+
+from repro.discri.attributes import ATTRIBUTE_GROUPS, catalog
+from repro.discri.dictionary import generate_data_dictionary
+
+
+def test_every_attribute_listed():
+    text = generate_data_dictionary()
+    for spec in catalog():
+        assert f"`{spec.name}`" in text
+
+
+def test_group_headings_present():
+    text = generate_data_dictionary()
+    for group in ATTRIBUTE_GROUPS:
+        assert f"## {group}" in text
+
+
+def test_total_count_stated():
+    assert "**273**" in generate_data_dictionary()
+
+
+def test_cohort_statistics_included(cohort):
+    text = generate_data_dictionary(cohort)
+    assert "| nulls | distinct |" in text
+    # the hand-grip row shows substantial missingness
+    for line in text.splitlines():
+        if "`ewing_handgrip_dbp_rise`" in line:
+            null_cell = line.split("|")[4].strip()
+            assert null_cell.endswith("%")
+            assert float(null_cell.rstrip("%")) > 5
+            break
+    else:  # pragma: no cover
+        raise AssertionError("hand-grip row missing")
+
+
+def test_written_to_disk(tmp_path):
+    path = tmp_path / "dictionary.md"
+    text = generate_data_dictionary(path=path)
+    assert path.read_text(encoding="utf-8") == text

@@ -1,0 +1,199 @@
+"""Tests for the synthetic DiScRi cohort: catalogue, schemes, generator."""
+
+import pytest
+
+from repro.discri.attributes import ATTRIBUTE_GROUPS, catalog, specs_by_group
+from repro.discri.generator import DiScRiGenerator
+from repro.discri.phenomena import PhenomenaConfig
+from repro.discri.schemes import (
+    AGE_BAND_5_SCHEME,
+    AGE_BAND_10_SCHEME,
+    AGE_SCHEME,
+    FBG_SCHEME,
+    HT_YEARS_SCHEME,
+    LYING_DBP_SCHEME,
+    TABLE1_SCHEMES,
+)
+
+
+class TestCatalogue:
+    def test_exactly_273_attributes(self):
+        """The paper reports 'data on 273 attributes'."""
+        assert len(catalog()) == 273
+
+    def test_no_duplicate_names(self):
+        names = [spec.name for spec in catalog()]
+        assert len(names) == len(set(names))
+
+    def test_every_group_populated(self):
+        grouped = specs_by_group()
+        assert set(grouped) == set(ATTRIBUTE_GROUPS)
+        assert all(len(specs) > 0 for specs in grouped.values())
+
+    def test_special_attributes_cover_planted_phenomena(self):
+        specials = {spec.name for spec in catalog() if spec.is_special()}
+        for required in (
+            "fbg", "diabetes_status", "diagnostic_ht_years",
+            "reflex_knee_left", "reflex_ankle_left",
+            "ewing_handgrip_dbp_rise", "can_status", "gender", "age",
+        ):
+            assert required in specials
+
+
+class TestTable1Schemes:
+    """The four rows of paper Table I, transcribed exactly."""
+
+    def test_age(self):
+        assert AGE_SCHEME.labels == ["<40", "40-60", "60-80", ">=80"]
+        assert AGE_SCHEME.assign(39.9) == "<40"
+        assert AGE_SCHEME.assign(80) == ">=80"
+
+    def test_ht_years(self):
+        assert HT_YEARS_SCHEME.labels == ["<2", "2-5", "5-10", "10-20", ">=20"]
+        assert HT_YEARS_SCHEME.assign(7) == "5-10"
+
+    def test_fbg(self):
+        assert FBG_SCHEME.labels == ["very good", "high", "preDiabetic", "Diabetic"]
+        assert FBG_SCHEME.assign(5.4) == "very good"
+        assert FBG_SCHEME.assign(5.5) == "high"
+        assert FBG_SCHEME.assign(6.1) == "preDiabetic"
+        assert FBG_SCHEME.assign(7.0) == "Diabetic"
+
+    def test_lying_dbp(self):
+        assert LYING_DBP_SCHEME.labels == [
+            "low", "normal", "high normal", "hypertension"
+        ]
+        assert LYING_DBP_SCHEME.assign(59) == "low"
+        assert LYING_DBP_SCHEME.assign(95) == "hypertension"
+
+    def test_table1_keys(self):
+        assert set(TABLE1_SCHEMES) == {
+            "age", "diagnostic_ht_years", "fbg", "lying_dbp_avg"
+        }
+
+    def test_age_hierarchy_nests(self):
+        """Table-I bands, 10-year bands and 5-year bands nest cleanly."""
+        cuts_coarse = set(AGE_SCHEME.cut_points)
+        cuts_10 = set(AGE_BAND_10_SCHEME.cut_points)
+        cuts_5 = set(AGE_BAND_5_SCHEME.cut_points)
+        assert cuts_coarse <= cuts_10 <= cuts_5
+
+
+class TestPhenomenaConfig:
+    def test_defaults_validate(self):
+        PhenomenaConfig().validate()
+
+    def test_bad_probability_caught(self):
+        config = PhenomenaConfig()
+        config.handgrip_missing_base = 1.5
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_ht_mix_must_sum_to_one(self):
+        config = PhenomenaConfig()
+        config.ht_years_mix["<40"] = {"<2": 0.5, "2-5": 0.1, "5-10": 0.1,
+                                      "10-20": 0.1, ">=20": 0.1}
+        with pytest.raises(ValueError, match="sums"):
+            config.validate()
+
+    def test_fig5_contrasts_planted(self):
+        prevalence = PhenomenaConfig().diabetes_prevalence
+        assert prevalence[("70-75", "M")] > prevalence[("70-75", "F")]
+        assert prevalence[("75-80", "F")] > prevalence[("75-80", "M")]
+        assert prevalence[("80-85", "F")] < prevalence[("75-80", "F")] / 2
+
+    def test_fig6_dip_planted(self):
+        mix = PhenomenaConfig().ht_years_mix
+        assert mix["70-75"]["5-10"] < mix["65-70"]["5-10"] / 2
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = DiScRiGenerator(n_patients=30, seed=5).generate()
+        b = DiScRiGenerator(n_patients=30, seed=5).generate()
+        assert a.equals(b)
+
+    def test_seed_changes_output(self):
+        a = DiScRiGenerator(n_patients=30, seed=5).generate()
+        b = DiScRiGenerator(n_patients=30, seed=6).generate()
+        assert not a.equals(b)
+
+    def test_shape_matches_paper_scale(self, cohort):
+        """~2500 attendances of ~900 patients — scaled to the fixture size."""
+        patients = cohort.column("patient_id").n_unique()
+        assert patients == 250
+        assert 2.0 <= cohort.num_rows / patients <= 3.6
+        # 273 attributes + patient_id, visit_id, visit_date + develops flag
+        assert len(cohort.column_names) == 277
+
+    def test_visit_ids_unique(self, cohort):
+        assert cohort.column("visit_id").n_unique() == cohort.num_rows
+
+    def test_visits_ordered_in_time_per_patient(self, cohort):
+        by_patient = {}
+        for row in cohort.select(["patient_id", "visit_id", "visit_date"]).iter_rows():
+            by_patient.setdefault(row["patient_id"], []).append(
+                (row["visit_id"], row["visit_date"])
+            )
+        for visits in by_patient.values():
+            visits.sort()
+            dates = [d for __, d in visits]
+            assert dates == sorted(dates)
+
+    def test_fbg_consistent_with_diabetes_status(self, cohort):
+        diabetic_fbg = [
+            row["fbg"]
+            for row in cohort.select(["fbg", "diabetes_status"]).iter_rows()
+            if row["diabetes_status"] == "yes" and row["fbg"] is not None
+        ]
+        normal_fbg = [
+            row["fbg"]
+            for row in cohort.select(["fbg", "diabetes_status"]).iter_rows()
+            if row["diabetes_status"] == "no" and row["fbg"] is not None
+        ]
+        assert sum(diabetic_fbg) / len(diabetic_fbg) > sum(normal_fbg) / len(normal_fbg) + 1.5
+
+    def test_stage_never_regresses(self, cohort):
+        rows = cohort.select(
+            ["patient_id", "visit_date", "diabetes_status"]
+        ).to_rows()
+        rows.sort(key=lambda r: (r["patient_id"], r["visit_date"]))
+        seen_diabetic = {}
+        for row in rows:
+            pid = row["patient_id"]
+            if seen_diabetic.get(pid):
+                assert row["diabetes_status"] == "yes"
+            if row["diabetes_status"] == "yes":
+                seen_diabetic[pid] = True
+
+    def test_handgrip_missing_for_arthritis(self, cohort):
+        rows = cohort.select(
+            ["arthritis", "ewing_handgrip_dbp_rise"]
+        ).to_rows()
+        arthritic = [r for r in rows if r["arthritis"] == "yes"]
+        healthy = [r for r in rows if r["arthritis"] == "no"]
+        missing_arthritic = sum(
+            1 for r in arthritic if r["ewing_handgrip_dbp_rise"] is None
+        ) / len(arthritic)
+        missing_healthy = sum(
+            1 for r in healthy if r["ewing_handgrip_dbp_rise"] is None
+        ) / len(healthy)
+        assert missing_arthritic > 0.6
+        assert missing_arthritic > missing_healthy + 0.3
+
+    def test_can_depresses_ewing_battery(self, cohort):
+        rows = cohort.select(["can_status", "ewing_hr_deep_breathing"]).to_rows()
+        can = [r["ewing_hr_deep_breathing"] for r in rows if r["can_status"] == "yes"]
+        no_can = [r["ewing_hr_deep_breathing"] for r in rows if r["can_status"] == "no"]
+        assert sum(can) / len(can) < sum(no_can) / len(no_can) - 4
+
+    def test_missingness_injected(self, cohort):
+        null_fractions = [
+            cohort.column(name).null_count / cohort.num_rows
+            for name in ("crp", "chol_total", "education_level")
+        ]
+        assert all(0.0 < fraction < 0.1 for fraction in null_fractions)
+
+    def test_bad_patient_count_rejected(self):
+        with pytest.raises(ValueError):
+            DiScRiGenerator(n_patients=0)

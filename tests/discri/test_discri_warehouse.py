@@ -1,0 +1,85 @@
+"""Tests for the Fig 3 warehouse build over the synthetic cohort."""
+
+import pytest
+
+from repro.olap.cube import Cube
+
+
+class TestBuild:
+    def test_fig3_dimensions_present(self, built):
+        """The eight dimensions of paper Fig 3 (by our naming)."""
+        assert set(built.warehouse.dimension_names) == {
+            "personal", "conditions", "bloods", "limbs",
+            "exercise", "pressure", "ecg", "cardinality",
+        }
+
+    def test_integrity(self, built):
+        assert built.warehouse.schema.check_integrity() == []
+
+    def test_etl_audit_covers_table1(self, built):
+        audit = "\n".join(str(entry) for entry in built.etl_result.audit)
+        for scheme in ("'Age'", "'FBG'", "'DiagnosticHTYears'", "'LyingDBPAverage'"):
+            assert scheme in audit
+
+    def test_age_drill_hierarchy(self, built):
+        conditions = built.warehouse.schema.dimension("conditions")
+        hierarchy = conditions.hierarchies["age_drill"]
+        assert hierarchy.levels == ["age_band", "age_band10", "age_band5"]
+
+    def test_fact_count_matches_visits(self, built, cohort):
+        assert built.warehouse.schema.fact.num_rows == cohort.num_rows
+
+    def test_transformed_has_bands_and_cardinality(self, built):
+        table = built.transformed
+        for column in ("age_band", "age_band5", "fbg_band", "ht_years_band",
+                       "reflex_knees_ankles", "visit_number", "visit_year"):
+            assert column in table
+
+
+class TestCardinalityDimension:
+    def test_distinguishes_patients_from_records(self, built, cohort, cube):
+        """Paper §V.B: facts count records; the cardinality dimension counts
+        patients."""
+        records = cube.grand_total()["records"]
+        patients = cube.grand_total(
+            {"patients": ("cardinality.patient_id", "nunique")}
+        )["patients"]
+        assert records == cohort.num_rows
+        assert patients == cohort.column("patient_id").n_unique()
+        assert patients < records
+
+    def test_visit_number_matches_attendance_order(self, built):
+        rows = built.transformed.select(
+            ["patient_id", "visit_date", "visit_number"]
+        ).to_rows()
+        rows.sort(key=lambda r: (r["patient_id"], r["visit_date"]))
+        previous = {}
+        for row in rows:
+            pid = row["patient_id"]
+            assert row["visit_number"] == previous.get(pid, 0) + 1
+            previous[pid] = row["visit_number"]
+
+
+class TestCubeOverCohort:
+    def test_fbg_band_consistent_with_diabetes_measure(self, cube):
+        table = cube.aggregate(["bloods.fbg_band"], {"mean_fbg": ("fbg", "mean")})
+        by_band = {row["bloods.fbg_band"]: row["mean_fbg"] for row in table.to_rows()}
+        assert by_band["very good"] < by_band["high"] < by_band["preDiabetic"] < by_band["Diabetic"]
+
+    def test_reflex_derivation(self, built):
+        for row in built.transformed.head(200).iter_rows():
+            knee_absent = "absent" in (
+                row["reflex_knee_left"], row["reflex_knee_right"]
+            )
+            ankle_absent = "absent" in (
+                row["reflex_ankle_left"], row["reflex_ankle_right"]
+            )
+            expected = "absent" if (knee_absent and ankle_absent) else "present"
+            assert row["reflex_knees_ankles"] == expected
+
+    def test_ewing_risk_categories(self, built):
+        values = set(
+            built.transformed.column("ewing_risk").to_list()
+        ) - {None}
+        assert values <= {"normal", "early", "definite"}
+        assert "normal" in values

@@ -1,0 +1,117 @@
+"""Tests for cleaning policies and the audit report."""
+
+import pytest
+
+from repro.errors import CleaningError
+from repro.etl.cleaning import (
+    MissingValuePolicy,
+    RangeRule,
+    clean_table,
+)
+from repro.tabular import Table
+
+
+@pytest.fixture()
+def dirty():
+    return Table.from_rows(
+        [
+            {"fbg": 6.0, "sex": "F", "age": 60},
+            {"fbg": None, "sex": "M", "age": 50},
+            {"fbg": 900.0, "sex": None, "age": 70},
+            {"fbg": 5.0, "sex": "F", "age": None},
+        ]
+    )
+
+
+class TestRangeRules:
+    def test_null_action(self, dirty):
+        cleaned, report = clean_table(
+            dirty, range_rules=[RangeRule("fbg", low=1, high=30)]
+        )
+        assert cleaned.column("fbg").to_list()[2] is None
+        assert report.erroneous_nulled == {"fbg": 1}
+
+    def test_clip_action(self, dirty):
+        cleaned, report = clean_table(
+            dirty, range_rules=[RangeRule("fbg", low=1, high=30, action="clip")]
+        )
+        assert cleaned.column("fbg").to_list()[2] == 30
+        assert report.erroneous_clipped == {"fbg": 1}
+
+    def test_drop_row_action(self, dirty):
+        cleaned, report = clean_table(
+            dirty, range_rules=[RangeRule("fbg", low=1, high=30, action="drop_row")]
+        )
+        assert cleaned.num_rows == 3
+        assert report.rows_dropped == 1
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(CleaningError):
+            RangeRule("fbg", low=1, action="zap")
+
+    def test_unbounded_rule_rejected(self):
+        with pytest.raises(CleaningError):
+            RangeRule("fbg")
+
+
+class TestMissingPolicies:
+    def test_mean_fill_after_range_null(self, dirty):
+        cleaned, report = clean_table(
+            dirty,
+            missing={"fbg": "mean"},
+            range_rules=[RangeRule("fbg", low=1, high=30)],
+        )
+        values = cleaned.column("fbg").to_list()
+        assert values[1] == pytest.approx(5.5)  # mean of 6.0 and 5.0
+        assert values[2] == pytest.approx(5.5)  # erroneous value re-filled
+        assert report.filled["fbg"] == 2
+
+    def test_median_fill(self):
+        table = Table.from_rows([{"v": 1.0}, {"v": 9.0}, {"v": None}, {"v": 3.0}])
+        cleaned, __ = clean_table(table, missing={"v": MissingValuePolicy.MEDIAN})
+        assert cleaned.column("v").to_list()[2] == 3.0
+
+    def test_mode_fill(self, dirty):
+        cleaned, __ = clean_table(dirty, missing={"sex": "mode"})
+        assert cleaned.column("sex").to_list()[2] == "F"
+
+    def test_constant_fill(self, dirty):
+        cleaned, __ = clean_table(
+            dirty, missing={"sex": "constant"}, constants={"sex": "unknown"}
+        )
+        assert cleaned.column("sex").to_list()[2] == "unknown"
+
+    def test_constant_without_value_rejected(self, dirty):
+        with pytest.raises(CleaningError):
+            clean_table(dirty, missing={"sex": "constant"})
+
+    def test_drop_row_policy(self, dirty):
+        cleaned, report = clean_table(dirty, missing={"age": "drop_row"})
+        assert cleaned.num_rows == 3
+        assert report.rows_dropped == 1
+
+    def test_keep_policy_leaves_nulls(self, dirty):
+        cleaned, __ = clean_table(dirty, missing={"fbg": "keep"})
+        assert cleaned.column("fbg").null_count == 1
+
+    def test_all_null_mean_rejected(self):
+        table = Table.from_rows([{"v": None}, {"v": None}])
+        table = table.with_column("v", [None, None], dtype="float")
+        with pytest.raises(CleaningError):
+            clean_table(table, missing={"v": "mean"})
+
+
+class TestReport:
+    def test_counts(self, dirty):
+        __, report = clean_table(
+            dirty,
+            missing={"fbg": "mean", "age": "drop_row"},
+            range_rules=[RangeRule("fbg", low=1, high=30)],
+        )
+        assert report.rows_in == 4
+        assert report.rows_out == 3
+        assert "filled" in report.summary()
+
+    def test_no_changes_summary(self, dirty):
+        __, report = clean_table(dirty)
+        assert report.rows_in == report.rows_out == 4

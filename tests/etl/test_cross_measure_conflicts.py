@@ -1,0 +1,117 @@
+"""Tests for cross-measure abstraction conflict checking."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import TemporalAbstractionError
+from repro.etl.discretization import DiscretizationScheme
+from repro.etl.temporal import cross_measure_conflicts
+from repro.tabular import Table
+
+FBG = DiscretizationScheme.from_cut_points(
+    "FBG", [6.1, 7.0], labels=["normal", "pre", "diabetic"]
+)
+HBA1C = DiscretizationScheme.from_cut_points(
+    "HbA1c", [5.7, 6.5], labels=["ok", "borderline", "high"]
+)
+
+SHARED_FBG = {"normal": "normal", "pre": "preDiabetic", "diabetic": "Diabetic"}
+SHARED_HBA1C = {"ok": "normal", "borderline": "preDiabetic", "high": "Diabetic"}
+
+
+def _measures():
+    return {
+        "fbg": ("fbg", FBG, SHARED_FBG),
+        "hba1c": ("hba1c", HBA1C, SHARED_HBA1C),
+    }
+
+
+def test_agreeing_measures_no_conflict():
+    table = Table.from_rows(
+        [
+            {"pid": 1, "when": dt.date(2010, 1, 1), "fbg": 5.5, "hba1c": 5.2},
+            {"pid": 1, "when": dt.date(2011, 1, 1), "fbg": 7.5, "hba1c": 7.0},
+        ]
+    )
+    assert cross_measure_conflicts(table, "pid", "when", _measures()) == []
+
+
+def test_disagreeing_measures_flagged():
+    table = Table.from_rows(
+        [
+            # FBG says diabetic for the whole year, HbA1c says normal
+            {"pid": 1, "when": dt.date(2010, 1, 1), "fbg": 7.8, "hba1c": 5.2},
+            {"pid": 1, "when": dt.date(2010, 7, 1), "fbg": 8.1, "hba1c": 5.3},
+        ]
+    )
+    conflicts = cross_measure_conflicts(table, "pid", "when", _measures())
+    assert len(conflicts) == 1
+    patient, a, b = conflicts[0]
+    assert patient == 1
+    assert {a.state, b.state} == {"Diabetic", "normal"}
+
+
+def test_conflicts_are_per_patient():
+    table = Table.from_rows(
+        [
+            {"pid": 1, "when": dt.date(2010, 1, 1), "fbg": 7.8, "hba1c": 5.2},
+            {"pid": 2, "when": dt.date(2010, 1, 1), "fbg": 5.2, "hba1c": 5.2},
+        ]
+    )
+    conflicts = cross_measure_conflicts(table, "pid", "when", _measures())
+    assert [patient for patient, __, __unused in conflicts] == [1]
+
+
+def test_non_overlapping_spans_no_conflict():
+    table = Table.from_rows(
+        [
+            # diabetic FBG in 2010, normal HbA1c only recorded in 2012
+            {"pid": 1, "when": dt.date(2010, 1, 1), "fbg": 7.8, "hba1c": None},
+            {"pid": 1, "when": dt.date(2012, 1, 1), "fbg": None, "hba1c": 5.2},
+        ]
+    )
+    assert cross_measure_conflicts(table, "pid", "when", _measures()) == []
+
+
+def test_single_measure_rejected():
+    table = Table.from_rows([{"pid": 1, "when": dt.date(2010, 1, 1), "fbg": 5.0}])
+    with pytest.raises(TemporalAbstractionError, match="two measures"):
+        cross_measure_conflicts(
+            table, "pid", "when", {"fbg": ("fbg", FBG, SHARED_FBG)}
+        )
+
+
+def test_incomplete_state_map_rejected():
+    table = Table.from_rows(
+        [{"pid": 1, "when": dt.date(2010, 1, 1), "fbg": 5.0, "hba1c": 5.0}]
+    )
+    broken = {"ok": "normal"}  # misses borderline/high
+    with pytest.raises(TemporalAbstractionError, match="misses"):
+        cross_measure_conflicts(
+            table, "pid", "when",
+            {"fbg": ("fbg", FBG, SHARED_FBG), "hba1c": ("hba1c", HBA1C, broken)},
+        )
+
+
+def test_cohort_mostly_consistent(cohort):
+    """The generator ties HbA1c to FBG, so staging conflicts are rare."""
+    hba1c_scheme = DiscretizationScheme.from_cut_points(
+        "HbA1c", [6.8, 7.6], labels=["ok", "borderline", "high"]
+    )
+    fbg_scheme = DiscretizationScheme.from_cut_points(
+        "FBG", [5.5, 7.0], labels=["normal", "pre", "diabetic"]
+    )
+    conflicts = cross_measure_conflicts(
+        cohort, "patient_id", "visit_date",
+        {
+            "fbg": ("fbg", fbg_scheme,
+                    {"normal": "n", "pre": "p", "diabetic": "d"}),
+            "hba1c": ("hba1c", hba1c_scheme,
+                      {"ok": "n", "borderline": "p", "high": "d"}),
+        },
+        min_support=2,
+    )
+    patients = cohort.column("patient_id").n_unique()
+    conflicted = len({patient for patient, __, __u in conflicts})
+    assert conflicted / patients < 0.5

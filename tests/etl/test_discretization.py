@@ -1,0 +1,169 @@
+"""Tests for discretisation: clinical schemes and algorithmic fitters."""
+
+import random
+
+import pytest
+
+from repro.errors import DiscretizationError
+from repro.etl.discretization import (
+    Bin,
+    ChiMergeDiscretizer,
+    DiscretizationScheme,
+    EqualFrequencyDiscretizer,
+    EqualWidthDiscretizer,
+    MDLPDiscretizer,
+)
+
+
+class TestBins:
+    def test_contains_inclusive_low_exclusive_high(self):
+        b = Bin("mid", 5.0, 7.0)
+        assert b.contains(5.0)
+        assert not b.contains(7.0)
+
+    def test_open_ended(self):
+        assert Bin("low", None, 5.0).contains(-100)
+        assert Bin("high", 5.0, None).contains(1e9)
+
+    def test_describe(self):
+        assert Bin("", None, 40.0).describe() == "<40"
+        assert Bin("", 80.0, None).describe() == ">=80"
+        assert Bin("", 40.0, 60.0).describe() == "40-60"
+
+
+class TestSchemeConstruction:
+    def test_from_cut_points_labels_default(self):
+        scheme = DiscretizationScheme.from_cut_points("age", [40, 60, 80])
+        assert scheme.labels == ["<40", "40-60", "60-80", ">=80"]
+
+    def test_from_cut_points_custom_labels(self):
+        scheme = DiscretizationScheme.from_cut_points(
+            "fbg", [5.5, 6.1, 7.0],
+            labels=["very good", "high", "preDiabetic", "Diabetic"],
+        )
+        assert scheme.assign(5.4) == "very good"
+        assert scheme.assign(5.5) == "high"
+        assert scheme.assign(6.5) == "preDiabetic"
+        assert scheme.assign(7.0) == "Diabetic"
+
+    def test_unsorted_cut_points_rejected(self):
+        with pytest.raises(DiscretizationError, match="ascending"):
+            DiscretizationScheme.from_cut_points("x", [5, 3])
+
+    def test_duplicate_cut_points_rejected(self):
+        with pytest.raises(DiscretizationError, match="ascending"):
+            DiscretizationScheme.from_cut_points("x", [3, 3])
+
+    def test_label_count_checked(self):
+        with pytest.raises(DiscretizationError, match="labels"):
+            DiscretizationScheme.from_cut_points("x", [1], labels=["a"])
+
+    def test_non_contiguous_bins_rejected(self):
+        with pytest.raises(DiscretizationError, match="tile"):
+            DiscretizationScheme("x", [Bin("a", None, 1.0), Bin("b", 2.0, None)])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(DiscretizationError, match="duplicate"):
+            DiscretizationScheme.from_cut_points("x", [1, 2], labels=["a", "a", "b"])
+
+
+class TestAssignment:
+    @pytest.fixture()
+    def scheme(self):
+        return DiscretizationScheme.from_cut_points("age", [40, 60, 80])
+
+    def test_none_stays_none(self, scheme):
+        assert scheme.assign(None) is None
+
+    def test_nan_stays_none(self, scheme):
+        assert scheme.assign(float("nan")) is None
+
+    def test_assign_many(self, scheme):
+        assert scheme.assign_many([30, 50, None]) == ["<40", "40-60", None]
+
+    def test_occupancy(self, scheme):
+        counts = scheme.occupancy([30, 35, 50, 85, None])
+        assert counts == {"<40": 2, "40-60": 1, "60-80": 0, ">=80": 1}
+
+    def test_cut_points_property(self, scheme):
+        assert scheme.cut_points == [40, 60, 80]
+
+
+@pytest.fixture()
+def supervised_data():
+    rng = random.Random(5)
+    values, classes = [], []
+    for __ in range(400):
+        diabetic = rng.random() < 0.5
+        values.append(rng.gauss(8.0 if diabetic else 5.2, 0.7))
+        classes.append("D" if diabetic else "N")
+    return values, classes
+
+
+class TestEqualWidth:
+    def test_bin_count(self):
+        scheme = EqualWidthDiscretizer(4).fit([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert len(scheme.bins) == 4
+
+    def test_covers_all_values(self):
+        values = [1.0, 2.5, 9.0, 4.4]
+        scheme = EqualWidthDiscretizer(3).fit(values)
+        assert all(scheme.assign(v) is not None for v in values)
+
+    def test_constant_data_rejected(self):
+        with pytest.raises(DiscretizationError):
+            EqualWidthDiscretizer(2).fit([5, 5, 5])
+
+    def test_all_null_rejected(self):
+        with pytest.raises(DiscretizationError):
+            EqualWidthDiscretizer(2).fit([None, None])
+
+    def test_too_few_bins_rejected(self):
+        with pytest.raises(DiscretizationError):
+            EqualWidthDiscretizer(1)
+
+
+class TestEqualFrequency:
+    def test_roughly_equal_occupancy(self):
+        values = list(range(100))
+        scheme = EqualFrequencyDiscretizer(4).fit(values)
+        counts = list(scheme.occupancy(values).values())
+        assert max(counts) - min(counts) <= 2
+
+    def test_skewed_data_dedupes_cuts(self):
+        values = [1] * 50 + [2, 3, 4]
+        scheme = EqualFrequencyDiscretizer(4).fit(values)
+        assert len(scheme.bins) >= 2
+
+
+class TestMDLP:
+    def test_finds_separating_cut(self, supervised_data):
+        values, classes = supervised_data
+        scheme = MDLPDiscretizer().fit(values, classes)
+        # the true boundary is ~6.6; at least one cut should be near it
+        assert any(5.8 <= cut <= 7.4 for cut in scheme.cut_points)
+
+    def test_pure_classes_unsplittable(self):
+        with pytest.raises(DiscretizationError):
+            MDLPDiscretizer().fit([1, 2, 3], ["A", "A", "A"])
+
+    def test_all_null_rejected(self):
+        with pytest.raises(DiscretizationError):
+            MDLPDiscretizer().fit([None], ["A"])
+
+
+class TestChiMerge:
+    def test_respects_max_bins(self, supervised_data):
+        values, classes = supervised_data
+        scheme = ChiMergeDiscretizer(max_bins=4).fit(values, classes)
+        assert 2 <= len(scheme.bins) <= 4
+
+    def test_separates_classes(self, supervised_data):
+        values, classes = supervised_data
+        scheme = ChiMergeDiscretizer(max_bins=2).fit(values, classes)
+        cut = scheme.cut_points[0]
+        assert 5.5 <= cut <= 7.8
+
+    def test_constant_values_rejected(self):
+        with pytest.raises(DiscretizationError):
+            ChiMergeDiscretizer(max_bins=2).fit([1, 1], ["A", "B"])

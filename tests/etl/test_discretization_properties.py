@@ -1,0 +1,63 @@
+"""Property-based tests for discretisation invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.etl.discretization import (
+    DiscretizationScheme,
+    EqualFrequencyDiscretizer,
+    EqualWidthDiscretizer,
+)
+
+cut_lists = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=8, unique=True
+).map(sorted)
+
+value_lists = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False), min_size=2, max_size=80
+)
+
+
+@given(cut_lists, st.floats(-1e6, 1e6, allow_nan=False))
+def test_every_value_lands_in_exactly_one_bin(cuts, value):
+    scheme = DiscretizationScheme.from_cut_points("s", cuts)
+    matches = [b for b in scheme.bins if b.contains(value)]
+    assert len(matches) == 1
+    assert scheme.assign(value) == matches[0].label
+
+
+@given(cut_lists)
+def test_bin_count_is_cuts_plus_one(cuts):
+    scheme = DiscretizationScheme.from_cut_points("s", cuts)
+    assert len(scheme.bins) == len(cuts) + 1
+
+
+@given(value_lists)
+@settings(max_examples=60)
+def test_equal_width_occupancy_sums_to_n(values):
+    if len(set(values)) < 2:
+        return
+    if max(values) - min(values) < 1e-9:
+        return  # degenerate range: fit correctly refuses
+    scheme = EqualWidthDiscretizer(4).fit(values)
+    assert sum(scheme.occupancy(values).values()) == len(values)
+
+
+@given(value_lists)
+@settings(max_examples=60)
+def test_equal_frequency_covers_all_values(values):
+    if len(set(values)) < 5:
+        return
+    scheme = EqualFrequencyDiscretizer(4).fit(values)
+    assert all(scheme.assign(v) is not None for v in values)
+
+
+@given(cut_lists, value_lists)
+@settings(max_examples=60)
+def test_assignment_is_order_preserving(cuts, values):
+    """If a <= b then bin(a) is not after bin(b) in interval order."""
+    scheme = DiscretizationScheme.from_cut_points("s", cuts)
+    labels = scheme.labels
+    ordered = sorted(values)
+    positions = [labels.index(scheme.assign(v)) for v in ordered]
+    assert positions == sorted(positions)

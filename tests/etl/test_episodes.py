@@ -1,0 +1,78 @@
+"""Tests for the episodes table (temporal abstraction over a table)."""
+
+import datetime as dt
+
+from repro.discri.schemes import FBG_SCHEME
+from repro.etl.temporal import episodes_table
+from repro.tabular import Table
+
+
+def _table(rows):
+    return Table.from_rows(rows)
+
+
+def test_episodes_per_patient():
+    table = _table(
+        [
+            {"pid": 1, "when": dt.date(2010, 1, 1), "fbg": 5.0},
+            {"pid": 1, "when": dt.date(2010, 7, 1), "fbg": 5.1},
+            {"pid": 1, "when": dt.date(2011, 1, 1), "fbg": 7.5},
+            {"pid": 2, "when": dt.date(2010, 3, 1), "fbg": 6.5},
+        ]
+    )
+    episodes = episodes_table(table, "pid", "when", "fbg", FBG_SCHEME)
+    assert episodes.num_rows == 3
+    first = episodes.row(0)
+    assert first["patient"] == 1
+    assert first["state"] == "very good"
+    assert first["support"] == 2
+    assert first["duration_days"] == 181
+    assert episodes.row(2)["patient"] == 2
+
+
+def test_null_values_and_dates_skipped():
+    table = _table(
+        [
+            {"pid": 1, "when": dt.date(2010, 1, 1), "fbg": 5.0},
+            {"pid": 1, "when": None, "fbg": 9.9},
+            {"pid": 1, "when": dt.date(2011, 1, 1), "fbg": None},
+        ]
+    )
+    episodes = episodes_table(table, "pid", "when", "fbg", FBG_SCHEME)
+    assert episodes.num_rows == 1
+    assert episodes.row(0)["state"] == "very good"
+
+
+def test_min_support_filters():
+    table = _table(
+        [
+            {"pid": 1, "when": dt.date(2010, 1, 1), "fbg": 5.0},
+            {"pid": 1, "when": dt.date(2010, 6, 1), "fbg": 5.1},
+            {"pid": 1, "when": dt.date(2011, 1, 1), "fbg": 8.0},
+        ]
+    )
+    episodes = episodes_table(
+        table, "pid", "when", "fbg", FBG_SCHEME, min_support=2
+    )
+    assert episodes.column("state").to_list() == ["very good"]
+
+
+def test_empty_input_keeps_schema():
+    table = Table.empty({"pid": "int", "when": "date", "fbg": "float"})
+    episodes = episodes_table(table, "pid", "when", "fbg", FBG_SCHEME)
+    assert episodes.num_rows == 0
+    assert "duration_days" in episodes.column_names
+
+
+def test_system_episodes_cover_cohort(built, cohort):
+    """Every episode's support sums back to the staged visit count."""
+    from repro.etl.temporal import episodes_table as build_episodes
+
+    episodes = build_episodes(
+        cohort, "patient_id", "visit_date", "fbg", FBG_SCHEME
+    )
+    staged_visits = cohort.column("fbg").count()
+    assert episodes.column("support").sum() == staged_visits
+    assert episodes.column("patient").n_unique() == cohort.column(
+        "patient_id"
+    ).n_unique()

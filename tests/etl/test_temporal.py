@@ -1,0 +1,117 @@
+"""Tests for temporal abstraction."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import TemporalAbstractionError
+from repro.etl.temporal import (
+    Interval,
+    StateAbstraction,
+    TrendAbstraction,
+    abstract_states,
+    abstract_trends,
+    find_conflicts,
+)
+from repro.discri.schemes import FBG_SCHEME
+
+
+def days(*offsets):
+    base = dt.date(2010, 1, 1)
+    return [base + dt.timedelta(days=o) for o in offsets]
+
+
+class TestInterval:
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(TemporalAbstractionError):
+            Interval("v", "s", dt.date(2011, 1, 1), dt.date(2010, 1, 1))
+
+    def test_duration(self):
+        iv = Interval("v", "s", dt.date(2010, 1, 1), dt.date(2010, 1, 11))
+        assert iv.duration_days == 10
+
+    def test_overlap(self):
+        a = Interval("v", "s", *days(0, 10))
+        b = Interval("v", "t", *days(10, 20))
+        c = Interval("v", "u", *days(11, 20))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestStateAbstraction:
+    def test_merges_consecutive_equal_states(self):
+        stamps = days(0, 100, 200, 300)
+        intervals = abstract_states("fbg", FBG_SCHEME, stamps, [5.0, 5.2, 6.5, 6.8])
+        assert [iv.state for iv in intervals] == ["very good", "preDiabetic"]
+        assert intervals[0].support == 2
+
+    def test_unsorted_input_sorted_internally(self):
+        stamps = days(200, 0, 100)
+        intervals = abstract_states("fbg", FBG_SCHEME, stamps, [7.5, 5.0, 7.5])
+        assert intervals[0].state == "very good"
+
+    def test_nulls_skipped(self):
+        stamps = days(0, 100, 200)
+        intervals = abstract_states("fbg", FBG_SCHEME, stamps, [5.0, None, 5.1])
+        assert len(intervals) == 1
+        assert intervals[0].support == 2
+
+    def test_min_support_filters(self):
+        stamps = days(0, 100, 200)
+        intervals = StateAbstraction("fbg", FBG_SCHEME, min_support=2).abstract(
+            stamps, [5.0, 5.1, 8.0]
+        )
+        assert [iv.state for iv in intervals] == ["very good"]
+
+    def test_empty_series(self):
+        assert abstract_states("fbg", FBG_SCHEME, [], []) == []
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TemporalAbstractionError):
+            abstract_states("fbg", FBG_SCHEME, days(0), [1.0, 2.0])
+
+
+class TestTrendAbstraction:
+    def test_basic_trends(self):
+        stamps = days(0, 100, 200, 300)
+        intervals = abstract_trends("w", stamps, [80, 85, 90, 88], tolerance=0.01)
+        assert [iv.state for iv in intervals] == ["increasing", "decreasing"]
+
+    def test_steady_with_tolerance(self):
+        stamps = days(0, 100)
+        intervals = abstract_trends("w", stamps, [80, 80.5], tolerance=0.1)
+        assert intervals[0].state == "steady"
+
+    def test_single_point_no_trend(self):
+        assert abstract_trends("w", days(0), [80]) == []
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(TemporalAbstractionError):
+            TrendAbstraction("w", tolerance=-1)
+
+    def test_support_counts_points(self):
+        stamps = days(0, 100, 200)
+        intervals = abstract_trends("w", stamps, [1, 2, 3], tolerance=0.0)
+        assert intervals[0].support == 3
+
+
+class TestConflicts:
+    def test_conflicting_overlap_detected(self):
+        a = [Interval("fbg", "high", *days(0, 100))]
+        b = [Interval("fbg", "very good", *days(50, 150))]
+        assert len(find_conflicts(a, b)) == 1
+
+    def test_different_variables_never_conflict(self):
+        a = [Interval("fbg", "high", *days(0, 100))]
+        b = [Interval("fbg_trend", "increasing", *days(0, 100))]
+        assert find_conflicts(a, b) == []
+
+    def test_same_state_no_conflict(self):
+        a = [Interval("fbg", "high", *days(0, 100))]
+        b = [Interval("fbg", "high", *days(50, 150))]
+        assert find_conflicts(a, b) == []
+
+    def test_disjoint_no_conflict(self):
+        a = [Interval("fbg", "high", *days(0, 10))]
+        b = [Interval("fbg", "low", *days(20, 30))]
+        assert find_conflicts(a, b) == []

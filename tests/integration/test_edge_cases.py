@@ -1,0 +1,123 @@
+"""Edge-case and failure-injection integration tests."""
+
+import pytest
+
+from repro.dgms.system import DDDGMS
+from repro.discri.generator import DiScRiGenerator
+from repro.errors import OptimizationError, ReproError
+from repro.olap.cube import Cube
+from repro.tabular import Table
+from repro.warehouse.dimension import Dimension
+from repro.warehouse.fact import FactTable, Measure
+from repro.warehouse.star import StarSchema
+
+
+class TestTinyCohorts:
+    def test_single_patient_system(self):
+        system = DDDGMS(DiScRiGenerator(n_patients=1, seed=8).generate())
+        grid = system.olap().rows("gender").count_records().execute()
+        assert grid.grand_total() == system.source.num_rows
+
+    def test_minimal_cohort_full_pipeline(self):
+        system = DDDGMS(DiScRiGenerator(n_patients=5, seed=8).generate())
+        assert system.warehouse.schema.check_integrity() == []
+        assert system.cube.flat.num_rows == system.source.num_rows
+
+
+class TestEmptyWarehouse:
+    @pytest.fixture()
+    def empty_cube(self):
+        personal = Dimension("p", {"g": "str"})
+        fact = FactTable("f", ["p"], [Measure.of("v")])
+        return Cube(StarSchema("empty", fact, [personal]))
+
+    def test_aggregate_on_empty_facts(self, empty_cube):
+        result = empty_cube.aggregate(["p.g"])
+        assert result.num_rows == 0
+
+    def test_grand_total_on_empty(self, empty_cube):
+        assert empty_cube.grand_total()["records"] == 0
+
+    def test_level_members_empty(self, empty_cube):
+        assert empty_cube.level_members("p.g") == []
+
+    def test_query_builder_on_empty(self, empty_cube):
+        grid = empty_cube.query().rows("p.g").count_records().execute()
+        assert grid.row_keys == []
+
+    def test_optimal_aggregate_on_empty_raises(self, empty_cube):
+        from repro.optimize.consistency import find_optimal_aggregate
+
+        with pytest.raises(OptimizationError):
+            find_optimal_aggregate(empty_cube, ["p.g"], "v")
+
+
+class TestConfigFailureInjection:
+    def test_invalid_phenomena_rejected_at_construction(self):
+        from repro.discri.phenomena import PhenomenaConfig
+
+        config = PhenomenaConfig()
+        config.progression_pre_to_diabetic = 1.7
+        with pytest.raises(ValueError):
+            DiScRiGenerator(n_patients=5, config=config)
+
+    def test_etl_survives_fully_null_optional_columns(self):
+        """An attribute column that is entirely null must not break the
+        pipeline (clinics do skip whole panels)."""
+        cohort = DiScRiGenerator(n_patients=10, seed=2).generate()
+        hollow = cohort.with_column(
+            "crp", [None] * cohort.num_rows, dtype="float"
+        )
+        system = DDDGMS(hollow)
+        assert system.cube.flat.num_rows == cohort.num_rows
+
+    def test_visualize_rejects_empty_crosstab(self):
+        from repro.olap.crosstab import Crosstab
+        from repro.viz.heatmap import heatmap
+
+        empty = Crosstab(["r"], ["c"], [], [], {}, "n")
+        with pytest.raises(ReproError):
+            heatmap(empty)
+
+
+class TestDiscoveryWorkflow:
+    def test_olap_to_mining_to_kb_to_guideline(self):
+        """The full §IV loop as one test: isolate a cube slice, mine it,
+        record the finding, accumulate evidence, promote, draft."""
+        from repro.knowledge.findings import FindingKind
+        from repro.knowledge.guidelines import draft_guidelines
+        from repro.mining.naive_bayes import NaiveBayesClassifier
+        from repro.mining.metrics import accuracy
+
+        system = DDDGMS(
+            DiScRiGenerator(n_patients=150, seed=55).generate(),
+            promotion_threshold=2.0,
+        )
+        # 1. isolate: elderly slice only
+        rows = system.isolate_cube_slice(age_band="60-80")
+        assert rows and all(row["age_band"] == "60-80" for row in rows)
+        # 2. mine
+        model = NaiveBayesClassifier().fit(
+            rows, "diabetes_status", ["fbg_band", "bmi_band"]
+        )
+        fit_accuracy = accuracy(
+            [row["diabetes_status"] for row in rows], model.predict_many(rows)
+        )
+        assert fit_accuracy > 0.8
+        # 3. record + reinforce + promote
+        for source in ("mining", "replication"):
+            system.record_finding(
+                "elderly.fbg_model", FindingKind.PREDICTION,
+                "FBG band predicts diabetes in the 60-80 cohort",
+                source=source, description=f"accuracy {fit_accuracy:.3f}",
+                weight=1.2, tags=["elderly"],
+            )
+        promoted = system.knowledge_base.promote_ready()
+        assert [f.key for f in promoted] == ["elderly.fbg_model"]
+        # 4. draft the guideline
+        guidelines = draft_guidelines(
+            system.knowledge_base,
+            {"Elderly screening": ("elderly", "Stage by FBG band at 60+")},
+        )
+        assert len(guidelines) == 1
+        assert "FBG band predicts diabetes" in guidelines[0].to_text()

@@ -1,0 +1,82 @@
+"""MDX integration on the session cohort: the queries a scientist writes."""
+
+import pytest
+
+from repro.olap.mdx.evaluator import execute_mdx
+
+
+class TestReportingQueries:
+    def test_fig4_shape(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT [personal].[gender].MEMBERS ON COLUMNS, "
+            "[conditions].[age_band].MEMBERS ON ROWS FROM discri "
+            "WHERE [personal].[family_history_diabetes].[yes]",
+        )
+        assert grid.grand_total() > 0
+
+    def test_topcount_age_bands_by_patients(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT {DISTINCTCOUNT([cardinality].[patient_id])} ON COLUMNS, "
+            "TOPCOUNT([conditions].[age_band5].MEMBERS, 3, "
+            "DISTINCTCOUNT([cardinality].[patient_id])) ON ROWS FROM discri",
+        )
+        counts = [
+            grid.value(key, ("distinctcount_patient_id",))
+            for key in grid.row_keys
+        ]
+        assert len(counts) == 3
+        assert counts == sorted(counts, reverse=True)
+
+    def test_filter_thin_bands_away(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT {[Measures].[records]} ON COLUMNS, "
+            "FILTER([conditions].[age_band5].MEMBERS, "
+            "[Measures].[records] >= 50) ON ROWS FROM discri",
+        )
+        for key in grid.row_keys:
+            assert grid.value(key, ("records",)) >= 50
+
+    def test_children_drill_from_coarse_band(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT [personal].[gender].MEMBERS ON COLUMNS, "
+            "[conditions].[age_band10].[70-80].CHILDREN ON ROWS FROM discri "
+            "WHERE [conditions].[diabetes_status].[yes]",
+        )
+        assert set(grid.row_keys) <= {("70-75",), ("75-80",)}
+
+    def test_non_empty_with_measures(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT {[Measures].[records], [Measures].[fbg]} ON COLUMNS, "
+            "NON EMPTY [conditions].[ht_years_band].MEMBERS ON ROWS "
+            "FROM discri WHERE [conditions].[hypertension].[yes]",
+        )
+        for key in grid.row_keys:
+            assert grid.value(key, ("records",)) is not None
+
+    def test_order_by_mean_fbg(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT {[Measures].[fbg]} ON COLUMNS, "
+            "ORDER([bloods].[fbg_band].MEMBERS, [Measures].[fbg], DESC) "
+            "ON ROWS FROM discri",
+        )
+        means = [grid.value(key, ("fbg",)) for key in grid.row_keys]
+        assert means == sorted(means, reverse=True)
+        assert grid.row_keys[0] == ("Diabetic",)
+
+    def test_mdx_totals_match_builder_totals(self, cube):
+        mdx_grid = execute_mdx(
+            cube,
+            "SELECT [personal].[gender].MEMBERS ON COLUMNS, "
+            "[bloods].[fbg_band].MEMBERS ON ROWS FROM discri",
+        )
+        builder_grid = (
+            cube.query().rows("fbg_band").columns("gender")
+            .count_records().execute()
+        )
+        assert mdx_grid.grand_total() == builder_grid.grand_total()

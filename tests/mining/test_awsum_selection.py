@@ -1,0 +1,183 @@
+"""Tests for AWSum and the wrapper-filter feature selection."""
+
+import random
+
+import pytest
+
+from repro.errors import MiningError, NotFittedError
+from repro.mining.awsum import AWSumClassifier
+from repro.mining.feature_selection import (
+    chi2_scores,
+    correlation_with,
+    information_gain_scores,
+    wrapper_filter_select,
+)
+from repro.mining.metrics import accuracy
+from repro.mining.naive_bayes import NaiveBayesClassifier
+
+
+@pytest.fixture(scope="module")
+def interaction_rows():
+    """Plant the paper's reflex+mid-glucose interaction.
+
+    Mid-range glucose alone is weakly predictive; absent reflexes alone
+    moderately; the *combination* is strongly predictive of diabetes.
+    """
+    rng = random.Random(21)
+    rows = []
+    for __ in range(600):
+        develops = rng.random() < 0.35
+        if develops:
+            band = rng.choices(["mid", "high", "ok"], [0.5, 0.35, 0.15])[0]
+            reflex = "absent" if band == "mid" and rng.random() < 0.8 else (
+                "absent" if rng.random() < 0.3 else "present"
+            )
+        else:
+            band = rng.choices(["mid", "high", "ok"], [0.3, 0.1, 0.6])[0]
+            reflex = "absent" if rng.random() < 0.08 else "present"
+        rows.append(
+            {
+                "fbg_band": band,
+                "reflex": reflex,
+                "exercise": rng.choice(["low", "high"]),
+                "develops": "yes" if develops else "no",
+            }
+        )
+    return rows
+
+
+class TestAWSum:
+    def test_classifies_reasonably(self, interaction_rows):
+        model = AWSumClassifier(min_support=10).fit(
+            interaction_rows, "develops", ["fbg_band", "reflex"]
+        )
+        predicted = model.predict_many(interaction_rows)
+        assert accuracy([r["develops"] for r in interaction_rows], predicted) >= 0.7
+
+    def test_influences_bounded(self, interaction_rows):
+        model = AWSumClassifier(min_support=10).fit(
+            interaction_rows, "develops", ["fbg_band", "reflex", "exercise"]
+        )
+        for influence in model.value_influences():
+            assert -1.0 <= influence.weight <= 1.0
+
+    def test_influences_sorted_by_magnitude(self, interaction_rows):
+        model = AWSumClassifier(min_support=10).fit(
+            interaction_rows, "develops", ["fbg_band", "reflex"]
+        )
+        weights = [abs(i.weight) for i in model.value_influences()]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_interaction_surfaces_reflex_glucose(self, interaction_rows):
+        """The discovery mechanism of paper §II: the pair pops by surprise."""
+        model = AWSumClassifier(min_support=10).fit(
+            interaction_rows, "develops", ["fbg_band", "reflex", "exercise"]
+        )
+        interactions = model.interaction_influences(top=5)
+        top_pairs = {
+            frozenset(
+                [
+                    (i.first.attribute, str(i.first.value)),
+                    (i.second.attribute, str(i.second.value)),
+                ]
+            )
+            for i in interactions[:3]
+        }
+        assert frozenset(
+            [("fbg_band", "mid"), ("reflex", "absent")]
+        ) in top_pairs
+
+    def test_surprise_consistency(self, interaction_rows):
+        model = AWSumClassifier(min_support=10).fit(
+            interaction_rows, "develops", ["fbg_band", "reflex"]
+        )
+        for inter in model.interaction_influences():
+            expected = (inter.first.weight + inter.second.weight) / 2
+            assert inter.surprise == pytest.approx(inter.joint_weight - expected)
+
+    def test_min_support_filters_rare_values(self, interaction_rows):
+        rows = interaction_rows + [
+            {"fbg_band": "unicorn", "reflex": "present", "develops": "no"}
+        ]
+        model = AWSumClassifier(min_support=5).fit(
+            rows, "develops", ["fbg_band", "reflex"]
+        )
+        assert model.influence_of("fbg_band", "unicorn") is None
+
+    def test_binary_only(self, interaction_rows):
+        rows = interaction_rows[:20] + [dict(interaction_rows[0], develops="maybe")]
+        with pytest.raises(MiningError, match="binary"):
+            AWSumClassifier().fit(rows, "develops", ["fbg_band"])
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            AWSumClassifier().score({})
+
+
+class TestFilterScores:
+    def test_information_gain_ranks_informative_first(self, interaction_rows):
+        scores = information_gain_scores(
+            interaction_rows, "develops", ["fbg_band", "reflex", "exercise"]
+        )
+        assert scores["reflex"] > scores["exercise"]
+        assert scores["fbg_band"] > scores["exercise"]
+
+    def test_chi2_ranks_informative_first(self, interaction_rows):
+        scores = chi2_scores(
+            interaction_rows, "develops", ["reflex", "exercise"]
+        )
+        assert scores["reflex"] > scores["exercise"]
+
+    def test_numeric_features_binned(self):
+        rows = [{"v": float(i), "cls": "a" if i < 50 else "b"} for i in range(100)]
+        scores = information_gain_scores(rows, "cls", ["v"])
+        assert scores["v"] > 0.5
+
+    def test_all_null_feature_scores_zero(self, interaction_rows):
+        rows = [dict(r, hollow=None) for r in interaction_rows]
+        assert information_gain_scores(rows, "develops", ["hollow"])["hollow"] == 0.0
+
+    def test_correlation(self):
+        rows = [{"a": float(i), "b": 2.0 * i, "c": -1.0 * i} for i in range(20)]
+        assert correlation_with(rows, "a", "b") == pytest.approx(1.0)
+        assert correlation_with(rows, "a", "c") == pytest.approx(-1.0)
+
+
+class TestWrapperFilter:
+    def test_selects_informative_features(self, interaction_rows):
+        selected, trace = wrapper_filter_select(
+            interaction_rows,
+            "develops",
+            ["fbg_band", "reflex", "exercise"],
+            NaiveBayesClassifier,
+            max_features=2,
+        )
+        assert "fbg_band" in selected or "reflex" in selected
+        assert len(trace) == len(selected)
+
+    def test_trace_accuracy_nondecreasing(self, interaction_rows):
+        __, trace = wrapper_filter_select(
+            interaction_rows,
+            "develops",
+            ["fbg_band", "reflex", "exercise"],
+            NaiveBayesClassifier,
+            max_features=3,
+        )
+        accuracies = [score for __, score in trace]
+        assert accuracies == sorted(accuracies)
+
+    def test_no_candidates_rejected(self, interaction_rows):
+        with pytest.raises(MiningError):
+            wrapper_filter_select(
+                interaction_rows, "develops", [], NaiveBayesClassifier
+            )
+
+    def test_always_returns_at_least_one(self, interaction_rows):
+        selected, __ = wrapper_filter_select(
+            interaction_rows,
+            "develops",
+            ["exercise"],
+            NaiveBayesClassifier,
+            max_features=1,
+        )
+        assert selected == ["exercise"]

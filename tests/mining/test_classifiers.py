@@ -1,0 +1,166 @@
+"""Tests for the four generic classifiers (shared behaviours + specifics)."""
+
+import pytest
+
+from repro.errors import MiningError, NotFittedError
+from repro.mining.decision_tree import DecisionTreeClassifier
+from repro.mining.knn import KNNClassifier
+from repro.mining.logistic import LogisticRegressionClassifier
+from repro.mining.metrics import accuracy
+from repro.mining.naive_bayes import NaiveBayesClassifier
+
+ALL_CLASSIFIERS = [
+    NaiveBayesClassifier,
+    DecisionTreeClassifier,
+    KNNClassifier,
+    LogisticRegressionClassifier,
+]
+
+
+@pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+class TestSharedBehaviour:
+    def test_learns_separable_data(self, factory, clinical_rows, features):
+        model = factory().fit(clinical_rows, "cls", features)
+        predicted = model.predict_many(clinical_rows)
+        assert accuracy([r["cls"] for r in clinical_rows], predicted) >= 0.85
+
+    def test_predict_before_fit_raises(self, factory, clinical_rows):
+        with pytest.raises((NotFittedError, AttributeError)):
+            factory().predict(clinical_rows[0])
+
+    def test_empty_fit_rejected(self, factory):
+        with pytest.raises(MiningError):
+            factory().fit([], "cls", ["a"])
+
+    def test_no_features_rejected(self, factory, clinical_rows):
+        with pytest.raises(MiningError):
+            factory().fit(clinical_rows, "cls", [])
+
+    def test_handles_missing_feature_at_predict(self, factory, clinical_rows, features):
+        model = factory().fit(clinical_rows, "cls", features)
+        label = model.predict({"fbg": 8.5})
+        assert label in ("diabetes", "control")
+
+    def test_unlabelled_rows_ignored_in_fit(self, factory, clinical_rows, features):
+        rows = clinical_rows + [{"fbg": 6.0, "cls": None}]
+        model = factory().fit(rows, "cls", features)
+        assert model.predict(clinical_rows[0]) in ("diabetes", "control")
+
+
+class TestNaiveBayes:
+    def test_probabilities_sum_to_one(self, clinical_rows, features):
+        model = NaiveBayesClassifier().fit(clinical_rows, "cls", features)
+        probs = model.predict_proba(clinical_rows[0])
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_unseen_category_smoothed(self, clinical_rows, features):
+        model = NaiveBayesClassifier().fit(clinical_rows, "cls", features)
+        probs = model.predict_proba({"reflex": "hyperactive", "fbg": 5.0})
+        assert all(0 < p < 1 for p in probs.values())
+
+    def test_bad_smoothing(self):
+        with pytest.raises(MiningError):
+            NaiveBayesClassifier(smoothing=0)
+
+    def test_all_null_target_rejected(self):
+        with pytest.raises(MiningError, match="label"):
+            NaiveBayesClassifier().fit([{"a": 1, "cls": None}], "cls", ["a"])
+
+
+class TestDecisionTree:
+    def test_splits_on_informative_feature(self, clinical_rows, features):
+        model = DecisionTreeClassifier(max_depth=3).fit(
+            clinical_rows, "cls", features
+        )
+        assert model.root.feature == "fbg"
+
+    def test_depth_bounded(self, clinical_rows, features):
+        model = DecisionTreeClassifier(max_depth=2).fit(
+            clinical_rows, "cls", features
+        )
+        assert model.depth() <= 2
+
+    def test_pure_node_is_leaf(self):
+        rows = [{"a": 1, "cls": "x"}, {"a": 2, "cls": "x"}]
+        model = DecisionTreeClassifier().fit(rows, "cls", ["a"])
+        assert model.root.is_leaf
+
+    def test_categorical_multiway_split(self):
+        rows = [
+            {"c": "a", "cls": "x"}, {"c": "a", "cls": "x"},
+            {"c": "b", "cls": "y"}, {"c": "b", "cls": "y"},
+            {"c": "d", "cls": "z"}, {"c": "d", "cls": "z"},
+        ]
+        model = DecisionTreeClassifier(min_samples_split=2).fit(rows, "cls", ["c"])
+        assert len(model.root.children) == 3
+
+    def test_unseen_category_falls_to_majority(self):
+        rows = [
+            {"c": "a", "cls": "x"}, {"c": "a", "cls": "x"}, {"c": "a", "cls": "x"},
+            {"c": "b", "cls": "y"}, {"c": "b", "cls": "y"},
+        ]
+        model = DecisionTreeClassifier(min_samples_split=2).fit(rows, "cls", ["c"])
+        assert model.predict({"c": "zz"}) == "x"
+
+    def test_to_text_renders_rules(self, clinical_rows, features):
+        model = DecisionTreeClassifier(max_depth=3).fit(clinical_rows, "cls", features)
+        text = model.to_text()
+        assert "fbg" in text and "->" in text
+
+    def test_n_leaves_positive(self, clinical_rows, features):
+        model = DecisionTreeClassifier().fit(clinical_rows, "cls", features)
+        assert model.n_leaves() >= 2
+
+
+class TestKNN:
+    def test_distance_symmetric_and_bounded(self, clinical_rows, features):
+        model = KNNClassifier(k=3).fit(clinical_rows, "cls", features)
+        a, b = clinical_rows[0], clinical_rows[1]
+        assert model.distance(a, b) == pytest.approx(model.distance(b, a))
+        assert 0.0 <= model.distance(a, b) <= 1.0
+
+    def test_self_distance_zero(self, clinical_rows, features):
+        model = KNNClassifier(k=3).fit(clinical_rows, "cls", features)
+        assert model.distance(clinical_rows[0], clinical_rows[0]) == 0.0
+
+    def test_missing_value_max_distance(self, clinical_rows, features):
+        model = KNNClassifier(k=3).fit(clinical_rows, "cls", features)
+        gappy = dict(clinical_rows[0])
+        gappy["fbg"] = None
+        assert model.distance(clinical_rows[0], gappy) >= 0.25 - 1e-9
+
+    def test_neighbours_sorted(self, clinical_rows, features):
+        model = KNNClassifier(k=5).fit(clinical_rows, "cls", features)
+        distances = [d for d, __ in model.neighbours(clinical_rows[0])]
+        assert distances == sorted(distances)
+
+    def test_k_validation(self):
+        with pytest.raises(MiningError):
+            KNNClassifier(k=0)
+
+
+class TestLogistic:
+    def test_binary_only(self, clinical_rows, features):
+        rows = clinical_rows[:10] + [dict(clinical_rows[0], cls="third")]
+        with pytest.raises(MiningError, match="binary"):
+            LogisticRegressionClassifier().fit(rows, "cls", features)
+
+    def test_informative_coefficient_positive(self, clinical_rows, features):
+        model = LogisticRegressionClassifier().fit(clinical_rows, "cls", features)
+        coefficients = model.coefficients()
+        # classes sorted: control < diabetes, so weights point toward diabetes
+        assert coefficients["fbg"] > 0.5
+
+    def test_one_hot_encoding_names(self, clinical_rows, features):
+        model = LogisticRegressionClassifier().fit(clinical_rows, "cls", features)
+        assert "reflex=absent" in model.coefficients()
+
+    def test_probabilities_complementary(self, clinical_rows, features):
+        model = LogisticRegressionClassifier().fit(clinical_rows, "cls", features)
+        probs = model.predict_proba(clinical_rows[0])
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_entirely_null_feature_rejected(self, clinical_rows):
+        rows = [dict(r, empty=None) for r in clinical_rows]
+        with pytest.raises(MiningError, match="entirely null"):
+            LogisticRegressionClassifier().fit(rows, "cls", ["empty"])

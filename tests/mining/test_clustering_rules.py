@@ -1,0 +1,160 @@
+"""Tests for clustering and association-rule mining."""
+
+import random
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.apriori import apriori, association_rules
+from repro.mining.hierarchical import AgglomerativeClustering
+from repro.mining.kmeans import KMeans
+
+
+@pytest.fixture(scope="module")
+def two_blobs():
+    rng = random.Random(4)
+    rows = []
+    for __ in range(60):
+        rows.append({"x": rng.gauss(0, 0.5), "y": rng.gauss(0, 0.5), "blob": 0})
+    for __ in range(60):
+        rows.append({"x": rng.gauss(8, 0.5), "y": rng.gauss(8, 0.5), "blob": 1})
+    return rows
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, two_blobs):
+        model = KMeans(2, seed=0).fit(two_blobs, ["x", "y"])
+        labels_by_blob = {0: set(), 1: set()}
+        for row, label in zip(two_blobs, model.labels):
+            labels_by_blob[row["blob"]].add(label)
+        assert labels_by_blob[0] != labels_by_blob[1]
+        assert all(len(s) == 1 for s in labels_by_blob.values())
+
+    def test_deterministic_given_seed(self, two_blobs):
+        a = KMeans(2, seed=3).fit(two_blobs, ["x", "y"])
+        b = KMeans(2, seed=3).fit(two_blobs, ["x", "y"])
+        assert a.labels == b.labels
+
+    def test_cluster_sizes_sum(self, two_blobs):
+        model = KMeans(3, seed=1).fit(two_blobs, ["x", "y"])
+        assert sum(model.cluster_sizes().values()) == len(two_blobs)
+
+    def test_predict_assigns_nearest(self, two_blobs):
+        model = KMeans(2, seed=0).fit(two_blobs, ["x", "y"])
+        near_first_blob = model.predict({"x": 0.1, "y": -0.2})
+        near_second_blob = model.predict({"x": 8.2, "y": 7.9})
+        assert near_first_blob != near_second_blob
+
+    def test_centroid_profiles_in_original_units(self, two_blobs):
+        model = KMeans(2, seed=0).fit(two_blobs, ["x", "y"])
+        xs = sorted(p["x"] for p in model.centroid_profiles())
+        assert xs[0] == pytest.approx(0, abs=0.6)
+        assert xs[1] == pytest.approx(8, abs=0.6)
+
+    def test_null_rejected(self):
+        with pytest.raises(MiningError, match="null"):
+            KMeans(1).fit([{"x": None}], ["x"])
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(MiningError):
+            KMeans(5).fit([{"x": 1.0}], ["x"])
+
+    def test_inertia_nonnegative_and_decreasing_in_k(self, two_blobs):
+        inertia_2 = KMeans(2, seed=0).fit(two_blobs, ["x", "y"]).inertia
+        inertia_4 = KMeans(4, seed=0).fit(two_blobs, ["x", "y"]).inertia
+        assert 0 <= inertia_4 <= inertia_2 + 1e-9
+
+
+class TestAgglomerative:
+    def test_recovers_blobs(self, two_blobs):
+        sample = two_blobs[:30] + two_blobs[60:90]
+        model = AgglomerativeClustering(2).fit(sample, ["x", "y"])
+        first_half = set(model.labels[:30])
+        second_half = set(model.labels[30:])
+        assert first_half.isdisjoint(second_half)
+
+    def test_linkages(self, two_blobs):
+        sample = two_blobs[:20] + two_blobs[60:80]
+        for linkage in ("average", "complete", "single"):
+            model = AgglomerativeClustering(2, linkage=linkage).fit(
+                sample, ["x", "y"]
+            )
+            assert len(set(model.labels)) == 2
+
+    def test_merge_journal_length(self, two_blobs):
+        sample = two_blobs[:10]
+        model = AgglomerativeClustering(2).fit(sample, ["x", "y"])
+        assert len(model.merges) == len(sample) - 2
+
+    def test_bad_linkage(self):
+        with pytest.raises(MiningError):
+            AgglomerativeClustering(2, linkage="ward")
+
+
+@pytest.fixture(scope="module")
+def basket_rows():
+    rng = random.Random(9)
+    rows = []
+    for __ in range(200):
+        diabetic = rng.random() < 0.4
+        rows.append(
+            {
+                "fbg_band": "high" if diabetic or rng.random() < 0.15 else "ok",
+                "reflex": "absent" if diabetic and rng.random() < 0.7 else "present",
+                "diabetes": "yes" if diabetic else "no",
+            }
+        )
+    return rows
+
+
+class TestApriori:
+    def test_support_monotonicity(self, basket_rows):
+        frequent = apriori(basket_rows, min_support=0.1)
+        for itemset, support in frequent.items():
+            for item in itemset:
+                assert frequent[frozenset([item])] >= support - 1e-12
+
+    def test_min_support_respected(self, basket_rows):
+        frequent = apriori(basket_rows, min_support=0.3)
+        assert all(s >= 0.3 for s in frequent.values())
+
+    def test_nulls_excluded(self):
+        rows = [{"a": "x", "b": None}, {"a": "x", "b": "y"}]
+        frequent = apriori(rows, min_support=0.4)
+        assert frozenset([("b", "y")]) in frequent
+        assert not any(("b", None) in itemset for itemset in frequent)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MiningError):
+            apriori([], 0.1)
+
+    def test_bad_support(self, basket_rows):
+        with pytest.raises(MiningError):
+            apriori(basket_rows, min_support=0.0)
+
+
+class TestAssociationRules:
+    def test_finds_planted_rule(self, basket_rows):
+        rules = association_rules(basket_rows, min_support=0.15, min_confidence=0.6)
+        rendered = [rule.render() for rule in rules]
+        assert any(
+            "reflex=absent" in text and "diabetes=yes" in text for text in rendered
+        )
+
+    def test_confidence_floor(self, basket_rows):
+        rules = association_rules(basket_rows, min_support=0.1, min_confidence=0.8)
+        assert all(rule.confidence >= 0.8 for rule in rules)
+
+    def test_sorted_by_lift(self, basket_rows):
+        rules = association_rules(basket_rows, min_support=0.1, min_confidence=0.5)
+        lifts = [rule.lift for rule in rules]
+        assert lifts == sorted(lifts, reverse=True)
+
+    def test_confidence_consistent_with_supports(self, basket_rows):
+        rules = association_rules(basket_rows, min_support=0.1, min_confidence=0.5)
+        frequent = apriori(basket_rows, min_support=0.1)
+        for rule in rules[:10]:
+            joint = frequent[rule.antecedent | rule.consequent]
+            assert rule.confidence == pytest.approx(
+                joint / frequent[rule.antecedent]
+            )

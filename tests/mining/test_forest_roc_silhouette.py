@@ -1,0 +1,150 @@
+"""Tests for the random forest, ROC analysis and silhouette scoring."""
+
+import random
+
+import pytest
+
+from repro.errors import MiningError, NotFittedError
+from repro.mining.kmeans import KMeans
+from repro.mining.metrics import accuracy
+from repro.mining.naive_bayes import NaiveBayesClassifier
+from repro.mining.random_forest import RandomForestClassifier
+from repro.mining.roc import auc_score, roc_curve
+from repro.mining.silhouette import (
+    pick_k_by_silhouette,
+    silhouette_score,
+)
+
+
+class TestRandomForest:
+    def test_learns_separable_data(self, clinical_rows, features):
+        model = RandomForestClassifier(n_trees=15, seed=1).fit(
+            clinical_rows, "cls", features
+        )
+        predicted = model.predict_many(clinical_rows)
+        assert accuracy([r["cls"] for r in clinical_rows], predicted) >= 0.9
+
+    def test_deterministic_given_seed(self, clinical_rows, features):
+        a = RandomForestClassifier(n_trees=8, seed=3).fit(
+            clinical_rows, "cls", features
+        )
+        b = RandomForestClassifier(n_trees=8, seed=3).fit(
+            clinical_rows, "cls", features
+        )
+        assert a.predict_many(clinical_rows[:40]) == b.predict_many(
+            clinical_rows[:40]
+        )
+
+    def test_oob_accuracy_reasonable(self, clinical_rows, features):
+        model = RandomForestClassifier(n_trees=20, seed=2).fit(
+            clinical_rows, "cls", features
+        )
+        oob = model.oob_accuracy()
+        assert oob is not None and oob >= 0.8
+
+    def test_proba_sums_to_one(self, clinical_rows, features):
+        model = RandomForestClassifier(n_trees=9, seed=0).fit(
+            clinical_rows, "cls", features
+        )
+        probabilities = model.predict_proba(clinical_rows[0])
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_feature_usage_counts(self, clinical_rows, features):
+        model = RandomForestClassifier(n_trees=10, seed=0).fit(
+            clinical_rows, "cls", features
+        )
+        usage = model.feature_usage()
+        assert set(usage) == set(features)
+        assert sum(usage.values()) == 10 * 2  # sqrt(4) = 2 features/tree
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict({})
+
+    def test_bad_params(self):
+        with pytest.raises(MiningError):
+            RandomForestClassifier(n_trees=0)
+        with pytest.raises(MiningError):
+            RandomForestClassifier(feature_fraction=2.0).fit(
+                [{"a": 1, "cls": "x"}, {"a": 2, "cls": "y"}], "cls", ["a"]
+            )
+
+
+class TestRoc:
+    def test_perfect_classifier_auc_one(self):
+        labels = ["pos"] * 5 + ["neg"] * 5
+        scores = [0.9, 0.8, 0.85, 0.95, 0.7, 0.3, 0.2, 0.1, 0.25, 0.15]
+        assert auc_score(labels, scores, "pos") == pytest.approx(1.0)
+
+    def test_random_scores_auc_half(self):
+        rng = random.Random(0)
+        labels = [rng.choice(["pos", "neg"]) for __ in range(2000)]
+        scores = [rng.random() for __ in range(2000)]
+        assert auc_score(labels, scores, "pos") == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_classifier_auc_zero(self):
+        labels = ["pos", "neg"]
+        scores = [0.1, 0.9]
+        assert auc_score(labels, scores, "pos") == pytest.approx(0.0)
+
+    def test_curve_monotone(self):
+        rng = random.Random(1)
+        labels = [rng.choice(["p", "n"]) for __ in range(100)]
+        scores = [rng.random() for __ in range(100)]
+        curve = roc_curve(labels, scores, "p")
+        tprs = [p.true_positive_rate for p in curve.points]
+        fprs = [p.false_positive_rate for p in curve.points]
+        assert tprs == sorted(tprs)
+        assert fprs == sorted(fprs)
+        assert tprs[-1] == 1.0 and fprs[-1] == 1.0
+
+    def test_best_threshold_separates(self):
+        labels = ["pos"] * 4 + ["neg"] * 4
+        scores = [0.9, 0.8, 0.7, 0.65, 0.4, 0.3, 0.2, 0.1]
+        threshold = roc_curve(labels, scores, "pos").best_threshold()
+        assert 0.4 <= threshold <= 0.65
+
+    def test_single_class_rejected(self):
+        with pytest.raises(MiningError):
+            roc_curve(["pos", "pos"], [0.5, 0.6], "pos")
+
+    def test_model_scores_give_high_auc(self, clinical_rows, features):
+        model = NaiveBayesClassifier().fit(clinical_rows, "cls", features)
+        scores = [
+            model.predict_proba(row)["diabetes"] for row in clinical_rows
+        ]
+        labels = [row["cls"] for row in clinical_rows]
+        assert auc_score(labels, scores, "diabetes") > 0.95
+
+
+class TestSilhouette:
+    @pytest.fixture()
+    def blobs(self):
+        rng = random.Random(6)
+        rows = []
+        for __ in range(40):
+            rows.append({"x": rng.gauss(0, 0.4), "y": rng.gauss(0, 0.4)})
+        for __ in range(40):
+            rows.append({"x": rng.gauss(6, 0.4), "y": rng.gauss(6, 0.4)})
+        return rows
+
+    def test_good_split_scores_high(self, blobs):
+        labels = [0] * 40 + [1] * 40
+        assert silhouette_score(blobs, ["x", "y"], labels) > 0.8
+
+    def test_bad_split_scores_low(self, blobs):
+        labels = [i % 2 for i in range(80)]  # splits straight through blobs
+        assert silhouette_score(blobs, ["x", "y"], labels) < 0.2
+
+    def test_pick_k_recovers_two(self, blobs):
+        best, scores = pick_k_by_silhouette(blobs, ["x", "y"], k_range=(2, 3, 4))
+        assert best == 2
+        assert scores[2] > scores[3]
+
+    def test_single_cluster_rejected(self, blobs):
+        with pytest.raises(MiningError):
+            silhouette_score(blobs, ["x", "y"], [0] * len(blobs))
+
+    def test_kmeans_labels_compatible(self, blobs):
+        model = KMeans(2, seed=0).fit(blobs, ["x", "y"])
+        assert silhouette_score(blobs, ["x", "y"], model.labels) > 0.7

@@ -1,0 +1,112 @@
+"""Tests for metrics and validation utilities."""
+
+import math
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.metrics import ConfusionMatrix, accuracy, entropy, f1_score, gini
+from repro.mining.naive_bayes import NaiveBayesClassifier
+from repro.mining.validation import cross_validate, stratified_k_fold, train_test_split
+
+
+class TestImpurity:
+    def test_entropy_pure_is_zero(self):
+        assert entropy(["a", "a", "a"]) == 0.0
+
+    def test_entropy_uniform_binary_is_one(self):
+        assert entropy(["a", "b"]) == pytest.approx(1.0)
+
+    def test_entropy_empty(self):
+        assert entropy([]) == 0.0
+
+    def test_gini_bounds(self):
+        assert gini(["a", "a"]) == 0.0
+        assert gini(["a", "b"]) == pytest.approx(0.5)
+
+
+class TestConfusionMatrix:
+    @pytest.fixture()
+    def matrix(self):
+        actual = ["y", "y", "y", "n", "n", "n"]
+        predicted = ["y", "y", "n", "n", "n", "y"]
+        return ConfusionMatrix(actual, predicted)
+
+    def test_counts(self, matrix):
+        assert matrix.count("y", "y") == 2
+        assert matrix.count("y", "n") == 1
+
+    def test_accuracy(self, matrix):
+        assert matrix.accuracy() == pytest.approx(4 / 6)
+
+    def test_precision_recall_f1(self, matrix):
+        assert matrix.precision("y") == pytest.approx(2 / 3)
+        assert matrix.recall("y") == pytest.approx(2 / 3)
+        assert matrix.f1("y") == pytest.approx(2 / 3)
+
+    def test_class_never_predicted(self):
+        matrix = ConfusionMatrix(["a", "b"], ["a", "a"])
+        assert matrix.precision("b") == 0.0
+        assert matrix.f1("b") == 0.0
+
+    def test_macro_f1(self, matrix):
+        expected = (matrix.f1("y") + matrix.f1("n")) / 2
+        assert matrix.macro_f1() == pytest.approx(expected)
+
+    def test_length_mismatch(self):
+        with pytest.raises(MiningError):
+            ConfusionMatrix(["a"], ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MiningError):
+            ConfusionMatrix([], [])
+
+    def test_to_text(self, matrix):
+        text = matrix.to_text()
+        assert "actual" in text and "y" in text
+
+    def test_module_level_shortcuts(self):
+        assert accuracy(["a", "b"], ["a", "b"]) == 1.0
+        assert f1_score(["a", "b"], ["a", "a"], "a") == pytest.approx(2 / 3)
+
+
+class TestSplits:
+    def test_train_test_sizes(self, clinical_rows):
+        train, test = train_test_split(clinical_rows, test_fraction=0.25, seed=3)
+        assert len(train) + len(test) == len(clinical_rows)
+        assert len(test) == 75
+
+    def test_split_deterministic(self, clinical_rows):
+        a = train_test_split(clinical_rows, seed=5)
+        b = train_test_split(clinical_rows, seed=5)
+        assert a == b
+
+    def test_bad_fraction(self, clinical_rows):
+        with pytest.raises(MiningError):
+            train_test_split(clinical_rows, test_fraction=1.5)
+
+    def test_stratified_folds_partition(self, clinical_rows):
+        folds = stratified_k_fold(clinical_rows, "cls", k=5, seed=1)
+        assert len(folds) == 5
+        total_test = sum(len(test) for __, test in folds)
+        assert total_test == len(clinical_rows)
+
+    def test_stratification_preserves_ratio(self, clinical_rows):
+        overall = sum(1 for r in clinical_rows if r["cls"] == "diabetes") / len(
+            clinical_rows
+        )
+        for __, test in stratified_k_fold(clinical_rows, "cls", k=5):
+            ratio = sum(1 for r in test if r["cls"] == "diabetes") / len(test)
+            assert math.isclose(ratio, overall, abs_tol=0.1)
+
+    def test_k_too_large(self):
+        with pytest.raises(MiningError):
+            stratified_k_fold([{"cls": "a"}], "cls", k=2)
+
+    def test_cross_validate_reports(self, clinical_rows, features):
+        result = cross_validate(
+            NaiveBayesClassifier, clinical_rows, "cls", features, k=4
+        )
+        assert 0.8 <= result["mean_accuracy"] <= 1.0
+        assert result["min_accuracy"] <= result["mean_accuracy"] <= result["max_accuracy"]
+        assert result["folds"] == 4.0

@@ -1,0 +1,150 @@
+"""Tests for the materialised aggregate lattice."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import OLAPError
+from repro.olap.cube import Cube
+from repro.olap.materialized import MaterializedCube
+from repro.tabular import Table
+from repro.warehouse.dimension import Dimension
+from repro.warehouse.fact import Measure
+from repro.warehouse.loader import DimensionSpec, WarehouseLoader
+
+
+def build_cube(rows):
+    loader = WarehouseLoader(
+        "m", "f",
+        [
+            DimensionSpec(Dimension("d", {"g": "str", "band": "str"})),
+            DimensionSpec(Dimension("card", {"pid": "int"})),
+        ],
+        [Measure.of("v", "float", "mean"),
+         Measure.of("n_add", "int", "sum", additive=True)],
+        measure_columns={"n_add": "pid"},
+    )
+    loader.load(Table.from_rows(rows))
+    return Cube(loader.schema)
+
+
+@pytest.fixture()
+def cube():
+    rows = [
+        {"g": "F", "band": "a", "pid": 1, "v": 7.0},
+        {"g": "F", "band": "a", "pid": 1, "v": 8.0},
+        {"g": "M", "band": "a", "pid": 2, "v": 6.0},
+        {"g": "F", "band": "b", "pid": 3, "v": 5.0},
+        {"g": "M", "band": "b", "pid": 4, "v": 4.0},
+    ]
+    return build_cube(rows)
+
+
+@pytest.fixture()
+def lattice(cube):
+    return MaterializedCube(cube).materialize([["d.g", "d.band"]])
+
+
+class TestMaterialization:
+    def test_nodes_and_storage(self, lattice):
+        assert lattice.nodes == [(("d.g", "d.band"), 4)]
+        assert lattice.storage_cells() == 4
+
+    def test_empty_group_rejected(self, cube):
+        with pytest.raises(OLAPError):
+            MaterializedCube(cube).materialize([[]])
+
+    def test_unknown_measure_rejected(self, cube):
+        with pytest.raises(Exception):
+            MaterializedCube(cube).materialize([["d.g"]], measures=["zz"])
+
+
+class TestAnswering:
+    def test_exact_hit(self, lattice, cube):
+        result = lattice.aggregate(["d.g", "d.band"])
+        base = cube.aggregate(["d.g", "d.band"])
+        assert result.to_rows() == base.to_rows()
+        assert lattice.stats.exact_hits == 1
+
+    def test_rollup_counts(self, lattice, cube):
+        result = lattice.aggregate(["d.g"])
+        base = cube.aggregate(["d.g"])
+        assert result.to_rows() == base.to_rows()
+        assert lattice.stats.rollup_hits == 1
+
+    def test_rollup_mean_recomposed(self, lattice, cube):
+        result = lattice.aggregate(["d.g"], {"m": ("v", "mean")})
+        base = cube.aggregate(["d.g"], {"m": ("v", "mean")})
+        for got, expected in zip(result.to_rows(), base.to_rows()):
+            assert got["m"] == pytest.approx(expected["m"])
+
+    def test_rollup_min_max(self, lattice, cube):
+        result = lattice.aggregate(
+            ["d.band"], {"lo": ("v", "min"), "hi": ("v", "max")}
+        )
+        base = cube.aggregate(["d.band"], {"lo": ("v", "min"), "hi": ("v", "max")})
+        assert result.to_rows() == base.to_rows()
+
+    def test_additive_sum_rolls_up(self, lattice, cube):
+        result = lattice.aggregate(["d.g"], {"s": ("n_add", "sum")})
+        base = cube.aggregate(["d.g"], {"s": ("n_add", "sum")})
+        assert result.to_rows() == base.to_rows()
+
+    def test_grand_total_from_lattice(self, lattice, cube):
+        result = lattice.aggregate([], {"n": ("records", "size")})
+        assert result.row(0)["n"] == cube.flat.num_rows
+        assert lattice.stats.rollup_hits == 1
+
+    def test_nunique_falls_back(self, lattice):
+        result = lattice.aggregate(["d.g"], {"p": ("card.pid", "nunique")})
+        assert lattice.stats.fallbacks == 1
+        by_g = {row["d.g"]: row["p"] for row in result.to_rows()}
+        assert by_g == {"F": 2, "M": 2}
+
+    def test_uncovered_levels_fall_back(self, lattice):
+        result = lattice.aggregate(["card.pid"])
+        assert lattice.stats.fallbacks == 1
+        assert result.num_rows == 4
+
+    def test_non_additive_sum_still_guarded(self, lattice):
+        with pytest.raises(OLAPError, match="non-additive"):
+            lattice.aggregate(["d.g"], {"s": ("v", "sum")})
+
+    def test_stats_summary(self, lattice):
+        lattice.aggregate(["d.g"])
+        assert "rolled up" in lattice.stats.summary()
+
+
+rows_strategy = st.lists(
+    st.fixed_dictionaries(
+        {
+            "g": st.sampled_from(["F", "M"]),
+            "band": st.sampled_from(["a", "b", "c"]),
+            "pid": st.integers(1, 6),
+            "v": st.floats(0, 50, allow_nan=False),
+        }
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(rows_strategy)
+@settings(max_examples=30, deadline=None)
+def test_property_lattice_matches_base(rows):
+    """Every lattice answer equals the base cube's answer."""
+    cube = build_cube(rows)
+    lattice = MaterializedCube(cube).materialize([["d.g", "d.band"]])
+    for levels in (["d.g"], ["d.band"], ["d.g", "d.band"]):
+        got = lattice.aggregate(
+            levels, {"n": ("records", "size"), "m": ("v", "mean")}
+        )
+        expected = cube.aggregate(
+            levels, {"n": ("records", "size"), "m": ("v", "mean")}
+        )
+        for g_row, e_row in zip(got.to_rows(), expected.to_rows()):
+            assert g_row["n"] == e_row["n"]
+            if e_row["m"] is None:
+                assert g_row["m"] is None
+            else:
+                assert g_row["m"] == pytest.approx(e_row["m"])

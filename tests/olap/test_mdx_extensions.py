@@ -1,0 +1,228 @@
+"""Tests for the MDX extensions: NON EMPTY, TOPCOUNT, FILTER, ORDER,
+member CHILDREN."""
+
+import pytest
+
+from repro.errors import EvaluationError, ParseError
+from repro.olap.cube import Cube
+from repro.olap.mdx.ast import FilterSet, MemberChildren, OrderSet, TopCount
+from repro.olap.mdx.evaluator import execute_mdx
+from repro.olap.mdx.parser import parse_mdx
+from repro.tabular import Table
+from repro.warehouse.attribute import Hierarchy
+from repro.warehouse.dimension import Dimension
+from repro.warehouse.fact import Measure
+from repro.warehouse.loader import DimensionSpec, WarehouseLoader
+
+
+@pytest.fixture()
+def cube():
+    rows = [
+        {"gender": "F", "b10": "70-80", "b5": "70-75", "pid": 1, "fbg": 7.0},
+        {"gender": "F", "b10": "70-80", "b5": "70-75", "pid": 1, "fbg": 7.5},
+        {"gender": "M", "b10": "70-80", "b5": "70-75", "pid": 2, "fbg": 8.0},
+        {"gender": "F", "b10": "70-80", "b5": "75-80", "pid": 3, "fbg": 6.5},
+        {"gender": "M", "b10": "40-50", "b5": "40-45", "pid": 4, "fbg": 5.0},
+        {"gender": "M", "b10": "40-50", "b5": "45-50", "pid": 5, "fbg": 5.2},
+    ]
+    loader = WarehouseLoader(
+        "discri", "facts",
+        [
+            DimensionSpec(
+                Dimension(
+                    "p",
+                    {"gender": "str", "b10": "str", "b5": "str", "pid": "int"},
+                    hierarchies=[Hierarchy("age", ["b10", "b5"])],
+                )
+            )
+        ],
+        [Measure.of("fbg", "float", "mean")],
+    )
+    loader.load(Table.from_rows(rows))
+    return Cube(loader.schema)
+
+
+class TestParsing:
+    def test_non_empty_flags(self):
+        query = parse_mdx(
+            "SELECT NON EMPTY [p].[gender].MEMBERS ON COLUMNS, "
+            "NON EMPTY [p].[b5].MEMBERS ON ROWS FROM discri"
+        )
+        assert query.non_empty_columns and query.non_empty_rows
+
+    def test_topcount_node(self):
+        query = parse_mdx(
+            "SELECT TOPCOUNT([p].[b5].MEMBERS, 2) ON COLUMNS FROM discri"
+        )
+        assert isinstance(query.columns, TopCount)
+        assert query.columns.count == 2
+
+    def test_topcount_with_measure(self):
+        query = parse_mdx(
+            "SELECT TOPCOUNT([p].[b5].MEMBERS, 2, [Measures].[fbg]) "
+            "ON COLUMNS FROM discri"
+        )
+        assert query.columns.measure.name == "fbg"
+
+    def test_topcount_rejects_fractional(self):
+        with pytest.raises(ParseError, match="positive integer"):
+            parse_mdx("SELECT TOPCOUNT([p].[b5].MEMBERS, 2.5) ON COLUMNS FROM c")
+
+    def test_filter_node(self):
+        query = parse_mdx(
+            "SELECT FILTER([p].[b5].MEMBERS, [Measures].[records] >= 2) "
+            "ON COLUMNS FROM discri"
+        )
+        assert isinstance(query.columns, FilterSet)
+        assert query.columns.comparator == ">="
+        assert query.columns.threshold == 2
+
+    def test_order_node(self):
+        query = parse_mdx(
+            "SELECT ORDER([p].[b5].MEMBERS, [Measures].[fbg], DESC) "
+            "ON COLUMNS FROM discri"
+        )
+        assert isinstance(query.columns, OrderSet)
+        assert query.columns.descending
+
+    def test_order_bad_direction(self):
+        # DOWN is not even a keyword; the parser rejects it at the token level
+        with pytest.raises(ParseError):
+            parse_mdx(
+                "SELECT ORDER([p].[b5].MEMBERS, [Measures].[fbg], DOWN) "
+                "ON COLUMNS FROM c"
+            )
+        with pytest.raises(ParseError, match="ASC or DESC"):
+            parse_mdx(
+                "SELECT ORDER([p].[b5].MEMBERS, [Measures].[fbg], ROWS) "
+                "ON COLUMNS FROM c"
+            )
+
+    def test_children_node(self):
+        query = parse_mdx(
+            "SELECT [p].[b10].[70-80].CHILDREN ON COLUMNS FROM discri"
+        )
+        assert query.columns == MemberChildren("p", "b10", "70-80")
+
+    def test_children_needs_member(self):
+        with pytest.raises(ParseError, match="CHILDREN"):
+            parse_mdx("SELECT [p].[b10].CHILDREN ON COLUMNS FROM c")
+
+    def test_render_round_trips(self):
+        for text in (
+            "SELECT NON EMPTY [p].[gender].MEMBERS ON COLUMNS FROM c",
+            "SELECT TOPCOUNT([p].[b5].MEMBERS, 3, [Measures].[fbg]) ON COLUMNS FROM c",
+            "SELECT FILTER([p].[b5].MEMBERS, [Measures].[records] > 1) ON COLUMNS FROM c",
+            "SELECT ORDER([p].[b5].MEMBERS, [Measures].[fbg], DESC) ON COLUMNS FROM c",
+            "SELECT [p].[b10].[70-80].CHILDREN ON COLUMNS FROM c",
+        ):
+            rendered = parse_mdx(text).render()
+            assert parse_mdx(rendered).render() == rendered
+
+
+class TestEvaluation:
+    def test_non_empty_drops_empty_rows(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT [p].[gender].MEMBERS ON COLUMNS, "
+            "NON EMPTY [p].[b5].MEMBERS ON ROWS "
+            "FROM discri WHERE [p].[b10].[70-80]",
+        )
+        assert ("40-45",) not in grid.row_keys
+        assert ("70-75",) in grid.row_keys
+
+    def test_without_non_empty_rows_remain(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT [p].[gender].MEMBERS ON COLUMNS, "
+            "[p].[b5].MEMBERS ON ROWS "
+            "FROM discri WHERE [p].[b10].[70-80]",
+        )
+        assert ("40-45",) in grid.row_keys
+
+    def test_topcount_by_records(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT {[Measures].[records]} ON COLUMNS, "
+            "TOPCOUNT([p].[b5].MEMBERS, 1) ON ROWS FROM discri",
+        )
+        assert grid.row_keys == [("70-75",)]
+        assert grid.value(("70-75",), ("records",)) == 3
+
+    def test_topcount_by_explicit_measure(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT {[Measures].[fbg]} ON COLUMNS, "
+            "TOPCOUNT([p].[b5].MEMBERS, 1, [Measures].[fbg]) ON ROWS "
+            "FROM discri",
+        )
+        assert grid.row_keys == [("70-75",)]  # mean fbg 7.5 is the peak
+
+    def test_filter_threshold(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT {[Measures].[records]} ON COLUMNS, "
+            "FILTER([p].[b5].MEMBERS, [Measures].[records] >= 2) ON ROWS "
+            "FROM discri",
+        )
+        assert grid.row_keys == [("70-75",)]
+
+    def test_filter_never_matches(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT {[Measures].[records]} ON COLUMNS, "
+            "FILTER([p].[b5].MEMBERS, [Measures].[records] > 99) ON ROWS "
+            "FROM discri",
+        )
+        assert grid.row_keys == []
+
+    def test_order_descending(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT {[Measures].[records]} ON COLUMNS, "
+            "ORDER([p].[b5].MEMBERS, [Measures].[records], DESC) ON ROWS "
+            "FROM discri",
+        )
+        counts = [grid.value(key, ("records",)) for key in grid.row_keys]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_order_ascending_default(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT {[Measures].[fbg]} ON COLUMNS, "
+            "ORDER([p].[b5].MEMBERS, [Measures].[fbg]) ON ROWS FROM discri",
+        )
+        means = [grid.value(key, ("fbg",)) for key in grid.row_keys]
+        assert means == sorted(means)
+
+    def test_children_resolve_through_hierarchy(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT [p].[gender].MEMBERS ON COLUMNS, "
+            "[p].[b10].[70-80].CHILDREN ON ROWS FROM discri",
+        )
+        assert set(grid.row_keys) == {("70-75",), ("75-80",)}
+
+    def test_children_without_hierarchy_rejected(self, cube):
+        with pytest.raises(EvaluationError, match="hierarchy"):
+            execute_mdx(
+                cube,
+                "SELECT [p].[gender].[F].CHILDREN ON COLUMNS FROM discri",
+            )
+
+    def test_children_of_finest_level_rejected(self, cube):
+        with pytest.raises(EvaluationError, match="finest"):
+            execute_mdx(
+                cube,
+                "SELECT [p].[b5].[70-75].CHILDREN ON COLUMNS FROM discri",
+            )
+
+    def test_topcount_over_crossjoin(self, cube):
+        grid = execute_mdx(
+            cube,
+            "SELECT {[Measures].[records]} ON COLUMNS, "
+            "TOPCOUNT(CROSSJOIN([p].[b10].MEMBERS, [p].[gender].MEMBERS), 2) "
+            "ON ROWS FROM discri",
+        )
+        assert len(grid.row_keys) == 2
+        assert grid.row_keys[0] == ("70-80", "F")

@@ -1,0 +1,93 @@
+"""Property-based OLAP invariants: cube results always match flat scans."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.olap.cube import Cube
+from repro.tabular import Table
+from repro.warehouse.dimension import Dimension
+from repro.warehouse.fact import Measure
+from repro.warehouse.loader import DimensionSpec, WarehouseLoader
+
+rows_strategy = st.lists(
+    st.fixed_dictionaries(
+        {
+            "g": st.sampled_from(["F", "M"]),
+            "band": st.sampled_from(["a", "b", "c"]),
+            "pid": st.integers(1, 8),
+            "v": st.floats(0, 100, allow_nan=False),
+        }
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def build_cube(rows):
+    loader = WarehouseLoader(
+        "prop", "f",
+        [
+            DimensionSpec(Dimension("d", {"g": "str", "band": "str"})),
+            DimensionSpec(Dimension("card", {"pid": "int"})),
+        ],
+        [Measure.of("v", "float", "mean")],
+    )
+    loader.load(Table.from_rows(rows))
+    return Cube(loader.schema)
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_cell_counts_sum_to_total(rows):
+    cube = build_cube(rows)
+    aggregate = cube.aggregate(["d.g", "d.band"])
+    assert sum(aggregate.column("records").to_list()) == len(rows)
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_cell_means_match_flat_recomputation(rows):
+    cube = build_cube(rows)
+    aggregate = cube.aggregate(["d.g"], {"m": ("v", "mean")})
+    for record in aggregate.to_rows():
+        expected = [r["v"] for r in rows if r["g"] == record["d.g"]]
+        assert record["m"] == pytest.approx(sum(expected) / len(expected))
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_rollup_is_consistent_with_drilldown(rows):
+    """Summing fine-level counts per coarse key equals the coarse counts."""
+    cube = build_cube(rows)
+    coarse = cube.aggregate(["d.g"])
+    fine = cube.aggregate(["d.g", "d.band"])
+    sums: dict[str, int] = {}
+    for record in fine.to_rows():
+        sums[record["d.g"]] = sums.get(record["d.g"], 0) + record["records"]
+    for record in coarse.to_rows():
+        assert sums[record["d.g"]] == record["records"]
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_distinct_patients_bounded_by_records(rows):
+    cube = build_cube(rows)
+    aggregate = cube.aggregate(
+        ["d.band"], {"patients": ("card.pid", "nunique"), "n": ("records", "size")}
+    )
+    for record in aggregate.to_rows():
+        assert 1 <= record["patients"] <= record["n"]
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_dice_never_increases_counts(rows):
+    cube = build_cube(rows)
+    full = cube.aggregate(["d.g"])
+    from repro.tabular import col
+
+    diced = cube.aggregate(["d.g"], filters=col("d.band").isin(["a", "b"]))
+    full_counts = {r["d.g"]: r["records"] for r in full.to_rows()}
+    for record in diced.to_rows():
+        assert record["records"] <= full_counts[record["d.g"]]

@@ -1,0 +1,166 @@
+"""Tests for the query builder, crosstabs and the OLAP verbs."""
+
+import pytest
+
+from repro.errors import HierarchyError, OLAPError
+from repro.olap.crosstab import Crosstab
+from repro.olap.cube import Cube
+from repro.olap.operations import dice, drill_down, pivot, roll_up, slice_cube
+from repro.tabular import Table
+from repro.warehouse.attribute import Hierarchy
+from repro.warehouse.dimension import Dimension
+from repro.warehouse.fact import Measure
+from repro.warehouse.loader import DimensionSpec, WarehouseLoader
+
+
+@pytest.fixture()
+def cube_h():
+    rows = [
+        {"gender": "F", "b10": "70-80", "b5": "70-75", "pid": 1, "fbg": 7.0},
+        {"gender": "M", "b10": "70-80", "b5": "70-75", "pid": 2, "fbg": 8.0},
+        {"gender": "F", "b10": "70-80", "b5": "75-80", "pid": 3, "fbg": 6.5},
+        {"gender": "M", "b10": "40-50", "b5": "40-45", "pid": 4, "fbg": 5.0},
+        {"gender": "F", "b10": "70-80", "b5": "70-75", "pid": 1, "fbg": 7.5},
+    ]
+    loader = WarehouseLoader(
+        "h", "facts",
+        [
+            DimensionSpec(
+                Dimension(
+                    "p",
+                    {"gender": "str", "b10": "str", "b5": "str", "pid": "int"},
+                    hierarchies=[Hierarchy("age", ["b10", "b5"])],
+                )
+            )
+        ],
+        [Measure.of("fbg", "float", "mean")],
+    )
+    loader.load(Table.from_rows(rows))
+    return Cube(loader.schema)
+
+
+class TestQueryBuilder:
+    def test_rows_columns_counts(self, cube_h):
+        grid = cube_h.query().rows("b10").columns("gender").count_records().execute()
+        assert grid.value(("70-80",), ("F",)) == 3
+        assert grid.value(("40-50",), ("F",)) is None
+
+    def test_count_distinct(self, cube_h):
+        grid = (
+            cube_h.query().rows("b10").columns("gender")
+            .count_distinct("pid", name="patients").execute()
+        )
+        assert grid.value(("70-80",), ("F",)) == 2
+
+    def test_measure_mean(self, cube_h):
+        grid = (
+            cube_h.query().rows("gender").measure("fbg", "mean").execute()
+        )
+        assert grid.value(("M",), ("mean_fbg",)) == pytest.approx(6.5)
+
+    def test_where_filters(self, cube_h):
+        grid = (
+            cube_h.query().rows("b10").columns("gender")
+            .count_records().where("gender", "F").execute()
+        )
+        assert grid.value(("70-80",), ("F",)) == 3
+        assert grid.value(("70-80",), ("M",)) is None
+
+    def test_columns_only_query(self, cube_h):
+        grid = cube_h.query().columns("gender").count_records().execute()
+        assert grid.value(("records",), ("F",)) == 3
+
+    def test_no_axes_rejected(self, cube_h):
+        with pytest.raises(OLAPError):
+            cube_h.query().count_records().execute()
+
+    def test_empty_where_rejected(self, cube_h):
+        with pytest.raises(OLAPError):
+            cube_h.query().rows("b10").where("gender")
+
+
+class TestOperations:
+    def test_drill_down_swaps_level(self, cube_h):
+        q = cube_h.query().rows("b10").columns("gender").count_records().build()
+        q2 = drill_down(q, cube_h, "b10")
+        assert q2.rows == ("p.b5",)
+        grid = q2.execute(cube_h)
+        assert grid.value(("70-75",), ("F",)) == 2
+
+    def test_roll_up_inverse(self, cube_h):
+        q = cube_h.query().rows("b5").count_records().build()
+        q2 = roll_up(q, cube_h, "b5")
+        assert q2.rows == ("p.b10",)
+
+    def test_drill_without_hierarchy_rejected(self, cube_h):
+        q = cube_h.query().rows("gender").count_records().build()
+        with pytest.raises(HierarchyError):
+            drill_down(q, cube_h, "gender")
+
+    def test_drill_level_not_on_axis_rejected(self, cube_h):
+        q = cube_h.query().rows("gender").count_records().build()
+        with pytest.raises(OLAPError, match="axis"):
+            drill_down(q, cube_h, "b10")
+
+    def test_slice_removes_level_and_filters(self, cube_h):
+        q = cube_h.query().rows("b10").columns("gender").count_records().build()
+        sliced = slice_cube(q, "p.gender", "F")
+        assert sliced.columns == ()
+        grid = sliced.execute(cube_h)
+        assert grid.value(("70-80",), ("records",)) == 3
+
+    def test_dice_restricts_members(self, cube_h):
+        q = cube_h.query().rows("b5").columns("gender").count_records().build()
+        diced = dice(q, {"p.b5": ["70-75"]})
+        grid = diced.execute(cube_h)
+        assert [key for key in grid.row_keys] == [("70-75",)]
+
+    def test_dice_empty_rejected(self, cube_h):
+        q = cube_h.query().rows("b5").count_records().build()
+        with pytest.raises(OLAPError):
+            dice(q, {"p.b5": []})
+
+    def test_pivot_swaps_axes(self, cube_h):
+        q = cube_h.query().rows("b10").columns("gender").count_records().build()
+        swapped = pivot(q)
+        assert swapped.rows == ("p.gender",)
+        assert swapped.columns == ("p.b10",)
+
+    def test_successive_filters_intersect(self, cube_h):
+        q = cube_h.query().rows("b10").count_records().build()
+        q = dice(q, {"p.gender": ["F", "M"]})
+        q = dice(q, {"p.gender": ["F"]})
+        assert q.member_filters["p.gender"] == ("F",)
+
+
+class TestCrosstab:
+    @pytest.fixture()
+    def grid(self, cube_h):
+        return cube_h.query().rows("b10").columns("gender").count_records().execute()
+
+    def test_totals(self, grid):
+        assert grid.grand_total() == 5
+        assert grid.row_totals()[("70-80",)] == 4
+
+    def test_series(self, grid):
+        series = dict(grid.series("F"))
+        assert series[("70-80",)] == 3
+
+    def test_series_unknown_column(self, grid):
+        with pytest.raises(OLAPError):
+            grid.series("X")
+
+    def test_sorted_rows(self, grid):
+        ordered = grid.sorted_rows()
+        assert ordered.row_keys == sorted(grid.row_keys, key=str)
+
+    def test_to_table_round_trip(self, grid):
+        table = grid.to_table()
+        rebuilt = Crosstab.from_aggregate(
+            table, grid.row_levels, grid.col_levels, grid.value_name
+        )
+        assert rebuilt.cells == grid.cells
+
+    def test_to_text_with_totals(self, grid):
+        text = grid.to_text(with_totals=True)
+        assert "TOTAL" in text

@@ -1,0 +1,50 @@
+"""Tests for the budget shadow price (LP duals)."""
+
+import pytest
+
+from repro.optimize.regimen import (
+    RegimenProblem,
+    TreatmentOutcome,
+    optimize_regimen,
+)
+
+
+def _problem(budget: float) -> RegimenProblem:
+    return RegimenProblem(
+        group_sizes={"pre": 100, "diab": 50},
+        outcomes=[
+            TreatmentOutcome("pre", "lifestyle", 0.4, 100),
+            TreatmentOutcome("pre", "drug", 0.5, 300),
+            TreatmentOutcome("diab", "drug", 0.8, 300),
+            TreatmentOutcome("diab", "intensive", 1.1, 900),
+        ],
+        budget=budget,
+    )
+
+
+def test_shadow_price_positive_when_budget_binds():
+    plan = optimize_regimen(_problem(10_000))
+    assert plan.total_cost == pytest.approx(10_000)
+    assert plan.budget_shadow_price is not None
+    assert plan.budget_shadow_price > 0
+
+
+def test_shadow_price_zero_when_budget_slack():
+    plan = optimize_regimen(_problem(10**7))
+    assert plan.total_cost < 10**7
+    assert plan.budget_shadow_price == pytest.approx(0.0)
+
+
+def test_shadow_price_predicts_marginal_benefit():
+    """The dual matches the finite-difference benefit of +Δ budget."""
+    base = optimize_regimen(_problem(20_000))
+    bumped = optimize_regimen(_problem(20_000 + 100))
+    finite_difference = (bumped.total_benefit - base.total_benefit) / 100
+    assert base.budget_shadow_price == pytest.approx(
+        finite_difference, rel=1e-6, abs=1e-9
+    )
+
+
+def test_shadow_price_in_summary():
+    text = optimize_regimen(_problem(10_000)).summary()
+    assert "marginal benefit" in text

@@ -1,0 +1,64 @@
+"""Tests for Markov absorption analysis (expected steps to a stage)."""
+
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.markov import StageTransitionModel
+
+
+def test_expected_steps_simple_chain():
+    """A deterministic a->b->c chain takes exactly 2 and 1 steps."""
+    model = StageTransitionModel(smoothing=0.0).fit(
+        [["a", "b", "c"]] * 10
+    )
+    steps = model.expected_steps_to("c")
+    assert steps["c"] == 0.0
+    assert steps["b"] == pytest.approx(1.0)
+    assert steps["a"] == pytest.approx(2.0)
+
+
+def test_expected_steps_geometric():
+    """With P(progress)=0.5 per step, expectation is 1/0.5 = 2."""
+    sequences = [["x", "x"], ["x", "y"]] * 20  # half stay, half progress
+    model = StageTransitionModel(smoothing=0.0).fit(sequences)
+    steps = model.expected_steps_to("y")
+    assert steps["x"] == pytest.approx(2.0)
+
+
+def test_smoothed_cohort_model_orders_stages(cohort):
+    """Closer stages reach 'Diabetic' sooner in the cohort model."""
+    from repro.discri.schemes import FBG_SCHEME
+    from repro.prediction.trajectory import TrajectoryPredictor
+
+    rows = []
+    for row in cohort.select(["patient_id", "visit_date", "fbg"]).iter_rows():
+        if row["fbg"] is None:
+            continue
+        rows.append(
+            {
+                "pid": row["patient_id"],
+                "when": row["visit_date"],
+                "stage": FBG_SCHEME.assign(row["fbg"]),
+            }
+        )
+    rows.sort(key=lambda r: (r["pid"], r["when"]))
+    for order, row in enumerate(rows):
+        row["order"] = order
+    predictor = TrajectoryPredictor(rows, "pid", "order", "stage")
+    steps = predictor.model.expected_steps_to("Diabetic")
+    assert steps["Diabetic"] == 0.0
+    assert steps["preDiabetic"] < steps["very good"]
+
+
+def test_unknown_target_rejected():
+    model = StageTransitionModel().fit([["a", "b"]])
+    with pytest.raises(PredictionError, match="unknown target"):
+        model.expected_steps_to("zz")
+
+
+def test_unreachable_target_is_infinite():
+    model = StageTransitionModel(smoothing=0.0).fit(
+        [["a", "a", "a"], ["b", "c"]]
+    )
+    steps = model.expected_steps_to("c")
+    assert steps["a"] == float("inf") or steps["a"] > 1e12

@@ -1,0 +1,180 @@
+"""Tests for similarity retrieval, Markov stages and trajectories."""
+
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.markov import StageTransitionModel
+from repro.prediction.similarity import SimilarPatientIndex
+from repro.prediction.trajectory import (
+    TrajectoryPredictor,
+    extract_stage_sequences,
+)
+
+
+@pytest.fixture()
+def sequences():
+    return [
+        ["normal", "normal", "preDiabetic"],
+        ["normal", "preDiabetic", "Diabetic"],
+        ["preDiabetic", "Diabetic", "Diabetic"],
+        ["normal", "normal", "normal"],
+        ["preDiabetic", "preDiabetic", "Diabetic"],
+    ]
+
+
+class TestStageModel:
+    def test_distribution_sums_to_one(self, sequences):
+        model = StageTransitionModel().fit(sequences)
+        for stage in model.states:
+            assert sum(model.distribution_after(stage).values()) == pytest.approx(1.0)
+
+    def test_predicts_forward_progression(self, sequences):
+        model = StageTransitionModel().fit(sequences)
+        assert model.predict_next("preDiabetic") == "Diabetic"
+
+    def test_diabetic_absorbing_in_data(self, sequences):
+        model = StageTransitionModel().fit(sequences)
+        assert model.predict_next("Diabetic") == "Diabetic"
+
+    def test_smoothing_keeps_unseen_transitions_possible(self, sequences):
+        model = StageTransitionModel(smoothing=0.5).fit(sequences)
+        assert model.transition_probability("Diabetic", "normal") > 0.0
+
+    def test_unknown_stage_raises(self, sequences):
+        model = StageTransitionModel().fit(sequences)
+        with pytest.raises(PredictionError, match="unknown stage"):
+            model.transition_probability("cured", "normal")
+
+    def test_no_transitions_rejected(self):
+        with pytest.raises(PredictionError):
+            StageTransitionModel().fit([["only"]])
+
+    def test_predict_path_length(self, sequences):
+        model = StageTransitionModel().fit(sequences)
+        assert len(model.predict_path("normal", 3)) == 3
+
+    def test_stationary_sums_to_one(self, sequences):
+        model = StageTransitionModel().fit(sequences)
+        assert sum(model.stationary_hint().values()) == pytest.approx(1.0)
+
+    def test_sequence_likelihood_in_unit_interval(self, sequences):
+        model = StageTransitionModel().fit(sequences)
+        likelihood = model.sequence_likelihood(["normal", "preDiabetic", "Diabetic"])
+        assert 0.0 < likelihood < 1.0
+
+    def test_likelihood_needs_two_stages(self, sequences):
+        model = StageTransitionModel().fit(sequences)
+        with pytest.raises(PredictionError):
+            model.sequence_likelihood(["normal"])
+
+
+class TestSimilarity:
+    @pytest.fixture()
+    def index(self):
+        rows = [
+            {"pid": 1, "age": 60, "sex": "F", "bmi": 28.0},
+            {"pid": 2, "age": 62, "sex": "F", "bmi": 29.0},
+            {"pid": 3, "age": 30, "sex": "M", "bmi": 22.0},
+        ]
+        return SimilarPatientIndex(rows, ["age", "sex", "bmi"], "pid")
+
+    def test_identical_is_most_similar(self, index):
+        probe = {"pid": 99, "age": 60, "sex": "F", "bmi": 28.0}
+        ranked = index.most_similar(probe, top=3)
+        assert ranked[0][1]["pid"] == 1
+        assert ranked[0][0] == pytest.approx(1.0)
+
+    def test_same_patient_excluded(self, index):
+        probe = {"pid": 1, "age": 60, "sex": "F", "bmi": 28.0}
+        ranked = index.most_similar(probe, top=3)
+        assert all(row["pid"] != 1 for __, row in ranked)
+
+    def test_missing_attribute_scores_zero(self, index):
+        probe = {"pid": 99, "age": 60}
+        full = {"pid": 98, "age": 60, "sex": "F", "bmi": 28.0}
+        assert index.similarity(probe, full) == pytest.approx(1 / 3)
+
+    def test_cohort_threshold(self, index):
+        probe = {"pid": 99, "age": 61, "sex": "F", "bmi": 28.5}
+        cohort = index.cohort_for(probe, min_similarity=0.9)
+        assert {row["pid"] for row in cohort} == {1, 2}
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(PredictionError):
+            SimilarPatientIndex([], ["a"], "pid")
+
+
+@pytest.fixture()
+def visit_rows():
+    rows = []
+    sequences = {
+        1: ["normal", "preDiabetic", "Diabetic"],
+        2: ["normal", "normal", "preDiabetic"],
+        3: ["preDiabetic", "Diabetic", "Diabetic"],
+        4: ["normal", "preDiabetic", "Diabetic"],
+        5: ["preDiabetic", "preDiabetic", "Diabetic"],
+        6: ["normal", "normal", "normal"],
+    }
+    for pid, stages in sequences.items():
+        for visit, stage in enumerate(stages, start=1):
+            rows.append(
+                {"pid": pid, "visit": visit, "stage": stage, "age": 55 + pid}
+            )
+    return rows
+
+
+class TestTrajectory:
+    def test_extract_sequences_ordered(self, visit_rows):
+        shuffled = list(reversed(visit_rows))
+        sequences = extract_stage_sequences(shuffled, "pid", "visit", "stage")
+        assert sequences[1] == ["normal", "preDiabetic", "Diabetic"]
+
+    def test_extract_skips_nulls(self):
+        rows = [
+            {"pid": 1, "visit": 1, "stage": "a"},
+            {"pid": 1, "visit": 2, "stage": None},
+            {"pid": 1, "visit": 3, "stage": "b"},
+        ]
+        assert extract_stage_sequences(rows, "pid", "visit", "stage")[1] == ["a", "b"]
+
+    def test_predict_next_stage(self, visit_rows):
+        predictor = TrajectoryPredictor(visit_rows, "pid", "visit", "stage")
+        stage, distribution = predictor.predict_next_stage(
+            {"pid": 99, "stage": "preDiabetic"}
+        )
+        assert stage == "Diabetic"
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_missing_stage_rejected(self, visit_rows):
+        predictor = TrajectoryPredictor(visit_rows, "pid", "visit", "stage")
+        with pytest.raises(PredictionError):
+            predictor.predict_next_stage({"pid": 99})
+
+    def test_known_trajectory_supported(self, visit_rows):
+        predictor = TrajectoryPredictor(visit_rows, "pid", "visit", "stage")
+        validation = predictor.validate_trajectory(
+            ["normal", "preDiabetic", "Diabetic"]
+        )
+        assert validation.supported
+        assert validation.relative_plausibility > 0.5
+
+    def test_implausible_trajectory_unsupported(self, visit_rows):
+        predictor = TrajectoryPredictor(visit_rows, "pid", "visit", "stage")
+        validation = predictor.validate_trajectory(
+            ["Diabetic", "normal", "Diabetic", "normal"]
+        )
+        assert not validation.supported
+
+    def test_similarity_conditioning_used(self, visit_rows):
+        predictor = TrajectoryPredictor(
+            visit_rows, "pid", "visit", "stage", similarity_attributes=["age"]
+        )
+        stage, __ = predictor.predict_next_stage(
+            {"pid": 99, "stage": "preDiabetic", "age": 58}
+        )
+        assert stage in ("preDiabetic", "Diabetic")
+
+    def test_no_usable_sequences_rejected(self):
+        rows = [{"pid": 1, "visit": 1, "stage": "a"}]
+        with pytest.raises(PredictionError):
+            TrajectoryPredictor(rows, "pid", "visit", "stage")

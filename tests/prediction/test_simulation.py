@@ -1,0 +1,110 @@
+"""Tests for the cohort progression simulator."""
+
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.markov import StageTransitionModel
+from repro.prediction.simulation import CohortSimulator
+
+
+@pytest.fixture()
+def model():
+    sequences = [
+        ["normal", "normal", "preDiabetic"],
+        ["normal", "preDiabetic", "Diabetic"],
+        ["preDiabetic", "Diabetic", "Diabetic"],
+        ["normal", "normal", "normal"],
+        ["preDiabetic", "preDiabetic", "Diabetic"],
+        ["Diabetic", "Diabetic", "Diabetic"],
+    ]
+    return StageTransitionModel(smoothing=0.2).fit(sequences)
+
+
+@pytest.fixture()
+def simulator(model):
+    return CohortSimulator(model)
+
+
+class TestExpectedProjection:
+    def test_size_conserved(self, simulator):
+        projection = simulator.project_expected(
+            {"normal": 100, "preDiabetic": 40, "Diabetic": 20}, periods=5
+        )
+        for step in projection.steps:
+            assert step.total() == pytest.approx(160.0)
+
+    def test_diabetic_fraction_grows(self, simulator):
+        projection = simulator.project_expected(
+            {"normal": 100, "preDiabetic": 40, "Diabetic": 20}, periods=6
+        )
+        series = projection.series("Diabetic")
+        assert series[-1] > series[0]
+        # monotone under a forward-progressing model
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+    def test_step_zero_is_initial(self, simulator):
+        projection = simulator.project_expected({"normal": 10}, periods=2)
+        assert projection.steps[0].counts["normal"] == 10.0
+
+    def test_unknown_stage_rejected(self, simulator):
+        with pytest.raises(PredictionError, match="unknown stages"):
+            simulator.project_expected({"cured": 5}, periods=1)
+
+    def test_empty_cohort_rejected(self, simulator):
+        with pytest.raises(PredictionError):
+            simulator.project_expected({"normal": 0}, periods=1)
+
+    def test_negative_count_rejected(self, simulator):
+        with pytest.raises(PredictionError):
+            simulator.project_expected({"normal": -1}, periods=1)
+
+    def test_bad_periods(self, simulator):
+        with pytest.raises(PredictionError):
+            simulator.project_expected({"normal": 10}, periods=0)
+
+    def test_to_text(self, simulator):
+        projection = simulator.project_expected({"normal": 10}, periods=2)
+        text = projection.to_text()
+        assert "period" in text and "Diabetic" in text
+
+
+class TestMonteCarlo:
+    def test_mean_close_to_expected(self, simulator):
+        initial = {"normal": 60, "preDiabetic": 30, "Diabetic": 10}
+        expected = simulator.project_expected(initial, periods=3)
+        sampled, bands = simulator.project_monte_carlo(
+            initial, periods=3, runs=200, seed=1
+        )
+        for state in ("normal", "preDiabetic", "Diabetic"):
+            assert sampled.final().counts[state] == pytest.approx(
+                expected.final().counts[state], abs=6.0
+            )
+            low, high = bands[state]
+            assert low <= high
+
+    def test_deterministic_given_seed(self, simulator):
+        initial = {"normal": 30, "Diabetic": 10}
+        a, __ = simulator.project_monte_carlo(initial, 2, runs=20, seed=5)
+        b, __ = simulator.project_monte_carlo(initial, 2, runs=20, seed=5)
+        assert a.final().counts == b.final().counts
+
+    def test_size_conserved_each_run(self, simulator):
+        projection, __ = simulator.project_monte_carlo(
+            {"normal": 25, "Diabetic": 5}, periods=4, runs=10, seed=0
+        )
+        for step in projection.steps:
+            assert step.total() == pytest.approx(30.0)
+
+
+class TestStrategicIntegration:
+    def test_project_case_mix(self):
+        from repro.dgms.system import DDDGMS
+        from repro.dgms.users import StrategicSession
+        from repro.discri.generator import DiScRiGenerator
+
+        system = DDDGMS(DiScRiGenerator(n_patients=120, seed=37).generate())
+        session = StrategicSession(system, "admin")
+        projection = session.project_case_mix(periods=3)
+        assert len(projection.steps) == 4
+        assert projection.final().total() > 0
+        assert any("projected" in line for line in session.journal)

@@ -1,0 +1,80 @@
+"""Tests for hash and sorted indexes."""
+
+from repro.storage.index import (
+    HashIndex,
+    SortedIndex,
+    build_hash_index,
+    build_sorted_index,
+)
+
+
+class TestHashIndex:
+    def test_add_lookup(self):
+        index = HashIndex("c")
+        index.add("a", 0)
+        index.add("a", 1)
+        index.add("b", 2)
+        assert index.lookup("a") == {0, 1}
+        assert index.lookup("b") == {2}
+        assert index.lookup("z") == set()
+
+    def test_nulls_never_indexed(self):
+        index = HashIndex("c")
+        index.add(None, 0)
+        assert index.lookup(None) == set()
+        assert len(index) == 0
+
+    def test_remove(self):
+        index = HashIndex("c")
+        index.add("a", 0)
+        index.remove("a", 0)
+        assert index.lookup("a") == set()
+        index.remove("a", 0)  # idempotent
+
+    def test_distinct_values(self):
+        index = build_hash_index("c", ["x", "y", "x", None])
+        assert sorted(index.distinct_values()) == ["x", "y"]
+
+    def test_lookup_returns_copy(self):
+        index = HashIndex("c")
+        index.add("a", 0)
+        result = index.lookup("a")
+        result.add(99)
+        assert index.lookup("a") == {0}
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self):
+        index = build_sorted_index("c", [5, 1, 3, 4, 2])
+        assert sorted(index.range(low=2, high=4)) == [2, 3, 4]  # row ids of 3,4,2
+
+    def test_range_exclusive_bounds(self):
+        index = build_sorted_index("c", [1, 2, 3])
+        assert index.range(low=1, high=3, include_low=False, include_high=False) == [1]
+
+    def test_open_ended(self):
+        index = build_sorted_index("c", [10, 20, 30])
+        assert sorted(index.range(low=20)) == [1, 2]
+        assert sorted(index.range(high=20)) == [0, 1]
+        assert sorted(index.range()) == [0, 1, 2]
+
+    def test_lookup_equality(self):
+        index = build_sorted_index("c", [7, 7, 8])
+        assert index.lookup(7) == {0, 1}
+
+    def test_remove_specific_pair(self):
+        index = SortedIndex("c")
+        index.add(5, 0)
+        index.add(5, 1)
+        index.remove(5, 0)
+        assert index.lookup(5) == {1}
+
+    def test_min_max(self):
+        index = build_sorted_index("c", [4, 9, 1])
+        assert index.min_key() == 1
+        assert index.max_key() == 9
+        assert SortedIndex("c").min_key() is None
+
+    def test_nulls_skipped(self):
+        index = build_sorted_index("c", [None, 2, None])
+        assert len(index) == 1

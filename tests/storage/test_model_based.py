@@ -1,0 +1,109 @@
+"""Model-based testing of the storage engine (hypothesis stateful).
+
+The engine is compared against a plain-dict reference model through random
+sequences of inserts, updates, deletes and aborted transactions.  Any
+divergence — including index corruption after rollback — fails the run.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.errors import IntegrityError
+from repro.storage.engine import StorageEngine
+
+_KEYS = st.integers(1, 25)
+_VALUES = st.sampled_from(["a", "b", "c", None])
+
+
+class EngineModel(RuleBasedStateMachine):
+    """Random single-row transactions vs a dict reference."""
+
+    def __init__(self):
+        super().__init__()
+        self.engine = StorageEngine()
+        self.engine.create_table(
+            "t", {"k": "int", "v": "str"}, primary_key="k"
+        )
+        self.engine.create_index("t", "v")
+        self.model: dict[int, str | None] = {}
+        self.row_ids: dict[int, int] = {}
+
+    keys = Bundle("keys")
+
+    @rule(target=keys, key=_KEYS, value=_VALUES)
+    def insert(self, key, value):
+        if key in self.model:
+            # duplicate pk must be rejected and leave no trace
+            try:
+                with self.engine.transaction():
+                    self.engine.insert("t", {"k": key, "v": value})
+                raise AssertionError("duplicate primary key accepted")
+            except IntegrityError:
+                pass
+            return key
+        with self.engine.transaction():
+            row_id = self.engine.insert("t", {"k": key, "v": value})
+        self.model[key] = value
+        self.row_ids[key] = row_id
+        return key
+
+    @rule(key=keys, value=_VALUES)
+    def update(self, key, value):
+        if key not in self.model:
+            return
+        with self.engine.transaction():
+            self.engine.update("t", self.row_ids[key], {"v": value})
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete(self, key):
+        if key not in self.model:
+            return
+        with self.engine.transaction():
+            self.engine.delete("t", self.row_ids[key])
+        del self.model[key]
+        del self.row_ids[key]
+
+    @rule(key=_KEYS, value=_VALUES)
+    def aborted_transaction(self, key, value):
+        """A transaction that mutates then fails must change nothing."""
+        try:
+            with self.engine.transaction():
+                if key in self.model:
+                    self.engine.update("t", self.row_ids[key], {"v": value})
+                else:
+                    self.engine.insert("t", {"k": key, "v": value})
+                raise RuntimeError("abort")
+        except RuntimeError:
+            pass
+
+    @invariant()
+    def rows_match_model(self):
+        rows = {row["k"]: row["v"] for row in self.engine.scan("t").to_rows()}
+        assert rows == self.model
+
+    @invariant()
+    def pk_index_matches_model(self):
+        for key, value in self.model.items():
+            row = self.engine.get_by_pk("t", key)
+            assert row is not None and row["v"] == value
+        assert self.engine.get_by_pk("t", 999) is None
+
+    @invariant()
+    def secondary_index_matches_model(self):
+        for value in ("a", "b", "c"):
+            expected = sorted(k for k, v in self.model.items() if v == value)
+            found = sorted(row["k"] for row in self.engine.find("t", "v", value))
+            assert found == expected
+
+
+EngineModel.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestEngineModel = EngineModel.TestCase

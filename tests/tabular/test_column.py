@@ -1,0 +1,125 @@
+"""Tests for the typed column."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.errors import DTypeError, LengthMismatchError
+from repro.tabular.column import Column
+from repro.tabular.dtypes import DType
+
+
+class TestConstruction:
+    def test_from_values_infers(self):
+        column = Column.from_values([1, 2, None])
+        assert column.dtype is DType.INT
+        assert column.to_list() == [1, 2, None]
+
+    def test_from_values_explicit_dtype(self):
+        column = Column.from_values([1, 2], dtype="float")
+        assert column.dtype is DType.FLOAT
+        assert column.to_list() == [1.0, 2.0]
+
+    def test_from_numpy_floats_mask_nan(self):
+        column = Column.from_numpy(np.array([1.0, np.nan, 3.0]), "float")
+        assert column.null_count == 1
+        assert column.to_list() == [1.0, None, 3.0]
+
+    def test_nulls_constructor(self):
+        column = Column.nulls("str", 3)
+        assert column.to_list() == [None, None, None]
+
+    def test_mismatched_mask_rejected(self):
+        with pytest.raises(LengthMismatchError):
+            Column(DType.INT, np.array([1, 2]), np.array([True]))
+
+    def test_dates_round_trip(self):
+        days = [dt.date(2010, 5, 1), None, dt.date(2011, 6, 2)]
+        column = Column.from_values(days, dtype="date")
+        assert column.to_list() == days
+
+
+class TestTransforms:
+    def test_take_reorders(self):
+        column = Column.from_values([10, 20, 30])
+        assert column.take(np.array([2, 0])).to_list() == [30, 10]
+
+    def test_mask_filters(self):
+        column = Column.from_values([10, 20, 30])
+        assert column.mask(np.array([True, False, True])).to_list() == [10, 30]
+
+    def test_mask_length_checked(self):
+        column = Column.from_values([1, 2])
+        with pytest.raises(LengthMismatchError):
+            column.mask(np.array([True]))
+
+    def test_concat_same_dtype(self):
+        a = Column.from_values([1, None])
+        b = Column.from_values([3])
+        assert a.concat(b).to_list() == [1, None, 3]
+
+    def test_concat_rejects_mixed_dtypes(self):
+        with pytest.raises(DTypeError):
+            Column.from_values([1]).concat(Column.from_values(["x"]))
+
+    def test_fill_null(self):
+        column = Column.from_values([1, None, 3]).fill_null(0)
+        assert column.to_list() == [1, 0, 3]
+        assert column.null_count == 0
+
+    def test_map_preserves_nulls(self):
+        column = Column.from_values([1, None, 3]).map(lambda v: v * 2)
+        assert column.to_list() == [2, None, 6]
+
+    def test_cast_int_to_str(self):
+        assert Column.from_values([1, None]).cast("str").to_list() == ["1", None]
+
+    def test_cast_identity_returns_same(self):
+        column = Column.from_values([1])
+        assert column.cast("int") is column
+
+
+class TestReductions:
+    def test_sum_skips_nulls(self):
+        assert Column.from_values([1, None, 3]).sum() == 4
+
+    def test_sum_all_null_is_none(self):
+        assert Column.nulls("int", 2).sum() is None
+
+    def test_sum_rejects_strings(self):
+        with pytest.raises(DTypeError):
+            Column.from_values(["a"]).sum()
+
+    def test_mean(self):
+        assert Column.from_values([2.0, None, 4.0]).mean() == pytest.approx(3.0)
+
+    def test_min_max_str(self):
+        column = Column.from_values(["b", "a", None])
+        assert column.min() == "a"
+        assert column.max() == "b"
+
+    def test_min_max_dates(self):
+        column = Column.from_values([dt.date(2011, 1, 1), dt.date(2009, 1, 1)])
+        assert column.min() == dt.date(2009, 1, 1)
+        assert column.max() == dt.date(2011, 1, 1)
+
+    def test_count_excludes_nulls(self):
+        assert Column.from_values([1, None, 3]).count() == 2
+
+    def test_n_unique(self):
+        assert Column.from_values(["a", "b", "a", None]).n_unique() == 2
+
+    def test_unique_sorted(self):
+        assert Column.from_values([3, 1, 3, None]).unique() == [1, 3]
+
+    def test_value_counts(self):
+        counts = Column.from_values(["x", "y", "x", None]).value_counts()
+        assert counts == {"x": 2, "y": 1}
+
+    def test_std_population(self):
+        assert Column.from_values([2.0, 4.0]).std() == pytest.approx(1.0)
+
+    def test_equality(self):
+        assert Column.from_values([1, None]) == Column.from_values([1, None])
+        assert Column.from_values([1]) != Column.from_values([2])

@@ -1,0 +1,52 @@
+"""Tests for CSV import/export."""
+
+import datetime as dt
+
+from repro.tabular import Table, read_csv, write_csv
+from repro.tabular.dtypes import DType
+
+
+def test_round_trip(tmp_path, tiny_table):
+    path = tmp_path / "t.csv"
+    write_csv(tiny_table, path)
+    back = read_csv(path, schema=tiny_table.schema)
+    assert back.equals(tiny_table)
+
+
+def test_missing_markers_become_null(tmp_path):
+    path = tmp_path / "m.csv"
+    path.write_text("a,b\n1,N/A\n?,x\n,y\n", encoding="utf-8")
+    table = read_csv(path)
+    assert table.column("a").to_list() == [1, None, None]
+    assert table.column("b").to_list() == [None, "x", "y"]
+
+
+def test_type_inference(tmp_path):
+    path = tmp_path / "i.csv"
+    path.write_text(
+        "n,f,s,d,b\n1,2.5,abc,2013-04-08,true\n2,3.5,def,2013-04-09,false\n",
+        encoding="utf-8",
+    )
+    table = read_csv(path)
+    assert table.schema == {
+        "n": DType.INT,
+        "f": DType.FLOAT,
+        "s": DType.STR,
+        "d": DType.DATE,
+        "b": DType.BOOL,
+    }
+    assert table.row(0)["d"] == dt.date(2013, 4, 8)
+
+
+def test_schema_restricts_columns(tmp_path):
+    path = tmp_path / "r.csv"
+    path.write_text("a,b\n1,2\n", encoding="utf-8")
+    table = read_csv(path, schema={"a": "int"})
+    assert table.column_names == ["a"]
+
+
+def test_dates_written_iso(tmp_path):
+    table = Table.from_rows([{"d": dt.date(2010, 1, 2)}])
+    path = tmp_path / "d.csv"
+    write_csv(table, path)
+    assert "2010-01-02" in path.read_text(encoding="utf-8")

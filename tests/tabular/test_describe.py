@@ -1,0 +1,43 @@
+"""Tests for Table.describe()."""
+
+import pytest
+
+from repro.tabular import Table
+
+
+@pytest.fixture()
+def summary(tiny_table):
+    table = tiny_table.describe()
+    return {row["column"]: row for row in table.to_rows()}
+
+
+def test_one_row_per_column(tiny_table, summary):
+    assert set(summary) == set(tiny_table.column_names)
+
+
+def test_numeric_statistics(summary):
+    age = summary["age"]
+    assert age["dtype"] == "int"
+    assert age["count"] == 4
+    assert age["nulls"] == 0
+    assert age["mean"] == pytest.approx((61 + 45 + 72 + 58) / 4)
+    assert age["min"] == 45 and age["max"] == 72
+    assert age["mode"] is None
+
+
+def test_null_accounting(summary):
+    fbg = summary["fbg"]
+    assert fbg["count"] == 3
+    assert fbg["nulls"] == 1
+
+
+def test_categorical_mode(summary):
+    sex = summary["sex"]
+    assert sex["mode"] == "F"
+    assert sex["distinct"] == 2
+    assert sex["mean"] is None
+
+
+def test_describe_of_describe_works(tiny_table):
+    # describe() output is itself a well-formed table
+    assert tiny_table.describe().describe().num_rows == 10

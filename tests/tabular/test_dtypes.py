@@ -1,0 +1,116 @@
+"""Tests for logical types and coercion."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.errors import DTypeError
+from repro.tabular.dtypes import (
+    DType,
+    coerce_value,
+    date_to_ordinal,
+    infer_dtype,
+    ordinal_to_date,
+)
+
+
+class TestDTypeCoerce:
+    def test_accepts_enum(self):
+        assert DType.coerce(DType.INT) is DType.INT
+
+    def test_accepts_string(self):
+        assert DType.coerce("float") is DType.FLOAT
+
+    def test_rejects_unknown(self):
+        with pytest.raises(DTypeError, match="unknown dtype"):
+            DType.coerce("decimal")
+
+    def test_numpy_dtype_mapping(self):
+        assert DType.INT.numpy_dtype == np.dtype(np.int64)
+        assert DType.STR.numpy_dtype == np.dtype(object)
+
+    def test_is_numeric(self):
+        assert DType.INT.is_numeric
+        assert DType.FLOAT.is_numeric
+        assert not DType.STR.is_numeric
+        assert not DType.DATE.is_numeric
+
+
+class TestDates:
+    def test_epoch_is_zero(self):
+        assert date_to_ordinal(dt.date(1970, 1, 1)) == 0
+
+    def test_round_trip(self):
+        day = dt.date(2013, 4, 8)
+        assert ordinal_to_date(date_to_ordinal(day)) == day
+
+    def test_iso_string_accepted(self):
+        assert date_to_ordinal("2013-04-08") == date_to_ordinal(dt.date(2013, 4, 8))
+
+    def test_datetime_truncates_to_date(self):
+        stamp = dt.datetime(2013, 4, 8, 15, 30)
+        assert date_to_ordinal(stamp) == date_to_ordinal(dt.date(2013, 4, 8))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DTypeError):
+            date_to_ordinal(3.14)  # type: ignore[arg-type]
+
+
+class TestInference:
+    def test_all_int(self):
+        assert infer_dtype([1, 2, None, 3]) is DType.INT
+
+    def test_bool_before_int(self):
+        assert infer_dtype([True, False]) is DType.BOOL
+
+    def test_mixed_int_float_is_float(self):
+        assert infer_dtype([1, 2.5]) is DType.FLOAT
+
+    def test_dates(self):
+        assert infer_dtype([dt.date(2020, 1, 1), None]) is DType.DATE
+
+    def test_mixed_falls_back_to_str(self):
+        assert infer_dtype([1, "a"]) is DType.STR
+
+    def test_empty_is_str(self):
+        assert infer_dtype([]) is DType.STR
+
+    def test_all_null_is_str(self):
+        assert infer_dtype([None, None]) is DType.STR
+
+
+class TestCoerceValue:
+    def test_none_passes_through(self):
+        assert coerce_value(None, DType.INT) is None
+
+    def test_int_from_whole_float(self):
+        assert coerce_value(4.0, DType.INT) == 4
+
+    def test_int_rejects_fractional(self):
+        with pytest.raises(DTypeError):
+            coerce_value(4.5, DType.INT)
+
+    def test_float_from_int(self):
+        assert coerce_value(4, DType.FLOAT) == 4.0
+
+    def test_str_coerces_anything(self):
+        assert coerce_value(12, DType.STR) == "12"
+
+    def test_bool_from_01(self):
+        assert coerce_value(1, DType.BOOL) is True
+        assert coerce_value(0, DType.BOOL) is False
+
+    def test_bool_rejects_other_numbers(self):
+        with pytest.raises(DTypeError):
+            coerce_value(2, DType.BOOL)
+
+    def test_date_from_date(self):
+        assert coerce_value(dt.date(1970, 1, 2), DType.DATE) == 1
+
+    def test_date_from_int_kept(self):
+        assert coerce_value(100, DType.DATE) == 100
+
+    def test_float_rejects_text(self):
+        with pytest.raises(DTypeError):
+            coerce_value("abc", DType.FLOAT)

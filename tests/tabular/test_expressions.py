@@ -1,0 +1,101 @@
+"""Tests for filter expressions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DTypeError
+from repro.tabular import Table, col, lit
+
+
+class TestComparisons:
+    def test_greater(self, tiny_table):
+        mask = (col("age") > 60).evaluate(tiny_table)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_less_equal(self, tiny_table):
+        mask = (col("age") <= 58).evaluate(tiny_table)
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_eq_string(self, tiny_table):
+        mask = col("sex").eq("F").evaluate(tiny_table)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_eq_operator_builds_expression(self, tiny_table):
+        mask = (col("sex") == "M").evaluate(tiny_table)
+        assert mask.tolist() == [False, True, False, False]
+
+    def test_ne(self, tiny_table):
+        mask = (col("sex") != "F").evaluate(tiny_table)
+        # null sex is neither == nor != a value? NOT(eq) includes null rows
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_null_never_matches_comparison(self, tiny_table):
+        mask = (col("fbg") > 0).evaluate(tiny_table)
+        assert mask.tolist() == [True, True, False, True]
+
+    def test_comparing_against_none_is_all_false(self, tiny_table):
+        mask = col("sex").eq(None).evaluate(tiny_table)
+        assert not mask.any()
+
+    def test_between(self, tiny_table):
+        mask = col("age").between(45, 61).evaluate(tiny_table)
+        assert mask.tolist() == [True, True, False, True]
+
+    def test_between_exclusive(self, tiny_table):
+        mask = col("age").between(45, 61, inclusive=False).evaluate(tiny_table)
+        assert mask.tolist() == [False, True, False, True]
+
+
+class TestSetsAndNulls:
+    def test_isin(self, tiny_table):
+        mask = col("pid").isin([1, 4]).evaluate(tiny_table)
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_isin_ignores_none_entries(self, tiny_table):
+        mask = col("sex").isin(["F", None]).evaluate(tiny_table)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_is_null(self, tiny_table):
+        mask = col("fbg").is_null().evaluate(tiny_table)
+        assert mask.tolist() == [False, False, True, False]
+
+    def test_is_not_null(self, tiny_table):
+        mask = col("sex").is_not_null().evaluate(tiny_table)
+        assert mask.tolist() == [True, True, True, False]
+
+
+class TestCombinators:
+    def test_and(self, tiny_table):
+        mask = ((col("age") > 50) & col("sex").eq("F")).evaluate(tiny_table)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_or(self, tiny_table):
+        mask = ((col("age") < 50) | col("fbg").is_null()).evaluate(tiny_table)
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_not(self, tiny_table):
+        mask = (~col("sex").eq("F")).evaluate(tiny_table)
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_describe_renders(self):
+        text = ((col("a") > 1) & ~col("b").eq("x")).describe()
+        assert "a" in text and "NOT" in text and "AND" in text
+
+
+class TestErrors:
+    def test_bare_column_must_be_bool(self, tiny_table):
+        with pytest.raises(DTypeError):
+            col("age").evaluate(tiny_table)
+
+    def test_bool_column_as_filter(self):
+        table = Table.from_rows([{"flag": True}, {"flag": False}, {"flag": None}])
+        mask = col("flag").evaluate(table)
+        assert mask.tolist() == [True, False, False]
+
+    def test_literal_not_a_predicate(self, tiny_table):
+        with pytest.raises(DTypeError):
+            lit(1).evaluate(tiny_table)
+
+    def test_comparison_coerces_operand(self, tiny_table):
+        mask = (col("age") > 60.0).evaluate(tiny_table)
+        assert mask.tolist() == [True, False, True, False]

@@ -1,0 +1,94 @@
+"""Tests for group-by aggregation."""
+
+import pytest
+
+from repro.errors import ColumnNotFoundError, TabularError
+from repro.tabular import Table
+
+
+@pytest.fixture()
+def visits():
+    return Table.from_rows(
+        [
+            {"sex": "F", "band": "60-80", "fbg": 7.0, "pid": 1},
+            {"sex": "F", "band": "60-80", "fbg": 8.0, "pid": 1},
+            {"sex": "M", "band": "60-80", "fbg": 6.0, "pid": 2},
+            {"sex": "F", "band": "40-60", "fbg": None, "pid": 3},
+            {"sex": None, "band": "40-60", "fbg": 5.0, "pid": 4},
+        ]
+    )
+
+
+class TestGroups:
+    def test_first_occurrence_order(self, visits):
+        keys = list(visits.groupby("sex").groups())
+        assert keys == [("F",), ("M",), (None,)]
+
+    def test_null_keys_form_a_group(self, visits):
+        groups = visits.groupby("sex").groups()
+        assert len(groups[(None,)]) == 1
+
+    def test_multi_key(self, visits):
+        groups = visits.groupby("sex", "band").groups()
+        assert ("F", "60-80") in groups and ("F", "40-60") in groups
+
+    def test_unknown_key_raises(self, visits):
+        with pytest.raises(ColumnNotFoundError):
+            visits.groupby("nope")
+
+    def test_no_keys_raises(self, visits):
+        with pytest.raises(TabularError):
+            visits.groupby()
+
+
+class TestAgg:
+    def test_size_vs_count(self, visits):
+        result = visits.groupby("band").agg(
+            size=("fbg", "size"), present=("fbg", "count")
+        )
+        by_band = {row["band"]: row for row in result.to_rows()}
+        assert by_band["40-60"]["size"] == 2
+        assert by_band["40-60"]["present"] == 1
+
+    def test_mean_skips_nulls(self, visits):
+        result = visits.groupby("sex").agg(mean_fbg=("fbg", "mean"))
+        by_sex = {row["sex"]: row["mean_fbg"] for row in result.to_rows()}
+        assert by_sex["F"] == pytest.approx(7.5)
+
+    def test_sum_min_max(self, visits):
+        result = visits.groupby("band").agg(
+            total=("fbg", "sum"), low=("fbg", "min"), high=("fbg", "max")
+        )
+        row = next(r for r in result.to_rows() if r["band"] == "60-80")
+        assert (row["total"], row["low"], row["high"]) == (21.0, 6.0, 8.0)
+
+    def test_nunique(self, visits):
+        result = visits.groupby("band").agg(patients=("pid", "nunique"))
+        by_band = {row["band"]: row["patients"] for row in result.to_rows()}
+        assert by_band == {"60-80": 2, "40-60": 2}
+
+    def test_first_last(self, visits):
+        result = visits.groupby("sex").agg(
+            first=("fbg", "first"), last=("fbg", "last")
+        )
+        row = next(r for r in result.to_rows() if r["sex"] == "F")
+        assert (row["first"], row["last"]) == (7.0, None)
+
+    def test_unknown_function_raises(self, visits):
+        with pytest.raises(TabularError, match="unknown aggregation"):
+            visits.groupby("sex").agg(x=("fbg", "median"))
+
+    def test_bad_spec_raises(self, visits):
+        with pytest.raises(TabularError, match="must be"):
+            visits.groupby("sex").agg(x="fbg")  # type: ignore[arg-type]
+
+    def test_empty_agg_raises(self, visits):
+        with pytest.raises(TabularError):
+            visits.groupby("sex").agg()
+
+    def test_size_shorthand(self, visits):
+        assert visits.groupby("sex").size().column("size").to_list() == [3, 1, 1]
+
+    def test_apply(self, visits):
+        result = visits.groupby("sex").apply(lambda sub: sub.num_rows)
+        assert result[("F",)] == 3

@@ -1,0 +1,78 @@
+"""Tests for hash joins."""
+
+import pytest
+
+from repro.errors import TabularError
+from repro.tabular import Table, hash_join
+
+
+@pytest.fixture()
+def facts():
+    return Table.from_rows(
+        [
+            {"pid": 1, "fbg": 7.0},
+            {"pid": 2, "fbg": 5.0},
+            {"pid": 9, "fbg": 6.0},
+            {"pid": None, "fbg": 4.0},
+        ]
+    )
+
+
+@pytest.fixture()
+def dims():
+    return Table.from_rows(
+        [
+            {"pid": 1, "sex": "F"},
+            {"pid": 2, "sex": "M"},
+            {"pid": 3, "sex": "F"},
+        ]
+    )
+
+
+class TestInnerJoin:
+    def test_matches_only(self, facts, dims):
+        joined = hash_join(facts, dims, on="pid")
+        assert joined.num_rows == 2
+        assert set(joined.column("sex").to_list()) == {"F", "M"}
+
+    def test_null_keys_never_match(self, facts, dims):
+        joined = hash_join(facts, dims, on="pid")
+        assert None not in joined.column("pid").to_list()
+
+    def test_one_to_many_fanout(self, dims):
+        many = Table.from_rows([{"pid": 1, "v": 1}, {"pid": 1, "v": 2}])
+        joined = hash_join(dims, many, on="pid")
+        assert joined.num_rows == 2
+
+    def test_name_collision_suffixed(self, facts):
+        other = Table.from_rows([{"pid": 1, "fbg": 99.0}])
+        joined = hash_join(facts, other, on="pid")
+        assert "fbg_right" in joined.column_names
+
+
+class TestLeftJoin:
+    def test_unmatched_rows_kept_with_nulls(self, facts, dims):
+        joined = hash_join(facts, dims, on="pid", how="left")
+        assert joined.num_rows == 4
+        by_pid = {row["pid"]: row["sex"] for row in joined.to_rows()}
+        assert by_pid[9] is None
+        assert by_pid[1] == "F"
+
+    def test_multi_key_join(self):
+        left = Table.from_rows([{"a": 1, "b": "x", "v": 10}])
+        right = Table.from_rows(
+            [{"a": 1, "b": "x", "w": 1}, {"a": 1, "b": "y", "w": 2}]
+        )
+        joined = hash_join(left, right, on=["a", "b"])
+        assert joined.num_rows == 1
+        assert joined.row(0)["w"] == 1
+
+
+class TestErrors:
+    def test_unknown_how(self, facts, dims):
+        with pytest.raises(TabularError):
+            hash_join(facts, dims, on="pid", how="outer")
+
+    def test_empty_keys(self, facts, dims):
+        with pytest.raises(TabularError):
+            hash_join(facts, dims, on=[])

@@ -1,0 +1,155 @@
+"""Tests for the Table container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ColumnNotFoundError,
+    LengthMismatchError,
+    SchemaMismatchError,
+)
+from repro.tabular import Table, col
+from repro.tabular.dtypes import DType
+
+
+class TestConstruction:
+    def test_from_rows_first_seen_order(self):
+        table = Table.from_rows([{"a": 1}, {"b": 2, "a": 3}])
+        assert table.column_names == ["a", "b"]
+        assert table.row(0) == {"a": 1, "b": None}
+
+    def test_from_rows_with_schema_rejects_extras(self):
+        with pytest.raises(SchemaMismatchError, match="row 0"):
+            Table.from_rows([{"a": 1, "zz": 2}], schema={"a": "int"})
+
+    def test_from_columns(self):
+        table = Table.from_columns({"x": [1, 2], "y": ["a", "b"]})
+        assert table.num_rows == 2
+        assert table.schema == {"x": DType.INT, "y": DType.STR}
+
+    def test_empty(self):
+        table = Table.empty({"a": "int"})
+        assert table.num_rows == 0
+        assert table.schema == {"a": DType.INT}
+
+    def test_unequal_columns_rejected(self):
+        from repro.tabular.column import Column
+
+        with pytest.raises(LengthMismatchError):
+            Table({"a": Column.from_values([1]), "b": Column.from_values([1, 2])})
+
+
+class TestAccess:
+    def test_missing_column_lists_available(self, tiny_table):
+        with pytest.raises(ColumnNotFoundError, match="available"):
+            tiny_table.column("nope")
+
+    def test_row_negative_index(self, tiny_table):
+        assert tiny_table.row(-1)["pid"] == 4
+
+    def test_row_out_of_range(self, tiny_table):
+        with pytest.raises(IndexError):
+            tiny_table.row(4)
+
+    def test_contains(self, tiny_table):
+        assert "age" in tiny_table
+        assert "nope" not in tiny_table
+
+    def test_to_rows_round_trip(self, tiny_table):
+        rebuilt = Table.from_rows(tiny_table.to_rows(), schema=tiny_table.schema)
+        assert rebuilt.equals(tiny_table)
+
+
+class TestRowOps:
+    def test_filter_expression(self, tiny_table):
+        result = tiny_table.filter(col("age") > 50)
+        assert result.column("pid").to_list() == [1, 3, 4]
+
+    def test_filter_mask(self, tiny_table):
+        result = tiny_table.filter(np.array([True, False, False, True]))
+        assert result.num_rows == 2
+
+    def test_filter_mask_length_checked(self, tiny_table):
+        with pytest.raises(LengthMismatchError):
+            tiny_table.filter(np.array([True]))
+
+    def test_take_duplicates(self, tiny_table):
+        result = tiny_table.take([0, 0, 2])
+        assert result.column("pid").to_list() == [1, 1, 3]
+
+    def test_head(self, tiny_table):
+        assert tiny_table.head(2).num_rows == 2
+        assert tiny_table.head(99).num_rows == 4
+
+    def test_sort_by_ascending_nulls_last(self, tiny_table):
+        result = tiny_table.sort_by("fbg")
+        assert result.column("fbg").to_list() == [5.1, 6.3, 7.2, None]
+
+    def test_sort_by_descending_nulls_still_last(self, tiny_table):
+        result = tiny_table.sort_by("fbg", descending=True)
+        assert result.column("fbg").to_list() == [7.2, 6.3, 5.1, None]
+
+    def test_sort_by_two_keys_stable(self):
+        table = Table.from_rows(
+            [
+                {"g": "b", "v": 1},
+                {"g": "a", "v": 2},
+                {"g": "a", "v": 1},
+            ]
+        )
+        result = table.sort_by("g", "v")
+        assert result.to_rows() == [
+            {"g": "a", "v": 1},
+            {"g": "a", "v": 2},
+            {"g": "b", "v": 1},
+        ]
+
+    def test_append(self, tiny_table):
+        doubled = tiny_table.append(tiny_table)
+        assert doubled.num_rows == 8
+
+    def test_append_schema_checked(self, tiny_table):
+        other = Table.from_rows([{"pid": 1}])
+        with pytest.raises(SchemaMismatchError):
+            tiny_table.append(other)
+
+    def test_distinct_on_column(self, tiny_table):
+        assert tiny_table.distinct("sex").column("sex").to_list() == ["F", "M", None]
+
+    def test_distinct_full_rows(self):
+        table = Table.from_rows([{"a": 1}, {"a": 1}, {"a": 2}])
+        assert table.distinct().num_rows == 2
+
+
+class TestColumnOps:
+    def test_select_order(self, tiny_table):
+        assert tiny_table.select(["fbg", "pid"]).column_names == ["fbg", "pid"]
+
+    def test_drop(self, tiny_table):
+        assert "fbg" not in tiny_table.drop("fbg")
+
+    def test_drop_missing_raises(self, tiny_table):
+        with pytest.raises(ColumnNotFoundError):
+            tiny_table.drop("nope")
+
+    def test_rename(self, tiny_table):
+        renamed = tiny_table.rename({"fbg": "glucose"})
+        assert "glucose" in renamed and "fbg" not in renamed
+
+    def test_with_column_replaces(self, tiny_table):
+        result = tiny_table.with_column("age", [0, 0, 0, 0])
+        assert result.column("age").to_list() == [0, 0, 0, 0]
+
+    def test_with_column_length_checked(self, tiny_table):
+        with pytest.raises(LengthMismatchError):
+            tiny_table.with_column("new", [1, 2])
+
+    def test_with_derived(self, tiny_table):
+        result = tiny_table.with_derived(
+            "senior", lambda row: row["age"] >= 65, dtype="bool"
+        )
+        assert result.column("senior").to_list() == [False, False, True, False]
+
+    def test_to_text_contains_values(self, tiny_table):
+        text = tiny_table.to_text()
+        assert "pid" in text and "7.2" in text

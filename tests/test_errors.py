@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy's contracts."""
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import (
+    ColumnNotFoundError,
+    LexError,
+    ReproError,
+    TableNotFoundError,
+    UnknownMemberError,
+)
+
+
+def _error_classes():
+    return [
+        obj
+        for obj in vars(errors).values()
+        if isinstance(obj, type) and issubclass(obj, Exception)
+    ]
+
+
+def test_every_library_error_derives_from_repro_error():
+    for cls in _error_classes():
+        assert issubclass(cls, ReproError), cls
+
+
+def test_keyerror_subclasses_render_messages_unquoted():
+    """KeyError normally repr()s its message; ours must stay readable."""
+    for exc in (
+        ColumnNotFoundError("age", ["a", "b"]),
+        TableNotFoundError("table 'x' not found"),
+        UnknownMemberError("no member 7"),
+    ):
+        assert isinstance(exc, KeyError)
+        assert not str(exc).startswith('"')
+        assert not str(exc).startswith("'")
+
+
+def test_column_not_found_lists_available():
+    exc = ColumnNotFoundError("age", ["fbg", "bmi"])
+    assert "fbg" in str(exc) and "bmi" in str(exc)
+
+
+def test_lex_error_carries_position():
+    exc = LexError("bad character", 17)
+    assert exc.position == 17
+    assert "17" in str(exc)
+
+
+def test_catching_base_class_at_api_boundary():
+    from repro.tabular import Table
+
+    table = Table.from_rows([{"a": 1}])
+    with pytest.raises(ReproError):
+        table.column("missing")

@@ -1,0 +1,86 @@
+"""Tests for heatmap and line/sparkline renderers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.olap.crosstab import Crosstab
+from repro.viz.heatmap import heatmap
+from repro.viz.lines import line_chart, sparkline
+
+
+@pytest.fixture()
+def grid():
+    return Crosstab(
+        ["band"], ["gender"],
+        [("a",), ("b",)], [("F",), ("M",)],
+        {
+            (("a",), ("F",)): 10, (("a",), ("M",)): 0,
+            (("b",), ("F",)): 5,
+        },
+        "n",
+    )
+
+
+class TestHeatmap:
+    def test_shades_scale_with_value(self, grid):
+        text = heatmap(grid, title="t")
+        assert "t" in text
+        assert "███" in text       # the max cell
+        assert " · " in text       # the empty cell
+
+    def test_legend_present(self, grid):
+        assert "legend" in heatmap(grid)
+
+    def test_empty_grid_rejected(self):
+        empty = Crosstab(["r"], ["c"], [], [], {}, "n")
+        with pytest.raises(ReproError):
+            heatmap(empty)
+
+    def test_nonpositive_rejected(self):
+        grid = Crosstab(["r"], ["c"], [("x",)], [("y",)],
+                        {(("x",), ("y",)): 0}, "n")
+        with pytest.raises(ReproError):
+            heatmap(grid)
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        text = sparkline([1, 2, 3, 4])
+        assert text[0] == "▁" and text[-1] == "█"
+
+    def test_nulls_are_spaces(self):
+        assert sparkline([1, None, 2])[1] == " "
+
+    def test_constant_series(self):
+        assert sparkline([3, 3]) == "▄▄"
+
+    def test_all_null_rejected(self):
+        with pytest.raises(ReproError):
+            sparkline([None])
+
+
+class TestLineChart:
+    def test_single_series(self):
+        text = line_chart({"fbg": [5.0, 6.0, 7.0]}, labels=["a", "b", "c"])
+        assert "●" in text
+        assert "a" in text
+
+    def test_multi_series_legend(self):
+        text = line_chart({"x": [1, 2], "y": [2, 1]})
+        assert "A=x" in text and "B=y" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart({"x": [1], "y": [1, 2]})
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart({"x": [1, 2]}, labels=["only"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart({})
+
+    def test_nulls_skipped(self):
+        text = line_chart({"x": [1.0, None, 3.0]})
+        assert "●" in text

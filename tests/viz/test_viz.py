@@ -1,0 +1,147 @@
+"""Tests for the terminal/SVG renderers and edge-group detection."""
+
+import pytest
+
+from repro.errors import OLAPError, ReproError
+from repro.olap.crosstab import Crosstab
+from repro.viz.bars import bar_chart, grouped_bar_chart
+from repro.viz.histogram import histogram
+from repro.viz.overlap import edge_groups
+from repro.viz.svg import SVGChart, crosstab_to_svg
+
+
+class TestBarChart:
+    def test_values_rendered(self):
+        text = bar_chart({"<40": 12, "40-60": 30}, title="patients")
+        assert "patients" in text
+        assert "12" in text and "30" in text
+
+    def test_peak_gets_full_width(self):
+        text = bar_chart({"a": 10, "b": 5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_null_values_marked(self):
+        text = bar_chart({"a": 3, "b": None})
+        assert "(no data)" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart({})
+
+    def test_all_null_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart({"a": None})
+
+
+class TestGroupedBars:
+    def test_fig5_shape(self):
+        text = grouped_bar_chart(
+            ["70-75", "75-80"],
+            {"F": {"70-75": 19, "75-80": 24}, "M": {"70-75": 23, "75-80": 10}},
+            title="diabetes by age and gender",
+        )
+        assert "70-75" in text and "F" in text and "M" in text
+
+    def test_missing_cell_dot(self):
+        text = grouped_bar_chart(["a", "b"], {"s": {"a": 2}})
+        assert "·" in text
+
+    def test_entirely_empty_series_rejected(self):
+        with pytest.raises(ReproError):
+            grouped_bar_chart(["a"], {"s": {}})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            grouped_bar_chart([], {})
+
+    def test_missing_dict_cells_allowed(self):
+        text = grouped_bar_chart(["a", "b"], {"s": {"a": 1}})
+        assert "1" in text
+
+
+class TestHistogram:
+    def test_bins_cover_all(self):
+        text = histogram([1, 2, 3, 4, 5, 100], bins=5)
+        total = sum(
+            int(line.rsplit(" ", 1)[-1]) for line in text.splitlines() if "│" in line
+        )
+        assert total == 6
+
+    def test_constant_data_single_bar(self):
+        text = histogram([5, 5, 5])
+        assert "5" in text
+
+    def test_all_null_rejected(self):
+        with pytest.raises(ReproError):
+            histogram([None, None])
+
+    def test_bad_bins(self):
+        with pytest.raises(ReproError):
+            histogram([1, 2], bins=0)
+
+
+@pytest.fixture()
+def grid():
+    return Crosstab(
+        ["band"], ["gender"],
+        [("70-75",), ("75-80",)], [("F",), ("M",)],
+        {
+            (("70-75",), ("F",)): 19, (("70-75",), ("M",)): 23,
+            (("75-80",), ("F",)): 24, (("75-80",), ("M",)): 2,
+        },
+        "patients",
+    )
+
+
+class TestSVG:
+    def test_chart_contains_bars_and_legend(self):
+        chart = SVGChart("t", ["a", "b"], {"s1": [1, 2], "s2": [3, None]})
+        markup = chart.render()
+        assert markup.startswith("<svg")
+        assert markup.count("<rect") >= 3 + 2  # 3 bars + 2 legend swatches
+        assert "s1" in markup and "t" in markup
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            SVGChart("t", ["a"], {"s": [1, 2]})
+
+    def test_save(self, tmp_path):
+        chart = SVGChart("t", ["a"], {"s": [1]})
+        path = chart.save(tmp_path / "c.svg")
+        assert path.read_text(encoding="utf-8").startswith("<svg")
+
+    def test_crosstab_to_svg(self, grid, tmp_path):
+        markup = crosstab_to_svg(grid, "Fig 5", tmp_path / "fig5.svg")
+        assert "Fig 5" in markup
+        assert (tmp_path / "fig5.svg").exists()
+
+    def test_escaping(self):
+        chart = SVGChart("a<b&c", ["g"], {"s": [1]})
+        markup = chart.render()
+        assert "a&lt;b&amp;c" in markup
+
+
+class TestEdgeGroups:
+    def test_thin_cell_detected(self, grid):
+        groups = edge_groups(grid, max_edge_ratio=0.15, min_margin=10)
+        assert len(groups) == 1
+        found = groups[0]
+        assert found.row_key == ("75-80",) and found.col_key == ("M",)
+
+    def test_sorted_most_marginal_first(self, grid):
+        groups = edge_groups(grid, max_edge_ratio=0.99, min_margin=1)
+        ratios = [g.edge_ratio for g in groups]
+        assert ratios == sorted(ratios)
+
+    def test_small_margins_excluded(self, grid):
+        assert edge_groups(grid, max_edge_ratio=0.15, min_margin=100) == []
+
+    def test_bad_ratio_rejected(self, grid):
+        with pytest.raises(OLAPError):
+            edge_groups(grid, max_edge_ratio=0.0)
+
+    def test_describe(self, grid):
+        group = edge_groups(grid, max_edge_ratio=0.15, min_margin=10)[0]
+        assert "edge" in group.describe()

@@ -1,0 +1,129 @@
+"""Tests for dimensions, hierarchies and attributes."""
+
+import pytest
+
+from repro.errors import DimensionError, HierarchyError, UnknownMemberError
+from repro.warehouse.attribute import Hierarchy
+from repro.warehouse.dimension import UNKNOWN_KEY, Dimension
+
+
+class TestHierarchy:
+    def test_needs_two_levels(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("h", ["only"])
+
+    def test_no_repeats(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("h", ["a", "a"])
+
+    def test_drill_down_and_roll_up(self):
+        h = Hierarchy("age", ["band20", "band10", "band5"])
+        assert h.drill_down("band20") == "band10"
+        assert h.roll_up("band5") == "band10"
+        assert h.coarsest == "band20"
+        assert h.finest == "band5"
+
+    def test_drill_past_finest_rejected(self):
+        h = Hierarchy("age", ["a", "b"])
+        with pytest.raises(HierarchyError, match="finest"):
+            h.drill_down("b")
+
+    def test_roll_past_coarsest_rejected(self):
+        h = Hierarchy("age", ["a", "b"])
+        with pytest.raises(HierarchyError, match="coarsest"):
+            h.roll_up("a")
+
+    def test_unknown_level(self):
+        h = Hierarchy("age", ["a", "b"])
+        with pytest.raises(HierarchyError, match="not in hierarchy"):
+            h.position("z")
+
+
+@pytest.fixture()
+def personal():
+    return Dimension(
+        "personal",
+        {"patient_id": "int", "gender": "str", "band": "str"},
+        natural_key=["patient_id"],
+        hierarchies=[],
+    )
+
+
+class TestDimension:
+    def test_requires_attributes(self):
+        with pytest.raises(DimensionError):
+            Dimension("d", {})
+
+    def test_natural_key_must_exist(self):
+        with pytest.raises(DimensionError, match="natural key"):
+            Dimension("d", {"a": "str"}, natural_key=["zz"])
+
+    def test_add_member_assigns_dense_keys(self, personal):
+        k1 = personal.add_member({"patient_id": 1, "gender": "F", "band": "60-80"})
+        k2 = personal.add_member({"patient_id": 2, "gender": "M", "band": "40-60"})
+        assert (k1, k2) == (1, 2)
+        assert personal.size == 2
+
+    def test_same_natural_key_reuses_member(self, personal):
+        k1 = personal.add_member({"patient_id": 1, "gender": "F", "band": "60-80"})
+        k2 = personal.add_member({"patient_id": 1, "gender": "F", "band": ">=80"})
+        assert k1 == k2
+        # type-1 SCD: non-key attribute updated in place
+        assert personal.attribute_of(k1, "band") == ">=80"
+
+    def test_all_null_key_maps_to_unknown(self, personal):
+        assert personal.add_member({"patient_id": None}) == UNKNOWN_KEY
+
+    def test_unknown_attributes_rejected(self, personal):
+        with pytest.raises(DimensionError, match="unknown attributes"):
+            personal.add_member({"oops": 1})
+
+    def test_lookup(self, personal):
+        key = personal.add_member({"patient_id": 5, "gender": "F", "band": "x"})
+        assert personal.lookup({"patient_id": 5}) == key
+
+    def test_lookup_missing_raises(self, personal):
+        with pytest.raises(UnknownMemberError):
+            personal.lookup({"patient_id": 404})
+
+    def test_member_returns_copy(self, personal):
+        key = personal.add_member({"patient_id": 1, "gender": "F", "band": "x"})
+        member = personal.member(key)
+        member["gender"] = "Z"
+        assert personal.attribute_of(key, "gender") == "F"
+
+    def test_member_bad_key(self, personal):
+        with pytest.raises(UnknownMemberError):
+            personal.member(999)
+
+    def test_attribute_of_unknown_attr(self, personal):
+        key = personal.add_member({"patient_id": 1, "gender": "F", "band": "x"})
+        with pytest.raises(DimensionError, match="no attribute"):
+            personal.attribute_of(key, "zz")
+
+    def test_unknown_member_has_null_attributes(self, personal):
+        assert personal.member(UNKNOWN_KEY)["gender"] is None
+
+    def test_distinct_values_first_seen_order(self, personal):
+        personal.add_member({"patient_id": 1, "gender": "F", "band": "b"})
+        personal.add_member({"patient_id": 2, "gender": "M", "band": "a"})
+        personal.add_member({"patient_id": 3, "gender": "F", "band": "a"})
+        assert personal.distinct_values("gender") == ["F", "M"]
+
+    def test_to_table(self, personal):
+        personal.add_member({"patient_id": 1, "gender": "F", "band": "x"})
+        table = personal.to_table()
+        assert table.num_rows == 1
+        assert "personal_key" in table
+
+    def test_to_table_with_unknown(self, personal):
+        assert personal.to_table(include_unknown=True).num_rows == 1
+
+    def test_hierarchy_levels_must_be_attributes(self, personal):
+        with pytest.raises(DimensionError, match="unknown attributes"):
+            personal.add_hierarchy(Hierarchy("h", ["gender", "zz"]))
+
+    def test_hierarchy_for_level(self, personal):
+        personal.add_hierarchy(Hierarchy("h", ["gender", "band"]))
+        assert personal.hierarchy_for_level("band").name == "h"
+        assert personal.hierarchy_for_level("patient_id") is None

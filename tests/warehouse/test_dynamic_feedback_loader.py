@@ -1,0 +1,179 @@
+"""Tests for the dynamic model, feedback folding and the loader."""
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.tabular import Table
+from repro.warehouse.dimension import UNKNOWN_KEY, Dimension
+from repro.warehouse.dynamic import DynamicWarehouse
+from repro.warehouse.fact import Measure
+from repro.warehouse.feedback import (
+    FeedbackDimensionBuilder,
+    FeedbackEntry,
+    outcome_dimension,
+)
+from repro.warehouse.loader import DimensionSpec, WarehouseLoader
+
+
+@pytest.fixture()
+def source():
+    return Table.from_rows(
+        [
+            {"gender": "F", "band": "60-80", "fbg": 7.4},
+            {"gender": "M", "band": "40-60", "fbg": 5.0},
+            {"gender": "F", "band": "60-80", "fbg": 8.1},
+            {"gender": None, "band": None, "fbg": 5.8},
+        ]
+    )
+
+
+@pytest.fixture()
+def loaded(source):
+    loader = WarehouseLoader(
+        "w", "facts",
+        [DimensionSpec(Dimension("personal", {"gender": "str", "band": "str"}))],
+        [Measure.of("fbg", "float", "mean")],
+    )
+    loader.load(source)
+    return loader
+
+
+class TestLoader:
+    def test_counts(self, loaded):
+        assert loaded.schema.fact.num_rows == 4
+        assert loaded.schema.dimension("personal").size == 2
+
+    def test_null_rows_map_to_unknown(self, loaded):
+        keys = loaded.schema.fact.to_table().column("personal_key").to_list()
+        assert UNKNOWN_KEY in keys
+
+    def test_report(self, source, loaded):
+        report = loaded.load(source)  # load again; members reused
+        assert report.facts_loaded == 4
+        assert report.members_per_dimension["personal"] == 2
+        assert report.unknown_keys_per_dimension["personal"] == 1
+
+    def test_column_mapping(self, source):
+        dim = Dimension("p", {"sex": "str"})
+        loader = WarehouseLoader(
+            "w", "f",
+            [DimensionSpec(dim, columns={"sex": "gender"})],
+            [Measure.of("fbg")],
+        )
+        loader.load(source)
+        assert dim.distinct_values("sex") == ["F", "M"]
+
+    def test_bad_mapping_rejected(self):
+        dim = Dimension("p", {"sex": "str"})
+        with pytest.raises(WarehouseError, match="unknown"):
+            DimensionSpec(dim, columns={"zz": "gender"})
+
+    def test_integrity_after_load(self, loaded):
+        assert loaded.schema.check_integrity() == []
+
+
+class TestDynamicWarehouse:
+    def test_add_dimension_with_keys(self, loaded):
+        dynamic = DynamicWarehouse(loaded.schema)
+        outcome = outcome_dimension("outcome", ["improved", "stable"])
+        keys = [1, 2, 1, UNKNOWN_KEY]
+        dynamic.add_dimension(outcome, fact_keys=keys)
+        flat = dynamic.flatten()
+        assert flat.column("outcome.outcome").to_list() == [
+            "improved", "stable", "improved", None
+        ]
+        assert dynamic.version == 2
+
+    def test_add_dimension_defaults_to_unknown(self, loaded):
+        dynamic = DynamicWarehouse(loaded.schema)
+        dynamic.add_dimension(outcome_dimension("o", ["x"]))
+        assert dynamic.flatten().column("o.outcome").null_count == 4
+
+    def test_key_length_checked(self, loaded):
+        dynamic = DynamicWarehouse(loaded.schema)
+        with pytest.raises(WarehouseError, match="keys supplied"):
+            dynamic.add_dimension(outcome_dimension("o", ["x"]), fact_keys=[1])
+
+    def test_duplicate_dimension_rejected(self, loaded):
+        dynamic = DynamicWarehouse(loaded.schema)
+        with pytest.raises(WarehouseError, match="already has"):
+            dynamic.add_dimension(Dimension("personal", {"gender": "str"}))
+
+    def test_remove_and_reattach(self, loaded):
+        dynamic = DynamicWarehouse(loaded.schema)
+        outcome = outcome_dimension("o", ["x"])
+        dynamic.add_dimension(outcome, fact_keys=[1, 1, 1, 1])
+        removed = dynamic.remove_dimension("o")
+        assert removed is outcome
+        assert "o" not in dynamic.dimension_names
+        dynamic.add_dimension(removed, fact_keys=[1, 1, 1, 1])
+        assert "o.outcome" in dynamic.flatten().column_names
+
+    def test_remove_missing_rejected(self, loaded):
+        with pytest.raises(WarehouseError):
+            DynamicWarehouse(loaded.schema).remove_dimension("ghost")
+
+    def test_history_journal(self, loaded):
+        dynamic = DynamicWarehouse(loaded.schema)
+        dynamic.add_dimension(outcome_dimension("o", ["x"]))
+        dynamic.remove_dimension("o")
+        text = dynamic.describe_history()
+        assert "add_dimension" in text and "remove_dimension" in text
+
+    def test_measures_untouched_by_dimension_changes(self, loaded):
+        dynamic = DynamicWarehouse(loaded.schema)
+        before = dynamic.flatten().column("fbg").to_list()
+        dynamic.add_dimension(outcome_dimension("o", ["x"]))
+        dynamic.remove_dimension("o")
+        assert dynamic.flatten().column("fbg").to_list() == before
+
+
+class TestFeedback:
+    def test_fold_feedback_first_match_wins(self, loaded):
+        dynamic = DynamicWarehouse(loaded.schema)
+        builder = (
+            FeedbackDimensionBuilder("risk")
+            .add(FeedbackEntry("high", lambda r: (r["fbg"] or 0) >= 7,
+                               author="dr_a", rationale="fbg >= 7"))
+            .add(FeedbackEntry("low", lambda r: True))
+        )
+        dimension = dynamic.fold_feedback(builder)
+        assert dimension.size == 2
+        flat = dynamic.flatten()
+        assert flat.column("risk.assessment").to_list() == [
+            "high", "low", "high", "low"
+        ]
+        assert "fold_feedback" in dynamic.describe_history()
+
+    def test_duplicate_label_rejected(self):
+        builder = FeedbackDimensionBuilder("risk")
+        builder.add(FeedbackEntry("high", lambda r: True))
+        with pytest.raises(WarehouseError, match="already has"):
+            builder.add(FeedbackEntry("high", lambda r: True))
+
+    def test_empty_builder_rejected(self, loaded):
+        with pytest.raises(WarehouseError, match="no entries"):
+            DynamicWarehouse(loaded.schema).fold_feedback(
+                FeedbackDimensionBuilder("risk")
+            )
+
+    def test_unmatched_rows_are_unknown(self, loaded):
+        dynamic = DynamicWarehouse(loaded.schema)
+        builder = FeedbackDimensionBuilder("risk").add(
+            FeedbackEntry("high", lambda r: (r["fbg"] or 0) >= 7)
+        )
+        dynamic.fold_feedback(builder)
+        flat = dynamic.flatten()
+        assert flat.column("risk.assessment").to_list() == [
+            "high", None, "high", None
+        ]
+
+    def test_provenance_attributes(self, loaded):
+        dynamic = DynamicWarehouse(loaded.schema)
+        builder = FeedbackDimensionBuilder("risk").add(
+            FeedbackEntry("high", lambda r: True, author="dr_b", rationale="why")
+        )
+        dimension = dynamic.fold_feedback(builder)
+        member = dimension.member(1)
+        assert member["author"] == "dr_b"
+        assert member["rationale"] == "why"

@@ -1,0 +1,169 @@
+"""Tests for fact tables and star/snowflake schemas."""
+
+import pytest
+
+from repro.errors import (
+    GrainViolationError,
+    UnknownMeasureError,
+    WarehouseError,
+)
+from repro.warehouse.dimension import UNKNOWN_KEY, Dimension
+from repro.warehouse.fact import FactTable, Measure
+from repro.warehouse.star import SnowflakeDimension, StarSchema
+
+
+@pytest.fixture()
+def star():
+    personal = Dimension("personal", {"gender": "str"})
+    bloods = Dimension("bloods", {"fbg_band": "str"})
+    fact = FactTable(
+        "measures", ["personal", "bloods"],
+        [Measure.of("fbg", "float", "mean"),
+         Measure.of("visits", "int", "sum", additive=True)],
+    )
+    f = personal.add_member({"gender": "F"})
+    m = personal.add_member({"gender": "M"})
+    hi = bloods.add_member({"fbg_band": "high"})
+    lo = bloods.add_member({"fbg_band": "low"})
+    fact.insert({"personal": f, "bloods": hi}, {"fbg": 7.0, "visits": 1})
+    fact.insert({"personal": m, "bloods": lo}, {"fbg": 5.0, "visits": 1})
+    fact.insert({"personal": f, "bloods": UNKNOWN_KEY}, {"fbg": 6.0, "visits": 1})
+    return StarSchema("s", fact, [personal, bloods])
+
+
+class TestMeasure:
+    def test_non_numeric_rejected(self):
+        with pytest.raises(WarehouseError):
+            Measure.of("name", "str")
+
+    def test_defaults(self):
+        m = Measure.of("fbg")
+        assert m.default_aggregation == "mean"
+        assert not m.additive
+
+
+class TestFactTable:
+    def test_grain_requires_every_key(self, star):
+        with pytest.raises(GrainViolationError, match="missing the key"):
+            star.fact.insert({"personal": 1}, {"fbg": 5.0})
+
+    def test_unknown_measures_rejected(self, star):
+        with pytest.raises(GrainViolationError, match="unknown measures"):
+            star.fact.insert(
+                {"personal": 1, "bloods": 1}, {"nope": 1.0}
+            )
+
+    def test_missing_measure_values_are_null(self, star):
+        star.fact.insert({"personal": 1, "bloods": 1}, {})
+        assert star.fact.to_table().row(-1)["fbg"] is None
+
+    def test_measure_lookup(self, star):
+        assert star.fact.measure("fbg").name == "fbg"
+        with pytest.raises(UnknownMeasureError):
+            star.fact.measure("zz")
+
+    def test_needs_dimensions_and_measures(self):
+        with pytest.raises(WarehouseError):
+            FactTable("f", [], [Measure.of("x")])
+        with pytest.raises(WarehouseError):
+            FactTable("f", ["d"], [])
+
+    def test_cache_invalidated_on_insert(self, star):
+        before = star.fact.to_table().num_rows
+        star.fact.insert({"personal": 1, "bloods": 1}, {"fbg": 1.0})
+        assert star.fact.to_table().num_rows == before + 1
+
+    def test_add_drop_dimension_column(self, star):
+        star.fact.add_dimension_column("extra", default_key=UNKNOWN_KEY)
+        assert "extra_key" in star.fact.to_table().column_names
+        star.fact.drop_dimension_column("extra")
+        assert "extra_key" not in star.fact.to_table().column_names
+
+    def test_cannot_drop_last_dimension(self):
+        fact = FactTable("f", ["only"], [Measure.of("x")])
+        with pytest.raises(WarehouseError, match="last dimension"):
+            fact.drop_dimension_column("only")
+
+
+class TestStarSchema:
+    def test_missing_dimension_rejected(self, star):
+        with pytest.raises(WarehouseError, match="not supplied"):
+            StarSchema("bad", star.fact, [star.dimension("personal")])
+
+    def test_integrity_clean(self, star):
+        assert star.check_integrity() == []
+
+    def test_integrity_detects_orphans(self, star):
+        star.fact._rows[0]["personal_key"] = 999
+        star.fact._cache = None
+        problems = star.check_integrity()
+        assert problems and "999" in problems[0]
+
+    def test_flatten_layout(self, star):
+        flat = star.flatten()
+        assert flat.column_names == [
+            "personal.gender", "bloods.fbg_band", "fbg", "visits"
+        ]
+        assert flat.num_rows == 3
+
+    def test_flatten_unknown_member_is_null(self, star):
+        flat = star.flatten()
+        assert flat.column("bloods.fbg_band").to_list()[2] is None
+
+    def test_qualified_attributes(self, star):
+        qualified = star.qualified_attributes()
+        assert qualified["personal.gender"] == ("personal", "gender")
+
+
+class TestSnowflake:
+    @pytest.fixture()
+    def clinic(self):
+        region = Dimension(
+            "region", {"region_name": "str", "state": "str"},
+            natural_key=["region_name"],
+        )
+        self.region_key = region.add_member(
+            {"region_name": "Albury", "state": "NSW"}
+        )
+        return SnowflakeDimension(
+            "clinic", {"clinic_name": "str"},
+            outriggers={"region": region}, natural_key=["clinic_name"],
+        )
+
+    def test_attribute_resolution_through_outrigger(self, clinic):
+        key = clinic.add_member(
+            {"clinic_name": "Main", "region_key": self.region_key}
+        )
+        assert clinic.attribute_of(key, "state") == "NSW"
+        assert clinic.attribute_of(key, "clinic_name") == "Main"
+
+    def test_member_resolved_flattens(self, clinic):
+        key = clinic.add_member(
+            {"clinic_name": "Main", "region_key": self.region_key}
+        )
+        resolved = clinic.member_resolved(key)
+        assert resolved == {
+            "clinic_name": "Main", "region_name": "Albury", "state": "NSW"
+        }
+
+    def test_null_outrigger_key_resolves_to_null(self, clinic):
+        key = clinic.add_member({"clinic_name": "Lone", "region_key": None})
+        assert clinic.attribute_of(key, "state") is None
+
+    def test_attribute_collision_rejected(self):
+        region = Dimension("region", {"name": "str"})
+        with pytest.raises(Exception, match="collide"):
+            SnowflakeDimension(
+                "clinic", {"name": "str"}, outriggers={"region": region}
+            )
+
+    def test_flatten_through_snowflake(self, clinic):
+        key = clinic.add_member(
+            {"clinic_name": "Main", "region_key": self.region_key}
+        )
+        fact = FactTable("f", ["clinic"], [Measure.of("x")])
+        fact.insert({"clinic": key}, {"x": 1.0})
+        star = StarSchema("s", fact, [clinic])
+        flat = star.flatten()
+        assert flat.row(0)["clinic.state"] == "NSW"
+        assert "clinic.region_key" not in flat.column_names

@@ -1,0 +1,77 @@
+"""Tests for warehouse save/load."""
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.olap.cube import Cube
+from repro.warehouse.feedback import FeedbackDimensionBuilder, FeedbackEntry
+from repro.warehouse.persistence import load_warehouse, save_warehouse
+
+
+class TestRoundTrip:
+    def test_cube_answers_identical(self, fresh_built, tmp_path):
+        warehouse = fresh_built.warehouse
+        save_warehouse(warehouse, tmp_path / "wh")
+        reloaded = load_warehouse(tmp_path / "wh")
+
+        original = Cube(warehouse).aggregate(
+            ["conditions.age_band", "personal.gender"],
+            {"n": ("records", "size"), "m": ("fbg", "mean")},
+        )
+        restored = Cube(reloaded).aggregate(
+            ["conditions.age_band", "personal.gender"],
+            {"n": ("records", "size"), "m": ("fbg", "mean")},
+        )
+        assert original.to_rows() == restored.to_rows()
+
+    def test_hierarchies_survive(self, fresh_built, tmp_path):
+        save_warehouse(fresh_built.warehouse, tmp_path / "wh")
+        reloaded = load_warehouse(tmp_path / "wh")
+        hierarchy = reloaded.schema.dimension("conditions").hierarchies["age_drill"]
+        assert hierarchy.levels == ["age_band", "age_band10", "age_band5"]
+
+    def test_measures_survive(self, fresh_built, tmp_path):
+        save_warehouse(fresh_built.warehouse, tmp_path / "wh")
+        reloaded = load_warehouse(tmp_path / "wh")
+        measure = reloaded.schema.fact.measure("fbg")
+        assert measure.default_aggregation == "mean"
+        assert not measure.additive
+
+    def test_dynamic_history_survives(self, fresh_built, tmp_path):
+        warehouse = fresh_built.warehouse
+        builder = FeedbackDimensionBuilder("risk").add(
+            FeedbackEntry("any", lambda row: True)
+        )
+        warehouse.fold_feedback(builder)
+        save_warehouse(warehouse, tmp_path / "wh")
+        reloaded = load_warehouse(tmp_path / "wh")
+        assert reloaded.version == warehouse.version
+        assert "fold_feedback" in reloaded.describe_history()
+        assert "risk" in reloaded.dimension_names
+        # the folded keys persist as data
+        flat = reloaded.flatten()
+        assert flat.column("risk.assessment").to_list()[0] == "any"
+
+    def test_integrity_checked_on_load(self, fresh_built, tmp_path):
+        import json
+
+        save_warehouse(fresh_built.warehouse, tmp_path / "wh")
+        facts_file = tmp_path / "wh" / "facts.json"
+        rows = json.loads(facts_file.read_text(encoding="utf-8"))
+        rows[0]["personal_key"] = 99999
+        facts_file.write_text(json.dumps(rows), encoding="utf-8")
+        with pytest.raises(WarehouseError, match="integrity"):
+            load_warehouse(tmp_path / "wh")
+
+    def test_missing_snapshot(self, tmp_path):
+        with pytest.raises(WarehouseError, match="no warehouse"):
+            load_warehouse(tmp_path / "ghost")
+
+    def test_bad_format_version(self, tmp_path):
+        import json
+
+        (tmp_path / "schema.json").write_text(
+            json.dumps({"format_version": 42}), encoding="utf-8"
+        )
+        with pytest.raises(WarehouseError, match="format"):
+            load_warehouse(tmp_path)
