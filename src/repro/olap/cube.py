@@ -7,6 +7,7 @@ from typing import Mapping, Sequence
 from repro.errors import OLAPError, UnknownLevelError
 from repro.olap.aggregates import validate_aggregation
 from repro.tabular.expressions import Expression, col
+from repro.tabular.groupby import GroupBy
 from repro.tabular.table import Table
 from repro.warehouse.attribute import Hierarchy
 from repro.warehouse.dynamic import DynamicWarehouse
@@ -36,6 +37,9 @@ class Cube:
         self.name = name or self.schema.name
         self._flat: Table | None = None
         self._schema_version = self._current_version()
+        self._qattrs: dict[str, tuple[str, str]] | None = None
+        self._qattrs_version = self._schema_version
+        self._groupbys: dict[tuple[str, ...], GroupBy] = {}
 
     def _current_version(self) -> int:
         return self._dynamic.version if self._dynamic is not None else 1
@@ -46,11 +50,41 @@ class Cube:
         if self._flat is None or self._schema_version != self._current_version():
             self._flat = self.schema.flatten()
             self._schema_version = self._current_version()
+            self._groupbys.clear()
         return self._flat
 
     def refresh(self) -> None:
-        """Force a rebuild of the flattened view."""
+        """Force a rebuild of the flattened view (and dependent caches)."""
         self._flat = None
+        self._qattrs = None
+        self._groupbys.clear()
+
+    def qualified_attributes(self) -> dict[str, tuple[str, str]]:
+        """``"dim.attr"`` → (dimension, attribute), cached per schema version.
+
+        Rebuilding this mapping walks every dimension; callers (level
+        validation, hierarchies) hit it on every query, so it is cached and
+        invalidated when the dynamic warehouse's version moves.
+        """
+        version = self._current_version()
+        if self._qattrs is None or self._qattrs_version != version:
+            self._qattrs = self.schema.qualified_attributes()
+            self._qattrs_version = version
+        return self._qattrs
+
+    def _grouped(self, keys: tuple[str, ...]):
+        """A cached ``GroupBy`` over the flat view for the given key tuple.
+
+        The ``GroupBy`` memoises its key factorisation, so repeated
+        ``aggregate()`` calls on an unchanged flat view pay the grouping
+        cost once.  The cache is dropped whenever the flat view rebuilds.
+        """
+        flat = self.flat  # property access also invalidates stale caches
+        grouped = self._groupbys.get(keys)
+        if grouped is None or grouped.table is not flat:
+            grouped = flat.groupby(*keys)
+            self._groupbys[keys] = grouped
+        return grouped
 
     # ------------------------------------------------------------------
     # Metadata
@@ -59,7 +93,7 @@ class Cube:
     @property
     def levels(self) -> list[str]:
         """All qualified levels (``dim.attr``)."""
-        return list(self.schema.qualified_attributes())
+        return list(self.qualified_attributes())
 
     @property
     def measure_names(self) -> list[str]:
@@ -68,11 +102,11 @@ class Cube:
 
     def check_level(self, level: str) -> str:
         """Validate a level name, returning it; raises with suggestions."""
-        if level in self.schema.qualified_attributes():
+        if level in self.qualified_attributes():
             return level
         # allow bare attribute names when unambiguous
         matches = [
-            q for q, (_, attr) in self.schema.qualified_attributes().items()
+            q for q, (_, attr) in self.qualified_attributes().items()
             if attr == level
         ]
         if len(matches) == 1:
@@ -88,7 +122,7 @@ class Cube:
     def hierarchy_for(self, level: str) -> tuple[str, Hierarchy] | None:
         """(dimension, hierarchy) containing the given level, if any."""
         qualified = self.check_level(level)
-        dim_name, attr = self.schema.qualified_attributes()[qualified]
+        dim_name, attr = self.qualified_attributes()[qualified]
         hierarchy = self.schema.dimension(dim_name).hierarchy_for_level(attr)
         if hierarchy is None:
             return None
@@ -154,7 +188,12 @@ class Cube:
                 row[out_name] = AGGREGATORS[func](column, np.arange(len(table)))
             return Table.from_rows([row])
 
-        result = table.groupby(*qualified).agg(**specs)
+        if filters is None:
+            # unchanged flat view: reuse the cached key factorisation
+            grouped = self._grouped(tuple(qualified))
+        else:
+            grouped = table.groupby(*qualified)
+        result = grouped.agg(**specs)
         return result.sort_by(*qualified)
 
     def grand_total(

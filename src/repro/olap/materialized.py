@@ -182,8 +182,12 @@ class MaterializedCube:
             validate_aggregation(measure, func, force)
             if func == "sum":
                 plans[out_name] = (f"{target}__sum", "sum")
-            elif func in ("count", "size"):
+            elif func == "count":
                 plans[out_name] = (f"{target}__count", "sum")
+            elif func == "size":
+                # `size` counts fact rows, nulls included; `{measure}__count`
+                # drops nulls, so recompose from the record count instead
+                plans[out_name] = ("__records", "sum")
             elif func == "min":
                 plans[out_name] = (f"{target}__min", "min")
             elif func == "max":

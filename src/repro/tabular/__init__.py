@@ -20,6 +20,13 @@ Quick tour::
 from repro.tabular.dtypes import DType
 from repro.tabular.column import Column
 from repro.tabular.expressions import Expression, col, lit
+from repro.tabular.factorize import (
+    SCALAR_KERNELS_ENV,
+    Factorization,
+    factorize,
+    factorize_column,
+    scalar_kernels_enabled,
+)
 from repro.tabular.table import Table
 from repro.tabular.groupby import GroupBy
 from repro.tabular.join import hash_join
@@ -31,6 +38,11 @@ __all__ = [
     "Expression",
     "col",
     "lit",
+    "SCALAR_KERNELS_ENV",
+    "Factorization",
+    "factorize",
+    "factorize_column",
+    "scalar_kernels_enabled",
     "Table",
     "GroupBy",
     "hash_join",

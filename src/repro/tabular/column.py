@@ -179,6 +179,16 @@ class Column:
         out = [func(v) if v is not None else None for v in self.to_list()]
         return Column.from_values(out, dtype=dtype)
 
+    def factorize(self) -> "tuple[np.ndarray, list[object]]":
+        """Dictionary-encode: dense int codes + the unique values they index.
+
+        Null-aware — when the column has nulls they share one trailing code
+        whose unique is ``None``.  See :mod:`repro.tabular.factorize`.
+        """
+        from repro.tabular.factorize import factorize_column
+
+        return factorize_column(self)
+
     def cast(self, dtype: DType | str) -> "Column":
         """Convert to another logical type element-wise."""
         target = DType.coerce(dtype)

@@ -1,0 +1,185 @@
+"""Factorisation kernels: values → dense integer codes.
+
+This is the primitive under the vectorised group-by and join paths.
+:func:`factorize_column` dictionary-encodes one column (codes + uniques,
+null-aware: nulls get their own trailing code).  :func:`factorize`
+combines several key columns into one dense group-code vector via
+mixed-radix combination and remaps the result to first-occurrence order,
+so downstream consumers (group-by buckets, join build sides) see groups
+in exactly the order the per-row Python path produced.
+
+The per-row Python kernels are kept as a reference oracle; setting the
+``REPRO_SCALAR_KERNELS`` environment variable to a truthy value routes
+``GroupBy``, ``hash_join`` and ``Table.distinct`` through them.  The
+property suite in ``tests/tabular/test_kernel_parity.py`` asserts the two
+paths agree cell-for-cell.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.tabular.column import Column
+from repro.tabular.dtypes import DType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tabular.table import Table
+
+#: Environment switch: truthy → use the per-row scalar reference kernels.
+SCALAR_KERNELS_ENV = "REPRO_SCALAR_KERNELS"
+
+#: Mixed-radix combination stays below this bound to avoid int64 overflow;
+#: past it, intermediate codes are re-compressed to a dense range first.
+_RADIX_LIMIT = np.int64(1) << 62
+
+
+def scalar_kernels_enabled() -> bool:
+    """True when the scalar (per-row Python) reference kernels are forced."""
+    return os.environ.get(SCALAR_KERNELS_ENV, "").strip().lower() not in (
+        "", "0", "false", "no",
+    )
+
+
+def _encode_column(column: Column) -> tuple[np.ndarray, object, int, bool]:
+    """Raw dictionary encoding: ``(codes, uniques, n_codes, has_null)``.
+
+    ``uniques`` stays in storage representation (numpy values or a Python
+    list for str columns) so codes-only callers skip the Python
+    conversion.  Nulls share the trailing code ``n_codes - 1`` when
+    ``has_null``.
+    """
+    valid = column.valid
+    present = column.data[valid]
+    if column.dtype is DType.STR:
+        # np.unique on an object array sorts with per-element Python
+        # compares; a set + dict map is ~4x faster and produces the same
+        # sorted uniques (both orders are code-point comparisons).
+        values = present.tolist()
+        uniq: object = sorted(set(values))
+        lookup = {v: i for i, v in enumerate(uniq)}
+        inverse = np.fromiter(
+            (lookup[v] for v in values), dtype=np.int64, count=len(values)
+        )
+    else:
+        uniq, inverse = np.unique(present, return_inverse=True)
+    codes = np.empty(len(column), dtype=np.int64)
+    codes[valid] = inverse
+    n_codes, has_null = len(uniq), not valid.all()
+    if has_null:
+        codes[~valid] = n_codes
+        n_codes += 1
+    return codes, uniq, n_codes, has_null
+
+
+def factorize_column(column: Column) -> tuple[np.ndarray, list[object]]:
+    """Dictionary-encode one column.
+
+    Returns ``(codes, uniques)`` where ``codes[i]`` indexes ``uniques`` for
+    every row.  Uniques are Python values in sorted order; when the column
+    has nulls they share a single trailing code whose unique is ``None``.
+    """
+    codes, uniq, _, has_null = _encode_column(column)
+    if column.dtype is DType.STR:
+        uniques: list[object] = list(uniq)
+    else:
+        uniques = [column._to_python(v) for v in uniq]
+    if has_null:
+        uniques.append(None)
+    return codes, uniques
+
+
+@dataclass
+class Factorization:
+    """Dense group codes for one or more key columns.
+
+    ``codes`` assigns every row a group id in first-occurrence order;
+    ``group_keys[g]`` is group *g*'s Python key tuple; ``first_rows[g]``
+    is the row index of its first occurrence (strictly increasing).
+    """
+
+    codes: np.ndarray
+    group_keys: list[tuple]
+    first_rows: np.ndarray
+
+    @property
+    def n_groups(self) -> int:
+        """Number of distinct key combinations."""
+        return len(self.group_keys)
+
+    def group_rows(self) -> list[np.ndarray]:
+        """Row-index array per group (ascending), in group order."""
+        order = np.argsort(self.codes, kind="stable")
+        boundaries = np.searchsorted(
+            self.codes[order], np.arange(1, self.n_groups)
+        )
+        return np.split(order, boundaries)
+
+
+def _combine_codes(
+    col_codes: list[np.ndarray], sizes: list[int]
+) -> np.ndarray:
+    """Mixed-radix combination of per-column codes into one code vector."""
+    combined = col_codes[0]
+    space = np.int64(max(sizes[0], 1))
+    for codes, size in zip(col_codes[1:], sizes[1:]):
+        radix = np.int64(max(size, 1))
+        if space > _RADIX_LIMIT // radix:
+            # re-compress to a dense range before the next radix step
+            _, combined = np.unique(combined, return_inverse=True)
+            combined = combined.astype(np.int64)
+            space = np.int64(len(combined) and int(combined.max()) + 1 or 1)
+        combined = combined * radix + codes
+        space = space * radix
+    return combined
+
+
+def factorize_codes(table: "Table", keys: Sequence[str]) -> np.ndarray:
+    """Composite key codes only — equal key tuples share a code.
+
+    The cheap sibling of :func:`factorize` for callers that match keys but
+    never look at key *values* (the join build side): it skips the Python
+    uniques and the first-occurrence remap.  Codes are dense per column
+    but the combined vector is not remapped, so code values are
+    order-of-magnitude ranks, not first-occurrence ranks.
+    """
+    encoded = [_encode_column(table.column(key)) for key in keys]
+    return _combine_codes(
+        [codes for codes, _, _, _ in encoded],
+        [n_codes for _, _, n_codes, _ in encoded],
+    )
+
+
+def factorize(table: "Table", keys: Sequence[str]) -> Factorization:
+    """Factorise the composite key over ``keys`` columns of ``table``."""
+    col_codes: list[np.ndarray] = []
+    col_uniques: list[list[object]] = []
+    for key in keys:
+        codes, uniques = factorize_column(table.column(key))
+        col_codes.append(codes)
+        col_uniques.append(uniques)
+
+    combined = _combine_codes(col_codes, [len(u) for u in col_uniques])
+
+    if len(combined) == 0:
+        return Factorization(
+            np.empty(0, dtype=np.int64), [], np.empty(0, dtype=np.int64)
+        )
+
+    _, first_pos, inverse = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first_pos, kind="stable")
+    rank = np.empty(len(order), dtype=np.int64)
+    rank[order] = np.arange(len(order))
+    codes = rank[np.asarray(inverse, dtype=np.int64)]
+    first_rows = np.asarray(first_pos, dtype=np.int64)[order]
+    group_keys = [
+        tuple(uniques[int(codes_c[row])]
+              for codes_c, uniques in zip(col_codes, col_uniques))
+        for row in first_rows
+    ]
+    return Factorization(codes, group_keys, first_rows)

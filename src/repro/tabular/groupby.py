@@ -10,6 +10,21 @@ pairs, mirroring the named-aggregation style analysts already know::
 
 Supported functions: ``count`` (non-null), ``size`` (rows), ``sum``,
 ``mean``, ``min``, ``max``, ``std``, ``nunique``, ``first``, ``last``.
+
+Two kernel paths produce identical results:
+
+* the **vectorised** path (default) factorises the key columns to dense
+  group codes (:mod:`repro.tabular.factorize`) and aggregates with numpy
+  segment kernels — ``np.bincount`` for count/size, ``reduceat`` for
+  integer sums and min/max, sorted-segment reductions elsewhere;
+* the **scalar** path — the original per-row ``AGGREGATORS`` — is kept as
+  the reference oracle and selected with ``REPRO_SCALAR_KERNELS=1``.
+
+Float sum/mean/std deliberately reduce each group's segment with the very
+same ``np.sum``/``np.mean``/``np.std`` calls the oracle makes (rather than
+``bincount`` accumulation), so the fast path is bit-identical to the slow
+one: numpy's pairwise float summation and a sequential bincount disagree
+in the last ulp on large groups.
 """
 
 from __future__ import annotations
@@ -20,6 +35,13 @@ import numpy as np
 
 from repro.errors import ColumnNotFoundError, TabularError
 from repro.tabular.column import Column
+from repro.tabular.dtypes import DType
+from repro.tabular.factorize import (
+    Factorization,
+    factorize,
+    factorize_column,
+    scalar_kernels_enabled,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.tabular.table import Table
@@ -65,6 +87,7 @@ def _agg_last(col: Column, idx: np.ndarray) -> object:
     return col.value(int(idx[-1])) if len(idx) else None
 
 
+#: Scalar reference kernels — the parity oracle for the vectorised path.
 AGGREGATORS: dict[str, Callable[[Column, np.ndarray], object]] = {
     "count": _agg_count,
     "size": _agg_size,
@@ -79,6 +102,195 @@ AGGREGATORS: dict[str, Callable[[Column, np.ndarray], object]] = {
 }
 
 
+class _GroupedColumn:
+    """One input column, permuted into group order, with lazy projections."""
+
+    def __init__(self, column: Column, engine: "_VectorEngine"):
+        self.column = column
+        self.engine = engine
+        self._svalid: np.ndarray | None = None
+        self._pdata: np.ndarray | None = None
+        self._pcodes: np.ndarray | None = None
+        self._bounds: tuple[np.ndarray, np.ndarray] | None = None
+        self._valid_counts: np.ndarray | None = None
+        self._pvcodes: np.ndarray | None = None
+        self._n_value_codes = 0
+
+    @property
+    def svalid(self) -> np.ndarray:
+        """Validity mask permuted into group order."""
+        if self._svalid is None:
+            self._svalid = self.column.valid[self.engine.order]
+        return self._svalid
+
+    @property
+    def pdata(self) -> np.ndarray:
+        """Non-null data, group-major, row-ascending within each group."""
+        if self._pdata is None:
+            self._pdata = self.column.data[self.engine.order][self.svalid]
+            self._pcodes = self.engine.sorted_codes[self.svalid]
+        return self._pdata
+
+    @property
+    def pcodes(self) -> np.ndarray:
+        """Group code per element of :attr:`pdata`."""
+        self.pdata
+        return self._pcodes  # type: ignore[return-value]
+
+    @property
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-group [start, end) offsets into :attr:`pdata`."""
+        if self._bounds is None:
+            groups = np.arange(self.engine.n_groups)
+            self._bounds = (
+                np.searchsorted(self.pcodes, groups, side="left"),
+                np.searchsorted(self.pcodes, groups, side="right"),
+            )
+        return self._bounds
+
+    @property
+    def pvcodes(self) -> np.ndarray:
+        """Factorised value codes aligned with :attr:`pdata` (for nunique)."""
+        if self._pvcodes is None:
+            codes, uniques = factorize_column(self.column)
+            self._n_value_codes = len(uniques)
+            self._pvcodes = codes[self.engine.order][self.svalid]
+        return self._pvcodes
+
+    @property
+    def n_value_codes(self) -> int:
+        """Size of the value-code space behind :attr:`pvcodes`."""
+        self.pvcodes
+        return self._n_value_codes
+
+    def valid_counts(self) -> np.ndarray:
+        """Non-null element count per group."""
+        if self._valid_counts is None:
+            self._valid_counts = np.bincount(
+                self.engine.codes[self.column.valid],
+                minlength=self.engine.n_groups,
+            )
+        return self._valid_counts
+
+
+class _VectorEngine:
+    """Shared per-``agg()`` state: group codes sorted once, reused by all plans."""
+
+    def __init__(self, fact: Factorization):
+        self.fact = fact
+        self.codes = fact.codes
+        self.n_groups = fact.n_groups
+        self.order = np.argsort(fact.codes, kind="stable")
+        self.sorted_codes = fact.codes[self.order]
+        self._columns: dict[int, _GroupedColumn] = {}
+        self._sizes: np.ndarray | None = None
+
+    def grouped(self, column: Column) -> _GroupedColumn:
+        key = id(column)
+        if key not in self._columns:
+            self._columns[key] = _GroupedColumn(column, self)
+        return self._columns[key]
+
+    def sizes(self) -> np.ndarray:
+        if self._sizes is None:
+            self._sizes = np.bincount(self.codes, minlength=self.n_groups)
+        return self._sizes
+
+    # -- kernels; each returns one Python value per group -----------------
+
+    def count(self, column: Column) -> list[object]:
+        return [int(c) for c in self.grouped(column).valid_counts()]
+
+    def size(self, column: Column) -> list[object]:
+        return [int(c) for c in self.sizes()]
+
+    def sum(self, column: Column) -> list[object]:
+        column._require_numeric("sum")
+        g = self.grouped(column)
+        starts, ends = g.bounds
+        if column.dtype is DType.INT:
+            # int64 addition is associative: reduceat == np.sum exactly
+            sums = np.zeros(self.n_groups, dtype=np.int64)
+            nonempty = ends > starts
+            if g.pdata.size:
+                sums[nonempty] = np.add.reduceat(g.pdata, starts[nonempty])
+            return [
+                int(s) if ne else None for s, ne in zip(sums, nonempty)
+            ]
+        return [
+            float(g.pdata[a:b].sum()) if b > a else None
+            for a, b in zip(starts, ends)
+        ]
+
+    def mean(self, column: Column) -> list[object]:
+        column._require_numeric("mean")
+        g = self.grouped(column)
+        starts, ends = g.bounds
+        return [
+            float(g.pdata[a:b].mean()) if b > a else None
+            for a, b in zip(starts, ends)
+        ]
+
+    def std(self, column: Column) -> list[object]:
+        column._require_numeric("std")
+        g = self.grouped(column)
+        starts, ends = g.bounds
+        return [
+            float(g.pdata[a:b].std()) if b > a else None
+            for a, b in zip(starts, ends)
+        ]
+
+    def _extremum(self, column: Column, ufunc, py_reduce) -> list[object]:
+        g = self.grouped(column)
+        starts, ends = g.bounds
+        if column.dtype is DType.STR:
+            return [
+                py_reduce(g.pdata[a:b].tolist()) if b > a else None
+                for a, b in zip(starts, ends)
+            ]
+        out: list[object] = [None] * self.n_groups
+        nonempty = np.flatnonzero(ends > starts)
+        if len(nonempty):
+            vals = ufunc.reduceat(g.pdata, starts[nonempty])
+            for slot, v in zip(nonempty, vals):
+                out[int(slot)] = column._to_python(v)
+        return out
+
+    def min(self, column: Column) -> list[object]:
+        return self._extremum(column, np.minimum, min)
+
+    def max(self, column: Column) -> list[object]:
+        return self._extremum(column, np.maximum, max)
+
+    def nunique(self, column: Column) -> list[object]:
+        g = self.grouped(column)
+        if g.pdata.size == 0:
+            return [0] * self.n_groups
+        # factorised values compare cheaply regardless of dtype (str included)
+        p, n_values = g.pvcodes, g.n_value_codes
+        cells = self.n_groups * n_values
+        if cells <= max(4 * len(p), 1 << 16):
+            # dense (group, value) occupancy grid: O(n) scatter, no sort
+            seen = np.zeros(cells, dtype=bool)
+            seen[g.pcodes * n_values + p] = True
+            counts = seen.reshape(self.n_groups, n_values).sum(axis=1)
+        else:
+            within = np.lexsort((p, g.pcodes))
+            values, codes = p[within], g.pcodes[within]
+            new = np.ones(len(values), dtype=bool)
+            new[1:] = (values[1:] != values[:-1]) | (codes[1:] != codes[:-1])
+            counts = np.bincount(codes[new], minlength=self.n_groups)
+        return [int(c) for c in counts]
+
+    def first(self, column: Column) -> list[object]:
+        return [column.value(int(r)) for r in self.fact.first_rows]
+
+    def last(self, column: Column) -> list[object]:
+        groups = np.arange(self.n_groups)
+        ends = np.searchsorted(self.sorted_codes, groups, side="right")
+        return [column.value(int(self.order[e - 1])) for e in ends]
+
+
 class GroupBy:
     """Lazy grouping over key columns; ``agg`` materialises the result.
 
@@ -86,6 +298,11 @@ class GroupBy:
     deterministic.  Rows whose key tuple contains a null still form a group
     keyed by ``None`` — clinical data is full of partially-known records and
     silently dropping them would bias counts.
+
+    The factorisation of the key columns is computed once per ``GroupBy``
+    and shared across ``groups()``/``agg()`` calls, so repeated
+    aggregations over the same keys (the OLAP cube's access pattern) pay
+    the grouping cost once.
     """
 
     def __init__(self, table: "Table", keys: list[str]):
@@ -96,9 +313,29 @@ class GroupBy:
                 raise ColumnNotFoundError(key, table.column_names)
         self.table = table
         self.keys = keys
+        self._fact: Factorization | None = None
+        self._engine: _VectorEngine | None = None
+
+    def factorization(self) -> Factorization:
+        """Dense group codes for the key columns (cached)."""
+        if self._fact is None:
+            self._fact = factorize(self.table, self.keys)
+        return self._fact
+
+    def _vector_engine(self) -> "_VectorEngine":
+        """Sorted group order plus per-column projections (cached)."""
+        if self._engine is None:
+            self._engine = _VectorEngine(self.factorization())
+        return self._engine
 
     def groups(self) -> dict[tuple, np.ndarray]:
         """Key tuple → row-index array, in first-occurrence order."""
+        if scalar_kernels_enabled():
+            return self._groups_scalar()
+        fact = self.factorization()
+        return dict(zip(fact.group_keys, fact.group_rows()))
+
+    def _groups_scalar(self) -> dict[tuple, np.ndarray]:
         key_lists = [self.table.column(k).to_list() for k in self.keys]
         buckets: dict[tuple, list[int]] = {}
         for i in range(len(self.table)):
@@ -112,7 +349,7 @@ class GroupBy:
 
         if not named:
             raise TabularError("agg() requires at least one aggregation")
-        plans = []
+        plans: list[tuple[str, str, str]] = []
         for out_name, spec in named.items():
             if not (isinstance(spec, tuple) and len(spec) == 2):
                 raise TabularError(
@@ -125,29 +362,63 @@ class GroupBy:
                     f"unknown aggregation {func_name!r} "
                     f"(valid: {', '.join(sorted(AGGREGATORS))})"
                 )
-            plans.append((out_name, self.table.column(in_name), AGGREGATORS[func_name]))
+            self.table.column(in_name)  # raise early if absent
+            plans.append((out_name, in_name, func_name))
 
-        grouped = self.groups()
-        rows: list[dict[str, object]] = []
-        for key, idx in grouped.items():
-            row: dict[str, object] = dict(zip(self.keys, key))
-            for out_name, column, func in plans:
-                row[out_name] = func(column, idx)
-            rows.append(row)
+        if scalar_kernels_enabled():
+            group_keys, results = self._aggregate_scalar(plans)
+        else:
+            group_keys, results = self._aggregate_vector(plans)
 
-        if rows:
-            return Table.from_rows(rows)
-        # Empty input: preserve the schema so downstream sorts/selects work.
-        schema = {key: self.table.schema[key] for key in self.keys}
-        for out_name, spec in named.items():
-            in_name, func_name = spec
+        # Explicit output schema: dtype follows the function/input column, so
+        # all-null cells (e.g. a sum over an all-null measure) keep the input
+        # type instead of degrading to inferred str.
+        schema: dict[str, object] = {
+            key: self.table.schema[key] for key in self.keys
+        }
+        for out_name, in_name, func_name in plans:
             if func_name in ("count", "size", "nunique"):
-                schema[out_name] = "int"  # type: ignore[assignment]
+                schema[out_name] = "int"
             elif func_name in ("mean", "std"):
-                schema[out_name] = "float"  # type: ignore[assignment]
+                schema[out_name] = "float"
             else:
                 schema[out_name] = self.table.schema[in_name]
+
+        rows: list[dict[str, object]] = []
+        for g, key in enumerate(group_keys):
+            row: dict[str, object] = dict(zip(self.keys, key))
+            for out_name, _, _ in plans:
+                row[out_name] = results[out_name][g]
+            rows.append(row)
+        if rows:
+            return Table.from_rows(rows, schema=schema)
+        # Empty input: preserve the schema so downstream sorts/selects work.
         return Table.empty(schema)
+
+    def _aggregate_scalar(
+        self, plans: list[tuple[str, str, str]]
+    ) -> tuple[list[tuple], dict[str, list[object]]]:
+        grouped = self._groups_scalar()
+        results: dict[str, list[object]] = {out: [] for out, _, _ in plans}
+        for idx in grouped.values():
+            for out_name, in_name, func_name in plans:
+                results[out_name].append(
+                    AGGREGATORS[func_name](self.table.column(in_name), idx)
+                )
+        return list(grouped), results
+
+    def _aggregate_vector(
+        self, plans: list[tuple[str, str, str]]
+    ) -> tuple[list[tuple], dict[str, list[object]]]:
+        fact = self.factorization()
+        if fact.n_groups == 0:
+            return [], {out: [] for out, _, _ in plans}
+        engine = self._vector_engine()
+        results: dict[str, list[object]] = {}
+        for out_name, in_name, func_name in plans:
+            kernel = getattr(engine, func_name)
+            results[out_name] = kernel(self.table.column(in_name))
+        return fact.group_keys, results
 
     def size(self) -> "Table":
         """Shorthand for a single row-count aggregation named ``size``."""

@@ -1,4 +1,12 @@
-"""Hash joins between tables."""
+"""Hash joins between tables.
+
+The default path factorises the key columns of both sides into one shared
+dense code space (:mod:`repro.tabular.factorize`) and matches codes with
+sorted-array searches — no per-row Python.  The original per-row matcher
+is kept as the parity oracle behind ``REPRO_SCALAR_KERNELS=1`` and as the
+fallback when the two sides' key columns disagree on dtype (Python-level
+equality, e.g. ``1 == 1.0``, still applies there).
+"""
 
 from __future__ import annotations
 
@@ -8,6 +16,7 @@ import numpy as np
 
 from repro.errors import TabularError
 from repro.tabular.column import Column
+from repro.tabular.factorize import factorize_codes, scalar_kernels_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.tabular.table import Table
@@ -38,6 +47,40 @@ def hash_join(
         left.column(k)
         right.column(k)
 
+    mixed_dtypes = any(
+        left.column(k).dtype is not right.column(k).dtype for k in keys
+    )
+    if scalar_kernels_enabled() or mixed_dtypes:
+        left_take, right_take = _match_scalar(left, right, keys, how)
+    else:
+        left_take, right_take = _match_vector(left, right, keys, how)
+
+    columns: dict[str, Column] = {
+        name: left.column(name).take(left_take) for name in left.column_names
+    }
+    matched = right_take >= 0
+    for name in right.column_names:
+        if name in keys:
+            continue
+        out_name = name if name not in columns else f"{name}{suffix}"
+        source = right.column(name)
+        if len(right) == 0:
+            # nothing to gather from; every output slot is an unmatched null
+            gathered = Column.nulls(source.dtype, len(right_take))
+        else:
+            gathered = source.take(np.where(matched, right_take, 0))
+            if how == "left" and not matched.all():
+                gathered = Column(
+                    gathered.dtype, gathered.data, gathered.valid & matched
+                )
+        columns[out_name] = gathered
+    return Table(columns)
+
+
+def _match_scalar(
+    left: "Table", right: "Table", keys: list[str], how: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row reference matcher; ``-1`` in the right index marks no match."""
     right_key_lists = [right.column(k).to_list() for k in keys]
     index: dict[tuple, list[int]] = {}
     for j in range(len(right)):
@@ -48,7 +91,7 @@ def hash_join(
 
     left_key_lists = [left.column(k).to_list() for k in keys]
     left_idx: list[int] = []
-    right_idx: list[int] = []  # -1 marks "no match" for left joins
+    right_idx: list[int] = []
     for i in range(len(left)):
         key = tuple(values[i] for values in left_key_lists)
         matches = index.get(key) if not any(v is None for v in key) else None
@@ -59,22 +102,64 @@ def hash_join(
         elif how == "left":
             left_idx.append(i)
             right_idx.append(-1)
+    return (
+        np.array(left_idx, dtype=np.int64),
+        np.array(right_idx, dtype=np.int64),
+    )
 
-    left_take = np.array(left_idx, dtype=np.int64)
-    right_take = np.array(right_idx, dtype=np.int64)
 
-    columns: dict[str, Column] = {
-        name: left.column(name).take(left_take) for name in left.column_names
-    }
-    matched = right_take >= 0
-    safe_take = np.where(matched, right_take, 0)
-    for name in right.column_names:
-        if name in keys:
-            continue
-        out_name = name if name not in columns else f"{name}{suffix}"
-        gathered = right.column(name).take(safe_take)
-        if how == "left" and not matched.all():
-            valid = gathered.valid & matched
-            gathered = Column(gathered.dtype, gathered.data, valid)
-        columns[out_name] = gathered
-    return Table(columns)
+def _match_vector(
+    left: "Table", right: "Table", keys: list[str], how: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Factorised matcher: shared key codes + sorted-search range lookups."""
+    from repro.tabular.table import Table
+
+    n_left, n_right = len(left), len(right)
+    stacked = Table(
+        {k: left.column(k).concat(right.column(k)) for k in keys}
+    )
+    codes = factorize_codes(stacked, keys)
+    l_codes, r_codes = codes[:n_left], codes[n_left:]
+
+    l_null = ~np.logical_and.reduce(
+        [left.column(k).valid for k in keys] or [np.ones(n_left, dtype=bool)]
+    )
+    r_null = ~np.logical_and.reduce(
+        [right.column(k).valid for k in keys] or [np.ones(n_right, dtype=bool)]
+    )
+
+    r_keep = np.flatnonzero(~r_null)
+    r_order = np.argsort(r_codes[r_keep], kind="stable")
+    r_sorted = r_codes[r_keep][r_order]
+    r_rows = r_keep[r_order]  # right row numbers, code-major, row-ascending
+
+    n_codes = int(codes.max()) + 1 if len(codes) else 0
+    if 0 < n_codes <= 4 * len(codes) + 1024:
+        # dense code space: per-code offsets by direct indexing, no search
+        r_hist = np.bincount(r_sorted, minlength=n_codes)
+        r_offsets = np.concatenate(
+            ([0], np.cumsum(r_hist[:-1], dtype=np.int64))
+        )
+        starts = r_offsets[l_codes]
+        counts = r_hist[l_codes]
+    else:
+        # sparse combined codes (multi-key radix): binary search instead
+        starts = np.searchsorted(r_sorted, l_codes, side="left")
+        counts = np.searchsorted(r_sorted, l_codes, side="right") - starts
+    counts[l_null] = 0
+
+    out_counts = np.maximum(counts, 1) if how == "left" else counts
+    left_take = np.repeat(np.arange(n_left, dtype=np.int64), out_counts)
+    total = int(out_counts.sum())
+    block_starts = np.cumsum(out_counts) - out_counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        block_starts, out_counts
+    )
+    matched = within < np.repeat(counts, out_counts)
+    if len(r_rows) == 0:
+        right_take = np.full(total, -1, dtype=np.int64)
+    else:
+        positions = np.repeat(starts, out_counts) + within
+        positions = np.minimum(positions, len(r_rows) - 1)
+        right_take = np.where(matched, r_rows[positions], -1)
+    return left_take, right_take.astype(np.int64)

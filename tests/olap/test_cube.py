@@ -115,6 +115,58 @@ class TestAggregate:
         assert sum(table.column("records").to_list()) == small_cube.flat.num_rows
 
 
+class TestQualifiedAttributeCache:
+    """`qualified_attributes()` is rebuilt per schema version, not per call."""
+
+    def test_repeated_checks_hit_the_cache(self, small_cube, monkeypatch):
+        calls = {"n": 0}
+        original = type(small_cube.schema).qualified_attributes
+
+        def counting(schema):
+            calls["n"] += 1
+            return original(schema)
+
+        monkeypatch.setattr(
+            type(small_cube.schema), "qualified_attributes", counting
+        )
+        small_cube.check_level("gender")
+        small_cube.check_level("personal.band")
+        small_cube.aggregate(["personal.gender"])
+        assert calls["n"] == 1
+
+    def test_dynamic_add_dimension_invalidates(self, small_cube, monkeypatch):
+        dynamic = DynamicWarehouse(small_cube.schema)
+        cube = Cube(dynamic)
+        cube.check_level("gender")  # warm the cache
+        with pytest.raises(UnknownLevelError):
+            cube.check_level("site.ward")
+        calls = {"n": 0}
+        original = type(cube.schema).qualified_attributes
+
+        def counting(schema):
+            calls["n"] += 1
+            return original(schema)
+
+        monkeypatch.setattr(
+            type(cube.schema), "qualified_attributes", counting
+        )
+        site = Dimension("site", {"ward": "str"})
+        site.add_member({"ward": "A"})
+        dynamic.add_dimension(site)
+        assert cube.check_level("site.ward") == "site.ward"
+        assert calls["n"] == 1  # one rebuild for the new version, then cached
+        cube.check_level("site.ward")
+        cube.aggregate(["site.ward"])
+        assert calls["n"] == 1
+
+    def test_refresh_clears_the_cache(self, small_cube):
+        small_cube.check_level("gender")
+        assert small_cube._qattrs is not None
+        small_cube.refresh()
+        assert small_cube._qattrs is None
+        assert small_cube.check_level("gender") == "personal.gender"
+
+
 class TestDynamicRefresh:
     def test_cube_sees_new_dimensions_automatically(self, small_cube):
         source_rows = small_cube.flat.num_rows

@@ -115,36 +115,91 @@ class TestAnswering:
         assert "rolled up" in lattice.stats.summary()
 
 
+class TestSizeWithNullMeasure:
+    """Regression: `size` on a measure was answered from the non-null count
+    (`{measure}__count`), diverging from the base cube whenever the measure
+    has nulls.  It must be answered from the record count instead."""
+
+    @pytest.fixture()
+    def null_cube(self):
+        rows = [
+            {"g": "F", "band": "a", "pid": 1, "v": 7.0},
+            {"g": "F", "band": "a", "pid": 1, "v": None},
+            {"g": "M", "band": "a", "pid": 2, "v": None},
+            {"g": "F", "band": "b", "pid": 3, "v": 5.0},
+            {"g": "M", "band": "b", "pid": 4, "v": None},
+        ]
+        return build_cube(rows)
+
+    @pytest.fixture()
+    def null_lattice(self, null_cube):
+        return MaterializedCube(null_cube).materialize([["d.g", "d.band"]])
+
+    def test_size_counts_all_rows(self, null_lattice, null_cube):
+        got = null_lattice.aggregate(["d.g"], {"n": ("v", "size")})
+        base = null_cube.aggregate(["d.g"], {"n": ("v", "size")})
+        assert got.to_rows() == base.to_rows()
+        assert {r["d.g"]: r["n"] for r in got.to_rows()} == {"F": 3, "M": 2}
+
+    def test_count_still_skips_nulls(self, null_lattice, null_cube):
+        got = null_lattice.aggregate(["d.g"], {"c": ("v", "count")})
+        base = null_cube.aggregate(["d.g"], {"c": ("v", "count")})
+        assert got.to_rows() == base.to_rows()
+        assert {r["d.g"]: r["c"] for r in got.to_rows()} == {"F": 2, "M": 0}
+
+    def test_grand_total_size_vs_count(self, null_lattice, null_cube):
+        got = null_lattice.aggregate(
+            [], {"n": ("v", "size"), "c": ("v", "count")}
+        )
+        base = null_cube.aggregate(
+            [], {"n": ("v", "size"), "c": ("v", "count")}
+        )
+        assert got.to_rows() == base.to_rows() == [{"n": 5, "c": 2}]
+
+
 rows_strategy = st.lists(
     st.fixed_dictionaries(
         {
             "g": st.sampled_from(["F", "M"]),
             "band": st.sampled_from(["a", "b", "c"]),
             "pid": st.integers(1, 6),
-            "v": st.floats(0, 50, allow_nan=False),
+            "v": st.one_of(st.none(), st.floats(0, 50, allow_nan=False)),
         }
     ),
     min_size=1,
     max_size=40,
 )
 
+#: every aggregation the lattice can answer, over a nullable measure
+LATTICE_ANSWERABLE = {
+    "n": ("records", "size"),
+    "nc": ("records", "count"),
+    "m": ("v", "mean"),
+    "lo": ("v", "min"),
+    "hi": ("v", "max"),
+    "present": ("v", "count"),
+    "rows": ("v", "size"),
+    "s": ("n_add", "sum"),
+}
+
 
 @given(rows_strategy)
 @settings(max_examples=30, deadline=None)
 def test_property_lattice_matches_base(rows):
-    """Every lattice answer equals the base cube's answer."""
+    """Every lattice answer equals the base cube's answer, for every
+    lattice-answerable aggregation, nulls in the measure included."""
     cube = build_cube(rows)
     lattice = MaterializedCube(cube).materialize([["d.g", "d.band"]])
-    for levels in (["d.g"], ["d.band"], ["d.g", "d.band"]):
-        got = lattice.aggregate(
-            levels, {"n": ("records", "size"), "m": ("v", "mean")}
-        )
-        expected = cube.aggregate(
-            levels, {"n": ("records", "size"), "m": ("v", "mean")}
-        )
+    for levels in ([], ["d.g"], ["d.band"], ["d.g", "d.band"]):
+        got = lattice.aggregate(levels, LATTICE_ANSWERABLE)
+        expected = cube.aggregate(levels, LATTICE_ANSWERABLE)
+        assert got.column_names == expected.column_names
         for g_row, e_row in zip(got.to_rows(), expected.to_rows()):
-            assert g_row["n"] == e_row["n"]
-            if e_row["m"] is None:
-                assert g_row["m"] is None
-            else:
-                assert g_row["m"] == pytest.approx(e_row["m"])
+            for out in LATTICE_ANSWERABLE:
+                if e_row[out] is None:
+                    assert g_row[out] is None
+                elif LATTICE_ANSWERABLE[out][1] == "mean":
+                    assert g_row[out] == pytest.approx(e_row[out])
+                else:
+                    assert g_row[out] == e_row[out]
+    assert lattice.stats.fallbacks == 0

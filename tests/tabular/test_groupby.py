@@ -19,6 +19,7 @@ def visits():
     )
 
 
+@pytest.mark.usefixtures("kernel_mode")
 class TestGroups:
     def test_first_occurrence_order(self, visits):
         keys = list(visits.groupby("sex").groups())
@@ -41,6 +42,7 @@ class TestGroups:
             visits.groupby()
 
 
+@pytest.mark.usefixtures("kernel_mode")
 class TestAgg:
     def test_size_vs_count(self, visits):
         result = visits.groupby("band").agg(

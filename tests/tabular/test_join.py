@@ -29,6 +29,7 @@ def dims():
     )
 
 
+@pytest.mark.usefixtures("kernel_mode")
 class TestInnerJoin:
     def test_matches_only(self, facts, dims):
         joined = hash_join(facts, dims, on="pid")
@@ -50,6 +51,7 @@ class TestInnerJoin:
         assert "fbg_right" in joined.column_names
 
 
+@pytest.mark.usefixtures("kernel_mode")
 class TestLeftJoin:
     def test_unmatched_rows_kept_with_nulls(self, facts, dims):
         joined = hash_join(facts, dims, on="pid", how="left")
@@ -66,6 +68,34 @@ class TestLeftJoin:
         joined = hash_join(left, right, on=["a", "b"])
         assert joined.num_rows == 1
         assert joined.row(0)["w"] == 1
+
+
+@pytest.mark.usefixtures("kernel_mode")
+class TestEmptyRight:
+    """Regression: a left join against an empty right table raised
+    IndexError (gathering index 0 from zero-length arrays)."""
+
+    @pytest.fixture()
+    def empty_dims(self):
+        return Table.empty({"pid": "int", "sex": "str"})
+
+    def test_left_join_empty_right_emits_nulls(self, facts, empty_dims):
+        joined = hash_join(facts, empty_dims, on="pid", how="left")
+        assert joined.num_rows == facts.num_rows
+        assert joined.column("sex").to_list() == [None] * facts.num_rows
+        assert joined.column("fbg").to_list() == facts.column("fbg").to_list()
+
+    def test_inner_join_empty_right_is_empty(self, facts, empty_dims):
+        joined = hash_join(facts, empty_dims, on="pid")
+        assert joined.num_rows == 0
+        assert joined.column_names == ["pid", "fbg", "sex"]
+        assert joined.schema["sex"].value == "str"
+
+    def test_both_sides_empty(self, empty_dims):
+        empty_facts = Table.empty({"pid": "int", "fbg": "float"})
+        for how in ("inner", "left"):
+            joined = hash_join(empty_facts, empty_dims, on="pid", how=how)
+            assert joined.num_rows == 0
 
 
 class TestErrors:
