@@ -238,6 +238,78 @@ def test_p3_groupby_kernel_speedup(emit):
     assert join_speedup >= 5.0
 
 
+def test_p3_recovery_latency(tmp_path, emit):
+    """Crash-recovery cost at warehouse scale: snapshot load + WAL replay.
+
+    100k operational rows are checkpointed into a snapshot generation,
+    another slice of transactions lands in the WAL afterwards, and the
+    process "dies".  ``recover()`` must rebuild the exact pre-crash
+    engine; this times that path and records it in ``BENCH_recovery.json``.
+    """
+    import datetime as dt
+
+    from repro.storage import StorageEngine, WriteAheadLog, checkpoint, recover
+
+    rows = 100_000
+    wal_tail = 5_000
+    batch = 1_000
+    wal_path = tmp_path / "wal.log"
+    snap_root = tmp_path / "snaps"
+
+    engine = StorageEngine(WriteAheadLog(wal_path))
+    engine.create_table(
+        "visits",
+        {"vid": "int", "pid": "int", "fbg": "float", "when": "date"},
+        primary_key="vid",
+    )
+    engine.create_index("visits", "pid")
+    epoch = dt.date(2010, 1, 1)
+
+    def load(start: int, count: int) -> None:
+        for base in range(start, start + count, batch):
+            with engine.transaction():
+                for vid in range(base, min(base + batch, start + count)):
+                    engine.insert(
+                        "visits",
+                        {
+                            "vid": vid,
+                            "pid": vid // 3,
+                            "fbg": 4.0 + (vid % 70) / 10.0,
+                            "when": epoch + dt.timedelta(days=vid % 1461),
+                        },
+                    )
+
+    load(0, rows)
+    snapshot_s, _ = _best_of(lambda: checkpoint(engine, snap_root), repeats=1)
+    load(rows, wal_tail)  # post-checkpoint transactions live only in the WAL
+    pre_crash_count = engine.row_count("visits")
+    engine.wal.close()  # the crash: in-memory state is gone
+
+    recover_s, recovered = _best_of(
+        lambda: recover(snap_root, wal_path), repeats=3
+    )
+    assert recovered.row_count("visits") == pre_crash_count
+    assert recovered.get_by_pk("visits", rows + wal_tail - 1) is not None
+    assert len(recovered.find("visits", "pid", 33)) == 3
+
+    payload = {
+        "rows": pre_crash_count,
+        "snapshot_rows": rows,
+        "wal_replayed_rows": wal_tail,
+        "wal_bytes": wal_path.stat().st_size,
+        "checkpoint_s": round(snapshot_s, 3),
+        "recover_s": round(recover_s, 3),
+    }
+    (Path(__file__).parent.parent / "BENCH_recovery.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    emit(
+        "p3_recovery",
+        f"{pre_crash_count} rows ({rows} snapshotted + {wal_tail} WAL tail); "
+        f"checkpoint {snapshot_s:.2f} s, recover {recover_s:.2f} s",
+    )
+
+
 def test_p3_materialized_lattice(benchmark, cube, emit):
     """Ablation: answer the Fig 5 roll-up from a precomputed lattice node."""
     from repro.olap.materialized import MaterializedCube

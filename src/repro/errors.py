@@ -75,6 +75,26 @@ class IntegrityError(StorageError):
     """A constraint (primary key, foreign key, not-null) was violated."""
 
 
+class DurabilityError(StorageError):
+    """Base class for on-disk durability failures (framing, checksums)."""
+
+
+class ChecksumError(DurabilityError):
+    """Stored bytes do not match their recorded checksum."""
+
+
+class WALCorruptionError(DurabilityError):
+    """The write-ahead log is damaged beyond a repairable torn tail."""
+
+
+class SnapshotError(DurabilityError):
+    """A snapshot generation is missing files or fails verification."""
+
+
+class InjectedFault(DurabilityError):
+    """A deliberate failure raised by the fault-injection layer."""
+
+
 # --------------------------------------------------------------------------
 # ETL / transformation
 # --------------------------------------------------------------------------

@@ -2,7 +2,10 @@
 
 The paper's knowledge base is the long-lived artefact of the platform —
 findings accumulate across trials and years, so they must outlive any one
-process.  Plain JSON keeps the store reviewable by the curator.
+process.  Plain JSON keeps the store reviewable by the curator; the file
+is replaced atomically (temp + fsync + rename) and format-2 files carry a
+CRC32 over the findings so silent corruption is detected on load.
+Format-1 files (no checksum) still load.
 """
 
 from __future__ import annotations
@@ -14,8 +17,10 @@ from pathlib import Path
 from repro.errors import KnowledgeBaseError
 from repro.knowledge.findings import Evidence, Finding, FindingKind
 from repro.knowledge.kb import KnowledgeBase
+from repro.storage.durable import atomic_write_bytes, crc32_hex
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = frozenset({1, 2})
 
 
 def save_knowledge_base(kb: KnowledgeBase, path: str | Path) -> None:
@@ -43,7 +48,14 @@ def save_knowledge_base(kb: KnowledgeBase, path: str | Path) -> None:
             for finding in sorted(kb._findings.values(), key=lambda f: f.key)
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    payload["checksum"] = crc32_hex(
+        json.dumps(payload["findings"], sort_keys=True).encode("utf-8")
+    )
+    atomic_write_bytes(
+        Path(path),
+        json.dumps(payload, indent=2).encode("utf-8"),
+        point="kb.write",
+    )
 
 
 def load_knowledge_base(path: str | Path) -> KnowledgeBase:
@@ -51,13 +63,28 @@ def load_knowledge_base(path: str | Path) -> KnowledgeBase:
     file_path = Path(path)
     if not file_path.exists():
         raise KnowledgeBaseError(f"no knowledge base at {file_path}")
-    payload = json.loads(file_path.read_text(encoding="utf-8"))
+    try:
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise KnowledgeBaseError(
+            f"{file_path} is corrupt (not valid JSON): {exc}"
+        )
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise KnowledgeBaseError(
             f"unsupported knowledge-base format {version!r} "
-            f"(expected {_FORMAT_VERSION})"
+            f"(expected one of {sorted(_SUPPORTED_VERSIONS)})"
         )
+    stored_checksum = payload.get("checksum")
+    if version >= 2 and stored_checksum is not None:
+        actual = crc32_hex(
+            json.dumps(payload["findings"], sort_keys=True).encode("utf-8")
+        )
+        if actual != stored_checksum:
+            raise KnowledgeBaseError(
+                f"{file_path} fails its checksum "
+                f"(stored {stored_checksum}, actual {actual})"
+            )
     kb = KnowledgeBase(promotion_threshold=payload["promotion_threshold"])
     for raw in payload["findings"]:
         finding = Finding(

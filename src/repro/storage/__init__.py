@@ -3,26 +3,35 @@
 The paper's clinical environment has "flat file storage, multiple database
 vendors and different data models"; this package plays the role of those
 operational stores.  It provides named tables with declared schemas,
-row-level CRUD inside transactions, hash and sorted indexes, a write-ahead
-log for durability, and whole-database snapshots.
+row-level CRUD inside transactions, hash and sorted indexes, a
+checksummed write-ahead log for durability, snapshot generations with
+verified manifests, and crash recovery (newest valid generation + WAL
+replay) with a pluggable fault-injection harness.
 
 ::
 
-    from repro.storage import StorageEngine
+    from repro.storage import StorageEngine, checkpoint, recover
 
-    db = StorageEngine()
+    db = StorageEngine(WriteAheadLog("visits.wal"))
     db.create_table("visits", {"visit_id": "int", "patient_id": "int",
                                "fbg": "float"}, primary_key="visit_id")
     with db.transaction():
         db.insert("visits", {"visit_id": 1, "patient_id": 7, "fbg": 5.4})
-    table = db.scan("visits")          # -> repro.tabular.Table
+    checkpoint(db, "snapshots/")       # durable point-in-time state
+    db = recover("snapshots/", "visits.wal")   # after a crash
 """
 
-from repro.storage.engine import StorageEngine
+from repro.storage.engine import StorageEngine, replay_into
 from repro.storage.catalog import Catalog, TableMeta
+from repro.storage.faults import FaultPlan, FaultRule, SimulatedCrash
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.wal import WriteAheadLog
-from repro.storage.persistence import save_snapshot, load_snapshot
+from repro.storage.persistence import (
+    checkpoint,
+    load_snapshot,
+    recover,
+    save_snapshot,
+)
 
 __all__ = [
     "StorageEngine",
@@ -31,6 +40,12 @@ __all__ = [
     "HashIndex",
     "SortedIndex",
     "WriteAheadLog",
+    "replay_into",
     "save_snapshot",
     "load_snapshot",
+    "checkpoint",
+    "recover",
+    "FaultPlan",
+    "FaultRule",
+    "SimulatedCrash",
 ]

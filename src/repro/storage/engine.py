@@ -11,6 +11,7 @@ from repro.errors import (
     TransactionError,
 )
 from repro.storage.catalog import Catalog, TableMeta
+from repro.storage.durable import json_decode_value
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.wal import OP_DELETE, OP_INSERT, OP_UPDATE, WriteAheadLog
 from repro.tabular.dtypes import DType, coerce_value, ordinal_to_date
@@ -104,13 +105,15 @@ class StorageEngine:
         self._undo = []
         try:
             yield self._txn_id
+            # A failed commit (fsync error, injected fault) must leave the
+            # engine as if the transaction never ran: undo in-memory state
+            # before re-raising, mirroring the rollback path below.
+            self.wal.commit(self._txn_id)
         except BaseException:
             for undo in reversed(self._undo):
                 undo()
             self.wal.rollback(self._txn_id)
             raise
-        else:
-            self.wal.commit(self._txn_id)
         finally:
             self._txn_id = None
             self._undo = []
@@ -124,19 +127,40 @@ class StorageEngine:
     # DML
     # ------------------------------------------------------------------
 
-    def insert(self, table: str, row: Mapping[str, object]) -> int:
-        """Insert one row; returns its internal row id."""
+    def insert(
+        self,
+        table: str,
+        row: Mapping[str, object],
+        *,
+        at_row_id: int | None = None,
+    ) -> int:
+        """Insert one row; returns its internal row id.
+
+        ``at_row_id`` pins the internal id instead of allocating the next
+        one — used by snapshot load and WAL replay so that physical row
+        ids (which later update/delete records reference) are identical
+        after recovery.
+        """
         txn = self._require_txn()
         stored = self._stored(table)
         clean = self._validate_row(stored.meta, row)
         self._check_pk_unique(stored, clean)
         self._check_foreign_keys(stored.meta, clean)
-        row_id = stored.next_row_id
-        stored.next_row_id += 1
+        if at_row_id is None:
+            row_id = stored.next_row_id
+        else:
+            row_id = at_row_id
+            if row_id in stored.rows:
+                raise StorageError(
+                    f"row id {row_id} already occupied in table {table!r}"
+                )
+        stored.next_row_id = max(stored.next_row_id, row_id + 1)
         stored.rows[row_id] = clean
         self._index_add(stored, row_id, clean)
-        self.wal.append(txn, OP_INSERT, table, dict(clean))
+        # Undo is registered before the WAL append so a failed append (e.g.
+        # an injected fault) still rolls this row back with the transaction.
         self._undo.append(lambda: self._undo_insert(stored, row_id))
+        self.wal.append(txn, OP_INSERT, table, {"row_id": row_id, **clean})
         return row_id
 
     def insert_many(self, table: str, rows: list[Mapping[str, object]]) -> list[int]:
@@ -162,8 +186,8 @@ class StorageEngine:
         self._index_remove(stored, row_id, old)
         stored.rows[row_id] = clean
         self._index_add(stored, row_id, clean)
-        self.wal.append(txn, OP_UPDATE, table, {"row_id": row_id, **clean})
         self._undo.append(lambda: self._undo_update(stored, row_id, old))
+        self.wal.append(txn, OP_UPDATE, table, {"row_id": row_id, **clean})
 
     def delete(self, table: str, row_id: int) -> None:
         """Delete one row by id."""
@@ -173,8 +197,8 @@ class StorageEngine:
             raise StorageError(f"row {row_id} not found in table {table!r}")
         old = stored.rows.pop(row_id)
         self._index_remove(stored, row_id, old)
-        self.wal.append(txn, OP_DELETE, table, {"row_id": row_id})
         self._undo.append(lambda: self._undo_delete(stored, row_id, old))
+        self.wal.append(txn, OP_DELETE, table, {"row_id": row_id})
 
     # ------------------------------------------------------------------
     # Reads
@@ -347,19 +371,37 @@ class StorageEngine:
         self._index_add(stored, row_id, old)
 
 
-def replay_into(engine: StorageEngine, wal: WriteAheadLog) -> None:
-    """Re-apply every committed WAL mutation to ``engine``.
+def replay_into(
+    engine: StorageEngine, wal: WriteAheadLog, *, after_seq: int = 0
+) -> int:
+    """Re-apply committed WAL mutations with ``seq > after_seq`` to ``engine``.
 
-    The engine must already have the schema (tables created); row ids are
-    reassigned, so replay is only valid onto empty tables.
+    The engine must already have the schema (tables created).  Payload
+    values are decoded against the catalog schema — tagged dates become
+    ``datetime.date`` and then re-coerce through the normal insert path,
+    so a replayed row is byte-identical to the original write (the old
+    ``default=str`` serialisation turned dates into bare strings).
+    Returns the number of entries applied.  ``after_seq`` lets recovery
+    skip entries already captured by a snapshot generation.
     """
+    applied = 0
     for entry in wal.committed_entries():
+        if entry.seq <= after_seq:
+            continue
+        payload = {
+            k: json_decode_value(v) for k, v in entry.payload.items()
+        }
         with engine.transaction():
             if entry.op == OP_INSERT:
-                engine.insert(entry.table, entry.payload)
+                # Entries from this format carry their physical row id so
+                # later update/delete records resolve; legacy entries
+                # (no id) fall back to sequential allocation.
+                row_id = payload.pop("row_id", None)
+                engine.insert(entry.table, payload, at_row_id=row_id)
             elif entry.op == OP_UPDATE:
-                payload = dict(entry.payload)
                 row_id = payload.pop("row_id")
                 engine.update(entry.table, row_id, payload)
             elif entry.op == OP_DELETE:
-                engine.delete(entry.table, entry.payload["row_id"])
+                engine.delete(entry.table, payload["row_id"])
+        applied += 1
+    return applied

@@ -1,9 +1,28 @@
-"""Whole-database snapshots: save/load an engine to a directory.
+"""Whole-database snapshots: checksummed generations plus recovery.
 
-Layout::
+Layout (format 2)::
 
-    <dir>/catalog.json        table metadata (schema, keys, versions)
-    <dir>/<table>.json        rows of each table (row_id -> values)
+    <root>/gen-00000001/MANIFEST.json     commit point: per-file digests,
+                                          table → filename map, WAL position
+    <root>/gen-00000001/catalog.json      table metadata (schema, keys, ...)
+    <root>/gen-00000001/table_<name>.json rows of each table (row_id -> values)
+    <root>/gen-00000002/...               newer generations
+
+A generation is *valid* iff its ``MANIFEST.json`` parses and every file
+matches its recorded CRC32.  Writers create a fresh generation directory,
+write the data files atomically (temp + fsync + rename + directory
+fsync), and write the manifest **last** — so a crash at any point leaves
+either a complete new generation or an ignorable partial one, never a
+half-replaced snapshot.  :func:`recover` walks generations newest-first,
+loads the first valid one, then replays committed WAL records appended
+after the manifest's ``wal_seq``.
+
+Table names are percent-escaped into filenames (``table_`` prefix keeps
+them clear of ``catalog.json``/``MANIFEST.json``) and collisions — only
+possible via case-folding filesystems — are rejected loudly.
+
+Format-1 snapshots (a flat directory with bare ``<table>.json`` files and
+no manifest) still load through a compatibility path.
 
 JSON is chosen over a binary format because snapshot sizes here are small
 (operational clinical stores, not the warehouse) and inspectability during
@@ -14,11 +33,27 @@ from __future__ import annotations
 
 import datetime as _dt
 import json
+import shutil
+import urllib.parse
 from pathlib import Path
 
-from repro.errors import StorageError
-from repro.storage.engine import StorageEngine
+from repro.errors import DurabilityError, SnapshotError, StorageError
+from repro.storage.durable import (
+    atomic_write_bytes,
+    crc32_hex,
+    fsync_dir,
+    verify_digest,
+)
+from repro.storage.engine import StorageEngine, replay_into
+from repro.storage.wal import WriteAheadLog
 from repro.tabular.dtypes import DType
+
+_FORMAT_VERSION = 2
+_GEN_PREFIX = "gen-"
+_MANIFEST = "MANIFEST.json"
+_CATALOG = "catalog.json"
+#: generations retained after a successful save (the newest plus fallbacks)
+KEEP_GENERATIONS = 2
 
 
 def _encode_value(value: object) -> object:
@@ -33,10 +68,36 @@ def _decode_value(value: object) -> object:
     return value
 
 
-def save_snapshot(engine: StorageEngine, directory: str | Path) -> None:
-    """Write the engine's catalog and all rows under ``directory``."""
-    path = Path(directory)
-    path.mkdir(parents=True, exist_ok=True)
+def table_filename(name: str) -> str:
+    """Escaped, collision-free data filename for a table.
+
+    Percent-escaping is injective, so two distinct table names can only
+    collide on a case-insensitive filesystem; :func:`save_snapshot`
+    checks for that explicitly.
+    """
+    if not name:
+        raise StorageError("cannot snapshot a table with an empty name")
+    return f"table_{urllib.parse.quote(name, safe='')}.json"
+
+
+def _table_name_from_filename(filename: str) -> str:
+    stem = filename[len("table_"):-len(".json")]
+    return urllib.parse.unquote(stem)
+
+
+def _generation_dirs(root: Path) -> list[Path]:
+    """Generation directories, oldest first."""
+    if not root.is_dir():
+        return []
+    dirs = [
+        d for d in root.iterdir()
+        if d.is_dir() and d.name.startswith(_GEN_PREFIX)
+        and d.name[len(_GEN_PREFIX):].isdigit()
+    ]
+    return sorted(dirs, key=lambda d: int(d.name[len(_GEN_PREFIX):]))
+
+
+def _catalog_payload(engine: StorageEngine) -> dict:
     catalog = {}
     for name in engine.table_names():
         meta = engine.catalog.get(name)
@@ -49,28 +110,198 @@ def save_snapshot(engine: StorageEngine, directory: str | Path) -> None:
                 k: list(v) for k, v in meta.foreign_keys.items()
             },
             "indexes": sorted(engine._tables[name].secondary),
+            # Physical row ids must survive recovery: WAL update/delete
+            # records reference them, so loads restore rows at their
+            # original ids and the allocator continues where it left off.
+            "next_row_id": engine._tables[name].next_row_id,
         }
-    with open(path / "catalog.json", "w", encoding="utf-8") as handle:
-        json.dump(catalog, handle, indent=2)
-    for name in engine.table_names():
-        stored = engine._tables[name]
-        rows = {
-            str(row_id): {k: _encode_value(v) for k, v in row.items()}
-            for row_id, row in sorted(stored.rows.items())
-        }
-        with open(path / f"{name}.json", "w", encoding="utf-8") as handle:
-            json.dump(rows, handle)
+    return catalog
+
+
+def _rows_payload(engine: StorageEngine, name: str) -> dict:
+    stored = engine._tables[name]
+    return {
+        str(row_id): {k: _encode_value(v) for k, v in row.items()}
+        for row_id, row in sorted(stored.rows.items())
+    }
+
+
+def save_snapshot(
+    engine: StorageEngine,
+    directory: str | Path,
+    *,
+    keep: int = KEEP_GENERATIONS,
+) -> Path:
+    """Write a new snapshot generation under ``directory``; returns its path.
+
+    The generation becomes visible (recoverable) only once its manifest
+    lands; older generations beyond ``keep`` are pruned afterwards.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    existing = _generation_dirs(root)
+    next_number = (
+        int(existing[-1].name[len(_GEN_PREFIX):]) + 1 if existing else 1
+    )
+    gen_dir = root / f"{_GEN_PREFIX}{next_number:08d}"
+    gen_dir.mkdir()
+
+    names = engine.table_names()
+    filenames = {name: table_filename(name) for name in names}
+    by_casefold: dict[str, str] = {}
+    for name, filename in filenames.items():
+        other = by_casefold.setdefault(filename.casefold(), name)
+        if other != name:
+            raise StorageError(
+                f"table names {other!r} and {name!r} collide on snapshot "
+                f"filename {filename!r} (case-insensitive filesystems)"
+            )
+
+    digests: dict[str, str] = {}
+    catalog_bytes = json.dumps(_catalog_payload(engine), indent=2).encode("utf-8")
+    atomic_write_bytes(gen_dir / _CATALOG, catalog_bytes, point="snapshot.data")
+    digests[_CATALOG] = crc32_hex(catalog_bytes)
+    for name in names:
+        data = json.dumps(_rows_payload(engine, name)).encode("utf-8")
+        atomic_write_bytes(gen_dir / filenames[name], data, point="snapshot.data")
+        digests[filenames[name]] = crc32_hex(data)
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "generation": next_number,
+        "wal_seq": engine.wal.last_seq,
+        "tables": filenames,
+        "files": digests,
+    }
+    atomic_write_bytes(
+        gen_dir / _MANIFEST,
+        json.dumps(manifest, indent=2).encode("utf-8"),
+        point="snapshot.manifest",
+    )
+    fsync_dir(root)
+
+    for stale in _generation_dirs(root)[:-keep] if keep > 0 else []:
+        shutil.rmtree(stale, ignore_errors=True)
+    return gen_dir
+
+
+def load_generation(gen_dir: str | Path) -> tuple[StorageEngine, dict]:
+    """Load one generation, verifying every checksum; returns (engine, manifest)."""
+    gen_path = Path(gen_dir)
+    manifest_file = gen_path / _MANIFEST
+    if not manifest_file.exists():
+        raise SnapshotError(
+            f"{gen_path}: no manifest — incomplete generation (crashed save?)"
+        )
+    try:
+        manifest = json.loads(manifest_file.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"{gen_path}: manifest is not valid JSON: {exc}")
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise SnapshotError(
+            f"{gen_path}: unsupported snapshot format {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    digests = manifest["files"]
+    if _CATALOG not in digests:
+        raise SnapshotError(f"{gen_path}: manifest records no catalog digest")
+    catalog_bytes = verify_digest(gen_path / _CATALOG, digests[_CATALOG])
+    catalog = json.loads(catalog_bytes.decode("utf-8"))
+
+    engine = _engine_from_catalog(catalog)
+    for name, filename in manifest["tables"].items():
+        if filename not in digests:
+            raise SnapshotError(
+                f"{gen_path}: manifest records no digest for {filename!r}"
+            )
+        data = verify_digest(gen_path / filename, digests[filename])
+        _insert_rows(engine, name, json.loads(data.decode("utf-8")))
+    _restore_row_id_allocators(engine, catalog)
+    _rebuild_indexes(engine, catalog)
+    return engine, manifest
 
 
 def load_snapshot(directory: str | Path) -> StorageEngine:
-    """Reconstruct an engine (schema, rows, indexes) from a snapshot."""
-    path = Path(directory)
-    catalog_file = path / "catalog.json"
-    if not catalog_file.exists():
-        raise StorageError(f"no snapshot found at {path}")
-    with open(catalog_file, encoding="utf-8") as handle:
-        catalog = json.load(handle)
+    """Reconstruct an engine from the newest snapshot generation.
 
+    Verifies checksums; raises :class:`~repro.errors.SnapshotError` when
+    the newest generation is damaged (use :func:`recover` to fall back to
+    older generations and replay the WAL).  Flat format-1 directories
+    load through the compatibility path.
+    """
+    root = Path(directory)
+    generations = _generation_dirs(root)
+    if generations:
+        engine, _ = load_generation(generations[-1])
+        return engine
+    if (root / _CATALOG).exists():
+        return _load_flat_legacy(root)
+    raise StorageError(f"no snapshot found at {root}")
+
+
+def recover(
+    directory: str | Path, wal_path: str | Path | None = None
+) -> StorageEngine:
+    """Crash recovery: newest *valid* generation + WAL replay.
+
+    Walks generations newest-first, skipping damaged or incomplete ones
+    (with the legacy flat layout as a final fallback), then replays
+    committed WAL records appended after the chosen generation's
+    ``wal_seq``.  The recovered engine adopts the (tail-repaired) WAL so
+    subsequent transactions continue the same log.
+    """
+    root = Path(directory)
+    engine: StorageEngine | None = None
+    after_seq = 0
+    problems: list[str] = []
+    for gen_dir in reversed(_generation_dirs(root)):
+        try:
+            engine, manifest = load_generation(gen_dir)
+            after_seq = manifest.get("wal_seq", 0)
+            break
+        except (DurabilityError, OSError, KeyError, ValueError) as exc:
+            problems.append(f"{gen_dir.name}: {exc}")
+    if engine is None and (root / _CATALOG).exists():
+        try:
+            engine = _load_flat_legacy(root)
+        except (DurabilityError, StorageError, OSError, ValueError) as exc:
+            problems.append(f"flat layout: {exc}")
+    if engine is None:
+        detail = "; ".join(problems) if problems else "no generations present"
+        raise SnapshotError(f"no recoverable snapshot at {root} ({detail})")
+
+    if wal_path is not None:
+        wal = WriteAheadLog.load(wal_path)
+        replay_into(engine, wal, after_seq=after_seq)
+        engine.wal = wal
+    return engine
+
+
+def checkpoint(
+    engine: StorageEngine,
+    directory: str | Path,
+    *,
+    keep: int = KEEP_GENERATIONS,
+) -> Path:
+    """Snapshot the engine, then truncate its WAL; returns the generation.
+
+    Ordering matters: the manifest (recording ``wal_seq``) lands before
+    the WAL shrinks, so a crash between the two steps merely leaves
+    already-snapshotted records in the log — recovery skips them via the
+    manifest's sequence cutoff.
+    """
+    gen_dir = save_snapshot(engine, directory, keep=keep)
+    engine.wal.truncate()
+    return gen_dir
+
+
+# ----------------------------------------------------------------------
+# Shared loading internals + format-1 compatibility
+# ----------------------------------------------------------------------
+
+
+def _engine_from_catalog(catalog: dict) -> StorageEngine:
     engine = StorageEngine()
     # Create tables without FKs first, then attach FK metadata, so load
     # order between referencing/referenced tables does not matter.
@@ -86,21 +317,41 @@ def load_snapshot(directory: str | Path) -> StorageEngine:
             k: tuple(v) for k, v in meta["foreign_keys"].items()
         }
         engine.catalog.get(name).version = meta["version"]
+    return engine
 
+
+def _insert_rows(engine: StorageEngine, name: str, rows: dict) -> None:
+    with engine.transaction():
+        for row_id_text, row in sorted(rows.items(), key=lambda p: int(p[0])):
+            decoded = {k: _decode_value(v) for k, v in row.items()}
+            engine.insert(name, decoded, at_row_id=int(row_id_text))
+
+
+def _restore_row_id_allocators(engine: StorageEngine, catalog: dict) -> None:
+    for name, meta in catalog.items():
+        recorded = meta.get("next_row_id")  # absent in format-1 catalogs
+        if recorded is not None:
+            stored = engine._tables[name]
+            stored.next_row_id = max(stored.next_row_id, recorded)
+
+
+def _rebuild_indexes(engine: StorageEngine, catalog: dict) -> None:
+    for name, meta in catalog.items():
+        for column in meta.get("indexes", []):
+            engine.create_index(name, column)
+
+
+def _load_flat_legacy(root: Path) -> StorageEngine:
+    """Format 1: bare ``catalog.json`` + ``<table>.json``, no checksums."""
+    with open(root / _CATALOG, encoding="utf-8") as handle:
+        catalog = json.load(handle)
+    engine = _engine_from_catalog(catalog)
     for name in catalog:
-        table_file = path / f"{name}.json"
+        table_file = root / f"{name}.json"
         if not table_file.exists():
             continue
         with open(table_file, encoding="utf-8") as handle:
             rows = json.load(handle)
-        stored = engine._tables[name]
-        with engine.transaction():
-            for row_id_text, row in sorted(rows.items(), key=lambda p: int(p[0])):
-                decoded = {k: _decode_value(v) for k, v in row.items()}
-                engine.insert(name, decoded)
-        __ = stored  # rows inserted through the normal path keep indexes fresh
-
-    for name, meta in catalog.items():
-        for column in meta.get("indexes", []):
-            engine.create_index(name, column)
+        _insert_rows(engine, name, rows)
+    _rebuild_indexes(engine, catalog)
     return engine

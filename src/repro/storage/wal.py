@@ -1,25 +1,81 @@
-"""Write-ahead log: ordered record of committed mutations.
+"""Write-ahead log: ordered, checksummed record of committed mutations.
 
 The engine appends one entry per mutation inside a transaction and marks
-the batch committed atomically.  ``replay`` reapplies committed entries to
-an empty engine — used by snapshot-plus-log recovery and exercised by the
-failure-injection tests.
+the batch committed by writing a *commit record*; ``replay`` reapplies
+committed entries to an empty engine — used by snapshot-plus-log recovery
+and exercised by the failure-injection tests.
+
+On-disk format (version 2) is an append-only stream::
+
+    RWAL2\\x00 <u64 start_seq> <u32 header crc>   -- file header
+    <frame>*                                      -- see repro.storage.durable
+
+Each frame carries a monotonically increasing sequence number and a CRC32
+over (seq || payload); payloads are JSON — either a mutation entry
+(``{"t": "e", ...}``) or a commit mark (``{"t": "c", "txn": n}``).  A
+transaction is durable iff its commit frame is intact, so
+:meth:`WriteAheadLog.load` can classify damage precisely: an incomplete
+or checksum-failing *final* frame is a torn tail (the expected residue of
+a crash mid-append) and is truncated away; a bad frame with further data
+behind it is mid-log corruption and raises
+:class:`~repro.errors.WALCorruptionError`.  ``start_seq`` survives
+:meth:`truncate` so sequence numbers never regress across checkpoints —
+snapshot manifests record the last sequence they contain and recovery
+replays only entries after it.
+
+Version-1 logs (JSON lines with per-entry ``committed`` flags, dates
+stringified by ``default=str``) are still readable: :meth:`load` detects
+them by their first byte and transparently rewrites the file in the
+framed format.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import struct
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
-from repro.errors import StorageError
+from repro.errors import StorageError, WALCorruptionError
+from repro.storage import faults
+from repro.storage.durable import (
+    atomic_write_bytes,
+    encode_frame,
+    json_decode_value,
+    json_encode_value,
+    scan_frames,
+)
 
 #: Mutation kinds recorded in the log.
 OP_INSERT = "insert"
 OP_UPDATE = "update"
 OP_DELETE = "delete"
 _VALID_OPS = frozenset({OP_INSERT, OP_UPDATE, OP_DELETE})
+
+_MAGIC = b"RWAL2\x00"
+_HEADER = struct.Struct("<QI")  # start_seq, crc32(magic + start_seq)
+HEADER_SIZE = len(_MAGIC) + _HEADER.size
+
+
+def _header_bytes(start_seq: int) -> bytes:
+    import zlib
+
+    crc = zlib.crc32(_MAGIC + struct.pack("<Q", start_seq)) & 0xFFFFFFFF
+    return _MAGIC + _HEADER.pack(start_seq, crc)
+
+
+def _parse_header(data: bytes, path: Path) -> int:
+    import zlib
+
+    if len(data) < HEADER_SIZE:
+        raise WALCorruptionError(f"{path}: WAL header truncated")
+    start_seq, crc = _HEADER.unpack_from(data, len(_MAGIC))
+    expected = zlib.crc32(_MAGIC + struct.pack("<Q", start_seq)) & 0xFFFFFFFF
+    if crc != expected:
+        raise WALCorruptionError(f"{path}: WAL header checksum mismatch")
+    return start_seq
 
 
 @dataclass
@@ -31,18 +87,22 @@ class LogEntry:
     table: str
     payload: dict
     committed: bool = False
+    #: position in the global record sequence (0 = never persisted)
+    seq: int = 0
 
     def to_json(self) -> str:
-        """Serialise for the on-disk log (dates must already be primitive)."""
+        """Serialise for the on-disk log (dates kept round-trippable)."""
         return json.dumps(
             {
+                "t": "e",
                 "txn": self.txn_id,
                 "op": self.op,
                 "table": self.table,
-                "payload": self.payload,
+                "payload": {
+                    k: json_encode_value(v) for k, v in self.payload.items()
+                },
                 "committed": self.committed,
-            },
-            default=str,
+            }
         )
 
     @classmethod
@@ -52,18 +112,35 @@ class LogEntry:
             txn_id=raw["txn"],
             op=raw["op"],
             table=raw["table"],
-            payload=raw["payload"],
-            committed=raw["committed"],
+            payload={
+                k: json_decode_value(v) for k, v in raw["payload"].items()
+            },
+            committed=raw.get("committed", False),
         )
 
 
 class WriteAheadLog:
-    """In-memory WAL with optional file persistence."""
+    """Append-only WAL with checksummed file persistence.
+
+    With ``path=None`` the log is purely in-memory (used by throwaway
+    engines); with a path, entries are appended as framed records and
+    :meth:`commit` makes them durable with a commit record + fsync.
+    """
 
     def __init__(self, path: str | Path | None = None):
         self._entries: list[LogEntry] = []
+        self._by_txn: dict[int, list[LogEntry]] = {}
         self._path = Path(path) if path is not None else None
         self._next_txn = 1
+        self._next_seq = 1
+        self._start_seq = 1
+        self._fh = None
+        self._initialized = False  # header written / file adopted
+        self._dead = False  # a simulated crash froze this instance
+
+    # ------------------------------------------------------------------
+    # Transaction API
+    # ------------------------------------------------------------------
 
     def begin(self) -> int:
         """Allocate a transaction id."""
@@ -75,20 +152,45 @@ class WriteAheadLog:
         """Record one mutation belonging to an open transaction."""
         if op not in _VALID_OPS:
             raise StorageError(f"unknown WAL operation {op!r}")
-        self._entries.append(LogEntry(txn_id, op, table, dict(payload)))
+        entry = LogEntry(txn_id, op, table, dict(payload))
+        entry.seq = self._alloc_seq()
+        self._write_frame(entry.to_json().encode("utf-8"), entry.seq, "wal.append")
+        self._entries.append(entry)
+        self._by_txn.setdefault(txn_id, []).append(entry)
 
     def commit(self, txn_id: int) -> None:
-        """Mark all entries of ``txn_id`` committed and flush if file-backed."""
-        for entry in self._entries:
-            if entry.txn_id == txn_id:
-                entry.committed = True
-        self._flush()
+        """Durably mark all entries of ``txn_id`` committed.
+
+        The commit record is written, flushed and fsynced *before* the
+        in-memory flags flip, so a failure here leaves the transaction
+        uncommitted both on disk and in memory (the engine then rolls it
+        back).
+        """
+        if self._path is not None:
+            mark = json.dumps({"t": "c", "txn": txn_id}).encode("utf-8")
+            self._write_frame(mark, self._alloc_seq(), "wal.commit")
+            self._sync()
+        for entry in self._by_txn.get(txn_id, ()):
+            entry.committed = True
 
     def rollback(self, txn_id: int) -> None:
-        """Discard uncommitted entries of ``txn_id``."""
-        self._entries = [
-            e for e in self._entries if e.txn_id != txn_id or e.committed
+        """Discard uncommitted entries of ``txn_id``.
+
+        On disk their frames remain as dead weight — harmless, because
+        replay only honours transactions with a commit record.
+        """
+        doomed = [
+            e for e in self._by_txn.get(txn_id, ()) if not e.committed
         ]
+        if not doomed:
+            return
+        doomed_ids = {id(e) for e in doomed}
+        self._entries = [e for e in self._entries if id(e) not in doomed_ids]
+        kept = [e for e in self._by_txn.get(txn_id, ()) if e.committed]
+        if kept:
+            self._by_txn[txn_id] = kept
+        else:
+            self._by_txn.pop(txn_id, None)
 
     def committed_entries(self) -> Iterator[LogEntry]:
         """Committed mutations in append order."""
@@ -97,29 +199,207 @@ class WriteAheadLog:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def truncate(self) -> None:
-        """Clear the log (after a snapshot has captured its effects)."""
-        self._entries = []
-        self._flush()
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently allocated record."""
+        return self._next_seq - 1
 
-    def _flush(self) -> None:
+    def truncate(self) -> None:
+        """Clear the log (after a snapshot has captured its effects).
+
+        The replacement file keeps the sequence counter via its header's
+        ``start_seq``, so records written after a checkpoint always sort
+        after the checkpoint's manifest sequence.
+        """
+        self._entries = []
+        self._by_txn = {}
         if self._path is None:
             return
-        with open(self._path, "w", encoding="utf-8") as handle:
-            for entry in self._entries:
-                handle.write(entry.to_json() + "\n")
+        self._check_alive()
+        self._close_handle()
+        self._start_seq = self._next_seq
+        try:
+            atomic_write_bytes(
+                self._path, _header_bytes(self._start_seq), point="wal.truncate"
+            )
+        except faults.SimulatedCrash:
+            self._dead = True
+            raise
+        self._initialized = True
+
+    def close(self) -> None:
+        """Flush and close the file handle (safe to call repeatedly)."""
+        self._close_handle()
+
+    # ------------------------------------------------------------------
+    # File plumbing
+    # ------------------------------------------------------------------
+
+    def _alloc_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise StorageError(
+                "WAL instance is dead after a simulated crash; "
+                "recover from disk instead"
+            )
+
+    def _ensure_handle(self):
+        if self._fh is None:
+            if not self._initialized:
+                atomic_write_bytes(
+                    self._path, _header_bytes(self._start_seq), point="wal.create"
+                )
+                self._initialized = True
+            self._fh = open(self._path, "ab")
+        return self._fh
+
+    def _write_frame(self, payload: bytes, seq: int, point: str) -> None:
+        if self._path is None:
+            return
+        self._check_alive()
+        handle = self._ensure_handle()
+        frame = encode_frame(payload, seq)
+        try:
+            frame = faults.before_write(point, frame)
+        except faults.SimulatedCrash:
+            self._die()
+            raise
+        handle.write(frame)
+        try:
+            faults.after_write(point)
+        except faults.SimulatedCrash:
+            self._die()
+            raise
+
+    def _sync(self) -> None:
+        if self._fh is not None:
+            try:
+                faults.fire("wal.sync")
+            except faults.SimulatedCrash:
+                self._die()
+                raise
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def _die(self) -> None:
+        """Freeze the on-disk state at the crash point and go inert."""
+        self._close_handle()
+        self._dead = True
+
+    def _close_handle(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            finally:
+                self._fh.close()
+                self._fh = None
+
+    # ------------------------------------------------------------------
+    # Loading / recovery
+    # ------------------------------------------------------------------
 
     @classmethod
     def load(cls, path: str | Path) -> "WriteAheadLog":
-        """Read a persisted log back from disk."""
+        """Read a persisted log, repairing a torn tail in place.
+
+        Raises :class:`~repro.errors.WALCorruptionError` for damage that
+        is *not* a torn tail (a bad record with valid data after it, a
+        broken header, sequence regressions) — silent repair there would
+        drop committed work.
+        """
         wal = cls(path)
         file_path = Path(path)
-        if file_path.exists():
-            with open(file_path, encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if line:
-                        wal._entries.append(LogEntry.from_json(line))
-            if wal._entries:
-                wal._next_txn = max(e.txn_id for e in wal._entries) + 1
+        if not file_path.exists():
+            return wal
+        data = file_path.read_bytes()
+        if not data:
+            return wal
+        if data[:1] in (b"{",):
+            wal._load_legacy(data, file_path)
+            return wal
+        if not data.startswith(_MAGIC):
+            raise WALCorruptionError(
+                f"{file_path}: not a WAL file (bad magic {data[:6]!r})"
+            )
+        start_seq = _parse_header(data, file_path)
+        scan = scan_frames(data, HEADER_SIZE)
+        if scan.corrupt_at is not None:
+            raise WALCorruptionError(
+                f"{file_path}: corrupted record at byte {scan.corrupt_at} "
+                f"with valid data beyond it — refusing to repair silently"
+            )
+        if scan.torn:
+            with open(file_path, "r+b") as handle:
+                handle.truncate(scan.valid_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+        committed_txns: set[int] = set()
+        expected_seq = start_seq
+        for frame in scan.frames:
+            if frame.seq != expected_seq:
+                raise WALCorruptionError(
+                    f"{file_path}: sequence break (expected {expected_seq}, "
+                    f"found {frame.seq})"
+                )
+            expected_seq += 1
+            record = json.loads(frame.payload.decode("utf-8"))
+            if record["t"] == "c":
+                committed_txns.add(record["txn"])
+            elif record["t"] == "e":
+                entry = LogEntry(
+                    txn_id=record["txn"],
+                    op=record["op"],
+                    table=record["table"],
+                    payload={
+                        k: json_decode_value(v)
+                        for k, v in record["payload"].items()
+                    },
+                    seq=frame.seq,
+                )
+                wal._entries.append(entry)
+                wal._by_txn.setdefault(entry.txn_id, []).append(entry)
+            else:
+                raise WALCorruptionError(
+                    f"{file_path}: unknown record type {record['t']!r}"
+                )
+        for entry in wal._entries:
+            if entry.txn_id in committed_txns:
+                entry.committed = True
+        wal._start_seq = start_seq
+        wal._next_seq = expected_seq
+        if wal._entries:
+            wal._next_txn = max(e.txn_id for e in wal._entries) + 1
+        if committed_txns:
+            wal._next_txn = max(wal._next_txn, max(committed_txns) + 1)
+        wal._initialized = True
         return wal
+
+    def _load_legacy(self, data: bytes, file_path: Path) -> None:
+        """Version-1 compatibility: JSON lines, then upgrade in place."""
+        for line in data.decode("utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            entry = LogEntry.from_json(line)
+            entry.seq = self._alloc_seq()
+            self._entries.append(entry)
+            self._by_txn.setdefault(entry.txn_id, []).append(entry)
+        if self._entries:
+            self._next_txn = max(e.txn_id for e in self._entries) + 1
+        # Rewrite in the framed format so future appends share one path.
+        out = bytearray(_header_bytes(1))
+        committed_txns = []
+        for entry in self._entries:
+            out += encode_frame(entry.to_json().encode("utf-8"), entry.seq)
+            if entry.committed and entry.txn_id not in committed_txns:
+                committed_txns.append(entry.txn_id)
+        for txn_id in committed_txns:
+            mark = json.dumps({"t": "c", "txn": txn_id}).encode("utf-8")
+            out += encode_frame(mark, self._alloc_seq())
+        atomic_write_bytes(file_path, bytes(out), point="wal.upgrade")
+        self._initialized = True

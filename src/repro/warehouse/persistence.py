@@ -3,10 +3,24 @@
 The warehouse accumulates years of screening data; rebuilding it from raw
 sources on every start defeats the point.  Layout::
 
-    <dir>/schema.json            schema name, grain, measures, hierarchies
+    <dir>/schema.json            schema name, grain, measures, hierarchies,
+                                 per-file CRC32 digests (the commit point)
     <dir>/dim_<name>.json        members of each dimension (by surrogate key)
     <dir>/facts.json             fact rows (keys + measures)
     <dir>/history.json           (dynamic only) the model-change journal
+
+Every file is written atomically (temp + fsync + rename + directory
+fsync) and ``schema.json`` — which records a CRC32 digest of every other
+file — is written *last*, so no individual file is ever torn and a crash
+mid-save is always *detected*: either the old manifest's digests no
+longer match the partially-replaced data files (load fails loudly, and
+the warehouse is rebuilt from the operational stores through ETL), or
+the save completed and everything verifies.  Unlike the operational
+snapshot store, the warehouse keeps no fallback generations — it is
+derived state, so detection rather than rollback is the durability
+contract here.  Format-2 loads verify each digest before parsing;
+format-1 directories (no digests) still load via the compatibility
+branch.
 
 Feedback dimensions persist like any other — their predicates are gone
 (they were only needed at fold time); the materialised keys are the data.
@@ -18,6 +32,7 @@ import json
 from pathlib import Path
 
 from repro.errors import WarehouseError
+from repro.storage.durable import atomic_write_bytes, crc32_hex
 from repro.tabular.dtypes import DType
 from repro.warehouse.attribute import Hierarchy
 from repro.warehouse.dimension import Dimension
@@ -25,7 +40,8 @@ from repro.warehouse.dynamic import DynamicWarehouse, ModelChange
 from repro.warehouse.fact import FactTable, Measure
 from repro.warehouse.star import StarSchema
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = frozenset({1, 2})
 
 
 def save_warehouse(
@@ -55,6 +71,12 @@ def save_warehouse(
         },
         "dimensions": {},
     }
+    digests: dict[str, str] = {}
+
+    def write_file(filename: str, data: bytes) -> None:
+        atomic_write_bytes(path / filename, data, point="warehouse.data")
+        digests[filename] = crc32_hex(data)
+
     for name, dimension in schema.dimensions.items():
         manifest["dimensions"][name] = {
             "attributes": {
@@ -68,14 +90,11 @@ def save_warehouse(
         members = {
             str(key): dimension.member(key) for key in dimension.member_keys()
         }
-        (path / f"dim_{name}.json").write_text(
-            json.dumps(members, default=str), encoding="utf-8"
+        write_file(
+            f"dim_{name}.json", json.dumps(members, default=str).encode("utf-8")
         )
-    (path / "schema.json").write_text(
-        json.dumps(manifest, indent=2), encoding="utf-8"
-    )
-    (path / "facts.json").write_text(
-        json.dumps(schema.fact._rows, default=str), encoding="utf-8"
+    write_file(
+        "facts.json", json.dumps(schema.fact._rows, default=str).encode("utf-8")
     )
     if dynamic is not None:
         history = [
@@ -87,10 +106,37 @@ def save_warehouse(
             }
             for change in dynamic.history
         ]
-        (path / "history.json").write_text(
-            json.dumps({"version": dynamic.version, "history": history}, indent=2),
-            encoding="utf-8",
+        write_file(
+            "history.json",
+            json.dumps(
+                {"version": dynamic.version, "history": history}, indent=2
+            ).encode("utf-8"),
         )
+    manifest["digests"] = digests
+    atomic_write_bytes(
+        path / "schema.json",
+        json.dumps(manifest, indent=2).encode("utf-8"),
+        point="warehouse.manifest",
+    )
+
+
+def _read_verified(path: Path, filename: str, digests: dict | None) -> str:
+    """Read one warehouse file, checking its digest when the format has one."""
+    data = (path / filename).read_bytes()
+    if digests is not None:
+        expected = digests.get(filename)
+        if expected is None:
+            raise WarehouseError(
+                f"warehouse file {filename!r} fails integrity check: "
+                f"no digest recorded in schema.json"
+            )
+        actual = crc32_hex(data)
+        if actual != expected:
+            raise WarehouseError(
+                f"warehouse file {filename!r} fails integrity check: "
+                f"checksum mismatch (stored {expected}, actual {actual})"
+            )
+    return data.decode("utf-8")
 
 
 def load_warehouse(directory: str | Path) -> DynamicWarehouse:
@@ -99,12 +145,17 @@ def load_warehouse(directory: str | Path) -> DynamicWarehouse:
     manifest_file = path / "schema.json"
     if not manifest_file.exists():
         raise WarehouseError(f"no warehouse snapshot at {path}")
-    manifest = json.loads(manifest_file.read_text(encoding="utf-8"))
+    try:
+        manifest = json.loads(manifest_file.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise WarehouseError(f"{manifest_file} is not valid JSON: {exc}")
     version = manifest.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise WarehouseError(
-            f"unsupported warehouse format {version!r} (expected {_FORMAT_VERSION})"
+            f"unsupported warehouse format {version!r} "
+            f"(expected one of {sorted(_SUPPORTED_VERSIONS)})"
         )
+    digests = manifest.get("digests") if version >= 2 else None
 
     dimensions: list[Dimension] = []
     for name, spec in manifest["dimensions"].items():
@@ -117,9 +168,7 @@ def load_warehouse(directory: str | Path) -> DynamicWarehouse:
                 for h_name, levels in spec["hierarchies"].items()
             ],
         )
-        members = json.loads(
-            (path / f"dim_{name}.json").read_text(encoding="utf-8")
-        )
+        members = json.loads(_read_verified(path, f"dim_{name}.json", digests))
         for key_text in sorted(members, key=int):
             key = dimension.add_member(members[key_text])
             if key != int(key_text):
@@ -140,7 +189,7 @@ def load_warehouse(directory: str | Path) -> DynamicWarehouse:
             for m in fact_spec["measures"]
         ],
     )
-    rows = json.loads((path / "facts.json").read_text(encoding="utf-8"))
+    rows = json.loads(_read_verified(path, "facts.json", digests))
     for row in rows:
         keys = {
             dim_name: int(row[f"{dim_name}_key"])
@@ -159,7 +208,7 @@ def load_warehouse(directory: str | Path) -> DynamicWarehouse:
 
     history_file = path / "history.json"
     if history_file.exists():
-        payload = json.loads(history_file.read_text(encoding="utf-8"))
+        payload = json.loads(_read_verified(path, "history.json", digests))
         warehouse.version = payload["version"]
         warehouse.history = [
             ModelChange(

@@ -18,6 +18,28 @@ COHORT_SEED = 1234
 COHORT_PATIENTS = 250
 
 
+@pytest.fixture(autouse=True)
+def _faults_from_env():
+    """Arm the ``REPRO_FAULTS`` plan, with fresh hit counters, per test.
+
+    Unset (the normal case) this is a no-op.  CI's fault-injection job
+    exports a profile so every suite runs with the durability
+    instrumentation armed; tests that need specific faults install their
+    own plan via ``faults.injected``, which takes precedence.
+    """
+    from repro.storage import faults
+
+    plan = faults.plan_from_env()
+    if plan is None:
+        yield
+        return
+    faults.install(plan)
+    try:
+        yield
+    finally:
+        faults.uninstall()
+
+
 @pytest.fixture(scope="session")
 def cohort() -> Table:
     """A small deterministic DiScRi cohort (read-only)."""

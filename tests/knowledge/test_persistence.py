@@ -65,3 +65,46 @@ def test_file_is_human_readable(kb, tmp_path):
     save_knowledge_base(kb, path)
     payload = json.loads(path.read_text(encoding="utf-8"))
     assert payload["findings"][0]["statement"] == "claim A"
+
+
+def test_crash_during_save_leaves_previous_file_intact(kb, tmp_path):
+    from repro.knowledge.findings import Evidence, FindingKind
+    from repro.storage.faults import FaultRule, SimulatedCrash, injected
+
+    path = tmp_path / "kb.json"
+    save_knowledge_base(kb, path)
+    kb.record("c", FindingKind.FEEDBACK, "late claim", Evidence("s", "d", 1.0))
+    with pytest.raises(SimulatedCrash):
+        with injected([FaultRule("kb.write", mode="kill")]):
+            save_knowledge_base(kb, path)
+    loaded = load_knowledge_base(path)  # the write never replaced the file
+    assert loaded.get("a").status == "promoted"
+    assert "c" not in loaded
+
+
+def test_tampered_findings_fail_the_checksum(kb, tmp_path):
+    path = tmp_path / "kb.json"
+    save_knowledge_base(kb, path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["findings"][0]["statement"] = "silently altered claim"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    with pytest.raises(KnowledgeBaseError, match="checksum"):
+        load_knowledge_base(path)
+
+
+def test_garbage_bytes_are_reported_as_corruption(tmp_path):
+    path = tmp_path / "kb.json"
+    path.write_bytes(b"\x00\xffnot json at all")
+    with pytest.raises(KnowledgeBaseError, match="corrupt"):
+        load_knowledge_base(path)
+
+
+def test_v1_file_without_checksum_still_loads(kb, tmp_path):
+    path = tmp_path / "kb.json"
+    save_knowledge_base(kb, path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["format_version"] = 1
+    del payload["checksum"]
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    loaded = load_knowledge_base(path)
+    assert len(loaded) == len(kb)

@@ -1,0 +1,104 @@
+"""Tests for the fault-injection layer itself."""
+
+import pytest
+
+from repro.errors import InjectedFault, StorageError
+from repro.storage import faults
+from repro.storage.faults import FaultPlan, FaultRule, SimulatedCrash, plan_from_env
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    yield
+    faults.uninstall()
+
+
+class TestModes:
+    def test_error_fires_on_nth_hit_only(self):
+        plan = faults.install(FaultPlan([FaultRule("p", mode="error", nth=3)]))
+        assert faults.before_write("p", b"a") == b"a"
+        assert faults.before_write("p", b"b") == b"b"
+        with pytest.raises(InjectedFault):
+            faults.before_write("p", b"c")
+        # after the nth hit the point behaves normally again
+        assert faults.before_write("p", b"d") == b"d"
+        assert plan.hits("p") == 4
+
+    def test_kill_raises_simulated_crash(self):
+        faults.install(FaultPlan([FaultRule("p", mode="kill")]))
+        with pytest.raises(SimulatedCrash) as info:
+            faults.before_write("p", b"data")
+        assert info.value.point == "p"
+
+    def test_kill_is_not_an_ordinary_exception(self):
+        faults.install(FaultPlan([FaultRule("p", mode="kill")]))
+        with pytest.raises(SimulatedCrash):
+            try:
+                faults.before_write("p", b"data")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("SimulatedCrash must escape `except Exception`")
+
+    def test_short_truncates_then_crashes(self):
+        faults.install(FaultPlan([FaultRule("p", mode="short", keep_fraction=0.5)]))
+        data = faults.before_write("p", b"0123456789")
+        assert data == b"01234"
+        with pytest.raises(SimulatedCrash):
+            faults.after_write("p")
+        # the pending crash is delivered exactly once
+        faults.after_write("p")
+
+    def test_flip_corrupts_silently(self):
+        faults.install(FaultPlan([FaultRule("p", mode="flip")]))
+        data = faults.before_write("p", b"\x00\x00\x00\x00")
+        assert data != b"\x00\x00\x00\x00"
+        assert len(data) == 4
+        faults.after_write("p")  # no crash
+
+    def test_unmatched_points_pass_through(self):
+        faults.install(FaultPlan([FaultRule("other", mode="kill")]))
+        assert faults.before_write("p", b"x") == b"x"
+
+    def test_no_plan_is_a_noop(self):
+        assert faults.before_write("anything", b"x") == b"x"
+        faults.after_write("anything")
+        faults.fire("anything")
+
+    def test_injected_context_manager_disarms(self):
+        with faults.injected([FaultRule("p", mode="error")]):
+            assert faults.active() is not None
+        assert faults.active() is None
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(StorageError, match="unknown fault mode"):
+            FaultRule("p", mode="explode")
+
+    def test_bad_nth_rejected(self):
+        with pytest.raises(StorageError, match="nth"):
+            FaultRule("p", nth=0)
+
+
+class TestEnvParsing:
+    def test_empty_is_none(self):
+        assert plan_from_env("") is None
+        assert plan_from_env("   ") is None
+
+    def test_single_rule_defaults(self):
+        plan = plan_from_env("wal.commit")
+        assert plan.rules == [FaultRule("wal.commit", mode="error", nth=1)]
+
+    def test_full_grammar(self):
+        plan = plan_from_env("wal.commit:kill@2, snapshot.manifest:short ;p:flip@5")
+        assert plan.rules == [
+            FaultRule("wal.commit", mode="kill", nth=2),
+            FaultRule("snapshot.manifest", mode="short", nth=1),
+            FaultRule("p", mode="flip", nth=5),
+        ]
+
+    def test_bad_nth_rejected(self):
+        with pytest.raises(StorageError, match="occurrence"):
+            plan_from_env("p:kill@soon")
+
+    def test_reads_environment(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "x:error@7")
+        plan = plan_from_env()
+        assert plan.rules == [FaultRule("x", mode="error", nth=7)]

@@ -3,7 +3,17 @@
 The engine is compared against a plain-dict reference model through random
 sequences of inserts, updates, deletes and aborted transactions.  Any
 divergence — including index corruption after rollback — fails the run.
+
+A second machine (:class:`DurableEngineModel`) runs the same mutations on
+a file-backed engine and adds two rules: *checkpoint* (snapshot + WAL
+truncation) and *crash* (throw the live engine away and recover from disk
+alone).  The reference model never crashes, so the invariants prove that
+checkpoints and recovery are transparent at any point in any history.
 """
+
+import shutil
+import tempfile
+from pathlib import Path
 
 import hypothesis.strategies as st
 from hypothesis import settings
@@ -16,6 +26,8 @@ from hypothesis.stateful import (
 
 from repro.errors import IntegrityError
 from repro.storage.engine import StorageEngine
+from repro.storage.persistence import checkpoint, recover
+from repro.storage.wal import WriteAheadLog
 
 _KEYS = st.integers(1, 25)
 _VALUES = st.sampled_from(["a", "b", "c", None])
@@ -107,3 +119,108 @@ EngineModel.TestCase.settings = settings(
     max_examples=30, stateful_step_count=30, deadline=None
 )
 TestEngineModel = EngineModel.TestCase
+
+
+class DurableEngineModel(RuleBasedStateMachine):
+    """The same random transactions, now with checkpoints and crashes.
+
+    The engine is file-backed; at any step the machine may checkpoint
+    (snapshot + WAL truncate) or "crash" — drop the live engine and
+    recover purely from the snapshot generations plus the WAL.  The
+    dict reference never crashes, so every divergence is a durability
+    bug.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.workdir = Path(tempfile.mkdtemp(prefix="durable-model-"))
+        self.wal_path = self.workdir / "wal.log"
+        self.snap_root = self.workdir / "snaps"
+        self.engine = StorageEngine(WriteAheadLog(self.wal_path))
+        self.engine.create_table(
+            "t", {"k": "int", "v": "str"}, primary_key="k"
+        )
+        self.engine.create_index("t", "v")
+        checkpoint(self.engine, self.snap_root)
+        self.model: dict[int, str | None] = {}
+
+    keys = Bundle("keys")
+
+    def _row_id(self, key):
+        return next(iter(self.engine._tables["t"].pk_index.lookup(key)))
+
+    @rule(target=keys, key=_KEYS, value=_VALUES)
+    def insert(self, key, value):
+        if key in self.model:
+            try:
+                with self.engine.transaction():
+                    self.engine.insert("t", {"k": key, "v": value})
+                raise AssertionError("duplicate primary key accepted")
+            except IntegrityError:
+                pass
+            return key
+        with self.engine.transaction():
+            self.engine.insert("t", {"k": key, "v": value})
+        self.model[key] = value
+        return key
+
+    @rule(key=keys, value=_VALUES)
+    def update(self, key, value):
+        if key not in self.model:
+            return
+        with self.engine.transaction():
+            self.engine.update("t", self._row_id(key), {"v": value})
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete(self, key):
+        if key not in self.model:
+            return
+        with self.engine.transaction():
+            self.engine.delete("t", self._row_id(key))
+        del self.model[key]
+
+    @rule(key=_KEYS, value=_VALUES)
+    def aborted_transaction(self, key, value):
+        try:
+            with self.engine.transaction():
+                if key in self.model:
+                    self.engine.update("t", self._row_id(key), {"v": value})
+                else:
+                    self.engine.insert("t", {"k": key, "v": value})
+                raise RuntimeError("abort")
+        except RuntimeError:
+            pass
+
+    @rule()
+    def take_checkpoint(self):
+        checkpoint(self.engine, self.snap_root)
+
+    @rule()
+    def crash_and_recover(self):
+        self.engine.wal.close()
+        self.engine = recover(self.snap_root, self.wal_path)
+
+    @invariant()
+    def rows_match_model(self):
+        rows = {row["k"]: row["v"] for row in self.engine.scan("t").to_rows()}
+        assert rows == self.model
+
+    @invariant()
+    def indexes_match_model(self):
+        for key, value in self.model.items():
+            row = self.engine.get_by_pk("t", key)
+            assert row is not None and row["v"] == value
+        for value in ("a", "b", "c"):
+            expected = sorted(k for k, v in self.model.items() if v == value)
+            found = sorted(row["k"] for row in self.engine.find("t", "v", value))
+            assert found == expected
+
+    def teardown(self):
+        shutil.rmtree(self.workdir, ignore_errors=True)
+
+
+DurableEngineModel.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)
+TestDurableEngineModel = DurableEngineModel.TestCase

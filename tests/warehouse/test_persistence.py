@@ -75,3 +75,67 @@ class TestRoundTrip:
         )
         with pytest.raises(WarehouseError, match="format"):
             load_warehouse(tmp_path)
+
+
+class TestDurability:
+    """Checksums, crashed saves, and the format-1 compatibility branch."""
+
+    def test_tampered_dimension_file_names_the_file(self, fresh_built, tmp_path):
+        import json
+
+        save_warehouse(fresh_built.warehouse, tmp_path / "wh")
+        victim = next((tmp_path / "wh").glob("dim_*.json"))
+        members = json.loads(victim.read_text(encoding="utf-8"))
+        next(iter(members.values()))["gender"] = "tampered"
+        victim.write_text(json.dumps(members), encoding="utf-8")
+        with pytest.raises(WarehouseError, match="checksum mismatch") as exc:
+            load_warehouse(tmp_path / "wh")
+        assert victim.name in str(exc.value)
+
+    def test_crash_before_any_write_leaves_old_warehouse_loadable(
+        self, fresh_built, tmp_path
+    ):
+        from repro.storage.faults import FaultRule, SimulatedCrash, injected
+
+        warehouse = fresh_built.warehouse
+        save_warehouse(warehouse, tmp_path / "wh")
+        builder = FeedbackDimensionBuilder("risk").add(
+            FeedbackEntry("any", lambda row: True)
+        )
+        warehouse.fold_feedback(builder)
+        with pytest.raises(SimulatedCrash):
+            with injected([FaultRule("warehouse.data", mode="kill")]):
+                save_warehouse(warehouse, tmp_path / "wh")
+        # nothing was replaced: the previous save loads, without "risk"
+        reloaded = load_warehouse(tmp_path / "wh")
+        assert "risk" not in reloaded.dimension_names
+
+    def test_crash_before_manifest_is_detected_on_load(
+        self, fresh_built, tmp_path
+    ):
+        """Data files replaced, old manifest left behind → loud mismatch."""
+        from repro.storage.faults import FaultRule, SimulatedCrash, injected
+
+        warehouse = fresh_built.warehouse
+        save_warehouse(warehouse, tmp_path / "wh")
+        builder = FeedbackDimensionBuilder("risk").add(
+            FeedbackEntry("any", lambda row: True)
+        )
+        warehouse.fold_feedback(builder)  # changes facts.json content
+        with pytest.raises(SimulatedCrash):
+            with injected([FaultRule("warehouse.manifest", mode="kill")]):
+                save_warehouse(warehouse, tmp_path / "wh")
+        with pytest.raises(WarehouseError, match="integrity"):
+            load_warehouse(tmp_path / "wh")
+
+    def test_v1_manifest_without_digests_still_loads(self, fresh_built, tmp_path):
+        import json
+
+        save_warehouse(fresh_built.warehouse, tmp_path / "wh")
+        manifest_file = tmp_path / "wh" / "schema.json"
+        manifest = json.loads(manifest_file.read_text(encoding="utf-8"))
+        manifest["format_version"] = 1
+        del manifest["digests"]
+        manifest_file.write_text(json.dumps(manifest), encoding="utf-8")
+        reloaded = load_warehouse(tmp_path / "wh")
+        assert reloaded.schema.fact.measure("fbg").default_aggregation == "mean"
