@@ -18,6 +18,7 @@ import pytest
 
 from repro.discri.generator import DiScRiGenerator
 from repro.discri.warehouse import build_discri_warehouse
+from repro.obs import profile
 from repro.olap.cube import Cube
 from repro.tabular import SCALAR_KERNELS_ENV, Table, hash_join
 
@@ -223,6 +224,9 @@ def test_p3_groupby_kernel_speedup(emit):
         },
         "identical_to_scalar_oracle": True,
     }
+    # one traced run so the artefact carries the measured span tree
+    _, span_tree = profile("groupby_bench", run_groupby)
+    payload["span_tree"] = span_tree.to_dict()
     (Path(__file__).parent.parent / "BENCH_groupby.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
@@ -300,6 +304,10 @@ def test_p3_recovery_latency(tmp_path, emit):
         "checkpoint_s": round(snapshot_s, 3),
         "recover_s": round(recover_s, 3),
     }
+    _, recover_tree = profile(
+        "recovery_bench", lambda: recover(snap_root, wal_path)
+    )
+    payload["span_tree"] = recover_tree.to_dict()
     (Path(__file__).parent.parent / "BENCH_recovery.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )

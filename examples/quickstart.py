@@ -3,7 +3,7 @@
 Run: ``python examples/quickstart.py``
 """
 
-from repro.dgms import DDDGMS
+import repro
 from repro.discri import DiScRiGenerator
 
 
@@ -15,8 +15,8 @@ def main() -> None:
           f"{cohort.column('patient_id').n_unique()} patients, "
           f"{len(cohort.column_names) - 4} clinical attributes\n")
 
-    # 2. The platform: ETL -> warehouse -> cube, all wired by one constructor.
-    system = DDDGMS(cohort)
+    # 2. The platform: ETL -> warehouse -> cube, behind the one front door.
+    system = repro.open_system(cohort)
     print("ETL audit trail:")
     for entry in system.etl_audit:
         print(f"  {entry}")
@@ -29,7 +29,7 @@ def main() -> None:
 
     # 4. OLAP: a drag-and-drop-style query (paper Fig 4 workflow).
     grid = (
-        system.olap()
+        system.query()
         .rows("age_band")
         .columns("gender")
         .count_distinct("cardinality.patient_id", name="patients")

@@ -21,11 +21,73 @@ The library implements the full DD-DGMS stack described in the paper:
 * :mod:`repro.discri` — synthetic DiScRi diabetes-screening cohort
 * :mod:`repro.dgms` — the DD-DGMS platform facade and its closed loop
 
-Start with :class:`repro.dgms.DDDGMS` or see ``examples/quickstart.py``.
+Start with :func:`repro.open_system` or see ``examples/quickstart.py``::
+
+    import repro
+
+    system = repro.open_system(cohort)          # the DD-DGMS session
+    grid = system.query().rows("age_band").columns("gender").execute()
+    print(system.explain("SELECT ... FROM [discri]"))
+
+:mod:`repro.obs` is the observability core (tracing, metrics, EXPLAIN)
+and :mod:`repro.persistence` the unified save/load/recover surface.
 """
+
+from __future__ import annotations
 
 __version__ = "1.0.0"
 
-from repro.errors import ReproError
+from repro.errors import PersistenceError, ReproError
 
-__all__ = ["ReproError", "__version__"]
+__all__ = [
+    "ReproError",
+    "PersistenceError",
+    "open_system",
+    "SystemConfig",
+    "DDDGMS",
+    "__version__",
+]
+
+
+def open_system(source, *, config: "SystemConfig | None" = None) -> "DDDGMS":
+    """Open a DD-DGMS session over a raw visit-level cohort table.
+
+    The recommended entry point: builds the full platform (operational
+    store, ETL, warehouse, cube, knowledge base) and applies ``config``
+    exactly once — observability sinks and the slow-query threshold are
+    installed here, and the figure-shaped aggregate lattice is
+    precomputed when requested — so every subsequent
+    ``system.query()`` / ``system.mdx()`` / ``system.explain()`` call is
+    traced and routed consistently.
+    """
+    from repro import obs
+    from repro.dgms.system import DDDGMS, SystemConfig
+
+    settings = config if config is not None else SystemConfig()
+    if settings.observability or settings.slow_query_threshold_s is not None:
+        obs.configure_mode(
+            settings.observability or "ring",
+            slow_query_threshold_s=settings.slow_query_threshold_s,
+        )
+    system = DDDGMS(source, promotion_threshold=settings.promotion_threshold)
+    if settings.materialize_lattice:
+        system.materialize_lattice()
+    return system
+
+
+_LAZY_EXPORTS = {
+    "DDDGMS": ("repro.dgms.system", "DDDGMS"),
+    "SystemConfig": ("repro.dgms.system", "SystemConfig"),
+}
+
+
+def __getattr__(name: str):
+    # Lazy so that ``import repro`` stays light and cycle-free: the dgms
+    # facade imports most of the library, and submodules import repro.obs.
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -4,11 +4,15 @@ Commands:
 
 * ``generate`` — simulate a DiScRi cohort and write it as CSV;
 * ``report``   — build the DD-DGMS and write the markdown trial report;
-* ``mdx``      — run an MDX query against the cohort's cube;
-* ``figures``  — print the paper's Fig 4/5/6 reproductions.
+* ``mdx``      — run an MDX query against the cohort's cube (an
+  ``EXPLAIN`` prefix prints the measured plan instead of the grid);
+* ``figures``  — print the paper's Fig 4/5/6 reproductions;
+* ``stats``    — run the figure workload under tracing and print the
+  metrics registry, slow-query log and last span tree.
 
 A cohort can come from ``--cohort file.csv`` (as written by ``generate``)
-or be simulated on the fly with ``--patients/--seed``.
+or be simulated on the fly with ``--patients/--seed``.  Every command
+honours ``REPRO_OBS`` / ``REPRO_OBS_SLOW_S`` (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.dgms.report import generate_trial_report
 from repro.dgms.system import DDDGMS
 from repro.discri.generator import DiScRiGenerator
@@ -62,8 +67,49 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_mdx(args: argparse.Namespace) -> int:
     system = DDDGMS(_load_cohort(args))
-    grid = system.mdx(args.query)
-    print(grid.to_text(with_totals=args.totals))
+    result = system.mdx(args.query)
+    if isinstance(result, obs.ExplainReport):
+        print(result.to_text())
+    else:
+        print(result.to_text(with_totals=args.totals))
+    return 0
+
+
+def _run_figure_workload(system: DDDGMS) -> None:
+    """The Fig 4–6 query mix, exercised once for ``stats``."""
+    system.query().rows("age_band").columns("gender").count_records(
+        "attendances"
+    ).where("personal.family_history_diabetes", "yes").execute()
+    system.query().rows("age_band10").columns("gender").count_distinct(
+        "cardinality.patient_id", name="patients"
+    ).where("conditions.diabetes_status", "yes").execute()
+    system.query().rows("age_band10").columns("ht_years_band").count_records(
+        "cases"
+    ).where("conditions.hypertension", "yes").execute()
+    system.mdx(
+        "SELECT [personal].[gender].MEMBERS ON COLUMNS, "
+        "[conditions].[age_band].MEMBERS ON ROWS FROM [discri] "
+        "WHERE [personal].[family_history_diabetes].[yes]"
+    )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    ring = obs.RingBufferSink()
+    obs.configure(sinks=[ring], slow_query_threshold_s=args.slow)
+    system = DDDGMS(_load_cohort(args))
+    if args.lattice:
+        system.materialize_lattice()
+    _run_figure_workload(system)
+
+    print("== metrics ==")
+    print(obs.metrics().render())
+    last = ring.last()
+    if last is not None:
+        print("\n== last span tree ==")
+        print(last.render())
+    slow = obs.slow_log()
+    print(f"\n== slow queries (> {slow.threshold_s:g} s) ==")
+    print(slow.render() if len(slow) else "(none)")
     return 0
 
 
@@ -159,11 +205,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="include observed null rates / distinct counts from the cohort",
     )
     dictionary.set_defaults(func=_cmd_dictionary)
+
+    stats = commands.add_parser(
+        "stats", help="trace the figure workload; print metrics + span trees"
+    )
+    _add_cohort_arguments(stats)
+    stats.add_argument(
+        "--slow", type=float, default=0.25,
+        help="slow-query threshold in seconds (default 0.25)",
+    )
+    stats.add_argument(
+        "--lattice", action="store_true",
+        help="precompute the figure-shaped aggregate lattice first",
+    )
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the exit code."""
+    obs.configure_from_env()
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -11,9 +11,12 @@ queries are used as feedback to reduce ambiguity of decisions."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+import functools
 
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro import obs
 from repro.dgms.system import DDDGMS
 from repro.knowledge.findings import FindingKind
 from repro.mining.metrics import ConfusionMatrix
@@ -34,6 +37,20 @@ class PhaseOutcome:
         return f"{self.phase}: {self.summary}"
 
 
+def _phased(fn: Callable[..., PhaseOutcome]) -> Callable[..., PhaseOutcome]:
+    """Trace one loop phase; the span carries the journal summary."""
+    name = fn.__name__.removeprefix("phase_")
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs) -> PhaseOutcome:
+        with obs.span(f"loop.{name}") as sp:
+            outcome = fn(self, *args, **kwargs)
+            sp.set(summary=outcome.summary)
+            return outcome
+
+    return wrapper
+
+
 class ClosedLoop:
     """One concrete instantiation of the learn→predict→optimise→acquire loop
     on the DiScRi warehouse: learn a diabetes model, predict next phases,
@@ -51,6 +68,7 @@ class ClosedLoop:
 
     # ------------------------------------------------------------------
 
+    @_phased
     def phase_learn(self) -> PhaseOutcome:
         """Phase 1: derive knowledge from the defined data space."""
         rows = self.system.transformed.to_rows()
@@ -73,6 +91,7 @@ class ClosedLoop:
         self.journal.append(outcome)
         return outcome
 
+    @_phased
     def phase_predict(self) -> PhaseOutcome:
         """Phase 2: prediction/simulation of next glycaemic phases."""
         predictor = self.system.trajectory_predictor()
@@ -92,6 +111,7 @@ class ClosedLoop:
         self.journal.append(outcome)
         return outcome
 
+    @_phased
     def phase_optimize(self, budget: float = 50_000.0) -> PhaseOutcome:
         """Phase 3: decision optimisation from the predicted case mix."""
         counts = self.system.olap().rows("bloods.fbg_band").count_distinct(
@@ -123,6 +143,7 @@ class ClosedLoop:
         self.journal.append(outcome)
         return outcome
 
+    @_phased
     def phase_acquire(self) -> PhaseOutcome:
         """Phase 4: fold the risk stratification back as feedback."""
         model = self.model
@@ -162,9 +183,10 @@ class ClosedLoop:
 
     def run_cycle(self, budget: float = 50_000.0) -> list[PhaseOutcome]:
         """Run all four phases in order; returns the journal entries."""
-        return [
-            self.phase_learn(),
-            self.phase_predict(),
-            self.phase_optimize(budget),
-            self.phase_acquire(),
-        ]
+        with obs.span("loop.cycle"):
+            return [
+                self.phase_learn(),
+                self.phase_predict(),
+                self.phase_optimize(budget),
+                self.phase_acquire(),
+            ]

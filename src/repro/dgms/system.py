@@ -2,18 +2,24 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
-from repro.errors import ReproError
+from repro import obs
+from repro.errors import OLAPError, ReproError
 from repro.discri.warehouse import DiscriWarehouse, build_discri_warehouse
 from repro.knowledge.kb import KnowledgeBase
 from repro.knowledge.findings import Evidence, FindingKind
 from repro.mining.awsum import AWSumClassifier
 from repro.mining.naive_bayes import NaiveBayesClassifier
+from repro.obs.explain import ExplainReport
 from repro.olap.crosstab import Crosstab
 from repro.olap.cube import Cube
 from repro.olap.mdx.evaluator import execute_mdx
 from repro.olap.query import QueryBuilder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.olap.materialized import MaterializedCube
 from repro.optimize.consistency import ConsistencyReport, check_dimension_consistency
 from repro.prediction.trajectory import TrajectoryPredictor
 from repro.storage.engine import StorageEngine
@@ -21,6 +27,24 @@ from repro.tabular.expressions import col
 from repro.tabular.table import Table
 from repro.viz.svg import crosstab_to_svg
 from repro.warehouse.feedback import FeedbackDimensionBuilder
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Session configuration consumed once by :func:`repro.open_system`.
+
+    ``observability`` takes the ``REPRO_OBS`` mode strings (``""`` off,
+    ``"ring"`` in-memory span trees, ``"console"`` stderr trees,
+    ``"jsonl:<path>"`` JSON lines); queries slower than
+    ``slow_query_threshold_s`` land in :func:`repro.obs.slow_log`.
+    ``materialize_lattice`` precomputes the figure-shaped aggregate
+    lattice so roll-ups are answered from nodes instead of fact scans.
+    """
+
+    observability: str = ""
+    slow_query_threshold_s: float | None = None
+    materialize_lattice: bool = False
+    promotion_threshold: float = 3.0
 
 
 class DDDGMS:
@@ -47,17 +71,22 @@ class DDDGMS:
     """
 
     def __init__(self, source: Table, promotion_threshold: float = 3.0):
-        self.source = source
-        self.operational_store = self._load_operational(source)
-        self._built: DiscriWarehouse = build_discri_warehouse(source)
-        self.warehouse = self._built.warehouse
-        self.etl_audit = self._built.etl_result.audit
-        self.cube = Cube(self.warehouse)
-        self.knowledge_base = KnowledgeBase(promotion_threshold)
-        #: feedback builders folded so far, replayed after every re-ingest
-        self._feedback_builders: list[FeedbackDimensionBuilder] = []
-        #: bumped on every ingest batch
-        self.data_version = 1
+        with obs.span("dgms.build", rows=source.num_rows):
+            self.source = source
+            with obs.span("dgms.load_operational"):
+                self.operational_store = self._load_operational(source)
+            with obs.span("dgms.etl_and_warehouse"):
+                self._built: DiscriWarehouse = build_discri_warehouse(source)
+            self.warehouse = self._built.warehouse
+            self.etl_audit = self._built.etl_result.audit
+            self.cube = Cube(self.warehouse)
+            self.knowledge_base = KnowledgeBase(promotion_threshold)
+            #: feedback builders folded so far, replayed after every re-ingest
+            self._feedback_builders: list[FeedbackDimensionBuilder] = []
+            #: lattice level-groups to re-materialise after every re-ingest
+            self._lattice_groups: list[list[str]] | None = None
+            #: bumped on every ingest batch
+            self.data_version = 1
 
     @staticmethod
     def _load_operational(source: Table) -> StorageEngine:
@@ -86,13 +115,79 @@ class DDDGMS:
         rows.sort(key=lambda r: r["visit_date"])
         return rows
 
-    def olap(self) -> QueryBuilder:
-        """Start a drag-and-drop-style OLAP query on the cube."""
+    def query(self) -> QueryBuilder:
+        """Start a drag-and-drop-style OLAP query on the cube.
+
+        This is the canonical programmatic entry point: chain
+        ``.rows()/.columns()/.measure()/.where()`` and finish with
+        ``.execute()`` (or ``.explain()`` for the measured plan).
+        """
         return self.cube.query()
 
-    def mdx(self, query: str) -> Crosstab:
-        """Execute an MDX query against the cube."""
+    def olap(self) -> QueryBuilder:
+        """Alias of :meth:`query` (the paper's "Reporting — OLAP" name)."""
+        return self.query()
+
+    def mdx(self, query: str) -> Crosstab | ExplainReport:
+        """Execute an MDX query against the cube.
+
+        An ``EXPLAIN``-prefixed query returns an
+        :class:`~repro.obs.explain.ExplainReport` (grid in ``.result``)
+        instead of the bare :class:`~repro.olap.crosstab.Crosstab`.
+        """
         return execute_mdx(self.cube, query)
+
+    def explain(self, query: "str | QueryBuilder") -> ExplainReport:
+        """Measured plan/profile for an MDX string or a built query.
+
+        Accepts MDX text (the ``EXPLAIN`` prefix is implied) or a
+        :class:`~repro.olap.query.QueryBuilder` from :meth:`query`.  The
+        report names the lattice node or base scan that answered, with
+        rows scanned and wall time per stage; the result grid rides along
+        in ``.result``.
+        """
+        if isinstance(query, QueryBuilder):
+            return query.explain()
+        if isinstance(query, str):
+            if not query.lstrip().upper().startswith("EXPLAIN"):
+                query = f"EXPLAIN {query}"
+            report = execute_mdx(self.cube, query)
+            assert isinstance(report, ExplainReport)
+            return report
+        raise OLAPError(
+            f"explain() takes MDX text or a QueryBuilder, got {type(query).__name__}"
+        )
+
+    def materialize_lattice(
+        self, level_groups: Sequence[Sequence[str]] | None = None
+    ) -> "MaterializedCube":
+        """Precompute aggregate lattice nodes and route queries through them.
+
+        With no argument, materialises one node per figure-shaped roll-up
+        (the Fig 4–6 level combinations).  The groups are remembered and
+        re-materialised after every :meth:`ingest_visits` rebuild, so the
+        lattice never serves stale cells.
+        """
+        from repro.olap.materialized import MaterializedCube
+
+        if level_groups is None:
+            groups = [list(group) for group in self.DEFAULT_LATTICE_GROUPS]
+        else:
+            groups = [list(group) for group in level_groups]
+        lattice = MaterializedCube(self.cube).materialize(groups)
+        self.cube.attach_lattice(lattice)
+        self._lattice_groups = groups
+        return lattice
+
+    #: figure-shaped roll-ups used by :meth:`materialize_lattice` default
+    DEFAULT_LATTICE_GROUPS: tuple[tuple[str, ...], ...] = (
+        (
+            "conditions.age_band", "personal.gender",
+            "personal.family_history_diabetes",
+        ),
+        ("conditions.age_band10", "personal.gender", "conditions.diabetes_status"),
+        ("conditions.age_band10", "conditions.ht_years_band", "conditions.hypertension"),
+    )
 
     # ------------------------------------------------------------------
     # Prediction / visualisation
@@ -226,9 +321,11 @@ class DDDGMS:
         The builder is remembered so its predicates replay automatically
         after the next :meth:`ingest_visits` rebuild.
         """
-        dimension = self.warehouse.fold_feedback(builder)
-        self._feedback_builders.append(builder)
-        self.cube.refresh()
+        with obs.span("dgms.fold_feedback", dimension=builder.name):
+            dimension = self.warehouse.fold_feedback(builder)
+            self._feedback_builders.append(builder)
+            self.cube.refresh()
+            self._rematerialize_lattice()
         return dimension
 
     def ingest_visits(self, new_visits: Table) -> int:
@@ -244,19 +341,39 @@ class DDDGMS:
         """
         if new_visits.num_rows == 0:
             return 0
-        with self.operational_store.transaction():
-            for row in new_visits.iter_rows():
-                self.operational_store.insert("attendances", row)
-        self.source = self.source.append(new_visits.select(self.source.column_names))
-        self._built = build_discri_warehouse(self.source)
-        self.warehouse = self._built.warehouse
-        self.etl_audit = self._built.etl_result.audit
-        self.cube = Cube(self.warehouse)
-        for builder in self._feedback_builders:
-            self.warehouse.fold_feedback(builder)
-        self.cube.refresh()
-        self.data_version += 1
+        with obs.span("dgms.ingest", rows=new_visits.num_rows):
+            with obs.span("dgms.ingest.oltp"):
+                with self.operational_store.transaction():
+                    for row in new_visits.iter_rows():
+                        self.operational_store.insert("attendances", row)
+            self.source = self.source.append(
+                new_visits.select(self.source.column_names)
+            )
+            with obs.span("dgms.ingest.rebuild"):
+                self._built = build_discri_warehouse(self.source)
+                self.warehouse = self._built.warehouse
+                self.etl_audit = self._built.etl_result.audit
+                self.cube = Cube(self.warehouse)
+            with obs.span(
+                "dgms.ingest.feedback_replay",
+                builders=len(self._feedback_builders),
+            ):
+                for builder in self._feedback_builders:
+                    self.warehouse.fold_feedback(builder)
+                self.cube.refresh()
+            self._rematerialize_lattice()
+            self.data_version += 1
+            obs.count("dgms.ingest.batches")
         return new_visits.num_rows
+
+    def _rematerialize_lattice(self) -> None:
+        """Rebuild the attached lattice over the current (possibly new) cube."""
+        if self._lattice_groups is None:
+            return
+        from repro.olap.materialized import MaterializedCube
+
+        lattice = MaterializedCube(self.cube).materialize(self._lattice_groups)
+        self.cube.attach_lattice(lattice)
 
     @property
     def transformed(self) -> Table:

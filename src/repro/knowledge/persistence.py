@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import json
+import warnings
 from pathlib import Path
 
 from repro.errors import KnowledgeBaseError
@@ -24,6 +25,16 @@ _SUPPORTED_VERSIONS = frozenset({1, 2})
 
 
 def save_knowledge_base(kb: KnowledgeBase, path: str | Path) -> None:
+    """Deprecated spelling of the unified :func:`repro.persistence.save`."""
+    warnings.warn(
+        "save_knowledge_base() is deprecated; use repro.persistence.save()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _save_knowledge_base(kb, path)
+
+
+def _save_knowledge_base(kb: KnowledgeBase, path: str | Path) -> None:
     """Serialise the whole base (findings, evidence, statuses) to JSON."""
     payload = {
         "format_version": _FORMAT_VERSION,
@@ -59,7 +70,17 @@ def save_knowledge_base(kb: KnowledgeBase, path: str | Path) -> None:
 
 
 def load_knowledge_base(path: str | Path) -> KnowledgeBase:
-    """Reconstruct a base from :func:`save_knowledge_base` output."""
+    """Deprecated spelling of the unified :func:`repro.persistence.load`."""
+    warnings.warn(
+        "load_knowledge_base() is deprecated; use repro.persistence.load()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _load_knowledge_base(path)
+
+
+def _load_knowledge_base(path: str | Path) -> KnowledgeBase:
+    """Reconstruct a base from :func:`_save_knowledge_base` output."""
     file_path = Path(path)
     if not file_path.exists():
         raise KnowledgeBaseError(f"no knowledge base at {file_path}")

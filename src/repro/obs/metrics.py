@@ -1,0 +1,198 @@
+"""Counters, gauges and fixed-bucket histograms.
+
+The registry is deliberately primitive: plain Python objects mutated
+in-process, no locks (the engine is single-threaded per the storage
+layer's contract), no label cartesians — a metric name is the full
+identity.  Histograms use fixed upper-bound buckets so percentile
+estimates cost O(buckets) and memory stays constant regardless of
+observation volume; exact min/max/sum/count ride along for calibration.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+#: Default latency buckets (seconds): ~100 µs to 10 s, roughly log-spaced.
+LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative)."""
+        self.value += n
+
+    def snapshot(self) -> dict:
+        """JSON-ready state."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (snapshot sizes, cache entry counts, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+    def snapshot(self) -> dict:
+        """JSON-ready state."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket distribution with percentile estimates.
+
+    ``buckets`` are inclusive upper bounds in ascending order; a final
+    implicit +inf bucket catches everything above the last bound.
+    Percentiles interpolate linearly inside the containing bucket (the
+    Prometheus ``histogram_quantile`` convention), so they are estimates
+    bounded by bucket width — good enough for latency monitoring, not for
+    billing.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS_S):
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"histogram {name!r}: buckets must be strictly ascending")
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(buckets) + 1)  # +1 for the +inf bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile (0 < p <= 100), 0 when empty."""
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                if i >= len(self.buckets):
+                    return self.max  # +inf bucket: best bound we have
+                low = self.buckets[i - 1] if i else 0.0
+                high = self.buckets[i]
+                fraction = (rank - cumulative) / bucket_count
+                return low + (high - low) * fraction
+            cumulative += bucket_count
+        return self.max
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary (count, mean, p50/p95/p99, min/max)."""
+        if self.count == 0:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Name → metric, with get-or-create accessors.
+
+    Requesting an existing name with a different metric type raises — a
+    typo'd call site would otherwise silently split a series.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge."""
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS_S
+    ) -> Histogram:
+        """Get or create a histogram (``buckets`` applies on first creation)."""
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Name → JSON-ready state, sorted by name."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def render(self) -> str:
+        """Human-readable table, one metric per line."""
+        lines = []
+        for name, snap in self.snapshot().items():
+            kind = snap.pop("type")
+            if kind == "histogram" and snap.get("count"):
+                detail = (
+                    f"count={snap['count']} mean={snap['mean']:.6f} "
+                    f"p50={snap['p50']:.6f} p95={snap['p95']:.6f} "
+                    f"max={snap['max']:.6f}"
+                )
+            else:
+                detail = " ".join(f"{k}={v}" for k, v in snap.items())
+            lines.append(f"{name:<48} {kind:<10} {detail}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh sessions)."""
+        self._metrics.clear()

@@ -1,0 +1,101 @@
+"""Span sinks: where finished root span trees go.
+
+Three built-ins cover the paper platform's needs: a bounded in-memory
+ring (programmatic inspection, ``repro stats``), a JSON-lines file
+(offline analysis of a long run), and a human-readable console stream
+(debugging a single query).  All receive the *root* span of a finished
+tree; children are reachable through it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from pathlib import Path
+from typing import Protocol, TextIO
+
+from repro.obs.trace import Span
+
+
+class Sink(Protocol):
+    """Anything that accepts finished root spans."""
+
+    def emit(self, span: Span) -> None:
+        """Receive one finished root span (with its whole subtree)."""
+        ...  # pragma: no cover - protocol
+
+
+class RingBufferSink:
+    """Keeps the newest ``capacity`` root spans in memory."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._spans: deque[Span] = deque(maxlen=capacity)
+
+    def emit(self, span: Span) -> None:
+        """Append, evicting the oldest when full."""
+        self._spans.append(span)
+
+    @property
+    def spans(self) -> list[Span]:
+        """Retained root spans, oldest first."""
+        return list(self._spans)
+
+    def last(self) -> Span | None:
+        """The most recent root span, if any."""
+        return self._spans[-1] if self._spans else None
+
+    def clear(self) -> None:
+        """Drop every retained span."""
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class JsonLinesSink:
+    """Appends one JSON object per root span to a file.
+
+    The handle is opened lazily and kept open; call :meth:`close` (or use
+    the tracer only inside a bounded scope) when the file must be
+    complete.  Lines are self-contained JSON, so a reader can tail the
+    file while the process runs.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh: TextIO | None = None
+
+    def emit(self, span: Span) -> None:
+        """Serialise the tree as one line."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(span.to_dict()) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the file handle (safe to call repeatedly)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class ConsoleSink:
+    """Prints finished trees as indented text.
+
+    ``min_duration_ms`` suppresses noise: only trees at least that slow
+    are printed (0 = everything, the "full verbosity" CI mode).
+    """
+
+    def __init__(self, stream: TextIO | None = None, min_duration_ms: float = 0.0):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_duration_ms = min_duration_ms
+
+    def emit(self, span: Span) -> None:
+        """Render the tree when slow enough to matter."""
+        if span.duration_ms >= self.min_duration_ms:
+            print(span.render(), file=self.stream)

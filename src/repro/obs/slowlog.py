@@ -1,0 +1,66 @@
+"""Slow-query log: root query spans slower than a threshold.
+
+Only spans carrying a ``query`` attribute are considered — the facade's
+query entry points (builder, MDX, DG-SQL) tag their root spans with the
+query text, so internal maintenance spans (checkpoints, rebuilds) never
+pollute the log.  Entries are kept in a bounded ring, newest last.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.trace import Span
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One logged offender."""
+
+    when: float          # epoch seconds at detection
+    name: str            # root span name (query / mdx / dgsql)
+    query: str           # the query text
+    duration_s: float
+
+    def render(self) -> str:
+        """One log line."""
+        stamp = time.strftime("%H:%M:%S", time.localtime(self.when))
+        return f"{stamp}  {self.duration_s * 1e3:8.1f} ms  {self.name}  {self.query}"
+
+
+class SlowQueryLog:
+    """Bounded record of query spans exceeding ``threshold_s``."""
+
+    def __init__(self, threshold_s: float = 1.0, capacity: int = 128):
+        if threshold_s < 0:
+            raise ValueError("slow-query threshold must be >= 0")
+        self.threshold_s = threshold_s
+        self._entries: deque[SlowQuery] = deque(maxlen=capacity)
+
+    def consider(self, span: Span) -> bool:
+        """Record the span if it is a query and slow; returns True if logged."""
+        query = span.attrs.get("query")
+        if query is None or span.duration_s < self.threshold_s:
+            return False
+        self._entries.append(
+            SlowQuery(time.time(), span.name, str(query), span.duration_s)
+        )
+        return True
+
+    @property
+    def entries(self) -> list[SlowQuery]:
+        """Logged queries, oldest first."""
+        return list(self._entries)
+
+    def render(self) -> str:
+        """The whole log as text (empty string when clean)."""
+        return "\n".join(entry.render() for entry in self._entries)
+
+    def clear(self) -> None:
+        """Forget everything."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

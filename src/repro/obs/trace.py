@@ -1,0 +1,241 @@
+"""Nested timed spans with contextvar propagation.
+
+A :class:`Span` measures one operation; entering a span makes it the
+*current* span (per :mod:`contextvars` context, so concurrent tasks do not
+interleave their trees) and any span opened inside becomes its child.
+When a **root** span closes, the finished tree is handed to the owning
+:class:`Tracer`'s sinks and, when the tree is slower than the configured
+threshold and carries a ``query`` attribute, to the slow-query log.
+
+The disabled path is the design constraint: every hot-path call site goes
+through :func:`repro.obs.span`, which returns the module-level
+:data:`NULL_SPAN` singleton when no tracer is active.  That singleton's
+``__enter__``/``__exit__``/``set`` do nothing and allocate nothing, so
+instrumentation left in production code costs one attribute check per
+operation — asserted by ``benchmarks/bench_obs_overhead.py``.
+
+Spans deliberately record wall time only (``time.perf_counter_ns``); this
+is a single-process analytical engine, so there is no clock-domain or
+cross-host correlation to worry about.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.sinks import Sink
+    from repro.obs.slowlog import SlowQueryLog
+
+#: The span currently open in this context (None at top level).
+_current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: A tracer forced active for this context (EXPLAIN / tests), overriding
+#: the globally configured one.
+_context_tracer: contextvars.ContextVar["Tracer | None"] = contextvars.ContextVar(
+    "repro_obs_context_tracer", default=None
+)
+
+
+class NullSpan:
+    """The do-nothing span: a reusable context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "NullSpan":
+        """Ignore attributes (mirrors :meth:`Span.set`)."""
+        return self
+
+    @property
+    def recording(self) -> bool:
+        """Never recording."""
+        return False
+
+
+#: Shared no-op instance returned whenever tracing is off.
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One timed operation, with attributes and child spans."""
+
+    __slots__ = (
+        "name", "attrs", "children", "tracer",
+        "start_ns", "end_ns", "error", "_token",
+    )
+
+    def __init__(self, name: str, tracer: "Tracer", attrs: dict | None = None):
+        self.name = name
+        self.tracer = tracer
+        self.attrs: dict[str, object] = attrs or {}
+        self.children: list[Span] = []
+        self.start_ns = 0
+        self.end_ns = 0
+        self.error: str | None = None
+        self._token: contextvars.Token | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        parent = _current_span.get()
+        if parent is not None:
+            parent.children.append(self)
+        self._token = _current_span.set(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_ns = time.perf_counter_ns()
+        if exc is not None:
+            # Record the failure but never swallow it: the span tree shows
+            # exactly which stage raised, with its partial timings intact.
+            self.error = f"{type(exc).__name__}: {exc}"
+        if self._token is not None:
+            was_root = self._token.old_value in (None, contextvars.Token.MISSING)
+            _current_span.reset(self._token)
+            self._token = None
+            if was_root:
+                self.tracer._finish_root(self)
+        return False
+
+    # -- data --------------------------------------------------------------
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes (rows scanned, cache outcome, ...)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def recording(self) -> bool:
+        """True — attribute computation is worth the cost here."""
+        return True
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time in seconds (0 until the span closes)."""
+        if not self.end_ns:
+            return 0.0
+        return (self.end_ns - self.start_ns) / 1e9
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall time in milliseconds."""
+        return self.duration_s * 1e3
+
+    def walk(self) -> Iterator["Span"]:
+        """This span then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (depth-first)."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering of the subtree."""
+        payload: dict[str, object] = {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 4),
+        }
+        if self.attrs:
+            payload["attrs"] = {k: _jsonable(v) for k, v in self.attrs.items()}
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable indented tree."""
+        pad = "  " * indent
+        attrs = " ".join(f"{k}={v}" for k, v in self.attrs.items())
+        line = f"{pad}{self.name}  {self.duration_ms:.3f} ms"
+        if attrs:
+            line += f"  [{attrs}]"
+        if self.error is not None:
+            line += f"  !{self.error}"
+        lines = [line]
+        lines.extend(child.render(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration_ms:.3f} ms, {len(self.children)} children)"
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class Tracer:
+    """Produces spans and routes finished root trees to sinks.
+
+    One tracer is installed globally by :func:`repro.obs.configure`;
+    :func:`activate` can force another for the current context (how
+    EXPLAIN records a single query without enabling tracing globally).
+    """
+
+    def __init__(
+        self,
+        sinks: "list[Sink] | None" = None,
+        slow_log: "SlowQueryLog | None" = None,
+    ):
+        self.sinks: list[Sink] = list(sinks or [])
+        self.slow_log = slow_log
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """Open a new (not yet entered) span owned by this tracer."""
+        return Span(name, self, attrs or None)
+
+    def _finish_root(self, root: Span) -> None:
+        for sink in self.sinks:
+            sink.emit(root)
+        if self.slow_log is not None:
+            self.slow_log.consider(root)
+
+
+def current_tracer() -> Tracer | None:
+    """The context-forced tracer, if any (global fallback lives in repro.obs)."""
+    return _context_tracer.get()
+
+
+class activate:
+    """Context manager forcing ``tracer`` active for the current context.
+
+    Nested use restores the previous tracer on exit.  Used by EXPLAIN and
+    by tests that must record regardless of global configuration.
+    """
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> Tracer:
+        self._token = _context_tracer.set(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc_info: object) -> bool:
+        if self._token is not None:
+            _context_tracer.reset(self._token)
+            self._token = None
+        return False
+
+
+def current_span() -> Span | None:
+    """The innermost open span in this context (None when idle)."""
+    return _current_span.get()

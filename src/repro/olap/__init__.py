@@ -13,7 +13,7 @@ from repro.olap.cube import Cube
 from repro.olap.materialized import LatticeStats, MaterializedCube
 from repro.olap.aggregates import AGGREGATION_NAMES, validate_aggregation
 from repro.olap.crosstab import Crosstab
-from repro.olap.query import CubeQuery, QueryBuilder
+from repro.olap.query import CubeQuery, MeasureSpec, QueryBuilder, measure
 from repro.olap.operations import (
     dice,
     drill_down,
@@ -32,6 +32,8 @@ __all__ = [
     "Crosstab",
     "CubeQuery",
     "QueryBuilder",
+    "MeasureSpec",
+    "measure",
     "slice_cube",
     "dice",
     "drill_down",

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
+from repro import obs
 from repro.errors import OLAPError, UnknownLevelError
 from repro.olap.aggregates import validate_aggregation
 from repro.tabular.expressions import Expression, col
@@ -12,6 +13,10 @@ from repro.tabular.table import Table
 from repro.warehouse.attribute import Hierarchy
 from repro.warehouse.dynamic import DynamicWarehouse
 from repro.warehouse.star import StarSchema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.olap.materialized import MaterializedCube
+    from repro.olap.query import QueryBuilder
 
 
 class Cube:
@@ -40,6 +45,7 @@ class Cube:
         self._qattrs: dict[str, tuple[str, str]] | None = None
         self._qattrs_version = self._schema_version
         self._groupbys: dict[tuple[str, ...], GroupBy] = {}
+        self._lattice: "MaterializedCube | None" = None
 
     def _current_version(self) -> int:
         return self._dynamic.version if self._dynamic is not None else 1
@@ -48,7 +54,10 @@ class Cube:
     def flat(self) -> Table:
         """The denormalised fact+dimension view (auto-refreshed on change)."""
         if self._flat is None or self._schema_version != self._current_version():
-            self._flat = self.schema.flatten()
+            obs.count("olap.flat.rebuild")
+            with obs.span("cube.flatten", cube=self.name) as sp:
+                self._flat = self.schema.flatten()
+                sp.set(rows=self._flat.num_rows)
             self._schema_version = self._current_version()
             self._groupbys.clear()
         return self._flat
@@ -82,8 +91,11 @@ class Cube:
         flat = self.flat  # property access also invalidates stale caches
         grouped = self._groupbys.get(keys)
         if grouped is None or grouped.table is not flat:
+            obs.count("olap.groupby_cache.miss")
             grouped = flat.groupby(*keys)
             self._groupbys[keys] = grouped
+        else:
+            obs.count("olap.groupby_cache.hit")
         return grouped
 
     # ------------------------------------------------------------------
@@ -137,6 +149,26 @@ class Cube:
     # Aggregation
     # ------------------------------------------------------------------
 
+    def attach_lattice(self, lattice: "MaterializedCube") -> None:
+        """Route future ``aggregate`` calls through a materialised lattice.
+
+        The lattice answers covered queries from precomputed cells and
+        falls back to the base scan otherwise; it deactivates itself
+        automatically when the flat view it was built from is replaced.
+        """
+        if lattice.cube is not self:
+            raise OLAPError("lattice was materialised over a different cube")
+        self._lattice = lattice
+
+    def detach_lattice(self) -> None:
+        """Stop consulting the attached lattice (if any)."""
+        self._lattice = None
+
+    @property
+    def lattice(self) -> "MaterializedCube | None":
+        """The attached materialised lattice, if any."""
+        return self._lattice
+
     def aggregate(
         self,
         levels: Sequence[str],
@@ -150,10 +182,46 @@ class Cube:
         omitted the record count is returned.  ``filters`` restricts the
         fact rows before grouping (a dice).  Returns a table with one row
         per populated cell, sorted by the level columns.
+
+        With a lattice attached (:meth:`attach_lattice`), covered queries
+        are answered from precomputed cells instead of the fact scan.
         """
+        with obs.span(
+            "cube.aggregate",
+            cube=self.name,
+            levels=",".join(levels) if levels else "<grand total>",
+            filtered=filters is not None,
+        ) as sp:
+            lattice = self._lattice
+            if lattice is not None and lattice.is_fresh():
+                result = lattice.aggregate(
+                    levels, aggregations, filters=filters, force=force
+                )
+            else:
+                result = self._aggregate_base(
+                    levels, aggregations, filters, force
+                )
+            sp.set(cells=result.num_rows)
+            return result
+
+    def _aggregate_base(
+        self,
+        levels: Sequence[str],
+        aggregations: Mapping[str, tuple[str, str]] | None = None,
+        filters: Expression | None = None,
+        force: bool = False,
+    ) -> Table:
+        """The lattice-free aggregation path (a full scan of the flat view)."""
         qualified = [self.check_level(level) for level in levels]
         aggregations = dict(aggregations or {self.RECORDS: (self.RECORDS, "size")})
-        table = self.flat if filters is None else self.flat.filter(filters)
+        obs.count("olap.aggregate.base_scans")
+        with obs.span("scan.base", source="fact table") as scan_sp:
+            if filters is None:
+                table = self.flat
+            else:
+                table = self.flat.filter(filters)
+                scan_sp.set(predicate=filters.describe())
+            scan_sp.set(rows_scanned=self.flat.num_rows, rows_kept=table.num_rows)
 
         specs: dict[str, tuple[str, str]] = {}
         for out_name, (target, func) in aggregations.items():

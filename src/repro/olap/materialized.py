@@ -24,9 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.errors import OLAPError
 from repro.olap.aggregates import validate_aggregation
 from repro.olap.cube import Cube
+from repro.tabular.expressions import Expression
 from repro.tabular.table import Table
 
 
@@ -68,6 +70,8 @@ class MaterializedCube:
         self.cube = cube
         self._nodes: list[_Node] = []
         self.stats = LatticeStats()
+        #: identity of the flat view the nodes were computed from
+        self._flat_ref: Table | None = None
 
     # ------------------------------------------------------------------
     # Materialisation
@@ -88,25 +92,42 @@ class MaterializedCube:
         measure_names = list(measures or self.cube.schema.fact.measures)
         for name in measure_names:
             self.cube.schema.fact.measure(name)  # validate
-        for group in level_groups:
-            qualified = tuple(self.cube.check_level(level) for level in group)
-            if not qualified:
-                raise OLAPError("cannot materialise an empty level group")
-            aggregations: dict[str, tuple[str, str]] = {
-                "__records": (self.RECORDS, "size")
-            }
-            for name in measure_names:
-                aggregations[f"{name}__sum"] = (name, "sum")
-                aggregations[f"{name}__count"] = (name, "count")
-                aggregations[f"{name}__min"] = (name, "min")
-                aggregations[f"{name}__max"] = (name, "max")
-            table = self.cube.aggregate(
-                list(qualified), aggregations, force=True
-            )
-            self._nodes.append(_Node(qualified, table, tuple(measure_names)))
-        # smaller nodes first so lookups prefer the cheapest superset
-        self._nodes.sort(key=lambda node: node.table.num_rows)
+        level_groups = [list(group) for group in level_groups]
+        with obs.span("lattice.materialize", nodes=len(level_groups)) as sp:
+            for group in level_groups:
+                qualified = tuple(
+                    self.cube.check_level(level) for level in group
+                )
+                if not qualified:
+                    raise OLAPError("cannot materialise an empty level group")
+                aggregations: dict[str, tuple[str, str]] = {
+                    "__records": (self.RECORDS, "size")
+                }
+                for name in measure_names:
+                    aggregations[f"{name}__sum"] = (name, "sum")
+                    aggregations[f"{name}__count"] = (name, "count")
+                    aggregations[f"{name}__min"] = (name, "min")
+                    aggregations[f"{name}__max"] = (name, "max")
+                table = self.cube._aggregate_base(
+                    list(qualified), aggregations, force=True
+                )
+                self._nodes.append(_Node(qualified, table, tuple(measure_names)))
+            # smaller nodes first so lookups prefer the cheapest superset
+            self._nodes.sort(key=lambda node: node.table.num_rows)
+            self._flat_ref = self.cube.flat
+            sp.set(cells=self.storage_cells())
+        obs.set_gauge("olap.lattice.cells", self.storage_cells())
         return self
+
+    def is_fresh(self) -> bool:
+        """True while the nodes still describe the cube's current facts.
+
+        The flat view is rebuilt (as a new object) whenever the underlying
+        warehouse changes, so identity comparison is an exact staleness
+        test: a stale lattice silently stops answering and the cube falls
+        back to base scans until re-materialised.
+        """
+        return bool(self._nodes) and self.cube.flat is self._flat_ref
 
     @property
     def nodes(self) -> list[tuple[tuple[str, ...], int]]:
@@ -125,34 +146,53 @@ class MaterializedCube:
         self,
         levels: Sequence[str],
         aggregations: Mapping[str, tuple[str, str]] | None = None,
+        filters: Expression | None = None,
         force: bool = False,
     ) -> Table:
         """Answer like :meth:`Cube.aggregate`, preferring the lattice.
 
-        Filters are not supported on the materialised path (a filtered
-        query needs fact rows); use the base cube for dices.
+        Filtered queries stay on the materialised path when every filter
+        column is one of the node's levels — the predicate then selects
+        whole cells, which aggregate identically to the facts behind them.
+        Anything else (``nunique``, level-valued targets, filters on
+        non-materialised columns) falls back to the base scan.
         """
         qualified = [self.cube.check_level(level) for level in levels]
         aggregations = dict(
             aggregations or {self.RECORDS: (self.RECORDS, "size")}
         )
 
-        node = self._covering_node(qualified, aggregations)
-        if node is None:
-            self.stats.fallbacks += 1
-            return self.cube.aggregate(qualified, aggregations, force=force)
-        if set(node.levels) == set(qualified):
-            self.stats.exact_hits += 1
-        else:
-            self.stats.rollup_hits += 1
-        return self._answer_from_node(node, qualified, aggregations, force)
+        with obs.span("lattice.lookup", levels=",".join(qualified)) as sp:
+            node = self._covering_node(qualified, aggregations, filters)
+            if node is None:
+                self.stats.fallbacks += 1
+                obs.count("olap.lattice.fallback")
+                sp.set(outcome="fallback")
+                return self.cube._aggregate_base(
+                    qualified, aggregations, filters=filters, force=force
+                )
+            if set(node.levels) == set(qualified):
+                self.stats.exact_hits += 1
+                obs.count("olap.lattice.exact_hit")
+                sp.set(outcome="exact")
+            else:
+                self.stats.rollup_hits += 1
+                obs.count("olap.lattice.rollup_hit")
+                sp.set(outcome="rollup")
+            sp.set(node=",".join(node.levels), node_cells=node.table.num_rows)
+            return self._answer_from_node(
+                node, qualified, aggregations, filters, force
+            )
 
     def _covering_node(
         self,
         levels: Sequence[str],
         aggregations: Mapping[str, tuple[str, str]],
+        filters: Expression | None = None,
     ) -> _Node | None:
         wanted = set(levels)
+        if filters is not None:
+            wanted = wanted | set(filters.columns())
         needed_measures = set()
         for target, func in aggregations.values():
             if func == "nunique":
@@ -171,6 +211,7 @@ class MaterializedCube:
         node: _Node,
         levels: list[str],
         aggregations: Mapping[str, tuple[str, str]],
+        filters: Expression | None,
         force: bool,
     ) -> Table:
         plans: dict[str, tuple[str, str]] = {}
@@ -210,11 +251,12 @@ class MaterializedCube:
             request[f"__{out}__sum"] = (f"{target}__sum", "sum")
             request[f"__{out}__count"] = (f"{target}__count", "sum")
 
+        cells = node.table if filters is None else node.table.filter(filters)
         if not levels:
-            rows = [self._grand_total_row(node, request)]
+            rows = [self._grand_total_row(cells, request)]
             result = Table.from_rows(rows)
         else:
-            result = node.table.groupby(*levels).agg(**request)
+            result = cells.groupby(*levels).agg(**request)
 
         if means:
             for out in means:
@@ -231,13 +273,13 @@ class MaterializedCube:
         return result.sort_by(*levels) if levels else result
 
     @staticmethod
-    def _grand_total_row(node: _Node, request: dict[str, tuple[str, str]]) -> dict:
+    def _grand_total_row(cells: Table, request: dict[str, tuple[str, str]]) -> dict:
         import numpy as np
 
         from repro.tabular.groupby import AGGREGATORS
 
-        indices = np.arange(node.table.num_rows)
+        indices = np.arange(cells.num_rows)
         return {
-            out: AGGREGATORS[func](node.table.column(source), indices)
+            out: AGGREGATORS[func](cells.column(source), indices)
             for out, (source, func) in request.items()
         }

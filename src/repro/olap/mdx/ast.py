@@ -177,11 +177,14 @@ class MdxQuery:
     slicer: tuple = field(default_factory=tuple)  # MemberRef/MeasureRef refs
     non_empty_columns: bool = False
     non_empty_rows: bool = False
+    #: ``EXPLAIN SELECT ...`` — return a measured plan instead of just the grid
+    explain: bool = False
 
     def render(self) -> str:
         """Back to MDX text (normalised whitespace)."""
         col_prefix = "NON EMPTY " if self.non_empty_columns else ""
-        text = f"SELECT {col_prefix}{self.columns.render()} ON COLUMNS"
+        text = "EXPLAIN " if self.explain else ""
+        text += f"SELECT {col_prefix}{self.columns.render()} ON COLUMNS"
         if self.rows is not None:
             row_prefix = "NON EMPTY " if self.non_empty_rows else ""
             text += f", {row_prefix}{self.rows.render()} ON ROWS"

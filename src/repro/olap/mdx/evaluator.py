@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro import obs
 from repro.errors import EvaluationError
+from repro.obs.explain import ExplainReport, profile
 from repro.olap.crosstab import Crosstab
 from repro.olap.cube import Cube
 from repro.olap.mdx.ast import (
@@ -208,18 +210,50 @@ def _axis_signature(tuples: list[tuple], axis: str) -> tuple[list[str], bool]:
     return list(levels), has_measure
 
 
-def execute_mdx(cube: Cube, query: MdxQuery | str) -> Crosstab:
-    """Run an MDX query (text or parsed) and return a crosstab."""
+def execute_mdx(cube: Cube, query: MdxQuery | str) -> "Crosstab | ExplainReport":
+    """Run an MDX query (text or parsed).
+
+    Returns the result :class:`Crosstab` — or, for an ``EXPLAIN``-prefixed
+    query, an :class:`~repro.obs.explain.ExplainReport` whose plan tree is
+    *measured* (the query runs once under a recording tracer): per-stage
+    parse/resolve/aggregate/pivot timings, rows scanned, and whether a
+    materialised lattice node or a base fact scan produced the numbers.
+    The report's ``result`` attribute carries the grid.
+    """
     if isinstance(query, str):
-        query = parse_mdx(query)
+        source = query
+        parsed = parse_mdx(source)
+    else:
+        source = query.render()
+        parsed = query
+
+    def run() -> Crosstab:
+        with obs.span("mdx.parse", chars=len(source)):
+            fresh = parse_mdx(source) if isinstance(query, str) else parsed
+        bare = replace(fresh, explain=False) if fresh.explain else fresh
+        return _evaluate(cube, bare)
+
+    if parsed.explain:
+        result, plan = profile("mdx", run, query=source)
+        return ExplainReport(query=source, plan=plan, result=result)
+    with obs.span("mdx", query=source):
+        return run()
+
+
+def _evaluate(cube: Cube, query: MdxQuery) -> Crosstab:
+    """Resolve, aggregate and pivot one parsed (non-EXPLAIN) query."""
     if query.cube != cube.name:
         raise EvaluationError(
             f"query addresses cube {query.cube!r} but this cube is "
             f"{cube.name!r}"
         )
 
-    col_tuples = _resolve_set(cube, query.columns)
-    row_tuples = _resolve_set(cube, query.rows) if query.rows is not None else [()]
+    with obs.span("mdx.resolve") as resolve_sp:
+        col_tuples = _resolve_set(cube, query.columns)
+        row_tuples = (
+            _resolve_set(cube, query.rows) if query.rows is not None else [()]
+        )
+        resolve_sp.set(row_tuples=len(row_tuples), col_tuples=len(col_tuples))
     col_levels, col_has_measure = _axis_signature(col_tuples, "COLUMNS")
     if query.rows is not None:
         row_levels, row_has_measure = _axis_signature(row_tuples, "ROWS")
@@ -286,59 +320,63 @@ def execute_mdx(cube: Cube, query: MdxQuery | str) -> Crosstab:
     }
     aggregate = cube.aggregate(grouping, aggregations, filters=predicate)
 
-    # Index aggregate rows by their grouping-tuple for cell lookup.
-    index: dict[tuple, dict[str, object]] = {}
-    for row in aggregate.iter_rows():
-        key = tuple(row[level] for level in grouping)
-        index[key] = row
+    with obs.span("mdx.pivot", cells=aggregate.num_rows):
+        # Index aggregate rows by their grouping-tuple for cell lookup.
+        index: dict[tuple, dict[str, object]] = {}
+        for row in aggregate.iter_rows():
+            key = tuple(row[level] for level in grouping)
+            index[key] = row
 
-    def tuple_members(tup: tuple) -> dict[str, object]:
-        return {ref.level: ref.value for ref in tup if isinstance(ref, _Member)}
+        def tuple_members(tup: tuple) -> dict[str, object]:
+            return {
+                ref.level: ref.value for ref in tup if isinstance(ref, _Member)
+            }
 
-    def tuple_measure(tup: tuple) -> _Measure | None:
-        for ref in tup:
-            if isinstance(ref, _Measure):
-                return ref
-        return None
+        def tuple_measure(tup: tuple) -> _Measure | None:
+            for ref in tup:
+                if isinstance(ref, _Measure):
+                    return ref
+            return None
 
-    def key_label(tup: tuple) -> tuple:
-        return tuple(
-            ref.label() if isinstance(ref, _Member) else ref.name for ref in tup
-        ) or ("all",)
+        def key_label(tup: tuple) -> tuple:
+            return tuple(
+                ref.label() if isinstance(ref, _Member) else ref.name
+                for ref in tup
+            ) or ("all",)
 
-    row_keys = [key_label(t) for t in row_tuples]
-    col_keys = [key_label(t) for t in col_tuples]
-    cells: dict[tuple[tuple, tuple], object] = {}
-    for r_tup, r_key in zip(row_tuples, row_keys):
-        r_members = tuple_members(r_tup)
-        r_measure = tuple_measure(r_tup)
-        for c_tup, c_key in zip(col_tuples, col_keys):
-            members = dict(r_members)
-            members.update(tuple_members(c_tup))
-            measure = tuple_measure(c_tup) or r_measure or default_measure
-            lookup = tuple(members.get(level) for level in grouping)
-            row = index.get(lookup)
-            if row is not None:
-                cells[(r_key, c_key)] = row[measure.name]
+        row_keys = [key_label(t) for t in row_tuples]
+        col_keys = [key_label(t) for t in col_tuples]
+        cells: dict[tuple[tuple, tuple], object] = {}
+        for r_tup, r_key in zip(row_tuples, row_keys):
+            r_members = tuple_members(r_tup)
+            r_measure = tuple_measure(r_tup)
+            for c_tup, c_key in zip(col_tuples, col_keys):
+                members = dict(r_members)
+                members.update(tuple_members(c_tup))
+                measure = tuple_measure(c_tup) or r_measure or default_measure
+                lookup = tuple(members.get(level) for level in grouping)
+                row = index.get(lookup)
+                if row is not None:
+                    cells[(r_key, c_key)] = row[measure.name]
 
-    if query.non_empty_rows:
-        row_keys = [
-            r for r in row_keys
-            if any((r, c) in cells for c in col_keys)
-        ]
-    if query.non_empty_columns:
-        col_keys = [
-            c for c in col_keys
-            if any((r, c) in cells for r in row_keys)
-        ]
+        if query.non_empty_rows:
+            row_keys = [
+                r for r in row_keys
+                if any((r, c) in cells for c in col_keys)
+            ]
+        if query.non_empty_columns:
+            col_keys = [
+                c for c in col_keys
+                if any((r, c) in cells for r in row_keys)
+            ]
 
-    row_level_names = row_levels + (["measure"] if row_has_measure else [])
-    col_level_names = col_levels + (["measure"] if col_has_measure else [])
-    return Crosstab(
-        row_level_names or ["all"],
-        col_level_names or ["all"],
-        row_keys,
-        col_keys,
-        cells,
-        value_name=default_measure.name,
-    )
+        row_level_names = row_levels + (["measure"] if row_has_measure else [])
+        col_level_names = col_levels + (["measure"] if col_has_measure else [])
+        return Crosstab(
+            row_level_names or ["all"],
+            col_level_names or ["all"],
+            row_keys,
+            col_keys,
+            cells,
+            value_name=default_measure.name,
+        )

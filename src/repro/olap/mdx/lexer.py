@@ -27,6 +27,7 @@ class TokenType(Enum):
 
 KEYWORDS = frozenset(
     {
+        "EXPLAIN",
         "SELECT", "ON", "COLUMNS", "ROWS", "FROM", "WHERE",
         "MEMBERS", "CROSSJOIN", "DISTINCTCOUNT",
         "NON", "EMPTY", "TOPCOUNT", "FILTER", "ORDER",

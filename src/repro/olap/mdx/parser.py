@@ -59,6 +59,10 @@ class _Parser:
         return False
 
     def parse_query(self) -> MdxQuery:
+        explain = False
+        if self.at_keyword("EXPLAIN"):
+            self.advance()
+            explain = True
         self.expect(TokenType.KEYWORD, "SELECT")
         first_non_empty = self.parse_non_empty()
         first_set = self.parse_set()
@@ -106,6 +110,7 @@ class _Parser:
             slicer=slicer,
             non_empty_columns=axes["COLUMNS"][1],
             non_empty_rows=rows_entry[1] if rows_entry else False,
+            explain=explain,
         )
 
     def parse_set(self) -> SetExpr:

@@ -10,10 +10,80 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.errors import OLAPError
+from repro.obs.explain import ExplainReport, profile
 from repro.olap.crosstab import Crosstab
 from repro.olap.cube import Cube
 from repro.tabular.expressions import Expression, col
+
+#: Accepted aggregation spellings → canonical names used by the kernels.
+AGG_ALIASES = {"avg": "mean", "average": "mean", "distinct": "nunique"}
+
+
+def _canonical_agg(aggregation: str) -> str:
+    return AGG_ALIASES.get(aggregation, aggregation)
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """A measure request built fluently: ``measure("fbg").avg()``.
+
+    Each aggregation method returns a *finalised* spec the builder accepts
+    directly; :meth:`named` overrides the output column name.  Plain
+    ``(target, aggregation)`` tuples remain accepted everywhere a spec is
+    — the fluent form is just the discoverable spelling of the same thing.
+    """
+
+    target: str
+    aggregation: str | None = None
+    name: str | None = None
+
+    def _agg(self, aggregation: str) -> "MeasureSpec":
+        return replace(self, aggregation=aggregation)
+
+    def avg(self) -> "MeasureSpec":
+        """Arithmetic mean (canonical name: ``mean``)."""
+        return self._agg("mean")
+
+    mean = avg
+
+    def sum(self) -> "MeasureSpec":
+        """Sum of non-null values."""
+        return self._agg("sum")
+
+    def min(self) -> "MeasureSpec":
+        """Smallest non-null value."""
+        return self._agg("min")
+
+    def max(self) -> "MeasureSpec":
+        """Largest non-null value."""
+        return self._agg("max")
+
+    def std(self) -> "MeasureSpec":
+        """Population standard deviation."""
+        return self._agg("std")
+
+    def count(self) -> "MeasureSpec":
+        """Number of non-null values."""
+        return self._agg("count")
+
+    def nunique(self) -> "MeasureSpec":
+        """Number of distinct values."""
+        return self._agg("nunique")
+
+    def size(self) -> "MeasureSpec":
+        """Number of rows, nulls included."""
+        return self._agg("size")
+
+    def named(self, name: str) -> "MeasureSpec":
+        """Set the output column name."""
+        return replace(self, name=name)
+
+
+def measure(target: str) -> MeasureSpec:
+    """Start a fluent measure spec: ``measure("fbg").avg()``."""
+    return MeasureSpec(target)
 
 
 @dataclass(frozen=True)
@@ -53,6 +123,18 @@ class CubeQuery:
             clause = col(level).isin(list(values))
             expr = clause if expr is None else (expr & clause)
         return expr
+
+    def describe(self) -> str:
+        """One-line rendering (slow-query log, EXPLAIN headers)."""
+        parts = [f"{self.value[1]}({self.value[0]}) AS {self.value_name}"]
+        if self.rows:
+            parts.append("ROWS " + ", ".join(self.rows))
+        if self.columns:
+            parts.append("COLUMNS " + ", ".join(self.columns))
+        for level, values in self.member_filters.items():
+            rendered = ", ".join(str(v) for v in values)
+            parts.append(f"WHERE {level} IN ({rendered})")
+        return " | ".join(parts)
 
     def execute(self, cube: Cube) -> Crosstab:
         """Run against a cube and pivot into a crosstab.
@@ -96,73 +178,115 @@ class CubeQuery:
 
 
 class QueryBuilder:
-    """Fluent construction of :class:`CubeQuery` objects.
+    """Fluent, immutable construction of :class:`CubeQuery` objects.
 
-    ::
+    Every method returns a **new** builder; the receiver is never mutated.
+    A partially built query can therefore be held and branched safely::
 
-        grid = (cube.query()
-                    .rows("personal.age_band")
-                    .columns("personal.gender")
+        base = cube.query().rows("personal.age_band")
+        by_gender = base.columns("personal.gender")   # base is unchanged
+        grid = (by_gender
                     .count_distinct("personal.patient_id", name="patients")
                     .where("conditions.diabetes_status", "Diabetic")
                     .execute())
+
+    Measures are requested either as a ``(target, aggregation)`` tuple or
+    fluently via :func:`measure` — ``.measure(("fbg", "avg"))`` and
+    ``.measure(measure("fbg").avg())`` are the same query.  The canonical
+    form is the fluent one; aggregation spellings are normalised
+    (``avg`` → ``mean``) either way.
     """
 
-    def __init__(self, cube: Cube):
+    def __init__(self, cube: Cube, query: CubeQuery | None = None):
         self._cube = cube
-        self._query = CubeQuery()
+        self._query = query if query is not None else CubeQuery()
+
+    def _with(self, query: CubeQuery) -> "QueryBuilder":
+        return QueryBuilder(self._cube, query)
 
     def rows(self, *levels: str) -> "QueryBuilder":
-        """Put levels on the row axis (replaces previous rows)."""
+        """A new builder with levels on the row axis (replacing any)."""
         qualified = tuple(self._cube.check_level(level) for level in levels)
-        self._query = replace(self._query, rows=qualified)
-        return self
+        return self._with(replace(self._query, rows=qualified))
 
     def columns(self, *levels: str) -> "QueryBuilder":
-        """Put levels on the column axis (replaces previous columns)."""
+        """A new builder with levels on the column axis (replacing any)."""
         qualified = tuple(self._cube.check_level(level) for level in levels)
-        self._query = replace(self._query, columns=qualified)
-        return self
+        return self._with(replace(self._query, columns=qualified))
 
-    def measure(self, target: str, aggregation: str, name: str | None = None) -> "QueryBuilder":
-        """Set the cell value to ``aggregation`` of ``target``.
+    def measure(
+        self,
+        target: "str | tuple[str, str] | MeasureSpec",
+        aggregation: str | None = None,
+        name: str | None = None,
+    ) -> "QueryBuilder":
+        """A new builder whose cell value is an aggregation of ``target``.
+
+        Accepts the three equivalent spellings::
+
+            .measure("fbg", "avg")                 # positional
+            .measure(("fbg", "avg"))               # spec tuple
+            .measure(measure("fbg").avg())         # fluent (canonical)
 
         ``target`` is a fact measure, the implicit ``records``, or a level
         (which is qualified against the cube).
         """
+        if isinstance(target, MeasureSpec):
+            if target.aggregation is None:
+                raise OLAPError(
+                    f"measure spec for {target.target!r} names no "
+                    "aggregation — finish it with .avg()/.sum()/..."
+                )
+            if aggregation is not None:
+                raise OLAPError(
+                    "pass either a finished measure spec or a separate "
+                    "aggregation, not both"
+                )
+            target, aggregation, name = (
+                target.target, target.aggregation, name or target.name
+            )
+        elif isinstance(target, tuple):
+            if aggregation is not None:
+                raise OLAPError(
+                    "pass either a (target, aggregation) tuple or a "
+                    "separate aggregation, not both"
+                )
+            target, aggregation = target
+        elif aggregation is None:
+            raise OLAPError(
+                f"measure({target!r}) needs an aggregation — pass "
+                "(target, agg), measure(target).avg(), or two arguments"
+            )
+        aggregation = _canonical_agg(aggregation)
         if target != Cube.RECORDS and target not in self._cube.schema.fact.measures:
             target = self._cube.check_level(target)
-        self._query = replace(
+        return self._with(replace(
             self._query,
             value=(target, aggregation),
             value_name=name or f"{aggregation}_{target.split('.')[-1]}",
-        )
-        return self
+        ))
 
     def count_records(self, name: str = "records") -> "QueryBuilder":
-        """Cell value = number of fact rows (the default)."""
-        self._query = replace(
+        """A new builder counting fact rows per cell (the default value)."""
+        return self._with(replace(
             self._query, value=(Cube.RECORDS, "size"), value_name=name
-        )
-        return self
+        ))
 
     def count_distinct(self, level: str, name: str | None = None) -> "QueryBuilder":
-        """Cell value = distinct count of a level (e.g. patients)."""
+        """A new builder counting distinct level members (e.g. patients)."""
         qualified = self._cube.check_level(level)
-        self._query = replace(
+        return self._with(replace(
             self._query,
             value=(qualified, "nunique"),
             value_name=name or f"distinct_{qualified.split('.')[-1]}",
-        )
-        return self
+        ))
 
     def where(self, level: str, *values: object) -> "QueryBuilder":
-        """Restrict a level to the given members (slice/dice)."""
+        """A new builder restricting a level to the given members."""
         if not values:
             raise OLAPError(f"where({level!r}) requires at least one value")
         qualified = self._cube.check_level(level)
-        self._query = self._query.with_filter(qualified, tuple(values))
-        return self
+        return self._with(self._query.with_filter(qualified, tuple(values)))
 
     def build(self) -> CubeQuery:
         """The accumulated immutable query."""
@@ -170,4 +294,21 @@ class QueryBuilder:
 
     def execute(self) -> Crosstab:
         """Build and run against the owning cube."""
-        return self._query.execute(self._cube)
+        query = self._query
+        with obs.span("query", query=query.describe()):
+            return query.execute(self._cube)
+
+    def explain(self) -> ExplainReport:
+        """Run once under a recording tracer and return the measured plan.
+
+        Works regardless of global observability configuration; the
+        returned report carries the plan tree (which lattice node answered
+        or how many fact rows were scanned, wall time per stage) and the
+        result grid in ``.result``.
+        """
+        query = self._query
+        source = query.describe()
+        result, plan = profile(
+            "query", lambda: query.execute(self._cube), query=source
+        )
+        return ExplainReport(query=source, plan=plan, result=result)

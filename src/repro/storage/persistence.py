@@ -35,8 +35,10 @@ import datetime as _dt
 import json
 import shutil
 import urllib.parse
+import warnings
 from pathlib import Path
 
+from repro import obs
 from repro.errors import DurabilityError, SnapshotError, StorageError
 from repro.storage.durable import (
     atomic_write_bytes,
@@ -132,6 +134,21 @@ def save_snapshot(
     *,
     keep: int = KEEP_GENERATIONS,
 ) -> Path:
+    """Deprecated spelling of the unified :func:`repro.persistence.save`."""
+    warnings.warn(
+        "save_snapshot() is deprecated; use repro.persistence.save()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _save_snapshot(engine, directory, keep=keep)
+
+
+def _save_snapshot(
+    engine: StorageEngine,
+    directory: str | Path,
+    *,
+    keep: int = KEEP_GENERATIONS,
+) -> Path:
     """Write a new snapshot generation under ``directory``; returns its path.
 
     The generation becomes visible (recoverable) only once its manifest
@@ -157,28 +174,41 @@ def save_snapshot(
                 f"filename {filename!r} (case-insensitive filesystems)"
             )
 
-    digests: dict[str, str] = {}
-    catalog_bytes = json.dumps(_catalog_payload(engine), indent=2).encode("utf-8")
-    atomic_write_bytes(gen_dir / _CATALOG, catalog_bytes, point="snapshot.data")
-    digests[_CATALOG] = crc32_hex(catalog_bytes)
-    for name in names:
-        data = json.dumps(_rows_payload(engine, name)).encode("utf-8")
-        atomic_write_bytes(gen_dir / filenames[name], data, point="snapshot.data")
-        digests[filenames[name]] = crc32_hex(data)
+    with obs.span(
+        "snapshot.save", generation=next_number, tables=len(names)
+    ) as sp:
+        snapshot_bytes = 0
+        digests: dict[str, str] = {}
+        catalog_bytes = json.dumps(
+            _catalog_payload(engine), indent=2
+        ).encode("utf-8")
+        atomic_write_bytes(gen_dir / _CATALOG, catalog_bytes, point="snapshot.data")
+        digests[_CATALOG] = crc32_hex(catalog_bytes)
+        snapshot_bytes += len(catalog_bytes)
+        for name in names:
+            data = json.dumps(_rows_payload(engine, name)).encode("utf-8")
+            atomic_write_bytes(
+                gen_dir / filenames[name], data, point="snapshot.data"
+            )
+            digests[filenames[name]] = crc32_hex(data)
+            snapshot_bytes += len(data)
 
-    manifest = {
-        "format_version": _FORMAT_VERSION,
-        "generation": next_number,
-        "wal_seq": engine.wal.last_seq,
-        "tables": filenames,
-        "files": digests,
-    }
-    atomic_write_bytes(
-        gen_dir / _MANIFEST,
-        json.dumps(manifest, indent=2).encode("utf-8"),
-        point="snapshot.manifest",
-    )
-    fsync_dir(root)
+        manifest = {
+            "format_version": _FORMAT_VERSION,
+            "generation": next_number,
+            "wal_seq": engine.wal.last_seq,
+            "tables": filenames,
+            "files": digests,
+        }
+        atomic_write_bytes(
+            gen_dir / _MANIFEST,
+            json.dumps(manifest, indent=2).encode("utf-8"),
+            point="snapshot.manifest",
+        )
+        fsync_dir(root)
+        sp.set(bytes=snapshot_bytes)
+        obs.set_gauge("storage.snapshot.bytes", snapshot_bytes)
+        obs.count("storage.snapshot.saves")
 
     for stale in _generation_dirs(root)[:-keep] if keep > 0 else []:
         shutil.rmtree(stale, ignore_errors=True)
@@ -223,6 +253,16 @@ def load_generation(gen_dir: str | Path) -> tuple[StorageEngine, dict]:
 
 
 def load_snapshot(directory: str | Path) -> StorageEngine:
+    """Deprecated spelling of the unified :func:`repro.persistence.load`."""
+    warnings.warn(
+        "load_snapshot() is deprecated; use repro.persistence.load()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _load_snapshot(directory)
+
+
+def _load_snapshot(directory: str | Path) -> StorageEngine:
     """Reconstruct an engine from the newest snapshot generation.
 
     Verifies checksums; raises :class:`~repro.errors.SnapshotError` when
@@ -252,30 +292,44 @@ def recover(
     subsequent transactions continue the same log.
     """
     root = Path(directory)
-    engine: StorageEngine | None = None
-    after_seq = 0
-    problems: list[str] = []
-    for gen_dir in reversed(_generation_dirs(root)):
-        try:
-            engine, manifest = load_generation(gen_dir)
-            after_seq = manifest.get("wal_seq", 0)
-            break
-        except (DurabilityError, OSError, KeyError, ValueError) as exc:
-            problems.append(f"{gen_dir.name}: {exc}")
-    if engine is None and (root / _CATALOG).exists():
-        try:
-            engine = _load_flat_legacy(root)
-        except (DurabilityError, StorageError, OSError, ValueError) as exc:
-            problems.append(f"flat layout: {exc}")
-    if engine is None:
-        detail = "; ".join(problems) if problems else "no generations present"
-        raise SnapshotError(f"no recoverable snapshot at {root} ({detail})")
+    with obs.span("recover", root=str(root)) as sp:
+        engine: StorageEngine | None = None
+        after_seq = 0
+        generation = None
+        problems: list[str] = []
+        for gen_dir in reversed(_generation_dirs(root)):
+            try:
+                with obs.span("recover.load_generation", generation=gen_dir.name):
+                    engine, manifest = load_generation(gen_dir)
+                after_seq = manifest.get("wal_seq", 0)
+                generation = gen_dir.name
+                break
+            except (DurabilityError, OSError, KeyError, ValueError) as exc:
+                problems.append(f"{gen_dir.name}: {exc}")
+        if engine is None and (root / _CATALOG).exists():
+            try:
+                engine = _load_flat_legacy(root)
+                generation = "flat-legacy"
+            except (DurabilityError, StorageError, OSError, ValueError) as exc:
+                problems.append(f"flat layout: {exc}")
+        if engine is None:
+            detail = "; ".join(problems) if problems else "no generations present"
+            raise SnapshotError(f"no recoverable snapshot at {root} ({detail})")
 
-    if wal_path is not None:
-        wal = WriteAheadLog.load(wal_path)
-        replay_into(engine, wal, after_seq=after_seq)
-        engine.wal = wal
-    return engine
+        replayed = 0
+        if wal_path is not None:
+            with obs.span("recover.wal_replay", after_seq=after_seq) as replay_sp:
+                wal = WriteAheadLog.load(wal_path)
+                replayed = replay_into(engine, wal, after_seq=after_seq)
+                replay_sp.set(records=replayed)
+            engine.wal = wal
+        sp.set(
+            generation=generation,
+            skipped_generations=len(problems),
+            wal_records_replayed=replayed,
+        )
+        obs.count("storage.recoveries")
+        return engine
 
 
 def checkpoint(
@@ -291,8 +345,10 @@ def checkpoint(
     already-snapshotted records in the log — recovery skips them via the
     manifest's sequence cutoff.
     """
-    gen_dir = save_snapshot(engine, directory, keep=keep)
-    engine.wal.truncate()
+    with obs.span("checkpoint", wal_seq=engine.wal.last_seq):
+        gen_dir = _save_snapshot(engine, directory, keep=keep)
+        engine.wal.truncate()
+        obs.count("storage.checkpoints")
     return gen_dir
 
 

@@ -34,10 +34,12 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
+from repro import obs
 from repro.errors import StorageError, WALCorruptionError
 from repro.storage import faults
 from repro.storage.durable import (
@@ -154,7 +156,10 @@ class WriteAheadLog:
             raise StorageError(f"unknown WAL operation {op!r}")
         entry = LogEntry(txn_id, op, table, dict(payload))
         entry.seq = self._alloc_seq()
+        obs.count("storage.wal.append")
+        started = time.perf_counter()
         self._write_frame(entry.to_json().encode("utf-8"), entry.seq, "wal.append")
+        obs.observe("storage.wal.append_s", time.perf_counter() - started)
         self._entries.append(entry)
         self._by_txn.setdefault(txn_id, []).append(entry)
 
@@ -169,7 +174,10 @@ class WriteAheadLog:
         if self._path is not None:
             mark = json.dumps({"t": "c", "txn": txn_id}).encode("utf-8")
             self._write_frame(mark, self._alloc_seq(), "wal.commit")
+            obs.count("storage.wal.commit")
+            started = time.perf_counter()
             self._sync()
+            obs.observe("storage.wal.fsync_s", time.perf_counter() - started)
         for entry in self._by_txn.get(txn_id, ()):
             entry.committed = True
 

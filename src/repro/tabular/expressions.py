@@ -45,6 +45,15 @@ class Expression:
         """Evaluate to a boolean mask of the table's length."""
         raise NotImplementedError
 
+    def columns(self) -> frozenset[str]:
+        """Column names this predicate reads.
+
+        Lets planners (the materialised lattice) decide whether a filtered
+        query can be answered from a projection that only carries certain
+        columns.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return self.describe()
 
@@ -112,6 +121,9 @@ class ColumnRef(Expression):
             )
         return column.data & column.valid
 
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
     def describe(self) -> str:
         return self.name
 
@@ -124,6 +136,9 @@ class Literal(Expression):
 
     def evaluate(self, table: "Table") -> np.ndarray:
         raise DTypeError("a bare literal is not a filter predicate")
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
 
     def describe(self) -> str:
         return repr(self.value)
@@ -152,6 +167,9 @@ class _Compare(Expression):
             raw = self.ufunc(column.data, operand)
         return raw & column.valid
 
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
     def describe(self) -> str:
         return f"({self.name} {self.symbol} {self.operand!r})"
 
@@ -169,6 +187,9 @@ class _IsIn(Expression):
         raw = np.array([v in coerced for v in column.data.tolist()], dtype=bool)
         return raw & column.valid
 
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
     def describe(self) -> str:
         return f"({self.name} IN {self.values!r})"
 
@@ -181,6 +202,9 @@ class _IsNull(Expression):
     def evaluate(self, table: "Table") -> np.ndarray:
         column = table.column(self.name)
         return ~column.valid if self.want_null else column.valid.copy()
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.name,))
 
     def describe(self) -> str:
         suffix = "IS NULL" if self.want_null else "IS NOT NULL"
@@ -197,6 +221,9 @@ class _BoolOp(Expression):
     def evaluate(self, table: "Table") -> np.ndarray:
         return self.ufunc(self.left.evaluate(table), self.right.evaluate(table))
 
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
     def describe(self) -> str:
         return f"({self.left.describe()} {self.symbol} {self.right.describe()})"
 
@@ -207,6 +234,9 @@ class _NotOp(Expression):
 
     def evaluate(self, table: "Table") -> np.ndarray:
         return ~self.inner.evaluate(table)
+
+    def columns(self) -> frozenset[str]:
+        return self.inner.columns()
 
     def describe(self) -> str:
         return f"(NOT {self.inner.describe()})"

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ColumnNotFoundError, TabularError
 from repro.tabular.column import Column
 from repro.tabular.dtypes import DType
@@ -319,7 +320,13 @@ class GroupBy:
     def factorization(self) -> Factorization:
         """Dense group codes for the key columns (cached)."""
         if self._fact is None:
-            self._fact = factorize(self.table, self.keys)
+            obs.count("tabular.factorize.miss")
+            with obs.span(
+                "factorize", keys=",".join(self.keys), rows=len(self.table)
+            ):
+                self._fact = factorize(self.table, self.keys)
+        else:
+            obs.count("tabular.factorize.hit")
         return self._fact
 
     def _vector_engine(self) -> "_VectorEngine":
@@ -365,10 +372,19 @@ class GroupBy:
             self.table.column(in_name)  # raise early if absent
             plans.append((out_name, in_name, func_name))
 
-        if scalar_kernels_enabled():
-            group_keys, results = self._aggregate_scalar(plans)
-        else:
-            group_keys, results = self._aggregate_vector(plans)
+        path = "scalar" if scalar_kernels_enabled() else "vector"
+        obs.count(f"tabular.groupby.path.{path}")
+        with obs.span(
+            "groupby.agg",
+            keys=",".join(self.keys),
+            path=path,
+            rows=len(self.table),
+            aggs=len(plans),
+        ):
+            if path == "scalar":
+                group_keys, results = self._aggregate_scalar(plans)
+            else:
+                group_keys, results = self._aggregate_vector(plans)
 
         # Explicit output schema: dtype follows the function/input column, so
         # all-null cells (e.g. a sum over an all-null measure) keep the input

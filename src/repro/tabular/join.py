@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import TabularError
 from repro.tabular.column import Column
 from repro.tabular.factorize import factorize_codes, scalar_kernels_enabled
@@ -50,10 +51,20 @@ def hash_join(
     mixed_dtypes = any(
         left.column(k).dtype is not right.column(k).dtype for k in keys
     )
-    if scalar_kernels_enabled() or mixed_dtypes:
-        left_take, right_take = _match_scalar(left, right, keys, how)
-    else:
-        left_take, right_take = _match_vector(left, right, keys, how)
+    path = "scalar" if scalar_kernels_enabled() or mixed_dtypes else "vector"
+    obs.count(f"tabular.join.path.{path}")
+    with obs.span(
+        "join",
+        keys=",".join(keys),
+        how=how,
+        path=path,
+        left_rows=len(left),
+        right_rows=len(right),
+    ):
+        if path == "scalar":
+            left_take, right_take = _match_scalar(left, right, keys, how)
+        else:
+            left_take, right_take = _match_vector(left, right, keys, how)
 
     columns: dict[str, Column] = {
         name: left.column(name).take(left_take) for name in left.column_names

@@ -29,6 +29,7 @@ Feedback dimensions persist like any other — their predicates are gone
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 from repro.errors import WarehouseError
@@ -45,6 +46,18 @@ _SUPPORTED_VERSIONS = frozenset({1, 2})
 
 
 def save_warehouse(
+    warehouse: DynamicWarehouse | StarSchema, directory: str | Path
+) -> None:
+    """Deprecated spelling of the unified :func:`repro.persistence.save`."""
+    warnings.warn(
+        "save_warehouse() is deprecated; use repro.persistence.save()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _save_warehouse(warehouse, directory)
+
+
+def _save_warehouse(
     warehouse: DynamicWarehouse | StarSchema, directory: str | Path
 ) -> None:
     """Write the full dimensional model and facts under ``directory``."""
@@ -140,7 +153,17 @@ def _read_verified(path: Path, filename: str, digests: dict | None) -> str:
 
 
 def load_warehouse(directory: str | Path) -> DynamicWarehouse:
-    """Reconstruct a :class:`DynamicWarehouse` from :func:`save_warehouse`."""
+    """Deprecated spelling of the unified :func:`repro.persistence.load`."""
+    warnings.warn(
+        "load_warehouse() is deprecated; use repro.persistence.load()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _load_warehouse(directory)
+
+
+def _load_warehouse(directory: str | Path) -> DynamicWarehouse:
+    """Reconstruct a :class:`DynamicWarehouse` from :func:`_save_warehouse`."""
     path = Path(directory)
     manifest_file = path / "schema.json"
     if not manifest_file.exists():

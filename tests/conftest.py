@@ -40,6 +40,21 @@ def _faults_from_env():
         faults.uninstall()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _obs_from_env():
+    """Honour ``REPRO_OBS`` for the whole suite.
+
+    CI runs tier-1 once with ``REPRO_OBS=console`` so a crash that only
+    happens on the instrumentation path (a span attribute referencing a
+    renamed variable, say) fails the build; unset, this is a no-op.
+    """
+    from repro import obs
+
+    obs.configure_from_env()
+    yield
+    obs.disable()
+
+
 @pytest.fixture(scope="session")
 def cohort() -> Table:
     """A small deterministic DiScRi cohort (read-only)."""

@@ -1,0 +1,153 @@
+"""The ``repro.open_system`` facade and the DDDGMS query entry points."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import obs
+from repro.dgms.system import DDDGMS, SystemConfig
+from repro.discri.generator import DiScRiGenerator
+from repro.errors import OLAPError
+from repro.obs.explain import ExplainReport
+from repro.olap.query import QueryBuilder
+
+
+@pytest.fixture(scope="module")
+def source():
+    return DiScRiGenerator(n_patients=60, seed=7).generate()
+
+
+@pytest.fixture(scope="module")
+def system(source):
+    return repro.open_system(source)
+
+
+FIG4_MDX = (
+    "SELECT [personal].[gender].MEMBERS ON COLUMNS, "
+    "[conditions].[age_band].MEMBERS ON ROWS "
+    "FROM discri "
+    "WHERE [personal].[family_history_diabetes].[yes]"
+)
+
+
+class TestFacade:
+    def test_returns_a_system(self, system):
+        assert isinstance(system, DDDGMS)
+
+    def test_lazy_exports_resolve(self):
+        assert repro.DDDGMS is DDDGMS
+        assert repro.SystemConfig is SystemConfig
+        with pytest.raises(AttributeError):
+            repro.no_such_export
+
+    def test_config_defaults_leave_obs_alone(self, source):
+        obs.disable()
+        repro.open_system(source)
+        assert obs.enabled() is False
+
+    def test_config_enables_observability(self, source):
+        try:
+            repro.open_system(source, config=SystemConfig(observability="ring"))
+            assert obs.enabled() is True
+        finally:
+            obs.disable()
+            obs.configure_from_env()
+
+    def test_config_threshold_alone_implies_ring(self, source):
+        try:
+            repro.open_system(
+                source, config=SystemConfig(slow_query_threshold_s=0.5)
+            )
+            assert obs.enabled() is True
+            assert obs.slow_log().threshold_s == 0.5
+        finally:
+            obs.disable()
+            obs.configure_from_env()
+
+    def test_config_materializes_the_default_lattice(self, source):
+        sys2 = repro.open_system(
+            source, config=SystemConfig(materialize_lattice=True)
+        )
+        report = sys2.explain(
+            sys2.query()
+            .rows("conditions.age_band")
+            .columns("personal.gender")
+            .where("personal.family_history_diabetes", "yes")
+        )
+        lookup = report.plan.find("lattice.lookup")
+        assert lookup is not None
+        assert lookup.attrs["outcome"] == "rollup"
+
+    def test_promotion_threshold_reaches_the_kb(self, source):
+        sys2 = repro.open_system(
+            source, config=SystemConfig(promotion_threshold=9.0)
+        )
+        assert sys2.knowledge_base.promotion_threshold == 9.0
+
+
+class TestQueryEntryPoints:
+    def test_query_returns_builder_on_the_cube(self, system):
+        builder = system.query()
+        assert isinstance(builder, QueryBuilder)
+        grid = (
+            builder.rows("conditions.age_band")
+            .columns("personal.gender")
+            .count_records()
+            .execute()
+        )
+        assert grid.grand_total() > 0
+
+    def test_olap_is_an_alias_of_query(self, system):
+        a = (
+            system.query().rows("conditions.age_band").count_records().execute()
+        )
+        b = system.olap().rows("conditions.age_band").count_records().execute()
+        assert a.grand_total() == b.grand_total()
+
+    def test_mdx_runs_a_statement(self, system):
+        grid = system.mdx(FIG4_MDX)
+        assert grid.grand_total() > 0
+
+    def test_mdx_explain_prefix_returns_report(self, system):
+        report = system.mdx("EXPLAIN " + FIG4_MDX)
+        assert isinstance(report, ExplainReport)
+
+    def test_explain_accepts_builder(self, system):
+        report = system.explain(
+            system.query().rows("conditions.age_band").count_records()
+        )
+        assert isinstance(report, ExplainReport)
+        assert report.plan.find("cube.aggregate") is not None
+
+    def test_explain_accepts_mdx_string_without_prefix(self, system):
+        report = system.explain(FIG4_MDX)
+        assert isinstance(report, ExplainReport)
+        assert report.plan.find("mdx.parse") is not None
+
+    def test_explain_rejects_other_types(self, system):
+        with pytest.raises(OLAPError):
+            system.explain(42)
+
+
+class TestLatticeLifecycle:
+    def test_ingest_rematerializes_the_lattice(self, source):
+        sys2 = repro.open_system(
+            source, config=SystemConfig(materialize_lattice=True)
+        )
+        from repro.discri.generator import offset_identifiers
+
+        more = DiScRiGenerator(n_patients=12, seed=91).generate()
+        max_pid = max(sys2.source.column("patient_id").to_list())
+        max_vid = max(sys2.source.column("visit_id").to_list())
+        sys2.ingest_visits(offset_identifiers(more, max_pid, max_vid))
+
+        report = sys2.explain(
+            sys2.query()
+            .rows("conditions.age_band")
+            .columns("personal.gender")
+            .where("personal.family_history_diabetes", "yes")
+        )
+        lookup = report.plan.find("lattice.lookup")
+        assert lookup is not None
+        assert lookup.attrs["outcome"] == "rollup"  # fresh, not fallback

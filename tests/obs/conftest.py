@@ -1,0 +1,16 @@
+"""Obs tests mutate the module-level switch; restore it per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    yield
+    obs.disable()
+    obs.metrics().reset()
+    obs.slow_log().clear()
+    obs.configure_from_env()  # restore whatever the CI env asked for

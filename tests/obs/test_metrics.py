@@ -1,0 +1,99 @@
+"""MetricsRegistry: counters, gauges, histogram percentiles, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_registry_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits") is reg.counter("hits")
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("depth")
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_mean_and_count(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(2.0)
+
+    def test_percentile_interpolates(self):
+        h = Histogram("lat", buckets=tuple(float(b) for b in range(10, 110, 10)))
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.0, abs=10.0)
+        assert h.percentile(99) == pytest.approx(99.0, abs=10.0)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(2.0, 1.0))
+
+    def test_percentile_never_exceeds_observed_max(self):
+        h = Histogram("lat")
+        h.observe(0.7)
+        h.observe(123.4)
+        assert h.percentile(99) <= 123.4
+
+    def test_empty_histogram_percentile(self):
+        h = Histogram("lat")
+        assert h.percentile(95) == 0.0
+        assert h.mean == 0.0
+
+
+class TestRegistry:
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(2)
+        reg.gauge("depth").set(4.0)
+        reg.histogram("lat").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["hits"]["value"] == 2
+        assert snap["depth"]["value"] == 4.0
+        assert snap["lat"]["count"] == 1
+        assert {"p50", "p95", "p99"} <= set(snap["lat"])
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.reset()
+        assert reg.names() == []
+
+    def test_render_mentions_each_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("storage.checkpoints").inc()
+        reg.histogram("query.seconds").observe(0.01)
+        text = reg.render()
+        assert "storage.checkpoints" in text
+        assert "query.seconds" in text

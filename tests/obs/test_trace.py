@@ -1,0 +1,150 @@
+"""Span/Tracer semantics: nesting, exceptions, context propagation, no-op."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_SPAN, RingBufferSink, Tracer, activate
+
+
+def _recording_tracer() -> tuple[Tracer, RingBufferSink]:
+    ring = RingBufferSink()
+    return Tracer(sinks=[ring]), ring
+
+
+class TestNesting:
+    def test_children_attach_to_enclosing_span(self):
+        tracer, ring = _recording_tracer()
+        with tracer.span("root"):
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        root = ring.last()
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+
+    def test_only_root_reaches_sinks(self):
+        tracer, ring = _recording_tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in ring.spans] == ["root"]
+
+    def test_durations_are_measured_and_ordered(self):
+        tracer, ring = _recording_tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                time.sleep(0.002)
+        root = ring.last()
+        child = root.children[0]
+        assert child.duration_s >= 0.002
+        assert root.duration_s >= child.duration_s
+
+    def test_walk_and_find(self):
+        tracer, ring = _recording_tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+        root = ring.last()
+        assert [s.name for s in root.walk()] == ["root", "a", "b"]
+        assert root.find("b").name == "b"
+        assert root.find("absent") is None
+
+
+class TestExceptions:
+    def test_error_recorded_and_not_swallowed(self):
+        tracer, ring = _recording_tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    raise ValueError("boom")
+        root = ring.last()
+        assert root.error == "ValueError: boom"
+        assert root.children[0].error == "ValueError: boom"
+
+    def test_stack_restored_after_exception(self):
+        """A span that dies mid-tree must not corrupt later nesting."""
+        tracer, ring = _recording_tracer()
+        with tracer.span("first"):
+            with pytest.raises(RuntimeError):
+                with tracer.span("dies"):
+                    raise RuntimeError("x")
+            with tracer.span("after"):
+                pass
+        root = ring.last()
+        assert [c.name for c in root.children] == ["dies", "after"]
+        assert obs.current_span() is None
+
+    def test_root_flushes_to_sink_even_on_error(self):
+        tracer, ring = _recording_tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("root"):
+                raise KeyError("k")
+        assert len(ring) == 1
+
+
+class TestContextPropagation:
+    def test_activate_overrides_global(self):
+        global_ring = RingBufferSink()
+        obs.configure(sinks=[global_ring])
+        local_tracer, local_ring = _recording_tracer()
+        with activate(local_tracer):
+            with obs.span("local_op"):
+                pass
+        assert [s.name for s in local_ring.spans] == ["local_op"]
+        assert len(global_ring) == 0
+
+    def test_activate_restores_previous_tracer(self):
+        tracer, _ = _recording_tracer()
+        with activate(tracer):
+            assert obs.current_tracer() is tracer
+        assert obs.current_tracer() is None
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_singleton(self):
+        obs.disable()
+        assert obs.span("anything", rows=9) is NULL_SPAN
+        assert obs.span("other") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            assert span.set(rows=1) is NULL_SPAN
+            assert span.recording is False
+
+    def test_metric_helpers_do_not_register_while_disabled(self):
+        obs.disable()
+        obs.metrics().reset()
+        obs.count("x.count")
+        obs.observe("x.hist", 0.5)
+        obs.set_gauge("x.gauge", 2.0)
+        assert obs.metrics().names() == []
+
+    def test_noop_overhead_guard(self):
+        """The disabled fast path must stay allocation- and work-free.
+
+        Budget is deliberately loose (5 µs/call vs the ~100 ns it takes):
+        this is a tripwire for accidentally moving real work onto the
+        disabled path, not a microbenchmark.
+        """
+        obs.disable()
+        calls = 50_000
+        start = time.perf_counter()
+        for _ in range(calls):
+            with obs.span("probe"):
+                pass
+        per_call = (time.perf_counter() - start) / calls
+        assert per_call < 5e-6
+
+    def test_recording_flag_guards_attribute_computation(self):
+        obs.disable()
+        span = obs.span("probe")
+        assert span.recording is False
+        tracer, _ = _recording_tracer()
+        assert tracer.span("probe").recording is True

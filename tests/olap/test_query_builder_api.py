@@ -1,0 +1,95 @@
+"""QueryBuilder contract: immutability, measure-spec spellings, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OLAPError
+from repro.olap.cube import Cube
+from repro.olap.query import measure
+
+
+class TestImmutability:
+    def test_every_step_returns_a_new_builder(self, cube):
+        base = cube.query().rows("conditions.age_band")
+        branched = base.columns("personal.gender")
+        assert branched is not base
+        assert base.build().columns == ()
+        assert branched.build().columns == ("personal.gender",)
+
+    def test_branching_does_not_leak_filters(self, cube):
+        base = cube.query().rows("conditions.age_band")
+        with_filter = base.where("personal.gender", "F")
+        assert base.build().member_filters == {}
+        assert with_filter.build().member_filters == {
+            "personal.gender": ("F",)
+        }
+
+    def test_two_branches_of_one_base_execute_independently(self, cube):
+        base = cube.query().rows("conditions.age_band")
+        all_patients = base.count_distinct("cardinality.patient_id")
+        women = all_patients.where("personal.gender", "F")
+        assert (
+            women.execute().grand_total()
+            <= all_patients.execute().grand_total()
+        )
+
+    def test_repeated_where_on_same_level_intersects(self, cube):
+        q = (
+            cube.query()
+            .rows("conditions.age_band")
+            .where("personal.gender", "F", "M")
+            .where("personal.gender", "F")
+            .build()
+        )
+        assert q.member_filters["personal.gender"] == ("F",)
+
+
+class TestMeasureSpellings:
+    @pytest.fixture()
+    def base(self, cube):
+        return cube.query().rows("conditions.age_band")
+
+    def test_tuple_fluent_and_positional_agree(self, base):
+        via_tuple = base.measure(("fbg", "avg")).build()
+        via_fluent = base.measure(measure("fbg").avg()).build()
+        via_args = base.measure("fbg", "avg").build()
+        assert via_tuple.value == via_fluent.value == via_args.value
+
+    def test_avg_normalises_to_mean(self, base):
+        assert base.measure(("fbg", "avg")).build().value == ("fbg", "mean")
+
+    def test_fluent_name_is_kept(self, base):
+        q = base.measure(measure("fbg").avg().named("avg_sugar")).build()
+        assert q.value_name == "avg_sugar"
+
+    def test_spellings_produce_identical_grids(self, base):
+        t = base.measure(("fbg", "avg")).execute()
+        f = base.measure(measure("fbg").avg()).execute()
+        assert t.grand_total() == pytest.approx(f.grand_total())
+
+
+class TestErrors:
+    def test_unfinished_spec_rejected(self, cube):
+        with pytest.raises(OLAPError, match="no\\s+aggregation"):
+            cube.query().rows("conditions.age_band").measure(measure("fbg"))
+
+    def test_spec_plus_aggregation_rejected(self, cube):
+        with pytest.raises(OLAPError, match="not both"):
+            cube.query().measure(measure("fbg").avg(), "sum")
+
+    def test_tuple_plus_aggregation_rejected(self, cube):
+        with pytest.raises(OLAPError, match="not both"):
+            cube.query().measure(("fbg", "avg"), "sum")
+
+    def test_bare_target_without_aggregation_rejected(self, cube):
+        with pytest.raises(OLAPError, match="needs an aggregation"):
+            cube.query().measure("fbg")
+
+    def test_where_without_values_rejected(self, cube):
+        with pytest.raises(OLAPError, match="at least one value"):
+            cube.query().where("personal.gender")
+
+    def test_execute_without_axes_rejected(self, cube):
+        with pytest.raises(OLAPError, match="no levels"):
+            cube.query().measure(("fbg", "avg")).execute()
