@@ -8,7 +8,9 @@ Commands:
   ``EXPLAIN`` prefix prints the measured plan instead of the grid);
 * ``figures``  — print the paper's Fig 4/5/6 reproductions;
 * ``stats``    — run the figure workload under tracing and print the
-  metrics registry, slow-query log and last span tree.
+  metrics registry, ingest health, slow-query log and last span tree;
+* ``quarantine`` — list, inspect or re-drive dead-letter rows of a
+  durable system (``list`` / ``show <id>`` / ``redrive [--set k=v]``).
 
 A cohort can come from ``--cohort file.csv`` (as written by ``generate``)
 or be simulated on the fly with ``--patients/--seed``.  Every command
@@ -18,6 +20,7 @@ honours ``REPRO_OBS`` / ``REPRO_OBS_SLOW_S`` (see :mod:`repro.obs`).
 from __future__ import annotations
 
 import argparse
+import datetime as _dt
 import sys
 from pathlib import Path
 
@@ -25,6 +28,7 @@ from repro import obs
 from repro.dgms.report import generate_trial_report
 from repro.dgms.system import DDDGMS
 from repro.discri.generator import DiScRiGenerator
+from repro.etl.quarantine import QuarantineStore
 from repro.olap.operations import drill_down
 from repro.tabular.csvio import read_csv, write_csv
 from repro.tabular.table import Table
@@ -96,13 +100,22 @@ def _run_figure_workload(system: DDDGMS) -> None:
 def _cmd_stats(args: argparse.Namespace) -> int:
     ring = obs.RingBufferSink()
     obs.configure(sinks=[ring], slow_query_threshold_s=args.slow)
-    system = DDDGMS(_load_cohort(args))
+    if args.durable is not None:
+        system = DDDGMS.recover(args.durable)
+    else:
+        # a quarantine sink makes the command resilient to dirty cohort
+        # CSVs: bad rows land in the (in-memory) dead-letter store and
+        # show up under "ingest health" instead of aborting the command
+        system = DDDGMS(_load_cohort(args), quarantine=QuarantineStore())
     if args.lattice:
         system.materialize_lattice()
     _run_figure_workload(system)
 
     print("== metrics ==")
     print(obs.metrics().render())
+    print("\n== ingest health ==")
+    for key, value in system.ingest_health().items():
+        print(f"{key:<24} {value}")
     last = ring.last()
     if last is not None:
         print("\n== last span tree ==")
@@ -111,6 +124,64 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"\n== slow queries (> {slow.threshold_s:g} s) ==")
     print(slow.render() if len(slow) else "(none)")
     return 0
+
+
+def _coerce_cli_value(text: str):
+    """``--set`` value syntax: int, float, ISO date, ``null`` or string."""
+    text = text.strip()
+    if text.lower() in ("null", "none"):
+        return None
+    for parse in (int, float, _dt.date.fromisoformat):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_quarantine(args: argparse.Namespace) -> int:
+    root = Path(args.root)
+    if args.action == "redrive":
+        system = DDDGMS.recover(root)
+        repair = None
+        if args.set:
+            changes = {}
+            for pair in args.set:
+                key, sep, value = pair.partition("=")
+                if not sep or not key.strip():
+                    print(f"bad --set {pair!r} (expected column=value)",
+                          file=sys.stderr)
+                    return 2
+                changes[key.strip()] = _coerce_cli_value(value)
+
+            def repair(row, changes=changes):
+                return {**row, **changes}
+
+        report = system.redrive_quarantine(repair=repair)
+        print(report.summary())
+        print(f"{len(system.quarantine)} rows remain quarantined")
+        return 0
+
+    store = QuarantineStore.open(root / "quarantine")
+    try:
+        if args.action == "show":
+            if args.entry_id is None:
+                print("quarantine show needs an entry id", file=sys.stderr)
+                return 2
+            entry = store.get(args.entry_id)
+            print(entry.describe())
+            for key in sorted(entry.row):
+                print(f"  {key:<28} {entry.row[key]!r}")
+            return 0
+        # list (the default)
+        entries = store.rows()
+        print(f"{len(entries)} quarantined rows "
+              f"(by step: {store.counts('step') or '{}'})")
+        for entry in entries:
+            print(f"  {entry.describe()}")
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_dictionary(args: argparse.Namespace) -> int:
@@ -218,7 +289,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--lattice", action="store_true",
         help="precompute the figure-shaped aggregate lattice first",
     )
+    stats.add_argument(
+        "--durable", type=Path, default=None,
+        help="recover the system from this durable root instead of "
+             "building from a cohort (shows real ingest health)",
+    )
     stats.set_defaults(func=_cmd_stats)
+
+    quarantine = commands.add_parser(
+        "quarantine",
+        help="list / inspect / re-drive dead-letter rows of a durable system",
+    )
+    quarantine.add_argument(
+        "action", choices=["list", "show", "redrive"], nargs="?",
+        default="list", help="what to do (default: list)",
+    )
+    quarantine.add_argument(
+        "entry_id", type=int, nargs="?", default=None,
+        help="entry id for 'show'",
+    )
+    quarantine.add_argument(
+        "--root", type=Path, required=True,
+        help="durable system root (as passed to DDDGMS(durable_root=...))",
+    )
+    quarantine.add_argument(
+        "--set", action="append", default=[], metavar="COLUMN=VALUE",
+        help="for 'redrive': repair each row before the attempt "
+             "(repeatable; value parses as int/float/ISO date/null/str)",
+    )
+    quarantine.set_defaults(func=_cmd_quarantine)
     return parser
 
 

@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro import obs
-from repro.errors import OLAPError, ReproError
+from repro.errors import (
+    IngestError,
+    OLAPError,
+    PermanentIngestError,
+    ReproError,
+)
 from repro.discri.warehouse import DiscriWarehouse, build_discri_warehouse
+from repro.etl.quarantine import (
+    ListSink,
+    QuarantinedRow,
+    QuarantineStore,
+    RedriveReport,
+)
 from repro.knowledge.kb import KnowledgeBase
 from repro.knowledge.findings import Evidence, FindingKind
 from repro.mining.awsum import AWSumClassifier
@@ -23,10 +36,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 from repro.optimize.consistency import ConsistencyReport, check_dimension_consistency
 from repro.prediction.trajectory import TrajectoryPredictor
 from repro.storage.engine import StorageEngine
+from repro.storage.persistence import checkpoint as _checkpoint
+from repro.storage.persistence import recover as _recover
+from repro.storage.retry import RetryPolicy, with_retry
+from repro.storage.wal import WriteAheadLog
 from repro.tabular.expressions import col
 from repro.tabular.table import Table
 from repro.viz.svg import crosstab_to_svg
 from repro.warehouse.feedback import FeedbackDimensionBuilder
+
+#: OLTP journal of folded feedback dimensions, used by :meth:`DDDGMS.recover`
+#: to replay the closed loop after a crash.
+_FOLD_TABLE = "feedback_folds"
+
+#: default rows per OLTP ingest transaction in resilient mode — small
+#: enough that a crash mid-batch loses little, large enough that the
+#: per-commit fsync amortises
+DEFAULT_INGEST_CHUNK_ROWS = 256
+
+
+def _chunks(items: list, size: int) -> Iterable[list]:
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
 
 
 @dataclass(frozen=True)
@@ -70,13 +101,46 @@ class DDDGMS:
     ==========================  =====================================
     """
 
-    def __init__(self, source: Table, promotion_threshold: float = 3.0):
+    def __init__(
+        self,
+        source: Table,
+        promotion_threshold: float = 3.0,
+        *,
+        durable_root: "str | Path | None" = None,
+        quarantine=None,
+        ingest_chunk_rows: int = DEFAULT_INGEST_CHUNK_ROWS,
+        _operational: StorageEngine | None = None,
+    ):
+        self.durable_root = Path(durable_root) if durable_root is not None else None
+        if quarantine is None and self.durable_root is not None:
+            quarantine = QuarantineStore.open(self.durable_root / "quarantine")
+        #: dead-letter sink; its presence switches ingest into resilient mode
+        self.quarantine = quarantine
+        self.ingest_chunk_rows = max(1, int(ingest_chunk_rows))
+        #: backoff schedule for transient faults at ingest boundaries
+        self.retry_policy = RetryPolicy()
+        #: retries performed so far, per ingest boundary
+        self._retry_counts: dict[str, int] = {}
+        #: degraded subsystems (name -> reason), e.g. an unmaterialised lattice
+        self.degraded: dict[str, str] = {}
         with obs.span("dgms.build", rows=source.num_rows):
-            self.source = source
             with obs.span("dgms.load_operational"):
-                self.operational_store = self._load_operational(source)
+                if _operational is not None:
+                    self.operational_store = _operational
+                else:
+                    self.operational_store = self._load_operational(
+                        source,
+                        wal=self._fresh_wal(),
+                        quarantine=self.quarantine,
+                    )
+            if self.quarantine is not None and _operational is None:
+                # the canonical source is what the OLTP store accepted
+                source = self.operational_store.scan("attendances")
+            self.source = source
             with obs.span("dgms.etl_and_warehouse"):
-                self._built: DiscriWarehouse = build_discri_warehouse(source)
+                self._built: DiscriWarehouse = build_discri_warehouse(
+                    source, quarantine=self.quarantine, batch="initial"
+                )
             self.warehouse = self._built.warehouse
             self.etl_audit = self._built.etl_result.audit
             self.cube = Cube(self.warehouse)
@@ -87,19 +151,101 @@ class DDDGMS:
             self._lattice_groups: list[list[str]] | None = None
             #: bumped on every ingest batch
             self.data_version = 1
+            if self.durable_root is not None and _operational is None:
+                self._checkpoint_durable()
+
+    def _fresh_wal(self) -> WriteAheadLog | None:
+        if self.durable_root is None:
+            return None
+        self.durable_root.mkdir(parents=True, exist_ok=True)
+        return WriteAheadLog(self.durable_root / "wal.log")
 
     @staticmethod
-    def _load_operational(source: Table) -> StorageEngine:
-        """Mirror the raw source into the OLTP engine (the "DB" of Fig 2)."""
-        engine = StorageEngine()
+    def _load_operational(
+        source: Table,
+        wal: WriteAheadLog | None = None,
+        quarantine=None,
+        batch: str = "initial",
+    ) -> StorageEngine:
+        """Mirror the raw source into the OLTP engine (the "DB" of Fig 2).
+
+        With a quarantine sink, structurally invalid rows (null/duplicate
+        ``visit_id``, schema violations) divert there instead of aborting
+        the load; inserts validate before mutating, so a rejected row
+        leaves no partial state behind.
+        """
+        engine = StorageEngine(wal) if wal is not None else StorageEngine()
         engine.create_table(
             "attendances", dict(source.schema), primary_key="visit_id"
         )
+        engine.create_table(
+            _FOLD_TABLE, {"fold_id": "int", "dimension": "str"},
+            primary_key="fold_id",
+        )
         with engine.transaction():
-            for row in source.iter_rows():
-                engine.insert("attendances", row)
+            for i, row in enumerate(source.iter_rows()):
+                if quarantine is None:
+                    engine.insert("attendances", row)
+                    continue
+                try:
+                    engine.insert("attendances", row)
+                except ReproError as exc:
+                    quarantine.add(
+                        QuarantinedRow.from_error(
+                            row, "oltp", exc, batch=batch, source_index=i
+                        )
+                    )
         engine.create_index("attendances", "patient_id")
         return engine
+
+    @classmethod
+    def recover(
+        cls,
+        durable_root: "str | Path",
+        promotion_threshold: float = 3.0,
+        *,
+        quarantine=None,
+        feedback_builders: Sequence[FeedbackDimensionBuilder] = (),
+        ingest_chunk_rows: int = DEFAULT_INGEST_CHUNK_ROWS,
+    ) -> "DDDGMS":
+        """Rebuild a durable system from disk after a crash.
+
+        Recovers the operational store (newest valid snapshot generation +
+        WAL replay) and the quarantine store, rebuilds the warehouse over
+        the recovered history, and replays the feedback-fold journal
+        against the supplied ``feedback_builders`` (predicates are code,
+        so the caller must provide the builders; journal entries with no
+        matching builder are skipped with a warning).  Re-ingesting the
+        batch that was interrupted is then idempotent: rows whose
+        ``visit_id`` already landed are skipped, not duplicated.
+        """
+        root = Path(durable_root)
+        engine = _recover(root / "snaps", root / "wal.log")
+        if quarantine is None:
+            quarantine = QuarantineStore.open(root / "quarantine")
+        source = engine.scan("attendances")
+        system = cls(
+            source,
+            promotion_threshold,
+            durable_root=root,
+            quarantine=quarantine,
+            ingest_chunk_rows=ingest_chunk_rows,
+            _operational=engine,
+        )
+        by_name = {builder.name: builder for builder in feedback_builders}
+        for row in engine.scan(_FOLD_TABLE).iter_rows():
+            name = str(row["dimension"])
+            builder = by_name.get(name)
+            if builder is None:
+                warnings.warn(
+                    f"feedback dimension {name!r} was folded before the "
+                    f"crash but no matching builder was supplied; skipping",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            system.fold_feedback(builder)
+        return system
 
     # ------------------------------------------------------------------
     # Reporting
@@ -319,16 +465,37 @@ class DDDGMS:
         """Fold clinician feedback into the warehouse as a new dimension.
 
         The builder is remembered so its predicates replay automatically
-        after the next :meth:`ingest_visits` rebuild.
+        after the next :meth:`ingest_visits` rebuild.  In resilient mode
+        the fold is idempotent (an already-folded dimension is returned,
+        not re-added), retried on transient faults at the
+        ``ingest.feedback`` boundary, journaled in the operational store
+        for :meth:`recover`, and checkpointed when the system is durable.
         """
         with obs.span("dgms.fold_feedback", dimension=builder.name):
-            dimension = self.warehouse.fold_feedback(builder)
-            self._feedback_builders.append(builder)
-            self.cube.refresh()
-            self._rematerialize_lattice()
-        return dimension
+            if self.quarantine is None:
+                dimension = self.warehouse.fold_feedback(builder)
+                self._feedback_builders.append(builder)
+                self._journal_fold(builder.name)
+                self.cube.refresh()
+                self._rematerialize_lattice()
+                return dimension
 
-    def ingest_visits(self, new_visits: Table) -> int:
+            def fold():
+                if builder.name in self.warehouse.dimension_names:
+                    return self.warehouse.schema.dimensions[builder.name]
+                return self.warehouse.fold_feedback(builder)
+
+            dimension = self._with_retry("ingest.feedback", fold)
+            if all(b.name != builder.name for b in self._feedback_builders):
+                self._feedback_builders.append(builder)
+            self._journal_fold(builder.name)
+            self.cube.refresh()
+            self._lattice_or_degrade()
+            if self.durable_root is not None:
+                self._with_retry("ingest.checkpoint", self._checkpoint_durable)
+            return dimension
+
+    def ingest_visits(self, new_visits: Table, *, batch: str | None = None) -> int:
         """Accumulate a new batch of attendances (the screening clinic's
         yearly intake) and refresh every layer.
 
@@ -338,9 +505,29 @@ class DDDGMS:
         ordinals of returning patients stay correct) and previously folded
         feedback dimensions are re-derived over the grown fact set.
         Returns the number of ingested rows.
+
+        Without a quarantine sink the batch is all-or-nothing (one bad row
+        aborts and rolls back).  With one — :class:`DDDGMS` built with
+        ``quarantine=...`` or ``durable_root=...`` — ingest is
+        **resilient**: malformed rows divert to the dead-letter store,
+        rows whose ``visit_id`` is already present are skipped (so
+        re-running an interrupted batch resumes instead of duplicating),
+        the OLTP intake commits in chunks of ``ingest_chunk_rows``, and
+        every named boundary (``ingest.oltp``, ``ingest.rebuild``,
+        ``ingest.quarantine``, ``ingest.feedback``, ``ingest.lattice``,
+        ``ingest.checkpoint``) retries transient faults with backoff.
+        Permanent lattice failure degrades to un-materialised queries
+        instead of failing the batch.
         """
         if new_visits.num_rows == 0:
             return 0
+        if self.quarantine is None:
+            return self._ingest_strict(new_visits)
+        return self._ingest_resilient(
+            new_visits, batch or f"batch-{self.data_version + 1}"
+        )
+
+    def _ingest_strict(self, new_visits: Table) -> int:
         with obs.span("dgms.ingest", rows=new_visits.num_rows):
             with obs.span("dgms.ingest.oltp"):
                 with self.operational_store.transaction():
@@ -365,6 +552,228 @@ class DDDGMS:
             self.data_version += 1
             obs.count("dgms.ingest.batches")
         return new_visits.num_rows
+
+    def _ingest_resilient(self, new_visits: Table, batch: str) -> int:
+        with obs.span("dgms.ingest", rows=new_visits.num_rows, batch=batch):
+            rows = new_visits.select(self.source.column_names).to_rows()
+            # Idempotent resume: rows that already landed (a committed
+            # chunk of an interrupted run) are skipped, not duplicated.
+            fresh: list[tuple[int, dict]] = []
+            skipped = 0
+            for i, row in enumerate(rows):
+                vid = row.get("visit_id")
+                if vid is not None and self.operational_store.get_by_pk(
+                    "attendances", vid
+                ) is not None:
+                    skipped += 1
+                    continue
+                fresh.append((i, row))
+            accepted = 0
+            with obs.span("dgms.ingest.oltp", rows=len(fresh), skipped=skipped):
+                for chunk in _chunks(fresh, self.ingest_chunk_rows):
+                    accepted += self._with_retry(
+                        "ingest.oltp",
+                        lambda chunk=chunk: self._write_chunk(chunk, batch),
+                    )
+            self.source = self.operational_store.scan("attendances")
+            with obs.span("dgms.ingest.rebuild"):
+                staged = self._with_retry(
+                    "ingest.rebuild", lambda: self._rebuild_warehouse(batch)
+                )
+            self._with_retry(
+                "ingest.quarantine", lambda: self._commit_staged(staged)
+            )
+            with obs.span(
+                "dgms.ingest.feedback_replay",
+                builders=len(self._feedback_builders),
+            ):
+                self._with_retry("ingest.feedback", self._replay_feedback)
+            self._lattice_or_degrade()
+            if self.durable_root is not None:
+                self._with_retry("ingest.checkpoint", self._checkpoint_durable)
+            self.data_version += 1
+            obs.count("dgms.ingest.batches")
+            if hasattr(self.quarantine, "__len__"):
+                obs.set_gauge("ingest.quarantine.size", len(self.quarantine))
+        return accepted
+
+    # -- resilient-ingest plumbing --------------------------------------
+
+    def _write_chunk(self, chunk: list[tuple[int, dict]], batch: str) -> int:
+        """One retryable OLTP transaction; bad rows quarantine, not abort."""
+        accepted = 0
+        with self.operational_store.transaction():
+            for index, row in chunk:
+                try:
+                    self.operational_store.insert("attendances", row)
+                    accepted += 1
+                except ReproError as exc:
+                    self.quarantine.add(
+                        QuarantinedRow.from_error(
+                            row, "oltp", exc, batch=batch, source_index=index
+                        )
+                    )
+        return accepted
+
+    def _rebuild_warehouse(self, batch: str) -> ListSink:
+        """Rebuild ETL + warehouse + cube; returns the *staged* quarantine.
+
+        Entries are staged in a list and committed to the durable store
+        only after the rebuild succeeds (:meth:`_commit_staged`), so a
+        retried rebuild cannot double-quarantine.
+        """
+        staged = ListSink()
+        self._built = build_discri_warehouse(
+            self.source, quarantine=staged, batch=batch
+        )
+        self.warehouse = self._built.warehouse
+        self.etl_audit = self._built.etl_result.audit
+        self.cube = Cube(self.warehouse)
+        return staged
+
+    def _commit_staged(self, staged: ListSink) -> None:
+        for entry in staged.entries:
+            self.quarantine.add(entry)
+
+    def _replay_feedback(self) -> None:
+        for builder in self._feedback_builders:
+            if builder.name not in self.warehouse.dimension_names:
+                self.warehouse.fold_feedback(builder)
+        self.cube.refresh()
+
+    def _lattice_or_degrade(self) -> None:
+        """Re-materialise the lattice; on permanent failure, degrade.
+
+        The lattice is an accelerator, not ground truth — so a permanently
+        failing re-materialisation detaches it and lets queries fall back
+        to base-table scans, with a warning and a ``degraded`` flag,
+        rather than failing the whole ingest.
+        """
+        if self._lattice_groups is None:
+            return
+        try:
+            self._with_retry("ingest.lattice", self._rematerialize_lattice)
+        except PermanentIngestError as exc:
+            self.cube.detach_lattice()
+            self.degraded["lattice"] = str(exc)
+            obs.count("ingest.degraded")
+            warnings.warn(
+                f"lattice re-materialisation failed; queries fall back to "
+                f"un-materialised scans until the next successful ingest: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        else:
+            self.degraded.pop("lattice", None)
+
+    def _with_retry(self, point: str, fn):
+        def on_retry(p: str, attempt: int, exc: BaseException, delay: float):
+            self._retry_counts[p] = self._retry_counts.get(p, 0) + 1
+
+        return with_retry(point, fn, policy=self.retry_policy, on_retry=on_retry)
+
+    def _journal_fold(self, name: str) -> None:
+        engine = self.operational_store
+        existing = {
+            row["dimension"] for row in engine.scan(_FOLD_TABLE).iter_rows()
+        }
+        if name in existing:
+            return
+        with engine.transaction():
+            engine.insert(
+                _FOLD_TABLE, {"fold_id": len(existing) + 1, "dimension": name}
+            )
+
+    def _checkpoint_durable(self) -> None:
+        _checkpoint(self.operational_store, self.durable_root / "snaps")
+        if isinstance(self.quarantine, QuarantineStore):
+            self.quarantine.checkpoint()
+
+    # -- health / re-drive ----------------------------------------------
+
+    def ingest_health(self) -> dict:
+        """Operational health of the ingest path, metrics-independent.
+
+        Quarantine totals, retry counts per boundary, degraded-mode flags
+        and the WAL's committed high-water mark — the dictionary behind
+        ``python -m repro stats`` and the ``quarantine`` CLI, usable with
+        observability disabled.
+        """
+        q = self.quarantine
+        is_store = isinstance(q, QuarantineStore)
+        return {
+            "resilient": q is not None,
+            "durable": self.durable_root is not None,
+            "quarantined_total": len(q) if hasattr(q, "__len__") else 0,
+            "quarantined_by_step": q.counts("step") if is_store else {},
+            "quarantined_by_error": q.counts("error_type") if is_store else {},
+            "retries_total": sum(self._retry_counts.values()),
+            "retries_by_boundary": dict(sorted(self._retry_counts.items())),
+            "degraded": dict(self.degraded),
+            "wal_committed_seq": self.operational_store.wal.committed_seq,
+            "data_version": self.data_version,
+        }
+
+    def redrive_quarantine(
+        self, *, repair=None, batch: str = "redrive"
+    ) -> RedriveReport:
+        """Re-ingest dead-letter rows (optionally repaired) and purge winners.
+
+        ``repair`` is an optional ``dict -> dict`` applied to each stored
+        row before the attempt — the "after fixing the scheme or the
+        data" half of the quarantine workflow.  Each row is upserted into
+        the operational store, the warehouse is rebuilt, and entries whose
+        rows now load cleanly are removed from the store; rows that still
+        fail stay quarantined under their fresh diagnosis.
+        """
+        if not isinstance(self.quarantine, QuarantineStore):
+            raise IngestError(
+                "re-drive needs a QuarantineStore sink (system built with "
+                "quarantine=QuarantineStore(...) or durable_root=...)"
+            )
+        store = self.quarantine
+
+        def handler(entries: list[QuarantinedRow]) -> list[int]:
+            upserted: list[QuarantinedRow] = []
+            for entry in entries:
+                row = {
+                    name: entry.row.get(name)
+                    for name in self.source.column_names
+                }
+                vid = row.get("visit_id")
+                if vid is None:
+                    continue  # unaddressable: stays quarantined
+                try:
+                    with self.operational_store.transaction():
+                        if self.operational_store.get_by_pk(
+                            "attendances", vid
+                        ) is None:
+                            self.operational_store.insert("attendances", row)
+                        else:
+                            self.operational_store.update_by_pk(
+                                "attendances", vid, row
+                            )
+                except ReproError:
+                    continue  # still structurally invalid: stays
+                upserted.append(entry)
+            self.source = self.operational_store.scan("attendances")
+            staged = self._rebuild_warehouse(batch)
+            self._commit_staged(staged)
+            self._replay_feedback()
+            self._lattice_or_degrade()
+            still_bad = {e.row.get("visit_id") for e in staged.entries}
+            return [
+                e.entry_id
+                for e in upserted
+                if e.row.get("visit_id") not in still_bad
+            ]
+
+        with obs.span("dgms.redrive", entries=len(store)):
+            report = store.redrive(handler, repair=repair)
+            if self.durable_root is not None:
+                self._with_retry("ingest.checkpoint", self._checkpoint_durable)
+            self.data_version += 1
+        return report
 
     def _rematerialize_lattice(self) -> None:
         """Rebuild the attached lattice over the current (possibly new) cube."""

@@ -205,6 +205,13 @@ class DiscriWarehouse:
 
     warehouse: DynamicWarehouse
     etl_result: PipelineResult
+    #: positions (in the *source* batch) of rows that reached the fact
+    #: table — ``None`` for strict builds, where every row either loaded
+    #: or aborted the build
+    kept_indices: list[int] | None = None
+
+    #: source rows diverted to quarantine across ETL + load (0 if strict)
+    rows_quarantined: int = 0
 
     @property
     def transformed(self) -> Table:
@@ -212,14 +219,46 @@ class DiscriWarehouse:
         return self.etl_result.table
 
 
-def build_discri_warehouse(source: Table) -> DiscriWarehouse:
-    """ETL the cohort table and load the Fig 3 star schema."""
-    result = discri_pipeline().run(source)
+def build_discri_warehouse(
+    source: Table,
+    *,
+    quarantine=None,
+    batch: str = "",
+) -> DiscriWarehouse:
+    """ETL the cohort table and load the Fig 3 star schema.
+
+    With a quarantine sink, malformed source rows divert to it (tagged
+    with ``batch``) at whichever step rejects them — ETL transforms or
+    star-schema load — and the build carries on with the valid rows; the
+    returned :class:`DiscriWarehouse` then reports which source positions
+    actually landed in the fact table, with the transformed table pruned
+    to match.
+    """
+    result = discri_pipeline().run(source, quarantine=quarantine, batch=batch)
     loader = WarehouseLoader(
         "discri", "medical_measures", _dimensions(), _measures()
     )
-    loader.load(result.table)
+    report = loader.load(
+        result.table,
+        quarantine=quarantine,
+        batch=batch,
+        source_indices=result.kept_indices,
+    )
+    kept = result.kept_indices
+    if report.quarantined_indices:
+        dropped = set(report.quarantined_indices)
+        survivors = [
+            i for i in range(result.table.num_rows) if i not in dropped
+        ]
+        result.table = result.table.take(survivors)
+        if kept is not None:
+            kept = [kept[i] for i in survivors]
     problems = loader.schema.check_integrity()
     if problems:  # pragma: no cover - loader guarantees integrity
         raise AssertionError(f"integrity violations after load: {problems[:3]}")
-    return DiscriWarehouse(DynamicWarehouse(loader.schema), result)
+    return DiscriWarehouse(
+        DynamicWarehouse(loader.schema),
+        result,
+        kept,
+        rows_quarantined=len(result.quarantined) + report.rows_quarantined,
+    )

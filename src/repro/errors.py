@@ -107,6 +107,47 @@ class InjectedFault(DurabilityError):
 
 
 # --------------------------------------------------------------------------
+# Ingest resilience
+# --------------------------------------------------------------------------
+
+class IngestError(ReproError):
+    """Base class for errors raised on the fault-tolerant ingest path."""
+
+
+class RowQuarantined(IngestError):
+    """A single row was diverted to the dead-letter store.
+
+    Raised (and immediately caught) inside the resilient ingest path to
+    signal that one row failed a step; the batch continues.  ``step`` is
+    the ETL/load step that rejected the row, ``reason`` the human-readable
+    diagnosis, and ``cause`` the originating error.
+    """
+
+    def __init__(self, step: str, reason: str, cause: BaseException | None = None):
+        self.step = step
+        self.reason = reason
+        self.cause = cause
+        super().__init__(f"row quarantined at step {step!r}: {reason}")
+
+
+class TransientIngestError(IngestError):
+    """An ingest boundary failed in a way that is expected to heal.
+
+    Retried with exponential backoff + jitter by
+    :func:`repro.storage.retry.with_retry`; injected via the ``transient``
+    fault mode of :mod:`repro.storage.faults`.
+    """
+
+
+class PermanentIngestError(IngestError):
+    """An ingest boundary failed unrecoverably (or retries were exhausted).
+
+    Never retried.  Non-essential boundaries (lattice re-materialisation)
+    degrade gracefully instead of failing the batch.
+    """
+
+
+# --------------------------------------------------------------------------
 # ETL / transformation
 # --------------------------------------------------------------------------
 

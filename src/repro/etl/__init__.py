@@ -35,13 +35,16 @@ from repro.etl.discretization import (
 from repro.etl.temporal import (
     Interval,
     StateAbstraction,
+    TemporalConflict,
     TrendAbstraction,
     abstract_states,
     abstract_trends,
     cross_measure_conflicts,
     episodes_table,
     find_conflicts,
+    quarantine_conflicts,
 )
+from repro.etl.quarantine import ListSink, QuarantinedRow, QuarantineStore
 from repro.etl.cardinality import assign_cardinality, visit_counts
 from repro.etl.pipeline import Pipeline, TransformStep
 
@@ -58,13 +61,18 @@ __all__ = [
     "ChiMergeDiscretizer",
     "discretize_column",
     "Interval",
+    "ListSink",
+    "QuarantinedRow",
+    "QuarantineStore",
     "StateAbstraction",
+    "TemporalConflict",
     "TrendAbstraction",
     "abstract_states",
     "abstract_trends",
     "cross_measure_conflicts",
     "episodes_table",
     "find_conflicts",
+    "quarantine_conflicts",
     "assign_cardinality",
     "visit_counts",
     "Pipeline",

@@ -4,6 +4,17 @@ Clinical ETL must be reviewable: a scientist has to be able to answer
 "what exactly happened to this attribute before it reached the warehouse?".
 Every step therefore logs a human-readable audit entry, and the pipeline
 result carries the full trail.
+
+The pipeline has two execution modes.  The default (`run(table)`) is
+all-or-nothing: any failing row aborts the batch, as a unit-test fixture
+or a trusted source wants.  Passing a quarantine sink
+(`run(table, quarantine=...)`) switches every step into **row-level error
+mode**: rows a step cannot transform are diverted to the sink as
+:class:`~repro.etl.quarantine.QuarantinedRow` entries — carrying the
+originating step's audit context and the pristine source row — and the
+batch continues with the survivors.  Step *configuration* errors (a
+missing column, an empty pipeline) still raise in both modes; only
+per-row data problems quarantine.
 """
 
 from __future__ import annotations
@@ -15,7 +26,21 @@ from repro.errors import ETLError
 from repro.etl.cleaning import MissingValuePolicy, RangeRule, clean_table
 from repro.etl.cardinality import assign_cardinality
 from repro.etl.discretization import DiscretizationScheme
+from repro.etl.quarantine import QuarantinedRow
 from repro.tabular.table import Table
+
+#: hidden column threaded through resilient runs so every surviving row
+#: can be traced back to its position in the *input* batch
+INGEST_INDEX = "__ingest_index__"
+
+
+def _require_column(step: "TransformStep", column: str, table: Table) -> None:
+    """Configuration check: the step's column must exist in the table."""
+    if column not in table.column_names:
+        raise ETLError(
+            f"step {step.name!r}: column {column!r} is not in the table "
+            f"(available: {', '.join(table.column_names)})"
+        )
 
 
 @dataclass
@@ -37,6 +62,21 @@ class TransformStep:
     def apply(self, table: Table) -> tuple[Table, str]:
         """Transform the table; return (new_table, audit_detail)."""
         raise NotImplementedError
+
+    def apply_resilient(
+        self, table: Table
+    ) -> tuple[Table, str, list[tuple[dict, BaseException]]]:
+        """Row-level error mode: return (table, detail, failed_rows).
+
+        ``failed_rows`` pairs each undigestible row (as a dict, hidden
+        columns included) with the error that rejected it.  The default
+        assumes the step has no per-row failure mode and delegates to
+        :meth:`apply` — steps that can reject individual rows override
+        this with a single-pass implementation so the clean-batch path
+        stays as fast as the strict one.
+        """
+        result, detail = self.apply(table)
+        return result, detail, []
 
 
 class CleaningStep(TransformStep):
@@ -88,16 +128,40 @@ class DiscretizationStep(TransformStep):
         self.keep_original = keep_original
 
     def apply(self, table: Table) -> tuple[Table, str]:
+        _require_column(self, self.column, table)
         values = table.column(self.column).to_list()
         labels = self.scheme.assign_many(values)  # type: ignore[arg-type]
         result = table.with_column(self.output, labels, dtype="str")
         if not self.keep_original:
             result = result.drop(self.column)
-        detail = (
+        return result, self._detail()
+
+    def apply_resilient(
+        self, table: Table
+    ) -> tuple[Table, str, list[tuple[dict, BaseException]]]:
+        _require_column(self, self.column, table)
+        values = table.column(self.column).to_list()
+        assign = self.scheme.assign
+        labels: list[str | None] = []
+        kept: list[int] = []
+        failed: list[tuple[dict, BaseException]] = []
+        for i, value in enumerate(values):
+            try:
+                labels.append(assign(value))  # type: ignore[arg-type]
+                kept.append(i)
+            except Exception as exc:
+                failed.append((table.row(i), exc))
+        result = table if not failed else table.take(kept)
+        result = result.with_column(self.output, labels, dtype="str")
+        if not self.keep_original:
+            result = result.drop(self.column)
+        return result, self._detail(), failed
+
+    def _detail(self) -> str:
+        return (
             f"{self.column} -> {self.output} via scheme {self.scheme.name!r} "
             f"({len(self.scheme.bins)} bins)"
         )
-        return result, detail
 
 
 class CardinalityStep(TransformStep):
@@ -112,6 +176,8 @@ class CardinalityStep(TransformStep):
         self.output = output
 
     def apply(self, table: Table) -> tuple[Table, str]:
+        _require_column(self, self.patient_key, table)
+        _require_column(self, self.date_column, table)
         result = assign_cardinality(
             table, self.patient_key, self.date_column, output=self.output
         )
@@ -121,6 +187,30 @@ class CardinalityStep(TransformStep):
             f"over {patients} patients"
         )
         return result, detail
+
+    def apply_resilient(
+        self, table: Table
+    ) -> tuple[Table, str, list[tuple[dict, BaseException]]]:
+        _require_column(self, self.patient_key, table)
+        _require_column(self, self.date_column, table)
+        patients = table.column(self.patient_key)
+        dates = table.column(self.date_column)
+        kept: list[int] = []
+        failed: list[tuple[dict, BaseException]] = []
+        for i in range(table.num_rows):
+            if not patients.valid[i]:
+                problem = f"null {self.patient_key!r}"
+            elif not dates.valid[i]:
+                problem = f"null {self.date_column!r}"
+            else:
+                kept.append(i)
+                continue
+            failed.append(
+                (table.row(i), ETLError(f"cannot assign cardinality: {problem}"))
+            )
+        work = table if not failed else table.take(kept)
+        result, detail = self.apply(work)
+        return result, detail, failed
 
 
 class DeduplicateStep(TransformStep):
@@ -143,6 +233,21 @@ class DeduplicateStep(TransformStep):
         keyed = f" on ({', '.join(self.keys)})" if self.keys else ""
         return result, f"dropped {dropped} duplicate records{keyed}"
 
+    def apply_resilient(
+        self, table: Table
+    ) -> tuple[Table, str, list[tuple[dict, BaseException]]]:
+        # Dropping duplicates is policy, not failure — nothing quarantines.
+        # With no explicit keys, full-row dedup must ignore the hidden
+        # ingest-index column (it makes every row unique).
+        keys = self.keys or [
+            name for name in table.column_names if name != INGEST_INDEX
+        ]
+        before = table.num_rows
+        result = table.distinct(*keys)
+        dropped = before - result.num_rows
+        keyed = f" on ({', '.join(self.keys)})" if self.keys else ""
+        return result, f"dropped {dropped} duplicate records{keyed}", []
+
 
 class DeriveStep(TransformStep):
     """Add a computed column via ``func(row_dict)``."""
@@ -159,6 +264,23 @@ class DeriveStep(TransformStep):
     def apply(self, table: Table) -> tuple[Table, str]:
         return table.with_derived(self.output, self.func, dtype=self.dtype), self.description
 
+    def apply_resilient(
+        self, table: Table
+    ) -> tuple[Table, str, list[tuple[dict, BaseException]]]:
+        func = self.func
+        values: list[object] = []
+        kept: list[int] = []
+        failed: list[tuple[dict, BaseException]] = []
+        for i, row in enumerate(table.iter_rows()):
+            try:
+                values.append(func(row))
+                kept.append(i)
+            except Exception as exc:  # derive funcs raise arbitrary errors
+                failed.append((dict(row), exc))
+        result = table if not failed else table.take(kept)
+        result = result.with_column(self.output, values, dtype=self.dtype)
+        return result, self.description, failed
+
 
 @dataclass
 class PipelineResult:
@@ -166,6 +288,11 @@ class PipelineResult:
 
     table: Table
     audit: list[AuditEntry] = field(default_factory=list)
+    #: dead-letter entries diverted during a resilient run ([] otherwise)
+    quarantined: list[QuarantinedRow] = field(default_factory=list)
+    #: for resilient runs: position in the *input* batch of each output
+    #: row, in output order (``None`` for strict runs)
+    kept_indices: list[int] | None = None
 
     def audit_text(self) -> str:
         """The trail as newline-joined text."""
@@ -183,13 +310,67 @@ class Pipeline:
         self.steps.append(step)
         return self
 
-    def run(self, table: Table) -> PipelineResult:
-        """Execute every step in order, collecting the audit trail."""
+    def run(
+        self,
+        table: Table,
+        *,
+        quarantine=None,
+        batch: str = "",
+    ) -> PipelineResult:
+        """Execute every step in order, collecting the audit trail.
+
+        Without ``quarantine`` any row a step cannot transform raises and
+        aborts the batch (the strict, historical contract).  With a
+        quarantine sink (anything exposing ``add(QuarantinedRow)``), such
+        rows divert to the sink tagged with ``batch`` and the run
+        continues; the result then also carries the diverted entries and
+        the surviving rows' positions in the input batch.
+        """
         if not self.steps:
             raise ETLError("pipeline has no steps")
+        if quarantine is None:
+            audit: list[AuditEntry] = []
+            current = table
+            for step in self.steps:
+                current, detail = step.apply(current)
+                audit.append(AuditEntry(step.name, detail))
+            return PipelineResult(current, audit)
+        return self._run_resilient(table, quarantine, batch)
+
+    def _run_resilient(
+        self, table: Table, quarantine, batch: str
+    ) -> PipelineResult:
+        original = table
+        current = table.with_column(
+            INGEST_INDEX, list(range(table.num_rows)), dtype="int"
+        )
         audit: list[AuditEntry] = []
-        current = table
+        entries: list[QuarantinedRow] = []
         for step in self.steps:
-            current, detail = step.apply(current)
+            current, detail, failed = step.apply_resilient(current)
+            if failed:
+                detail += f"; quarantined {len(failed)} rows"
+                for row, error in failed:
+                    index = int(row.get(INGEST_INDEX, -1))  # type: ignore[arg-type]
+                    if index >= 0:
+                        source_row = original.row(index)
+                    else:
+                        source_row = {
+                            k: v for k, v in row.items() if k != INGEST_INDEX
+                        }
+                    entries.append(
+                        QuarantinedRow.from_error(
+                            source_row,
+                            step.name,
+                            error,
+                            batch=batch,
+                            source_index=index,
+                        )
+                    )
             audit.append(AuditEntry(step.name, detail))
-        return PipelineResult(current, audit)
+        kept = [int(v) for v in current.column(INGEST_INDEX).to_list()]  # type: ignore[arg-type]
+        for entry in entries:
+            quarantine.add(entry)
+        return PipelineResult(
+            current.drop(INGEST_INDEX), audit, quarantined=entries, kept_indices=kept
+        )

@@ -13,6 +13,14 @@ The paper stresses that "it is important to ensure temporal abstractions do
 not conflict with each other"; :func:`find_conflicts` detects overlapping
 intervals that assign different states for the same (patient, variable)
 pair from two abstraction runs.
+
+Conflicts are *recorded*, not raised: a same-day pair of contradictory
+readings used to produce overlapping intervals that aborted downstream
+conflict checking on the first overlap; both abstraction classes now
+resolve the contradiction deterministically (first reading wins) and
+report it through an optional ``conflict_sink``, and
+:func:`quarantine_conflicts` routes any detected conflict pairs into the
+ingest dead-letter store as structured entries.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Sequence
 
 from repro.errors import TemporalAbstractionError
 from repro.etl.discretization import DiscretizationScheme
+from repro.etl.quarantine import QuarantinedRow
 
 
 @dataclass(frozen=True)
@@ -53,6 +62,84 @@ class Interval:
         return self.start <= other.end and other.start <= self.end
 
 
+@dataclass(frozen=True)
+class TemporalConflict:
+    """Two abstracted intervals telling contradictory stories.
+
+    The structured record of a conflict — what used to surface only as an
+    exception (or not at all).  :func:`quarantine_conflicts` turns these
+    into dead-letter entries so the ingest workflow (inspect → repair →
+    re-drive) applies to temporal contradictions too.
+    """
+
+    variable: str
+    first: Interval
+    second: Interval
+    patient: object | None = None
+
+    @property
+    def overlap_start(self) -> _dt.date:
+        """First shared day of the contradiction."""
+        return max(self.first.start, self.second.start)
+
+    @property
+    def overlap_end(self) -> _dt.date:
+        """Last shared day of the contradiction."""
+        return min(self.first.end, self.second.end)
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        who = f"patient {self.patient} " if self.patient is not None else ""
+        return (
+            f"{who}{self.variable!r}: {self.first.state!r} vs "
+            f"{self.second.state!r} over {self.overlap_start}..{self.overlap_end}"
+        )
+
+    def to_row(self) -> dict:
+        """Flat dict form, the payload of the quarantine entry."""
+        return {
+            "patient": self.patient,
+            "variable": self.variable,
+            "state_first": self.first.state,
+            "state_second": self.second.state,
+            "overlap_start": self.overlap_start,
+            "overlap_end": self.overlap_end,
+            "support_first": self.first.support,
+            "support_second": self.second.support,
+        }
+
+
+def quarantine_conflicts(conflicts, sink, *, batch: str = "") -> list[QuarantinedRow]:
+    """Route temporal conflicts into the ingest dead-letter store.
+
+    ``conflicts`` may hold :class:`TemporalConflict` objects,
+    ``(interval, interval)`` pairs (:func:`find_conflicts` output) or
+    ``(patient, interval, interval)`` triples
+    (:func:`cross_measure_conflicts` output).  Each becomes a structured
+    :class:`~repro.etl.quarantine.QuarantinedRow` with ``step="temporal"``;
+    entries are added to ``sink`` (any quarantine sink, or ``None`` to
+    just convert) and returned.
+    """
+    entries = []
+    for item in conflicts:
+        if isinstance(item, TemporalConflict):
+            conflict = item
+        elif len(item) == 3:
+            patient, a, b = item
+            conflict = TemporalConflict(a.variable, a, b, patient=patient)
+        else:
+            a, b = item
+            conflict = TemporalConflict(a.variable, a, b)
+        error = TemporalAbstractionError(conflict.describe())
+        entry = QuarantinedRow.from_error(
+            conflict.to_row(), "temporal", error, batch=batch
+        )
+        entries.append(entry)
+        if sink is not None:
+            sink.add(entry)
+    return entries
+
+
 def _check_series(
     timestamps: Sequence[_dt.date], values: Sequence[object]
 ) -> list[tuple[_dt.date, object]]:
@@ -77,15 +164,27 @@ class StateAbstraction:
         self.min_support = min_support
 
     def abstract(
-        self, timestamps: Sequence[_dt.date], values: Sequence[float | None]
+        self,
+        timestamps: Sequence[_dt.date],
+        values: Sequence[float | None],
+        conflict_sink: list | None = None,
     ) -> list[Interval]:
         """Merge consecutive equal qualitative states into intervals.
 
         Intervals supported by fewer than ``min_support`` raw measurements
         are dropped (persistence filtering): a single spurious reading
         should not create a clinical "episode".
+
+        Two same-day readings assigning different states are a
+        contradiction: previously they produced overlapping intervals that
+        aborted downstream conflict checking.  The first reading of the
+        day now wins, and the contradiction is appended to
+        ``conflict_sink`` (when given) as a :class:`TemporalConflict` —
+        feed the sink to :func:`quarantine_conflicts` to dead-letter it.
         """
-        points = _check_series(timestamps, values)
+        points = self._resolve_same_day(
+            _check_series(timestamps, values), conflict_sink
+        )
         if not points:
             return []
         intervals: list[Interval] = []
@@ -111,6 +210,28 @@ class StateAbstraction:
             )
         return [iv for iv in intervals if iv.support >= self.min_support]
 
+    def _resolve_same_day(
+        self,
+        points: list[tuple[_dt.date, object]],
+        sink: list | None,
+    ) -> list[tuple[_dt.date, object]]:
+        kept: list[tuple[_dt.date, object, str]] = []
+        for when, value in points:
+            state = self.scheme.assign(float(value))  # type: ignore[arg-type]
+            if kept and kept[-1][0] == when:
+                prior = kept[-1][2]
+                if state != prior and sink is not None:
+                    sink.append(
+                        TemporalConflict(
+                            self.variable,
+                            Interval(self.variable, prior, when, when),
+                            Interval(self.variable, state, when, when),
+                        )
+                    )
+                continue
+            kept.append((when, value, state))
+        return [(when, value) for when, value, __ in kept]
+
 
 class TrendAbstraction:
     """Trend abstraction: increasing / steady / decreasing per-unit-time.
@@ -130,10 +251,35 @@ class TrendAbstraction:
         self.tolerance = tolerance
 
     def abstract(
-        self, timestamps: Sequence[_dt.date], values: Sequence[float | None]
+        self,
+        timestamps: Sequence[_dt.date],
+        values: Sequence[float | None],
+        conflict_sink: list | None = None,
     ) -> list[Interval]:
-        """Classify consecutive-pair slopes and merge equal trends."""
+        """Classify consecutive-pair slopes and merge equal trends.
+
+        Same-day readings with different values make the slope of the day
+        undefined; as in :class:`StateAbstraction`, the first reading wins
+        and the contradiction lands in ``conflict_sink`` instead of
+        distorting the trend (the zero-day gap used to be clamped to one
+        day, manufacturing a steep artificial slope).
+        """
         points = _check_series(timestamps, values)
+        deduped: list[tuple[_dt.date, object]] = []
+        for when, value in points:
+            if deduped and deduped[-1][0] == when:
+                prior = deduped[-1][1]
+                if float(value) != float(prior) and conflict_sink is not None:  # type: ignore[arg-type]
+                    conflict_sink.append(
+                        TemporalConflict(
+                            self.variable,
+                            Interval(self.variable, f"value={prior}", when, when),
+                            Interval(self.variable, f"value={value}", when, when),
+                        )
+                    )
+                continue
+            deduped.append((when, value))
+        points = deduped
         if len(points) < 2:
             return []
         segments: list[tuple[str, _dt.date, _dt.date]] = []

@@ -169,18 +169,24 @@ class MetricsRegistry:
         """Get or create a histogram (``buckets`` applies on first creation)."""
         return self._get(name, Histogram, lambda: Histogram(name, buckets))
 
-    def names(self) -> list[str]:
-        """All registered metric names, sorted."""
-        return sorted(self._metrics)
+    def names(self, prefix: str = "") -> list[str]:
+        """Registered metric names, sorted; optionally prefix-filtered."""
+        return sorted(n for n in self._metrics if n.startswith(prefix))
 
-    def snapshot(self) -> dict[str, dict]:
-        """Name → JSON-ready state, sorted by name."""
-        return {name: self._metrics[name].snapshot() for name in self.names()}
+    def snapshot(self, prefix: str = "") -> dict[str, dict]:
+        """Name → JSON-ready state, sorted by name.
 
-    def render(self) -> str:
+        ``prefix`` narrows to one subsystem's series (e.g. ``"ingest."``
+        for quarantine/retry/degradation health).
+        """
+        return {
+            name: self._metrics[name].snapshot() for name in self.names(prefix)
+        }
+
+    def render(self, prefix: str = "") -> str:
         """Human-readable table, one metric per line."""
         lines = []
-        for name, snap in self.snapshot().items():
+        for name, snap in self.snapshot(prefix).items():
             kind = snap.pop("type")
             if kind == "histogram" and snap.get("count"):
                 detail = (

@@ -189,6 +189,21 @@ class StorageEngine:
         self._undo.append(lambda: self._undo_update(stored, row_id, old))
         self.wal.append(txn, OP_UPDATE, table, {"row_id": row_id, **clean})
 
+    def update_by_pk(
+        self, table: str, key: object, changes: Mapping[str, object]
+    ) -> None:
+        """Apply a partial update to the row with primary key ``key``."""
+        stored = self._stored(table)
+        if stored.pk_index is None:
+            raise StorageError(f"table {table!r} has no primary key")
+        key = coerce_value(key, stored.meta.schema[stored.meta.primary_key])
+        ids = stored.pk_index.lookup(key)
+        if not ids:
+            raise StorageError(
+                f"no row with primary key {key!r} in table {table!r}"
+            )
+        self.update(table, next(iter(ids)), changes)
+
     def delete(self, table: str, row_id: int) -> None:
         """Delete one row by id."""
         txn = self._require_txn()

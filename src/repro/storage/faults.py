@@ -24,6 +24,13 @@ which it fires, and a ``mode``:
 ``flip``
     Silent corruption: one bit of the payload is flipped and the write
     "succeeds".  Recovery must detect it via checksums.
+``transient``
+    Raise :class:`~repro.errors.TransientIngestError` — a failure that is
+    expected to heal; :func:`repro.storage.retry.with_retry` backs off
+    and re-attempts the boundary.
+``permanent``
+    Raise :class:`~repro.errors.PermanentIngestError` — never retried;
+    non-essential ingest boundaries degrade gracefully instead.
 
 Plans can be installed programmatically (:func:`install` /
 :func:`injected`) or parsed from the ``REPRO_FAULTS`` environment
@@ -38,12 +45,17 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.errors import InjectedFault, StorageError
+from repro.errors import (
+    InjectedFault,
+    PermanentIngestError,
+    StorageError,
+    TransientIngestError,
+)
 
 #: Environment variable holding a default fault plan (see module docs).
 FAULTS_ENV = "REPRO_FAULTS"
 
-_MODES = ("error", "kill", "short", "flip")
+_MODES = ("error", "kill", "short", "flip", "transient", "permanent")
 
 
 class SimulatedCrash(BaseException):
@@ -102,6 +114,14 @@ class FaultPlan:
                 continue
             if rule.mode == "error":
                 raise InjectedFault(f"injected failure at {point!r} (hit {count})")
+            if rule.mode == "transient":
+                raise TransientIngestError(
+                    f"injected transient fault at {point!r} (hit {count})"
+                )
+            if rule.mode == "permanent":
+                raise PermanentIngestError(
+                    f"injected permanent fault at {point!r} (hit {count})"
+                )
             if rule.mode == "kill":
                 raise SimulatedCrash(point, count)
             if rule.mode == "short":

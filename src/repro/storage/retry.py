@@ -1,0 +1,122 @@
+"""Retry with exponential backoff + jitter for transient ingest faults.
+
+Ingest talks to storage at a handful of *named boundaries* (OLTP chunk
+writes, the warehouse rebuild, the post-ingest checkpoint, ...).  Real
+deployments see those boundaries fail transiently — a full disk that
+clears, an fsync hiccup — and the right response is a short, jittered
+backoff and another attempt, not an aborted batch.  :func:`with_retry`
+wraps one boundary: each attempt first routes through the fault-injection
+harness (:func:`repro.storage.faults.fire` under the boundary's name, so
+``REPRO_FAULTS`` can fail any attempt deterministically), transient
+failures back off and retry, and exhaustion or an explicitly permanent
+failure surfaces as :class:`~repro.errors.PermanentIngestError` for the
+caller to degrade on.
+
+:class:`~repro.storage.faults.SimulatedCrash` is *not* retried — it
+derives from ``BaseException`` precisely so that nothing in-process can
+absorb it; a crash is recovered from disk, not retried.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro import obs
+from repro.errors import (
+    InjectedFault,
+    PermanentIngestError,
+    TransientIngestError,
+)
+from repro.storage import faults
+
+#: Errors retried by default.  :class:`~repro.errors.InjectedFault` (the
+#: harness's plain ``error`` mode) counts as transient so every existing
+#: ``REPRO_FAULTS`` profile exercises the retry path without rewriting.
+DEFAULT_TRANSIENT: tuple[type[BaseException], ...] = (
+    TransientIngestError,
+    InjectedFault,
+)
+
+_rng = random.Random()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter.
+
+    Attempt ``n`` (1-based) failing transiently waits
+    ``min(base * multiplier**(n-1), max) * (1 + jitter * U[0,1))`` before
+    attempt ``n+1``; after ``attempts`` total attempts the boundary is
+    declared permanently failed.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise PermanentIngestError(
+                f"retry policy needs >= 1 attempt, got {self.attempts}"
+            )
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff before the attempt *after* 1-based ``attempt``."""
+        base = min(
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+            self.max_delay_s,
+        )
+        if self.jitter:
+            base *= 1.0 + self.jitter * (rng or _rng).random()
+        return base
+
+
+def with_retry(
+    point: str,
+    fn: Callable,
+    *,
+    policy: RetryPolicy | None = None,
+    transient: Iterable[type[BaseException]] = DEFAULT_TRANSIENT,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: random.Random | None = None,
+    on_retry: Callable[[str, int, BaseException, float], None] | None = None,
+):
+    """Run ``fn`` under retry semantics at the named boundary ``point``.
+
+    Each attempt fires the ``point`` fault hook first (deterministic
+    injection via ``REPRO_FAULTS``) and then calls ``fn``.  Transient
+    failures wait ``policy.delay`` and re-attempt, reporting each retry to
+    ``on_retry(point, attempt, error, delay)`` and the ``ingest.retries``
+    metrics; exhausting the policy raises
+    :class:`~repro.errors.PermanentIngestError` chained to the last
+    transient error.  :class:`~repro.errors.PermanentIngestError` from the
+    boundary itself — injected or raised by ``fn`` — propagates
+    immediately, as does :class:`~repro.storage.faults.SimulatedCrash`.
+    """
+    policy = policy or RetryPolicy()
+    transient_types = tuple(transient)
+    last: BaseException | None = None
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            faults.fire(point)
+            return fn()
+        except PermanentIngestError:
+            raise
+        except transient_types as exc:
+            last = exc
+            if attempt == policy.attempts:
+                break
+            delay = policy.delay(attempt, rng)
+            obs.count("ingest.retries")
+            obs.count(f"ingest.retries.{point}")
+            if on_retry is not None:
+                on_retry(point, attempt, exc, delay)
+            sleep(delay)
+    raise PermanentIngestError(
+        f"boundary {point!r} failed after {policy.attempts} attempts"
+    ) from last

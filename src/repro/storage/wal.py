@@ -212,6 +212,16 @@ class WriteAheadLog:
         """Sequence number of the most recently allocated record."""
         return self._next_seq - 1
 
+    @property
+    def committed_seq(self) -> int:
+        """Highest sequence number among *committed* mutations (0 if none).
+
+        This is the durable high-water mark resumable ingest batches
+        checkpoint against: everything at or below it survives a crash,
+        everything above it must be re-done.
+        """
+        return max((e.seq for e in self._entries if e.committed), default=0)
+
     def truncate(self) -> None:
         """Clear the log (after a snapshot has captured its effects).
 

@@ -9,9 +9,10 @@ appends fact rows — the "uploaded into the warehouse" step of paper §IV.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
-from repro.errors import WarehouseError
+from repro.errors import ReproError, WarehouseError
+from repro.etl.quarantine import QuarantinedRow
 from repro.tabular.table import Table
 from repro.warehouse.dimension import UNKNOWN_KEY, Dimension
 from repro.warehouse.fact import FactTable, Measure
@@ -54,13 +55,19 @@ class LoadReport:
     facts_loaded: int = 0
     members_per_dimension: dict[str, int] = field(default_factory=dict)
     unknown_keys_per_dimension: dict[str, int] = field(default_factory=dict)
+    rows_quarantined: int = 0
+    #: positions (in the loaded source table) of the quarantined rows
+    quarantined_indices: list[int] = field(default_factory=list)
 
     def summary(self) -> str:
         """One-line recap."""
         dims = ", ".join(
             f"{name}={count}" for name, count in sorted(self.members_per_dimension.items())
         )
-        return f"{self.facts_loaded} facts; members: {dims}"
+        text = f"{self.facts_loaded} facts; members: {dims}"
+        if self.rows_quarantined:
+            text += f"; quarantined {self.rows_quarantined} rows"
+        return text
 
 
 class WarehouseLoader:
@@ -90,25 +97,58 @@ class WarehouseLoader:
             schema_name, fact, [spec.dimension for spec in self.specs]
         )
 
-    def load(self, source: Table) -> LoadReport:
-        """Load every source row as one fact, creating members as needed."""
+    def load(
+        self,
+        source: Table,
+        *,
+        quarantine=None,
+        batch: str = "",
+        source_indices: Sequence[int] | None = None,
+    ) -> LoadReport:
+        """Load every source row as one fact, creating members as needed.
+
+        Without ``quarantine`` a row that fails key resolution or fact
+        insertion raises, aborting the load.  With a quarantine sink the
+        failing row diverts there (step ``"load"``, tagged with ``batch``)
+        and loading continues; ``source_indices`` — when the source table
+        is itself the survivor subset of a larger batch — maps each source
+        position back to the original batch index recorded in the entry.
+        A row never half-loads: :meth:`FactTable.insert` validates before
+        appending, and dimension members created for a failing row are
+        reusable vocabulary, not facts.
+        """
         report = LoadReport()
         rows = source.to_rows()
-        for row in rows:
-            keys: dict[str, int] = {}
-            for spec in self.specs:
-                member = spec.member_row(row)
-                key = spec.dimension.add_member(member)
-                keys[spec.dimension.name] = key
-                if key == UNKNOWN_KEY:
-                    name = spec.dimension.name
-                    report.unknown_keys_per_dimension[name] = (
-                        report.unknown_keys_per_dimension.get(name, 0) + 1
+        for i, row in enumerate(rows):
+            try:
+                keys: dict[str, int] = {}
+                for spec in self.specs:
+                    member = spec.member_row(row)
+                    key = spec.dimension.add_member(member)
+                    keys[spec.dimension.name] = key
+                    if key == UNKNOWN_KEY:
+                        name = spec.dimension.name
+                        report.unknown_keys_per_dimension[name] = (
+                            report.unknown_keys_per_dimension.get(name, 0) + 1
+                        )
+                values = {
+                    m.name: row.get(self.measure_columns[m.name]) for m in self.measures
+                }
+                self.schema.fact.insert(keys, values)
+            except ReproError as exc:
+                if quarantine is None:
+                    raise
+                index = (
+                    int(source_indices[i]) if source_indices is not None else i
+                )
+                quarantine.add(
+                    QuarantinedRow.from_error(
+                        row, "load", exc, batch=batch, source_index=index
                     )
-            values = {
-                m.name: row.get(self.measure_columns[m.name]) for m in self.measures
-            }
-            self.schema.fact.insert(keys, values)
+                )
+                report.rows_quarantined += 1
+                report.quarantined_indices.append(i)
+                continue
             report.facts_loaded += 1
         for spec in self.specs:
             report.members_per_dimension[spec.dimension.name] = spec.dimension.size

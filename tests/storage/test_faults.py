@@ -102,3 +102,27 @@ class TestEnvParsing:
         monkeypatch.setenv(faults.FAULTS_ENV, "x:error@7")
         plan = plan_from_env()
         assert plan.rules == [FaultRule("x", mode="error", nth=7)]
+
+
+class TestIngestFaultModes:
+    def test_transient_raises_typed_error(self):
+        from repro.errors import TransientIngestError
+
+        faults.install(FaultPlan([FaultRule("p", mode="transient")]))
+        with pytest.raises(TransientIngestError, match="transient"):
+            faults.fire("p")
+        faults.fire("p")  # only the nth hit fires
+
+    def test_permanent_raises_typed_error(self):
+        from repro.errors import PermanentIngestError
+
+        faults.install(FaultPlan([FaultRule("p", mode="permanent")]))
+        with pytest.raises(PermanentIngestError, match="permanent"):
+            faults.fire("p")
+
+    def test_env_grammar_accepts_new_modes(self):
+        plan = plan_from_env("ingest.oltp:transient@2,ingest.lattice:permanent")
+        assert plan.rules == [
+            FaultRule("ingest.oltp", mode="transient", nth=2),
+            FaultRule("ingest.lattice", mode="permanent", nth=1),
+        ]

@@ -1,0 +1,130 @@
+"""Retry-with-backoff at named ingest boundaries."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    InjectedFault,
+    PermanentIngestError,
+    TransientIngestError,
+)
+from repro.storage import faults
+from repro.storage.faults import FaultPlan, FaultRule, SimulatedCrash
+from repro.storage.retry import RetryPolicy, with_retry
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    yield
+    faults.uninstall()
+
+
+def _no_sleep():
+    delays = []
+    return delays, delays.append
+
+
+class TestRetryPolicy:
+    def test_backoff_sequence_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay_s=0.01, multiplier=2.0,
+            max_delay_s=0.05, jitter=0.0,
+        )
+        assert [policy.delay(n) for n in range(1, 6)] == [
+            0.01, 0.02, 0.04, 0.05, 0.05
+        ]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_s=0.01, jitter=0.5)
+        rng = random.Random(7)
+        for _ in range(100):
+            delay = policy.delay(1, rng)
+            assert 0.01 <= delay <= 0.015
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(PermanentIngestError):
+            RetryPolicy(attempts=0)
+
+
+class TestWithRetry:
+    def test_first_try_success_is_free(self):
+        calls = []
+        result = with_retry("p", lambda: calls.append(1) or 42,
+                            sleep=lambda s: pytest.fail("must not sleep"))
+        assert result == 42 and calls == [1]
+
+    def test_transient_failures_retry_then_succeed(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientIngestError("not yet")
+            return "ok"
+
+        delays, sleep = _no_sleep()
+        retried = []
+        result = with_retry(
+            "p", flaky,
+            policy=RetryPolicy(attempts=3, jitter=0.0),
+            sleep=sleep,
+            on_retry=lambda point, n, exc, d: retried.append((point, n)),
+        )
+        assert result == "ok"
+        assert len(attempts) == 3
+        assert retried == [("p", 1), ("p", 2)]
+        assert delays == [0.01, 0.02]  # base * multiplier**(n-1)
+
+    def test_exhaustion_raises_permanent_chained_to_last(self):
+        def always():
+            raise TransientIngestError("still down")
+
+        _, sleep = _no_sleep()
+        with pytest.raises(PermanentIngestError, match="after 2 attempts") as info:
+            with_retry("p", always, policy=RetryPolicy(attempts=2), sleep=sleep)
+        assert isinstance(info.value.__cause__, TransientIngestError)
+
+    def test_permanent_error_is_never_retried(self):
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise PermanentIngestError("gone")
+
+        with pytest.raises(PermanentIngestError, match="gone"):
+            with_retry("p", fatal, sleep=lambda s: None)
+        assert calls == [1]
+
+    def test_injected_fault_counts_as_transient(self):
+        """Existing REPRO_FAULTS error-mode profiles drive the retry path."""
+        faults.install(FaultPlan([FaultRule("p", mode="error", nth=1)]))
+        _, sleep = _no_sleep()
+        result = with_retry("p", lambda: "ok", sleep=sleep)
+        assert result == "ok"
+
+    def test_injected_transient_mode_drives_retries(self):
+        faults.install(FaultPlan([FaultRule("p", mode="transient", nth=1)]))
+        calls = []
+        _, sleep = _no_sleep()
+        result = with_retry("p", lambda: calls.append(1) or len(calls),
+                            sleep=sleep)
+        assert result == 1  # attempt 1 injected-transient, attempt 2 clean
+
+    def test_simulated_crash_escapes_retry(self):
+        faults.install(FaultPlan([FaultRule("p", mode="kill", nth=1)]))
+        with pytest.raises(SimulatedCrash):
+            with_retry("p", lambda: "ok", sleep=lambda s: None)
+
+    def test_custom_transient_types(self):
+        def flaky():
+            raise InjectedFault("x")
+
+        # InjectedFault excluded from the transient set -> propagates raw
+        with pytest.raises(InjectedFault):
+            with_retry(
+                "p", flaky,
+                policy=RetryPolicy(attempts=2),
+                transient=(TransientIngestError,),
+                sleep=lambda s: None,
+            )
