@@ -45,6 +45,9 @@ __all__ = [
     "open_system",
     "SystemConfig",
     "DDDGMS",
+    "CacheConfig",
+    "ResultCache",
+    "CubeSnapshot",
     "__version__",
 ]
 
@@ -55,10 +58,11 @@ def open_system(source, *, config: "SystemConfig | None" = None) -> "DDDGMS":
     The recommended entry point: builds the full platform (operational
     store, ETL, warehouse, cube, knowledge base) and applies ``config``
     exactly once — observability sinks and the slow-query threshold are
-    installed here, and the figure-shaped aggregate lattice is
-    precomputed when requested — so every subsequent
-    ``system.query()`` / ``system.mdx()`` / ``system.explain()`` call is
-    traced and routed consistently.
+    installed here, the serving knobs (result cache, thread budget) are
+    wired in, and the figure-shaped aggregate lattice is precomputed when
+    requested — so every subsequent ``system.query()`` /
+    ``system.mdx()`` / ``system.explain()`` call is traced and routed
+    consistently.
     """
     from repro import obs
     from repro.dgms.system import DDDGMS, SystemConfig
@@ -69,7 +73,13 @@ def open_system(source, *, config: "SystemConfig | None" = None) -> "DDDGMS":
             settings.observability or "ring",
             slow_query_threshold_s=settings.slow_query_threshold_s,
         )
+    if settings.max_workers is not None:
+        from repro.serving.parallel import configure_workers
+
+        configure_workers(settings.max_workers)
     system = DDDGMS(source, promotion_threshold=settings.promotion_threshold)
+    if settings.cache is not None and settings.cache is not False:
+        system.attach_result_cache(settings.cache)
     if settings.materialize_lattice:
         system.materialize_lattice()
     return system
@@ -78,6 +88,9 @@ def open_system(source, *, config: "SystemConfig | None" = None) -> "DDDGMS":
 _LAZY_EXPORTS = {
     "DDDGMS": ("repro.dgms.system", "DDDGMS"),
     "SystemConfig": ("repro.dgms.system", "SystemConfig"),
+    "CacheConfig": ("repro.serving.cache", "CacheConfig"),
+    "ResultCache": ("repro.serving.cache", "ResultCache"),
+    "CubeSnapshot": ("repro.olap.cube", "CubeSnapshot"),
 }
 
 

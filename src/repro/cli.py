@@ -10,7 +10,10 @@ Commands:
 * ``stats``    — run the figure workload under tracing and print the
   metrics registry, ingest health, slow-query log and last span tree;
 * ``quarantine`` — list, inspect or re-drive dead-letter rows of a
-  durable system (``list`` / ``show <id>`` / ``redrive [--set k=v]``).
+  durable system (``list`` / ``show <id>`` / ``redrive [--set k=v]``);
+* ``serve-bench`` — serving load harness: result-cache speedup, parallel
+  lattice materialisation, and reader threads against a live writer;
+  writes ``BENCH_serving.json``.
 
 A cohort can come from ``--cohort file.csv`` (as written by ``generate``)
 or be simulated on the fly with ``--patients/--seed``.  Every command
@@ -229,6 +232,23 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serving.bench import format_summary, run_serving_bench
+
+    payload = run_serving_bench(
+        patients=args.patients,
+        seed=args.seed,
+        lattice_rows=args.lattice_rows,
+        workers=args.workers,
+        readers=args.readers,
+        duration_s=args.duration,
+        out=args.out,
+    )
+    print(format_summary(payload))
+    print(f"full results written to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -318,6 +338,38 @@ def build_parser() -> argparse.ArgumentParser:
              "(repeatable; value parses as int/float/ISO date/null/str)",
     )
     quarantine.set_defaults(func=_cmd_quarantine)
+
+    serve = commands.add_parser(
+        "serve-bench",
+        help="serving load harness: cache speedup, parallel lattice, "
+             "readers vs live writer; writes BENCH_serving.json",
+    )
+    serve.add_argument(
+        "--patients", type=int, default=200,
+        help="patients in the simulated serving cohort (default 200)",
+    )
+    serve.add_argument("--seed", type=int, default=42, help="simulation seed")
+    serve.add_argument(
+        "--readers", type=int, default=8,
+        help="concurrent reader threads (default 8)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds of live-writer load (default 2.0)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="thread budget for the parallel lattice stage (default 4)",
+    )
+    serve.add_argument(
+        "--lattice-rows", type=int, default=200_000,
+        help="synthetic fact rows for the lattice stage (default 200000)",
+    )
+    serve.add_argument(
+        "--out", type=Path, default=Path("BENCH_serving.json"),
+        help="result JSON path (default ./BENCH_serving.json)",
+    )
+    serve.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -27,9 +28,10 @@ from repro.mining.awsum import AWSumClassifier
 from repro.mining.naive_bayes import NaiveBayesClassifier
 from repro.obs.explain import ExplainReport
 from repro.olap.crosstab import Crosstab
-from repro.olap.cube import Cube
+from repro.olap.cube import Cube, CubeSnapshot
 from repro.olap.mdx.evaluator import execute_mdx
 from repro.olap.query import QueryBuilder
+from repro.serving.cache import CacheConfig, ResultCache, coerce_cache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.olap.materialized import MaterializedCube
@@ -70,12 +72,24 @@ class SystemConfig:
     ``slow_query_threshold_s`` land in :func:`repro.obs.slow_log`.
     ``materialize_lattice`` precomputes the figure-shaped aggregate
     lattice so roll-ups are answered from nodes instead of fact scans.
+
+    ``cache`` attaches a versioned query-result cache (``True`` for the
+    default budget, an ``int`` byte budget, a
+    :class:`~repro.serving.cache.CacheConfig`, or a ready
+    :class:`~repro.serving.cache.ResultCache` to share between systems);
+    hits are byte-identical to a fresh recompute and ingest invalidates
+    by epoch bump.  ``max_workers`` sets the process-wide thread budget
+    for lattice materialisation and large group-by fan-out (``None``
+    leaves the ``REPRO_WORKERS`` default; parallel results are
+    bit-identical to serial).
     """
 
     observability: str = ""
     slow_query_threshold_s: float | None = None
     materialize_lattice: bool = False
     promotion_threshold: float = 3.0
+    cache: "ResultCache | CacheConfig | int | bool | None" = None
+    max_workers: int | None = None
 
 
 class DDDGMS:
@@ -123,6 +137,11 @@ class DDDGMS:
         self._retry_counts: dict[str, int] = {}
         #: degraded subsystems (name -> reason), e.g. an unmaterialised lattice
         self.degraded: dict[str, str] = {}
+        #: serialises ingest/fold/redrive against each other; readers never
+        #: take it — they pin epochs instead (see DESIGN.md serving model)
+        self._writer_lock = threading.RLock()
+        #: versioned result cache, re-attached to every rebuilt cube
+        self._result_cache: ResultCache | None = None
         with obs.span("dgms.build", rows=source.num_rows):
             with obs.span("dgms.load_operational"):
                 if _operational is not None:
@@ -143,7 +162,9 @@ class DDDGMS:
                 )
             self.warehouse = self._built.warehouse
             self.etl_audit = self._built.etl_result.audit
-            self.cube = Cube(self.warehouse)
+            # managed: readers never flatten a half-mutated warehouse; only
+            # the writer's explicit publish (at commit) moves the epoch
+            self.cube = Cube(self.warehouse, managed=True)
             self.knowledge_base = KnowledgeBase(promotion_threshold)
             #: feedback builders folded so far, replayed after every re-ingest
             self._feedback_builders: list[FeedbackDimensionBuilder] = []
@@ -248,6 +269,61 @@ class DDDGMS:
         return system
 
     # ------------------------------------------------------------------
+    # Serving: epochs + result cache
+    # ------------------------------------------------------------------
+
+    def attach_result_cache(
+        self, cache: "ResultCache | CacheConfig | int | bool | None"
+    ) -> ResultCache | None:
+        """Attach (or detach, with ``None``) the versioned result cache.
+
+        Accepts every ``SystemConfig(cache=...)`` spelling.  The cache
+        survives ingest rebuilds: it is re-attached to each successor
+        cube, and epoch-unique keys guarantee entries computed on an old
+        epoch are never served for a new one.
+        """
+        self._result_cache = coerce_cache(cache)
+        self.cube.attach_result_cache(self._result_cache)
+        return self._result_cache
+
+    @property
+    def result_cache(self) -> ResultCache | None:
+        """The attached result cache, if any."""
+        return self._result_cache
+
+    @property
+    def epoch(self) -> int:
+        """The currently published epoch id (bumps on every commit)."""
+        return self.cube.epoch
+
+    def current_epoch(self) -> CubeSnapshot:
+        """Pin the current epoch for a consistent multi-query read.
+
+        Every query on the returned snapshot answers from the same
+        committed state, no matter how many ingests commit meanwhile —
+        the unit of snapshot isolation for report generation.
+        """
+        return self.cube.snapshot()
+
+    def _commit_cube(self, cube: Cube) -> None:
+        """Publish-on-commit: force the epoch off to the side, then swap.
+
+        The epoch state (flatten + qualified attributes) is built on the
+        writer thread *before* ``self.cube`` moves, so readers either see
+        the old cube (old epoch, fully intact) or the new cube with its
+        epoch ready — never a half-built state.
+        """
+        if self._result_cache is not None:
+            cube.attach_result_cache(self._result_cache)
+        state = cube._current_state()
+        self.cube = cube
+        self._cache_epoch_published(state.epoch)
+
+    def _cache_epoch_published(self, epoch: int) -> None:
+        if self._result_cache is not None:
+            self._result_cache.on_epoch_published(epoch)
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
 
@@ -305,7 +381,9 @@ class DDDGMS:
         )
 
     def materialize_lattice(
-        self, level_groups: Sequence[Sequence[str]] | None = None
+        self,
+        level_groups: Sequence[Sequence[str]] | None = None,
+        max_workers: int | None = None,
     ) -> "MaterializedCube":
         """Precompute aggregate lattice nodes and route queries through them.
 
@@ -320,7 +398,9 @@ class DDDGMS:
             groups = [list(group) for group in self.DEFAULT_LATTICE_GROUPS]
         else:
             groups = [list(group) for group in level_groups]
-        lattice = MaterializedCube(self.cube).materialize(groups)
+        lattice = MaterializedCube(self.cube).materialize(
+            groups, max_workers=max_workers
+        )
         self.cube.attach_lattice(lattice)
         self._lattice_groups = groups
         return lattice
@@ -471,13 +551,18 @@ class DDDGMS:
         ``ingest.feedback`` boundary, journaled in the operational store
         for :meth:`recover`, and checkpointed when the system is durable.
         """
-        with obs.span("dgms.fold_feedback", dimension=builder.name):
+        with self._writer_lock, obs.span(
+            "dgms.fold_feedback", dimension=builder.name
+        ):
             if self.quarantine is None:
                 dimension = self.warehouse.fold_feedback(builder)
                 self._feedback_builders.append(builder)
                 self._journal_fold(builder.name)
-                self.cube.refresh()
+                # the in-place fold never touches the published epoch's
+                # flat view; publishing moves readers to the folded state
+                state = self.cube.publish()
                 self._rematerialize_lattice()
+                self._cache_epoch_published(state.epoch)
                 return dimension
 
             def fold():
@@ -489,8 +574,9 @@ class DDDGMS:
             if all(b.name != builder.name for b in self._feedback_builders):
                 self._feedback_builders.append(builder)
             self._journal_fold(builder.name)
-            self.cube.refresh()
+            state = self.cube.publish()
             self._lattice_or_degrade()
+            self._cache_epoch_published(state.epoch)
             if self.durable_root is not None:
                 self._with_retry("ingest.checkpoint", self._checkpoint_durable)
             return dimension
@@ -528,33 +614,40 @@ class DDDGMS:
         )
 
     def _ingest_strict(self, new_visits: Table) -> int:
-        with obs.span("dgms.ingest", rows=new_visits.num_rows):
+        with self._writer_lock, obs.span("dgms.ingest", rows=new_visits.num_rows):
             with obs.span("dgms.ingest.oltp"):
                 with self.operational_store.transaction():
                     for row in new_visits.iter_rows():
                         self.operational_store.insert("attendances", row)
-            self.source = self.source.append(
+            # everything analytical builds in locals; readers keep serving
+            # the published epoch until the commit block swaps the handles
+            source = self.source.append(
                 new_visits.select(self.source.column_names)
             )
             with obs.span("dgms.ingest.rebuild"):
-                self._built = build_discri_warehouse(self.source)
-                self.warehouse = self._built.warehouse
-                self.etl_audit = self._built.etl_result.audit
-                self.cube = Cube(self.warehouse)
+                built = build_discri_warehouse(source)
+                cube = Cube(built.warehouse, managed=True)
             with obs.span(
                 "dgms.ingest.feedback_replay",
                 builders=len(self._feedback_builders),
             ):
                 for builder in self._feedback_builders:
-                    self.warehouse.fold_feedback(builder)
-                self.cube.refresh()
-            self._rematerialize_lattice()
+                    built.warehouse.fold_feedback(builder)
+            self._rematerialize_lattice(cube)
+            # commit
+            self.source = source
+            self._built = built
+            self.warehouse = built.warehouse
+            self.etl_audit = built.etl_result.audit
+            self._commit_cube(cube)
             self.data_version += 1
             obs.count("dgms.ingest.batches")
         return new_visits.num_rows
 
     def _ingest_resilient(self, new_visits: Table, batch: str) -> int:
-        with obs.span("dgms.ingest", rows=new_visits.num_rows, batch=batch):
+        with self._writer_lock, obs.span(
+            "dgms.ingest", rows=new_visits.num_rows, batch=batch
+        ):
             rows = new_visits.select(self.source.column_names).to_rows()
             # Idempotent resume: rows that already landed (a committed
             # chunk of an interrupted run) are skipped, not duplicated.
@@ -575,10 +668,13 @@ class DDDGMS:
                         "ingest.oltp",
                         lambda chunk=chunk: self._write_chunk(chunk, batch),
                     )
-            self.source = self.operational_store.scan("attendances")
+            # analytical state builds in locals; a failed (permanent)
+            # rebuild aborts the batch with the old epoch still serving
+            source = self.operational_store.scan("attendances")
             with obs.span("dgms.ingest.rebuild"):
-                staged = self._with_retry(
-                    "ingest.rebuild", lambda: self._rebuild_warehouse(batch)
+                built, cube, staged = self._with_retry(
+                    "ingest.rebuild",
+                    lambda: self._rebuild_warehouse(source, batch),
                 )
             self._with_retry(
                 "ingest.quarantine", lambda: self._commit_staged(staged)
@@ -587,10 +683,19 @@ class DDDGMS:
                 "dgms.ingest.feedback_replay",
                 builders=len(self._feedback_builders),
             ):
-                self._with_retry("ingest.feedback", self._replay_feedback)
-            self._lattice_or_degrade()
+                self._with_retry(
+                    "ingest.feedback",
+                    lambda: self._replay_feedback(built.warehouse),
+                )
+            self._lattice_or_degrade(cube)
             if self.durable_root is not None:
                 self._with_retry("ingest.checkpoint", self._checkpoint_durable)
+            # commit
+            self.source = source
+            self._built = built
+            self.warehouse = built.warehouse
+            self.etl_audit = built.etl_result.audit
+            self._commit_cube(cube)
             self.data_version += 1
             obs.count("dgms.ingest.batches")
             if hasattr(self.quarantine, "__len__"):
@@ -615,33 +720,33 @@ class DDDGMS:
                     )
         return accepted
 
-    def _rebuild_warehouse(self, batch: str) -> ListSink:
-        """Rebuild ETL + warehouse + cube; returns the *staged* quarantine.
+    def _rebuild_warehouse(
+        self, source: Table, batch: str
+    ) -> tuple[DiscriWarehouse, Cube, ListSink]:
+        """Rebuild ETL + warehouse + cube *off to the side*.
 
-        Entries are staged in a list and committed to the durable store
-        only after the rebuild succeeds (:meth:`_commit_staged`), so a
-        retried rebuild cannot double-quarantine.
+        Returns ``(built, cube, staged)`` without touching any published
+        handle — the caller commits them after every downstream step
+        succeeds.  Quarantine entries are staged in a list and committed
+        to the durable store only after the rebuild succeeds
+        (:meth:`_commit_staged`), so a retried rebuild cannot
+        double-quarantine.
         """
         staged = ListSink()
-        self._built = build_discri_warehouse(
-            self.source, quarantine=staged, batch=batch
-        )
-        self.warehouse = self._built.warehouse
-        self.etl_audit = self._built.etl_result.audit
-        self.cube = Cube(self.warehouse)
-        return staged
+        built = build_discri_warehouse(source, quarantine=staged, batch=batch)
+        cube = Cube(built.warehouse, managed=True)
+        return built, cube, staged
 
     def _commit_staged(self, staged: ListSink) -> None:
         for entry in staged.entries:
             self.quarantine.add(entry)
 
-    def _replay_feedback(self) -> None:
+    def _replay_feedback(self, warehouse) -> None:
         for builder in self._feedback_builders:
-            if builder.name not in self.warehouse.dimension_names:
-                self.warehouse.fold_feedback(builder)
-        self.cube.refresh()
+            if builder.name not in warehouse.dimension_names:
+                warehouse.fold_feedback(builder)
 
-    def _lattice_or_degrade(self) -> None:
+    def _lattice_or_degrade(self, cube: Cube | None = None) -> None:
         """Re-materialise the lattice; on permanent failure, degrade.
 
         The lattice is an accelerator, not ground truth — so a permanently
@@ -649,12 +754,16 @@ class DDDGMS:
         to base-table scans, with a warning and a ``degraded`` flag,
         rather than failing the whole ingest.
         """
+        if cube is None:
+            cube = self.cube
         if self._lattice_groups is None:
             return
         try:
-            self._with_retry("ingest.lattice", self._rematerialize_lattice)
+            self._with_retry(
+                "ingest.lattice", lambda: self._rematerialize_lattice(cube)
+            )
         except PermanentIngestError as exc:
-            self.cube.detach_lattice()
+            cube.detach_lattice()
             self.degraded["lattice"] = str(exc)
             obs.count("ingest.degraded")
             warnings.warn(
@@ -712,6 +821,12 @@ class DDDGMS:
             "degraded": dict(self.degraded),
             "wal_committed_seq": self.operational_store.wal.committed_seq,
             "data_version": self.data_version,
+            "epoch": self.epoch,
+            "result_cache": (
+                self._result_cache.stats_snapshot()
+                if self._result_cache is not None
+                else None
+            ),
         }
 
     def redrive_quarantine(
@@ -756,11 +871,17 @@ class DDDGMS:
                 except ReproError:
                     continue  # still structurally invalid: stays
                 upserted.append(entry)
-            self.source = self.operational_store.scan("attendances")
-            staged = self._rebuild_warehouse(batch)
+            source = self.operational_store.scan("attendances")
+            built, cube, staged = self._rebuild_warehouse(source, batch)
             self._commit_staged(staged)
-            self._replay_feedback()
-            self._lattice_or_degrade()
+            self._replay_feedback(built.warehouse)
+            self._lattice_or_degrade(cube)
+            # commit
+            self.source = source
+            self._built = built
+            self.warehouse = built.warehouse
+            self.etl_audit = built.etl_result.audit
+            self._commit_cube(cube)
             still_bad = {e.row.get("visit_id") for e in staged.entries}
             return [
                 e.entry_id
@@ -768,21 +889,28 @@ class DDDGMS:
                 if e.row.get("visit_id") not in still_bad
             ]
 
-        with obs.span("dgms.redrive", entries=len(store)):
+        with self._writer_lock, obs.span("dgms.redrive", entries=len(store)):
             report = store.redrive(handler, repair=repair)
             if self.durable_root is not None:
                 self._with_retry("ingest.checkpoint", self._checkpoint_durable)
             self.data_version += 1
         return report
 
-    def _rematerialize_lattice(self) -> None:
-        """Rebuild the attached lattice over the current (possibly new) cube."""
+    def _rematerialize_lattice(self, cube: Cube | None = None) -> None:
+        """Rebuild the attached lattice over the given (or current) cube.
+
+        Called with the *staged* cube during ingest so the lattice — like
+        the flat view — is built fully off to the side before the commit
+        swap makes it visible.
+        """
+        if cube is None:
+            cube = self.cube
         if self._lattice_groups is None:
             return
         from repro.olap.materialized import MaterializedCube
 
-        lattice = MaterializedCube(self.cube).materialize(self._lattice_groups)
-        self.cube.attach_lattice(lattice)
+        lattice = MaterializedCube(cube).materialize(self._lattice_groups)
+        cube.attach_lattice(lattice)
 
     @property
     def transformed(self) -> Table:

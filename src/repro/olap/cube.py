@@ -1,12 +1,25 @@
-"""The OLAP cube: multidimensional aggregation over a star schema."""
+"""The OLAP cube: multidimensional aggregation over a star schema.
+
+Concurrency model (the serving layer, DESIGN.md §"Serving & epochs"):
+all per-version derived data — the flattened view, the cached group-bys,
+the qualified-attribute map — lives in one immutable-after-build
+:class:`CubeState` (an **epoch**).  Readers pin the current state once
+per query; writers build the next state off to the side and publish it
+with a single reference swap (:meth:`Cube.publish`), so a query running
+concurrently with an ingest finishes on the epoch it started on and can
+never observe a torn rebuild or alias an old group-by against a new flat
+view.  :meth:`Cube.snapshot` hands out an explicit pinned read view.
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping, Sequence
+import threading
+from typing import TYPE_CHECKING, Hashable, Mapping, Sequence
 
 from repro import obs
 from repro.errors import OLAPError, UnknownLevelError
 from repro.olap.aggregates import validate_aggregation
+from repro.serving.epoch import next_epoch_id
 from repro.tabular.expressions import Expression, col
 from repro.tabular.groupby import GroupBy
 from repro.tabular.table import Table
@@ -17,86 +30,217 @@ from repro.warehouse.star import StarSchema
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.olap.materialized import MaterializedCube
     from repro.olap.query import QueryBuilder
+    from repro.serving.cache import ResultCache
+
+
+class CubeState:
+    """One committed epoch: the flat view plus every cache derived from it.
+
+    Instances are immutable once published, except the group-by cache,
+    which only ever *adds* entries over the state's own (frozen) flat
+    view under the state's lock — so sharing a state between reader
+    threads is safe, and holding a stale state keeps serving a fully
+    consistent old snapshot rather than a mix of versions.
+    """
+
+    __slots__ = ("epoch", "schema_version", "flat", "qattrs", "groupbys", "lock")
+
+    def __init__(
+        self,
+        epoch: int,
+        schema_version: int,
+        flat: Table,
+        qattrs: dict[str, tuple[str, str]],
+    ):
+        self.epoch = epoch
+        self.schema_version = schema_version
+        self.flat = flat
+        self.qattrs = qattrs
+        self.groupbys: dict[tuple[str, ...], GroupBy] = {}
+        self.lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CubeState(epoch={self.epoch}, v{self.schema_version}, "
+            f"{self.flat.num_rows} rows, {len(self.groupbys)} groupbys)"
+        )
+
+
+def plan_key(
+    levels: Sequence[str],
+    aggregations: Mapping[str, tuple[str, str]],
+    filters: Expression | None,
+    force: bool,
+) -> Hashable:
+    """Canonical, hashable identity of one aggregate request.
+
+    Level order matters (it is the output column order); aggregation
+    entries are order-insensitive, so the two spellings of the same
+    request share a key.  Filters key on their ``describe()`` rendering,
+    which ``repr``s every operand — distinct values or value types can
+    not collide.
+    """
+    return (
+        tuple(levels),
+        tuple(sorted(
+            (out, target, func)
+            for out, (target, func) in aggregations.items()
+        )),
+        filters.describe() if filters is not None else None,
+        bool(force),
+    )
 
 
 class Cube:
     """A queryable cube built over a star schema's flattened view.
 
     *Levels* are qualified dimension attributes (``"personal.age_band"``);
-    *measures* are the fact measures plus the implicit ``"records"`` count.
-    The flattened view is computed once and cached; ``refresh()`` rebuilds
-    it after the underlying (dynamic) schema changes.
+    *measures* are the fact measures plus the implicit ``"records"``
+    count.  The flattened view is computed once per epoch and cached;
+    ``refresh()``/``publish()`` build a new epoch after the underlying
+    (dynamic) schema changes.
 
     Aggregation requests are ``output_name=(target, aggregation)`` where
     ``target`` is a measure or any level (levels support ``count`` /
     ``nunique`` — that is how "number of patients" is asked for, via
     ``nunique`` over the patient identifier attribute).
+
+    With ``managed=True`` (the DD-DGMS serving mode) the cube never
+    rebuilds lazily on schema-version drift: only an explicit
+    :meth:`publish` (called by the writer after its mutation commits)
+    swaps epochs, so reader threads cannot flatten a half-mutated
+    warehouse.  Unmanaged cubes keep the historical auto-refresh-on-drift
+    behaviour for single-threaded use.
     """
 
     #: implicit measure: number of fact rows in the cell
     RECORDS = "records"
 
-    def __init__(self, schema: StarSchema | DynamicWarehouse, name: str | None = None):
+    def __init__(
+        self,
+        schema: StarSchema | DynamicWarehouse,
+        name: str | None = None,
+        *,
+        managed: bool = False,
+    ):
         self._dynamic = schema if isinstance(schema, DynamicWarehouse) else None
         self.schema = schema.schema if isinstance(schema, DynamicWarehouse) else schema
         self.name = name or self.schema.name
-        self._flat: Table | None = None
-        self._schema_version = self._current_version()
-        self._qattrs: dict[str, tuple[str, str]] | None = None
-        self._qattrs_version = self._schema_version
-        self._groupbys: dict[tuple[str, ...], GroupBy] = {}
+        self._managed = managed
+        self._state: CubeState | None = None
+        self._rebuild_lock = threading.RLock()
         self._lattice: "MaterializedCube | None" = None
+        self._result_cache: "ResultCache | None" = None
 
     def _current_version(self) -> int:
         return self._dynamic.version if self._dynamic is not None else 1
 
+    # ------------------------------------------------------------------
+    # Epochs
+    # ------------------------------------------------------------------
+
+    def _current_state(self) -> CubeState:
+        """The pinned-readable current epoch (built lazily on first use).
+
+        Unmanaged cubes also rebuild here when the dynamic schema version
+        drifted; managed cubes serve the published epoch untouched until
+        the writer calls :meth:`publish`.
+        """
+        state = self._state
+        if state is not None and (
+            self._managed or state.schema_version == self._current_version()
+        ):
+            return state
+        with self._rebuild_lock:
+            state = self._state
+            version = self._current_version()
+            if state is not None and (
+                self._managed or state.schema_version == version
+            ):
+                return state
+            return self._build_state()
+
+    def _build_state(self) -> CubeState:
+        """Build and swap in a fresh epoch (caller holds the rebuild lock)."""
+        obs.count("olap.flat.rebuild")
+        with obs.span("cube.flatten", cube=self.name) as sp:
+            flat = self.schema.flatten()
+            sp.set(rows=flat.num_rows)
+        state = CubeState(
+            epoch=next_epoch_id(),
+            schema_version=self._current_version(),
+            flat=flat,
+            qattrs=self.schema.qualified_attributes(),
+        )
+        self._state = state
+        obs.set_gauge("serving.epoch", state.epoch)
+        return state
+
+    def publish(self) -> CubeState:
+        """Eagerly build the next epoch and atomically swap it in.
+
+        The writer-side half of publish-on-commit: the flatten and the
+        qualified-attribute walk happen on the calling (writer) thread;
+        readers keep the old epoch until the swap and then pick the new
+        one up on their next query.  Returns the published state.
+        """
+        with self._rebuild_lock:
+            return self._build_state()
+
+    def refresh(self) -> None:
+        """Force a rebuild of the flattened view (and dependent caches).
+
+        Lazy: the next access builds the new epoch.  Old epochs held by
+        in-flight readers (via :meth:`snapshot`) stay fully intact —
+        caches belong to the epoch, not the cube, so a stale ``GroupBy``
+        can never be replayed against a newer flat view.
+        """
+        with self._rebuild_lock:
+            self._state = None
+
+    def snapshot(self) -> "CubeSnapshot":
+        """A pinned, immutable read view of the current epoch."""
+        state = self._current_state()
+        return CubeSnapshot(self, state, self._lattice)
+
+    @property
+    def epoch(self) -> int:
+        """The current epoch id (process-unique, bumps on every publish)."""
+        return self._current_state().epoch
+
     @property
     def flat(self) -> Table:
         """The denormalised fact+dimension view (auto-refreshed on change)."""
-        if self._flat is None or self._schema_version != self._current_version():
-            obs.count("olap.flat.rebuild")
-            with obs.span("cube.flatten", cube=self.name) as sp:
-                self._flat = self.schema.flatten()
-                sp.set(rows=self._flat.num_rows)
-            self._schema_version = self._current_version()
-            self._groupbys.clear()
-        return self._flat
+        return self._current_state().flat
 
-    def refresh(self) -> None:
-        """Force a rebuild of the flattened view (and dependent caches)."""
-        self._flat = None
-        self._qattrs = None
-        self._groupbys.clear()
-
-    def qualified_attributes(self) -> dict[str, tuple[str, str]]:
-        """``"dim.attr"`` → (dimension, attribute), cached per schema version.
+    def qualified_attributes(
+        self, state: CubeState | None = None
+    ) -> dict[str, tuple[str, str]]:
+        """``"dim.attr"`` → (dimension, attribute), cached per epoch.
 
         Rebuilding this mapping walks every dimension; callers (level
-        validation, hierarchies) hit it on every query, so it is cached and
-        invalidated when the dynamic warehouse's version moves.
+        validation, hierarchies) hit it on every query, so it is built
+        once when the epoch is published.
         """
-        version = self._current_version()
-        if self._qattrs is None or self._qattrs_version != version:
-            self._qattrs = self.schema.qualified_attributes()
-            self._qattrs_version = version
-        return self._qattrs
+        return (state or self._current_state()).qattrs
 
-    def _grouped(self, keys: tuple[str, ...]):
-        """A cached ``GroupBy`` over the flat view for the given key tuple.
+    def _grouped(self, state: CubeState, keys: tuple[str, ...]) -> GroupBy:
+        """A cached ``GroupBy`` over the epoch's flat view for ``keys``.
 
         The ``GroupBy`` memoises its key factorisation, so repeated
-        ``aggregate()`` calls on an unchanged flat view pay the grouping
-        cost once.  The cache is dropped whenever the flat view rebuilds.
+        ``aggregate()`` calls within one epoch pay the grouping cost
+        once.  The cache lives *in the state*: a new epoch starts empty,
+        and old epochs keep theirs — no cross-epoch aliasing.
         """
-        flat = self.flat  # property access also invalidates stale caches
-        grouped = self._groupbys.get(keys)
-        if grouped is None or grouped.table is not flat:
-            obs.count("olap.groupby_cache.miss")
-            grouped = flat.groupby(*keys)
-            self._groupbys[keys] = grouped
-        else:
-            obs.count("olap.groupby_cache.hit")
-        return grouped
+        with state.lock:
+            grouped = state.groupbys.get(keys)
+            if grouped is None:
+                obs.count("olap.groupby_cache.miss")
+                grouped = state.flat.groupby(*keys)
+                state.groupbys[keys] = grouped
+            else:
+                obs.count("olap.groupby_cache.hit")
+            return grouped
 
     # ------------------------------------------------------------------
     # Metadata
@@ -112,15 +256,13 @@ class Cube:
         """Fact measures plus the implicit record count."""
         return list(self.schema.fact.measures) + [self.RECORDS]
 
-    def check_level(self, level: str) -> str:
+    def check_level(self, level: str, state: CubeState | None = None) -> str:
         """Validate a level name, returning it; raises with suggestions."""
-        if level in self.qualified_attributes():
+        qattrs = self.qualified_attributes(state)
+        if level in qattrs:
             return level
         # allow bare attribute names when unambiguous
-        matches = [
-            q for q, (_, attr) in self.qualified_attributes().items()
-            if attr == level
-        ]
+        matches = [q for q, (_, attr) in qattrs.items() if attr == level]
         if len(matches) == 1:
             return matches[0]
         if len(matches) > 1:
@@ -128,7 +270,7 @@ class Cube:
                 f"level {level!r} is ambiguous: {', '.join(matches)}"
             )
         raise UnknownLevelError(
-            f"unknown level {level!r} (known: {', '.join(self.levels)})"
+            f"unknown level {level!r} (known: {', '.join(qattrs)})"
         )
 
     def hierarchy_for(self, level: str) -> tuple[str, Hierarchy] | None:
@@ -142,8 +284,9 @@ class Cube:
 
     def level_members(self, level: str) -> list[object]:
         """Distinct values of a level, in value order."""
-        qualified = self.check_level(level)
-        return self.flat.column(qualified).unique()
+        state = self._current_state()
+        qualified = self.check_level(level, state)
+        return state.flat.column(qualified).unique()
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -169,6 +312,20 @@ class Cube:
         """The attached materialised lattice, if any."""
         return self._lattice
 
+    def attach_result_cache(self, cache: "ResultCache | None") -> None:
+        """Serve repeated aggregates from ``cache`` (keyed by epoch + plan).
+
+        ``None`` detaches.  The same cache object may be re-attached to a
+        successor cube after an ingest rebuild: epoch ids are process-
+        unique, so old entries can never alias the new cube's state.
+        """
+        self._result_cache = cache
+
+    @property
+    def result_cache(self) -> "ResultCache | None":
+        """The attached result cache, if any."""
+        return self._result_cache
+
     def aggregate(
         self,
         levels: Sequence[str],
@@ -185,23 +342,56 @@ class Cube:
 
         With a lattice attached (:meth:`attach_lattice`), covered queries
         are answered from precomputed cells instead of the fact scan.
+        The epoch is pinned once at entry: the whole aggregation runs
+        against one committed snapshot regardless of concurrent ingest.
         """
+        state = self._current_state()
+        return self._aggregate_pinned(
+            state, self._lattice, levels, aggregations, filters, force
+        )
+
+    def _aggregate_pinned(
+        self,
+        state: CubeState,
+        lattice: "MaterializedCube | None",
+        levels: Sequence[str],
+        aggregations: Mapping[str, tuple[str, str]] | None = None,
+        filters: Expression | None = None,
+        force: bool = False,
+    ) -> Table:
+        """One aggregation against one pinned epoch (cache → lattice → base)."""
+        aggregations = dict(
+            aggregations or {self.RECORDS: (self.RECORDS, "size")}
+        )
         with obs.span(
             "cube.aggregate",
             cube=self.name,
             levels=",".join(levels) if levels else "<grand total>",
             filtered=filters is not None,
+            epoch=state.epoch,
         ) as sp:
-            lattice = self._lattice
-            if lattice is not None and lattice.is_fresh():
+            qualified = [self.check_level(level, state) for level in levels]
+            cache = self._result_cache
+            key: Hashable | None = None
+            if cache is not None:
+                key = plan_key(qualified, aggregations, filters, force)
+                cached = cache.get(state.epoch, key)
+                sp.set(cache="hit" if cached is not None else "miss")
+                if cached is not None:
+                    sp.set(cells=cached.num_rows)
+                    return cached
+            if lattice is not None and lattice.fresh_for(state.flat):
                 result = lattice.aggregate(
-                    levels, aggregations, filters=filters, force=force
+                    qualified, aggregations, filters=filters, force=force,
+                    state=state,
                 )
             else:
                 result = self._aggregate_base(
-                    levels, aggregations, filters, force
+                    qualified, aggregations, filters, force, state=state
                 )
             sp.set(cells=result.num_rows)
+            if cache is not None:
+                cache.put(state.epoch, key, result)
             return result
 
     def _aggregate_base(
@@ -210,18 +400,23 @@ class Cube:
         aggregations: Mapping[str, tuple[str, str]] | None = None,
         filters: Expression | None = None,
         force: bool = False,
+        *,
+        state: CubeState | None = None,
     ) -> Table:
         """The lattice-free aggregation path (a full scan of the flat view)."""
-        qualified = [self.check_level(level) for level in levels]
+        if state is None:
+            state = self._current_state()
+        flat = state.flat
+        qualified = [self.check_level(level, state) for level in levels]
         aggregations = dict(aggregations or {self.RECORDS: (self.RECORDS, "size")})
         obs.count("olap.aggregate.base_scans")
         with obs.span("scan.base", source="fact table") as scan_sp:
             if filters is None:
-                table = self.flat
+                table = flat
             else:
-                table = self.flat.filter(filters)
+                table = flat.filter(filters)
                 scan_sp.set(predicate=filters.describe())
-            scan_sp.set(rows_scanned=self.flat.num_rows, rows_kept=table.num_rows)
+            scan_sp.set(rows_scanned=flat.num_rows, rows_kept=table.num_rows)
 
         specs: dict[str, tuple[str, str]] = {}
         for out_name, (target, func) in aggregations.items():
@@ -237,7 +432,7 @@ class Cube:
                 validate_aggregation(self.schema.fact.measures[target], func, force)
                 specs[out_name] = (target, func)
             else:
-                level = self.check_level(target)
+                level = self.check_level(target, state)
                 if func not in ("count", "nunique", "size", "min", "max"):
                     raise OLAPError(
                         f"level {target!r} only supports count/nunique/size/"
@@ -257,8 +452,8 @@ class Cube:
             return Table.from_rows([row])
 
         if filters is None:
-            # unchanged flat view: reuse the cached key factorisation
-            grouped = self._grouped(tuple(qualified))
+            # unchanged flat view: reuse the epoch's cached key factorisation
+            grouped = self._grouped(state, tuple(qualified))
         else:
             grouped = table.groupby(*qualified)
         result = grouped.agg(**specs)
@@ -287,4 +482,111 @@ class Cube:
         return (
             f"Cube({self.name!r}, {self.flat.num_rows} facts, "
             f"{len(self.levels)} levels, measures=[{', '.join(self.measure_names)}])"
+        )
+
+
+class CubeSnapshot:
+    """An immutable read view pinned to one published epoch.
+
+    Duck-types the read side of :class:`Cube` (``check_level`` /
+    ``aggregate`` / ``query`` / metadata), so query builders and the MDX
+    evaluator run against it unchanged — but every answer comes from the
+    pinned epoch, no matter how many ingests commit meanwhile.  Obtain
+    one from :meth:`Cube.snapshot` or ``DDDGMS.current_epoch()``.
+    """
+
+    RECORDS = Cube.RECORDS
+
+    def __init__(
+        self,
+        cube: Cube,
+        state: CubeState,
+        lattice: "MaterializedCube | None" = None,
+    ):
+        self._cube = cube
+        self._state = state
+        # only carry a lattice that was materialised from this very epoch
+        self._lattice = (
+            lattice
+            if lattice is not None and lattice.fresh_for(state.flat)
+            else None
+        )
+        self.name = cube.name
+        self.schema = cube.schema
+
+    @property
+    def epoch(self) -> int:
+        """The pinned epoch id."""
+        return self._state.epoch
+
+    @property
+    def flat(self) -> Table:
+        """The pinned epoch's flat view."""
+        return self._state.flat
+
+    @property
+    def lattice(self) -> "MaterializedCube | None":
+        """The pinned lattice (only if materialised from this epoch)."""
+        return self._lattice
+
+    def qualified_attributes(self) -> dict[str, tuple[str, str]]:
+        """The pinned epoch's level map."""
+        return self._state.qattrs
+
+    @property
+    def levels(self) -> list[str]:
+        """All qualified levels of the pinned epoch."""
+        return list(self._state.qattrs)
+
+    @property
+    def measure_names(self) -> list[str]:
+        """Fact measures plus the implicit record count."""
+        return self._cube.measure_names
+
+    def check_level(self, level: str) -> str:
+        """Validate a level against the pinned epoch."""
+        return self._cube.check_level(level, self._state)
+
+    def hierarchy_for(self, level: str) -> tuple[str, Hierarchy] | None:
+        """(dimension, hierarchy) containing the given level, if any."""
+        return self._cube.hierarchy_for(level)
+
+    def level_members(self, level: str) -> list[object]:
+        """Distinct values of a level in the pinned epoch, in value order."""
+        return self._state.flat.column(self.check_level(level)).unique()
+
+    def aggregate(
+        self,
+        levels: Sequence[str],
+        aggregations: Mapping[str, tuple[str, str]] | None = None,
+        filters: Expression | None = None,
+        force: bool = False,
+    ) -> Table:
+        """Like :meth:`Cube.aggregate`, but always on the pinned epoch."""
+        return self._cube._aggregate_pinned(
+            self._state, self._lattice, levels, aggregations, filters, force
+        )
+
+    def grand_total(
+        self,
+        aggregations: Mapping[str, tuple[str, str]] | None = None,
+        filters: Expression | None = None,
+    ) -> dict[str, object]:
+        """Single-row aggregate over the pinned epoch."""
+        return self.aggregate([], aggregations, filters).row(0)
+
+    def slice_values(self, level: str, value: object) -> Expression:
+        """Predicate fixing one level to one member (a slice)."""
+        return col(self.check_level(level)).eq(value)
+
+    def query(self) -> "QueryBuilder":
+        """A fluent query builder bound to the pinned epoch."""
+        from repro.olap.query import QueryBuilder
+
+        return QueryBuilder(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"CubeSnapshot({self.name!r}, epoch={self.epoch}, "
+            f"{self.flat.num_rows} facts)"
         )

@@ -27,7 +27,8 @@ from typing import Mapping, Sequence
 from repro import obs
 from repro.errors import OLAPError
 from repro.olap.aggregates import validate_aggregation
-from repro.olap.cube import Cube
+from repro.olap.cube import Cube, CubeState
+from repro.serving.parallel import parallel_map, resolve_workers
 from repro.tabular.expressions import Expression
 from repro.tabular.table import Table
 
@@ -81,6 +82,7 @@ class MaterializedCube:
         self,
         level_groups: Sequence[Sequence[str]],
         measures: Sequence[str] | None = None,
+        max_workers: int | None = None,
     ) -> "MaterializedCube":
         """Precompute the given lattice nodes.
 
@@ -88,18 +90,33 @@ class MaterializedCube:
         per cell, the record count and per-measure sum/count/min/max —
         the decomposable statistics any supported aggregation recomposes
         from.
+
+        Nodes are independent group-bys over the same pinned flat view,
+        so with ``max_workers > 1`` they build concurrently (the heavy
+        argsort/unique/segment kernels release the GIL).  Every worker
+        runs the identical serial per-node computation, so the node
+        tables are bit-identical regardless of the worker count.
         """
         measure_names = list(measures or self.cube.schema.fact.measures)
         for name in measure_names:
             self.cube.schema.fact.measure(name)  # validate
         level_groups = [list(group) for group in level_groups]
-        with obs.span("lattice.materialize", nodes=len(level_groups)) as sp:
+        # pin one epoch: every node describes the same committed flat view
+        state = self.cube._current_state()
+        workers = resolve_workers(max_workers)
+        with obs.span(
+            "lattice.materialize", nodes=len(level_groups), workers=workers
+        ) as sp:
+            qualified_groups: list[tuple[str, ...]] = []
             for group in level_groups:
                 qualified = tuple(
-                    self.cube.check_level(level) for level in group
+                    self.cube.check_level(level, state) for level in group
                 )
                 if not qualified:
                     raise OLAPError("cannot materialise an empty level group")
+                qualified_groups.append(qualified)
+
+            def build_node(qualified: tuple[str, ...]) -> _Node:
                 aggregations: dict[str, tuple[str, str]] = {
                     "__records": (self.RECORDS, "size")
                 }
@@ -109,25 +126,38 @@ class MaterializedCube:
                     aggregations[f"{name}__min"] = (name, "min")
                     aggregations[f"{name}__max"] = (name, "max")
                 table = self.cube._aggregate_base(
-                    list(qualified), aggregations, force=True
+                    list(qualified), aggregations, force=True, state=state
                 )
-                self._nodes.append(_Node(qualified, table, tuple(measure_names)))
+                return _Node(qualified, table, tuple(measure_names))
+
+            built = parallel_map(build_node, qualified_groups, max_workers=workers)
+            self._nodes.extend(built)
             # smaller nodes first so lookups prefer the cheapest superset
+            # (stable sort over the deterministic input order, so the node
+            # list is identical for any worker count)
             self._nodes.sort(key=lambda node: node.table.num_rows)
-            self._flat_ref = self.cube.flat
+            self._flat_ref = state.flat
             sp.set(cells=self.storage_cells())
         obs.set_gauge("olap.lattice.cells", self.storage_cells())
         return self
 
-    def is_fresh(self) -> bool:
-        """True while the nodes still describe the cube's current facts.
+    def fresh_for(self, flat: Table) -> bool:
+        """True if the nodes were computed from exactly this flat view.
 
         The flat view is rebuilt (as a new object) whenever the underlying
         warehouse changes, so identity comparison is an exact staleness
-        test: a stale lattice silently stops answering and the cube falls
-        back to base scans until re-materialised.
+        test — and, under snapshot isolation, also an exact *epoch* test:
+        a lattice only answers for the epoch it was materialised from.
         """
-        return bool(self._nodes) and self.cube.flat is self._flat_ref
+        return bool(self._nodes) and flat is self._flat_ref
+
+    def is_fresh(self) -> bool:
+        """True while the nodes still describe the cube's current facts.
+
+        A stale lattice silently stops answering and the cube falls back
+        to base scans until re-materialised.
+        """
+        return self.fresh_for(self.cube.flat)
 
     @property
     def nodes(self) -> list[tuple[tuple[str, ...], int]]:
@@ -148,6 +178,8 @@ class MaterializedCube:
         aggregations: Mapping[str, tuple[str, str]] | None = None,
         filters: Expression | None = None,
         force: bool = False,
+        *,
+        state: CubeState | None = None,
     ) -> Table:
         """Answer like :meth:`Cube.aggregate`, preferring the lattice.
 
@@ -155,9 +187,11 @@ class MaterializedCube:
         column is one of the node's levels — the predicate then selects
         whole cells, which aggregate identically to the facts behind them.
         Anything else (``nunique``, level-valued targets, filters on
-        non-materialised columns) falls back to the base scan.
+        non-materialised columns) falls back to the base scan.  ``state``
+        pins the epoch the fallback scans (callers holding a snapshot
+        pass theirs; ``None`` uses the cube's current epoch).
         """
-        qualified = [self.cube.check_level(level) for level in levels]
+        qualified = [self.cube.check_level(level, state) for level in levels]
         aggregations = dict(
             aggregations or {self.RECORDS: (self.RECORDS, "size")}
         )
@@ -169,7 +203,8 @@ class MaterializedCube:
                 obs.count("olap.lattice.fallback")
                 sp.set(outcome="fallback")
                 return self.cube._aggregate_base(
-                    qualified, aggregations, filters=filters, force=force
+                    qualified, aggregations, filters=filters, force=force,
+                    state=state,
                 )
             if set(node.levels) == set(qualified):
                 self.stats.exact_hits += 1

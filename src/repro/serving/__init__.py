@@ -1,0 +1,69 @@
+"""Concurrent query serving: epochs, result caching, bounded parallelism.
+
+The serving layer makes the DD-DGMS safe and fast under many concurrent
+readers with a live writer (the paper's "many clinical scientists over a
+continuously refreshed warehouse" workload):
+
+* **snapshot-isolated reads** — warehouse rebuilds are publish-on-commit:
+  the writer builds the next flat view + lattice off to the side and
+  atomically swaps an immutable epoch; queries pin the epoch they started
+  on and never see a torn cube (:mod:`repro.serving.epoch`,
+  :meth:`repro.olap.cube.Cube.snapshot`);
+* a **versioned result cache** keyed by (epoch, canonical plan) with LRU
+  and a byte budget, invalidated for free by the epoch bump
+  (:mod:`repro.serving.cache`, wired via
+  ``SystemConfig(cache=...)`` and surfaced in ``explain()``);
+* **bounded parallelism** — lattice nodes materialise over a thread pool
+  and large group-bys fan their per-group reductions out, with serial
+  results guaranteed bit-identical (:mod:`repro.serving.parallel`).
+
+``python -m repro serve-bench`` exercises all three under load and
+records the numbers in ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+from repro.serving.cache import (
+    CacheConfig,
+    CacheStats,
+    ResultCache,
+    coerce_cache,
+    estimate_result_bytes,
+)
+from repro.serving.epoch import next_epoch_id
+from repro.serving.parallel import (
+    MIN_PARALLEL_GROUPS,
+    WORKERS_ENV,
+    configure_workers,
+    default_workers,
+    parallel_map,
+    resolve_workers,
+    split_ranges,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "ResultCache",
+    "coerce_cache",
+    "estimate_result_bytes",
+    "next_epoch_id",
+    "CubeSnapshot",
+    "configure_workers",
+    "default_workers",
+    "resolve_workers",
+    "parallel_map",
+    "split_ranges",
+    "MIN_PARALLEL_GROUPS",
+    "WORKERS_ENV",
+]
+
+
+def __getattr__(name: str):
+    # CubeSnapshot lives beside Cube; import lazily to keep this package a
+    # leaf (cube itself imports repro.serving.epoch).
+    if name == "CubeSnapshot":
+        from repro.olap.cube import CubeSnapshot
+
+        return CubeSnapshot
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

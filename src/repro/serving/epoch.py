@@ -1,0 +1,41 @@
+"""Epoch identity for snapshot-isolated reads.
+
+An **epoch** is one committed version of the analytical state: a fully
+built flat view plus the caches derived from it (group-bys, qualified
+attributes, an optional materialised lattice).  Writers build the next
+epoch off to the side and publish it with a single atomic reference swap
+(:meth:`repro.olap.cube.Cube.publish`); in-flight readers keep the epoch
+they pinned and never observe a torn rebuild.
+
+Epoch ids come from one process-wide monotonic counter rather than a
+per-cube sequence, so an id names a unique committed state across every
+cube a process ever publishes.  That makes the ids safe as result-cache
+key prefixes even when ingest replaces the whole ``Cube`` object (the
+same :class:`~repro.serving.cache.ResultCache` is re-attached to the new
+cube and old entries can never alias the new state).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+_counter = itertools.count(1)
+_lock = threading.Lock()
+
+
+def next_epoch_id() -> int:
+    """Allocate the next process-unique epoch id (thread-safe, monotonic)."""
+    with _lock:
+        return next(_counter)
+
+
+def peek_epoch_id() -> int:
+    """The most recently allocated epoch id (0 before any allocation).
+
+    Diagnostic only — another thread may allocate immediately after.
+    """
+    with _lock:
+        # count objects expose their next value in repr; cheaper to copy
+        probe = _counter.__reduce__()[1][0]
+    return probe - 1

@@ -1,0 +1,127 @@
+"""Bounded thread-pool helpers for the serving layer.
+
+All intra-query and lattice-build parallelism in the engine goes through
+this module, so there is exactly one knob: the default worker count,
+settable programmatically (:func:`configure_workers`), per call
+(``max_workers=`` on the public APIs) or via the ``REPRO_WORKERS``
+environment variable.  The default is **1** — fully serial, bit-identical
+to the historical single-threaded engine — because parallelism is an
+opt-in accelerator, never a semantic change: every parallel path in the
+engine partitions work so each unit runs the *same* kernel on the *same*
+slice as the serial path, making ``max_workers=1`` vs ``max_workers=N``
+results exactly equal (asserted by ``tests/serving/test_parallel_parity``).
+
+Pools are created per call and bounded by ``min(workers, len(items))``;
+there is no long-lived shared executor to leak threads into forked
+benchmark processes or to deadlock when parallel sections nest (a nested
+section simply runs serially once the outer one consumed the budget — we
+keep it simpler still: nested calls each get their own small pool).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment default for the worker count (an int; unset/empty → 1).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Smallest number of groups for which the group-range fan-out engages;
+#: below it the chunking overhead exceeds any win.  Tests lower it to
+#: force the parallel path on tiny frames.
+MIN_PARALLEL_GROUPS = 64
+
+_default_workers: int | None = None
+
+
+def _env_workers() -> int:
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def configure_workers(n: int | None) -> None:
+    """Set the process-wide default worker count (``None`` → re-read env)."""
+    global _default_workers
+    _default_workers = None if n is None else max(1, int(n))
+
+
+def default_workers() -> int:
+    """The effective default worker count (configured, else ``REPRO_WORKERS``)."""
+    return _default_workers if _default_workers is not None else _env_workers()
+
+
+def resolve_workers(max_workers: int | None) -> int:
+    """An explicit ``max_workers`` wins; ``None`` falls back to the default."""
+    if max_workers is None:
+        return default_workers()
+    return max(1, int(max_workers))
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Sequence[T], max_workers: int | None = None
+) -> list[R]:
+    """``[fn(x) for x in items]`` over a bounded pool, results in order.
+
+    Serial (no pool at all) when the resolved worker count is 1 or there
+    is at most one item, so the serial path has zero threading overhead.
+    Exceptions propagate exactly as in the serial loop (the first failing
+    item's exception, with pending work cancelled by pool shutdown).
+    """
+    workers = min(resolve_workers(max_workers), len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+def split_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``parts`` contiguous ``[start, end)`` chunks.
+
+    Chunks differ in length by at most one and never come back empty, so
+    concatenating per-chunk results reassembles the serial order exactly.
+    """
+    parts = max(1, min(parts, n))
+    base, extra = divmod(n, parts)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for i in range(parts):
+        end = start + base + (1 if i < extra else 0)
+        ranges.append((start, end))
+        start = end
+    return ranges
+
+
+def map_group_ranges(
+    fn: Callable[[int, int], list[R]],
+    n_groups: int,
+    max_workers: int | None = None,
+    min_groups: int | None = None,
+) -> "list[R] | None":
+    """Fan ``fn(start, end)`` out over group-range chunks; concatenated result.
+
+    Returns ``None`` when the fan-out should not engage (one worker, or
+    fewer than ``min_groups`` groups) so callers fall through to their
+    serial loop.  Each chunk computes the identical per-group values the
+    serial loop would, so the concatenation is exactly the serial result.
+    """
+    workers = resolve_workers(max_workers)
+    threshold = MIN_PARALLEL_GROUPS if min_groups is None else min_groups
+    if workers <= 1 or n_groups < max(2, threshold):
+        return None
+    ranges = split_ranges(n_groups, workers)
+    if len(ranges) <= 1:
+        return None
+    chunks = parallel_map(lambda r: fn(r[0], r[1]), ranges, max_workers=workers)
+    out: list[R] = []
+    for chunk in chunks:
+        out.extend(chunk)
+    return out

@@ -37,6 +37,7 @@ from repro import obs
 from repro.errors import ColumnNotFoundError, TabularError
 from repro.tabular.column import Column
 from repro.tabular.dtypes import DType
+from repro.serving.parallel import map_group_ranges
 from repro.tabular.factorize import (
     Factorization,
     factorize,
@@ -104,7 +105,14 @@ AGGREGATORS: dict[str, Callable[[Column, np.ndarray], object]] = {
 
 
 class _GroupedColumn:
-    """One input column, permuted into group order, with lazy projections."""
+    """One input column, permuted into group order, with lazy projections.
+
+    The lazy caches are lock-free but safe to race on: each property
+    computes its value into locals, assigns any dependent attribute
+    *before* the attribute that guards the fast path, and every
+    computation is deterministic — concurrent first readers may duplicate
+    work, never observe a torn state.
+    """
 
     def __init__(self, column: Column, engine: "_VectorEngine"):
         self.column = column
@@ -128,8 +136,10 @@ class _GroupedColumn:
     def pdata(self) -> np.ndarray:
         """Non-null data, group-major, row-ascending within each group."""
         if self._pdata is None:
-            self._pdata = self.column.data[self.engine.order][self.svalid]
-            self._pcodes = self.engine.sorted_codes[self.svalid]
+            svalid = self.svalid
+            # _pcodes before _pdata: pcodes' fast path keys off _pdata
+            self._pcodes = self.engine.sorted_codes[svalid]
+            self._pdata = self.column.data[self.engine.order][svalid]
         return self._pdata
 
     @property
@@ -154,6 +164,7 @@ class _GroupedColumn:
         """Factorised value codes aligned with :attr:`pdata` (for nunique)."""
         if self._pvcodes is None:
             codes, uniques = factorize_column(self.column)
+            # _n_value_codes before _pvcodes: n_value_codes keys off _pvcodes
             self._n_value_codes = len(uniques)
             self._pvcodes = codes[self.engine.order][self.svalid]
         return self._pvcodes
@@ -197,6 +208,32 @@ class _VectorEngine:
             self._sizes = np.bincount(self.codes, minlength=self.n_groups)
         return self._sizes
 
+    def _per_group(
+        self,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        one_group: Callable[[int, int], object],
+    ) -> list[object]:
+        """``[one_group(a, b) for a, b in zip(starts, ends)]``, fanned out.
+
+        The float reductions run one numpy call per group — a Python-level
+        loop that dominates wide group-bys.  With workers configured
+        (``REPRO_WORKERS``/``configure_workers``) the group range is split
+        into contiguous chunks evaluated concurrently; every chunk runs
+        the identical ``one_group`` on the identical slice, so the
+        concatenated output equals the serial loop bit for bit.
+        """
+        fanned = map_group_ranges(
+            lambda lo, hi: [
+                one_group(int(a), int(b))
+                for a, b in zip(starts[lo:hi], ends[lo:hi])
+            ],
+            self.n_groups,
+        )
+        if fanned is not None:
+            return fanned
+        return [one_group(int(a), int(b)) for a, b in zip(starts, ends)]
+
     # -- kernels; each returns one Python value per group -----------------
 
     def count(self, column: Column) -> list[object]:
@@ -218,28 +255,31 @@ class _VectorEngine:
             return [
                 int(s) if ne else None for s, ne in zip(sums, nonempty)
             ]
-        return [
-            float(g.pdata[a:b].sum()) if b > a else None
-            for a, b in zip(starts, ends)
-        ]
+        pdata = g.pdata
+        return self._per_group(
+            starts, ends,
+            lambda a, b: float(pdata[a:b].sum()) if b > a else None,
+        )
 
     def mean(self, column: Column) -> list[object]:
         column._require_numeric("mean")
         g = self.grouped(column)
         starts, ends = g.bounds
-        return [
-            float(g.pdata[a:b].mean()) if b > a else None
-            for a, b in zip(starts, ends)
-        ]
+        pdata = g.pdata
+        return self._per_group(
+            starts, ends,
+            lambda a, b: float(pdata[a:b].mean()) if b > a else None,
+        )
 
     def std(self, column: Column) -> list[object]:
         column._require_numeric("std")
         g = self.grouped(column)
         starts, ends = g.bounds
-        return [
-            float(g.pdata[a:b].std()) if b > a else None
-            for a, b in zip(starts, ends)
-        ]
+        pdata = g.pdata
+        return self._per_group(
+            starts, ends,
+            lambda a, b: float(pdata[a:b].std()) if b > a else None,
+        )
 
     def _extremum(self, column: Column, ufunc, py_reduce) -> list[object]:
         g = self.grouped(column)
@@ -303,7 +343,10 @@ class GroupBy:
     The factorisation of the key columns is computed once per ``GroupBy``
     and shared across ``groups()``/``agg()`` calls, so repeated
     aggregations over the same keys (the OLAP cube's access pattern) pay
-    the grouping cost once.
+    the grouping cost once.  The lazy caches are deterministic and
+    assigned whole, so concurrent readers sharing one ``GroupBy`` (the
+    epoch-cached cube path) can at worst duplicate the factorisation,
+    never corrupt it.
     """
 
     def __init__(self, table: "Table", keys: list[str]):

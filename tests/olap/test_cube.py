@@ -161,10 +161,13 @@ class TestQualifiedAttributeCache:
 
     def test_refresh_clears_the_cache(self, small_cube):
         small_cube.check_level("gender")
-        assert small_cube._qattrs is not None
+        assert small_cube._state is not None
+        before = small_cube.epoch
         small_cube.refresh()
-        assert small_cube._qattrs is None
+        assert small_cube._state is None
         assert small_cube.check_level("gender") == "personal.gender"
+        # the rebuilt state is a new epoch with fresh caches
+        assert small_cube.epoch > before
 
 
 class TestDynamicRefresh:

@@ -1,0 +1,130 @@
+"""Parallel execution is an accelerator, never a semantic change.
+
+Every parallel path in the engine partitions work so each unit runs the
+identical serial kernel on the identical slice — so results must be
+**bit-identical** between ``max_workers=1`` and ``max_workers=N``:
+
+* lattice materialisation builds each node the same way regardless of
+  which worker builds it, and the node list is sorted deterministically;
+* the group-by fan-out chunks the group range and evaluates the very
+  same per-group numpy reduction inside each chunk (hypothesis-driven
+  over random float frames with nulls, checked against the serial path
+  and against the scalar oracle's float semantics).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.serving import parallel
+from repro.serving.bench import SYNTHETIC_GROUPS, synthetic_star
+from repro.olap.materialized import MaterializedCube
+from repro.tabular.table import Table
+
+
+@pytest.fixture()
+def eight_workers():
+    parallel.configure_workers(8)
+    yield
+    parallel.configure_workers(None)
+
+
+def _node_fingerprint(lattice: MaterializedCube) -> list[tuple]:
+    return [
+        (node.levels, node.measures, node.table.schema,
+         node.table.to_rows())
+        for node in lattice._nodes
+    ]
+
+
+def test_lattice_parallel_matches_serial():
+    cube = synthetic_star(rows=20_000, seed=3)
+    groups = [list(g) for g in SYNTHETIC_GROUPS]
+    serial = MaterializedCube(cube).materialize(groups, max_workers=1)
+    fanned = MaterializedCube(cube).materialize(groups, max_workers=8)
+    assert _node_fingerprint(serial) == _node_fingerprint(fanned)
+
+
+def test_lattice_parallel_answers_equal_serial_answers():
+    cube = synthetic_star(rows=10_000, seed=9)
+    groups = [list(g) for g in SYNTHETIC_GROUPS[:6]]
+    serial = MaterializedCube(cube).materialize(groups, max_workers=1)
+    fanned = MaterializedCube(cube).materialize(groups, max_workers=4)
+    query = (["place.site"], {"total": ("stays", "sum"),
+                              "peak": ("score", "max")})
+    assert (
+        serial.aggregate(*query).to_rows() == fanned.aggregate(*query).to_rows()
+    )
+
+
+_FLOATS = st.one_of(
+    st.none(),
+    st.floats(
+        min_value=-1e6, max_value=1e6,
+        allow_nan=False, allow_infinity=False, width=64,
+    ),
+)
+
+
+@given(
+    values=st.lists(_FLOATS, min_size=1, max_size=120),
+    n_keys=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_groupby_fanout_matches_serial(values, n_keys):
+    table = Table.from_columns(
+        {
+            "k": [i % n_keys for i in range(len(values))],
+            "x": values,
+        },
+        schema={"k": "int", "x": "float"},
+    )
+    requests = dict(
+        s=("x", "sum"), m=("x", "mean"), d=("x", "std"), n=("x", "count")
+    )
+
+    # force the fan-out to engage even on tiny frames
+    saved = parallel.MIN_PARALLEL_GROUPS
+    parallel.MIN_PARALLEL_GROUPS = 2
+    try:
+        parallel.configure_workers(1)
+        serial = table.groupby("k").agg(**requests).to_rows()
+        parallel.configure_workers(8)
+        fanned = table.groupby("k").agg(**requests).to_rows()
+    finally:
+        parallel.MIN_PARALLEL_GROUPS = saved
+        parallel.configure_workers(None)
+
+    # bit-identical, not approx: the chunks run the same kernels on the
+    # same slices, so float results may not differ even in the last ulp
+    assert fanned == serial
+
+
+def test_fanout_engages_and_concatenates_in_order(eight_workers):
+    seen = []
+
+    def fn(lo, hi):
+        seen.append((lo, hi))
+        return list(range(lo, hi))
+
+    out = parallel.map_group_ranges(fn, 100, min_groups=2)
+    assert out == list(range(100))
+    assert sorted(seen) == parallel.split_ranges(100, 8)
+
+
+def test_fanout_declines_below_threshold(eight_workers):
+    assert parallel.map_group_ranges(lambda lo, hi: [], 4, min_groups=64) is None
+    parallel.configure_workers(1)
+    assert parallel.map_group_ranges(lambda lo, hi: [], 1000) is None
+
+
+def test_split_ranges_partition_exactly():
+    for n in (1, 2, 7, 100, 101):
+        for parts in (1, 2, 3, 8, 200):
+            ranges = parallel.split_ranges(n, parts)
+            assert ranges[0][0] == 0 and ranges[-1][1] == n
+            assert all(a < b for a, b in ranges), "no empty chunks"
+            assert all(
+                ranges[i][1] == ranges[i + 1][0]
+                for i in range(len(ranges) - 1)
+            )

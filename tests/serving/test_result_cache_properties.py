@@ -1,0 +1,144 @@
+"""Model-based testing of the versioned result cache.
+
+The cache is driven through random interleavings of queries, epoch bumps
+(ingest stand-ins) and evictions, against a plain-dict oracle of "what
+would recomputing at the current epoch return".  The safety properties:
+
+* a **hit is byte-identical** to recomputing the query at the epoch it
+  was issued for (here: the exact object stored for that epoch — results
+  are immutable, so identity implies byte equality);
+* after an epoch bump, **entries from old epochs are never served** for
+  current-epoch queries, no matter the interleaving;
+* both budgets hold at all times: ``len(cache) <= max_entries`` and
+  ``current_bytes <= max_bytes``; oversize results are rejected whole;
+* ``on_epoch_published`` drops everything outside the keep window.
+
+Values are small real Tables, so the byte estimator exercises the same
+column-buffer path production results take.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.serving.cache import CacheConfig, ResultCache, estimate_result_bytes
+from repro.serving.epoch import next_epoch_id
+from repro.tabular.table import Table
+
+_PLAN_KEYS = st.sampled_from(["q_age", "q_gender", "q_bmi", "q_bp", "q_fbg"])
+
+
+def _recompute(epoch: int, plan_key: str) -> Table:
+    """Deterministic 'fresh computation' of a query at one epoch."""
+    seed = (epoch * 31 + len(plan_key)) % 97
+    return Table.from_rows(
+        [
+            {"level": f"{plan_key}:{i}", "value": seed + i}
+            for i in range(1 + seed % 3)
+        ]
+    )
+
+
+class CacheModel(RuleBasedStateMachine):
+    """Random query/ingest/evict interleavings vs a dict oracle."""
+
+    def __init__(self):
+        super().__init__()
+        self.config = CacheConfig(max_entries=6, max_bytes=8_192, keep_epochs=2)
+        self.cache = ResultCache(self.config)
+        self.epoch = next_epoch_id()
+        #: oracle: (epoch, plan) -> the exact object a hit must return
+        self.stored: dict[tuple[int, str], Table] = {}
+
+    @rule(plan_key=_PLAN_KEYS)
+    def query(self, plan_key):
+        """A read: hit must equal fresh recompute at the current epoch."""
+        fresh = _recompute(self.epoch, plan_key)
+        hit = self.cache.get(self.epoch, plan_key)
+        if hit is not None:
+            # byte-identical to recomputing now, at this epoch
+            assert hit.to_rows() == fresh.to_rows()
+            # and exactly what was stored for this (epoch, plan) — never
+            # an entry from another epoch
+            assert hit is self.stored[(self.epoch, plan_key)]
+        else:
+            self.cache.put(self.epoch, plan_key, fresh)
+            self.stored[(self.epoch, plan_key)] = fresh
+
+    @rule(plan_key=_PLAN_KEYS)
+    def query_old_epoch(self, plan_key):
+        """Pinned snapshots may still read their own epoch's entries."""
+        old = self.epoch - 1
+        hit = self.cache.get(old, plan_key)
+        if hit is not None:
+            assert hit is self.stored[(old, plan_key)]
+            assert hit.to_rows() == _recompute(old, plan_key).to_rows()
+
+    @rule()
+    def ingest(self):
+        """Epoch bump: the writer published a new version."""
+        self.epoch = next_epoch_id()
+        self.cache.on_epoch_published(self.epoch)
+        cutoff = self.epoch - max(1, self.config.keep_epochs)
+        assert all(epoch > cutoff for epoch, _ in self.cache.keys())
+
+    @rule()
+    def clear(self):
+        self.cache.clear()
+        assert len(self.cache) == 0
+        assert self.cache.current_bytes == 0
+
+    @rule(plan_key=_PLAN_KEYS)
+    def oversize_rejected(self, plan_key):
+        """A result bigger than the whole budget must not evict the world."""
+        big = Table.from_rows(
+            [{"pad": "x" * 512, "i": i} for i in range(64)]
+        )
+        assert estimate_result_bytes(big) > self.config.max_bytes
+        before = self.cache.keys()
+        self.cache.put(self.epoch, f"{plan_key}__huge", big)
+        assert self.cache.get(self.epoch, f"{plan_key}__huge") is None
+        assert self.cache.keys() == before
+
+    @invariant()
+    def budgets_hold(self):
+        assert len(self.cache) <= self.config.max_entries
+        assert self.cache.current_bytes <= self.config.max_bytes
+
+    @invariant()
+    def stale_epochs_never_current(self):
+        """No current-epoch get can ever see another epoch's entry."""
+        for plan_key in ("q_age", "q_gender"):
+            hit = self.cache.get(self.epoch, plan_key)
+            if hit is not None:
+                assert (self.epoch, plan_key) in self.stored
+                assert hit is self.stored[(self.epoch, plan_key)]
+
+
+CacheModel.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestCacheModel = CacheModel.TestCase
+
+
+def test_hit_rate_and_counters_track_traffic():
+    cache = ResultCache(CacheConfig(max_entries=8, max_bytes=1 << 20))
+    epoch = next_epoch_id()
+    table = _recompute(epoch, "q_age")
+    assert cache.get(epoch, "q_age") is None
+    cache.put(epoch, "q_age", table)
+    assert cache.get(epoch, "q_age") is table
+    snap = cache.stats_snapshot()
+    assert snap["hits"] == 1 and snap["misses"] == 1 and snap["stores"] == 1
+    assert snap["hit_rate"] == 0.5
+
+
+def test_lru_eviction_prefers_stale_entries():
+    cache = ResultCache(CacheConfig(max_entries=3, max_bytes=1 << 20))
+    epoch = next_epoch_id()
+    for i in range(3):
+        cache.put(epoch, f"q{i}", _recompute(epoch, f"q{i}"))
+    cache.get(epoch, "q0")  # refresh q0: q1 becomes LRU
+    cache.put(epoch, "q3", _recompute(epoch, "q3"))
+    present = {plan for _, plan in cache.keys()}
+    assert present == {"q0", "q2", "q3"}
