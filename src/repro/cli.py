@@ -13,7 +13,10 @@ Commands:
   durable system (``list`` / ``show <id>`` / ``redrive [--set k=v]``);
 * ``serve-bench`` — serving load harness: result-cache speedup, parallel
   lattice materialisation, and reader threads against a live writer;
-  writes ``BENCH_serving.json``.
+  writes ``BENCH_serving.json``;
+* ``bench-incremental`` — incremental maintenance harness: p50 delta
+  publish latency vs history scale and vs a full rebuild, plus the
+  delta/rebuild parity oracle; writes ``BENCH_incremental.json``.
 
 A cohort can come from ``--cohort file.csv`` (as written by ``generate``)
 or be simulated on the fly with ``--patients/--seed``.  Every command
@@ -249,6 +252,33 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_incremental(args: argparse.Namespace) -> int:
+    from repro.serving.bench_incremental import (
+        format_summary,
+        run_incremental_bench,
+    )
+
+    try:
+        scales = tuple(
+            sorted({int(part) for part in args.scales.split(",") if part})
+        )
+    except ValueError:
+        print(f"bad --scales {args.scales!r} (expected e.g. '1,10')",
+              file=sys.stderr)
+        return 2
+    payload = run_incremental_bench(
+        base_rows=args.rows,
+        delta_rows=args.delta_rows,
+        scales=scales,
+        repeats=args.repeats,
+        seed=args.seed,
+        out=args.out,
+    )
+    print(format_summary(payload))
+    print(f"full results written to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -370,6 +400,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="result JSON path (default ./BENCH_serving.json)",
     )
     serve.set_defaults(func=_cmd_serve_bench)
+
+    incremental = commands.add_parser(
+        "bench-incremental",
+        help="incremental maintenance harness: delta publish p50 vs "
+             "history scale, rebuild speedup and the parity oracle; "
+             "writes BENCH_incremental.json",
+    )
+    incremental.add_argument(
+        "--rows", type=int, default=20_000,
+        help="fact rows at scale 1x (default 20000)",
+    )
+    incremental.add_argument(
+        "--delta-rows", type=int, default=500,
+        help="rows per appended delta batch (default 500)",
+    )
+    incremental.add_argument(
+        "--scales", default="1,10",
+        help="comma-separated history multipliers (default '1,10')",
+    )
+    incremental.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed publishes per scale (default 5; p50 is reported)",
+    )
+    incremental.add_argument("--seed", type=int, default=7,
+                             help="synthetic data seed")
+    incremental.add_argument(
+        "--out", type=Path, default=Path("BENCH_incremental.json"),
+        help="result JSON path (default ./BENCH_incremental.json)",
+    )
+    incremental.set_defaults(func=_cmd_bench_incremental)
     return parser
 
 

@@ -16,6 +16,8 @@ from repro.errors import (
     ReproError,
 )
 from repro.discri.warehouse import DiscriWarehouse, build_discri_warehouse
+from repro.etl.incremental import commit_delta, run_delta
+from repro.etl.pipeline import AuditEntry
 from repro.etl.quarantine import (
     ListSink,
     QuarantinedRow,
@@ -37,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.olap.materialized import MaterializedCube
 from repro.optimize.consistency import ConsistencyReport, check_dimension_consistency
 from repro.prediction.trajectory import TrajectoryPredictor
+from repro.storage import faults
 from repro.storage.engine import StorageEngine
 from repro.storage.persistence import checkpoint as _checkpoint
 from repro.storage.persistence import recover as _recover
@@ -45,7 +48,9 @@ from repro.storage.wal import WriteAheadLog
 from repro.tabular.expressions import col
 from repro.tabular.table import Table
 from repro.viz.svg import crosstab_to_svg
+from repro.warehouse.dimension import UNKNOWN_KEY
 from repro.warehouse.feedback import FeedbackDimensionBuilder
+from repro.warehouse.star import SnowflakeDimension
 
 #: OLTP journal of folded feedback dimensions, used by :meth:`DDDGMS.recover`
 #: to replay the closed loop after a crash.
@@ -123,6 +128,7 @@ class DDDGMS:
         durable_root: "str | Path | None" = None,
         quarantine=None,
         ingest_chunk_rows: int = DEFAULT_INGEST_CHUNK_ROWS,
+        incremental: bool = True,
         _operational: StorageEngine | None = None,
     ):
         self.durable_root = Path(durable_root) if durable_root is not None else None
@@ -131,6 +137,18 @@ class DDDGMS:
         #: dead-letter sink; its presence switches ingest into resilient mode
         self.quarantine = quarantine
         self.ingest_chunk_rows = max(1, int(ingest_chunk_rows))
+        #: whether ingest may publish O(batch) delta epochs instead of
+        #: rebuilding the warehouse from scratch (it always *may* fall
+        #: back; ``False`` forces the full rebuild on every batch)
+        self.incremental = incremental
+        #: incremental-maintenance ledger, surfaced via :meth:`ingest_health`
+        self.maintenance: dict = {
+            "delta_publishes": 0,
+            "full_rebuilds": 0,
+            "retags": 0,
+            "last_fallback_reason": None,
+            "fallback_reasons": {},
+        }
         #: backoff schedule for transient faults at ingest boundaries
         self.retry_policy = RetryPolicy()
         #: retries performed so far, per ingest boundary
@@ -156,6 +174,14 @@ class DDDGMS:
                 # the canonical source is what the OLTP store accepted
                 source = self.operational_store.scan("attendances")
             self.source = source
+            #: delta-transformed batches not yet folded into the built
+            #: table; flushed lazily by :attr:`transformed`
+            self._pending_transformed: list[Table] = []
+            #: rows of ``attendances`` reflected in the analytical layers
+            #: vs. rows the OLTP store holds — divergence (an interrupted
+            #: batch) disqualifies the next delta publish
+            self._covered_rows = source.num_rows
+            self._oltp_rows = source.num_rows
             with obs.span("dgms.etl_and_warehouse"):
                 self._built: DiscriWarehouse = build_discri_warehouse(
                     source, quarantine=self.quarantine, batch="initial"
@@ -267,6 +293,40 @@ class DDDGMS:
                 continue
             system.fold_feedback(builder)
         return system
+
+    # ------------------------------------------------------------------
+    # Lazily-concatenated history views
+    # ------------------------------------------------------------------
+
+    @property
+    def source(self) -> Table:
+        """The raw visit history (delta batches concatenated on demand).
+
+        A delta ingest appends its batch as an O(1) block; the first
+        direct read folds the blocks into one table.  Published epochs
+        never read through here — they carry their own row blocks.
+        """
+        if len(self._source_parts) > 1:
+            self._source_parts = [Table.concat_all(self._source_parts)]
+        return self._source_parts[0]
+
+    @source.setter
+    def source(self, table: Table) -> None:
+        self._source_parts: list[Table] = [table]
+
+    def _source_columns(self) -> list[str]:
+        """Source column names without forcing the lazy concatenation."""
+        return self._source_parts[0].column_names
+
+    @property
+    def transformed(self) -> Table:
+        """The post-ETL visit table (delta batches folded in on read)."""
+        if self._pending_transformed:
+            self._built.etl_result.table = Table.concat_all(
+                [self._built.etl_result.table, *self._pending_transformed]
+            )
+            self._pending_transformed = []
+        return self._built.transformed
 
     # ------------------------------------------------------------------
     # Serving: epochs + result cache
@@ -444,7 +504,7 @@ class DDDGMS:
         self, similarity_attributes: Sequence[str] | None = None
     ) -> TrajectoryPredictor:
         """Time-course predictor over the transformed visit data."""
-        rows = self._built.transformed.to_rows()
+        rows = self.transformed.to_rows()
         return TrajectoryPredictor(
             rows,
             patient_key="patient_id",
@@ -507,7 +567,7 @@ class DDDGMS:
         rows: list[dict] | None = None,
     ) -> AWSumClassifier:
         """Fit AWSum on the transformed visit data (or a supplied slice)."""
-        data = rows if rows is not None else self._built.transformed.to_rows()
+        data = rows if rows is not None else self.transformed.to_rows()
         return AWSumClassifier(min_support=min_support).fit(
             data, target, list(features)
         )
@@ -517,7 +577,7 @@ class DDDGMS:
         rows: list[dict] | None = None,
     ) -> NaiveBayesClassifier:
         """Fit the default probabilistic classifier on visit data."""
-        data = rows if rows is not None else self._built.transformed.to_rows()
+        data = rows if rows is not None else self.transformed.to_rows()
         return NaiveBayesClassifier().fit(data, target, list(features))
 
     # ------------------------------------------------------------------
@@ -554,6 +614,8 @@ class DDDGMS:
         with self._writer_lock, obs.span(
             "dgms.fold_feedback", dimension=builder.name
         ):
+            prev_state = self.cube._state
+            old_lattice = self.cube.lattice
             if self.quarantine is None:
                 dimension = self.warehouse.fold_feedback(builder)
                 self._feedback_builders.append(builder)
@@ -561,7 +623,8 @@ class DDDGMS:
                 # the in-place fold never touches the published epoch's
                 # flat view; publishing moves readers to the folded state
                 state = self.cube.publish()
-                self._rematerialize_lattice()
+                if not self._retag_lattice(old_lattice, prev_state, state):
+                    self._rematerialize_lattice()
                 self._cache_epoch_published(state.epoch)
                 return dimension
 
@@ -575,22 +638,53 @@ class DDDGMS:
                 self._feedback_builders.append(builder)
             self._journal_fold(builder.name)
             state = self.cube.publish()
-            self._lattice_or_degrade()
+            if not self._retag_lattice(old_lattice, prev_state, state):
+                self._lattice_or_degrade()
             self._cache_epoch_published(state.epoch)
             if self.durable_root is not None:
                 self._with_retry("ingest.checkpoint", self._checkpoint_durable)
             return dimension
+
+    def _retag_lattice(self, old_lattice, prev_state, new_state) -> bool:
+        """Carry the lattice across a feedback fold without recomputing.
+
+        A fold appends a dimension *column*; every existing cell of every
+        materialised node is untouched, so the fresh lattice can simply be
+        retagged to the folded epoch.  Queries grouping by the new
+        dimension miss the lattice and scan — correct, just unaccelerated
+        until the next materialisation.
+        """
+        if (
+            not self.incremental
+            or self._lattice_groups is None
+            or old_lattice is None
+            or prev_state is None
+            or not old_lattice.fresh_for_state(prev_state)
+        ):
+            return False
+        self.cube.attach_lattice(old_lattice.retag(new_state))
+        self.maintenance["retags"] += 1
+        obs.count("dgms.fold.lattice_retag")
+        return True
 
     def ingest_visits(self, new_visits: Table, *, batch: str | None = None) -> int:
         """Accumulate a new batch of attendances (the screening clinic's
         yearly intake) and refresh every layer.
 
         The batch must carry the source schema with fresh ``visit_id``
-        values.  The operational store takes the rows transactionally; the
-        warehouse is rebuilt over the combined history (so cardinality
-        ordinals of returning patients stay correct) and previously folded
-        feedback dimensions are re-derived over the grown fact set.
-        Returns the number of ingested rows.
+        values.  The operational store takes the rows transactionally;
+        the analytical layers then refresh **incrementally** where
+        possible — the appended rows run through the delta form of the
+        ETL, append to the live star schema, and publish an O(batch)
+        delta epoch with the lattice folded forward — and fall back to
+        the full rebuild (combined-history ETL + warehouse + lattice
+        re-materialisation, with folded feedback re-derived) whenever the
+        delta algebra cannot express the change: schema/dimension drift,
+        fill-value or cardinality drift, an interrupted earlier batch, or
+        ``incremental=False``.  Both paths produce bit-identical query
+        answers; :meth:`ingest_health` reports which path each batch
+        took under ``"maintenance"``.  Returns the number of ingested
+        rows.
 
         Without a quarantine sink the batch is all-or-nothing (one bad row
         aborts and rolls back).  With one — :class:`DDDGMS` built with
@@ -619,11 +713,17 @@ class DDDGMS:
                 with self.operational_store.transaction():
                     for row in new_visits.iter_rows():
                         self.operational_store.insert("attendances", row)
+            self._oltp_rows += new_visits.num_rows
+            batch_tbl = new_visits.select(self._source_columns())
+            if self._try_ingest_delta(
+                batch_tbl, batch=f"batch-{self.data_version + 1}"
+            ):
+                self.data_version += 1
+                obs.count("dgms.ingest.batches")
+                return new_visits.num_rows
             # everything analytical builds in locals; readers keep serving
             # the published epoch until the commit block swaps the handles
-            source = self.source.append(
-                new_visits.select(self.source.column_names)
-            )
+            source = self.source.append(batch_tbl)
             with obs.span("dgms.ingest.rebuild"):
                 built = build_discri_warehouse(source)
                 cube = Cube(built.warehouse, managed=True)
@@ -636,11 +736,14 @@ class DDDGMS:
             self._rematerialize_lattice(cube)
             # commit
             self.source = source
+            self._pending_transformed = []
+            self._covered_rows = source.num_rows
             self._built = built
             self.warehouse = built.warehouse
             self.etl_audit = built.etl_result.audit
             self._commit_cube(cube)
             self.data_version += 1
+            self.maintenance["full_rebuilds"] += 1
             obs.count("dgms.ingest.batches")
         return new_visits.num_rows
 
@@ -648,7 +751,7 @@ class DDDGMS:
         with self._writer_lock, obs.span(
             "dgms.ingest", rows=new_visits.num_rows, batch=batch
         ):
-            rows = new_visits.select(self.source.column_names).to_rows()
+            rows = new_visits.select(self._source_columns()).to_rows()
             # Idempotent resume: rows that already landed (a committed
             # chunk of an interrupted run) are skipped, not duplicated.
             fresh: list[tuple[int, dict]] = []
@@ -661,13 +764,29 @@ class DDDGMS:
                     skipped += 1
                     continue
                 fresh.append((i, row))
-            accepted = 0
+            accepted_ids: list[object] = []
             with obs.span("dgms.ingest.oltp", rows=len(fresh), skipped=skipped):
                 for chunk in _chunks(fresh, self.ingest_chunk_rows):
-                    accepted += self._with_retry(
+                    chunk_ids = self._with_retry(
                         "ingest.oltp",
                         lambda chunk=chunk: self._write_chunk(chunk, batch),
                     )
+                    accepted_ids.extend(chunk_ids)
+                    # counted per committed chunk: a later crash leaves the
+                    # ledger showing the warehouse behind the OLTP store,
+                    # which disqualifies the next delta publish
+                    self._oltp_rows += len(chunk_ids)
+            accepted = len(accepted_ids)
+            if self._try_ingest_delta(
+                self._delta_batch_from_store(accepted_ids),
+                batch=batch,
+                resilient=True,
+            ):
+                self.data_version += 1
+                obs.count("dgms.ingest.batches")
+                if hasattr(self.quarantine, "__len__"):
+                    obs.set_gauge("ingest.quarantine.size", len(self.quarantine))
+                return accepted
             # analytical state builds in locals; a failed (permanent)
             # rebuild aborts the batch with the old epoch still serving
             source = self.operational_store.scan("attendances")
@@ -692,11 +811,15 @@ class DDDGMS:
                 self._with_retry("ingest.checkpoint", self._checkpoint_durable)
             # commit
             self.source = source
+            self._pending_transformed = []
+            self._covered_rows = source.num_rows
+            self._oltp_rows = source.num_rows
             self._built = built
             self.warehouse = built.warehouse
             self.etl_audit = built.etl_result.audit
             self._commit_cube(cube)
             self.data_version += 1
+            self.maintenance["full_rebuilds"] += 1
             obs.count("dgms.ingest.batches")
             if hasattr(self.quarantine, "__len__"):
                 obs.set_gauge("ingest.quarantine.size", len(self.quarantine))
@@ -704,14 +827,20 @@ class DDDGMS:
 
     # -- resilient-ingest plumbing --------------------------------------
 
-    def _write_chunk(self, chunk: list[tuple[int, dict]], batch: str) -> int:
-        """One retryable OLTP transaction; bad rows quarantine, not abort."""
-        accepted = 0
+    def _write_chunk(
+        self, chunk: list[tuple[int, dict]], batch: str
+    ) -> list[object]:
+        """One retryable OLTP transaction; bad rows quarantine, not abort.
+
+        Returns the ``visit_id`` of every accepted row, in write order —
+        the delta-ingest path re-fetches exactly these rows.
+        """
+        accepted: list[object] = []
         with self.operational_store.transaction():
             for index, row in chunk:
                 try:
                     self.operational_store.insert("attendances", row)
-                    accepted += 1
+                    accepted.append(row.get("visit_id"))
                 except ReproError as exc:
                     self.quarantine.add(
                         QuarantinedRow.from_error(
@@ -740,6 +869,259 @@ class DDDGMS:
     def _commit_staged(self, staged: ListSink) -> None:
         for entry in staged.entries:
             self.quarantine.add(entry)
+
+    # -- incremental maintenance (delta folding) -------------------------
+
+    def _delta_ineligible_reason(self, batch_rows: int) -> str | None:
+        """Why this batch cannot be published as a delta (None = it can).
+
+        The decision table of DESIGN.md "Incremental maintenance": any
+        schema/dimension drift, missing cross-batch ETL state, or a
+        warehouse that lags the OLTP store (an interrupted earlier batch)
+        forces the full rebuild.
+        """
+        if not self.incremental:
+            return "incremental maintenance disabled"
+        if self._built.loader is None:
+            return "warehouse build retained no loader"
+        if self._built.delta_state is None:
+            return self._built.delta_reason or "no cross-batch ETL state"
+        if self.cube._state is None:  # caller primes this; guard anyway
+            return "no published epoch to extend"
+        if self.cube._state.schema_version != self.cube._current_version():
+            return "dimension schema changed since the published epoch"
+        if self._covered_rows + batch_rows != self._oltp_rows:
+            return "warehouse lags the operational store (interrupted batch)"
+        return None
+
+    def _note_delta_fallback(self, reason: str) -> None:
+        self.maintenance["last_fallback_reason"] = reason
+        per: dict = self.maintenance["fallback_reasons"]
+        per[reason] = per.get(reason, 0) + 1
+        obs.count("dgms.ingest.delta_fallback")
+
+    def _delta_batch_from_store(self, accepted_ids: list[object]) -> Table:
+        """Fetch the accepted rows back from the OLTP store, scan-identical.
+
+        The full-rebuild path sources from ``scan("attendances")``, so a
+        delta batch must carry exactly the values the engine stored — any
+        coercion the insert applied included — or the parity oracle would
+        diverge on the next full rebuild.
+        """
+        columns = self._source_columns()
+        schema = {
+            name: self._source_parts[0].schema[name] for name in columns
+        }
+        rows = []
+        for vid in accepted_ids:
+            stored = self.operational_store.get_by_pk("attendances", vid)
+            if stored is None:  # pragma: no cover - just inserted
+                raise IngestError(f"accepted visit {vid!r} vanished")
+            rows.append({name: stored.get(name) for name in columns})
+        return Table.from_rows(rows, schema=schema)
+
+    def _try_ingest_delta(
+        self, batch_tbl: Table, *, batch: str, resilient: bool = False
+    ) -> bool:
+        """Attempt an O(batch) delta publish; ``False`` → caller rebuilds.
+
+        Runs the incremental ETL over just the appended rows, loads them
+        into the *live* star schema (readers are safe: published epochs
+        snapshot their row blocks), flattens only the appended fact
+        slice, publishes a delta epoch and folds the lattice forward.
+        Every ineligible or surprising condition falls back to the full
+        rebuild instead of guessing — the fallback is always correct.
+        """
+        if self.cube._state is None and self.incremental:
+            # nothing published yet (no query ran): pin the pre-batch
+            # epoch now so there is a base to extend — the flatten costs
+            # what the fallback rebuild would have paid anyway, and the
+            # warehouse does not yet contain this batch's rows
+            self.cube._current_state()
+        reason = self._delta_ineligible_reason(batch_tbl.num_rows)
+        if reason is None:
+            base = self._source_parts[0]
+            if (
+                batch_tbl.column_names != base.column_names
+                or batch_tbl.schema != base.schema
+            ):
+                reason = "batch schema differs from the source history"
+        if reason is not None:
+            self._note_delta_fallback(reason)
+            return False
+        state = self._built.delta_state
+        prev_state = self.cube._state
+        old_lattice = self.cube.lattice
+        staged = ListSink() if resilient else None
+        try:
+            with obs.span("dgms.ingest.delta", rows=batch_tbl.num_rows):
+                outcome = run_delta(
+                    state, batch_tbl, resilient=resilient, batch_tag=batch
+                )
+                if outcome.fallback_reason is not None:
+                    self._note_delta_fallback(outcome.fallback_reason)
+                    return False
+                delta_tbl = outcome.table
+                loader = self._built.loader
+                fact_start = loader.schema.fact.num_rows
+                report = loader.load(
+                    delta_tbl,
+                    quarantine=staged,
+                    batch=batch,
+                    source_indices=outcome.kept_indices,
+                    extra_keys=self._feedback_key_resolver(),
+                )
+                if report.quarantined_indices:
+                    dropped = set(report.quarantined_indices)
+                    delta_tbl = delta_tbl.take(
+                        [
+                            i
+                            for i in range(delta_tbl.num_rows)
+                            if i not in dropped
+                        ]
+                    )
+                delta_flat = loader.schema.flatten(start=fact_start)
+                new_state = self.cube.publish_delta(delta_flat)
+        except Exception as exc:  # noqa: BLE001 - fallback must be total
+            # any failure before the publish leaves readers on the old
+            # epoch; the full rebuild replaces the (possibly partially
+            # loaded) warehouse wholesale, so nothing leaks
+            self._note_delta_fallback(f"{type(exc).__name__}: {exc}")
+            return False
+        # -- committed: the delta epoch is published ----------------------
+        commit_delta(state, outcome)
+        self._source_parts.append(batch_tbl)
+        self._covered_rows += batch_tbl.num_rows
+        self._pending_transformed.append(delta_tbl)
+        self.etl_audit.append(
+            AuditEntry(
+                "delta",
+                outcome.audit
+                or f"batch {batch!r}: +{delta_tbl.num_rows} rows",
+            )
+        )
+        if staged is not None:
+            entries = list(outcome.quarantined) + list(staged.entries)
+            if entries:
+                self._with_retry(
+                    "ingest.quarantine",
+                    lambda: [self.quarantine.add(e) for e in entries],
+                )
+        self._cache_epoch_published(new_state.epoch)
+        self.maintenance["delta_publishes"] += 1
+        obs.count("dgms.ingest.delta_publish")
+        self._fold_lattice_forward(
+            old_lattice, prev_state, new_state, delta_flat
+        )
+        if self.durable_root is not None:
+            self._with_retry("ingest.checkpoint", self._checkpoint_durable)
+        return True
+
+    def _fold_lattice_forward(
+        self, old_lattice, prev_state, new_state, delta_flat: Table
+    ) -> None:
+        """Carry the materialised lattice to the delta epoch.
+
+        Folds per-node aggregate deltas into the previous epoch's node
+        tables (the O(batch) path).  A stale or missing lattice is fully
+        re-materialised instead; in resilient mode a permanently failing
+        fold degrades to un-materialised queries, exactly like
+        :meth:`_lattice_or_degrade`.
+        """
+        if self._lattice_groups is None:
+            return
+        if old_lattice is None or not old_lattice.fresh_for_state(prev_state):
+            # nothing valid to fold forward — rebuild from scratch
+            if self.quarantine is None:
+                self._rematerialize_lattice()
+            else:
+                self._lattice_or_degrade()
+            return
+
+        def fold():
+            faults.fire("lattice.delta_merge")
+            return old_lattice.fold_delta(new_state, delta_flat)
+
+        if self.quarantine is None:
+            self.cube.attach_lattice(fold())
+            return
+        try:
+            folded = self._with_retry("lattice.delta_merge", fold)
+        except PermanentIngestError as exc:
+            self.cube.detach_lattice()
+            self.degraded["lattice"] = str(exc)
+            obs.count("ingest.degraded")
+            warnings.warn(
+                f"lattice delta-merge failed; queries fall back to "
+                f"un-materialised scans until the next successful ingest: "
+                f"{exc}",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        else:
+            self.cube.attach_lattice(folded)
+            self.degraded.pop("lattice", None)
+
+    def _feedback_key_resolver(self):
+        """Surrogate-key resolver for folded feedback dimensions.
+
+        A delta load feeds the loader's original dimension specs, but the
+        fact grain may have grown feedback dimensions since; this closure
+        replays each remembered builder's predicate rules over the
+        would-be flattened row — base dimensions, measures, then earlier
+        feedback verdicts, exactly the order a full-rebuild replay sees —
+        and returns the extra ``{dimension: key}`` entries.
+        """
+        builders = list(self._feedback_builders)
+        if not builders:
+            return None
+        loader = self._built.loader
+        schema = loader.schema
+
+        def resolve(source_row: dict, keys: dict) -> dict:
+            flat_row: dict[str, object] = {}
+            for dim_name, key in keys.items():
+                dimension = schema.dimensions[dim_name]
+                member = (
+                    dimension.member_resolved(key)
+                    if isinstance(dimension, SnowflakeDimension)
+                    else dimension.member(key)
+                )
+                for attr, value in member.items():
+                    flat_row[f"{dim_name}.{attr}"] = value
+            for measure in loader.measures:
+                flat_row[measure.name] = source_row.get(
+                    loader.measure_columns[measure.name]
+                )
+            extra: dict[str, int] = {}
+            for builder in builders:
+                dimension = schema.dimensions.get(builder.name)
+                if dimension is None:  # pragma: no cover - fold journals it
+                    continue
+                key = UNKNOWN_KEY
+                for entry in builder.entries:
+                    if entry.predicate(flat_row):
+                        key = dimension.add_member(
+                            {
+                                builder.attribute: entry.label,
+                                "author": entry.author,
+                                "rationale": entry.rationale,
+                            }
+                        )
+                        break
+                extra[builder.name] = key
+                # later builders may reference this verdict, mirroring the
+                # full replay where each fold flattens the previous ones
+                member = (
+                    dimension.member(key)
+                    if key != UNKNOWN_KEY
+                    else {attr: None for attr in dimension.attributes}
+                )
+                for attr, value in member.items():
+                    flat_row[f"{builder.name}.{attr}"] = value
+            return extra
+
+        return resolve
 
     def _replay_feedback(self, warehouse) -> None:
         for builder in self._feedback_builders:
@@ -822,6 +1204,11 @@ class DDDGMS:
             "wal_committed_seq": self.operational_store.wal.committed_seq,
             "data_version": self.data_version,
             "epoch": self.epoch,
+            "incremental": self.incremental,
+            "maintenance": {
+                **self.maintenance,
+                "fallback_reasons": dict(self.maintenance["fallback_reasons"]),
+            },
             "result_cache": (
                 self._result_cache.stats_snapshot()
                 if self._result_cache is not None
@@ -853,7 +1240,7 @@ class DDDGMS:
             for entry in entries:
                 row = {
                     name: entry.row.get(name)
-                    for name in self.source.column_names
+                    for name in self._source_columns()
                 }
                 vid = row.get("visit_id")
                 if vid is None:
@@ -876,12 +1263,17 @@ class DDDGMS:
             self._commit_staged(staged)
             self._replay_feedback(built.warehouse)
             self._lattice_or_degrade(cube)
-            # commit
+            # commit — a redrive rewrites history (repaired rows change
+            # earlier batches), so it is always a full rebuild
             self.source = source
+            self._pending_transformed = []
+            self._covered_rows = source.num_rows
+            self._oltp_rows = source.num_rows
             self._built = built
             self.warehouse = built.warehouse
             self.etl_audit = built.etl_result.audit
             self._commit_cube(cube)
+            self.maintenance["full_rebuilds"] += 1
             still_bad = {e.row.get("visit_id") for e in staged.entries}
             return [
                 e.entry_id
@@ -911,8 +1303,3 @@ class DDDGMS:
 
         lattice = MaterializedCube(cube).materialize(self._lattice_groups)
         cube.attach_lattice(lattice)
-
-    @property
-    def transformed(self) -> Table:
-        """The post-ETL visit table."""
-        return self._built.transformed

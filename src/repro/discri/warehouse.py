@@ -23,6 +23,7 @@ from repro.discri.schemes import (
     LYING_DBP_SCHEME,
 )
 from repro.etl.cleaning import MissingValuePolicy, RangeRule
+from repro.etl.incremental import EtlDeltaState, capture_etl_state
 from repro.etl.pipeline import (
     CardinalityStep,
     CleaningStep,
@@ -213,6 +214,17 @@ class DiscriWarehouse:
     #: source rows diverted to quarantine across ETL + load (0 if strict)
     rows_quarantined: int = 0
 
+    #: the loader that built the star schema — retained so delta ingests
+    #: can append facts to the same dimensions instead of rebuilding
+    loader: WarehouseLoader | None = None
+
+    #: cross-batch ETL state for incremental maintenance (None when the
+    #: pipeline shape is ineligible; see :mod:`repro.etl.incremental`)
+    delta_state: "EtlDeltaState | None" = None
+
+    #: why no delta state was captured (None when ``delta_state`` is set)
+    delta_reason: str | None = None
+
     @property
     def transformed(self) -> Table:
         """The post-ETL visit table (wide, with bands and cardinality)."""
@@ -234,7 +246,12 @@ def build_discri_warehouse(
     actually landed in the fact table, with the transformed table pruned
     to match.
     """
-    result = discri_pipeline().run(source, quarantine=quarantine, batch=batch)
+    pipeline = discri_pipeline()
+    result = pipeline.run(source, quarantine=quarantine, batch=batch)
+    # Capture the cross-batch ETL state *before* load pruning: cardinality
+    # ordinals are assigned to every post-ETL row whether or not it later
+    # survives the load, and dedup/fill statistics see the raw source.
+    delta_state, delta_reason = capture_etl_state(pipeline, source, result.table)
     loader = WarehouseLoader(
         "discri", "medical_measures", _dimensions(), _measures()
     )
@@ -261,4 +278,7 @@ def build_discri_warehouse(
         result,
         kept,
         rows_quarantined=len(result.quarantined) + report.rows_quarantined,
+        loader=loader,
+        delta_state=delta_state,
+        delta_reason=delta_reason,
     )

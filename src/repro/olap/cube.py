@@ -43,26 +43,78 @@ class CubeState:
     consistent old snapshot rather than a mix of versions.
     """
 
-    __slots__ = ("epoch", "schema_version", "flat", "qattrs", "groupbys", "lock")
+    __slots__ = (
+        "epoch", "schema_version", "qattrs", "groupbys", "lock",
+        "_flat", "_parts",
+    )
 
     def __init__(
         self,
         epoch: int,
         schema_version: int,
-        flat: Table,
+        flat: Table | None,
         qattrs: dict[str, tuple[str, str]],
+        *,
+        parts: Sequence[Table] | None = None,
     ):
+        if flat is None and not parts:
+            raise OLAPError("CubeState needs a flat view or parts to build one")
         self.epoch = epoch
         self.schema_version = schema_version
-        self.flat = flat
+        #: either the materialised flat view, or None while ``_parts``
+        #: holds the predecessor's view plus appended row blocks — a
+        #: delta publish stays O(batch) and the concatenation happens on
+        #: the first read that actually needs the full view
+        self._flat = flat
+        self._parts: list[Table] | None = (
+            list(parts) if flat is None else None
+        )
         self.qattrs = qattrs
         self.groupbys: dict[tuple[str, ...], GroupBy] = {}
         self.lock = threading.Lock()
 
+    @property
+    def flat(self) -> Table:
+        """The epoch's flat view (concatenated on first access if lazy)."""
+        flat = self._flat
+        if flat is None:
+            with self.lock:
+                flat = self._flat
+                if flat is None:
+                    flat = Table.concat_all(self._parts)  # type: ignore[arg-type]
+                    self._flat = flat
+        return flat
+
+    @property
+    def num_rows(self) -> int:
+        """Row count of the flat view, without forcing a lazy concat."""
+        if self._flat is not None:
+            return self._flat.num_rows
+        with self.lock:
+            if self._flat is not None:
+                return self._flat.num_rows
+            return sum(part.num_rows for part in self._parts)  # type: ignore[union-attr]
+
+    def flat_is(self, table: Table) -> bool:
+        """Identity test against the materialised flat view.
+
+        False while the view is still lazy — callers comparing flat-view
+        identity (the pre-epoch freshness API) then conservatively treat
+        the state as different.
+        """
+        return self._flat is not None and self._flat is table
+
+    def parts_snapshot(self) -> list[Table]:
+        """The row blocks a successor epoch extends (thread-safe)."""
+        with self.lock:
+            if self._flat is not None:
+                return [self._flat]
+            return list(self._parts)  # type: ignore[arg-type]
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"CubeState(epoch={self.epoch}, v{self.schema_version}, "
-            f"{self.flat.num_rows} rows, {len(self.groupbys)} groupbys)"
+            f"{self.num_rows} rows, {len(self.groupbys)} groupbys)"
         )
 
 
@@ -186,6 +238,54 @@ class Cube:
         """
         with self._rebuild_lock:
             return self._build_state()
+
+    def publish_delta(self, delta_flat: Table) -> CubeState:
+        """Publish the next epoch by *extending* the current flat view.
+
+        The incremental-maintenance publish path: ``delta_flat`` holds the
+        flattened form of exactly the fact rows appended since the current
+        epoch (same column layout).  The new state references the old
+        epoch's row blocks plus the delta and concatenates lazily, so the
+        publish itself is O(batch) — the whole point of delta folding.
+        Readers pinned to the old epoch are untouched.
+
+        Only valid for appends under an unchanged schema; dimension
+        changes (a different qualified-attribute set) must go through
+        :meth:`publish` instead.
+        """
+        with self._rebuild_lock:
+            prev = self._state
+            if prev is None:
+                return self._build_state()
+            version = self._current_version()
+            if version != prev.schema_version:
+                raise OLAPError(
+                    "publish_delta on a changed schema "
+                    f"(v{prev.schema_version} -> v{version}): full publish "
+                    "required"
+                )
+            parts = prev.parts_snapshot()
+            if delta_flat.num_rows:
+                if (
+                    delta_flat.column_names != parts[0].column_names
+                    or delta_flat.schema != parts[0].schema
+                ):
+                    raise OLAPError(
+                        "publish_delta: appended rows do not match the "
+                        "epoch's flat-view schema; full publish required"
+                    )
+                parts.append(delta_flat)
+            state = CubeState(
+                epoch=next_epoch_id(),
+                schema_version=version,
+                flat=None,
+                qattrs=prev.qattrs,
+                parts=parts,
+            )
+            self._state = state
+            obs.count("olap.flat.delta_publish")
+            obs.set_gauge("serving.epoch", state.epoch)
+            return state
 
     def refresh(self) -> None:
         """Force a rebuild of the flattened view (and dependent caches).
@@ -380,7 +480,7 @@ class Cube:
                 if cached is not None:
                     sp.set(cells=cached.num_rows)
                     return cached
-            if lattice is not None and lattice.fresh_for(state.flat):
+            if lattice is not None and lattice.fresh_for_state(state):
                 result = lattice.aggregate(
                     qualified, aggregations, filters=filters, force=force,
                     state=state,
@@ -508,7 +608,7 @@ class CubeSnapshot:
         # only carry a lattice that was materialised from this very epoch
         self._lattice = (
             lattice
-            if lattice is not None and lattice.fresh_for(state.flat)
+            if lattice is not None and lattice.fresh_for_state(state)
             else None
         )
         self.name = cube.name

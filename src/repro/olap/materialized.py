@@ -71,8 +71,8 @@ class MaterializedCube:
         self.cube = cube
         self._nodes: list[_Node] = []
         self.stats = LatticeStats()
-        #: identity of the flat view the nodes were computed from
-        self._flat_ref: Table | None = None
+        #: the epoch the nodes were computed from (None until materialised)
+        self._pinned_state: CubeState | None = None
 
     # ------------------------------------------------------------------
     # Materialisation
@@ -103,6 +103,12 @@ class MaterializedCube:
         level_groups = [list(group) for group in level_groups]
         # pin one epoch: every node describes the same committed flat view
         state = self.cube._current_state()
+        if self._pinned_state is not None and state is not self._pinned_state:
+            # the cube moved on since the last materialisation: nodes built
+            # from the older epoch would silently mix stale cells into the
+            # fresh lattice, so they are dropped, not extended
+            obs.count("olap.lattice.stale_nodes_dropped", len(self._nodes))
+            self._nodes = []
         workers = resolve_workers(max_workers)
         with obs.span(
             "lattice.materialize", nodes=len(level_groups), workers=workers
@@ -136,28 +142,102 @@ class MaterializedCube:
             # (stable sort over the deterministic input order, so the node
             # list is identical for any worker count)
             self._nodes.sort(key=lambda node: node.table.num_rows)
-            self._flat_ref = state.flat
+            self._pinned_state = state
             sp.set(cells=self.storage_cells())
         obs.set_gauge("olap.lattice.cells", self.storage_cells())
         return self
 
+    def fresh_for_state(self, state: CubeState) -> bool:
+        """True if the nodes describe exactly this epoch.
+
+        Epoch states are immutable once published, so identity comparison
+        is an exact staleness test: a lattice only answers for the epoch
+        it was materialised from (or delta-folded / retagged to).
+        """
+        return bool(self._nodes) and state is self._pinned_state
+
     def fresh_for(self, flat: Table) -> bool:
         """True if the nodes were computed from exactly this flat view.
 
-        The flat view is rebuilt (as a new object) whenever the underlying
-        warehouse changes, so identity comparison is an exact staleness
-        test — and, under snapshot isolation, also an exact *epoch* test:
-        a lattice only answers for the epoch it was materialised from.
+        Identity test against the pinned epoch's flat view, without
+        forcing a lazily-extended epoch to materialise its concatenation.
         """
-        return bool(self._nodes) and flat is self._flat_ref
+        return (
+            bool(self._nodes)
+            and self._pinned_state is not None
+            and self._pinned_state.flat_is(flat)
+        )
 
     def is_fresh(self) -> bool:
-        """True while the nodes still describe the cube's current facts.
+        """True while the nodes still describe the cube's current epoch.
 
         A stale lattice silently stops answering and the cube falls back
-        to base scans until re-materialised.
+        to base scans until re-materialised (or delta-folded forward).
         """
-        return self.fresh_for(self.cube.flat)
+        return self.fresh_for_state(self.cube._current_state())
+
+    def fold_delta(
+        self, new_state: CubeState, delta_flat: Table
+    ) -> "MaterializedCube":
+        """A new lattice for ``new_state`` by folding appended rows in.
+
+        ``delta_flat`` must contain exactly the rows appended between the
+        pinned epoch and ``new_state`` (same flat-view schema).  Each node
+        aggregates only the delta at its grain and merges the cells into
+        its existing table — O(delta + cells) instead of O(history).  The
+        old lattice is left untouched, still answering for readers pinned
+        to the old epoch; the returned lattice carries fresh stats.
+
+        Only valid for pure appends — the min/max recheck rule: deletes or
+        updates could retire a current extremum invisibly, so those paths
+        must full-rebuild instead (see :mod:`repro.olap.delta`).
+        """
+        from repro.olap.delta import delta_node_table, merge_node_tables
+
+        folded = MaterializedCube(self.cube)
+        with obs.span(
+            "lattice.delta_fold",
+            nodes=len(self._nodes),
+            delta_rows=delta_flat.num_rows,
+        ) as sp:
+            nodes: list[_Node] = []
+            for node in self._nodes:
+                if delta_flat.num_rows == 0:
+                    table = node.table
+                else:
+                    delta = delta_node_table(
+                        delta_flat, node.levels, node.measures
+                    )
+                    table = merge_node_tables(
+                        node.table, delta, node.levels, node.measures
+                    )
+                nodes.append(_Node(node.levels, table, node.measures))
+            # same ordering invariant as materialize(): smallest node first
+            nodes.sort(key=lambda node: node.table.num_rows)
+            folded._nodes = nodes
+            folded._pinned_state = new_state
+            sp.set(cells=folded.storage_cells())
+        obs.set_gauge("olap.lattice.cells", folded.storage_cells())
+        return folded
+
+    def retag(self, new_state: CubeState) -> "MaterializedCube":
+        """A new lattice serving the same node tables for ``new_state``.
+
+        Valid only when the new epoch's flat view carries identical rows
+        for every materialised level and measure — e.g. after a feedback
+        fold, which appends a dimension *column* but leaves every existing
+        cell untouched.  Queries over the new dimension are simply not
+        covered and fall back to the base scan.
+        """
+        retagged = MaterializedCube(self.cube)
+        retagged._nodes = list(self._nodes)
+        retagged._pinned_state = new_state
+        return retagged
+
+    @property
+    def pinned_epoch(self) -> int | None:
+        """Epoch id the nodes answer for (None before materialisation)."""
+        return self._pinned_state.epoch if self._pinned_state is not None else None
 
     @property
     def nodes(self) -> list[tuple[tuple[str, ...], int]]:
@@ -195,6 +275,17 @@ class MaterializedCube:
         aggregations = dict(
             aggregations or {self.RECORDS: (self.RECORDS, "size")}
         )
+        if state is not None and state is not self._pinned_state:
+            # Epoch guard: a reader holding an older (or newer) snapshot
+            # must not be answered from this epoch's cells — scan its own
+            # pinned flat view instead.
+            self.stats.fallbacks += 1
+            obs.count("olap.lattice.fallback")
+            obs.count("olap.lattice.epoch_mismatch")
+            return self.cube._aggregate_base(
+                qualified, aggregations, filters=filters, force=force,
+                state=state,
+            )
 
         with obs.span("lattice.lookup", levels=",".join(qualified)) as sp:
             node = self._covering_node(qualified, aggregations, filters)
@@ -313,6 +404,22 @@ class MaterializedCube:
 
         from repro.tabular.groupby import AGGREGATORS
 
+        if cells.num_rows == 0:
+            # A filter eliminated every cell.  The base cube's grand total
+            # over zero fact rows yields 0 for the counting aggregates
+            # (``size``/``count`` short-circuit to 0) and null for value
+            # aggregates — summing the lattice's ``__records``/``__count``
+            # columns over an empty slice must reproduce exactly that,
+            # not kernel-dependent empty-slice behaviour.
+            return {
+                out: (
+                    0
+                    if func == "sum"
+                    and (source == "__records" or source.endswith("__count"))
+                    else None
+                )
+                for out, (source, func) in request.items()
+            }
         indices = np.arange(cells.num_rows)
         return {
             out: AGGREGATORS[func](cells.column(source), indices)

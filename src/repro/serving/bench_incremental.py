@@ -1,0 +1,193 @@
+"""The ``bench-incremental`` harness (``python -m repro bench-incremental``).
+
+Measures the incremental-maintenance claim (DESIGN.md §"Incremental
+maintenance") and records it in ``BENCH_incremental.json``: publishing a
+fixed-size delta batch costs O(batch + touched cells) regardless of how
+much history the cube already holds, while a full rebuild re-scans the
+whole fact table and grows linearly.
+
+For each history scale (1x, 10x, … the base row count) the harness
+
+* loads a star schema at that scale and materialises a lattice;
+* repeatedly appends a fixed-size delta batch and times the **delta
+  publish** — flatten of the appended slice, ``Cube.publish_delta`` and
+  ``MaterializedCube.fold_delta`` — reporting the p50;
+* times a **full rebuild** at the same scale — a from-scratch epoch
+  build plus a fresh lattice materialisation — for the same p50;
+* checks the parity oracle: the delta-folded lattice must be
+  bit-identical to a from-scratch materialisation (the measures are
+  integers, so even sums admit no rounding escape hatch).
+
+The two headline numbers the CI gate reads:
+
+* ``flatness_ratio`` — p50 delta publish at the largest scale over the
+  smallest; the delta path passes when this stays within 1.5x while the
+  history grows 10x;
+* ``speedup_at_max_scale`` — full-rebuild p50 over delta p50 at the
+  largest scale; the gate requires ≥ 3x.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.olap.cube import Cube
+from repro.olap.materialized import MaterializedCube
+from repro.tabular.table import Table
+from repro.warehouse.dimension import Dimension
+from repro.warehouse.fact import Measure
+from repro.warehouse.loader import DimensionSpec, WarehouseLoader
+
+#: the synthetic star's lattice — mirrors the figure-shaped roll-ups
+GROUPS: tuple[tuple[str, ...], ...] = (
+    ("place.site",),
+    ("place.site", "when.year"),
+    ("place.ward", "when.month"),
+    ("cohort.band", "when.year"),
+    ("place.site", "cohort.band"),
+)
+
+
+def _rows(rng: np.random.Generator, n: int) -> Table:
+    return Table.from_columns(
+        {
+            "site": [f"s{int(v)}" for v in rng.integers(0, 12, n)],
+            "ward": [f"w{int(v)}" for v in rng.integers(0, 8, n)],
+            "month": [int(v) for v in rng.integers(1, 13, n)],
+            "year": [int(v) for v in rng.integers(2005, 2013, n)],
+            "band": [f"b{int(v)}" for v in rng.integers(0, 6, n)],
+            "stays": [int(v) for v in rng.integers(0, 50, n)],
+            "score": [int(v) for v in rng.integers(0, 1000, n)],
+        }
+    )
+
+
+def _loader() -> WarehouseLoader:
+    return WarehouseLoader(
+        "load", "visits",
+        [
+            DimensionSpec(Dimension("place", {"site": "str", "ward": "str"})),
+            DimensionSpec(Dimension("when", {"month": "int", "year": "int"})),
+            DimensionSpec(Dimension("cohort", {"band": "str"})),
+        ],
+        [Measure.of("stays", "int", "sum", additive=True),
+         Measure.of("score", "int", "sum", additive=True)],
+    )
+
+
+def _bench_scale(
+    scale: int, base_rows: int, delta_rows: int, repeats: int, seed: int
+) -> dict:
+    rng = np.random.default_rng(seed + scale)
+    rows = base_rows * scale
+    loader = _loader()
+    loader.load(_rows(rng, rows))
+    cube = Cube(loader.schema, managed=True)
+    cube.publish()
+    groups = [list(g) for g in GROUPS]
+    lattice = MaterializedCube(cube).materialize(groups)
+
+    delta_times: list[float] = []
+    for _ in range(repeats):
+        batch = _rows(rng, delta_rows)
+        start_row = loader.schema.fact.num_rows
+        loader.load(batch)
+        start = time.perf_counter()
+        delta_flat = loader.schema.flatten(start=start_row)
+        state = cube.publish_delta(delta_flat)
+        lattice = lattice.fold_delta(state, delta_flat)
+        delta_times.append(time.perf_counter() - start)
+
+    rebuild_times: list[float] = []
+    for _ in range(repeats):
+        fresh = Cube(loader.schema, managed=True)
+        start = time.perf_counter()
+        fresh.publish()
+        MaterializedCube(fresh).materialize(groups)
+        rebuild_times.append(time.perf_counter() - start)
+
+    # parity oracle: the folded lattice vs a from-scratch materialisation
+    fresh_lattice = MaterializedCube(cube).materialize(groups)
+    parity = all(
+        a.levels == b.levels and a.table.equals(b.table)
+        for a, b in zip(lattice._nodes, fresh_lattice._nodes)
+    )
+    return {
+        "scale": scale,
+        "rows": rows,
+        "delta_rows": delta_rows,
+        "delta_publish_p50_s": round(statistics.median(delta_times), 6),
+        "delta_publish_runs_s": [round(t, 6) for t in delta_times],
+        "full_rebuild_p50_s": round(statistics.median(rebuild_times), 6),
+        "full_rebuild_runs_s": [round(t, 6) for t in rebuild_times],
+        "parity_ok": parity,
+    }
+
+
+def run_incremental_bench(
+    base_rows: int = 20_000,
+    delta_rows: int = 500,
+    scales: tuple[int, ...] = (1, 10),
+    repeats: int = 5,
+    seed: int = 7,
+    out: "Path | str" = "BENCH_incremental.json",
+) -> dict:
+    """Run every scale and write ``BENCH_incremental.json``."""
+    results = [
+        _bench_scale(scale, base_rows, delta_rows, repeats, seed)
+        for scale in sorted(scales)
+    ]
+    lo, hi = results[0], results[-1]
+    flatness = (
+        hi["delta_publish_p50_s"] / lo["delta_publish_p50_s"]
+        if lo["delta_publish_p50_s"] > 0 else None
+    )
+    speedup = (
+        hi["full_rebuild_p50_s"] / hi["delta_publish_p50_s"]
+        if hi["delta_publish_p50_s"] > 0 else None
+    )
+    payload = {
+        "bench": "incremental",
+        "config": {
+            "base_rows": base_rows,
+            "delta_rows": delta_rows,
+            "scales": list(sorted(scales)),
+            "repeats": repeats,
+            "seed": seed,
+            "nodes": len(GROUPS),
+        },
+        "cpu_count": os.cpu_count(),
+        "scales": results,
+        "flatness_ratio": round(flatness, 3) if flatness else None,
+        "speedup_at_max_scale": round(speedup, 2) if speedup else None,
+        "parity_ok": all(r["parity_ok"] for r in results),
+    }
+    path = Path(out)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def format_summary(payload: dict) -> str:
+    lines = ["== incremental maintenance =="]
+    for entry in payload["scales"]:
+        lines.append(
+            f"{entry['scale']:>4}x ({entry['rows']:>9,} rows): "
+            f"delta publish p50 {entry['delta_publish_p50_s'] * 1e3:8.2f} ms   "
+            f"full rebuild p50 {entry['full_rebuild_p50_s'] * 1e3:8.2f} ms"
+        )
+    lines.append(
+        f"flatness ratio (delta p50, max/min scale): "
+        f"{payload['flatness_ratio']}"
+    )
+    lines.append(
+        f"speedup at max scale (rebuild / delta): "
+        f"{payload['speedup_at_max_scale']}x"
+    )
+    lines.append(f"parity oracle: {'ok' if payload['parity_ok'] else 'FAILED'}")
+    return "\n".join(lines)

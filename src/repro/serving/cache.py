@@ -15,6 +15,13 @@ Budgeting is two-dimensional: an entry count cap and a byte budget
 (estimated from the result tables' column buffers).  Eviction is LRU.
 The cache is safe for concurrent readers and writers (one mutex around
 the ordered map; entries are immutable once stored).
+
+Incremental maintenance does not change any of this: a delta publish is
+a full-fledged new epoch, so its answers get fresh keys and the previous
+epoch's entries age out through the same ``keep_epochs`` window.  Delta
+epochs can be much more frequent than rebuild epochs (every append
+batch), so latency-sensitive deployments may want a wider
+``keep_epochs`` to keep pinned long-running readers warm.
 """
 
 from __future__ import annotations

@@ -13,6 +13,12 @@ cube a process ever publishes.  That makes the ids safe as result-cache
 key prefixes even when ingest replaces the whole ``Cube`` object (the
 same :class:`~repro.serving.cache.ResultCache` is re-attached to the new
 cube and old entries can never alias the new state).
+
+Delta publishes (:meth:`repro.olap.cube.Cube.publish_delta`, DESIGN.md
+§"Incremental maintenance") allocate epoch ids from this same counter:
+an incrementally extended state is a *new* epoch in every respect —
+snapshot pinning, cache keying, lattice freshness tagging — even though
+its flat view shares the previous epoch's buffers until first read.
 """
 
 from __future__ import annotations

@@ -124,13 +124,30 @@ class FactTable:
             count += 1
         return count
 
+    def _table_schema(self) -> dict[str, DType | str]:
+        schema: dict[str, DType | str] = {k: DType.INT for k in self.key_columns}
+        schema.update({m.name: m.dtype for m in self.measures.values()})
+        return schema
+
     def to_table(self) -> Table:
         """Materialise facts as a table (cached until the next insert)."""
         if self._cache is None:
-            schema: dict[str, DType | str] = {k: DType.INT for k in self.key_columns}
-            schema.update({m.name: m.dtype for m in self.measures.values()})
-            self._cache = Table.from_rows(self._rows, schema=schema)
+            self._cache = Table.from_rows(self._rows, schema=self._table_schema())
         return self._cache
+
+    def to_table_from(self, start: int) -> Table:
+        """Materialise only the fact rows appended at position ``start`` on.
+
+        The appended-row extraction behind incremental maintenance: a
+        delta load remembers ``num_rows`` before inserting, then flattens
+        just this slice.  Uncached — delta slices are small and transient.
+        """
+        if not 0 <= start <= len(self._rows):
+            raise WarehouseError(
+                f"fact slice start {start} out of range "
+                f"(0..{len(self._rows)})"
+            )
+        return Table.from_rows(self._rows[start:], schema=self._table_schema())
 
     def add_dimension_column(self, dim_name: str, default_key: int) -> None:
         """Extend the grain with a new dimension (dynamic model support).

@@ -104,6 +104,7 @@ class WarehouseLoader:
         quarantine=None,
         batch: str = "",
         source_indices: Sequence[int] | None = None,
+        extra_keys=None,
     ) -> LoadReport:
         """Load every source row as one fact, creating members as needed.
 
@@ -116,6 +117,12 @@ class WarehouseLoader:
         A row never half-loads: :meth:`FactTable.insert` validates before
         appending, and dimension members created for a failing row are
         reusable vocabulary, not facts.
+
+        ``extra_keys`` is an optional ``(source_row, keys_so_far) -> dict``
+        resolver for grain dimensions this loader's specs do not feed —
+        dynamically folded feedback dimensions during a *delta* load,
+        whose keys a full rebuild would only assign in the feedback-replay
+        pass.  Its result merges into the fact row's key set.
         """
         report = LoadReport()
         rows = source.to_rows()
@@ -131,6 +138,8 @@ class WarehouseLoader:
                         report.unknown_keys_per_dimension[name] = (
                             report.unknown_keys_per_dimension.get(name, 0) + 1
                         )
+                if extra_keys is not None:
+                    keys.update(extra_keys(row, keys))
                 values = {
                     m.name: row.get(self.measure_columns[m.name]) for m in self.measures
                 }

@@ -138,13 +138,17 @@ class StarSchema:
                 out[f"{dim_name}.{attr}"] = (dim_name, attr)
         return out
 
-    def flatten(self) -> Table:
+    def flatten(self, start: int = 0) -> Table:
         """Denormalise facts + all dimension attributes into one wide table.
 
         Column layout: each dimension attribute as ``dim.attr``, then each
         measure under its own name.  Unknown members contribute nulls.
+
+        ``start`` restricts the walk to fact rows appended at that
+        position on (the O(batch) flatten a delta publish needs); the
+        default flattens the full history.
         """
-        facts = self.fact.to_table()
+        facts = self.fact.to_table() if start == 0 else self.fact.to_table_from(start)
         columns: dict[str, Column] = {}
         for dim_name in self.fact.dimension_names:
             dimension = self.dimension(dim_name)

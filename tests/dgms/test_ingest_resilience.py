@@ -194,8 +194,12 @@ class TestDirtyBatch:
 
 class TestRetryAndDegradation:
     def test_transient_fault_heals_with_backoff(self, tmp_path):
+        # incremental=False: this exercises the full-rebuild boundary,
+        # which a delta publish legitimately never crosses
         source = _cohort()
-        system = DDDGMS(source, durable_root=tmp_path / "sys")
+        system = DDDGMS(
+            source, durable_root=tmp_path / "sys", incremental=False
+        )
         faults.install(
             FaultPlan([FaultRule("ingest.rebuild", mode="transient", nth=1)])
         )
@@ -217,8 +221,13 @@ class TestRetryAndDegradation:
             system.ingest_visits(_batch_for(source), batch="y2")
 
     def test_permanent_lattice_fault_degrades_then_recovers(self, tmp_path):
+        # incremental=False: ``ingest.lattice`` guards the full
+        # re-materialisation; the delta path's fold has its own boundary
+        # (``lattice.delta_merge``, tested in test_incremental.py)
         source = _cohort()
-        system = DDDGMS(source, durable_root=tmp_path / "sys")
+        system = DDDGMS(
+            source, durable_root=tmp_path / "sys", incremental=False
+        )
         system.materialize_lattice()
         faults.install(
             FaultPlan([FaultRule("ingest.lattice", mode="permanent", nth=1)])
