@@ -48,6 +48,12 @@ __all__ = [
     "CacheConfig",
     "ResultCache",
     "CubeSnapshot",
+    "ServingConfig",
+    "ServingRuntime",
+    "Deadline",
+    "ServingOverloadError",
+    "QueryTimeoutError",
+    "QueryCancelledError",
     "__version__",
 ]
 
@@ -80,6 +86,8 @@ def open_system(source, *, config: "SystemConfig | None" = None) -> "DDDGMS":
     system = DDDGMS(source, promotion_threshold=settings.promotion_threshold)
     if settings.cache is not None and settings.cache is not False:
         system.attach_result_cache(settings.cache)
+    if settings.serving is not None and settings.serving is not False:
+        system.attach_serving(settings.serving)
     if settings.materialize_lattice:
         system.materialize_lattice()
     return system
@@ -91,6 +99,12 @@ _LAZY_EXPORTS = {
     "CacheConfig": ("repro.serving.cache", "CacheConfig"),
     "ResultCache": ("repro.serving.cache", "ResultCache"),
     "CubeSnapshot": ("repro.olap.cube", "CubeSnapshot"),
+    "ServingConfig": ("repro.serving.admission", "ServingConfig"),
+    "ServingRuntime": ("repro.serving.admission", "ServingRuntime"),
+    "Deadline": ("repro.serving.resilience", "Deadline"),
+    "ServingOverloadError": ("repro.errors", "ServingOverloadError"),
+    "QueryTimeoutError": ("repro.errors", "QueryTimeoutError"),
+    "QueryCancelledError": ("repro.errors", "QueryCancelledError"),
 }
 
 

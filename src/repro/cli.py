@@ -16,7 +16,11 @@ Commands:
   writes ``BENCH_serving.json``;
 * ``bench-incremental`` — incremental maintenance harness: p50 delta
   publish latency vs history scale and vs a full rebuild, plus the
-  delta/rebuild parity oracle; writes ``BENCH_incremental.json``.
+  delta/rebuild parity oracle; writes ``BENCH_incremental.json``;
+* ``bench-overload`` — overload harness: admission-gate shed latency,
+  4x-oversubscribed readers under injected serving chaos with a
+  recompute oracle, and deadline enforcement under a stalled cache;
+  writes ``BENCH_overload.json``.
 
 A cohort can come from ``--cohort file.csv`` (as written by ``generate``)
 or be simulated on the fly with ``--patients/--seed``.  Every command
@@ -115,13 +119,39 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         system = DDDGMS(_load_cohort(args), quarantine=QuarantineStore())
     if args.lattice:
         system.materialize_lattice()
+    if args.serving:
+        system.attach_serving(True)
     _run_figure_workload(system)
 
     print("== metrics ==")
     print(obs.metrics().render())
     print("\n== ingest health ==")
-    for key, value in system.ingest_health().items():
+    health = system.ingest_health()
+    for key, value in health.items():
+        if key in ("maintenance", "serving"):
+            continue  # given their own sections below
         print(f"{key:<24} {value}")
+    print("\n== maintenance ==")
+    maintenance = health.get("maintenance") or {}
+    for key in sorted(maintenance):
+        print(f"{key:<24} {maintenance[key]}")
+    lattice = system.cube.lattice
+    if lattice is not None:
+        print("\n== lattice ==")
+        for key, value in lattice.snapshot().items():
+            print(f"{key:<24} {value}")
+        print(f"{'summary':<24} {lattice.stats.summary()}")
+    serving = health.get("serving")
+    if serving is not None:
+        print("\n== serving ==")
+        for key in sorted(serving["admission"]):
+            print(f"admission.{key:<14} {serving['admission'][key]}")
+        for name, snap in sorted(serving["breakers"].items()):
+            print(f"breaker.{name:<16} {snap['state']} "
+                  f"(failures={snap['failures']}, opens={snap['opens']}, "
+                  f"degrades_to={snap['degrades_to']})")
+    if health.get("degradations"):
+        print(f"\n{'degradations':<24} {','.join(health['degradations'])}")
     last = ring.last()
     if last is not None:
         print("\n== last span tree ==")
@@ -279,6 +309,24 @@ def _cmd_bench_incremental(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_overload(args: argparse.Namespace) -> int:
+    from repro.serving.bench_overload import (
+        format_summary,
+        run_overload_bench,
+    )
+
+    payload = run_overload_bench(
+        patients=args.patients,
+        seed=args.seed,
+        oversubscription=args.oversubscription,
+        duration_s=args.duration,
+        out=args.out,
+    )
+    print(format_summary(payload))
+    print(f"full results written to {args.out}")
+    return 0 if payload["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -338,6 +386,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--lattice", action="store_true",
         help="precompute the figure-shaped aggregate lattice first",
+    )
+    stats.add_argument(
+        "--serving", action="store_true",
+        help="attach default admission control + circuit breakers so the "
+             "serving section shows live gate/breaker state",
     )
     stats.add_argument(
         "--durable", type=Path, default=None,
@@ -430,6 +483,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="result JSON path (default ./BENCH_incremental.json)",
     )
     incremental.set_defaults(func=_cmd_bench_incremental)
+
+    overload = commands.add_parser(
+        "bench-overload",
+        help="overload harness: shed latency, oversubscribed chaos "
+             "readers with a recompute oracle, deadline enforcement; "
+             "writes BENCH_overload.json",
+    )
+    overload.add_argument(
+        "--patients", type=int, default=150,
+        help="patients in the simulated cohort (default 150)",
+    )
+    overload.add_argument("--seed", type=int, default=42,
+                          help="simulation seed")
+    overload.add_argument(
+        "--oversubscription", type=int, default=4,
+        help="reader threads per admission slot (default 4)",
+    )
+    overload.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds of chaos reader load (default 2.0)",
+    )
+    overload.add_argument(
+        "--out", type=Path, default=Path("BENCH_overload.json"),
+        help="result JSON path (default ./BENCH_overload.json)",
+    )
+    overload.set_defaults(func=_cmd_bench_overload)
     return parser
 
 

@@ -33,6 +33,8 @@ from repro.olap.crosstab import Crosstab
 from repro.olap.cube import Cube, CubeSnapshot
 from repro.olap.mdx.evaluator import execute_mdx
 from repro.olap.query import QueryBuilder
+from repro.serving import resilience
+from repro.serving.admission import ServingConfig, ServingRuntime, coerce_serving
 from repro.serving.cache import CacheConfig, ResultCache, coerce_cache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -43,7 +45,7 @@ from repro.storage import faults
 from repro.storage.engine import StorageEngine
 from repro.storage.persistence import checkpoint as _checkpoint
 from repro.storage.persistence import recover as _recover
-from repro.storage.retry import RetryPolicy, with_retry
+from repro.storage.retry import RetryPolicy, get_policy, with_retry
 from repro.storage.wal import WriteAheadLog
 from repro.tabular.expressions import col
 from repro.tabular.table import Table
@@ -87,6 +89,16 @@ class SystemConfig:
     for lattice materialisation and large group-by fan-out (``None``
     leaves the ``REPRO_WORKERS`` default; parallel results are
     bit-identical to serial).
+
+    ``serving`` bounds the read path (DESIGN.md §"Overload &
+    degradation"): ``True`` for default limits, a
+    :class:`~repro.serving.admission.ServingConfig` for explicit ones, or
+    a ready :class:`~repro.serving.admission.ServingRuntime` to share.
+    Configured, every query passes a bounded admission gate (overload
+    sheds fast with :class:`~repro.errors.ServingOverloadError`), runs
+    under the configured default deadline, and broken dependencies
+    degrade one rung down the documented ladder instead of failing the
+    query.  ``None``/``False`` keeps the historical unbounded behaviour.
     """
 
     observability: str = ""
@@ -95,6 +107,7 @@ class SystemConfig:
     promotion_threshold: float = 3.0
     cache: "ResultCache | CacheConfig | int | bool | None" = None
     max_workers: int | None = None
+    serving: "ServingRuntime | ServingConfig | bool | None" = None
 
 
 class DDDGMS:
@@ -150,7 +163,8 @@ class DDDGMS:
             "fallback_reasons": {},
         }
         #: backoff schedule for transient faults at ingest boundaries
-        self.retry_policy = RetryPolicy()
+        #: (the shared registry default; see repro.storage.retry)
+        self.retry_policy = get_policy("ingest.default")
         #: retries performed so far, per ingest boundary
         self._retry_counts: dict[str, int] = {}
         #: degraded subsystems (name -> reason), e.g. an unmaterialised lattice
@@ -160,6 +174,8 @@ class DDDGMS:
         self._writer_lock = threading.RLock()
         #: versioned result cache, re-attached to every rebuilt cube
         self._result_cache: ResultCache | None = None
+        #: admission gate + breakers, re-attached to every rebuilt cube
+        self._serving: ServingRuntime | None = None
         with obs.span("dgms.build", rows=source.num_rows):
             with obs.span("dgms.load_operational"):
                 if _operational is not None:
@@ -351,6 +367,25 @@ class DDDGMS:
         """The attached result cache, if any."""
         return self._result_cache
 
+    def attach_serving(
+        self, serving: "ServingRuntime | ServingConfig | bool | None"
+    ) -> ServingRuntime | None:
+        """Attach (or detach, with ``None``) admission control + breakers.
+
+        Accepts every ``SystemConfig(serving=...)`` spelling.  Like the
+        result cache, the runtime survives ingest rebuilds — it is
+        re-attached to each successor cube, so the limits govern the
+        *system*, not one epoch.
+        """
+        self._serving = coerce_serving(serving)
+        self.cube.attach_serving(self._serving)
+        return self._serving
+
+    @property
+    def serving(self) -> ServingRuntime | None:
+        """The attached serving runtime (admission + breakers), if any."""
+        return self._serving
+
     @property
     def epoch(self) -> int:
         """The currently published epoch id (bumps on every commit)."""
@@ -375,6 +410,8 @@ class DDDGMS:
         """
         if self._result_cache is not None:
             cube.attach_result_cache(self._result_cache)
+        if self._serving is not None:
+            cube.attach_serving(self._serving)
         state = cube._current_state()
         self.cube = cube
         self._cache_epoch_published(state.epoch)
@@ -1214,6 +1251,12 @@ class DDDGMS:
                 if self._result_cache is not None
                 else None
             ),
+            "serving": (
+                self._serving.snapshot() if self._serving is not None else None
+            ),
+            #: breakers are process-global — report them even without a
+            #: configured runtime so chaos harnesses see degradations
+            "degradations": resilience.active_degradations(),
         }
 
     def redrive_quarantine(

@@ -18,6 +18,7 @@ from repro.dgsql.ast import (
 )
 from repro.dgsql.parser import parse_dgsql
 from repro.mining.naive_bayes import NaiveBayesClassifier
+from repro.serving.resilience import checkpoint
 from repro.storage.engine import StorageEngine
 from repro.tabular.expressions import Expression, col
 from repro.tabular.table import Table
@@ -79,9 +80,13 @@ class DGSQLExecutor:
     architecture the paper argues the warehouse improves on.
     """
 
-    def __init__(self, engine: StorageEngine):
+    def __init__(self, engine: StorageEngine, *, serving=None):
         self.engine = engine
         self.models: dict[str, NaiveBayesClassifier] = {}
+        #: optional :class:`~repro.serving.admission.ServingRuntime`; when
+        #: set, every statement passes the admission gate and runs under
+        #: the configured default deadline
+        self.serving = serving
 
     def execute(self, source: str | Statement) -> Table | dict[str, object]:
         """Run one statement.
@@ -91,6 +96,12 @@ class DGSQLExecutor:
         class distribution.
         """
         statement = parse_dgsql(source) if isinstance(source, str) else source
+        if self.serving is not None:
+            with self.serving.query_scope():
+                return self._dispatch(statement)
+        return self._dispatch(statement)
+
+    def _dispatch(self, statement: Statement) -> Table | dict[str, object]:
         if isinstance(statement, SelectStatement):
             return self._execute_select(statement)
         if isinstance(statement, LearnStatement):
@@ -103,8 +114,10 @@ class DGSQLExecutor:
 
     def _execute_select(self, statement: SelectStatement) -> Table:
         table = self.engine.scan(statement.table)
+        checkpoint()
         if statement.where is not None:
             table = table.filter(_where_expression(statement.where))
+            checkpoint()
 
         has_aggregates = any(
             isinstance(item, AggregateItem) for item in statement.items

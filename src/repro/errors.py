@@ -148,6 +148,41 @@ class PermanentIngestError(IngestError):
 
 
 # --------------------------------------------------------------------------
+# Serving resilience
+# --------------------------------------------------------------------------
+
+class ServingError(ReproError):
+    """Base class for errors from the overload-safe query-serving layer."""
+
+
+class ServingOverloadError(ServingError):
+    """The admission gate shed this query: in-flight and queue are full.
+
+    Raised *fast* (bounded by the queue-wait budget, immediately when the
+    wait queue itself is full) so callers can retry elsewhere or back off
+    instead of piling onto an overloaded server.
+    """
+
+
+class QueryTimeoutError(ServingError, TimeoutError):
+    """A query exceeded its deadline and was cooperatively cancelled.
+
+    Raised at the next cancellation checkpoint after the deadline expires
+    — at chunk boundaries inside the group-by/join kernels, between
+    lattice nodes, and inside ``parallel_map`` workers — so expiry is
+    observed in bounded time and no partial result is ever published.
+    """
+
+
+class QueryCancelledError(ServingError):
+    """A query was cancelled before completing (e.g. a sibling worker
+    failed and the fan-out is draining).  Checkpoints raise this when the
+    active :class:`~repro.serving.resilience.Deadline` was explicitly
+    cancelled rather than timing out.
+    """
+
+
+# --------------------------------------------------------------------------
 # ETL / transformation
 # --------------------------------------------------------------------------
 

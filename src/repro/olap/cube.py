@@ -17,9 +17,18 @@ import threading
 from typing import TYPE_CHECKING, Hashable, Mapping, Sequence
 
 from repro import obs
-from repro.errors import OLAPError, UnknownLevelError
+from repro.errors import (
+    OLAPError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    UnknownLevelError,
+)
 from repro.olap.aggregates import validate_aggregation
+from repro.serving import resilience
 from repro.serving.epoch import next_epoch_id
+from repro.serving.resilience import checkpoint
+from repro.storage import faults
+from repro.storage.faults import SimulatedCrash
 from repro.tabular.expressions import Expression, col
 from repro.tabular.groupby import GroupBy
 from repro.tabular.table import Table
@@ -30,6 +39,7 @@ from repro.warehouse.star import StarSchema
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.olap.materialized import MaterializedCube
     from repro.olap.query import QueryBuilder
+    from repro.serving.admission import ServingRuntime
     from repro.serving.cache import ResultCache
 
 
@@ -183,6 +193,7 @@ class Cube:
         self._rebuild_lock = threading.RLock()
         self._lattice: "MaterializedCube | None" = None
         self._result_cache: "ResultCache | None" = None
+        self._serving: "ServingRuntime | None" = None
 
     def _current_version(self) -> int:
         return self._dynamic.version if self._dynamic is not None else 1
@@ -426,6 +437,21 @@ class Cube:
         """The attached result cache, if any."""
         return self._result_cache
 
+    def attach_serving(self, serving: "ServingRuntime | None") -> None:
+        """Put future query execution under ``serving``'s admission gate.
+
+        ``None`` detaches (unbounded serving, the historical behaviour).
+        Like the result cache, the same runtime is re-attached to the
+        successor cube across epoch publishes, so the limits govern the
+        system, not one epoch.
+        """
+        self._serving = serving
+
+    @property
+    def serving_runtime(self) -> "ServingRuntime | None":
+        """The attached serving runtime (admission + breakers), if any."""
+        return self._serving
+
     def aggregate(
         self,
         levels: Sequence[str],
@@ -459,7 +485,18 @@ class Cube:
         filters: Expression | None = None,
         force: bool = False,
     ) -> Table:
-        """One aggregation against one pinned epoch (cache → lattice → base)."""
+        """One aggregation against one pinned epoch (cache → lattice → base).
+
+        Each tier sits behind a circuit breaker and degrades one rung
+        down the ladder on dependency faults: a broken cache means
+        recompute (never a failed query), a broken lattice means a base
+        scan.  The base scan is the bottom rung — its typed errors
+        propagate.  Deadline expiry and cancellation always propagate
+        (they are the *query's* outcome, not a dependency's) but still
+        count against the tier that stalled, so a wedged dependency
+        opens its breaker and later queries skip it entirely.
+        """
+        checkpoint()
         aggregations = dict(
             aggregations or {self.RECORDS: (self.RECORDS, "size")}
         )
@@ -470,28 +507,84 @@ class Cube:
             filtered=filters is not None,
             epoch=state.epoch,
         ) as sp:
+            degraded = resilience.active_degradations()
+            if degraded:
+                sp.set(degraded=",".join(sorted(degraded)))
             qualified = [self.check_level(level, state) for level in levels]
             cache = self._result_cache
+            cache_brk = resilience.breaker("cache") if cache is not None else None
             key: Hashable | None = None
             if cache is not None:
                 key = plan_key(qualified, aggregations, filters, force)
-                cached = cache.get(state.epoch, key)
-                sp.set(cache="hit" if cached is not None else "miss")
+                cached = None
+                if cache_brk.allow():
+                    try:
+                        faults.fire("serving.cache")
+                        cached = cache.get(state.epoch, key)
+                    except (QueryTimeoutError, QueryCancelledError):
+                        cache_brk.record_failure()
+                        raise
+                    except SimulatedCrash:
+                        raise
+                    except Exception:
+                        cache_brk.record_failure()
+                        obs.count("serving.degraded.cache")
+                        cache = None  # recompute rung (skip the put too)
+                    else:
+                        cache_brk.record_success()
+                else:
+                    obs.count("serving.degraded.cache")
+                    cache = None
+                if cache is not None:
+                    sp.set(cache="hit" if cached is not None else "miss")
                 if cached is not None:
                     sp.set(cells=cached.num_rows)
                     return cached
+            result: Table | None = None
             if lattice is not None and lattice.fresh_for_state(state):
-                result = lattice.aggregate(
-                    qualified, aggregations, filters=filters, force=force,
-                    state=state,
-                )
-            else:
+                lat_brk = resilience.breaker("lattice")
+                if lat_brk.allow():
+                    try:
+                        result = lattice.aggregate(
+                            qualified, aggregations, filters=filters,
+                            force=force, state=state,
+                        )
+                    except (QueryTimeoutError, QueryCancelledError):
+                        lat_brk.record_failure()
+                        raise
+                    except OLAPError:
+                        raise  # the query's own fault, not the lattice's
+                    except SimulatedCrash:
+                        raise
+                    except Exception:
+                        lat_brk.record_failure()
+                        obs.count("serving.degraded.lattice")
+                    else:
+                        lat_brk.record_success()
+                else:
+                    obs.count("serving.degraded.lattice")
+            if result is None:
                 result = self._aggregate_base(
                     qualified, aggregations, filters, force, state=state
                 )
             sp.set(cells=result.num_rows)
-            if cache is not None:
-                cache.put(state.epoch, key, result)
+            if cache is not None and key is not None:
+                if cache_brk.allow():
+                    try:
+                        faults.fire("serving.cache")
+                        cache.put(state.epoch, key, result)
+                    except (QueryTimeoutError, QueryCancelledError):
+                        cache_brk.record_failure()
+                        raise
+                    except SimulatedCrash:
+                        raise
+                    except Exception:
+                        cache_brk.record_failure()
+                        obs.count("serving.degraded.cache")
+                    else:
+                        cache_brk.record_success()
+                else:
+                    obs.count("serving.degraded.cache")
             return result
 
     def _aggregate_base(
@@ -511,6 +604,11 @@ class Cube:
         aggregations = dict(aggregations or {self.RECORDS: (self.RECORDS, "size")})
         obs.count("olap.aggregate.base_scans")
         with obs.span("scan.base", source="fact table") as scan_sp:
+            # bottom rung of the degradation ladder: the serving.scan
+            # fault point fires un-wrapped here — there is nothing left
+            # to degrade to, so injected errors propagate typed
+            faults.fire("serving.scan")
+            checkpoint()
             if filters is None:
                 table = flat
             else:
@@ -551,6 +649,7 @@ class Cube:
                 row[out_name] = AGGREGATORS[func](column, np.arange(len(table)))
             return Table.from_rows([row])
 
+        checkpoint()
         if filters is None:
             # unchanged flat view: reuse the epoch's cached key factorisation
             grouped = self._grouped(state, tuple(qualified))
@@ -628,6 +727,12 @@ class CubeSnapshot:
     def lattice(self) -> "MaterializedCube | None":
         """The pinned lattice (only if materialised from this epoch)."""
         return self._lattice
+
+    @property
+    def serving_runtime(self) -> "ServingRuntime | None":
+        """The owning cube's serving runtime — limits are system-wide,
+        not per-epoch, so snapshots share the live gate and breakers."""
+        return self._cube.serving_runtime
 
     def qualified_attributes(self) -> dict[str, tuple[str, str]]:
         """The pinned epoch's level map."""

@@ -29,6 +29,8 @@ from repro.errors import OLAPError
 from repro.olap.aggregates import validate_aggregation
 from repro.olap.cube import Cube, CubeState
 from repro.serving.parallel import parallel_map, resolve_workers
+from repro.serving.resilience import checkpoint
+from repro.storage import faults
 from repro.tabular.expressions import Expression
 from repro.tabular.table import Table
 
@@ -176,6 +178,18 @@ class MaterializedCube:
         """
         return self.fresh_for_state(self.cube._current_state())
 
+    def snapshot(self) -> dict:
+        """JSON-ready node + hit accounting (``stats`` command, health)."""
+        pinned = self._pinned_state
+        return {
+            "nodes": len(self._nodes),
+            "epoch": pinned.epoch if pinned is not None else None,
+            "fresh": self.is_fresh(),
+            "exact_hits": self.stats.exact_hits,
+            "rollup_hits": self.stats.rollup_hits,
+            "fallbacks": self.stats.fallbacks,
+        }
+
     def fold_delta(
         self, new_state: CubeState, delta_flat: Table
     ) -> "MaterializedCube":
@@ -288,6 +302,11 @@ class MaterializedCube:
             )
 
         with obs.span("lattice.lookup", levels=",".join(qualified)) as sp:
+            # chaos boundary: this fire is *inside* the lattice tier, so an
+            # injected error here trips the lattice breaker in the caller
+            # and degrades the query to the base-scan rung
+            faults.fire("serving.scan")
+            checkpoint()
             node = self._covering_node(qualified, aggregations, filters)
             if node is None:
                 self.stats.fallbacks += 1

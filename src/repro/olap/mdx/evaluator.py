@@ -24,6 +24,8 @@ from repro.olap.mdx.ast import (
     TopCount,
 )
 from repro.olap.mdx.parser import parse_mdx
+from repro.olap.query import serving_scope
+from repro.serving.resilience import active_degradations
 from repro.tabular.dtypes import DType
 from repro.tabular.expressions import Expression, col
 
@@ -234,10 +236,15 @@ def execute_mdx(cube: Cube, query: MdxQuery | str) -> "Crosstab | ExplainReport"
         return _evaluate(cube, bare)
 
     if parsed.explain:
-        result, plan = profile("mdx", run, query=source)
+        with serving_scope(cube):
+            result, plan = profile("mdx", run, query=source)
+        degraded = active_degradations()
+        if degraded:
+            plan.attrs["degraded"] = ",".join(sorted(degraded))
         return ExplainReport(query=source, plan=plan, result=result)
-    with obs.span("mdx", query=source):
-        return run()
+    with serving_scope(cube):
+        with obs.span("mdx", query=source):
+            return run()
 
 
 def _evaluate(cube: Cube, query: MdxQuery) -> Crosstab:

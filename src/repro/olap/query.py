@@ -10,12 +10,40 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import contextlib
+
 from repro import obs
 from repro.errors import OLAPError
 from repro.obs.explain import ExplainReport, profile
 from repro.olap.crosstab import Crosstab
 from repro.olap.cube import Cube
+from repro.serving.resilience import (
+    Deadline,
+    active_degradations,
+    current_deadline,
+    deadline_scope,
+)
 from repro.tabular.expressions import Expression, col
+
+
+def serving_scope(cube, *, deadline=None, budget_s=None):
+    """The cube's admission/deadline scope, or a no-op without a runtime.
+
+    Every query front-end (builder, MDX, DG-SQL) enters execution through
+    this: with ``SystemConfig(serving=...)`` configured it takes one
+    admission slot and installs the per-query deadline; unconfigured
+    systems keep the historical unbounded behaviour.
+    """
+    runtime = getattr(cube, "serving_runtime", None)
+    if runtime is not None:
+        return runtime.query_scope(deadline=deadline, budget_s=budget_s)
+    if deadline is None and budget_s is not None:
+        # no admission control configured, but the caller asked for a
+        # deadline: honour it (chained under any active outer deadline)
+        deadline = Deadline(budget_s, parent=current_deadline())
+    if deadline is not None:
+        return deadline_scope(deadline)
+    return contextlib.nullcontext()
 
 #: Accepted aggregation spellings → canonical names used by the kernels.
 AGG_ALIASES = {"avg": "mean", "average": "mean", "distinct": "nunique"}
@@ -197,12 +225,29 @@ class QueryBuilder:
     (``avg`` → ``mean``) either way.
     """
 
-    def __init__(self, cube: Cube, query: CubeQuery | None = None):
+    def __init__(
+        self,
+        cube: Cube,
+        query: CubeQuery | None = None,
+        *,
+        budget_s: float | None = None,
+    ):
         self._cube = cube
         self._query = query if query is not None else CubeQuery()
+        self._budget_s = budget_s
 
     def _with(self, query: CubeQuery) -> "QueryBuilder":
-        return QueryBuilder(self._cube, query)
+        return QueryBuilder(self._cube, query, budget_s=self._budget_s)
+
+    def within(self, budget_s: float | None) -> "QueryBuilder":
+        """A new builder whose execution carries a deadline of ``budget_s``.
+
+        Overrides the system's ``default_deadline_s`` for this query
+        (``None`` restores it).  Expiry raises
+        :class:`~repro.errors.QueryTimeoutError` at the next cooperative
+        checkpoint; no partial result is ever returned or cached.
+        """
+        return QueryBuilder(self._cube, self._query, budget_s=budget_s)
 
     def rows(self, *levels: str) -> "QueryBuilder":
         """A new builder with levels on the row axis (replacing any)."""
@@ -293,22 +338,33 @@ class QueryBuilder:
         return self._query
 
     def execute(self) -> Crosstab:
-        """Build and run against the owning cube."""
+        """Build and run against the owning cube.
+
+        With ``SystemConfig(serving=...)`` configured, execution first
+        passes the admission gate (shedding with
+        :class:`~repro.errors.ServingOverloadError` under overload) and
+        runs under the query's deadline (see :meth:`within`).
+        """
         query = self._query
-        with obs.span("query", query=query.describe()):
-            return query.execute(self._cube)
+        with serving_scope(self._cube, budget_s=self._budget_s):
+            with obs.span("query", query=query.describe()):
+                return query.execute(self._cube)
 
     def explain(self) -> ExplainReport:
         """Run once under a recording tracer and return the measured plan.
 
         Works regardless of global observability configuration; the
         returned report carries the plan tree (which lattice node answered
-        or how many fact rows were scanned, wall time per stage) and the
-        result grid in ``.result``.
+        or how many fact rows were scanned, wall time per stage), any
+        active serving degradations, and the result grid in ``.result``.
         """
         query = self._query
         source = query.describe()
-        result, plan = profile(
-            "query", lambda: query.execute(self._cube), query=source
-        )
+        with serving_scope(self._cube, budget_s=self._budget_s):
+            result, plan = profile(
+                "query", lambda: query.execute(self._cube), query=source
+            )
+        degraded = active_degradations()
+        if degraded:
+            plan.attrs["degraded"] = ",".join(sorted(degraded))
         return ExplainReport(query=source, plan=plan, result=result)

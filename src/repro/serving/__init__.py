@@ -15,14 +15,30 @@ continuously refreshed warehouse" workload):
   ``SystemConfig(cache=...)`` and surfaced in ``explain()``);
 * **bounded parallelism** — lattice nodes materialise over a thread pool
   and large group-bys fan their per-group reductions out, with serial
-  results guaranteed bit-identical (:mod:`repro.serving.parallel`).
+  results guaranteed bit-identical (:mod:`repro.serving.parallel`);
+* **overload safety** — a bounded admission gate sheds excess queries
+  with a typed error, per-query deadlines cancel cooperatively at kernel
+  chunk boundaries, and circuit breakers degrade broken dependencies one
+  rung down the documented ladder (lattice → base scan, cache →
+  recompute, parallel → serial) instead of failing queries
+  (:mod:`repro.serving.admission`, :mod:`repro.serving.resilience`,
+  wired via ``SystemConfig(serving=...)``).
 
-``python -m repro serve-bench`` exercises all three under load and
-records the numbers in ``BENCH_serving.json``.
+``python -m repro serve-bench`` exercises the first three under load and
+records the numbers in ``BENCH_serving.json``; ``python -m repro
+bench-overload`` drives 4x oversubscription through injected
+``serving.*`` faults and records the bounds in ``BENCH_overload.json``.
 """
 
 from __future__ import annotations
 
+from repro.serving.admission import (
+    AdmissionGate,
+    AdmissionStats,
+    ServingConfig,
+    ServingRuntime,
+    coerce_serving,
+)
 from repro.serving.cache import (
     CacheConfig,
     CacheStats,
@@ -40,6 +56,19 @@ from repro.serving.parallel import (
     resolve_workers,
     split_ranges,
 )
+from repro.serving.resilience import (
+    DEGRADATION_LADDER,
+    BreakerConfig,
+    CircuitBreaker,
+    Deadline,
+    active_degradations,
+    breaker,
+    breakers_snapshot,
+    checkpoint,
+    current_deadline,
+    deadline_scope,
+    reset_breakers,
+)
 
 __all__ = [
     "CacheConfig",
@@ -56,6 +85,22 @@ __all__ = [
     "split_ranges",
     "MIN_PARALLEL_GROUPS",
     "WORKERS_ENV",
+    "AdmissionGate",
+    "AdmissionStats",
+    "ServingConfig",
+    "ServingRuntime",
+    "coerce_serving",
+    "Deadline",
+    "deadline_scope",
+    "current_deadline",
+    "checkpoint",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "breaker",
+    "breakers_snapshot",
+    "active_degradations",
+    "reset_breakers",
+    "DEGRADATION_LADDER",
 ]
 
 

@@ -16,16 +16,45 @@ there is no long-lived shared executor to leak threads into forked
 benchmark processes or to deadlock when parallel sections nest (a nested
 section simply runs serially once the outer one consumed the budget — we
 keep it simpler still: nested calls each get their own small pool).
+
+The fan-out is resilience-aware (PR 7):
+
+* the calling query's :class:`~repro.serving.resilience.Deadline` is
+  re-installed inside every worker (ContextVars do not cross thread-pool
+  boundaries on their own), so kernel checkpoints keep firing off-thread;
+* when one worker fails, the shared deadline is **cancelled** and the
+  siblings drain at their next checkpoint instead of running to
+  completion — the first real error is re-raised, never a secondary
+  cancellation;
+* the ``serving.pool`` fault point and the ``pool`` circuit breaker
+  guard pool engagement: an injected pool fault (or an open breaker)
+  degrades the call to the serial loop — identical results, just slower.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro import obs
+from repro.errors import QueryCancelledError, QueryTimeoutError
+from repro.serving import resilience
+from repro.serving.resilience import (
+    Deadline,
+    checkpoint,
+    current_deadline,
+    install_deadline,
+    restore_deadline,
+)
+from repro.storage import faults
+from repro.storage.faults import SimulatedCrash
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: items between cooperative checkpoints on the serial fallback loop
+_SERIAL_CHECK_EVERY = 64
 
 #: Environment default for the worker count (an int; unset/empty → 1).
 WORKERS_ENV = "REPRO_WORKERS"
@@ -66,21 +95,106 @@ def resolve_workers(max_workers: int | None) -> int:
     return max(1, int(max_workers))
 
 
+def _serial_map(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+    """The serial rung: plain loop with periodic cancellation checkpoints."""
+    out: list[R] = []
+    for i, item in enumerate(items):
+        if i % _SERIAL_CHECK_EVERY == 0:
+            checkpoint()
+        out.append(fn(item))
+    return out
+
+
+def _engage_pool(brk: "resilience.CircuitBreaker") -> bool:
+    """May this call use threads?  Consults the pool breaker + fault point.
+
+    ``False`` degrades the call to the serial rung (same results).  An
+    injected latency fault that exhausts the deadline propagates as the
+    query's typed timeout *and* counts against the breaker — a stalled
+    pool must eventually open it so later queries skip the stall.
+    """
+    if not brk.allow():
+        obs.count("serving.pool.degraded")
+        return False
+    try:
+        faults.fire("serving.pool")
+    except (QueryTimeoutError, QueryCancelledError):
+        brk.record_failure()
+        raise
+    except SimulatedCrash:
+        raise
+    except Exception:
+        brk.record_failure()
+        obs.count("serving.pool.degraded")
+        return False
+    return True
+
+
 def parallel_map(
     fn: Callable[[T], R], items: Sequence[T], max_workers: int | None = None
 ) -> list[R]:
     """``[fn(x) for x in items]`` over a bounded pool, results in order.
 
     Serial (no pool at all) when the resolved worker count is 1 or there
-    is at most one item, so the serial path has zero threading overhead.
-    Exceptions propagate exactly as in the serial loop (the first failing
-    item's exception, with pending work cancelled by pool shutdown).
+    is at most one item, so the serial path has zero threading overhead;
+    also serial when the ``pool`` circuit breaker is open or the
+    ``serving.pool`` fault point injects an error (degradation ladder:
+    parallel → serial, results identical).
+
+    The caller's deadline is propagated into every worker.  On the first
+    worker failure the fan-out is cancelled: siblings observe the shared
+    cancel flag at their next kernel checkpoint and drain, then the
+    *original* exception is re-raised (never a secondary cancellation
+    from a drained sibling).
     """
     workers = min(resolve_workers(max_workers), len(items))
     if workers <= 1:
-        return [fn(item) for item in items]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+        return _serial_map(fn, items)
+    brk = resilience.breaker("pool")
+    if not _engage_pool(brk):
+        return _serial_map(fn, items)
+
+    # One shared child deadline for the whole fan-out: cancelling it (on a
+    # sibling failure) reaches every worker, while the parent query's own
+    # deadline/cancellation still propagates through the chain.
+    parent = current_deadline()
+    shared = parent.child() if parent is not None else Deadline()
+
+    def run(item: T) -> R:
+        token = install_deadline(shared)
+        try:
+            shared.check()  # don't start work for an already-dead fan-out
+            return fn(item)
+        finally:
+            restore_deadline(token)
+
+    first_error: BaseException | None = None
+    try:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run, item) for item in items]
+            wait(futures, return_when=FIRST_EXCEPTION)
+            for fut in futures:
+                if fut.done() and fut.exception() is not None:
+                    first_error = fut.exception()
+                    break
+            if first_error is not None:
+                shared.cancel("sibling worker failed")
+                wait(futures)  # drain: workers exit at their next checkpoint
+                obs.count("serving.pool.drains")
+            else:
+                results = [fut.result() for fut in futures]
+    except RuntimeError:
+        # pool.submit could not spawn a thread (interpreter shutdown,
+        # thread limits) — distinct from a *worker* raising, which lands
+        # in first_error.  The kernels are pure, so a serial re-run is
+        # safe and correct.
+        brk.record_failure()
+        obs.count("serving.pool.degraded")
+        return _serial_map(fn, items)
+    if first_error is not None:
+        raise first_error
+    brk.record_success()
+    return results
 
 
 def split_ranges(n: int, parts: int) -> list[tuple[int, int]]:

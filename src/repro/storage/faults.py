@@ -31,13 +31,28 @@ which it fires, and a ``mode``:
 ``permanent``
     Raise :class:`~repro.errors.PermanentIngestError` — never retried;
     non-essential ingest boundaries degrade gracefully instead.
+``slow``
+    Sleep ``delay_s`` (default 50 ms) then proceed normally — a slow
+    dependency, not a broken one.  The sleep is *cooperative*: it
+    honours the active serving deadline, so a slowed query still times
+    out with :class:`~repro.errors.QueryTimeoutError` in bounded time.
+``stall``
+    Like ``slow`` but with a long default (2 s) — a hung dependency.
+    Only a deadline rescues the caller; chaos tests use this to prove
+    cancellation actually reaches every boundary.
+
+The write boundaries of the durability layer are joined by *serving*
+boundaries (``serving.scan``, ``serving.pool``, ``serving.cache``) fired
+via :func:`fire` on the read path, so the same plans drive overload and
+degradation chaos.
 
 Plans can be installed programmatically (:func:`install` /
 :func:`injected`) or parsed from the ``REPRO_FAULTS`` environment
 variable (:func:`plan_from_env`), whose grammar is
-``point[:mode][@nth]`` with commas or semicolons between rules::
+``point[:mode][@nth]`` with commas or semicolons between rules; ``@0``
+(or ``@*``) makes a rule fire on *every* hit::
 
-    REPRO_FAULTS="wal.commit:kill@2,snapshot.manifest:short"
+    REPRO_FAULTS="wal.commit:kill@2,serving.cache:error@0"
 """
 
 from __future__ import annotations
@@ -55,7 +70,13 @@ from repro.errors import (
 #: Environment variable holding a default fault plan (see module docs).
 FAULTS_ENV = "REPRO_FAULTS"
 
-_MODES = ("error", "kill", "short", "flip", "transient", "permanent")
+_MODES = (
+    "error", "kill", "short", "flip", "transient", "permanent", "slow", "stall",
+)
+
+#: default injected delays for the latency modes (seconds)
+_SLOW_DELAY_S = 0.05
+_STALL_DELAY_S = 2.0
 
 
 class SimulatedCrash(BaseException):
@@ -73,24 +94,30 @@ class SimulatedCrash(BaseException):
 
 @dataclass
 class FaultRule:
-    """Fire ``mode`` at the ``nth`` hit of ``point`` (1-based)."""
+    """Fire ``mode`` at the ``nth`` hit of ``point`` (1-based).
+
+    ``nth=0`` means *every* hit — the chaos-plan spelling for a
+    dependency that is persistently slow or broken.
+    """
 
     point: str
     mode: str = "error"
     nth: int = 1
     #: for ``short``: fraction of the payload that reaches the file
     keep_fraction: float = 0.5
+    #: for ``slow``/``stall``: injected latency (``None`` = mode default)
+    delay_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise StorageError(
                 f"unknown fault mode {self.mode!r} (valid: {', '.join(_MODES)})"
             )
-        if self.nth < 1:
-            raise StorageError(f"fault nth must be >= 1, got {self.nth}")
+        if self.nth < 0:
+            raise StorageError(f"fault nth must be >= 0, got {self.nth}")
 
     def matches(self, point: str, count: int) -> bool:
-        return self.point == point and count == self.nth
+        return self.point == point and (self.nth == 0 or count == self.nth)
 
 
 @dataclass
@@ -111,6 +138,17 @@ class FaultPlan:
         self._counts[point] = count
         for rule in self.rules:
             if not rule.matches(point, count):
+                continue
+            if rule.mode in ("slow", "stall"):
+                delay = rule.delay_s
+                if delay is None:
+                    delay = _SLOW_DELAY_S if rule.mode == "slow" else _STALL_DELAY_S
+                # honour the serving deadline inside the injected delay so
+                # a stalled boundary cannot outlive the query it stalls
+                # (lazy import: faults loads before the serving package)
+                from repro.serving.resilience import cooperative_sleep
+
+                cooperative_sleep(delay)
                 continue
             if rule.mode == "error":
                 raise InjectedFault(f"injected failure at {point!r} (hit {count})")
@@ -213,12 +251,15 @@ def plan_from_env(value: str | None = None) -> FaultPlan | None:
         nth = 1
         if "@" in chunk:
             chunk, nth_text = chunk.rsplit("@", 1)
-            try:
-                nth = int(nth_text)
-            except ValueError:
-                raise StorageError(
-                    f"bad {FAULTS_ENV} occurrence {nth_text!r} in {chunk!r}"
-                ) from None
+            if nth_text.strip() == "*":
+                nth = 0  # every hit
+            else:
+                try:
+                    nth = int(nth_text)
+                except ValueError:
+                    raise StorageError(
+                        f"bad {FAULTS_ENV} occurrence {nth_text!r} in {chunk!r}"
+                    ) from None
         point, _, mode = chunk.partition(":")
         point = point.strip()
         if not point:

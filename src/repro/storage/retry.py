@@ -76,6 +76,53 @@ class RetryPolicy:
         return base
 
 
+# --------------------------------------------------------------------------
+# Named policy registry
+# --------------------------------------------------------------------------
+#
+# Retry tuning used to live as literals at each call site (ingest built a
+# bare ``RetryPolicy()``, the serving layer would have grown its own).
+# One registry gives every consumer a shared, named knob:
+#
+# ``ingest.default``
+#     The write-path policy: quick, tight backoff — a batch stall is a
+#     user-visible ingest delay.
+# ``serving.breaker``
+#     Interpreted by the serving circuit breakers rather than a retry
+#     loop: ``attempts`` is the consecutive-failure threshold that opens
+#     a breaker and ``max_delay_s`` the open-state delay before the
+#     half-open probe.  Sharing the vocabulary keeps write-side retries
+#     and read-side breakers tuned from one place.
+
+_POLICIES: dict[str, RetryPolicy] = {
+    "ingest.default": RetryPolicy(),
+    "serving.breaker": RetryPolicy(
+        attempts=3, base_delay_s=0.05, multiplier=2.0, max_delay_s=1.0
+    ),
+}
+
+
+def get_policy(name: str) -> RetryPolicy:
+    """The registered policy for ``name``.
+
+    Unknown names raise :class:`~repro.errors.PermanentIngestError` —
+    a misnamed policy is a configuration bug, not a retryable state.
+    """
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise PermanentIngestError(
+            f"unknown retry policy {name!r} "
+            f"(registered: {', '.join(sorted(_POLICIES))})"
+        ) from None
+
+
+def register_policy(name: str, policy: RetryPolicy) -> RetryPolicy:
+    """Add or replace a named policy (deployment tuning hook)."""
+    _POLICIES[name] = policy
+    return policy
+
+
 def with_retry(
     point: str,
     fn: Callable,
@@ -98,7 +145,7 @@ def with_retry(
     boundary itself — injected or raised by ``fn`` — propagates
     immediately, as does :class:`~repro.storage.faults.SimulatedCrash`.
     """
-    policy = policy or RetryPolicy()
+    policy = policy or get_policy("ingest.default")
     transient_types = tuple(transient)
     last: BaseException | None = None
     for attempt in range(1, policy.attempts + 1):

@@ -38,6 +38,7 @@ from repro.errors import ColumnNotFoundError, TabularError
 from repro.tabular.column import Column
 from repro.tabular.dtypes import DType
 from repro.serving.parallel import map_group_ranges
+from repro.serving.resilience import checkpoint
 from repro.tabular.factorize import (
     Factorization,
     factorize,
@@ -88,6 +89,12 @@ def _agg_first(col: Column, idx: np.ndarray) -> object:
 def _agg_last(col: Column, idx: np.ndarray) -> object:
     return col.value(int(idx[-1])) if len(idx) else None
 
+
+#: groups (or rows) between cooperative cancellation checkpoints in the
+#: per-group Python loops — coarse enough to be free, fine enough that a
+#: timed-out query stops within a few hundred numpy calls
+CHECK_EVERY_GROUPS = 256
+CHECK_EVERY_ROWS = 4096
 
 #: Scalar reference kernels — the parity oracle for the vectorised path.
 AGGREGATORS: dict[str, Callable[[Column, np.ndarray], object]] = {
@@ -223,16 +230,18 @@ class _VectorEngine:
         the identical ``one_group`` on the identical slice, so the
         concatenated output equals the serial loop bit for bit.
         """
-        fanned = map_group_ranges(
-            lambda lo, hi: [
-                one_group(int(a), int(b))
-                for a, b in zip(starts[lo:hi], ends[lo:hi])
-            ],
-            self.n_groups,
-        )
+        def chunk(lo: int, hi: int) -> list[object]:
+            out: list[object] = []
+            for i, (a, b) in enumerate(zip(starts[lo:hi], ends[lo:hi])):
+                if i % CHECK_EVERY_GROUPS == 0:
+                    checkpoint()  # cancellation point at chunk granularity
+                out.append(one_group(int(a), int(b)))
+            return out
+
+        fanned = map_group_ranges(chunk, self.n_groups)
         if fanned is not None:
             return fanned
-        return [one_group(int(a), int(b)) for a, b in zip(starts, ends)]
+        return chunk(0, self.n_groups)
 
     # -- kernels; each returns one Python value per group -----------------
 
@@ -389,6 +398,8 @@ class GroupBy:
         key_lists = [self.table.column(k).to_list() for k in self.keys]
         buckets: dict[tuple, list[int]] = {}
         for i in range(len(self.table)):
+            if i % CHECK_EVERY_ROWS == 0:
+                checkpoint()
             key = tuple(values[i] for values in key_lists)
             buckets.setdefault(key, []).append(i)
         return {k: np.array(v, dtype=np.int64) for k, v in buckets.items()}
@@ -459,7 +470,9 @@ class GroupBy:
     ) -> tuple[list[tuple], dict[str, list[object]]]:
         grouped = self._groups_scalar()
         results: dict[str, list[object]] = {out: [] for out, _, _ in plans}
-        for idx in grouped.values():
+        for g, idx in enumerate(grouped.values()):
+            if g % CHECK_EVERY_GROUPS == 0:
+                checkpoint()
             for out_name, in_name, func_name in plans:
                 results[out_name].append(
                     AGGREGATORS[func_name](self.table.column(in_name), idx)
@@ -475,6 +488,7 @@ class GroupBy:
         engine = self._vector_engine()
         results: dict[str, list[object]] = {}
         for out_name, in_name, func_name in plans:
+            checkpoint()  # between plan kernels: each is one hot segment pass
             kernel = getattr(engine, func_name)
             results[out_name] = kernel(self.table.column(in_name))
         return fact.group_keys, results

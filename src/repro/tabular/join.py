@@ -16,8 +16,12 @@ import numpy as np
 
 from repro import obs
 from repro.errors import TabularError
+from repro.serving.resilience import checkpoint
 from repro.tabular.column import Column
 from repro.tabular.factorize import factorize_codes, scalar_kernels_enabled
+
+#: rows between cooperative cancellation checkpoints in the scalar matcher
+_CHECK_EVERY_ROWS = 4096
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.tabular.table import Table
@@ -95,6 +99,8 @@ def _match_scalar(
     right_key_lists = [right.column(k).to_list() for k in keys]
     index: dict[tuple, list[int]] = {}
     for j in range(len(right)):
+        if j % _CHECK_EVERY_ROWS == 0:
+            checkpoint()
         key = tuple(values[j] for values in right_key_lists)
         if any(v is None for v in key):
             continue
@@ -104,6 +110,8 @@ def _match_scalar(
     left_idx: list[int] = []
     right_idx: list[int] = []
     for i in range(len(left)):
+        if i % _CHECK_EVERY_ROWS == 0:
+            checkpoint()
         key = tuple(values[i] for values in left_key_lists)
         matches = index.get(key) if not any(v is None for v in key) else None
         if matches:
@@ -126,10 +134,12 @@ def _match_vector(
     from repro.tabular.table import Table
 
     n_left, n_right = len(left), len(right)
+    checkpoint()  # stage boundary: before the factorise/search pipeline
     stacked = Table(
         {k: left.column(k).concat(right.column(k)) for k in keys}
     )
     codes = factorize_codes(stacked, keys)
+    checkpoint()
     l_codes, r_codes = codes[:n_left], codes[n_left:]
 
     l_null = ~np.logical_and.reduce(

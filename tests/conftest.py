@@ -40,6 +40,21 @@ def _faults_from_env():
         faults.uninstall()
 
 
+@pytest.fixture(autouse=True)
+def _fresh_breakers():
+    """Reset the process-global circuit breakers around every test.
+
+    Breakers are deliberately process-wide (one lattice, one pool), so a
+    test that trips one must not leak an open breaker — and its
+    degraded rung — into the next test.
+    """
+    from repro.serving.resilience import reset_breakers
+
+    reset_breakers()
+    yield
+    reset_breakers()
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _obs_from_env():
     """Honour ``REPRO_OBS`` for the whole suite.

@@ -1,0 +1,84 @@
+"""Overload acceptance: the ``bench-overload`` harness at test scale.
+
+Under 4x oversubscription with injected ``serving.*`` faults, every
+admitted query must complete correctly on its pinned epoch (recompute
+oracle) or fail with a typed error before its deadline; shed queries
+must be rejected fast; no partial or stale answer may ever surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dgms.system import DDDGMS
+from repro.discri.generator import DiScRiGenerator
+from repro.errors import QueryTimeoutError
+from repro.serving.bench_overload import (
+    format_summary,
+    run_overload_bench,
+)
+from repro.storage import faults
+from repro.storage.faults import FaultPlan, FaultRule
+
+
+def test_bench_overload_end_to_end(tmp_path):
+    out = tmp_path / "BENCH_overload.json"
+    payload = run_overload_bench(
+        patients=50,
+        seed=11,
+        oversubscription=4,
+        duration_s=0.6,
+        shed_probes=25,
+        out=out,
+    )
+    # the three acceptance bounds, each gated individually
+    assert payload["shed"]["ok"], payload["shed"]
+    assert payload["chaos"]["ok"], payload["chaos"]
+    assert payload["deadline"]["ok"], payload["deadline"]
+    assert payload["ok"]
+
+    # shed: every probe rejected, all in bounded time
+    shed = payload["shed"]
+    assert shed["shed"] == shed["probes"]
+    assert shed["admitted_probes"] == 0
+    assert shed["shed_max_ms"] < shed["bound_ms"]
+
+    # chaos: work completed, zero wrong/stale answers, typed errors only
+    chaos = payload["chaos"]
+    assert chaos["completed"] > 0
+    assert chaos["wrong"] == 0
+    assert chaos["unexpected"] == 0
+    assert chaos["p99_ms"] <= chaos["p99_bound_ms"]
+
+    # deadline: a stalled dependency cannot outlive the budget
+    deadline = payload["deadline"]
+    assert deadline["timeouts"] == deadline["probes"]
+    assert deadline["max_elapsed_ms"] <= deadline["bound_ms"]
+
+    # the artifact round-trips and the summary renders
+    written = json.loads(out.read_text(encoding="utf-8"))
+    assert written["ok"] is True
+    assert "overload safety" in format_summary(payload)
+
+
+def test_timed_out_query_leaves_the_system_serviceable():
+    cohort = DiScRiGenerator(n_patients=40, seed=3).generate()
+    system = DDDGMS(cohort)
+    system.materialize_lattice()
+
+    def fig4():
+        return (
+            system.query().rows("age_band").columns("gender")
+            .count_records("attendances").execute()
+        )
+
+    expected = sorted(fig4().cells.items())
+    plan = FaultPlan([FaultRule("serving.scan", mode="stall", nth=1)])
+    with faults.injected(plan):
+        with pytest.raises(QueryTimeoutError):
+            (system.query().rows("age_band").columns("gender")
+             .count_records("attendances").within(0.05).execute())
+    # the very next query — no deadline, no faults — is answered correctly
+    assert sorted(fig4().cells.items()) == expected

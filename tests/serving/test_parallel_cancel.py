@@ -1,0 +1,181 @@
+"""Cancelling work mid-fan-out: workers observe the shared cancel flag,
+the pool drains instead of running doomed work to completion, and the
+next query finds the pool fully serviceable — on both kernel paths."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import QueryCancelledError, QueryTimeoutError
+from repro.serving.parallel import map_group_ranges, parallel_map
+from repro.serving.resilience import (
+    Deadline,
+    checkpoint,
+    deadline_scope,
+)
+from repro.tabular.join import hash_join
+from repro.tabular.table import Table
+
+WORKERS = 4
+
+
+def _spin_until_cancelled(started: threading.Semaphore):
+    """A worker body that only exits via a cooperative checkpoint."""
+
+    def body(item):
+        started.release()
+        deadline = time.monotonic() + 10.0  # backstop against a hang
+        while time.monotonic() < deadline:
+            checkpoint()
+            time.sleep(0.001)
+        raise AssertionError("worker was never cancelled")  # pragma: no cover
+
+    return body
+
+
+class TestFanoutCancellation:
+    def test_sibling_failure_cancels_and_drains_the_fanout(self):
+        started = threading.Semaphore(0)
+        spin = _spin_until_cancelled(started)
+
+        def fn(item):
+            if item == 0:
+                # fail only once every sibling is running, so the drain is
+                # observable (not a lucky early exit)
+                for _ in range(WORKERS - 1):
+                    assert started.acquire(timeout=5.0)
+                raise ValueError("worker zero exploded")
+            return spin(item)
+
+        start = time.perf_counter()
+        with pytest.raises(ValueError, match="worker zero exploded"):
+            parallel_map(fn, list(range(WORKERS)), max_workers=WORKERS)
+        # the drain is prompt: siblings leave at their next checkpoint,
+        # they do not run out their 10 s spin
+        assert time.perf_counter() - start < 5.0
+
+    def test_external_cancel_reaches_every_worker(self):
+        started = threading.Semaphore(0)
+        parent = Deadline()
+        outcome: dict = {}
+
+        def run() -> None:
+            with deadline_scope(parent):
+                try:
+                    parallel_map(
+                        _spin_until_cancelled(started),
+                        list(range(WORKERS)),
+                        max_workers=WORKERS,
+                    )
+                except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                    outcome["error"] = exc
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        for _ in range(WORKERS):
+            assert started.acquire(timeout=5.0)
+        parent.cancel("caller gave up")
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert isinstance(outcome["error"], QueryCancelledError)
+        assert "caller gave up" in str(outcome["error"])
+
+    def test_deadline_expiry_mid_fanout_raises_timeout(self):
+        started = threading.Semaphore(0)
+        start = time.perf_counter()
+        with deadline_scope(Deadline(0.05)):
+            with pytest.raises(QueryTimeoutError):
+                parallel_map(
+                    _spin_until_cancelled(started),
+                    list(range(WORKERS)),
+                    max_workers=WORKERS,
+                )
+        assert time.perf_counter() - start < 5.0
+
+    def test_pool_serves_the_next_query_after_a_drain(self):
+        started = threading.Semaphore(0)
+        with deadline_scope(Deadline(0.05)):
+            with pytest.raises(QueryTimeoutError):
+                parallel_map(
+                    _spin_until_cancelled(started),
+                    list(range(WORKERS)),
+                    max_workers=WORKERS,
+                )
+        # a fresh fan-out (no deadline) is completely unaffected
+        assert parallel_map(
+            lambda x: x + 1, list(range(100)), max_workers=WORKERS
+        ) == list(range(1, 101))
+        # and the group-range fan-out reassembles the serial order
+        assert map_group_ranges(
+            lambda lo, hi: list(range(lo, hi)),
+            256,
+            max_workers=WORKERS,
+            min_groups=2,
+        ) == list(range(256))
+
+
+# --------------------------------------------------------------------------
+# Kernel checkpoints, both paths
+# --------------------------------------------------------------------------
+
+def _frame(n: int = 20_000) -> Table:
+    return Table.from_columns(
+        {
+            "k": [f"g{i % 50}" for i in range(n)],
+            "v": list(range(n)),
+        }
+    )
+
+
+@pytest.fixture(params=["vector", "scalar"])
+def kernel_path(request, monkeypatch):
+    if request.param == "scalar":
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "1")
+    else:
+        monkeypatch.delenv("REPRO_SCALAR_KERNELS", raising=False)
+    return request.param
+
+
+class TestKernelCancellation:
+    def test_groupby_observes_an_expired_deadline(self, kernel_path):
+        frame = _frame()
+        with deadline_scope(Deadline(0.0)):
+            with pytest.raises(QueryTimeoutError):
+                frame.groupby("k").agg(total=("v", "sum"))
+        # the same aggregation succeeds once the deadline is gone — no
+        # torn kernel state survives the cancellation
+        result = frame.groupby("k").agg(total=("v", "sum"))
+        assert result.num_rows == 50
+
+    def test_groupby_observes_a_cancelled_query(self, kernel_path):
+        frame = _frame()
+        deadline = Deadline()
+        deadline.cancel("epoch retired")
+        with deadline_scope(deadline):
+            with pytest.raises(QueryCancelledError):
+                frame.groupby("k").agg(total=("v", "sum"))
+
+    def test_join_observes_an_expired_deadline(self, kernel_path):
+        left = _frame(5_000)
+        right = _frame(5_000).rename({"v": "w"})
+        with deadline_scope(Deadline(0.0)):
+            with pytest.raises(QueryTimeoutError):
+                hash_join(left, right, on="k")
+        joined = hash_join(left.head(100), right.head(100), on="k")
+        assert joined.num_rows > 0
+
+    def test_parallel_groupby_cancels_mid_fanout(self, kernel_path, monkeypatch):
+        if kernel_path == "scalar":
+            pytest.skip("the group-range fan-out only engages on the vector path")
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        from repro.serving import parallel
+
+        monkeypatch.setattr(parallel, "_default_workers", None)
+        frame = _frame(50_000)
+        with deadline_scope(Deadline(0.0)):
+            with pytest.raises(QueryTimeoutError):
+                frame.groupby("k").agg(total=("v", "sum"))
+        assert frame.groupby("k").agg(total=("v", "sum")).num_rows == 50

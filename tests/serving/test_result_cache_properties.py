@@ -142,3 +142,72 @@ def test_lru_eviction_prefers_stale_entries():
     cache.put(epoch, "q3", _recompute(epoch, "q3"))
     present = {plan for _, plan in cache.keys()}
     assert present == {"q0", "q2", "q3"}
+
+
+def test_timed_out_query_never_leaves_a_cache_entry():
+    """Cancellation regression: a query that dies on its deadline must not
+    store a partial result or poison its ``(epoch, plan)`` key.
+
+    The stall is injected at the base scan, *after* the cache-miss get, so
+    the query dies mid-compute — the exact window where a careless
+    implementation would have something partial in hand to store.
+    """
+    import pytest
+
+    from repro.dgms.system import DDDGMS
+    from repro.discri.generator import DiScRiGenerator
+    from repro.errors import QueryTimeoutError
+    from repro.storage import faults
+    from repro.storage.faults import FaultPlan, FaultRule
+
+    cohort = DiScRiGenerator(n_patients=40, seed=5).generate()
+    system = DDDGMS(cohort)
+    cache = system.attach_result_cache(True)
+
+    def run(budget_s=None):
+        query = (
+            system.query().rows("age_band").columns("gender")
+            .count_records("attendances")
+        )
+        if budget_s is not None:
+            query = query.within(budget_s)
+        return query.execute()
+
+    plan = FaultPlan([FaultRule("serving.scan", mode="stall", nth=0)])
+    with faults.injected(plan):
+        with pytest.raises(QueryTimeoutError):
+            run(budget_s=0.05)
+    # nothing was stored for the timed-out query...
+    assert len(cache) == 0
+    assert cache.stats_snapshot()["stores"] == 0
+
+    # ...and the key is not poisoned: the same plan computes, stores and
+    # then hits, with the correct cells
+    first = run()
+    assert cache.stats_snapshot()["stores"] == 1
+    second = run()
+    assert cache.stats_snapshot()["hits"] >= 1
+    assert sorted(first.cells.items()) == sorted(second.cells.items())
+
+
+def test_cancelled_query_never_leaves_a_cache_entry():
+    """Same regression for explicit cancellation (not expiry)."""
+    import pytest
+
+    from repro.dgms.system import DDDGMS
+    from repro.discri.generator import DiScRiGenerator
+    from repro.errors import QueryCancelledError
+    from repro.serving.resilience import Deadline, deadline_scope
+
+    cohort = DiScRiGenerator(n_patients=40, seed=5).generate()
+    system = DDDGMS(cohort)
+    cache = system.attach_result_cache(True)
+
+    doomed = Deadline()
+    doomed.cancel("client disconnected")
+    with deadline_scope(doomed):
+        with pytest.raises(QueryCancelledError):
+            (system.query().rows("age_band").columns("gender")
+             .count_records("attendances").execute())
+    assert len(cache) == 0
+    assert cache.stats_snapshot()["stores"] == 0

@@ -74,7 +74,18 @@ class TestModes:
 
     def test_bad_nth_rejected(self):
         with pytest.raises(StorageError, match="nth"):
-            FaultRule("p", nth=0)
+            FaultRule("p", nth=-1)
+
+    def test_nth_zero_fires_on_every_hit(self):
+        rule = FaultRule("p", nth=0)
+        assert all(rule.matches("p", count) for count in (1, 2, 7))
+
+    def test_every_hit_parses_from_env(self):
+        plan = plan_from_env("p:error@0,q:slow@*")
+        assert plan.rules == [
+            FaultRule("p", mode="error", nth=0),
+            FaultRule("q", mode="slow", nth=0),
+        ]
 
 
 class TestEnvParsing:
