@@ -50,6 +50,8 @@ __all__ = [
     "CubeSnapshot",
     "ServingConfig",
     "ServingRuntime",
+    "StorageConfig",
+    "PartitioningSpec",
     "Deadline",
     "ServingOverloadError",
     "QueryTimeoutError",
@@ -84,6 +86,8 @@ def open_system(source, *, config: "SystemConfig | None" = None) -> "DDDGMS":
 
         configure_workers(settings.max_workers)
     system = DDDGMS(source, promotion_threshold=settings.promotion_threshold)
+    if settings.storage is not None and settings.storage is not False:
+        system.attach_storage(settings.storage)
     if settings.cache is not None and settings.cache is not False:
         system.attach_result_cache(settings.cache)
     if settings.serving is not None and settings.serving is not False:
@@ -101,6 +105,8 @@ _LAZY_EXPORTS = {
     "CubeSnapshot": ("repro.olap.cube", "CubeSnapshot"),
     "ServingConfig": ("repro.serving.admission", "ServingConfig"),
     "ServingRuntime": ("repro.serving.admission", "ServingRuntime"),
+    "StorageConfig": ("repro.storage.columnar", "StorageConfig"),
+    "PartitioningSpec": ("repro.storage.columnar", "PartitioningSpec"),
     "Deadline": ("repro.serving.resilience", "Deadline"),
     "ServingOverloadError": ("repro.errors", "ServingOverloadError"),
     "QueryTimeoutError": ("repro.errors", "QueryTimeoutError"),

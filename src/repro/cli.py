@@ -20,7 +20,10 @@ Commands:
 * ``bench-overload`` — overload harness: admission-gate shed latency,
   4x-oversubscribed readers under injected serving chaos with a
   recompute oracle, and deadline enforcement under a stalled cache;
-  writes ``BENCH_overload.json``.
+  writes ``BENCH_overload.json``;
+* ``bench-partition`` — partitioned-storage harness: pruned-vs-full
+  byte parity on both kernel paths, zone-map scan speedup at 10x rows,
+  and dict/RLE encoding memory savings; writes ``BENCH_partition.json``.
 
 A cohort can come from ``--cohort file.csv`` (as written by ``generate``)
 or be simulated on the fly with ``--patients/--seed``.  Every command
@@ -327,6 +330,24 @@ def _cmd_bench_overload(args: argparse.Namespace) -> int:
     return 0 if payload["ok"] else 1
 
 
+def _cmd_bench_partition(args: argparse.Namespace) -> int:
+    from repro.storage.columnar.bench import (
+        format_summary,
+        run_partition_bench,
+    )
+
+    payload = run_partition_bench(
+        patients=args.patients,
+        scale=args.scale,
+        seed=args.seed,
+        repeats=args.repeats,
+        out=args.out,
+    )
+    print(format_summary(payload))
+    print(f"full results written to {args.out}")
+    return 0 if payload["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -509,6 +530,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="result JSON path (default ./BENCH_overload.json)",
     )
     overload.set_defaults(func=_cmd_bench_overload)
+
+    partition = commands.add_parser(
+        "bench-partition",
+        help="partitioned-storage harness: pruned-vs-full parity, "
+             "zone-map scan speedup at scale, encoding memory savings; "
+             "writes BENCH_partition.json",
+    )
+    partition.add_argument(
+        "--patients", type=int, default=1200,
+        help="base cohort patients; speedup runs at scale x this (default 1200)",
+    )
+    partition.add_argument(
+        "--scale", type=int, default=10,
+        help="row multiplier for the speedup phase (default 10)",
+    )
+    partition.add_argument("--seed", type=int, default=42,
+                           help="simulation seed")
+    partition.add_argument(
+        "--repeats", type=int, default=7,
+        help="timing repeats per probe, best-of (default 7)",
+    )
+    partition.add_argument(
+        "--out", type=Path, default=Path("BENCH_partition.json"),
+        help="result JSON path (default ./BENCH_partition.json)",
+    )
+    partition.set_defaults(func=_cmd_bench_partition)
     return parser
 
 

@@ -99,6 +99,16 @@ class SystemConfig:
     under the configured default deadline, and broken dependencies
     degrade one rung down the documented ladder instead of failing the
     query.  ``None``/``False`` keeps the historical unbounded behaviour.
+
+    ``storage`` partitions the flat view into a compressed columnar
+    store (DESIGN.md §"Partitioned storage"): ``True`` for automatic
+    partitioning + encodings, a
+    :class:`~repro.storage.columnar.StorageConfig` for explicit choices
+    (partitioning spec, per-column encodings, scan executor).  Filtered
+    queries then prune partitions via zone maps before any kernel runs —
+    answers stay byte-identical.  The legacy direct spellings
+    ``partitioning=`` / ``scan_procs=`` still work behind a
+    ``DeprecationWarning`` and fold into ``storage``.
     """
 
     observability: str = ""
@@ -108,6 +118,43 @@ class SystemConfig:
     cache: "ResultCache | CacheConfig | int | bool | None" = None
     max_workers: int | None = None
     serving: "ServingRuntime | ServingConfig | bool | None" = None
+    storage: "object | bool | None" = None
+    #: deprecated: use ``storage=StorageConfig(partitioning=...)``
+    partitioning: "object | None" = None
+    #: deprecated: use ``storage=StorageConfig(scan_procs=...)``
+    scan_procs: int | None = None
+
+    def __post_init__(self) -> None:
+        # Deprecation shims (the repro.persistence precedent): the old
+        # direct attributes keep working, emit a warning, and fold into
+        # the canonical ``storage=StorageConfig(...)`` spelling.
+        if self.partitioning is None and self.scan_procs is None:
+            return
+        from repro.storage.columnar import StorageConfig, coerce_storage
+
+        warnings.warn(
+            "SystemConfig(partitioning=..., scan_procs=...) is deprecated; "
+            "use SystemConfig(storage=StorageConfig(partitioning=..., "
+            "scan_procs=...)) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        base = coerce_storage(self.storage) or StorageConfig()
+        merged = StorageConfig(
+            partitioning=(
+                self.partitioning
+                if self.partitioning is not None
+                else base.partitioning
+            ),
+            encodings=base.encodings,
+            scan_executor=base.scan_executor,
+            scan_procs=(
+                self.scan_procs if self.scan_procs is not None else base.scan_procs
+            ),
+        )
+        object.__setattr__(self, "storage", merged)
+        object.__setattr__(self, "partitioning", None)
+        object.__setattr__(self, "scan_procs", None)
 
 
 class DDDGMS:
@@ -176,6 +223,8 @@ class DDDGMS:
         self._result_cache: ResultCache | None = None
         #: admission gate + breakers, re-attached to every rebuilt cube
         self._serving: ServingRuntime | None = None
+        #: partitioned-storage config, applied to every (re)built cube
+        self._storage_config = None
         with obs.span("dgms.build", rows=source.num_rows):
             with obs.span("dgms.load_operational"):
                 if _operational is not None:
@@ -206,7 +255,7 @@ class DDDGMS:
             self.etl_audit = self._built.etl_result.audit
             # managed: readers never flatten a half-mutated warehouse; only
             # the writer's explicit publish (at commit) moves the epoch
-            self.cube = Cube(self.warehouse, managed=True)
+            self.cube = self._new_cube(self.warehouse)
             self.knowledge_base = KnowledgeBase(promotion_threshold)
             #: feedback builders folded so far, replayed after every re-ingest
             self._feedback_builders: list[FeedbackDimensionBuilder] = []
@@ -385,6 +434,67 @@ class DDDGMS:
     def serving(self) -> ServingRuntime | None:
         """The attached serving runtime (admission + breakers), if any."""
         return self._serving
+
+    def _new_cube(self, warehouse) -> Cube:
+        """A managed cube with the system's storage config pre-attached.
+
+        Storage must attach at *construction*, not commit: lattice
+        re-materialisation forces the new cube's epoch before
+        :meth:`_commit_cube` runs, and that first epoch must already be
+        partitioned or the whole rebuild serves monolithic.
+        """
+        cube = Cube(warehouse, managed=True)
+        if self._storage_config is not None:
+            cube.attach_storage(self._storage_config)
+        return cube
+
+    def attach_storage(self, storage) -> "object | None":
+        """Attach (or detach, with ``None``) partitioned columnar storage.
+
+        Accepts every ``SystemConfig(storage=...)`` spelling
+        (:class:`~repro.storage.columnar.StorageConfig`, a mapping of its
+        fields, ``True`` for defaults).  Every ingest-rebuilt successor
+        cube inherits the config; if the current cube has already
+        published an epoch, a fresh store-backed epoch is published
+        immediately (a re-materialised lattice is the caller's job).
+        Returns the coerced config.
+        """
+        from repro.storage.columnar import coerce_storage
+
+        with self._writer_lock:
+            self._storage_config = coerce_storage(storage)
+            self.cube.attach_storage(self._storage_config)
+            if self.cube._state is not None:
+                state = self.cube.publish()
+                self._cache_epoch_published(state.epoch)
+        return self._storage_config
+
+    @property
+    def storage_config(self):
+        """The attached partitioned-storage config, if any."""
+        return self._storage_config
+
+    def compact_storage(self):
+        """Merge the current epoch's delta segments (writer-serialised).
+
+        Publishes a compacted store as a new epoch; pinned snapshots keep
+        the old segments.  No-op (returns ``None``) without a
+        partitioned store.
+        """
+        with self._writer_lock:
+            state = self.cube.compact_storage()
+            if state is not None:
+                self._cache_epoch_published(state.epoch)
+            return state
+
+    def _storage_health(self) -> "dict | None":
+        """Segment/encoding stats for ``ingest_health()`` (None if unused)."""
+        if self._storage_config is None:
+            return None
+        state = self.cube._state
+        if state is None or state.store is None:
+            return {"attached": True, "built": False}
+        return {"attached": True, "built": True, **state.store.stats()}
 
     @property
     def epoch(self) -> int:
@@ -763,7 +873,7 @@ class DDDGMS:
             source = self.source.append(batch_tbl)
             with obs.span("dgms.ingest.rebuild"):
                 built = build_discri_warehouse(source)
-                cube = Cube(built.warehouse, managed=True)
+                cube = self._new_cube(built.warehouse)
             with obs.span(
                 "dgms.ingest.feedback_replay",
                 builders=len(self._feedback_builders),
@@ -900,7 +1010,7 @@ class DDDGMS:
         """
         staged = ListSink()
         built = build_discri_warehouse(source, quarantine=staged, batch=batch)
-        cube = Cube(built.warehouse, managed=True)
+        cube = self._new_cube(built.warehouse)
         return built, cube, staged
 
     def _commit_staged(self, staged: ListSink) -> None:
@@ -1254,6 +1364,7 @@ class DDDGMS:
             "serving": (
                 self._serving.snapshot() if self._serving is not None else None
             ),
+            "storage": self._storage_health(),
             #: breakers are process-global — report them even without a
             #: configured runtime so chaos harnesses see degradations
             "degradations": resilience.active_degradations(),

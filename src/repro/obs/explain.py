@@ -106,6 +106,32 @@ class ExplainReport:
         """JSON-ready rendering (plan only; the grid renders itself)."""
         return {"query": self.query, "plan": self.plan.to_dict()}
 
+    def partition_stats(self) -> dict | None:
+        """Partition-pruning summary from the base scan, if one ran.
+
+        Returns ``{partitions_scanned, partitions_pruned, segments_total,
+        partitions}`` where ``partitions`` lists per-partition detail
+        (segment id, band/bucket key, estimated vs actual rows, ms) —
+        ``None`` when the query answered without a partitioned base scan
+        (lattice hit, cache hit, or no partitioned store attached).
+        """
+        import json
+
+        for node in self.plan.walk():
+            if node.op != "scan.base":
+                continue
+            attrs = node.attrs
+            if "partitions_scanned" not in attrs:
+                continue
+            detail = attrs.get("partition_detail")
+            return {
+                "partitions_scanned": attrs["partitions_scanned"],
+                "partitions_pruned": attrs["partitions_pruned"],
+                "segments_total": attrs["segments_total"],
+                "partitions": json.loads(detail) if detail else [],
+            }
+        return None
+
     def __str__(self) -> str:
         return self.to_text()
 

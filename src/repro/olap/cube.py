@@ -41,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.olap.query import QueryBuilder
     from repro.serving.admission import ServingRuntime
     from repro.serving.cache import ResultCache
+    from repro.storage.columnar import PartitionedStore, StorageConfig
 
 
 class CubeState:
@@ -55,7 +56,7 @@ class CubeState:
 
     __slots__ = (
         "epoch", "schema_version", "qattrs", "groupbys", "lock",
-        "_flat", "_parts",
+        "_flat", "_parts", "store",
     )
 
     def __init__(
@@ -66,32 +67,45 @@ class CubeState:
         qattrs: dict[str, tuple[str, str]],
         *,
         parts: Sequence[Table] | None = None,
+        store: "PartitionedStore | None" = None,
     ):
-        if flat is None and not parts:
+        if flat is None and not parts and store is None:
             raise OLAPError("CubeState needs a flat view or parts to build one")
         self.epoch = epoch
         self.schema_version = schema_version
         #: either the materialised flat view, or None while ``_parts``
         #: holds the predecessor's view plus appended row blocks — a
         #: delta publish stays O(batch) and the concatenation happens on
-        #: the first read that actually needs the full view
+        #: the first read that actually needs the full view.  With a
+        #: partitioned ``store`` attached, None means the flat view is
+        #: decoded from the store's segments on the first read that
+        #: actually needs it — filtered scans never force it.
         self._flat = flat
         self._parts: list[Table] | None = (
-            list(parts) if flat is None else None
+            list(parts) if flat is None and parts else None
         )
+        #: partitioned columnar segments holding exactly this epoch's
+        #: rows (immutable, like the state itself); None when the epoch
+        #: runs on the classic monolithic flat view
+        self.store = store
         self.qattrs = qattrs
         self.groupbys: dict[tuple[str, ...], GroupBy] = {}
         self.lock = threading.Lock()
 
     @property
     def flat(self) -> Table:
-        """The epoch's flat view (concatenated on first access if lazy)."""
+        """The epoch's flat view (concatenated/decoded on first access)."""
         flat = self._flat
         if flat is None:
             with self.lock:
                 flat = self._flat
                 if flat is None:
-                    flat = Table.concat_all(self._parts)  # type: ignore[arg-type]
+                    if self._parts is not None:
+                        flat = Table.concat_all(self._parts)
+                    else:
+                        # store-backed epoch: decode all segments back
+                        # into exact flat-view row order
+                        flat = self.store.to_table()  # type: ignore[union-attr]
                     self._flat = flat
         return flat
 
@@ -103,7 +117,35 @@ class CubeState:
         with self.lock:
             if self._flat is not None:
                 return self._flat.num_rows
-            return sum(part.num_rows for part in self._parts)  # type: ignore[union-attr]
+            if self._parts is not None:
+                return sum(part.num_rows for part in self._parts)
+            return self.store.num_rows  # type: ignore[union-attr]
+
+    def scan_filter(
+        self, filters: "Expression | None"
+    ) -> "tuple[Table, object | None]":
+        """Partition-aware ``flat.filter``: ``(rows, ScanStats | None)``.
+
+        Store-backed epochs prune segments via zone maps and fan the
+        surviving scans out (byte-identical to the flat filter); classic
+        epochs fall through to the monolithic path with ``None`` stats.
+        """
+        if self.store is not None:
+            return self.store.scan_filter(filters)
+        flat = self.flat
+        return (flat if filters is None else flat.filter(filters)), None
+
+    def scan(self, predicate: "Expression | None" = None):
+        """Iterate the epoch's rows partition by partition.
+
+        Yields decoded per-segment chunks for store-backed epochs
+        (pruned by zone maps); a single flat-view chunk otherwise.
+        """
+        if self.store is not None:
+            for _segment, chunk in self.store.scan(predicate):
+                yield chunk
+        else:
+            yield self.flat
 
     def flat_is(self, table: Table) -> bool:
         """Identity test against the materialised flat view.
@@ -119,7 +161,11 @@ class CubeState:
         with self.lock:
             if self._flat is not None:
                 return [self._flat]
-            return list(self._parts)  # type: ignore[arg-type]
+            if self._parts is not None:
+                return list(self._parts)
+        # store-backed and not yet decoded: the decoded flat view is the
+        # single block (forces the decode outside the state lock)
+        return [self.flat]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -151,6 +197,17 @@ def plan_key(
         filters.describe() if filters is not None else None,
         bool(force),
     )
+
+
+def _partition_detail(stats) -> str:
+    """Per-partition est/actual/timing detail as a compact JSON string.
+
+    Lives in a span attribute (scalars only survive every sink), parsed
+    back by :meth:`repro.obs.explain.ExplainReport.partition_stats`.
+    """
+    import json
+
+    return json.dumps(stats.partitions, separators=(",", ":"))
 
 
 class Cube:
@@ -194,6 +251,7 @@ class Cube:
         self._lattice: "MaterializedCube | None" = None
         self._result_cache: "ResultCache | None" = None
         self._serving: "ServingRuntime | None" = None
+        self._storage_config: "StorageConfig | None" = None
 
     def _current_version(self) -> int:
         return self._dynamic.version if self._dynamic is not None else 1
@@ -229,11 +287,25 @@ class Cube:
         with obs.span("cube.flatten", cube=self.name) as sp:
             flat = self.schema.flatten()
             sp.set(rows=flat.num_rows)
+        store = None
+        if self._storage_config is not None:
+            from repro.storage.columnar import PartitionedStore
+
+            with obs.span("storage.partition", cube=self.name) as part_sp:
+                store = PartitionedStore.build(flat, self._storage_config)
+                part_sp.set(
+                    segments=len(store.segments),
+                    partitions=store.partition_count(),
+                )
         state = CubeState(
             epoch=next_epoch_id(),
             schema_version=self._current_version(),
+            # store-backed epochs keep the just-flattened view too: it is
+            # already materialised, so dropping it would only force an
+            # immediate re-decode on the first unfiltered aggregate
             flat=flat,
             qattrs=self.schema.qualified_attributes(),
+            store=store,
         )
         self._state = state
         obs.set_gauge("serving.epoch", state.epoch)
@@ -275,6 +347,35 @@ class Cube:
                     f"(v{prev.schema_version} -> v{version}): full publish "
                     "required"
                 )
+            if prev.store is not None:
+                # partitioned epoch: append the delta as fresh segments
+                # routed through the store's resolved spec — O(batch),
+                # and the predecessor's segments are shared, not copied
+                if delta_flat.num_rows and (
+                    delta_flat.column_names != list(prev.store.schema)
+                    or delta_flat.schema != prev.store.schema
+                ):
+                    raise OLAPError(
+                        "publish_delta: appended rows do not match the "
+                        "epoch's flat-view schema; full publish required"
+                    )
+                store = (
+                    prev.store.append(delta_flat)
+                    if delta_flat.num_rows
+                    else prev.store
+                )
+                state = CubeState(
+                    epoch=next_epoch_id(),
+                    schema_version=version,
+                    flat=None,
+                    qattrs=prev.qattrs,
+                    store=store,
+                )
+                self._state = state
+                obs.count("olap.flat.delta_publish")
+                obs.count("storage.segment.appends")
+                obs.set_gauge("serving.epoch", state.epoch)
+                return state
             parts = prev.parts_snapshot()
             if delta_flat.num_rows:
                 if (
@@ -452,6 +553,66 @@ class Cube:
         """The attached serving runtime (admission + breakers), if any."""
         return self._serving
 
+    def attach_storage(self, config: "StorageConfig | bool | None") -> None:
+        """Partition future epochs into a compressed columnar store.
+
+        Takes effect at the next epoch build (``publish`` / first query):
+        the flat view is sharded per ``config.partitioning`` into
+        encoded segments with zone maps, filtered base scans prune and
+        fan out per partition, and ``publish_delta`` appends segments
+        instead of lazy row blocks.  ``None``/``False`` detaches (future
+        epochs revert to the monolithic flat view); already-published
+        store-backed epochs are immutable and keep serving as built.
+        """
+        from repro.storage.columnar import coerce_storage
+
+        self._storage_config = coerce_storage(config)
+
+    @property
+    def storage_config(self) -> "StorageConfig | None":
+        """The attached storage configuration, if any."""
+        return self._storage_config
+
+    def compact_storage(self) -> CubeState | None:
+        """Merge delta segments back to one segment per partition.
+
+        Publishes the compacted store as a **new epoch** — readers
+        pinned to the old epoch (and any :class:`CubeSnapshot` taken
+        mid-compaction) keep the old segments untouched, so a
+        half-compacted table is never observable.  Fires the
+        ``storage.compaction`` fault point before the swap: a kill
+        leaves the old epoch current.  Returns the new state, or None
+        when the current epoch has no partitioned store.
+        """
+        with self._rebuild_lock:
+            prev = self._state
+            if prev is None or prev.store is None:
+                return None
+            with obs.span("storage.compact", cube=self.name) as sp:
+                compacted = prev.store.compact()
+                sp.set(
+                    segments_before=len(prev.store.segments),
+                    segments_after=len(compacted.segments),
+                )
+                # commit point: a crash here must leave the old epoch
+                # serving its (uncompacted but complete) segments
+                faults.fire("storage.compaction")
+                state = CubeState(
+                    epoch=next_epoch_id(),
+                    schema_version=prev.schema_version,
+                    flat=None,
+                    qattrs=prev.qattrs,
+                    store=compacted,
+                )
+                self._state = state
+            obs.count("storage.compactions")
+            obs.set_gauge("serving.epoch", state.epoch)
+            return state
+
+    def scan(self, predicate: Expression | None = None):
+        """Iterate the current epoch's rows partition by partition."""
+        return self._current_state().scan(predicate)
+
     def aggregate(
         self,
         levels: Sequence[str],
@@ -599,7 +760,6 @@ class Cube:
         """The lattice-free aggregation path (a full scan of the flat view)."""
         if state is None:
             state = self._current_state()
-        flat = state.flat
         qualified = [self.check_level(level, state) for level in levels]
         aggregations = dict(aggregations or {self.RECORDS: (self.RECORDS, "size")})
         obs.count("olap.aggregate.base_scans")
@@ -609,12 +769,39 @@ class Cube:
             # to degrade to, so injected errors propagate typed
             faults.fire("serving.scan")
             checkpoint()
-            if filters is None:
-                table = flat
+            if state.store is not None and filters is not None:
+                # partitioned scan: zone maps prune segments before any
+                # kernel runs; answers stay byte-identical to the flat
+                # filter (rows come back in flat-view order)
+                table, stats = state.store.scan_filter(filters)
+                scan_sp.set(
+                    predicate=filters.describe(),
+                    partitions_scanned=stats.segments_scanned,
+                    partitions_pruned=stats.segments_pruned,
+                    segments_total=stats.segments_total,
+                    scan_executor=stats.executor,
+                    partition_detail=_partition_detail(stats),
+                )
+                scan_sp.set(
+                    rows_scanned=stats.rows_scanned, rows_kept=table.num_rows
+                )
             else:
-                table = flat.filter(filters)
-                scan_sp.set(predicate=filters.describe())
-            scan_sp.set(rows_scanned=flat.num_rows, rows_kept=table.num_rows)
+                flat = state.flat
+                if filters is None:
+                    table = flat
+                else:
+                    table = flat.filter(filters)
+                    scan_sp.set(predicate=filters.describe())
+                if state.store is not None:
+                    # unfiltered scan over a partitioned epoch: nothing
+                    # to prune, but the contract fields stay present
+                    total = len(state.store.segments)
+                    scan_sp.set(
+                        partitions_scanned=total,
+                        partitions_pruned=0,
+                        segments_total=total,
+                    )
+                scan_sp.set(rows_scanned=flat.num_rows, rows_kept=table.num_rows)
 
         specs: dict[str, tuple[str, str]] = {}
         for out_name, (target, func) in aggregations.items():
@@ -733,6 +920,15 @@ class CubeSnapshot:
         """The owning cube's serving runtime — limits are system-wide,
         not per-epoch, so snapshots share the live gate and breakers."""
         return self._cube.serving_runtime
+
+    def scan(self, predicate: Expression | None = None):
+        """Iterate the pinned epoch's rows partition by partition."""
+        return self._state.scan(predicate)
+
+    @property
+    def store(self):
+        """The pinned epoch's partitioned store (None when monolithic)."""
+        return self._state.store
 
     def qualified_attributes(self) -> dict[str, tuple[str, str]]:
         """The pinned epoch's level map."""

@@ -1,0 +1,165 @@
+"""Scan executors: serial, thread-pool, and multiprocess partition fan-out.
+
+Partition scans are embarrassingly parallel — each surviving segment
+decodes and filters independently and the store reassembles global order
+afterwards — but the thread pool in :mod:`repro.serving.parallel` only
+beats the GIL while numpy holds it released.  Decode-heavy scans over
+dictionary/RLE columns spend real time in Python, so this module adds a
+**process** executor: a fork-based pool whose children inherit the
+segments through :data:`_FORK_STATE` (set immediately before the fork),
+so tasks ship only ``(segment index, predicate)`` and results ship only
+the kept rows — the encoded data itself is never pickled.
+
+Mode selection (config wins, then environment, then serial)::
+
+    StorageConfig(scan_executor="processes", scan_procs=4)   # explicit
+    REPRO_SCAN_PROCS=4 python ...                            # env opt-in
+
+``REPRO_SCAN_PROCS=N`` (N >= 2) selects the process executor with N
+workers when the config leaves ``scan_executor`` unset.  Platforms
+without ``fork`` (and single-survivor scans, where fan-out is pure
+overhead) degrade to the serial loop — identical results, same contract
+as every other degradation rung in the engine.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro import obs
+from repro.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.columnar.segment import Segment
+    from repro.tabular.expressions import Expression
+
+#: Environment opt-in for the multiprocess scan executor (worker count).
+SCAN_PROCS_ENV = "REPRO_SCAN_PROCS"
+
+#: segments inherited by forked scan workers (set around pool creation)
+_FORK_STATE: dict = {"segments": None}
+
+
+@dataclass(frozen=True)
+class ScanMode:
+    """Resolved executor choice: name + worker budget."""
+
+    name: str
+    workers: int
+
+
+def _env_procs() -> int:
+    raw = os.environ.get(SCAN_PROCS_ENV, "").strip()
+    if not raw:
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0
+
+
+def resolve_mode(executor: str | None, procs: int | None) -> ScanMode:
+    """Resolve the executor spelling to a concrete mode.
+
+    Explicit config wins; with no config, ``REPRO_SCAN_PROCS >= 2``
+    opts into processes; otherwise scans run serially (the bit-identical
+    default, mirroring ``REPRO_WORKERS``'s opt-in philosophy).
+    """
+    if executor is None:
+        env = _env_procs()
+        if env >= 2:
+            return ScanMode("processes", env)
+        return ScanMode("serial", 1)
+    if executor == "serial":
+        return ScanMode("serial", 1)
+    if executor == "threads":
+        from repro.serving.parallel import default_workers
+
+        workers = procs if procs is not None else max(default_workers(), 2)
+        return ScanMode("threads", max(2, workers))
+    if executor == "processes":
+        workers = procs if procs is not None else (_env_procs() or 2)
+        return ScanMode("processes", max(2, workers))
+    raise StorageError(f"unknown scan executor {executor!r}")
+
+
+def _fork_available() -> bool:
+    try:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def _scan_one(segments: Sequence["Segment"], idx: int, predicate):
+    from repro.storage.columnar.store import filter_segment
+
+    return filter_segment(segments[idx], predicate)
+
+
+def _child_scan(task):
+    """Executed in a forked worker: scan one inherited segment."""
+    idx, predicate = task
+    segments = _FORK_STATE["segments"]
+    return _scan_one(segments, idx, predicate)
+
+
+def run_scan(
+    segments: Sequence["Segment"],
+    survivors: Sequence[int],
+    predicate: "Expression | None",
+    mode: ScanMode,
+) -> list:
+    """Scan the surviving segments under ``mode``; results in survivor order.
+
+    Each result is ``filter_segment``'s ``(kept_row_index, kept_columns,
+    elapsed_ms)`` tuple.
+    """
+    if not survivors:
+        return []
+    if mode.name == "serial" or len(survivors) == 1:
+        return [_scan_one(segments, i, predicate) for i in survivors]
+    if mode.name == "threads":
+        from repro.serving.parallel import parallel_map
+
+        return parallel_map(
+            lambda i: _scan_one(segments, i, predicate),
+            list(survivors),
+            max_workers=mode.workers,
+        )
+    if mode.name == "processes":
+        if not _fork_available():
+            obs.count("storage.scan.procs_degraded")
+            return [_scan_one(segments, i, predicate) for i in survivors]
+        return _run_forked(segments, survivors, predicate, mode.workers)
+    raise StorageError(f"unknown scan mode {mode.name!r}")
+
+
+def _run_forked(
+    segments: Sequence["Segment"],
+    survivors: Sequence[int],
+    predicate: "Expression | None",
+    workers: int,
+) -> list:
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    # children inherit the segments via fork: publish them before the
+    # pool starts, clear after — tasks carry only (index, predicate)
+    _FORK_STATE["segments"] = segments
+    try:
+        with ctx.Pool(processes=min(workers, len(survivors))) as pool:
+            tasks = [(i, predicate) for i in survivors]
+            results = pool.map(_child_scan, tasks)
+    except Exception:
+        # pool setup/pickling trouble: degrade to the serial rung —
+        # identical answers, just no process fan-out
+        obs.count("storage.scan.procs_degraded")
+        return [_scan_one(segments, i, predicate) for i in survivors]
+    finally:
+        _FORK_STATE["segments"] = None
+    obs.count("storage.scan.procs_used")
+    return results

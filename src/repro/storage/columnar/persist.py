@@ -1,0 +1,205 @@
+"""Durable segment persistence: checksummed generations + atomic manifest.
+
+On-disk layout (the PR 2 snapshot-generation pattern, per segment)::
+
+    <root>/
+      MANIFEST.json            # {"generation_dir": ..., "generation": N}
+      gen-0000/
+        store.json             # layout + per-segment checksums
+        seg-g0000-00000.seg    # pickled encoded segment, CRC in store.json
+      gen-0001/ ...
+
+Writers build a complete new generation directory *next to* the live
+one, then swap the root ``MANIFEST.json`` atomically.  The manifest swap
+is the commit point: a crash anywhere before it (including the
+``storage.compaction`` fault point fired immediately before the swap)
+leaves the old generation fully intact and still referenced — kill a
+compaction mid-flight and recovery serves the old segments, verified by
+the fault-matrix test.  Segment files are written through the
+``storage.segment.write`` boundary so torn/corrupt/killed segment writes
+are injectable too; every segment's CRC32 is checked on load.
+
+Old generations are pruned only after the swap commits (keep=2,
+matching the snapshot store).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+from pathlib import Path
+
+from repro.errors import ChecksumError, PersistenceError
+from repro.storage import faults
+from repro.storage.columnar.config import PartitioningSpec, StorageConfig
+from repro.storage.columnar.segment import Segment
+from repro.storage.columnar.store import PartitionedStore
+from repro.storage.durable import atomic_write_bytes, atomic_write_json, crc32_hex
+from repro.tabular.dtypes import DType
+
+MANIFEST_NAME = "MANIFEST.json"
+STORE_META_NAME = "store.json"
+
+#: committed generations retained after a successful swap
+KEEP_GENERATIONS = 2
+
+#: fault boundary: one hit per segment file written
+SEGMENT_WRITE_POINT = "storage.segment.write"
+
+#: fault boundary: fired immediately before the manifest swap — the
+#: commit point of a compaction/save; a kill here serves old segments
+COMPACTION_POINT = "storage.compaction"
+
+
+def _generation_dirs(root: Path) -> list[Path]:
+    if not root.exists():
+        return []
+    return sorted(p for p in root.iterdir() if p.is_dir() and p.name.startswith("gen-"))
+
+
+def _next_generation_dir(root: Path) -> Path:
+    existing = _generation_dirs(root)
+    if not existing:
+        return root / "gen-0000"
+    last = max(int(p.name.split("-")[1]) for p in existing)
+    return root / f"gen-{last + 1:04d}"
+
+
+def save_store(store: PartitionedStore, root: str | Path) -> Path:
+    """Persist ``store`` as a new committed generation under ``root``.
+
+    Returns the generation directory.  Atomic at the manifest swap:
+    until the swap succeeds, readers (and :func:`load_store`) keep
+    resolving the previous generation.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    gen_dir = _next_generation_dir(root)
+    gen_dir.mkdir()
+
+    segment_entries = []
+    for segment in store.segments:
+        payload = pickle.dumps(segment, protocol=pickle.HIGHEST_PROTOCOL)
+        filename = f"{segment.segment_id}.seg"
+        atomic_write_bytes(gen_dir / filename, payload, point=SEGMENT_WRITE_POINT)
+        segment_entries.append(
+            {
+                "segment_id": segment.segment_id,
+                "file": filename,
+                "crc32": crc32_hex(payload),
+                "num_rows": segment.num_rows,
+                "key": list(segment.key),
+            }
+        )
+
+    meta = {
+        "format": 1,
+        "generation": store.generation,
+        "num_rows": store.num_rows,
+        "spec": store.spec.to_dict() if store.spec else None,
+        "encodings": store.encodings,
+        "schema": {name: dtype.value for name, dtype in store.schema.items()},
+        "segments": segment_entries,
+    }
+    atomic_write_json(gen_dir / STORE_META_NAME, meta, point=SEGMENT_WRITE_POINT)
+
+    # the commit point: everything above is invisible until this swap
+    faults.fire(COMPACTION_POINT)
+    atomic_write_json(
+        root / MANIFEST_NAME,
+        {"generation_dir": gen_dir.name, "generation": store.generation},
+        point=COMPACTION_POINT + ".manifest",
+    )
+    _prune(root, keep=KEEP_GENERATIONS)
+    return gen_dir
+
+
+def _prune(root: Path, keep: int) -> None:
+    manifest = _read_manifest(root)
+    live = manifest["generation_dir"] if manifest else None
+    dirs = _generation_dirs(root)
+    # never prune the live generation; drop oldest beyond the keep window
+    victims = [p for p in dirs if p.name != live][: max(0, len(dirs) - keep)]
+    for victim in victims:
+        shutil.rmtree(victim, ignore_errors=True)
+
+
+def _read_manifest(root: Path) -> dict | None:
+    path = root / MANIFEST_NAME
+    if not path.exists():
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def load_store(root: str | Path, config: "StorageConfig | None" = None) -> PartitionedStore:
+    """Load the committed generation under ``root``, verifying checksums."""
+    root = Path(root)
+    manifest = _read_manifest(root)
+    if manifest is None:
+        raise PersistenceError(f"no columnar store manifest under {root}")
+    gen_dir = root / manifest["generation_dir"]
+    meta_path = gen_dir / STORE_META_NAME
+    if not meta_path.exists():
+        raise PersistenceError(
+            f"manifest references {gen_dir.name!r} but its store.json is missing"
+        )
+    with open(meta_path, "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+
+    segments: list[Segment] = []
+    for entry in meta["segments"]:
+        path = gen_dir / entry["file"]
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        actual = crc32_hex(payload)
+        if actual != entry["crc32"]:
+            raise ChecksumError(
+                f"segment {entry['segment_id']} is corrupt: "
+                f"crc {actual} != recorded {entry['crc32']}"
+            )
+        segments.append(pickle.loads(payload))
+
+    spec = PartitioningSpec.from_dict(meta["spec"]) if meta["spec"] else None
+    schema = {name: DType.coerce(value) for name, value in meta["schema"].items()}
+    return PartitionedStore(
+        tuple(segments),
+        spec,
+        meta["encodings"],
+        schema,
+        int(meta["num_rows"]),
+        config or StorageConfig(),
+        generation=int(meta["generation"]),
+    )
+
+
+def discard_uncommitted(root: str | Path) -> list[str]:
+    """Remove generation directories the manifest does not reference.
+
+    The recovery sweep after a mid-compaction crash: a half-written
+    generation (segments present, swap never happened) is garbage.
+    Returns the names removed.
+    """
+    root = Path(root)
+    manifest = _read_manifest(root)
+    live = manifest["generation_dir"] if manifest else None
+    removed = []
+    for gen_dir in _generation_dirs(root):
+        if gen_dir.name == live:
+            continue
+        incomplete = not (gen_dir / STORE_META_NAME).exists()
+        # a generation numbered past the live one never got its swap —
+        # that is exactly the mid-compaction-crash leftover
+        newer_than_live = live is not None and gen_dir.name > live
+        if incomplete or newer_than_live or live is None:
+            shutil.rmtree(gen_dir, ignore_errors=True)
+            removed.append(gen_dir.name)
+    # stray tmp files from torn atomic writes
+    for tmp in root.rglob("*.tmp"):
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+    return removed

@@ -1,0 +1,230 @@
+"""Per-segment zone maps: column statistics that let scans skip segments.
+
+A :class:`ZoneMap` records, for every column of a segment, the min/max of
+present values (in storage representation — day ordinals for dates),
+the null count and a distinct-count hint.  :meth:`ZoneMap.may_match`
+answers the only question pruning is allowed to ask: *could any row of
+this segment satisfy the predicate?*
+
+Pruning must be **conservative**: ``may_match`` may return True for a
+segment with no matching rows (a wasted scan, never a wrong answer) but
+must never return False for a segment that has one.  The property suite
+checks the contract directly — for random predicates, the pruned scan is
+byte-identical to the full scan — so every rule below errs toward True:
+
+* comparisons prune on the min/max envelope only (``<`` prunes when
+  ``min >= v``; ``==`` prunes when ``v`` falls outside ``[min, max]``);
+* null-comparison semantics are exploited: a predicate comparing an
+  all-null column can never match (SQL-style three-valued logic
+  collapsed to False in :mod:`repro.tabular.expressions`);
+* ``AND`` prunes when *either* side prunes, ``OR`` only when both do;
+* ``NOT`` and anything unrecognised never prune.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.tabular.dtypes import DType, coerce_value
+from repro.tabular.expressions import (
+    ColumnRef,
+    Expression,
+    _BoolOp,
+    _Compare,
+    _IsIn,
+    _IsNull,
+    _NotOp,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tabular.table import Table
+
+
+class ColumnZone:
+    """Statistics for one column of one segment."""
+
+    __slots__ = ("dtype", "min", "max", "null_count", "n_distinct")
+
+    def __init__(
+        self,
+        dtype: DType,
+        minimum: object,
+        maximum: object,
+        null_count: int,
+        n_distinct: int | None,
+    ):
+        self.dtype = dtype
+        self.min = minimum
+        self.max = maximum
+        self.null_count = null_count
+        #: distinct-count hint (present values); None when not computed
+        self.n_distinct = n_distinct
+
+    @classmethod
+    def from_arrays(
+        cls,
+        dtype: DType,
+        data: np.ndarray,
+        valid: np.ndarray,
+        n_distinct: int | None = None,
+    ) -> "ColumnZone":
+        present = data[valid]
+        null_count = int((~valid).sum())
+        if len(present) == 0:
+            return cls(dtype, None, None, null_count, 0 if n_distinct is None else n_distinct)
+        if dtype is DType.STR:
+            values = present.tolist()
+            lo, hi = min(values), max(values)
+        else:
+            lo, hi = present.min(), present.max()
+            if dtype is DType.FLOAT:
+                lo, hi = float(lo), float(hi)
+            else:
+                lo, hi = int(lo), int(hi)
+        return cls(dtype, lo, hi, null_count, n_distinct)
+
+    def to_dict(self) -> dict:
+        return {
+            "dtype": self.dtype.value,
+            "min": self.min,
+            "max": self.max,
+            "null_count": self.null_count,
+            "n_distinct": self.n_distinct,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ColumnZone":
+        return cls(
+            DType.coerce(payload["dtype"]),
+            payload["min"],
+            payload["max"],
+            int(payload["null_count"]),
+            payload.get("n_distinct"),
+        )
+
+
+class ZoneMap:
+    """Zone statistics for every column of one segment."""
+
+    __slots__ = ("zones", "num_rows")
+
+    def __init__(self, zones: dict[str, ColumnZone], num_rows: int):
+        self.zones = zones
+        self.num_rows = num_rows
+
+    @classmethod
+    def from_table(
+        cls, table: "Table", distinct_hints: Mapping[str, int] | None = None
+    ) -> "ZoneMap":
+        hints = distinct_hints or {}
+        zones = {}
+        for name in table.column_names:
+            column = table.column(name)
+            zones[name] = ColumnZone.from_arrays(
+                column.dtype, column.data, column.valid, hints.get(name)
+            )
+        return cls(zones, table.num_rows)
+
+    # ------------------------------------------------------------------
+    # Pruning
+    # ------------------------------------------------------------------
+
+    def may_match(self, predicate: Expression) -> bool:
+        """Could any row in this segment satisfy ``predicate``?"""
+        if self.num_rows == 0:
+            return False
+        return self._may(predicate)
+
+    def _may(self, expr: Expression) -> bool:
+        if isinstance(expr, _BoolOp):
+            left, right = self._may(expr.left), self._may(expr.right)
+            if expr.symbol == "AND":
+                return left and right
+            if expr.symbol == "OR":
+                return left or right
+            return True
+        if isinstance(expr, _Compare):
+            return self._may_compare(expr)
+        if isinstance(expr, _IsIn):
+            return self._may_isin(expr)
+        if isinstance(expr, _IsNull):
+            return self._may_isnull(expr)
+        if isinstance(expr, ColumnRef):
+            return self._may_bool_ref(expr)
+        # _NotOp and anything unknown: never prune
+        return True
+
+    def _may_compare(self, expr: _Compare) -> bool:
+        zone = self.zones.get(expr.name)
+        if zone is None:
+            return True
+        if zone.min is None:
+            return False  # all null: comparisons never match nulls
+        try:
+            operand = coerce_value(expr.operand, zone.dtype)
+        except Exception:
+            return True
+        if operand is None:
+            return False  # NULL comparisons are never true
+        try:
+            if expr.symbol == "<":
+                return bool(zone.min < operand)
+            if expr.symbol == "<=":
+                return bool(zone.min <= operand)
+            if expr.symbol == ">":
+                return bool(zone.max > operand)
+            if expr.symbol == ">=":
+                return bool(zone.max >= operand)
+            if expr.symbol == "==":
+                return bool(zone.min <= operand <= zone.max)
+        except TypeError:
+            return True
+        return True
+
+    def _may_isin(self, expr: _IsIn) -> bool:
+        zone = self.zones.get(expr.name)
+        if zone is None:
+            return True
+        if zone.min is None:
+            return False
+        for value in expr.values:
+            if value is None:
+                continue  # NULL members never match
+            try:
+                coerced = coerce_value(value, zone.dtype)
+                if coerced is not None and zone.min <= coerced <= zone.max:
+                    return True
+            except Exception:
+                return True
+        return False
+
+    def _may_isnull(self, expr: _IsNull) -> bool:
+        zone = self.zones.get(expr.name)
+        if zone is None:
+            return True
+        if expr.want_null:
+            return zone.null_count > 0
+        return zone.null_count < self.num_rows
+
+    def _may_bool_ref(self, expr: ColumnRef) -> bool:
+        zone = self.zones.get(expr.name)
+        if zone is None or zone.dtype is not DType.BOOL:
+            return True
+        if zone.min is None:
+            return False  # all null: bool filter keeps only valid Trues
+        return bool(zone.max)
+
+    def to_dict(self) -> dict:
+        return {
+            "num_rows": self.num_rows,
+            "zones": {name: zone.to_dict() for name, zone in self.zones.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ZoneMap":
+        zones = {
+            name: ColumnZone.from_dict(z) for name, z in payload["zones"].items()
+        }
+        return cls(zones, int(payload["num_rows"]))

@@ -191,6 +191,18 @@ class Table:
         idx = np.asarray(indices, dtype=np.int64)
         return Table({n: c.take(idx) for n, c in self._columns.items()})
 
+    def scan(self, predicate: "Expression | None" = None) -> "Iterator[Table]":
+        """Iterate matching rows chunk by chunk (the scan/storage API).
+
+        A plain table is a single chunk, so this yields one filtered
+        table; partition-aware holders of the same contract
+        (:meth:`repro.storage.columnar.store.PartitionedStore.scan`,
+        ``Cube.scan``) yield one chunk per surviving partition segment.
+        Writing consumers against ``scan()`` instead of ad-hoc
+        ``filter()`` calls lets them run unchanged over both layouts.
+        """
+        yield self if predicate is None else self.filter(predicate)
+
     def head(self, n: int = 5) -> "Table":
         """First ``n`` rows."""
         return self.take(np.arange(min(n, self._length)))

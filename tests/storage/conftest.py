@@ -1,0 +1,15 @@
+"""Storage-suite fixtures."""
+
+import pytest
+
+from repro.tabular import SCALAR_KERNELS_ENV
+
+
+@pytest.fixture(params=["vector", "scalar"])
+def kernel_mode(request, monkeypatch):
+    """Run a test under both kernel paths (vectorised and scalar oracle)."""
+    if request.param == "scalar":
+        monkeypatch.setenv(SCALAR_KERNELS_ENV, "1")
+    else:
+        monkeypatch.delenv(SCALAR_KERNELS_ENV, raising=False)
+    return request.param

@@ -1,0 +1,154 @@
+"""Encoded-column round trips: dict, RLE, plain, auto selection."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.tabular.column import Column
+from repro.tabular.dtypes import DType
+from repro.storage.columnar.encodings import (
+    DictColumn,
+    PlainColumn,
+    RLEColumn,
+    choose_encoding,
+    column_nbytes,
+    encode_column,
+    resolve_encodings,
+)
+
+
+def assert_bytes_equal(original: Column, decoded: Column):
+    """Exact round-trip contract: data + validity bytes identical."""
+    assert decoded.dtype is original.dtype
+    assert decoded.valid.tobytes() == original.valid.tobytes()
+    if original.dtype is DType.STR:
+        assert decoded.to_list() == original.to_list()
+    else:
+        assert decoded.data.tobytes() == original.data.tobytes()
+
+
+CASES = [
+    ("int", [1, 1, 1, 2, None, 2, 3, None, 3, 3]),
+    ("float", [1.5, 1.5, None, 2.25, 2.25, 2.25, None, 0.0]),
+    ("str", ["a", "a", None, "b", "b", "c", None, "a"]),
+    ("bool", [True, True, False, None, False, False, True]),
+    (
+        "date",
+        [dt.date(2010, 1, 1), dt.date(2010, 1, 1), None, dt.date(2011, 6, 2)],
+    ),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("dtype,values", CASES)
+    def test_plain(self, dtype, values):
+        column = Column.from_values(values, dtype=dtype)
+        encoded = PlainColumn.from_column(column)
+        assert encoded.encoding == "plain"
+        assert_bytes_equal(column, encoded.decode())
+
+    @pytest.mark.parametrize("dtype,values", CASES)
+    def test_rle(self, dtype, values):
+        column = Column.from_values(values, dtype=dtype)
+        encoded = RLEColumn.from_column(column)
+        assert encoded.encoding == "rle"
+        assert_bytes_equal(column, encoded.decode())
+
+    @pytest.mark.parametrize(
+        "dtype,values", [c for c in CASES if c[0] != "float"]
+    )
+    def test_dict(self, dtype, values):
+        column = Column.from_values(values, dtype=dtype)
+        encoded = DictColumn.from_column(column)
+        assert encoded.encoding == "dict"
+        assert_bytes_equal(column, encoded.decode())
+
+    @pytest.mark.parametrize("dtype", ["int", "float", "str", "bool", "date"])
+    def test_all_null(self, dtype):
+        column = Column.nulls(dtype, 7)
+        for encoding in ("plain", "rle") + (("dict",) if dtype != "float" else ()):
+            assert_bytes_equal(column, encode_column(column, encoding).decode())
+
+    @pytest.mark.parametrize("dtype", ["int", "str"])
+    def test_empty(self, dtype):
+        column = Column.from_values([], dtype=dtype)
+        for encoding in ("plain", "rle", "dict", "auto"):
+            decoded = encode_column(column, encoding).decode()
+            assert len(decoded) == 0
+            assert decoded.dtype is column.dtype
+
+
+class TestDictEncoding:
+    def test_distinct_hint_counts_non_null_uniques(self):
+        column = Column.from_values(["a", "b", "a", None, "c"], dtype="str")
+        assert DictColumn.from_column(column).n_distinct() == 3
+
+    def test_codes_use_smallest_width(self):
+        column = Column.from_values([1, 2, 1, 2], dtype="int")
+        assert DictColumn.from_column(column).codes.dtype == np.uint8
+
+    def test_float_dict_request_degrades_to_rle(self):
+        # NaN identity makes float dictionaries unsound; auto never picks
+        # them and an explicit request silently falls back
+        column = Column.from_values([1.0, 1.0, None], dtype="float")
+        encoded = encode_column(column, "dict")
+        assert encoded.encoding != "dict"
+        assert_bytes_equal(column, encoded.decode())
+
+
+class TestRLEEncoding:
+    def test_null_runs_merge(self):
+        column = Column.from_values([None, None, None, 5, 5], dtype="int")
+        encoded = RLEColumn.from_column(column)
+        assert len(encoded.lengths) == 2
+
+    def test_compresses_constant_column(self):
+        column = Column.from_values([9] * 1000, dtype="int")
+        encoded = RLEColumn.from_column(column)
+        assert encoded.nbytes < column_nbytes(column) / 10
+
+    def test_signed_zero_runs_stay_distinct(self):
+        # -0.0 == 0.0 by value; a value-equality run merge would decode
+        # both slots as the first run value and drop the sign bit
+        column = Column.from_values([0.0, -0.0, -0.0, 0.0], dtype="float")
+        encoded = RLEColumn.from_column(column)
+        assert len(encoded.lengths) == 3
+        assert_bytes_equal(column, encoded.decode())
+
+
+class TestAutoSelection:
+    def test_runs_pick_rle(self):
+        column = Column.from_values([1] * 50 + [2] * 50, dtype="int")
+        assert choose_encoding(column) == "rle"
+
+    def test_low_cardinality_strings_pick_dict(self):
+        # interleaved so runs are short; 3 distinct values out of 60
+        column = Column.from_values([f"s{i % 3}" for i in range(60)], dtype="str")
+        assert choose_encoding(column) == "dict"
+
+    def test_high_cardinality_floats_pick_plain(self):
+        column = Column.from_values(
+            [float(i) * 1.5 for i in range(100)], dtype="float"
+        )
+        assert choose_encoding(column) == "plain"
+
+    def test_auto_round_trips(self):
+        for dtype, values in CASES:
+            column = Column.from_values(values, dtype=dtype)
+            assert_bytes_equal(column, encode_column(column, "auto").decode())
+
+
+class TestResolveEncodings:
+    def test_string_spec_applies_to_all(self):
+        resolved = resolve_encodings("rle", ["a", "b"])
+        assert resolved == {"a": "rle", "b": "rle"}
+
+    def test_mapping_spec_fills_missing_with_auto(self):
+        resolved = resolve_encodings({"a": "dict"}, ["a", "b"])
+        assert resolved == {"a": "dict", "b": "auto"}
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(StorageError):
+            resolve_encodings("zstd", ["a"])

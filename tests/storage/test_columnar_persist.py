@@ -1,0 +1,167 @@
+"""Durable segment persistence: generations, checksums, crash recovery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChecksumError, PersistenceError
+from repro.storage import faults
+from repro.storage.columnar import PartitionedStore, PartitioningSpec, StorageConfig
+from repro.storage.columnar.persist import (
+    COMPACTION_POINT,
+    MANIFEST_NAME,
+    SEGMENT_WRITE_POINT,
+    discard_uncommitted,
+    load_store,
+    save_store,
+)
+from repro.storage.faults import FaultPlan, FaultRule, SimulatedCrash
+from repro.tabular import Table, col
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    yield
+    faults.uninstall()
+
+
+def make_table(n=120, seed=3):
+    rng = np.random.default_rng(seed)
+    return Table.from_columns(
+        {
+            "patient_id": [int(v) for v in rng.integers(1, 25, n)],
+            "visit_year": [int(2006 + v) for v in rng.integers(0, 4, n)],
+            "gender": [["F", "M"][int(v)] for v in rng.integers(0, 2, n)],
+            "hba1c": [
+                None if rng.random() < 0.1 else float(round(5 + 6 * rng.random(), 2))
+                for _ in range(n)
+            ],
+        },
+        schema={
+            "patient_id": "int",
+            "visit_year": "int",
+            "gender": "str",
+            "hba1c": "float",
+        },
+    )
+
+
+CONFIG = StorageConfig(
+    partitioning=PartitioningSpec(
+        hash_column="patient_id", hash_partitions=4, band_column="visit_year"
+    )
+)
+
+
+def assert_tables_byte_equal(a: Table, b: Table):
+    assert a.column_names == b.column_names
+    for name in a.column_names:
+        ca, cb = a.column(name), b.column(name)
+        assert ca.valid.tobytes() == cb.valid.tobytes()
+        if ca.dtype.value == "str":
+            assert ca.to_list() == cb.to_list()
+        else:
+            assert ca.data.tobytes() == cb.data.tobytes()
+
+
+@pytest.fixture()
+def store():
+    return PartitionedStore.build(make_table(), CONFIG)
+
+
+class TestRoundTrip:
+    def test_save_load_byte_identical(self, store, tmp_path):
+        save_store(store, tmp_path)
+        loaded = load_store(tmp_path, CONFIG)
+        assert loaded.generation == store.generation
+        assert len(loaded.segments) == len(store.segments)
+        assert_tables_byte_equal(loaded.to_table(), store.to_table())
+
+    def test_loaded_store_prunes_identically(self, store, tmp_path):
+        save_store(store, tmp_path)
+        loaded = load_store(tmp_path, CONFIG)
+        predicate = col("visit_year") >= 2008
+        a, sa = store.scan_filter(predicate)
+        b, sb = loaded.scan_filter(predicate)
+        assert_tables_byte_equal(a, b)
+        assert sa.segments_pruned == sb.segments_pruned
+
+    def test_generations_accumulate_and_prune(self, store, tmp_path):
+        save_store(store, tmp_path)
+        second = store.append(make_table(n=40, seed=9))
+        save_store(second, tmp_path)
+        third = second.compact()
+        save_store(third, tmp_path)
+        gens = sorted(p.name for p in tmp_path.iterdir() if p.name.startswith("gen-"))
+        assert len(gens) == 2  # KEEP_GENERATIONS
+        assert load_store(tmp_path, CONFIG).generation == third.generation
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_store(tmp_path)
+
+
+class TestCorruption:
+    def test_flipped_segment_bytes_detected(self, store, tmp_path):
+        gen_dir = save_store(store, tmp_path)
+        victim = next(gen_dir.glob("*.seg"))
+        payload = bytearray(victim.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        victim.write_bytes(bytes(payload))
+        with pytest.raises(ChecksumError):
+            load_store(tmp_path, CONFIG)
+
+    def test_injected_flip_at_segment_write_detected(self, store, tmp_path):
+        faults.install(FaultPlan([FaultRule(SEGMENT_WRITE_POINT, mode="flip", nth=2)]))
+        save_store(store, tmp_path)
+        faults.uninstall()
+        with pytest.raises(ChecksumError):
+            load_store(tmp_path, CONFIG)
+
+
+class TestCrashRecovery:
+    def test_kill_mid_compaction_serves_old_generation(self, store, tmp_path):
+        """The fault-matrix boundary: kill at storage.compaction →
+        recovery discards the half-written generation and serves the
+        previous one, byte-identical."""
+        save_store(store, tmp_path)
+        before = (tmp_path / MANIFEST_NAME).read_bytes()
+
+        compacted = store.append(make_table(n=40, seed=9)).compact()
+        faults.install(FaultPlan([FaultRule(COMPACTION_POINT, mode="kill")]))
+        with pytest.raises(SimulatedCrash):
+            save_store(compacted, tmp_path)
+        faults.uninstall()
+
+        # the swap never happened: manifest untouched, old store loads
+        assert (tmp_path / MANIFEST_NAME).read_bytes() == before
+        removed = discard_uncommitted(tmp_path)
+        assert removed, "expected the half-written generation to be swept"
+        recovered = load_store(tmp_path, CONFIG)
+        assert recovered.generation == store.generation
+        assert_tables_byte_equal(recovered.to_table(), store.to_table())
+
+    def test_kill_mid_segment_write_recovers(self, store, tmp_path):
+        save_store(store, tmp_path)
+        faults.install(FaultPlan([FaultRule(SEGMENT_WRITE_POINT, mode="kill", nth=3)]))
+        with pytest.raises(SimulatedCrash):
+            save_store(store.compact(), tmp_path)
+        faults.uninstall()
+        discard_uncommitted(tmp_path)
+        recovered = load_store(tmp_path, CONFIG)
+        assert_tables_byte_equal(recovered.to_table(), store.to_table())
+
+    def test_discard_uncommitted_noop_on_clean_store(self, store, tmp_path):
+        save_store(store, tmp_path)
+        assert discard_uncommitted(tmp_path) == []
+        load_store(tmp_path, CONFIG)
+
+    def test_recovery_after_crash_then_retry_commits(self, store, tmp_path):
+        save_store(store, tmp_path)
+        compacted = store.compact()
+        faults.install(FaultPlan([FaultRule(COMPACTION_POINT, mode="kill")]))
+        with pytest.raises(SimulatedCrash):
+            save_store(compacted, tmp_path)
+        faults.uninstall()
+        discard_uncommitted(tmp_path)
+        save_store(compacted, tmp_path)  # the retry succeeds cleanly
+        assert load_store(tmp_path, CONFIG).generation == compacted.generation
