@@ -1,0 +1,59 @@
+"""Chaos scenario-sweep smoke: a fast slice of the full fault matrix.
+
+The CI ``chaos-sweep`` job runs the full 12-scenario matrix through
+``python -m repro sweep``; this bench keeps a compact slice of it inside
+the benchmark suite so `pytest benchmarks/` exercises the fleet +
+invariant machinery end-to-end and reports loop latency per regime.
+Gates: every scenario settles ``ok`` (which requires a 100% invariant
+pass rate) and at least one die-style worker crash was isolated.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.scenarios import default_matrix, format_summary, run_sweep
+
+
+def _smoke_slice():
+    """One scenario per (plan, crash_style) cell, small regime only."""
+    picked, seen = [], set()
+    for spec in default_matrix():
+        cell = (spec.plan, spec.crash_style)
+        if spec.regime != "small-clean" and spec.crash_style != "die":
+            continue
+        if cell in seen:
+            continue
+        seen.add(cell)
+        picked.append(spec)
+    return picked
+
+
+def test_smoke_sweep_invariants_hold(tmp_path, emit):
+    specs = _smoke_slice()
+    assert any(s.crash_style == "die" for s in specs)
+
+    out = tmp_path / "BENCH_scenarios.json"
+    payload = run_sweep(
+        specs, root=tmp_path / "sweep", out=out, seed=7
+    )
+    emit("chaos_scenarios_smoke", format_summary(payload))
+
+    assert payload["ok"], payload["outcomes"]
+    assert payload["invariant_pass_rate"] == 1.0
+    assert payload["outcomes"].get("ok", 0) == len(specs)
+    # the die-style scenario really died once and was recovered in isolation
+    assert payload["crashed_workers_isolated"] >= 1
+    # the artifact round-trips
+    assert json.loads(out.read_text())["harness"] == payload["harness"]
+
+
+def test_smoke_sweep_resumes(tmp_path):
+    specs = _smoke_slice()[:2]
+    root = tmp_path / "sweep"
+    out = tmp_path / "BENCH_scenarios.json"
+    first = run_sweep(specs, root=root, out=out, seed=7)
+    assert first["executed_scenarios"] == len(specs)
+    second = run_sweep(specs, root=root, out=out, seed=7)
+    assert second["executed_scenarios"] == 0
+    assert second["resumed_scenarios"] == len(specs)

@@ -23,7 +23,11 @@ Commands:
   writes ``BENCH_overload.json``;
 * ``bench-partition`` — partitioned-storage harness: pruned-vs-full
   byte parity on both kernel paths, zone-map scan speedup at 10x rows,
-  and dict/RLE encoding memory savings; writes ``BENCH_partition.json``.
+  and dict/RLE encoding memory savings; writes ``BENCH_partition.json``;
+* ``sweep`` — chaos scenario sweep: the full closed loop (ingest, OLAP,
+  mining, prediction, optimisation, feedback-fold) fleet-run under a
+  fault matrix with crash isolation, per-scenario deadlines and a
+  resumable ledger; writes ``BENCH_scenarios.json``.
 
 A cohort can come from ``--cohort file.csv`` (as written by ``generate``)
 or be simulated on the fly with ``--patients/--seed``.  Every command
@@ -199,7 +203,9 @@ def _cmd_quarantine(args: argparse.Namespace) -> int:
         report = system.redrive_quarantine(repair=repair)
         print(report.summary())
         print(f"{len(system.quarantine)} rows remain quarantined")
-        return 0
+        # rows that re-quarantined mean the repair did not take: surface
+        # it in the exit code so scripts notice
+        return 3 if report.requeued > 0 else 0
 
     store = QuarantineStore.open(root / "quarantine")
     try:
@@ -324,6 +330,30 @@ def _cmd_bench_overload(args: argparse.Namespace) -> int:
         oversubscription=args.oversubscription,
         duration_s=args.duration,
         out=args.out,
+    )
+    print(format_summary(payload))
+    print(f"full results written to {args.out}")
+    return 0 if payload["ok"] else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.scenarios.bench import (
+        format_summary,
+        list_matrix,
+        run_sweep,
+    )
+
+    if args.list:
+        print(list_matrix(seed=args.seed))
+        return 0
+    payload = run_sweep(
+        root=args.root,
+        out=args.out,
+        jobs=args.jobs,
+        fresh=args.fresh,
+        seed=args.seed,
+        deadline_s=args.deadline,
+        progress=lambda message: print(message, flush=True),
     )
     print(format_summary(payload))
     print(f"full results written to {args.out}")
@@ -556,6 +586,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="result JSON path (default ./BENCH_partition.json)",
     )
     partition.set_defaults(func=_cmd_bench_partition)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="chaos scenario sweep: crash-isolated fleet runs of the full "
+             "closed loop under a fault matrix; writes BENCH_scenarios.json",
+    )
+    sweep.add_argument(
+        "--root", type=Path, default=Path("sweep-out"),
+        help="sweep ledger root; re-runs resume only missing/failed "
+             "scenarios (default ./sweep-out)",
+    )
+    sweep.add_argument(
+        "--out", type=Path, default=Path("BENCH_scenarios.json"),
+        help="result JSON path (default ./BENCH_scenarios.json)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: cpu count - 1)",
+    )
+    sweep.add_argument("--seed", type=int, default=7,
+                       help="matrix base seed (default 7)")
+    sweep.add_argument(
+        "--deadline", type=float, default=120.0,
+        help="per-scenario wall-clock deadline in seconds (default 120)",
+    )
+    sweep.add_argument(
+        "--fresh", action="store_true",
+        help="ignore recorded outcomes and re-run every scenario",
+    )
+    sweep.add_argument(
+        "--list", action="store_true",
+        help="print the scenario matrix and exit without running",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -491,10 +491,15 @@ class DDDGMS:
         """Segment/encoding stats for ``ingest_health()`` (None if unused)."""
         if self._storage_config is None:
             return None
+        from repro.storage.columnar import executor as _scan_executor
+
+        # processes→serial scan fallbacks are process-local, not per-epoch;
+        # chaos sweeps assert on this to catch silently-degraded fan-out
+        degraded = {"scan_procs_degraded": _scan_executor.degraded_count()}
         state = self.cube._state
         if state is None or state.store is None:
-            return {"attached": True, "built": False}
-        return {"attached": True, "built": True, **state.store.stats()}
+            return {"attached": True, "built": False, **degraded}
+        return {"attached": True, "built": True, **degraded, **state.store.stats()}
 
     @property
     def epoch(self) -> int:

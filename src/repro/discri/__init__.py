@@ -18,7 +18,11 @@ DESIGN.md §2 for the substitution rationale.
 """
 
 from repro.discri.attributes import ATTRIBUTE_GROUPS, AttributeSpec, catalog
-from repro.discri.phenomena import PhenomenaConfig
+from repro.discri.phenomena import (
+    DISEASE_PROFILES,
+    PhenomenaConfig,
+    profile_config,
+)
 from repro.discri.generator import DiScRiGenerator
 from repro.discri.schemes import (
     AGE_SCHEME,
@@ -38,6 +42,8 @@ __all__ = [
     "ATTRIBUTE_GROUPS",
     "catalog",
     "PhenomenaConfig",
+    "DISEASE_PROFILES",
+    "profile_config",
     "DiScRiGenerator",
     "AGE_SCHEME",
     "AGE_BAND_10_SCHEME",

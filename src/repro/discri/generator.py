@@ -16,7 +16,7 @@ import random
 from dataclasses import dataclass
 
 from repro.discri.attributes import AttributeSpec, catalog
-from repro.discri.phenomena import PhenomenaConfig
+from repro.discri.phenomena import DISEASE_PROFILES, PhenomenaConfig, profile_config
 from repro.discri.schemes import AGE_BAND_5_SCHEME
 from repro.tabular.dtypes import DType
 from repro.tabular.table import Table
@@ -63,12 +63,21 @@ class DiScRiGenerator:
         config: PhenomenaConfig | None = None,
         missing_rate: float = 0.02,
         erroneous_rate: float = 0.002,
+        profile: str = "discri",
     ):
         if n_patients < 1:
             raise ValueError("n_patients must be >= 1")
+        if profile not in DISEASE_PROFILES:
+            raise ValueError(
+                f"unknown disease profile {profile!r} "
+                f"(registered: {', '.join(DISEASE_PROFILES)})"
+            )
         self.n_patients = n_patients
         self.seed = seed
-        self.config = config or PhenomenaConfig()
+        self.profile = profile
+        # an explicit config wins; otherwise the profile picks the planted
+        # effects ("discri" is byte-identical to PhenomenaConfig())
+        self.config = config or profile_config(profile)
         self.config.validate()
         self.missing_rate = missing_rate
         self.erroneous_rate = erroneous_rate

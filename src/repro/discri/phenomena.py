@@ -136,3 +136,82 @@ class PhenomenaConfig:
         check("family_history_rate", self.family_history_rate)
         check("progression_pre_to_diabetic", self.progression_pre_to_diabetic)
         check("progression_normal_to_pre", self.progression_normal_to_pre)
+
+
+# ---------------------------------------------------------------------------
+# Disease profiles
+# ---------------------------------------------------------------------------
+#
+# The scenario-sweep harness runs the closed loop over *cohort variants*,
+# not just the DiScRi default: each profile is a named PhenomenaConfig
+# factory that reshapes the planted effects into a different clinical
+# population.  The default ``discri`` profile is byte-identical to
+# ``PhenomenaConfig()`` so existing seeds reproduce unchanged.
+
+
+def _hypertension_config() -> PhenomenaConfig:
+    """A hypertension-dominated screening clinic.
+
+    HT prevalence roughly doubles (base + steeper age slope) and the
+    years-since-diagnosis mix shifts long: most referrals arrive with an
+    established diagnosis, so the ``>=20``/``10-20`` categories carry far
+    more mass and the Fig 6 dip flattens out.
+    """
+    long_mix = {"<2": 0.08, "2-5": 0.17, "5-10": 0.25, "10-20": 0.32, ">=20": 0.18}
+    config = PhenomenaConfig(
+        ht_base_rate=0.34,
+        ht_age_slope=0.016,
+        ht_years_mix={band: dict(long_mix) for band in _default_ht_years_mix()},
+    )
+    return config
+
+
+def _can_progression_config() -> PhenomenaConfig:
+    """A cohort enriched for CAN and fast glycaemic progression.
+
+    CAN rates rise across every stage, reflexes degrade earlier, and the
+    stage-transition probabilities accelerate — the population the
+    paper's Ewing-battery and trajectory analyses care about most.
+    """
+    return PhenomenaConfig(
+        can_rate={"normal": 0.09, "preDiabetic": 0.28, "Diabetic": 0.58},
+        reflex_absent_rate={
+            "normal": 0.08,
+            "preDiabetic_developer": 0.62,
+            "preDiabetic_stable": 0.18,
+            "Diabetic": 0.70,
+        },
+        progression_pre_to_diabetic=0.34,
+        progression_normal_to_pre=0.18,
+        handgrip_missing_base=0.08,
+        handgrip_missing_over75=0.55,
+    )
+
+
+#: profile name -> PhenomenaConfig factory (the scenario-sweep cohort axis)
+_PROFILE_FACTORIES = {
+    "discri": PhenomenaConfig,
+    "hypertension": _hypertension_config,
+    "can_progression": _can_progression_config,
+}
+
+#: the registered disease-profile names, sweep-matrix order
+DISEASE_PROFILES: tuple[str, ...] = tuple(_PROFILE_FACTORIES)
+
+
+def profile_config(name: str) -> PhenomenaConfig:
+    """The :class:`PhenomenaConfig` for a named disease profile.
+
+    ``discri`` returns the paper-faithful defaults; unknown names raise
+    ``ValueError`` listing the registered profiles.
+    """
+    try:
+        factory = _PROFILE_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown disease profile {name!r} "
+            f"(registered: {', '.join(DISEASE_PROFILES)})"
+        ) from None
+    config = factory()
+    config.validate()
+    return config

@@ -61,6 +61,7 @@ __all__ = [
     "PlanNode", "ExplainReport", "profile",
     "configure", "configure_from_env", "configure_mode", "disable", "enabled",
     "span", "count", "observe", "set_gauge", "metrics", "slow_log", "tracer",
+    "warn_once", "reset_warn_once",
 ]
 
 #: Environment switch: "" / "0" off; "1" or "ring" → ring sink;
@@ -198,6 +199,37 @@ def set_gauge(name: str, value: float) -> None:
     """Set a gauge (no-op while disabled)."""
     if _STATE.on:
         _STATE.registry.gauge(name).set(value)
+
+
+#: keys already warned through :func:`warn_once` this process
+_warned_once: set[str] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> bool:
+    """Emit a one-shot :class:`RuntimeWarning` keyed by ``key``.
+
+    The counter ``key`` is incremented on *every* call (so chaos runs can
+    assert on repeat degradations) but the warning itself fires once per
+    process — a silently-degrading subsystem announces itself without
+    spamming every subsequent operation.  Returns ``True`` when the
+    warning was actually emitted.
+    """
+    import warnings
+
+    count(key)
+    if key in _warned_once:
+        return False
+    _warned_once.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset_warn_once(key: str | None = None) -> None:
+    """Forget one (or every) :func:`warn_once` key — test hygiene hook."""
+    if key is None:
+        _warned_once.clear()
+    else:
+        _warned_once.discard(key)
 
 
 def metrics() -> MetricsRegistry:

@@ -1,0 +1,38 @@
+"""Chaos scenario sweeps: the full DD-DGMS closed loop under a fault matrix.
+
+The harness behind ``python -m repro sweep``.  A declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` pins one cell of the sweep
+matrix (disease profile x size/dirt regime x fault plan); the fleet
+(:func:`~repro.scenarios.fleet.run_fleet`) fans the cells across
+crash-isolated worker processes with per-scenario deadlines and
+retry-with-backoff; the ledger (:class:`~repro.scenarios.ledger.SweepLedger`)
+content-addresses each scenario's artifact directory so a re-run resumes
+exactly the missing/failed cells.  Each scenario drives ingest -> OLAP ->
+mining -> prediction -> optimisation -> feedback-fold against an injected
+fault plan and checks loop-level invariants against a clean-twin oracle
+(see :mod:`repro.scenarios.runner`).
+"""
+
+from repro.scenarios.bench import format_summary, list_matrix, run_sweep
+from repro.scenarios.fleet import run_fleet
+from repro.scenarios.ledger import OUTCOMES, SweepLedger
+from repro.scenarios.runner import (
+    CRASH_EXIT_CODE,
+    battery_fingerprint,
+    run_scenario,
+)
+from repro.scenarios.spec import (
+    CRASH_STYLES,
+    FAULT_SCOPES,
+    FaultSpec,
+    ScenarioSpec,
+    default_matrix,
+)
+
+__all__ = [
+    "FaultSpec", "ScenarioSpec", "default_matrix",
+    "CRASH_STYLES", "FAULT_SCOPES", "CRASH_EXIT_CODE",
+    "run_scenario", "battery_fingerprint",
+    "run_fleet", "SweepLedger", "OUTCOMES",
+    "run_sweep", "format_summary", "list_matrix",
+]

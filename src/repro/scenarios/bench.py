@@ -1,0 +1,156 @@
+"""The ``python -m repro sweep`` harness: run the matrix, score it.
+
+Produces ``BENCH_scenarios.json``: outcome counts, the loop-level
+invariant pass rate (the CI gate — must be 1.0), crash-isolation
+accounting, and p50/p99 closed-loop latency per size/dirt regime.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.scenarios.fleet import run_fleet
+from repro.scenarios.ledger import OUTCOMES, SweepLedger
+from repro.scenarios.spec import ScenarioSpec, default_matrix
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, round(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def run_sweep(
+    specs: "list[ScenarioSpec] | None" = None,
+    *,
+    root: "str | Path" = "sweep-out",
+    out: "str | Path | None" = "BENCH_scenarios.json",
+    jobs: int | None = None,
+    fresh: bool = False,
+    seed: int = 7,
+    deadline_s: float = 120.0,
+    progress=None,
+) -> dict:
+    """Run the scenario sweep and write the benchmark payload.
+
+    With no ``specs`` the stock :func:`default_matrix` runs.  Re-running
+    over the same ``root`` executes only scenarios that are missing or
+    not ``ok`` (``fresh=True`` forces everything).
+    """
+    if specs is None:
+        specs = default_matrix(seed=seed, deadline_s=deadline_s)
+    started = time.perf_counter()
+    results = run_fleet(
+        specs, root, jobs=jobs, fresh=fresh, progress=progress
+    )
+
+    outcome_counts = {status: 0 for status in OUTCOMES}
+    violations: list[dict] = []
+    latency_by_regime: dict[str, list[float]] = {}
+    crashes_isolated = 0
+    resumed = 0
+    for spec in specs:
+        record = results[spec.slug]
+        status = record["status"]
+        outcome_counts[status] = outcome_counts.get(status, 0) + 1
+        crashes_isolated += int(record.get("crashed_attempts", 0))
+        resumed += int(bool(record.get("resumed")))
+        if status != "ok":
+            violations.append({
+                "name": spec.name,
+                "status": status,
+                "violations": record.get("violations", []),
+                "invariants": record.get("invariants", {}),
+            })
+        if record.get("loop_s") is not None:
+            latency_by_regime.setdefault(spec.regime, []).append(
+                float(record["loop_s"]) * 1e3
+            )
+
+    ok = outcome_counts.get("ok", 0)
+    payload = {
+        "harness": "chaos-scenario-sweep",
+        "matrix": {
+            "scenarios": len(specs),
+            "profiles": sorted({spec.profile for spec in specs}),
+            "plans": sorted({spec.plan for spec in specs}),
+            "regimes": sorted({spec.regime for spec in specs}),
+        },
+        "outcomes": outcome_counts,
+        "invariant_pass_rate": round(ok / len(specs), 6) if specs else 1.0,
+        "violations": violations,
+        "crashed_workers_isolated": crashes_isolated,
+        "resumed_scenarios": resumed,
+        "executed_scenarios": len(specs) - resumed,
+        "loop_latency_ms_by_regime": {
+            regime: {
+                "n": len(values),
+                "p50": round(_percentile(values, 50), 3),
+                "p99": round(_percentile(values, 99), 3),
+            }
+            for regime, values in sorted(latency_by_regime.items())
+        },
+        "sweep_s": round(time.perf_counter() - started, 3),
+        "root": str(root),
+        "ok": ok == len(specs),
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def format_summary(payload: dict) -> str:
+    """Human-readable sweep summary for the CLI."""
+    lines = [
+        "== chaos scenario sweep ==",
+        "scenarios          "
+        f"{payload['matrix']['scenarios']} "
+        f"({len(payload['matrix']['profiles'])} profiles x "
+        f"{len(payload['matrix']['plans'])} plans x "
+        f"{len(payload['matrix']['regimes'])} regimes)",
+        "outcomes           " + ", ".join(
+            f"{status}={count}"
+            for status, count in sorted(payload["outcomes"].items())
+            if count
+        ),
+        f"invariant pass     {payload['invariant_pass_rate']:.1%}",
+        "crashed workers    "
+        f"{payload['crashed_workers_isolated']} (all isolated)",
+        "resumed / executed "
+        f"{payload['resumed_scenarios']} / {payload['executed_scenarios']}",
+    ]
+    for regime, stats in payload["loop_latency_ms_by_regime"].items():
+        lines.append(
+            f"loop latency       {regime:<12} "
+            f"p50={stats['p50']:.0f}ms p99={stats['p99']:.0f}ms "
+            f"(n={stats['n']})"
+        )
+    for violation in payload["violations"]:
+        lines.append(
+            f"VIOLATION          {violation['name']}: {violation['status']} "
+            f"{','.join(violation['violations']) or ''}"
+        )
+    lines.append(f"sweep wall time    {payload['sweep_s']:.1f}s")
+    lines.append("verdict            " + ("OK" if payload["ok"] else "FAILED"))
+    return "\n".join(lines)
+
+
+def list_matrix(specs: "list[ScenarioSpec] | None" = None, seed: int = 7) -> str:
+    """One line per scenario of the (default) matrix."""
+    if specs is None:
+        specs = default_matrix(seed=seed)
+    lines = []
+    for spec in specs:
+        fault_text = ",".join(
+            f"{f.point}:{f.mode}@{f.nth}" for f in spec.faults
+        ) or "none"
+        lines.append(
+            f"{spec.slug:<52} {spec.regime:<12} "
+            f"style={spec.crash_style:<8} faults={fault_text}"
+        )
+    return "\n".join(lines)

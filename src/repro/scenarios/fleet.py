@@ -1,0 +1,278 @@
+"""Crash-isolated fleet runner: scenarios fanned across a process pool.
+
+Every scenario runs in its *own* OS process so an injected die-style
+kill (``os._exit``) — or any genuine worker death — is an observation,
+not a sweep failure: the parent reaps the corpse, records a structured
+outcome, and moves on.  The parent enforces a per-scenario wall-clock
+deadline (terminate + record ``timeout``) and retries failed attempts
+with exponential backoff; a retry after a crash re-enters the scenario
+workdir, so die-style scenarios recover from their durable root exactly
+like a restarted service would.
+
+Worker <-> parent protocol is files, not pipes, so a dead worker still
+leaves evidence: ``events.jsonl`` is appended and flushed per event, and
+each attempt's result lands in ``attempt-N.json`` (atomic rename).  Only
+the parent writes the ledger's final ``result.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import time
+import traceback
+from collections import deque
+from pathlib import Path
+
+from repro.scenarios.ledger import SweepLedger
+from repro.scenarios.runner import CRASH_EXIT_CODE, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+#: base delay before a retry attempt (doubled per attempt)
+RETRY_BACKOFF_S = 0.25
+
+#: parent poll interval while workers run
+_POLL_S = 0.05
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_entry(spec_payload: dict, workdir: str, attempt: int) -> None:
+    """Process target: run one scenario attempt, leave files behind."""
+    from repro.storage.durable import atomic_write_json
+
+    spec = ScenarioSpec.from_json(spec_payload)
+    events_path = Path(workdir) / "events.jsonl"
+    with open(events_path, "a", encoding="utf-8") as events:
+
+        def emit(event: dict) -> None:
+            # flush per line: a killed worker keeps everything emitted
+            events.write(json.dumps(
+                {"t": round(time.time(), 3), **event}, default=str
+            ) + "\n")
+            events.flush()
+            os.fsync(events.fileno())
+
+        try:
+            result = run_scenario(
+                spec, workdir, attempt=attempt, emit=emit
+            )
+        except BaseException as exc:  # noqa: BLE001 - reported, then fatal
+            emit({
+                "event": "worker_error",
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+                "traceback": traceback.format_exc(),
+            })
+            raise SystemExit(3)
+        atomic_write_json(
+            Path(workdir) / f"attempt-{attempt}.json", result
+        )
+    raise SystemExit(0)
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+def _reset_workdir(directory: Path) -> None:
+    """Scrub mutable attempt state; keep the pinned spec."""
+    for name in ("durable", "baseline.json", "events.jsonl", "result.json"):
+        path = directory / name
+        if path.is_dir():
+            shutil.rmtree(path)
+        elif path.exists():
+            path.unlink()
+    for attempt_file in directory.glob("attempt-*.json"):
+        attempt_file.unlink()
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class _Run:
+    """Book-keeping for one scenario across its attempts."""
+
+    __slots__ = (
+        "spec", "attempt", "crashes", "timeouts", "errors",
+        "started_at", "not_before",
+    )
+
+    def __init__(self, spec: ScenarioSpec):
+        self.spec = spec
+        self.attempt = 0
+        self.crashes = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.started_at = time.monotonic()
+        self.not_before = 0.0
+
+    @property
+    def attempts_left(self) -> int:
+        return self.spec.retries + 1 - self.attempt
+
+
+def run_fleet(
+    specs: "list[ScenarioSpec]",
+    root: "str | Path",
+    *,
+    jobs: int | None = None,
+    fresh: bool = False,
+    progress=None,
+) -> dict:
+    """Execute the due scenarios; returns ``{slug: result_record}``.
+
+    Resume contract: with ``fresh=False`` only scenarios without a
+    recorded ``ok`` run (their workdirs are scrubbed first, so every
+    executed attempt 1 starts from a clean durable root); recorded
+    ``ok`` results are returned as-is with ``"resumed": True``.
+    """
+    ledger = SweepLedger(root)
+    progress = progress or (lambda message: None)
+    due = ledger.pending(specs, fresh=fresh)
+    due_slugs = {spec.slug for spec in due}
+    results: dict[str, dict] = {}
+    for spec in specs:
+        if spec.slug not in due_slugs:
+            recorded = ledger.result(spec)
+            assert recorded is not None
+            results[spec.slug] = {**recorded, "resumed": True}
+    if not due:
+        return results
+
+    ctx = _mp_context()
+    if jobs is None:
+        jobs = min(len(due), max(2, (os.cpu_count() or 2) - 1))
+    jobs = max(1, jobs)
+    progress(
+        f"running {len(due)}/{len(specs)} scenarios "
+        f"({len(specs) - len(due)} already ok), {jobs} workers"
+    )
+
+    queue: deque[_Run] = deque()
+    for spec in due:
+        directory = ledger.prepare(spec)
+        _reset_workdir(directory)
+        queue.append(_Run(spec))
+    active: list[tuple] = []  # (process, run, deadline_at)
+
+    def launch(run: _Run) -> None:
+        run.attempt += 1
+        workdir = str(ledger.scenario_dir(run.spec))
+        process = ctx.Process(
+            target=_worker_entry,
+            args=(run.spec.to_json(), workdir, run.attempt),
+            daemon=True,
+        )
+        process.start()
+        active.append((process, run, time.monotonic() + run.spec.deadline_s))
+
+    def finalize(run: _Run, status: str, attempt_result: dict | None) -> None:
+        record = dict(attempt_result or {})
+        record.setdefault("scenario_id", run.spec.scenario_id)
+        record.setdefault("name", run.spec.name)
+        record.setdefault("profile", run.spec.profile)
+        record.setdefault("plan", run.spec.plan)
+        record.setdefault("regime", run.spec.regime)
+        record["status"] = status
+        record["attempts"] = run.attempt
+        record["crashed_attempts"] = run.crashes
+        record["timeout_attempts"] = run.timeouts
+        record["error_attempts"] = run.errors
+        record["wall_s"] = round(time.monotonic() - run.started_at, 4)
+        ledger.record(run.spec, record)
+        results[run.spec.slug] = record
+        progress(
+            f"  {run.spec.name}: {status} "
+            f"(attempts={run.attempt}, crashes={run.crashes})"
+        )
+
+    def note(run: _Run, event: dict) -> None:
+        events_path = ledger.scenario_dir(run.spec) / "events.jsonl"
+        with open(events_path, "a", encoding="utf-8") as events:
+            events.write(json.dumps(
+                {"t": round(time.time(), 3), **event}, default=str
+            ) + "\n")
+
+    def retry_or(run: _Run, status: str) -> None:
+        if run.attempts_left > 0:
+            run.not_before = (
+                time.monotonic() + RETRY_BACKOFF_S * (2 ** (run.attempt - 1))
+            )
+            queue.append(run)
+        else:
+            finalize(run, status, None)
+
+    def reap(process, run: _Run) -> None:
+        attempt_path = (
+            ledger.scenario_dir(run.spec) / f"attempt-{run.attempt}.json"
+        )
+        exitcode = process.exitcode
+        if exitcode == 0 and attempt_path.exists():
+            attempt_result = json.loads(attempt_path.read_text())
+            finalize(run, attempt_result["status"], attempt_result)
+            return
+        if exitcode == CRASH_EXIT_CODE or (
+            exitcode is not None and exitcode < 0
+        ):
+            # the injected (or real) kill: isolated, recorded, retried
+            run.crashes += 1
+            note(run, {
+                "event": "worker_died", "exitcode": exitcode,
+                "attempt": run.attempt,
+            })
+            retry_or(run, "crashed")
+            return
+        run.errors += 1
+        note(run, {
+            "event": "worker_failed", "exitcode": exitcode,
+            "attempt": run.attempt,
+        })
+        retry_or(run, "error")
+
+    while queue or active:
+        now = time.monotonic()
+        while queue and len(active) < jobs:
+            if queue[0].not_before > now:
+                break
+            launch(queue.popleft())
+        if not active:
+            if queue:
+                time.sleep(
+                    max(_POLL_S, min(r.not_before for r in queue) - now)
+                )
+            continue
+        time.sleep(_POLL_S)
+        still_active = []
+        for process, run, deadline_at in active:
+            if process.is_alive():
+                if time.monotonic() >= deadline_at:
+                    process.terminate()
+                    process.join(2.0)
+                    if process.is_alive():  # pragma: no cover - stuck child
+                        process.kill()
+                        process.join(1.0)
+                    run.timeouts += 1
+                    note(run, {
+                        "event": "deadline_exceeded",
+                        "deadline_s": run.spec.deadline_s,
+                        "attempt": run.attempt,
+                    })
+                    retry_or(run, "timeout")
+                else:
+                    still_active.append((process, run, deadline_at))
+                continue
+            process.join()
+            reap(process, run)
+        active = still_active
+    return results

@@ -1,0 +1,91 @@
+"""Resumable sweep ledger: content-addressed per-scenario artifact dirs.
+
+Each scenario owns ``<root>/<name>-<scenario_id>/`` where the id hashes
+the canonical spec JSON — edit a spec and it gets a *new* directory, so
+stale artifacts can never satisfy a changed scenario.  The directory
+holds:
+
+``spec.json``
+    The spec as submitted (provenance; re-runnable on its own).
+``events.jsonl``
+    One JSON object per line, appended and flushed as the worker runs —
+    a worker killed mid-loop still leaves its trail.
+``result.json``
+    The structured outcome, written atomically once per attempt cycle.
+``durable/`` / ``baseline.json``
+    The scenario's own durable system root (crash-recovery state).
+
+A re-run with the same specs executes only scenarios whose directory is
+missing a ``result.json`` or whose recorded outcome is not ``ok``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.scenarios.spec import ScenarioSpec
+from repro.storage.durable import atomic_write_json
+
+#: outcome statuses a sweep can record per scenario
+OUTCOMES = ("ok", "invariant_violation", "crashed", "timeout", "error")
+
+
+class SweepLedger:
+    """Filesystem ledger of one sweep root."""
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+
+    def scenario_dir(self, spec: ScenarioSpec) -> Path:
+        return self.root / spec.slug
+
+    def prepare(self, spec: ScenarioSpec) -> Path:
+        """Create (or reuse) the scenario directory; pin the spec."""
+        directory = self.scenario_dir(spec)
+        directory.mkdir(parents=True, exist_ok=True)
+        spec_path = directory / "spec.json"
+        if not spec_path.exists():
+            atomic_write_json(
+                spec_path,
+                {**spec.to_json(), "scenario_id": spec.scenario_id},
+            )
+        return directory
+
+    def record(self, spec: ScenarioSpec, result: dict) -> Path:
+        """Atomically persist the scenario outcome."""
+        directory = self.prepare(spec)
+        atomic_write_json(directory / "result.json", result)
+        return directory / "result.json"
+
+    def result(self, spec: ScenarioSpec) -> dict | None:
+        """The recorded outcome, or ``None`` (missing/unreadable/torn)."""
+        path = self.scenario_dir(spec) / "result.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def outcome(self, spec: ScenarioSpec) -> str | None:
+        result = self.result(spec)
+        if result is None:
+            return None
+        return str(result.get("status") or "") or None
+
+    def pending(
+        self, specs: Iterable[ScenarioSpec], *, fresh: bool = False
+    ) -> list[ScenarioSpec]:
+        """The scenarios a (re-)run must execute.
+
+        ``fresh=True`` ignores recorded outcomes (full re-run); otherwise
+        only scenarios without a recorded ``ok`` are due — the resume
+        contract.
+        """
+        if fresh:
+            return list(specs)
+        return [spec for spec in specs if self.outcome(spec) != "ok"]
+
+    def results(self, specs: Iterable[ScenarioSpec]) -> dict[str, dict | None]:
+        """slug -> recorded result (or None) for the given specs."""
+        return {spec.slug: self.result(spec) for spec in specs}

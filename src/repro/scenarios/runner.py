@@ -1,0 +1,528 @@
+"""Run ONE chaos scenario: the full DD-DGMS closed loop under faults.
+
+The runner is deliberately in-process (the fleet adds process isolation
+around it) and deterministic: cohort, batch, dirt and faults all derive
+from the spec.  Each run is twinned:
+
+1. the **clean twin (oracle)** drives the identical loop with no faults
+   armed and records a fingerprint of the query battery at each
+   checkpoint;
+2. the **chaotic run** drives the loop with the spec's fault plan armed
+   over a durable root, surviving injected crashes either by in-process
+   recovery (``crash_style="recover"``: catch
+   :class:`~repro.storage.faults.SimulatedCrash`, call
+   :meth:`DDDGMS.recover`, resume the phase list) or by actually dying
+   (``crash_style="die"``: ``os._exit(137)`` — the fleet's retry attempt
+   re-enters this module and recovers from the durable root).
+
+Loop-level invariants checked post-recovery:
+
+``answers_match``
+    Every comparable checkpoint fingerprint equals the oracle's — no
+    wrong or stale answers after recovery.  On a retry attempt the
+    pre-ingest checkpoints are skipped (the recovered system may already
+    hold part of the interrupted batch); the post-ingest and final
+    fingerprints are always strict.
+``batch_partitioned``
+    Rows loaded into the warehouse plus rows quarantined exactly
+    partition the ingest batch (conservation: nothing lost, nothing
+    duplicated, even across a mid-batch crash).
+``recovered_serves``
+    The query battery executes against the recovered state.
+``degradation_surfaced``
+    Every *fired* permanent fault shows up as a degraded-mode flag in
+    ``ingest_health()`` at some checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.dgms.system import DDDGMS
+from repro.discri.generator import DiScRiGenerator, offset_identifiers
+from repro.etl.quarantine import QuarantineStore
+from repro.storage import faults
+from repro.storage.faults import FaultPlan, SimulatedCrash
+from repro.tabular.table import Table
+from repro.warehouse.feedback import FeedbackDimensionBuilder, FeedbackEntry
+
+from repro.scenarios.spec import ScenarioSpec
+
+#: exit code a die-style worker uses for an injected crash (mirrors the
+#: shell convention for SIGKILL'd processes)
+CRASH_EXIT_CODE = 137
+
+#: cap on in-process recover->resume cycles before declaring divergence
+MAX_RECOVERIES = 6
+
+EventCallback = Callable[[dict], None]
+
+
+# ---------------------------------------------------------------------------
+# Deterministic inputs
+# ---------------------------------------------------------------------------
+
+
+def build_cohort(spec: ScenarioSpec) -> Table:
+    """The scenario's initial cohort (profile + size + noise regime)."""
+    return DiScRiGenerator(
+        n_patients=spec.patients,
+        seed=spec.seed,
+        profile=spec.profile,
+        missing_rate=spec.missing_rate,
+        erroneous_rate=spec.erroneous_rate,
+    ).generate()
+
+
+def build_batch(spec: ScenarioSpec, source: Table) -> Table:
+    """The ingest batch: a follow-up intake, optionally made dirty.
+
+    Dirty rows get ``visit_date=None`` — structurally insertable, but the
+    ETL derive step rejects them, so they must land in quarantine (the
+    partition invariant counts them there).  Corrupted indices derive
+    from the spec seed, so twin runs dirty the very same rows.
+    """
+    batch = DiScRiGenerator(
+        n_patients=spec.batch_patients,
+        seed=spec.seed + 1000,
+        profile=spec.profile,
+        missing_rate=spec.missing_rate,
+        erroneous_rate=spec.erroneous_rate,
+    ).generate()
+    batch = offset_identifiers(
+        batch,
+        max(source.column("patient_id").to_list()),
+        max(source.column("visit_id").to_list()),
+    )
+    if spec.dirty_rate <= 0:
+        return batch
+    rows = batch.to_rows()
+    # at most one dirty visit per patient: two null-dated visits of the
+    # same patient would collapse in the ETL dedup step (a policy drop,
+    # not a failure), muddying the loaded+quarantined==batch partition
+    first_visit: dict[object, int] = {}
+    for index, row in enumerate(rows):
+        first_visit.setdefault(row["patient_id"], index)
+    candidates = sorted(first_visit.values())
+    n_dirty = min(max(1, int(len(rows) * spec.dirty_rate)), len(candidates))
+    import random
+
+    dirty_at = random.Random(spec.seed + 2000).sample(candidates, n_dirty)
+    for index in dirty_at:
+        rows[index]["visit_date"] = None
+    return Table.from_rows(rows, schema=dict(batch.schema))
+
+
+def feedback_builders() -> list[FeedbackDimensionBuilder]:
+    """The loop's feedback dimensions (recreatable after recovery)."""
+    return [
+        FeedbackDimensionBuilder("chaos_flag").add(
+            FeedbackEntry(
+                "watch", lambda row: row.get("fbg_band") == "Diabetic"
+            )
+        ),
+        FeedbackDimensionBuilder("chaos_risk").add(
+            FeedbackEntry(
+                "elevated",
+                lambda row: row.get("reflex_knees_ankles") == "absent",
+            )
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The query battery (fingerprinted at every checkpoint)
+# ---------------------------------------------------------------------------
+
+
+def battery_fingerprint(system: DDDGMS) -> str:
+    """A digest of the loop's observable answers (OLTP + OLAP)."""
+    parts: list[str] = []
+    fig4 = (
+        system.query().rows("age_band").columns("gender")
+        .count_records("attendances")
+        .where("personal.family_history_diabetes", "yes")
+        .execute().sorted_rows()
+    )
+    parts.append(fig4.to_text(with_totals=True))
+    fig5 = (
+        system.query().rows("age_band10").columns("gender")
+        .count_distinct("cardinality.patient_id", name="patients")
+        .where("conditions.diabetes_status", "yes")
+        .execute().sorted_rows()
+    )
+    parts.append(fig5.to_text(with_totals=True))
+    fig6 = (
+        system.query().rows("age_band10").columns("ht_years_band")
+        .count_records("cases")
+        .where("conditions.hypertension", "yes")
+        .execute().sorted_rows()
+    )
+    parts.append(fig6.to_text(with_totals=True))
+    parts.append(f"flat_rows={system.cube.flat.num_rows}")
+    parts.append("dims=" + ",".join(system.warehouse.dimension_names))
+    visit_ids = system.source.column("visit_id").to_list()
+    for vid in (min(visit_ids), max(visit_ids)):
+        row = system.oltp_lookup(vid)
+        parts.append(json.dumps(row, sort_keys=True, default=str))
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The closed loop, phase by phase
+# ---------------------------------------------------------------------------
+
+
+def _attach(system: DDDGMS, spec: ScenarioSpec) -> None:
+    system.attach_result_cache(64)
+    if spec.storage:
+        system.attach_storage(True)
+
+
+def _drive_loop(
+    system_ref: dict,
+    spec: ScenarioSpec,
+    batch: Table,
+    *,
+    checkpoints: dict,
+    state: dict,
+    emit: EventCallback,
+) -> None:
+    """Run every remaining loop phase over ``system_ref['system']``.
+
+    Raises :class:`SimulatedCrash` out to the caller; ``state['done']``
+    marks phases already completed so a resumed call skips them (each
+    phase is itself idempotent, so re-running the interrupted one is
+    safe).
+    """
+
+    def phase(name: str, fn) -> None:
+        if name in state["done"]:
+            return
+        started = time.perf_counter()
+        fn()
+        state["done"].add(name)
+        emit({
+            "event": "phase", "phase": name,
+            "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
+        })
+
+    system = system_ref["system"]
+
+    def checkpoint(name: str) -> None:
+        health = system_ref["system"].ingest_health()
+        checkpoints[name] = {
+            "fingerprint": battery_fingerprint(system_ref["system"]),
+            "degraded": dict(health["degraded"]),
+            "degradations": list(health["degradations"]),
+        }
+
+    def fold_all() -> None:
+        for builder in feedback_builders():
+            system_ref["system"].fold_feedback(builder)
+
+    phase("fold", fold_all)
+    if spec.lattice:
+        phase("lattice", lambda: system_ref["system"].materialize_lattice())
+    phase("checkpoint.fold", lambda: checkpoint("fold"))
+
+    def baseline() -> None:
+        sys_ = system_ref["system"]
+        state["baseline"] = {
+            "oltp_rows": sys_.source.num_rows,
+            "flat_rows": sys_.cube.flat.num_rows,
+            "quarantined": len(sys_.quarantine) if sys_.quarantine is not None else 0,
+        }
+        # survives a die-style crash: the retry attempt reloads it
+        if state.get("baseline_path"):
+            Path(state["baseline_path"]).write_text(
+                json.dumps(state["baseline"])
+            )
+
+    phase("baseline", baseline)
+    phase("ingest", lambda: system_ref["system"].ingest_visits(
+        batch, batch="chaos-y2"
+    ))
+
+    def partition_check() -> None:
+        sys_ = system_ref["system"]
+        base = state["baseline"]
+        quarantined = len(sys_.quarantine) if sys_.quarantine is not None else 0
+        state["partition"] = {
+            "batch_rows": batch.num_rows,
+            "flat_gain": sys_.cube.flat.num_rows - base["flat_rows"],
+            "oltp_gain": sys_.source.num_rows - base["oltp_rows"],
+            "quarantine_gain": quarantined - base["quarantined"],
+        }
+
+    phase("partition", partition_check)
+    phase("checkpoint.ingest", lambda: checkpoint("ingest"))
+
+    def mine() -> None:
+        model = system_ref["system"].awsum(
+            "develops_diabetes", ["fbg_band", "reflex_knees_ankles"],
+            min_support=2,
+        )
+        state["mining_influences"] = len(model.value_influences())
+
+    phase("mine", mine)
+
+    def predict() -> None:
+        predictor = system_ref["system"].trajectory_predictor()
+        # predict from a stage the transition model has actually seen
+        # (tiny cohorts may never produce a given band)
+        current = sorted(predictor.model.states)[0]
+        stage, distribution = predictor.predict_next_stage(
+            {"patient_id": -1, "fbg_band": current}
+        )
+        state["predicted_stage"] = stage
+        state["prediction_mass"] = round(sum(distribution.values()), 6)
+
+    phase("predict", predict)
+
+    def optimise() -> None:
+        report = system_ref["system"].check_optimum_consistency(
+            ["conditions.age_band", "personal.gender"], "fbg",
+            min_records=5, removable=["exercise"],
+        )
+        state["optimum_consistent"] = bool(report.consistent)
+
+    phase("optimize", optimise)
+
+    def acquire() -> None:
+        system_ref["system"].fold_feedback(
+            FeedbackDimensionBuilder("chaos_outcome").add(
+                FeedbackEntry(
+                    "followup",
+                    lambda row: row.get("develops_diabetes") == "yes",
+                )
+            )
+        )
+
+    phase("acquire", acquire)
+    phase("checkpoint.final", lambda: checkpoint("final"))
+
+
+def _run_oracle(spec: ScenarioSpec, source: Table, batch: Table) -> dict:
+    """The clean twin: same loop, no faults, in-memory quarantine."""
+    faults.uninstall()
+    system = DDDGMS(
+        source, quarantine=QuarantineStore(), incremental=spec.incremental
+    )
+    _attach(system, spec)
+    checkpoints: dict = {}
+    state: dict = {"done": set(), "baseline_path": None}
+    _drive_loop(
+        {"system": system}, spec, batch,
+        checkpoints=checkpoints, state=state, emit=lambda event: None,
+    )
+    return {"checkpoints": checkpoints, "state": state}
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    workdir: "str | Path",
+    *,
+    attempt: int = 1,
+    emit: EventCallback | None = None,
+) -> dict:
+    """Run the scenario once; returns the structured result record.
+
+    ``workdir`` persists across attempts (the durable root lives there),
+    so a retry after a die-style crash recovers real on-disk state.  The
+    result's ``status`` is ``ok`` or ``invariant_violation``; crashes and
+    unexpected errors propagate (die-style kills exit the process with
+    :data:`CRASH_EXIT_CODE`).
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    emit = emit or (lambda event: None)
+    durable_root = workdir / "durable"
+    baseline_path = workdir / "baseline.json"
+    started = time.perf_counter()
+
+    source = build_cohort(spec)
+    batch = build_batch(spec, source)
+    emit({
+        "event": "inputs", "cohort_rows": source.num_rows,
+        "batch_rows": batch.num_rows, "attempt": attempt,
+    })
+
+    oracle = _run_oracle(spec, source, batch)
+    emit({"event": "oracle", "checkpoints": sorted(oracle["checkpoints"])})
+
+    rules = spec.rules_for_attempt(attempt)
+    plan = FaultPlan(rules)
+    checkpoints: dict = {}
+    state: dict = {
+        "done": set(),
+        "baseline_path": str(baseline_path),
+    }
+    recovered = attempt > 1 and (durable_root / "snaps").exists()
+    if recovered and baseline_path.exists():
+        state["baseline"] = json.loads(baseline_path.read_text())
+        state["done"].update({"fold", "baseline"})
+        if spec.lattice:
+            state["done"].add("lattice")
+    recoveries = 0
+
+    faults.install(plan)
+    try:
+        if recovered:
+            system = DDDGMS.recover(
+                durable_root, feedback_builders=feedback_builders()
+            )
+            _attach(system, spec)
+        else:
+            if durable_root.exists():
+                # a prior attempt died before its first checkpoint: there
+                # is nothing recoverable, so rebuild from scratch
+                import shutil
+
+                shutil.rmtree(durable_root)
+            system = DDDGMS(
+                source, durable_root=durable_root, incremental=spec.incremental
+            )
+            _attach(system, spec)
+        system_ref = {"system": system}
+        while True:
+            try:
+                _drive_loop(
+                    system_ref, spec, batch,
+                    checkpoints=checkpoints, state=state, emit=emit,
+                )
+                break
+            except SimulatedCrash as crash:
+                emit({
+                    "event": "crash", "point": crash.point,
+                    "occurrence": crash.occurrence,
+                    "style": spec.crash_style,
+                })
+                if spec.crash_style == "die":
+                    # flush behaviour is the caller's: events are written
+                    # line-buffered, so the record above survives us
+                    os._exit(CRASH_EXIT_CODE)
+                recoveries += 1
+                if recoveries > MAX_RECOVERIES:
+                    raise
+                system_ref["system"] = DDDGMS.recover(
+                    durable_root, feedback_builders=feedback_builders()
+                )
+                _attach(system_ref["system"], spec)
+                if state.get("baseline") is None and baseline_path.exists():
+                    state["baseline"] = json.loads(baseline_path.read_text())
+                emit({"event": "recovered", "recoveries": recoveries})
+        fault_hits = {rule.point: plan.hits(rule.point) for rule in rules}
+    finally:
+        faults.uninstall()
+
+    elapsed_s = time.perf_counter() - started
+    invariants = _check_invariants(
+        spec, attempt=attempt, recovered=recovered or recoveries > 0,
+        oracle=oracle, checkpoints=checkpoints, state=state,
+        rules=rules, fault_hits=fault_hits,
+    )
+    violations = sorted(
+        name for name, entry in invariants.items() if not entry["ok"]
+    )
+    result = {
+        "scenario_id": spec.scenario_id,
+        "name": spec.name,
+        "profile": spec.profile,
+        "plan": spec.plan,
+        "regime": spec.regime,
+        "attempt": attempt,
+        "status": "ok" if not violations else "invariant_violation",
+        "violations": violations,
+        "invariants": invariants,
+        "recoveries": recoveries,
+        "fault_hits": fault_hits,
+        "partition": state.get("partition"),
+        "loop_s": round(elapsed_s, 4),
+    }
+    emit({"event": "result", **result})
+    return result
+
+
+def _check_invariants(
+    spec: ScenarioSpec,
+    *,
+    attempt: int,
+    recovered: bool,
+    oracle: dict,
+    checkpoints: dict,
+    state: dict,
+    rules: list,
+    fault_hits: dict,
+) -> dict:
+    invariants: dict = {}
+
+    # -- answers_match: checkpoint fingerprints vs the clean twin -------
+    comparable = ["ingest", "final"] if attempt > 1 else ["fold", "ingest", "final"]
+    mismatches = []
+    for name in comparable:
+        ours = checkpoints.get(name, {}).get("fingerprint")
+        theirs = oracle["checkpoints"].get(name, {}).get("fingerprint")
+        if ours is None or ours != theirs:
+            mismatches.append(name)
+    invariants["answers_match"] = {
+        "ok": not mismatches,
+        "detail": {"compared": comparable, "mismatched": mismatches},
+    }
+
+    # -- batch_partitioned: loaded + quarantined == batch ---------------
+    partition = state.get("partition")
+    if partition is None:
+        invariants["batch_partitioned"] = {
+            "ok": False, "detail": "ingest never completed",
+        }
+    else:
+        conserved = (
+            partition["flat_gain"] + partition["quarantine_gain"]
+            == partition["batch_rows"]
+        )
+        # structurally rejected rows never enter OLTP; derive rejects do,
+        # so the OLTP gain brackets the warehouse gain
+        bracketed = (
+            partition["flat_gain"]
+            <= partition["oltp_gain"]
+            <= partition["batch_rows"]
+        )
+        invariants["batch_partitioned"] = {
+            "ok": conserved and bracketed, "detail": partition,
+        }
+
+    # -- recovered_serves: the battery ran post-recovery ----------------
+    invariants["recovered_serves"] = {
+        "ok": "final" in checkpoints,
+        "detail": {
+            "recovered": recovered,
+            "checkpoints": sorted(checkpoints),
+        },
+    }
+
+    # -- degradation_surfaced: fired permanent faults are visible -------
+    fired_permanent = [
+        rule.point for rule in rules
+        if rule.mode == "permanent"
+        and fault_hits.get(rule.point, 0) >= max(rule.nth, 1)
+    ]
+    flagged = any(
+        checkpoints[name]["degraded"] or checkpoints[name]["degradations"]
+        for name in checkpoints
+    )
+    invariants["degradation_surfaced"] = {
+        "ok": (not fired_permanent) or flagged,
+        "detail": {"fired_permanent": fired_permanent, "flagged": flagged},
+    }
+    return invariants

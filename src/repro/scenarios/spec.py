@@ -1,0 +1,236 @@
+"""Declarative chaos-scenario specs and the default sweep matrix.
+
+A :class:`ScenarioSpec` pins everything one closed-loop chaos run needs:
+the cohort (disease profile x size x dirt regime), the system shape
+(storage / incremental / lattice), and the :class:`FaultSpec` list armed
+while the loop runs.  Specs are plain data — JSON round-trippable and
+content-addressed (:attr:`ScenarioSpec.scenario_id` hashes the canonical
+spec JSON), so the sweep ledger can tell "already ran exactly this"
+from "the spec changed; run it again" without timestamps.
+
+Fault points/modes come from :mod:`repro.storage.faults` and are
+validated at construction: a typo'd point fails the spec, not the sweep.
+``scope="first_attempt"`` marks rules the fleet must *not* re-arm on a
+retry attempt — the spelling for die-style kills, where attempt 2 is the
+recovery run and must be allowed to finish.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.discri.phenomena import DISEASE_PROFILES
+from repro.errors import ReproError
+from repro.storage.faults import FaultRule, _MODES, validate_points
+
+#: how a scenario experiences an injected ``kill``
+#:
+#: ``recover``
+#:     The runner catches :class:`~repro.storage.faults.SimulatedCrash`
+#:     in-process, calls :meth:`~repro.dgms.system.DDDGMS.recover` and
+#:     re-ingests idempotently — the classic crash-recovery test shape.
+#: ``die``
+#:     The worker *actually exits* (``os._exit(137)``) so the fleet sees
+#:     a dead process; the retry attempt recovers from the durable root.
+CRASH_STYLES = ("recover", "die")
+
+#: when a fault rule is armed across fleet retry attempts
+FAULT_SCOPES = ("always", "first_attempt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule of a scenario plan (a serialisable FaultRule)."""
+
+    point: str
+    mode: str = "error"
+    nth: int = 1
+    scope: str = "always"
+    keep_fraction: float = 0.5
+    delay_s: float | None = None
+
+    def __post_init__(self) -> None:
+        validate_points([self.point])
+        if self.mode not in _MODES:
+            raise ReproError(
+                f"unknown fault mode {self.mode!r} (valid: {', '.join(_MODES)})"
+            )
+        if self.scope not in FAULT_SCOPES:
+            raise ReproError(
+                f"unknown fault scope {self.scope!r} "
+                f"(valid: {', '.join(FAULT_SCOPES)})"
+            )
+        if self.nth < 0:
+            raise ReproError(f"fault nth must be >= 0, got {self.nth}")
+        if self.mode in ("kill", "short") and self.nth == 0:
+            # an every-hit crash can never converge: each recovery re-runs
+            # the boundary and dies again, forever
+            raise ReproError(
+                f"{self.mode!r} faults need nth >= 1 (an every-hit crash "
+                f"at {self.point!r} would make the scenario unfinishable)"
+            )
+
+    def to_rule(self) -> FaultRule:
+        return FaultRule(
+            point=self.point, mode=self.mode, nth=self.nth,
+            keep_fraction=self.keep_fraction, delay_s=self.delay_s,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cell of the sweep matrix: cohort x system shape x fault plan."""
+
+    name: str
+    profile: str = "discri"
+    patients: int = 30
+    batch_patients: int = 8
+    seed: int = 7
+    missing_rate: float = 0.02
+    erroneous_rate: float = 0.002
+    #: fraction of the ingest batch deliberately corrupted (quarantine food)
+    dirty_rate: float = 0.0
+    faults: tuple[FaultSpec, ...] = ()
+    #: display name of the fault plan (for grouping in the summary)
+    plan: str = "clean"
+    crash_style: str = "recover"
+    storage: bool = False
+    incremental: bool = True
+    lattice: bool = False
+    #: wall-clock budget for one attempt, enforced by the fleet (seconds)
+    deadline_s: float = 120.0
+    #: extra attempts after a crash/transient failure
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("scenario name cannot be empty")
+        if self.profile not in DISEASE_PROFILES:
+            raise ReproError(
+                f"unknown disease profile {self.profile!r} "
+                f"(registered: {', '.join(DISEASE_PROFILES)})"
+            )
+        if self.crash_style not in CRASH_STYLES:
+            raise ReproError(
+                f"unknown crash style {self.crash_style!r} "
+                f"(valid: {', '.join(CRASH_STYLES)})"
+            )
+        if self.patients < 2 or self.batch_patients < 1:
+            raise ReproError("scenario cohorts need patients>=2, batch>=1")
+        if not (0.0 <= self.dirty_rate <= 1.0):
+            raise ReproError(f"dirty_rate must be in [0,1], got {self.dirty_rate}")
+        if self.deadline_s <= 0:
+            raise ReproError("deadline_s must be positive")
+        if self.retries < 0:
+            raise ReproError("retries must be >= 0")
+        object.__setattr__(self, "faults", tuple(
+            f if isinstance(f, FaultSpec) else FaultSpec(**f)
+            for f in self.faults
+        ))
+
+    # -- identity -------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """The canonical JSON form (key-sorted by the hasher)."""
+        payload = asdict(self)
+        payload["faults"] = [asdict(f) for f in self.faults]
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ScenarioSpec":
+        data = dict(payload)
+        data.pop("scenario_id", None)
+        data["faults"] = tuple(
+            FaultSpec(**f) for f in data.get("faults", ())
+        )
+        return cls(**data)
+
+    @property
+    def scenario_id(self) -> str:
+        """Content address: first 12 hex of the canonical spec digest."""
+        canon = json.dumps(self.to_json(), sort_keys=True, default=str)
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:12]
+
+    @property
+    def slug(self) -> str:
+        """Ledger directory name: human name + content address."""
+        return f"{self.name}-{self.scenario_id}"
+
+    def rules_for_attempt(self, attempt: int) -> list[FaultRule]:
+        """The fault rules armed on the given (1-based) attempt."""
+        return [
+            f.to_rule() for f in self.faults
+            if f.scope == "always" or attempt == 1
+        ]
+
+    @property
+    def regime(self) -> str:
+        """Size/dirt regime label used for latency grouping."""
+        dirty = "dirty" if self.dirty_rate > 0 else "clean"
+        size = "small" if self.patients <= 40 else "mid"
+        return f"{size}-{dirty}"
+
+
+# ---------------------------------------------------------------------------
+# The default sweep matrix
+# ---------------------------------------------------------------------------
+
+#: the two stock fault plans of the default matrix
+def _kill_mid_loop(crash_style: str) -> tuple[str, tuple[FaultSpec, ...]]:
+    # the 4th wal.commit lands mid-ingest (initial load + checkpoint come
+    # first), so the crash interrupts a half-applied batch.  die-style
+    # kills are first-attempt-only: the retry is the recovery run.
+    scope = "first_attempt" if crash_style == "die" else "always"
+    return "kill-mid-loop", (
+        FaultSpec("wal.commit", mode="kill", nth=4, scope=scope),
+    )
+
+
+def _flaky_deps() -> tuple[str, tuple[FaultSpec, ...]]:
+    return "flaky-deps", (
+        # transient OLTP hiccup: with_retry must heal it
+        FaultSpec("ingest.oltp", mode="transient", nth=1),
+        # the lattice fold breaks for good: must degrade, not fail
+        FaultSpec("lattice.delta_merge", mode="permanent", nth=1),
+        # the result cache errors once: served-through, answer-identical
+        FaultSpec("serving.cache", mode="error", nth=1),
+        # every scan is slow: latency pressure, same answers
+        FaultSpec("serving.scan", mode="slow", nth=0, delay_s=0.002),
+    )
+
+
+def default_matrix(seed: int = 7, deadline_s: float = 120.0) -> list[ScenarioSpec]:
+    """The stock 12-scenario matrix: 3 profiles x 2 plans x 2 regimes.
+
+    Every kill-mid-loop cell is durable (the crash must be recoverable);
+    the mid-dirty regime adds deliberate batch dirt and partitioned
+    storage so the quarantine-partition and storage invariants bite.
+    """
+    scenarios: list[ScenarioSpec] = []
+    for profile in DISEASE_PROFILES:
+        for plan_kind in ("kill-mid-loop", "flaky-deps"):
+            for regime in ("small-clean", "mid-dirty"):
+                small = regime == "small-clean"
+                crash_style = "die" if (plan_kind == "kill-mid-loop"
+                                        and not small) else "recover"
+                if plan_kind == "kill-mid-loop":
+                    plan, fault_specs = _kill_mid_loop(crash_style)
+                else:
+                    plan, fault_specs = _flaky_deps()
+                scenarios.append(ScenarioSpec(
+                    name=f"{profile}.{plan}.{regime}",
+                    profile=profile,
+                    patients=30 if small else 60,
+                    batch_patients=8 if small else 14,
+                    seed=seed + len(scenarios),
+                    dirty_rate=0.0 if small else 0.15,
+                    faults=fault_specs,
+                    plan=plan,
+                    crash_style=crash_style,
+                    storage=not small,
+                    lattice=not small,
+                    deadline_s=deadline_s,
+                ))
+    return scenarios

@@ -41,6 +41,30 @@ SCAN_PROCS_ENV = "REPRO_SCAN_PROCS"
 #: segments inherited by forked scan workers (set around pool creation)
 _FORK_STATE: dict = {"segments": None}
 
+#: process-local count of processes→serial degradations, readable even
+#: with observability disabled (surfaced via ``ingest_health()["storage"]``)
+_DEGRADED = {"count": 0}
+
+
+def degraded_count() -> int:
+    """How many scans fell back from the process pool to serial."""
+    return _DEGRADED["count"]
+
+
+def _note_degraded(reason: str) -> None:
+    """Record a processes→serial fallback: counter + one-shot warning.
+
+    The fallback itself is the right call (identical answers, no
+    fan-out), but it used to be silent — a chaos sweep configured for
+    process scans would happily "pass" while measuring the serial path.
+    """
+    _DEGRADED["count"] += 1
+    obs.warn_once(
+        "storage.scan.procs_degraded",
+        f"multiprocess partition scan degraded to serial: {reason} "
+        f"(answers identical; further degradations counted silently)",
+    )
+
 
 @dataclass(frozen=True)
 class ScanMode:
@@ -132,7 +156,7 @@ def run_scan(
         )
     if mode.name == "processes":
         if not _fork_available():
-            obs.count("storage.scan.procs_degraded")
+            _note_degraded("fork start method unavailable on this platform")
             return [_scan_one(segments, i, predicate) for i in survivors]
         return _run_forked(segments, survivors, predicate, mode.workers)
     raise StorageError(f"unknown scan mode {mode.name!r}")
@@ -154,10 +178,10 @@ def _run_forked(
         with ctx.Pool(processes=min(workers, len(survivors))) as pool:
             tasks = [(i, predicate) for i in survivors]
             results = pool.map(_child_scan, tasks)
-    except Exception:
+    except Exception as exc:
         # pool setup/pickling trouble: degrade to the serial rung —
         # identical answers, just no process fan-out
-        obs.count("storage.scan.procs_degraded")
+        _note_degraded(f"fork pool failed ({type(exc).__name__}: {exc})")
         return [_scan_one(segments, i, predicate) for i in survivors]
     finally:
         _FORK_STATE["segments"] = None

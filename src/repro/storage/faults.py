@@ -53,6 +53,12 @@ variable (:func:`plan_from_env`), whose grammar is
 (or ``@*``) makes a rule fire on *every* hit::
 
     REPRO_FAULTS="wal.commit:kill@2,serving.cache:error@0"
+
+Arming validates every rule's point against the registered-points set
+(:func:`known_points`): a typo'd point used to silently never fire —
+making chaos tests vacuously green — and now raises
+:class:`~repro.errors.StorageError` at install/parse time.  New
+boundaries self-register via :func:`register_point`.
 """
 
 from __future__ import annotations
@@ -77,6 +83,80 @@ _MODES = (
 #: default injected delays for the latency modes (seconds)
 _SLOW_DELAY_S = 0.05
 _STALL_DELAY_S = 2.0
+
+# ---------------------------------------------------------------------------
+# Registered fault points
+# ---------------------------------------------------------------------------
+#
+# Every boundary the engine actually fires is registered here (plus the
+# derived ``<point>.rename`` half of each atomic write).  Arming a plan
+# validates rule points against this set, so a typo'd point fails fast
+# at install time instead of silently never firing — which would make a
+# chaos test vacuously green.  Out-of-tree boundaries (and test-local
+# synthetic points) opt in via :func:`register_point`.
+
+#: atomic-write boundaries; each also fires ``<point>.rename``
+_ATOMIC_WRITE_POINTS = frozenset({
+    "atomic.write",
+    "wal.create", "wal.truncate", "wal.upgrade",
+    "snapshot.data", "snapshot.manifest",
+    "warehouse.data", "warehouse.manifest",
+    "kb.write",
+    "storage.segment.write",
+    "storage.compaction.manifest",
+})
+
+#: plain boundaries fired via :func:`fire`/:func:`before_write`
+_PLAIN_POINTS = frozenset({
+    # durability
+    "wal.append", "wal.commit", "wal.sync",
+    "storage.compaction",
+    # resilient-ingest retry boundaries
+    "ingest.oltp", "ingest.rebuild", "ingest.quarantine",
+    "ingest.feedback", "ingest.lattice", "ingest.checkpoint",
+    "lattice.delta_merge",
+    # serving / read path
+    "serving.scan", "serving.cache", "serving.pool",
+})
+
+#: the built-in registered-points set (see :func:`known_points`)
+CORE_POINTS: frozenset[str] = (
+    _PLAIN_POINTS
+    | _ATOMIC_WRITE_POINTS
+    | frozenset(p + ".rename" for p in _ATOMIC_WRITE_POINTS)
+)
+
+_extra_points: set[str] = set()
+
+
+def register_point(name: str) -> str:
+    """Register an extra fault point so plans naming it pass validation.
+
+    For boundaries added outside this module (or synthetic points in
+    tests).  Returns the name for inline use.
+    """
+    name = name.strip()
+    if not name:
+        raise StorageError("fault point names cannot be empty")
+    _extra_points.add(name)
+    return name
+
+
+def known_points() -> frozenset[str]:
+    """Every currently registered fault point (core + extras)."""
+    return CORE_POINTS | frozenset(_extra_points)
+
+
+def validate_points(points: "list[str] | tuple[str, ...] | set[str]") -> None:
+    """Fail fast on unknown fault-point names (arm-time validation)."""
+    unknown = sorted(set(points) - known_points())
+    if unknown:
+        raise StorageError(
+            f"unknown fault point(s) {', '.join(repr(p) for p in unknown)} — "
+            f"a typo'd point would never fire, making the plan vacuously "
+            f"inert (known points: {', '.join(sorted(known_points()))}; "
+            f"extend with faults.register_point())"
+        )
 
 
 class SimulatedCrash(BaseException):
@@ -183,7 +263,13 @@ _active: FaultPlan | None = None
 
 
 def install(plan: FaultPlan) -> FaultPlan:
-    """Arm ``plan`` globally (replacing any previous plan)."""
+    """Arm ``plan`` globally (replacing any previous plan).
+
+    Rule points are validated against :func:`known_points` — an unknown
+    point raises :class:`~repro.errors.StorageError` instead of arming a
+    rule that can never fire.
+    """
+    validate_points([rule.point for rule in plan.rules])
     global _active
     _active = plan
     return plan
@@ -265,6 +351,7 @@ def plan_from_env(value: str | None = None) -> FaultPlan | None:
         if not point:
             raise StorageError(f"empty fault point in {FAULTS_ENV}")
         rules.append(FaultRule(point=point, mode=mode.strip() or "error", nth=nth))
+    validate_points([rule.point for rule in rules])
     return FaultPlan(rules)
 
 

@@ -88,3 +88,40 @@ class TestParser:
     def test_generate_requires_out(self):
         with pytest.raises(SystemExit):
             main(["generate"])
+
+
+class TestQuarantineRedrive:
+    @pytest.fixture()
+    def durable_root(self, tmp_path):
+        """A durable system with one unrepairable row dead-lettered."""
+        from repro.dgms.system import DDDGMS
+        from repro.discri.generator import DiScRiGenerator, offset_identifiers
+        from repro.tabular.table import Table
+
+        source = DiScRiGenerator(n_patients=12, seed=5).generate()
+        root = tmp_path / "sys"
+        system = DDDGMS(source, durable_root=root)
+        batch = offset_identifiers(
+            DiScRiGenerator(n_patients=3, seed=77).generate(),
+            patient_offset=1000, visit_offset=100000,
+        )
+        rows = batch.to_rows()
+        rows[0]["visit_date"] = None  # derive step fails on .year
+        system.ingest_visits(
+            Table.from_rows(rows, schema=dict(source.schema)), batch="y2"
+        )
+        return root
+
+    def test_requeued_rows_exit_nonzero(self, durable_root, capsys):
+        # no --set repair: the row fails again and re-quarantines
+        assert main(["quarantine", "redrive", "--root", str(durable_root)]) == 3
+        out = capsys.readouterr().out
+        assert "re-quarantined" in out
+        assert "1 rows remain quarantined" in out
+
+    def test_successful_repair_exits_zero(self, durable_root, capsys):
+        assert main([
+            "quarantine", "redrive", "--root", str(durable_root),
+            "--set", "visit_date=2009-05-01",
+        ]) == 0
+        assert "0 rows remain quarantined" in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""Disease profiles: the cohort-variant axis of the scenario sweep."""
+
+import pytest
+
+from repro.discri.generator import DiScRiGenerator
+from repro.discri.phenomena import (
+    DISEASE_PROFILES,
+    PhenomenaConfig,
+    profile_config,
+)
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert DISEASE_PROFILES == ("discri", "hypertension", "can_progression")
+
+    def test_unknown_profile_raises_with_roster(self):
+        with pytest.raises(ValueError, match="hypertension"):
+            profile_config("gout")
+
+    def test_every_profile_validates(self):
+        for name in DISEASE_PROFILES:
+            profile_config(name)  # validate() runs inside
+
+    def test_default_profile_is_paper_faithful(self):
+        assert profile_config("discri") == PhenomenaConfig()
+
+
+class TestProfileShapes:
+    def test_hypertension_profile_shifts_prevalence_long(self):
+        default = PhenomenaConfig()
+        shifted = profile_config("hypertension")
+        assert shifted.ht_base_rate > default.ht_base_rate
+        assert shifted.ht_age_slope > default.ht_age_slope
+        for mix in shifted.ht_years_mix.values():
+            assert mix[">=20"] > 0.1  # long-established diagnoses dominate
+
+    def test_can_progression_profile_accelerates(self):
+        default = PhenomenaConfig()
+        fast = profile_config("can_progression")
+        assert fast.progression_pre_to_diabetic > default.progression_pre_to_diabetic
+        for stage, rate in fast.can_rate.items():
+            assert rate >= default.can_rate[stage]
+
+
+class TestGeneratorIntegration:
+    def test_unknown_profile_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown disease profile"):
+            DiScRiGenerator(n_patients=5, profile="plague")
+
+    def test_default_profile_reproduces_legacy_cohort(self):
+        """`profile=\"discri\"` must be byte-identical to the pre-profile
+        constructor so existing seeds keep reproducing."""
+        legacy = DiScRiGenerator(n_patients=40, seed=7).generate()
+        explicit = DiScRiGenerator(n_patients=40, seed=7, profile="discri").generate()
+        assert legacy.to_rows() == explicit.to_rows()
+
+    def test_profiles_produce_distinct_cohorts(self):
+        base = DiScRiGenerator(n_patients=120, seed=7).generate()
+        ht = DiScRiGenerator(n_patients=120, seed=7, profile="hypertension").generate()
+        assert base.to_rows() != ht.to_rows()
+        # planted prevalence should be visibly higher under the HT profile
+        def ht_rate(table):
+            rows = table.to_rows()
+            hits = sum(1 for r in rows if r["hypertension"] == "yes")
+            return hits / len(rows)
+        assert ht_rate(ht) > ht_rate(base)
+
+    def test_explicit_config_beats_profile(self):
+        config = PhenomenaConfig(ht_base_rate=0.01, ht_age_slope=0.0)
+        gen = DiScRiGenerator(
+            n_patients=10, seed=7, config=config, profile="hypertension"
+        )
+        assert gen.config is config

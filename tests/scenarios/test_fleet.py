@@ -1,0 +1,138 @@
+"""Fleet runner: crash isolation, retries, deadlines, ledger resume."""
+
+import json
+
+import pytest
+
+from repro.scenarios.fleet import run_fleet
+from repro.scenarios.ledger import SweepLedger
+from repro.scenarios.spec import FaultSpec, ScenarioSpec
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="fleet", profile="discri", patients=14, batch_patients=4,
+        seed=23,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+@pytest.mark.slow
+class TestCrashIsolation:
+    def test_worker_death_is_retried_and_recovered(self, tmp_path):
+        """A kill-style fault takes the worker down with it; the sweep
+        survives, retries, and attempt 2 recovers from the durable root."""
+        spec = _spec(
+            name="die",
+            faults=(FaultSpec(
+                "wal.commit", mode="kill", nth=4, scope="first_attempt"
+            ),),
+            crash_style="die",
+            retries=1,
+        )
+        records = run_fleet([spec], tmp_path)
+        record = records[spec.slug]
+        assert record["status"] == "ok"
+        assert record["crashed_attempts"] == 1
+        assert record["attempts"] == 2
+        # the crash left a mark in the event log before dying
+        events_path = tmp_path / spec.slug / "events.jsonl"
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        assert any(e.get("event") == "result" for e in events)
+
+    def test_crash_with_no_retries_is_a_terminal_outcome(self, tmp_path):
+        spec = _spec(
+            name="die-hard",
+            faults=(FaultSpec("wal.commit", mode="kill", nth=4),),
+            crash_style="die",
+            retries=0,
+        )
+        records = run_fleet([spec], tmp_path)
+        assert records[spec.slug]["status"] == "crashed"
+        assert SweepLedger(tmp_path).outcome(spec) == "crashed"
+
+    def test_crashed_scenario_does_not_poison_neighbours(self, tmp_path):
+        doomed = _spec(
+            name="doomed",
+            faults=(FaultSpec("wal.commit", mode="kill", nth=4),),
+            crash_style="die",
+            retries=0,
+        )
+        fine = _spec(name="fine")
+        records = run_fleet([doomed, fine], tmp_path)
+        assert records[doomed.slug]["status"] == "crashed"
+        assert records[fine.slug]["status"] == "ok"
+
+
+@pytest.mark.slow
+class TestDeadlines:
+    def test_deadline_exceeded_becomes_timeout(self, tmp_path):
+        spec = _spec(name="stuck", deadline_s=0.05, retries=0)
+        records = run_fleet([spec], tmp_path)
+        assert records[spec.slug]["status"] == "timeout"
+        assert records[spec.slug]["timeout_attempts"] == 1
+
+
+@pytest.mark.slow
+class TestResume:
+    def test_second_sweep_skips_settled_scenarios(self, tmp_path):
+        specs = [_spec(name="a"), _spec(name="b", seed=29)]
+        first = run_fleet(specs, tmp_path)
+        assert all(r["status"] == "ok" for r in first.values())
+
+        second = run_fleet(specs, tmp_path)
+        assert all(r.get("resumed") for r in second.values())
+
+    def test_failed_scenario_is_re_run(self, tmp_path):
+        spec = _spec(name="flip")
+        run_fleet([spec], tmp_path)
+        # forge a failure; the next sweep must re-execute just this cell
+        ledger = SweepLedger(tmp_path)
+        forged = dict(ledger.result(spec), status="error")
+        ledger.record(spec, forged)
+        records = run_fleet([spec], tmp_path)
+        assert not records[spec.slug].get("resumed")
+        assert records[spec.slug]["status"] == "ok"
+
+    def test_fresh_ignores_prior_results(self, tmp_path):
+        spec = _spec(name="redo")
+        run_fleet([spec], tmp_path)
+        records = run_fleet([spec], tmp_path, fresh=True)
+        assert not records[spec.slug].get("resumed")
+        assert records[spec.slug]["status"] == "ok"
+
+
+class TestLedger:
+    def test_pending_partitions_by_outcome(self, tmp_path):
+        ledger = SweepLedger(tmp_path)
+        done, failed = _spec(name="done"), _spec(name="failed")
+        ledger.prepare(done)
+        ledger.prepare(failed)
+        ledger.record(done, {"status": "ok"})
+        ledger.record(failed, {"status": "crashed"})
+        pending = ledger.pending([done, failed])
+        assert [s.name for s in pending] == ["failed"]
+        assert len(ledger.pending([done, failed], fresh=True)) == 2
+
+    def test_spec_json_is_pinned_once(self, tmp_path):
+        ledger = SweepLedger(tmp_path)
+        spec = _spec(name="pin")
+        ledger.prepare(spec)
+        pinned = json.loads(
+            (ledger.scenario_dir(spec) / "spec.json").read_text()
+        )
+        assert pinned["scenario_id"] == spec.scenario_id
+        assert ScenarioSpec.from_json(pinned) == spec
+
+    def test_corrupt_result_reads_as_unsettled(self, tmp_path):
+        ledger = SweepLedger(tmp_path)
+        spec = _spec(name="corrupt")
+        ledger.prepare(spec)
+        (ledger.scenario_dir(spec) / "result.json").write_text("{oops")
+        assert ledger.result(spec) is None
+        assert ledger.outcome(spec) is None
+        assert ledger.pending([spec]) == [spec]

@@ -1,0 +1,142 @@
+"""Single-scenario runner: clean-twin parity, recovery, invariants."""
+
+import json
+
+import pytest
+
+from repro.scenarios.runner import build_batch, build_cohort, run_scenario
+from repro.scenarios.spec import FaultSpec, ScenarioSpec
+from repro.storage import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    yield
+    faults.uninstall()
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="t", profile="discri", patients=16, batch_patients=5, seed=11,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestInputs:
+    def test_cohort_and_batch_are_deterministic(self):
+        spec = _spec(dirty_rate=0.2)
+        a_src = build_cohort(spec)
+        b_src = build_cohort(spec)
+        assert a_src.to_rows() == b_src.to_rows()
+        assert build_batch(spec, a_src).to_rows() == (
+            build_batch(spec, b_src).to_rows()
+        )
+
+    def test_dirty_rows_hit_distinct_patients(self):
+        spec = _spec(batch_patients=8, dirty_rate=0.3)
+        batch = build_batch(spec, build_cohort(spec))
+        dirty = [
+            row for row in batch.to_rows() if row["visit_date"] is None
+        ]
+        assert dirty
+        patients = [row["patient_id"] for row in dirty]
+        # one per patient: null-dated twins would collapse in ETL dedup
+        assert len(patients) == len(set(patients))
+
+    def test_batch_ids_offset_past_cohort(self):
+        spec = _spec()
+        source = build_cohort(spec)
+        batch = build_batch(spec, source)
+        assert min(batch.column("visit_id").to_list()) > max(
+            source.column("visit_id").to_list()
+        )
+
+
+class TestCleanScenario:
+    def test_no_faults_all_invariants_hold(self, tmp_path):
+        result = run_scenario(_spec(), tmp_path)
+        assert result["status"] == "ok"
+        assert result["violations"] == []
+        assert result["recoveries"] == 0
+        partition = result["partition"]
+        assert partition["flat_gain"] + partition["quarantine_gain"] == (
+            partition["batch_rows"]
+        )
+
+    def test_dirty_batch_partitions_exactly(self, tmp_path):
+        result = run_scenario(_spec(dirty_rate=0.25), tmp_path)
+        assert result["status"] == "ok"
+        assert result["partition"]["quarantine_gain"] > 0
+
+    def test_events_emitted_in_phase_order(self, tmp_path):
+        events = []
+        run_scenario(_spec(), tmp_path, emit=events.append)
+        phases = [e["phase"] for e in events if e["event"] == "phase"]
+        assert phases.index("fold") < phases.index("ingest")
+        assert phases.index("ingest") < phases.index("checkpoint.final")
+        assert [e for e in events if e["event"] == "result"]
+
+
+class TestKillRecover:
+    def test_in_process_crash_recovers_and_matches_oracle(self, tmp_path):
+        spec = _spec(
+            faults=(FaultSpec("wal.commit", mode="kill", nth=4),),
+            crash_style="recover",
+        )
+        result = run_scenario(spec, tmp_path)
+        assert result["status"] == "ok"
+        assert result["recoveries"] >= 1
+        assert result["invariants"]["answers_match"]["ok"]
+        assert result["invariants"]["recovered_serves"]["ok"]
+
+    def test_retry_attempt_recovers_durable_state(self, tmp_path):
+        """Attempt 2 after a first-attempt crash resumes from disk."""
+        spec = _spec(
+            faults=(FaultSpec(
+                "wal.commit", mode="kill", nth=4, scope="first_attempt"
+            ),),
+            crash_style="recover",
+        )
+        first = run_scenario(spec, tmp_path, attempt=1)
+        assert first["recoveries"] >= 1
+        # the durable root now exists; attempt 2 must recover, not rebuild,
+        # and still match the oracle on the strict checkpoints
+        second = run_scenario(spec, tmp_path, attempt=2)
+        assert second["status"] == "ok"
+        assert second["invariants"]["answers_match"]["detail"]["compared"] == [
+            "ingest", "final"
+        ]
+        assert (tmp_path / "baseline.json").exists()
+
+
+class TestDegradation:
+    def test_fired_permanent_fault_must_surface(self, tmp_path):
+        spec = _spec(
+            lattice=True,
+            faults=(FaultSpec(
+                "lattice.delta_merge", mode="permanent", nth=1
+            ),),
+        )
+        result = run_scenario(spec, tmp_path)
+        assert result["status"] == "ok"
+        detail = result["invariants"]["degradation_surfaced"]["detail"]
+        assert detail["fired_permanent"] == ["lattice.delta_merge"]
+        assert detail["flagged"]
+
+    def test_transient_fault_heals_silently(self, tmp_path):
+        spec = _spec(
+            faults=(FaultSpec("ingest.oltp", mode="transient", nth=1),),
+        )
+        result = run_scenario(spec, tmp_path)
+        assert result["status"] == "ok"
+        assert result["fault_hits"]["ingest.oltp"] >= 1
+
+
+class TestResultRecord:
+    def test_result_is_json_serialisable(self, tmp_path):
+        result = run_scenario(_spec(), tmp_path)
+        assert json.loads(json.dumps(result)) == result
+        for key in ("scenario_id", "name", "profile", "plan", "regime",
+                    "loop_s", "fault_hits", "invariants"):
+            assert key in result

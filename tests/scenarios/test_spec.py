@@ -1,0 +1,117 @@
+"""Scenario specs: validation, content addressing, the default matrix."""
+
+import pytest
+
+from repro.errors import ReproError, StorageError
+from repro.scenarios.spec import FaultSpec, ScenarioSpec, default_matrix
+
+
+class TestFaultSpec:
+    def test_unknown_point_rejected_at_construction(self):
+        with pytest.raises(StorageError, match="unknown fault point"):
+            FaultSpec("wal.comit", mode="kill")  # typo'd on purpose
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault mode"):
+            FaultSpec("wal.commit", mode="explode")
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ReproError, match="scope"):
+            FaultSpec("wal.commit", scope="sometimes")
+
+    def test_every_hit_kill_rejected(self):
+        # an every-hit crash can never converge: recovery re-runs the
+        # boundary and dies again, forever
+        with pytest.raises(ReproError, match="unfinishable"):
+            FaultSpec("wal.commit", mode="kill", nth=0)
+        with pytest.raises(ReproError, match="unfinishable"):
+            FaultSpec("wal.commit", mode="short", nth=0)
+
+    def test_to_rule_round_trips_fields(self):
+        rule = FaultSpec(
+            "serving.scan", mode="slow", nth=0, delay_s=0.01
+        ).to_rule()
+        assert rule.point == "serving.scan"
+        assert rule.mode == "slow"
+        assert rule.nth == 0
+        assert rule.delay_s == 0.01
+
+
+class TestScenarioSpec:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ReproError, match="disease profile"):
+            ScenarioSpec(name="x", profile="plague")
+
+    def test_dirty_rate_bounds(self):
+        with pytest.raises(ReproError, match="dirty_rate"):
+            ScenarioSpec(name="x", dirty_rate=1.5)
+
+    def test_crash_style_validated(self):
+        with pytest.raises(ReproError, match="crash style"):
+            ScenarioSpec(name="x", crash_style="shrug")
+
+    def test_scenario_id_is_stable(self):
+        a = ScenarioSpec(name="x", seed=3)
+        b = ScenarioSpec(name="x", seed=3)
+        assert a.scenario_id == b.scenario_id
+        assert a.slug == f"x-{a.scenario_id}"
+
+    def test_scenario_id_tracks_content(self):
+        base = ScenarioSpec(name="x", seed=3)
+        assert base.scenario_id != ScenarioSpec(name="x", seed=4).scenario_id
+        assert base.scenario_id != ScenarioSpec(
+            name="x", seed=3, faults=(FaultSpec("wal.commit"),)
+        ).scenario_id
+
+    def test_json_round_trip(self):
+        spec = ScenarioSpec(
+            name="rt", profile="hypertension", dirty_rate=0.2,
+            faults=(FaultSpec("wal.commit", mode="kill", nth=2,
+                              scope="first_attempt"),),
+            crash_style="die", storage=True,
+        )
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.scenario_id == spec.scenario_id
+
+    def test_first_attempt_rules_drop_on_retry(self):
+        spec = ScenarioSpec(
+            name="x",
+            faults=(
+                FaultSpec("wal.commit", mode="kill", scope="first_attempt"),
+                FaultSpec("serving.scan", mode="slow", nth=0),
+            ),
+        )
+        assert [r.point for r in spec.rules_for_attempt(1)] == [
+            "wal.commit", "serving.scan"
+        ]
+        assert [r.point for r in spec.rules_for_attempt(2)] == ["serving.scan"]
+
+
+class TestDefaultMatrix:
+    def test_shape(self):
+        matrix = default_matrix()
+        assert len(matrix) == 12
+        assert {s.profile for s in matrix} == {
+            "discri", "hypertension", "can_progression"
+        }
+        assert {s.plan for s in matrix} == {"kill-mid-loop", "flaky-deps"}
+        assert {s.regime for s in matrix} == {"small-clean", "mid-dirty"}
+
+    def test_ids_unique(self):
+        matrix = default_matrix()
+        assert len({s.scenario_id for s in matrix}) == len(matrix)
+
+    def test_has_die_style_kill_scenarios(self):
+        die = [s for s in default_matrix() if s.crash_style == "die"]
+        assert die, "the matrix must exercise real worker death"
+        for spec in die:
+            kills = [f for f in spec.faults if f.mode == "kill"]
+            assert kills and all(f.scope == "first_attempt" for f in kills)
+            assert spec.retries >= 1  # the recovery attempt must exist
+
+    def test_dirty_regime_is_dirty_and_stored(self):
+        for spec in default_matrix():
+            if spec.regime == "mid-dirty":
+                assert spec.dirty_rate > 0
+                assert spec.storage

@@ -165,3 +165,109 @@ class TestCrashRecovery:
         discard_uncommitted(tmp_path)
         save_store(compacted, tmp_path)  # the retry succeeds cleanly
         assert load_store(tmp_path, CONFIG).generation == compacted.generation
+
+
+class TestTornWrites:
+    """Recovery from writes that stopped partway through a byte stream.
+
+    A kill between syscalls leaves whole files missing; a torn write
+    leaves a file that *exists* but holds a prefix of the payload.  Both
+    must be invisible after ``discard_uncommitted`` + ``load_store``.
+    """
+
+    def test_torn_segment_write_serves_previous_generation(self, store, tmp_path):
+        save_store(store, tmp_path)
+        manifest_before = (tmp_path / MANIFEST_NAME).read_bytes()
+
+        faults.install(FaultPlan([
+            FaultRule(SEGMENT_WRITE_POINT, mode="short", nth=2, keep_fraction=0.4)
+        ]))
+        with pytest.raises(SimulatedCrash):
+            save_store(store.compact(), tmp_path)
+        faults.uninstall()
+
+        # the torn write really left a truncated temp file behind
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers, "expected a torn .tmp file from the short write"
+
+        discard_uncommitted(tmp_path)
+        assert not list(tmp_path.rglob("*.tmp"))
+        assert (tmp_path / MANIFEST_NAME).read_bytes() == manifest_before
+        recovered = load_store(tmp_path, CONFIG)
+        assert recovered.generation == store.generation
+        assert_tables_byte_equal(recovered.to_table(), store.to_table())
+
+    def test_manually_truncated_uncommitted_segment_swept(self, store, tmp_path):
+        """Crash after segments landed, then the filesystem tore one of
+        them (power loss truncation): the sweep must still drop the whole
+        uncommitted generation."""
+        save_store(store, tmp_path)
+        faults.install(FaultPlan([FaultRule(COMPACTION_POINT, mode="kill")]))
+        with pytest.raises(SimulatedCrash):
+            save_store(store.compact(), tmp_path)
+        faults.uninstall()
+
+        live = (tmp_path / MANIFEST_NAME).read_bytes()
+        gen_dirs = sorted(p for p in tmp_path.iterdir() if p.name.startswith("gen-"))
+        torn = next(iter(sorted(gen_dirs[-1].glob("*.seg"))))
+        torn.write_bytes(torn.read_bytes()[: torn.stat().st_size // 2])
+
+        removed = discard_uncommitted(tmp_path)
+        assert gen_dirs[-1].name in removed
+        assert (tmp_path / MANIFEST_NAME).read_bytes() == live
+        recovered = load_store(tmp_path, CONFIG)
+        assert_tables_byte_equal(recovered.to_table(), store.to_table())
+
+    def test_kill_mid_manifest_rename_serves_previous_generation(self, store, tmp_path):
+        """Crash between writing MANIFEST.json.tmp and the rename: the
+        complete-but-unrenamed manifest must never become visible."""
+        save_store(store, tmp_path)
+        manifest_before = (tmp_path / MANIFEST_NAME).read_bytes()
+
+        compacted = store.append(make_table(n=30, seed=17)).compact()
+        faults.install(FaultPlan([
+            FaultRule(COMPACTION_POINT + ".manifest.rename", mode="kill")
+        ]))
+        with pytest.raises(SimulatedCrash):
+            save_store(compacted, tmp_path)
+        faults.uninstall()
+
+        # a complete manifest candidate is sitting beside the live one
+        assert (tmp_path / (MANIFEST_NAME + ".tmp")).exists()
+        assert (tmp_path / MANIFEST_NAME).read_bytes() == manifest_before
+
+        discard_uncommitted(tmp_path)
+        assert not (tmp_path / (MANIFEST_NAME + ".tmp")).exists()
+        recovered = load_store(tmp_path, CONFIG)
+        assert recovered.generation == store.generation
+        assert_tables_byte_equal(recovered.to_table(), store.to_table())
+
+    def test_torn_manifest_write_serves_previous_generation(self, store, tmp_path):
+        save_store(store, tmp_path)
+        manifest_before = (tmp_path / MANIFEST_NAME).read_bytes()
+
+        faults.install(FaultPlan([
+            FaultRule(COMPACTION_POINT + ".manifest", mode="short", keep_fraction=0.3)
+        ]))
+        with pytest.raises(SimulatedCrash):
+            save_store(store.compact(), tmp_path)
+        faults.uninstall()
+
+        discard_uncommitted(tmp_path)
+        assert (tmp_path / MANIFEST_NAME).read_bytes() == manifest_before
+        assert_tables_byte_equal(
+            load_store(tmp_path, CONFIG).to_table(), store.to_table()
+        )
+
+    def test_retry_after_torn_manifest_commits(self, store, tmp_path):
+        save_store(store, tmp_path)
+        compacted = store.compact()
+        faults.install(FaultPlan([
+            FaultRule(COMPACTION_POINT + ".manifest.rename", mode="kill")
+        ]))
+        with pytest.raises(SimulatedCrash):
+            save_store(compacted, tmp_path)
+        faults.uninstall()
+        discard_uncommitted(tmp_path)
+        save_store(compacted, tmp_path)
+        assert load_store(tmp_path, CONFIG).generation == compacted.generation

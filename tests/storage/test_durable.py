@@ -20,6 +20,10 @@ from repro.storage.durable import (
 )
 from repro.storage.faults import FaultPlan, FaultRule
 
+# synthetic atomic-write point used below ("p" fires "p.rename" too)
+faults.register_point("p")
+faults.register_point("p.rename")
+
 
 class TestAtomicWrite:
     def test_writes_and_replaces(self, tmp_path):

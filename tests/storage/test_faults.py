@@ -6,6 +6,11 @@ from repro.errors import InjectedFault, StorageError
 from repro.storage import faults
 from repro.storage.faults import FaultPlan, FaultRule, SimulatedCrash, plan_from_env
 
+# synthetic points used throughout this module (arm-time validation would
+# otherwise reject them as typos)
+for _point in ("p", "q", "x", "other"):
+    faults.register_point(_point)
+
 
 @pytest.fixture(autouse=True)
 def _clean_plan():
@@ -137,3 +142,40 @@ class TestIngestFaultModes:
             FaultRule("ingest.oltp", mode="transient", nth=2),
             FaultRule("ingest.lattice", mode="permanent", nth=1),
         ]
+
+
+class TestArmTimeValidation:
+    def test_install_rejects_unknown_point(self):
+        plan = FaultPlan([FaultRule("wal.comit", mode="kill")])  # typo'd
+        with pytest.raises(StorageError, match="unknown fault point"):
+            faults.install(plan)
+        # nothing was armed: a subsequent fire is a no-op
+        faults.fire("wal.commit")
+
+    def test_plan_from_env_rejects_unknown_point(self):
+        with pytest.raises(StorageError, match="unknown fault point"):
+            plan_from_env("storage.compactoin:kill@1")
+
+    def test_error_names_the_offender_and_the_remedy(self):
+        with pytest.raises(StorageError) as info:
+            faults.validate_points(["definitely.not.a.point"])
+        message = str(info.value)
+        assert "definitely.not.a.point" in message
+        assert "register_point" in message
+
+    def test_register_point_legalises_a_new_boundary(self):
+        name = faults.register_point("test.custom.boundary")
+        assert name in faults.known_points()
+        faults.install(FaultPlan([FaultRule(name, mode="error", nth=1)]))
+        with pytest.raises(InjectedFault):
+            faults.fire(name)
+
+    def test_register_point_rejects_empty(self):
+        with pytest.raises(StorageError, match="empty"):
+            faults.register_point("   ")
+
+    def test_known_points_cover_rename_halves(self):
+        points = faults.known_points()
+        assert "wal.commit" in points
+        assert "storage.compaction.manifest" in points
+        assert "storage.compaction.manifest.rename" in points

@@ -13,6 +13,9 @@ from repro.storage import faults
 from repro.storage.faults import FaultPlan, FaultRule, SimulatedCrash
 from repro.storage.retry import RetryPolicy, with_retry
 
+# synthetic point installed by the plans below
+faults.register_point("p")
+
 
 @pytest.fixture(autouse=True)
 def _clean_plan():

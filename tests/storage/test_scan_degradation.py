@@ -1,0 +1,91 @@
+"""Processes→serial scan fallback: counted, warned once, answers intact."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.storage.columnar import PartitionedStore, PartitioningSpec, StorageConfig
+from repro.storage.columnar import executor
+from repro.storage.columnar.executor import ScanMode, degraded_count, run_scan
+from repro.tabular import Table
+
+WARN_KEY = "storage.scan.procs_degraded"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning():
+    obs.reset_warn_once(WARN_KEY)
+    yield
+    obs.reset_warn_once(WARN_KEY)
+
+
+@pytest.fixture()
+def segments():
+    rng = np.random.default_rng(11)
+    table = Table.from_columns(
+        {
+            "patient_id": [int(v) for v in rng.integers(1, 9, 64)],
+            "visit_year": [int(2006 + v) for v in rng.integers(0, 3, 64)],
+        },
+        schema={"patient_id": "int", "visit_year": "int"},
+    )
+    config = StorageConfig(
+        partitioning=PartitioningSpec(
+            hash_column="patient_id", hash_partitions=2, band_column="visit_year"
+        )
+    )
+    return PartitionedStore.build(table, config).segments
+
+
+def _rows_of(results):
+    return [list(kept) for kept, _cols, _ms in results]
+
+
+class TestForkUnavailable:
+    def test_counts_warns_once_and_matches_serial(self, segments, monkeypatch):
+        monkeypatch.setattr(executor, "_fork_available", lambda: False)
+        survivors = list(range(len(segments)))
+        mode = ScanMode(name="processes", workers=2)
+        before = degraded_count()
+
+        with pytest.warns(RuntimeWarning, match="degraded to serial"):
+            got = run_scan(segments, survivors, None, mode)
+        assert degraded_count() == before + 1
+
+        serial = run_scan(segments, survivors, None, ScanMode(name="serial", workers=1))
+        assert _rows_of(got) == _rows_of(serial)
+
+        # the warning is one-shot per process; the counter is not
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_scan(segments, survivors, None, mode)
+        assert degraded_count() == before + 2
+
+
+class TestPoolFailure:
+    def test_broken_pool_degrades_with_warning(self, segments, monkeypatch):
+        import multiprocessing
+
+        class _BrokenContext:
+            def Pool(self, *args, **kwargs):
+                raise OSError("no subprocesses for you")
+
+        monkeypatch.setattr(executor, "_fork_available", lambda: True)
+        monkeypatch.setattr(
+            multiprocessing, "get_context", lambda method: _BrokenContext()
+        )
+        survivors = list(range(len(segments)))
+        before = degraded_count()
+
+        with pytest.warns(RuntimeWarning, match="fork pool failed"):
+            got = run_scan(
+                segments, survivors, None, ScanMode(name="processes", workers=2)
+            )
+        assert degraded_count() == before + 1
+
+        serial = run_scan(segments, survivors, None, ScanMode(name="serial", workers=1))
+        assert _rows_of(got) == _rows_of(serial)
+        # the publish/clear protocol must not leak segments on the failure path
+        assert executor._FORK_STATE["segments"] is None
