@@ -33,6 +33,7 @@ from repro.olap.crosstab import Crosstab
 from repro.olap.cube import Cube, CubeSnapshot
 from repro.olap.mdx.evaluator import execute_mdx
 from repro.olap.query import QueryBuilder
+from repro.planner import PlannerConfig, QueryPlanner, coerce_planner, select_nodes
 from repro.serving import resilience
 from repro.serving.admission import ServingConfig, ServingRuntime, coerce_serving
 from repro.serving.cache import CacheConfig, ResultCache, coerce_cache
@@ -109,6 +110,15 @@ class SystemConfig:
     answers stay byte-identical.  The legacy direct spellings
     ``partitioning=`` / ``scan_procs=`` still work behind a
     ``DeprecationWarning`` and fold into ``storage``.
+
+    ``planner`` attaches the cost-based query planner (DESIGN.md
+    §"Cost-based planning"): ``True`` (the default) for a fresh planner
+    with default knobs, a :class:`~repro.planner.PlannerConfig` for
+    explicit ones, a ready :class:`~repro.planner.QueryPlanner` to share
+    a learned workload between systems, ``None``/``False`` to disable
+    recording and routing entirely.  While its statistics are cold the
+    planner changes nothing — answers and lattice hit counters are
+    identical to an unattached system.
     """
 
     observability: str = ""
@@ -123,6 +133,7 @@ class SystemConfig:
     partitioning: "object | None" = None
     #: deprecated: use ``storage=StorageConfig(scan_procs=...)``
     scan_procs: int | None = None
+    planner: "QueryPlanner | PlannerConfig | bool | None" = True
 
     def __post_init__(self) -> None:
         # Deprecation shims (the repro.persistence precedent): the old
@@ -208,6 +219,13 @@ class DDDGMS:
             "retags": 0,
             "last_fallback_reason": None,
             "fallback_reasons": {},
+            # adaptive-materialization ledger (policy="adaptive" only)
+            "planner": {
+                "adaptive_selections": 0,
+                "materialized_nodes": 0,
+                "evicted_nodes": 0,
+                "last_decision": None,
+            },
         }
         #: backoff schedule for transient faults at ingest boundaries
         #: (the shared registry default; see repro.storage.retry)
@@ -225,6 +243,14 @@ class DDDGMS:
         self._serving: ServingRuntime | None = None
         #: partitioned-storage config, applied to every (re)built cube
         self._storage_config = None
+        #: cost-based query planner, re-attached to every rebuilt cube
+        #: (cold it changes nothing; see repro.planner)
+        self._planner: "QueryPlanner | None" = QueryPlanner()
+        #: how materialize_lattice last chose its groups, re-applied on
+        #: every ingest rebuild ("fixed" or "adaptive")
+        self._lattice_policy: str = "fixed"
+        #: remembered adaptive-budget overrides (None -> planner config)
+        self._lattice_budgets: dict = {}
         with obs.span("dgms.build", rows=source.num_rows):
             with obs.span("dgms.load_operational"):
                 if _operational is not None:
@@ -430,6 +456,29 @@ class DDDGMS:
         self.cube.attach_serving(self._serving)
         return self._serving
 
+    def attach_planner(
+        self, planner: "QueryPlanner | PlannerConfig | bool | None"
+    ) -> QueryPlanner | None:
+        """Attach (or detach, with ``None``) the cost-based query planner.
+
+        Accepts every ``SystemConfig(planner=...)`` spelling.  Like the
+        result cache, the planner survives ingest rebuilds — it is
+        re-attached to each successor cube, so the workload statistics
+        it learns describe the *system*, not one epoch.  Detaching also
+        forgets an adaptive materialization policy (the selector cannot
+        run without recorded statistics).
+        """
+        self._planner = coerce_planner(planner)
+        self.cube.attach_planner(self._planner)
+        if self._planner is None and self._lattice_policy == "adaptive":
+            self._lattice_policy = "fixed"
+        return self._planner
+
+    @property
+    def planner(self) -> QueryPlanner | None:
+        """The attached query planner, if any."""
+        return self._planner
+
     @property
     def serving(self) -> ServingRuntime | None:
         """The attached serving runtime (admission + breakers), if any."""
@@ -446,6 +495,10 @@ class DDDGMS:
         cube = Cube(warehouse, managed=True)
         if self._storage_config is not None:
             cube.attach_storage(self._storage_config)
+        if self._planner is not None:
+            # attached at construction too (not just commit) so queries
+            # served while the cube is staged feed the same workload model
+            cube.attach_planner(self._planner)
         return cube
 
     def attach_storage(self, storage) -> "object | None":
@@ -527,6 +580,8 @@ class DDDGMS:
             cube.attach_result_cache(self._result_cache)
         if self._serving is not None:
             cube.attach_serving(self._serving)
+        if self._planner is not None:
+            cube.attach_planner(self._planner)
         state = cube._current_state()
         self.cube = cube
         self._cache_epoch_published(state.epoch)
@@ -596,26 +651,126 @@ class DDDGMS:
         self,
         level_groups: Sequence[Sequence[str]] | None = None,
         max_workers: int | None = None,
+        *,
+        policy: str = "fixed",
+        budget_nodes: int | None = None,
+        budget_cells: int | None = None,
+        min_gain_fraction: float | None = None,
     ) -> "MaterializedCube":
         """Precompute aggregate lattice nodes and route queries through them.
 
-        With no argument, materialises one node per figure-shaped roll-up
-        (the Fig 4–6 level combinations).  The groups are remembered and
-        re-materialised after every :meth:`ingest_visits` rebuild, so the
-        lattice never serves stale cells.
+        ``policy="fixed"`` (the default) materialises the given groups —
+        or, with no argument, one node per figure-shaped roll-up (the
+        Fig 4–6 level combinations).  ``policy="adaptive"`` ignores
+        ``level_groups`` and instead asks the attached planner's
+        HRU-style greedy selector (:func:`repro.planner.select_nodes`)
+        to pick the nodes the *recorded workload* actually earns, under
+        a node/cell budget (overridable here, defaulting to the
+        planner's :class:`~repro.planner.PlannerConfig`).  A cold
+        workload selects nothing — queries keep answering from base
+        scans until statistics accumulate and the next materialisation.
+
+        Either way the policy and groups are remembered and re-applied
+        after every :meth:`ingest_visits` rebuild (adaptive re-runs the
+        selection against the then-current workload, so hot nodes follow
+        the traffic); the decisions land in ``maintenance["planner"]``
+        and :meth:`ingest_health`.
         """
         from repro.olap.materialized import MaterializedCube
 
-        if level_groups is None:
+        if policy not in ("fixed", "adaptive"):
+            raise OLAPError(
+                f"materialize_lattice policy must be 'fixed' or 'adaptive', "
+                f"got {policy!r}"
+            )
+        if policy == "adaptive":
+            if level_groups is not None:
+                raise OLAPError(
+                    "policy='adaptive' chooses its own level groups; drop "
+                    "level_groups or use policy='fixed'"
+                )
+            if self._planner is None:
+                raise OLAPError(
+                    "adaptive materialization needs an attached planner "
+                    "(SystemConfig(planner=...) or attach_planner(True))"
+                )
+            self._lattice_budgets = {
+                "budget_nodes": budget_nodes,
+                "budget_cells": budget_cells,
+                "min_gain_fraction": min_gain_fraction,
+            }
+            groups = self._select_adaptive_groups(self.cube)
+        elif level_groups is None:
             groups = [list(group) for group in self.DEFAULT_LATTICE_GROUPS]
         else:
             groups = [list(group) for group in level_groups]
+        self._lattice_policy = policy
         lattice = MaterializedCube(self.cube).materialize(
             groups, max_workers=max_workers
         )
         self.cube.attach_lattice(lattice)
         self._lattice_groups = groups
         return lattice
+
+    def _select_adaptive_groups(self, cube: Cube) -> list[list[str]]:
+        """Run the greedy selector against the recorded workload.
+
+        Uses the given cube's current epoch for level availability and
+        cardinalities (during ingest that is the *staged* cube, so the
+        selection describes the epoch about to be published).  Records
+        the materialize/evict decision in ``maintenance["planner"]``.
+        """
+        planner = self._planner
+        assert planner is not None  # callers gate on the attached planner
+        cfg = planner.config
+        overrides = self._lattice_budgets
+        state = cube._current_state()
+        selection = select_nodes(
+            planner.stats,
+            planner.cost,
+            available_levels=state.qattrs,
+            cardinality=lambda level: len(state.flat.column(level).unique()),
+            flat_rows=state.num_rows,
+            budget_nodes=(
+                cfg.budget_nodes
+                if overrides.get("budget_nodes") is None
+                else overrides["budget_nodes"]
+            ),
+            budget_cells=(
+                cfg.budget_cells
+                if overrides.get("budget_cells") is None
+                else overrides["budget_cells"]
+            ),
+            min_gain_fraction=(
+                cfg.min_gain_fraction
+                if overrides.get("min_gain_fraction") is None
+                else overrides["min_gain_fraction"]
+            ),
+        )
+        self._record_lattice_decision(selection)
+        return selection.groups
+
+    def _record_lattice_decision(self, selection) -> None:
+        """Fold one adaptive selection into the maintenance ledger."""
+        previous = {tuple(g) for g in (self._lattice_groups or [])}
+        chosen = {tuple(g) for g in selection.groups}
+        materialized = sorted(chosen - previous)
+        evicted = sorted(previous - chosen)
+        ledger = self.maintenance["planner"]
+        ledger["adaptive_selections"] += 1
+        ledger["materialized_nodes"] += len(materialized)
+        ledger["evicted_nodes"] += len(evicted)
+        ledger["last_decision"] = {
+            "selected": [list(g) for g in selection.groups],
+            "materialized": [list(g) for g in materialized],
+            "evicted": [list(g) for g in evicted],
+            "budget_nodes": selection.budget_nodes,
+            "budget_cells": selection.budget_cells,
+            "est_cells_total": selection.est_cells_total,
+            "rejected": selection.rejected,
+            "report": list(selection.report),
+        }
+        obs.count("planner.adaptive.selections")
 
     #: figure-shaped roll-ups used by :meth:`materialize_lattice` default
     DEFAULT_LATTICE_GROUPS: tuple[tuple[str, ...], ...] = (
@@ -1360,7 +1515,17 @@ class DDDGMS:
             "maintenance": {
                 **self.maintenance,
                 "fallback_reasons": dict(self.maintenance["fallback_reasons"]),
+                "planner": dict(self.maintenance["planner"]),
             },
+            "planner": (
+                {
+                    **self._planner.snapshot(),
+                    "lattice_policy": self._lattice_policy,
+                    "decisions": dict(self.maintenance["planner"]),
+                }
+                if self._planner is not None
+                else None
+            ),
             "result_cache": (
                 self._result_cache.stats_snapshot()
                 if self._result_cache is not None
@@ -1460,5 +1625,12 @@ class DDDGMS:
             return
         from repro.olap.materialized import MaterializedCube
 
-        lattice = MaterializedCube(cube).materialize(self._lattice_groups)
+        groups = self._lattice_groups
+        if self._lattice_policy == "adaptive" and self._planner is not None:
+            # re-run the selection against the workload recorded so far:
+            # hot nodes follow the traffic across ingest rebuilds, and
+            # nodes the workload no longer earns are evicted here
+            groups = self._select_adaptive_groups(cube)
+            self._lattice_groups = groups
+        lattice = MaterializedCube(cube).materialize(groups)
         cube.attach_lattice(lattice)

@@ -14,6 +14,7 @@ view.  :meth:`Cube.snapshot` hands out an explicit pinned read view.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Hashable, Mapping, Sequence
 
 from repro import obs
@@ -39,6 +40,7 @@ from repro.warehouse.star import StarSchema
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.olap.materialized import MaterializedCube
     from repro.olap.query import QueryBuilder
+    from repro.planner import QueryPlanner
     from repro.serving.admission import ServingRuntime
     from repro.serving.cache import ResultCache
     from repro.storage.columnar import PartitionedStore, StorageConfig
@@ -252,6 +254,7 @@ class Cube:
         self._result_cache: "ResultCache | None" = None
         self._serving: "ServingRuntime | None" = None
         self._storage_config: "StorageConfig | None" = None
+        self._planner: "QueryPlanner | None" = None
 
     def _current_version(self) -> int:
         return self._dynamic.version if self._dynamic is not None else 1
@@ -538,6 +541,28 @@ class Cube:
         """The attached result cache, if any."""
         return self._result_cache
 
+    def attach_planner(self, planner: "QueryPlanner | None") -> None:
+        """Record workload statistics and cost-route future queries.
+
+        Attached, every aggregate records its plan signature and
+        measured route cost into the planner's
+        :class:`~repro.planner.stats.WorkloadStats`, plans carry
+        ``est_cost_ms`` next to the measured stage time, and — once the
+        cost model is calibrated — the lattice routes each covered
+        query to the cheapest of {covering node, pruned base scan}
+        instead of the fixed smallest-node preference.  While cold, the
+        routing behaviour (answers *and* hit counters) is identical to
+        an unattached cube.  ``None`` detaches.  Like the result cache,
+        one planner is re-attached to successor cubes across rebuilds:
+        the workload belongs to the system, not to one epoch.
+        """
+        self._planner = planner
+
+    @property
+    def planner(self) -> "QueryPlanner | None":
+        """The attached query planner, if any."""
+        return self._planner
+
     def attach_serving(self, serving: "ServingRuntime | None") -> None:
         """Put future query execution under ``serving``'s admission gate.
 
@@ -674,9 +699,22 @@ class Cube:
             qualified = [self.check_level(level, state) for level in levels]
             cache = self._result_cache
             cache_brk = resilience.breaker("cache") if cache is not None else None
+            planner = self._planner
             key: Hashable | None = None
-            if cache is not None:
+            plan_sig = None
+            rows_hint = 0
+            if cache is not None or planner is not None:
                 key = plan_key(qualified, aggregations, filters, force)
+            if planner is not None:
+                # workload recording is unconditional (it is how the
+                # planner calibrates); route *overrides* only start once
+                # the cost model has seen enough of both routes
+                plan_sig = planner.classify(
+                    qualified, aggregations, filters,
+                    self.RECORDS, self.schema.fact.measures,
+                )
+                rows_hint = planner.estimate_base_rows(state, filters)
+            if cache is not None:
                 cached = None
                 if cache_brk.allow():
                     try:
@@ -699,6 +737,10 @@ class Cube:
                 if cache is not None:
                     sp.set(cache="hit" if cached is not None else "miss")
                 if cached is not None:
+                    if planner is not None:
+                        planner.note_query(
+                            key, plan_sig, rows_hint, cache_hit=True
+                        )
                     sp.set(cells=cached.num_rows)
                     return cached
             result: Table | None = None
@@ -725,9 +767,18 @@ class Cube:
                 else:
                     obs.count("serving.degraded.lattice")
             if result is None:
+                started = time.perf_counter()
                 result = self._aggregate_base(
                     qualified, aggregations, filters, force, state=state
                 )
+                if planner is not None:
+                    planner.observe_route(
+                        "base",
+                        (time.perf_counter() - started) * 1000.0,
+                        rows_hint,
+                    )
+            if planner is not None:
+                planner.note_query(key, plan_sig, rows_hint, cache_hit=False)
             sp.set(cells=result.num_rows)
             if cache is not None and key is not None:
                 if cache_brk.allow():
@@ -764,6 +815,16 @@ class Cube:
         aggregations = dict(aggregations or {self.RECORDS: (self.RECORDS, "size")})
         obs.count("olap.aggregate.base_scans")
         with obs.span("scan.base", source="fact table") as scan_sp:
+            planner = self._planner
+            if planner is not None:
+                # estimate-before-measure: the zone-map row guess and its
+                # cost translation land on the span *before* the scan, so
+                # explain() can put est_cost_ms next to the measured time
+                est_rows = planner.estimate_base_rows(state, filters)
+                scan_sp.set(
+                    est_rows=est_rows,
+                    est_cost_ms=round(planner.cost.estimate_base_ms(est_rows), 4),
+                )
             # bottom rung of the degradation ladder: the serving.scan
             # fault point fires un-wrapped here — there is nothing left
             # to degrade to, so injected errors propagate typed

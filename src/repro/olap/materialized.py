@@ -21,6 +21,7 @@ DESIGN.md §5.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -292,30 +293,69 @@ class MaterializedCube:
         if state is not None and state is not self._pinned_state:
             # Epoch guard: a reader holding an older (or newer) snapshot
             # must not be answered from this epoch's cells — scan its own
-            # pinned flat view instead.
+            # pinned flat view instead.  The guard is a planned stage
+            # like any other, so it gets its own span: without one the
+            # staleness fallback was invisible in explain() and could
+            # not be told apart from a planner re-route.
             self.stats.fallbacks += 1
             obs.count("olap.lattice.fallback")
             obs.count("olap.lattice.epoch_mismatch")
-            return self.cube._aggregate_base(
-                qualified, aggregations, filters=filters, force=force,
-                state=state,
-            )
+            with obs.span("lattice.lookup", levels=",".join(qualified)) as sp:
+                sp.set(outcome="fallback", fallback_reason="epoch_mismatch")
+                return self.cube._aggregate_base(
+                    qualified, aggregations, filters=filters, force=force,
+                    state=state,
+                )
 
+        planner = self.cube.planner
         with obs.span("lattice.lookup", levels=",".join(qualified)) as sp:
             # chaos boundary: this fire is *inside* the lattice tier, so an
             # injected error here trips the lattice breaker in the caller
             # and degrades the query to the base-scan rung
             faults.fire("serving.scan")
             checkpoint()
-            node = self._covering_node(qualified, aggregations, filters)
-            if node is None:
+            candidates = self._covering_nodes(qualified, aggregations, filters)
+            if not candidates:
                 self.stats.fallbacks += 1
                 obs.count("olap.lattice.fallback")
-                sp.set(outcome="fallback")
-                return self.cube._aggregate_base(
-                    qualified, aggregations, filters=filters, force=force,
-                    state=state,
+                sp.set(outcome="fallback", fallback_reason="no_covering_node")
+                return self._fallback_scan(
+                    planner, sp, qualified, aggregations, filters, force, state
                 )
+            node = candidates[0]
+            if planner is not None:
+                est_state = (
+                    state if state is not None else self.cube._current_state()
+                )
+                base_rows = planner.estimate_base_rows(est_state, filters)
+                decision = planner.choose_route(
+                    [
+                        (",".join(c.levels), c.table.num_rows)
+                        for c in candidates
+                    ],
+                    base_rows,
+                )
+                if decision is not None:
+                    sp.set(
+                        est_cost_ms=round(decision.est_cost_ms, 4),
+                        route=decision.kind,
+                        planned=decision.reason,
+                    )
+                    if decision.deadline_risk:
+                        sp.set(deadline_risk=True)
+                    if decision.kind == "base":
+                        # the cost model says the (pruned) scan is cheaper
+                        # than any covering node — a re-route, not a
+                        # coverage failure, hence its own fallback_reason
+                        self.stats.fallbacks += 1
+                        obs.count("olap.lattice.fallback")
+                        obs.count("olap.lattice.planner_reroute")
+                        sp.set(outcome="fallback", fallback_reason="planner_cost")
+                        return self._fallback_scan(
+                            planner, sp, qualified, aggregations, filters,
+                            force, state, base_rows=base_rows,
+                        )
+                    node = candidates[decision.node_index]
             if set(node.levels) == set(qualified):
                 self.stats.exact_hits += 1
                 obs.count("olap.lattice.exact_hit")
@@ -325,9 +365,76 @@ class MaterializedCube:
                 obs.count("olap.lattice.rollup_hit")
                 sp.set(outcome="rollup")
             sp.set(node=",".join(node.levels), node_cells=node.table.num_rows)
-            return self._answer_from_node(
+            started = time.perf_counter()
+            result = self._answer_from_node(
                 node, qualified, aggregations, filters, force
             )
+            if planner is not None:
+                planner.observe_route(
+                    "node",
+                    (time.perf_counter() - started) * 1000.0,
+                    node.table.num_rows,
+                )
+            return result
+
+    def _fallback_scan(
+        self,
+        planner,
+        sp,
+        qualified: list[str],
+        aggregations: Mapping[str, tuple[str, str]],
+        filters: Expression | None,
+        force: bool,
+        state: CubeState | None,
+        base_rows: int | None = None,
+    ) -> Table:
+        """Base-scan fallback from inside the lookup span, planner-timed."""
+        if planner is None:
+            return self.cube._aggregate_base(
+                qualified, aggregations, filters=filters, force=force,
+                state=state,
+            )
+        if base_rows is None:
+            est_state = state if state is not None else self.cube._current_state()
+            base_rows = planner.estimate_base_rows(est_state, filters)
+        started = time.perf_counter()
+        result = self.cube._aggregate_base(
+            qualified, aggregations, filters=filters, force=force, state=state
+        )
+        planner.observe_route(
+            "base", (time.perf_counter() - started) * 1000.0, base_rows
+        )
+        return result
+
+    def _covering_nodes(
+        self,
+        levels: Sequence[str],
+        aggregations: Mapping[str, tuple[str, str]],
+        filters: Expression | None = None,
+    ) -> list[_Node]:
+        """Every node able to answer the request, smallest-first.
+
+        Index 0 is the historical fixed preference (``_nodes`` is kept
+        sorted by cell count); the cost-based router may pick any other
+        entry or none.  Empty when no node covers the request.
+        """
+        wanted = set(levels)
+        if filters is not None:
+            wanted = wanted | set(filters.columns())
+        needed_measures = set()
+        for target, func in aggregations.values():
+            if func == "nunique":
+                return []  # distinct counts do not roll up
+            if target != self.RECORDS:
+                if target not in self.cube.schema.fact.measures:
+                    return []  # level-valued aggregation: use the base cube
+                needed_measures.add(target)
+        return [
+            node
+            for node in self._nodes
+            if wanted <= set(node.levels)
+            and needed_measures <= set(node.measures)
+        ]
 
     def _covering_node(
         self,
@@ -335,21 +442,9 @@ class MaterializedCube:
         aggregations: Mapping[str, tuple[str, str]],
         filters: Expression | None = None,
     ) -> _Node | None:
-        wanted = set(levels)
-        if filters is not None:
-            wanted = wanted | set(filters.columns())
-        needed_measures = set()
-        for target, func in aggregations.values():
-            if func == "nunique":
-                return None  # distinct counts do not roll up
-            if target != self.RECORDS:
-                if target not in self.cube.schema.fact.measures:
-                    return None  # level-valued aggregation: use the base cube
-                needed_measures.add(target)
-        for node in self._nodes:
-            if wanted <= set(node.levels) and needed_measures <= set(node.measures):
-                return node
-        return None
+        """The historical preference: the smallest covering node, if any."""
+        candidates = self._covering_nodes(levels, aggregations, filters)
+        return candidates[0] if candidates else None
 
     def _answer_from_node(
         self,

@@ -1,0 +1,207 @@
+"""Workload-adaptive lattice-node selection (HRU-style greedy).
+
+Candidate nodes are the distinct *wanted sets* of the recorded workload
+(grouping levels plus filter columns — exactly what a covering node
+must materialize).  Each candidate is scored by the benefit it would
+buy the whole workload:
+
+    benefit(node) = sum over covered plans of
+        max(0, current_cost(plan) - est_node_ms(node)) * weight(plan)
+
+where ``current_cost`` starts at the plan's estimated base-scan cost
+and drops as nodes are selected, and ``weight`` is the plan's observed
+frequency minus its result-cache hits (a query the cache already
+answers buys nothing from materialization).  Selection is the greedy
+algorithm of Harinarayan/Rajaraman/Ullman: repeatedly take the highest
+positive-benefit candidate that fits the remaining node/cell budget,
+re-scoring after each pick, optionally stopping early when the marginal
+gain falls below ``min_gain_fraction`` of the first pick's gain (the
+diminishing-returns stop a skewed workload earns).
+
+Node sizes are estimated without building anything: a node over levels
+``L`` has at most ``min(flat_rows, product of per-level cardinalities)``
+cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.planner.cost import CostModel
+from repro.planner.stats import PlanSignature, WorkloadStats
+
+
+@dataclass(frozen=True)
+class NodeCandidate:
+    """One scoreable lattice node."""
+
+    levels: tuple[str, ...]
+    est_cells: int
+
+
+@dataclass
+class Selection:
+    """The adaptive materializer's output: what to build and why."""
+
+    #: level groups to materialize, selection order
+    groups: list[list[str]]
+    #: per-selected-node report: levels, est_cells, benefit_ms, plans
+    report: list[dict]
+    #: candidates considered but not selected (for health/debugging)
+    rejected: int
+    budget_nodes: int
+    budget_cells: int | None
+
+    @property
+    def est_cells_total(self) -> int:
+        return sum(entry["est_cells"] for entry in self.report)
+
+    def to_dict(self) -> dict:
+        return {
+            "groups": [list(g) for g in self.groups],
+            "report": list(self.report),
+            "rejected": self.rejected,
+            "budget_nodes": self.budget_nodes,
+            "budget_cells": self.budget_cells,
+            "est_cells_total": self.est_cells_total,
+        }
+
+
+def _candidates(
+    records: Iterable[tuple[object, PlanSignature, int, int, int]],
+    available_levels: set[str],
+    cardinality: Callable[[str], int],
+    flat_rows: int,
+) -> tuple[list[NodeCandidate], dict[tuple[str, ...], list[tuple[int, int]]]]:
+    """Distinct wanted-sets → candidates, plus per-plan (weight, rows).
+
+    Plans that are not materializable, carry no grouping/filter levels,
+    or mention levels the current epoch does not have are skipped — the
+    router would never send them to a node anyway.
+    """
+    card_cache: dict[str, int] = {}
+
+    def card(level: str) -> int:
+        value = card_cache.get(level)
+        if value is None:
+            value = card_cache[level] = max(1, int(cardinality(level)))
+        return value
+
+    plans: dict[tuple[str, ...], list[tuple[int, int]]] = {}
+    for _key, signature, weight, _hits, base_rows in records:
+        if not signature.materializable or not signature.wanted:
+            continue
+        if not set(signature.wanted) <= available_levels:
+            continue
+        if weight <= 0:
+            continue
+        plans.setdefault(signature.wanted, []).append((weight, base_rows))
+
+    candidates = []
+    for wanted in sorted(plans):
+        cells = 1
+        for level in wanted:
+            cells *= card(level)
+            if cells >= flat_rows:
+                cells = flat_rows
+                break
+        candidates.append(NodeCandidate(wanted, max(1, int(cells))))
+    return candidates, plans
+
+
+def select_nodes(
+    stats: WorkloadStats,
+    cost: CostModel,
+    *,
+    available_levels: Iterable[str],
+    cardinality: Callable[[str], int],
+    flat_rows: int,
+    budget_nodes: int,
+    budget_cells: int | None = None,
+    min_gain_fraction: float = 0.0,
+) -> Selection:
+    """Greedy benefit-maximal node selection under a node/cell budget.
+
+    Deterministic: candidates tie-break by (smaller estimated size,
+    level names), and the recorded-workload snapshot is itself sorted.
+    A cold or empty workload selects nothing — the safe default, since
+    an unmaterialized lattice simply answers from base scans.
+    """
+    budget_nodes = max(0, int(budget_nodes))
+    records = stats.query_records()
+    candidates, plans = _candidates(
+        records, set(available_levels), cardinality, max(1, int(flat_rows))
+    )
+    selected: list[NodeCandidate] = []
+    report: list[dict] = []
+    if not candidates or budget_nodes == 0:
+        return Selection([], [], len(candidates), budget_nodes, budget_cells)
+
+    # current best cost per plan (wanted-set, index into its entry list)
+    current: dict[tuple[tuple[str, ...], int], float] = {}
+    for wanted, entries in plans.items():
+        for i, (_weight, base_rows) in enumerate(entries):
+            current[(wanted, i)] = cost.estimate_base_ms(base_rows)
+
+    remaining_cells = budget_cells
+    chosen: set[tuple[str, ...]] = set()
+    first_gain: float | None = None
+    while len(selected) < budget_nodes:
+        best: tuple[float, int, tuple[str, ...]] | None = None
+        best_candidate: NodeCandidate | None = None
+        for candidate in candidates:
+            if candidate.levels in chosen:
+                continue
+            if remaining_cells is not None and candidate.est_cells > remaining_cells:
+                continue
+            node_ms = cost.estimate_node_ms(candidate.est_cells)
+            gain = 0.0
+            for wanted, entries in plans.items():
+                if not set(wanted) <= set(candidate.levels):
+                    continue
+                for i, (weight, _rows) in enumerate(entries):
+                    saved = current[(wanted, i)] - node_ms
+                    if saved > 0:
+                        gain += saved * weight
+            rank = (-gain, candidate.est_cells, candidate.levels)
+            if gain > 0 and (best is None or rank < best):
+                best = rank
+                best_candidate = candidate
+        if best_candidate is None:
+            break
+        gain = -best[0]
+        if first_gain is None:
+            first_gain = gain
+        elif min_gain_fraction > 0 and gain < first_gain * min_gain_fraction:
+            break  # diminishing returns: the rest is not worth a node
+        chosen.add(best_candidate.levels)
+        selected.append(best_candidate)
+        if remaining_cells is not None:
+            remaining_cells -= best_candidate.est_cells
+        node_ms = cost.estimate_node_ms(best_candidate.est_cells)
+        covered_plans = 0
+        for wanted, entries in plans.items():
+            if not set(wanted) <= set(best_candidate.levels):
+                continue
+            covered_plans += len(entries)
+            for i in range(len(entries)):
+                key = (wanted, i)
+                if node_ms < current[key]:
+                    current[key] = node_ms
+        report.append(
+            {
+                "levels": list(best_candidate.levels),
+                "est_cells": best_candidate.est_cells,
+                "benefit_ms": round(gain, 3),
+                "plans_covered": covered_plans,
+            }
+        )
+
+    return Selection(
+        [list(c.levels) for c in selected],
+        report,
+        len(candidates) - len(selected),
+        budget_nodes,
+        budget_cells,
+    )

@@ -1,0 +1,100 @@
+"""The cost model: recorded statistics in, estimated milliseconds out.
+
+One formula per route, deliberately simple enough to reason about in a
+test (DESIGN.md §"Cost-based planning"):
+
+    est_ms(route, units) = max(floor_ms(route), units * rate(route))
+
+where ``rate`` is the observed mean ms per work unit (cells for a
+lattice-node answer, estimated rows for a base scan) and ``floor`` is
+the cheapest call ever observed for that route — the fixed overhead a
+tiny query cannot go below.  Until a route has ``min_samples``
+observations the model is *cold* and uses conservative built-in rates;
+cold estimates are surfaced like any other (so EXPLAIN always shows
+``est_cost_ms``) but the router refuses to override the historical
+route preference on them.
+
+``ACCURACY_FACTOR`` is the declared bound the regression suite holds
+calibrated estimates to: on a workload the model was calibrated on,
+``est_cost_ms`` stays within this factor of the measured stage time.
+"""
+
+from __future__ import annotations
+
+from repro.planner.stats import WorkloadStats
+
+#: cold-start rate guesses (ms per unit), used before calibration: a
+#: few million flat-view rows or lattice cells per second — the right
+#: order of magnitude for the vectorized kernels on one core
+COLD_BASE_MS_PER_ROW = 5e-4
+COLD_NODE_MS_PER_CELL = 5e-4
+
+#: cold-start fixed overhead per answered query, ms
+COLD_FLOOR_MS = 0.05
+
+#: declared estimate accuracy: calibrated estimates stay within this
+#: multiplicative factor of the measured time on the calibrating
+#: workload (asserted by tests/planner/test_cost_model.py)
+ACCURACY_FACTOR = 50.0
+
+
+class CostModel:
+    """Per-route cost estimates over one :class:`WorkloadStats` ledger."""
+
+    ACCURACY_FACTOR = ACCURACY_FACTOR
+
+    def __init__(self, stats: WorkloadStats, min_samples: int = 5):
+        self.stats = stats
+        self.min_samples = max(1, int(min_samples))
+
+    # -- calibration state ---------------------------------------------
+
+    def route_calibrated(self, kind: str) -> bool:
+        """True once ``kind`` has enough samples to trust its rate."""
+        return self.stats.calibrated(kind, self.min_samples)
+
+    def calibrated(self) -> bool:
+        """True once *every* route kind is calibrated.
+
+        The router only overrides the historical fixed preference when
+        both sides of the comparison rest on observed rates — comparing
+        a measured route against a guessed one would let one cold
+        default flip every decision.
+        """
+        return all(self.route_calibrated(kind) for kind in WorkloadStats.KINDS)
+
+    # -- estimates ------------------------------------------------------
+
+    def _estimate(
+        self, kind: str, units: int, cold_rate: float
+    ) -> float:
+        if self.route_calibrated(kind):
+            rate = self.stats.rate(kind)
+            floor = self.stats.floor(kind)
+        else:
+            rate, floor = cold_rate, COLD_FLOOR_MS
+        return max(floor, max(int(units), 0) * rate)
+
+    def estimate_node_ms(self, cells: int) -> float:
+        """Estimated ms to answer from a lattice node of ``cells`` cells."""
+        return self._estimate("node", cells, COLD_NODE_MS_PER_CELL)
+
+    def estimate_base_ms(self, rows: int) -> float:
+        """Estimated ms for a (pruned) base scan over ``rows`` est. rows."""
+        return self._estimate("base", rows, COLD_BASE_MS_PER_ROW)
+
+    def snapshot(self) -> dict:
+        """JSON-ready calibration summary."""
+        return {
+            "calibrated": self.calibrated(),
+            "min_samples": self.min_samples,
+            "accuracy_factor": self.ACCURACY_FACTOR,
+            "routes": {
+                kind: {
+                    "calibrated": self.route_calibrated(kind),
+                    "ms_per_unit": round(self.stats.rate(kind), 9),
+                    "floor_ms": round(self.stats.floor(kind), 4),
+                }
+                for kind in WorkloadStats.KINDS
+            },
+        }

@@ -166,6 +166,17 @@ class ResultCache:
         obs.count("serving.cache.hit")
         return entry[0]
 
+    def hit_rate(self) -> float:
+        """Lifetime hit rate — the planner's cache-interplay signal.
+
+        A workload the cache already answers gains little from
+        materialized aggregates, so the adaptive materializer discounts
+        plan frequencies by their observed cache hits; this global rate
+        is the health-surface summary of the same signal.
+        """
+        with self._lock:
+            return self.stats.hit_rate
+
     # -- writes ---------------------------------------------------------
 
     def put(self, epoch: int, plan_key: Hashable, value: object) -> None:

@@ -283,6 +283,21 @@ class PartitionedStore:
                 continue
             yield segment, segment.table()
 
+    def estimate_rows(self, predicate: "Expression | None") -> int:
+        """Zone-map row estimate for ``scan_filter`` — never scans.
+
+        Pruned segments contribute nothing; each survivor contributes
+        its :func:`_estimate_rows` guess.  This is the base-scan work
+        estimate the cost-based planner compares lattice nodes against,
+        so it must stay cheap (a pure zone-map walk).
+        """
+        total = 0
+        for segment in self.segments:
+            if predicate is not None and not segment.zones.may_match(predicate):
+                continue
+            total += _estimate_rows(segment, predicate)
+        return total
+
     def scan_filter(
         self,
         predicate: "Expression | None",

@@ -201,6 +201,12 @@ class TestFallbackDecisionTable:
             "retags": 0,
             "last_fallback_reason": "incremental maintenance disabled",
             "fallback_reasons": {"incremental maintenance disabled": 1},
+            "planner": {
+                "adaptive_selections": 0,
+                "materialized_nodes": 0,
+                "evicted_nodes": 0,
+                "last_decision": None,
+            },
         }
 
     def test_back_dated_visit_forces_rebuild_then_delta_resumes(self):

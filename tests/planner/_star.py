@@ -1,0 +1,72 @@
+"""Shared planner-suite helpers: one tiny star, forced calibrations.
+
+The star has three levels (``d1.a`` x4, ``d1.b`` x3, ``d2.c`` x5), an
+additive int measure ``m`` and a non-additive float measure ``v`` with
+nulls — enough shape for exact hits, partial rollups, filtered cells
+and mean recomposition, small enough that property tests can rebuild it
+per example.
+"""
+
+from __future__ import annotations
+
+from repro.olap.cube import Cube
+from repro.planner import QueryPlanner
+from repro.tabular.table import Table
+from repro.warehouse.dimension import Dimension
+from repro.warehouse.fact import Measure
+from repro.warehouse.loader import DimensionSpec, WarehouseLoader
+
+SCHEMA = {"a": "str", "b": "str", "c": "int", "m": "int", "v": "float"}
+
+#: qualified level names of the test star
+LEVELS = ("d1.a", "d1.b", "d2.c")
+
+
+def build_cube(rows, storage=None) -> Cube:
+    """A published managed cube over ``rows`` (dicts in SCHEMA shape)."""
+    loader = WarehouseLoader(
+        "m", "f",
+        [
+            DimensionSpec(Dimension("d1", {"a": "str", "b": "str"})),
+            DimensionSpec(Dimension("d2", {"c": "int"})),
+        ],
+        [
+            Measure.of("m", "int", "sum", additive=True),
+            Measure.of("v", "float", "mean"),
+        ],
+    )
+    loader.load(Table.from_rows(rows, schema=SCHEMA))
+    cube = Cube(loader.schema, managed=True)
+    if storage is not None:
+        cube.attach_storage(storage)
+    cube.publish()
+    return cube
+
+
+def default_rows(n: int = 24) -> list[dict]:
+    """A deterministic row set covering every member at least once."""
+    rows = []
+    for i in range(n):
+        rows.append(
+            {
+                "a": f"a{i % 4}",
+                "b": f"b{i % 3}",
+                "c": i % 5,
+                "m": (i * 7) % 23,
+                "v": None if i % 6 == 5 else float(i % 11) / 4.0,
+            }
+        )
+    return rows
+
+
+def calibrate(planner: QueryPlanner, cheap: str) -> None:
+    """Inject synthetic samples so ``cheap`` ("node"/"base") always wins.
+
+    The expensive route gets a huge per-call floor, the cheap one a tiny
+    rate and floor, and both reach ``min_samples`` — so the router is
+    calibrated and every cost comparison resolves the same way.
+    """
+    expensive = "base" if cheap == "node" else "node"
+    for _ in range(planner.config.min_samples):
+        planner.observe_route(cheap, 0.0001, 1_000_000)
+        planner.observe_route(expensive, 1000.0, 1)

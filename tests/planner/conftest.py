@@ -1,0 +1,15 @@
+"""Planner-suite fixtures (shared star helpers live in ``_star.py``)."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(params=["vector", "scalar"])
+def kernels(request, monkeypatch):
+    """Run a test under both kernel paths (vectorised and scalar oracle)."""
+    if request.param == "scalar":
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "1")
+    else:
+        monkeypatch.delenv("REPRO_SCALAR_KERNELS", raising=False)
+    return request.param

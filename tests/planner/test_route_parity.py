@@ -1,0 +1,187 @@
+"""Oracle-backed route parity: every plannable route ≡ the base scan.
+
+The planner may answer a covered query three ways — the exact/finer
+materialized node, a partial rollup from a coarser-grained query over
+that node, or a (possibly re-routed) base scan.  Whatever it picks must
+be **byte-identical** to the un-planned base-scan oracle, on both
+kernel paths.  Hypothesis drives random tables, grouping sets,
+aggregation mixes and predicates through all three routes; each route
+is forced via injected calibrations so the property genuinely exercises
+the router rather than whatever the timings happen to prefer.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.olap.materialized import MaterializedCube
+from repro.planner import QueryPlanner
+from repro.tabular.expressions import col
+
+from tests.planner._star import LEVELS, build_cube, calibrate
+
+#: output name -> (target, func); ``v`` is non-additive so no sum
+AGG_CHOICES = {
+    "n": ("records", "size"),
+    "total": ("m", "sum"),
+    "m_count": ("m", "count"),
+    "m_min": ("m", "min"),
+    "m_max": ("m", "max"),
+    "v_mean": ("v", "mean"),
+    "v_count": ("v", "count"),
+}
+
+
+@contextmanager
+def kernel_env(scalar: bool):
+    previous = os.environ.get("REPRO_SCALAR_KERNELS")
+    if scalar:
+        os.environ["REPRO_SCALAR_KERNELS"] = "1"
+    else:
+        os.environ.pop("REPRO_SCALAR_KERNELS", None)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SCALAR_KERNELS", None)
+        else:
+            os.environ["REPRO_SCALAR_KERNELS"] = previous
+
+
+@st.composite
+def cases(draw):
+    n = draw(st.integers(1, 40))
+    rows = [
+        {
+            "a": draw(st.sampled_from(["a0", "a1", "a2", "a3"])),
+            "b": draw(st.sampled_from(["b0", "b1", "b2"])),
+            "c": draw(st.integers(0, 4)),
+            "m": draw(st.integers(-9, 99)),
+            # 1/32 binary grid: dyadic floats sum exactly in any order,
+            # so a rolled-up Σsum/Σcount mean is byte-equal to the base
+            # scan's (same convention as tests/dgms/test_incremental.py)
+            "v": draw(
+                st.one_of(
+                    st.none(),
+                    st.integers(-1600, 1600).map(lambda x: x / 32.0),
+                )
+            ),
+        }
+        for _ in range(n)
+    ]
+    levels = draw(
+        st.lists(st.sampled_from(LEVELS), unique=True, min_size=1, max_size=3)
+    )
+    names = draw(
+        st.lists(
+            st.sampled_from(sorted(AGG_CHOICES)),
+            unique=True, min_size=1, max_size=3,
+        )
+    )
+    aggregations = {name: AGG_CHOICES[name] for name in names}
+    predicate = draw(
+        st.sampled_from(
+            [
+                None,
+                ("d1.a", draw(st.sampled_from(["a0", "a1", "a2", "a3"]))),
+                ("d2.c", draw(st.integers(0, 4))),
+            ]
+        )
+    )
+    return rows, levels, aggregations, predicate
+
+
+def _filters(predicate):
+    if predicate is None:
+        return None
+    column, value = predicate
+    return col(column).eq(value)
+
+
+def _run_route(rows, levels, aggregations, predicate, cheap):
+    """Build a planner-routed cube, answer, and return (result, oracle, lookup)."""
+    cube = build_cube(rows)
+    lattice = MaterializedCube(cube).materialize([list(LEVELS)])
+    cube.attach_lattice(lattice)
+    planner = QueryPlanner()
+    calibrate(planner, cheap=cheap)
+    cube.attach_planner(planner)
+    routed = cube.aggregate(levels, aggregations, filters=_filters(predicate))
+    oracle = cube._aggregate_base(
+        levels, aggregations, filters=_filters(predicate)
+    )
+    return routed, oracle, lattice
+
+
+@given(cases())
+@settings(max_examples=30, deadline=None)
+def test_node_route_matches_base_oracle(case):
+    """Node answers (exact hits and partial rollups) are byte-identical."""
+    rows, levels, aggregations, predicate = case
+    for scalar in (False, True):
+        with kernel_env(scalar):
+            routed, oracle, lattice = _run_route(
+                rows, levels, aggregations, predicate, cheap="node"
+            )
+            assert routed.equals(oracle), f"scalar={scalar}"
+            # the cheap-node calibration must actually keep the lattice route
+            assert lattice.stats.exact_hits + lattice.stats.rollup_hits == 1
+
+
+@given(cases())
+@settings(max_examples=30, deadline=None)
+def test_planner_reroute_matches_base_oracle(case):
+    """Cost re-routes to the base scan answer exactly like the oracle."""
+    rows, levels, aggregations, predicate = case
+    for scalar in (False, True):
+        with kernel_env(scalar):
+            routed, oracle, lattice = _run_route(
+                rows, levels, aggregations, predicate, cheap="base"
+            )
+            assert routed.equals(oracle), f"scalar={scalar}"
+            # the cheap-base calibration must actually force the re-route
+            assert lattice.stats.fallbacks == 1
+
+
+@given(cases())
+@settings(max_examples=20, deadline=None)
+def test_partial_rollup_from_coarser_node(case):
+    """A query answered by rolling up a strictly finer node stays exact."""
+    rows, levels, aggregations, predicate = case
+    # force the rollup case: materialize only the full-grain node and
+    # query a strict subset of its levels
+    sub_levels = levels[:-1] if len(levels) > 1 else levels
+    for scalar in (False, True):
+        with kernel_env(scalar):
+            cube = build_cube(rows)
+            lattice = MaterializedCube(cube).materialize([list(LEVELS)])
+            cube.attach_lattice(lattice)
+            planner = QueryPlanner()
+            calibrate(planner, cheap="node")
+            cube.attach_planner(planner)
+            routed = cube.aggregate(
+                sub_levels, aggregations, filters=_filters(predicate)
+            )
+            oracle = cube._aggregate_base(
+                sub_levels, aggregations, filters=_filters(predicate)
+            )
+            assert routed.equals(oracle), f"scalar={scalar}"
+
+
+@given(cases())
+@settings(max_examples=20, deadline=None)
+def test_kernel_paths_agree_on_routed_answers(case):
+    """The same routed query is byte-identical across kernel builds."""
+    rows, levels, aggregations, predicate = case
+    results = []
+    for scalar in (False, True):
+        with kernel_env(scalar):
+            routed, _oracle, _lattice = _run_route(
+                rows, levels, aggregations, predicate, cheap="node"
+            )
+            results.append(routed)
+    assert results[0].equals(results[1])
